@@ -1,0 +1,88 @@
+// Extension experiment: scalability of the pipeline — runtime of each
+// phase as the dataset grows in (a) number of trajectories and (b) points
+// per trajectory. Complements the paper's single runtime row (Table 3) by
+// exposing the quadratic EDR-clustering core and the near-linear
+// segmentation/translation phases.
+//
+// Run:  ./ext_scalability [--max-trajectories=238]
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "anon/wcop.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+
+using namespace wcop;
+using namespace wcop::bench;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const size_t max_trajectories =
+      static_cast<size_t>(args.GetInt("max-trajectories", 238));
+
+  PrintHeader("Extension: runtime vs number of trajectories (80 pts each)");
+  {
+    TablePrinter table({"|D|", "clustering+translation (s)",
+                        "SA-Traclus pipeline (s)", "clusters"});
+    for (size_t n : {30u, 60u, 120u, 238u}) {
+      if (n > max_trajectories) {
+        break;
+      }
+      BenchScale scale;
+      scale.trajectories = n;
+      scale.points = 80;
+      Dataset d = MakeBenchDataset(scale);
+      AssignPaperRequirements(&d, 5, 250.0, 11);
+      WcopOptions options;
+      options.seed = 3;
+
+      Stopwatch ct_timer;
+      Result<AnonymizationResult> ct = RunWcopCt(d, options);
+      const double ct_seconds = ct_timer.ElapsedSeconds();
+
+      TraclusSegmenter segmenter(BenchTraclusOptions());
+      Stopwatch sa_timer;
+      Result<WcopSaResult> sa = RunWcopSa(d, &segmenter, options);
+      const double sa_seconds = sa_timer.ElapsedSeconds();
+
+      table.AddRow({std::to_string(n), FormatSignificant(ct_seconds, 3),
+                    FormatSignificant(sa_seconds, 3),
+                    ct.ok() ? std::to_string(ct->report.num_clusters)
+                            : "fail"});
+      (void)sa;
+    }
+    table.Print(std::cout);
+  }
+
+  PrintHeader("Extension: runtime vs points per trajectory (120 traj.)");
+  {
+    TablePrinter table({"points/traj", "clustering+translation (s)",
+                        "EDR cells (relative)"});
+    double base = 0.0;
+    for (size_t points : {40u, 80u, 160u, 320u}) {
+      BenchScale scale;
+      scale.trajectories = 120;
+      scale.points = points;
+      Dataset d = MakeBenchDataset(scale);
+      AssignPaperRequirements(&d, 5, 250.0, 11);
+      WcopOptions options;
+      options.seed = 3;
+      Stopwatch timer;
+      Result<AnonymizationResult> r = RunWcopCt(d, options);
+      const double seconds = timer.ElapsedSeconds();
+      if (base == 0.0) {
+        base = seconds;
+      }
+      table.AddRow({std::to_string(points), FormatSignificant(seconds, 3),
+                    FormatSignificant(seconds / base, 3) + "x"});
+      (void)r;
+    }
+    table.Print(std::cout);
+    std::printf("expected shape: ~4x runtime per point-count doubling (the\n"
+                "EDR dynamic program is quadratic in trajectory length).\n");
+  }
+  return 0;
+}

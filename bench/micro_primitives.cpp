@@ -1,0 +1,177 @@
+// Micro-benchmarks of the computational primitives behind the WCOP suite:
+// EDR distance / op reconstruction, synchronized Euclidean distance, DBSCAN,
+// grid-index range queries, TRACLUS MDL partitioning, greedy clustering and
+// the translation phase. google-benchmark binary — runs standalone.
+
+#include <benchmark/benchmark.h>
+
+#include "anon/greedy_clustering.h"
+#include "anon/translation.h"
+#include "anon/wcop_ct.h"
+#include "bench_util.h"
+#include "cluster/dbscan.h"
+#include "distance/edr.h"
+#include "distance/euclidean.h"
+#include "index/grid_index.h"
+#include "mod/trajectory_store.h"
+#include "segment/traclus.h"
+
+using namespace wcop;
+using namespace wcop::bench;
+
+namespace {
+
+Dataset SmallDataset(size_t n, size_t points) {
+  BenchScale scale;
+  scale.trajectories = n;
+  scale.points = points;
+  Dataset d = MakeBenchDataset(scale);
+  AssignPaperRequirements(&d, 5, 250.0, 11);
+  return d;
+}
+
+void BM_EdrDistance(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(2, points);
+  const EdrTolerance tol = EdrTolerance::FromDeltaMax(250.0, 6.36);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdrDistance(d[0], d[1], tol));
+  }
+  state.SetComplexityN(static_cast<int64_t>(points));
+}
+BENCHMARK(BM_EdrDistance)->Range(32, 512)->Complexity(benchmark::oNSquared);
+
+void BM_EdrOpSequence(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(2, points);
+  const EdrTolerance tol = EdrTolerance::FromDeltaMax(250.0, 6.36);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdrOpSequence(d[0], d[1], tol));
+  }
+}
+BENCHMARK(BM_EdrOpSequence)->Range(32, 256);
+
+void BM_SynchronizedEuclidean(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(2, points);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SynchronizedEuclideanDistance(d[0], d[1]));
+  }
+}
+BENCHMARK(BM_SynchronizedEuclidean)->Range(32, 512);
+
+void BM_GridIndexRangeQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  GridIndex grid(100.0);
+  for (size_t i = 0; i < n; ++i) {
+    grid.Insert(i, rng.UniformReal(-50000, 50000),
+                rng.UniformReal(-50000, 50000));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        grid.RangeQuery(rng.UniformReal(-50000, 50000),
+                        rng.UniformReal(-50000, 50000), 500.0));
+  }
+}
+BENCHMARK(BM_GridIndexRangeQuery)->Range(1024, 65536);
+
+void BM_DbscanSnapshot(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<std::pair<double, double>> pts;
+  GridIndex grid(200.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.UniformReal(-20000, 20000);
+    const double y = rng.UniformReal(-20000, 20000);
+    pts.emplace_back(x, y);
+    grid.Insert(i, x, y);
+  }
+  auto neighbors = [&](size_t item) {
+    return grid.RangeQuery(pts[item].first, pts[item].second, 200.0);
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dbscan(n, 3, neighbors));
+  }
+}
+BENCHMARK(BM_DbscanSnapshot)->Range(256, 4096);
+
+void BM_TraclusPartitioning(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(1, points);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TraclusCharacteristicPoints(d[0], {}));
+  }
+}
+BENCHMARK(BM_TraclusPartitioning)->Range(64, 1024);
+
+void BM_GreedyClustering(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(n, 80);
+  const WcopOptions options = ResolveOptions(d, WcopOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyClustering(d, n / 10, options));
+  }
+}
+BENCHMARK(BM_GreedyClustering)->Range(32, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Translation(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(2, points);
+  const EdrTolerance tol = EdrTolerance::FromDeltaMax(250.0, 6.36);
+  Rng rng(9);
+  for (auto _ : state) {
+    TranslationStats stats;
+    benchmark::DoNotOptimize(
+        TranslateToPivot(d[0], d[1], 100.0, tol, &rng, &stats));
+  }
+}
+BENCHMARK(BM_Translation)->Range(32, 256);
+
+void BM_StoreRangeQuery(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(n, 80);
+  Result<TrajectoryStore> store = TrajectoryStore::Build(d);
+  Rng rng(7);
+  const double radius = d.Bounds().HalfDiagonal();
+  for (auto _ : state) {
+    const Trajectory& t = d[rng.UniformIndex(d.size())];
+    const Point& p = t[rng.UniformIndex(t.size())];
+    StRange range;
+    range.x_lo = p.x - 0.02 * radius;
+    range.x_hi = p.x + 0.02 * radius;
+    range.y_lo = p.y - 0.02 * radius;
+    range.y_hi = p.y + 0.02 * radius;
+    range.t_lo = p.t - 600.0;
+    range.t_hi = p.t + 600.0;
+    benchmark::DoNotOptimize(store->RangeQuery(range));
+  }
+}
+BENCHMARK(BM_StoreRangeQuery)->Range(64, 512);
+
+void BM_StoreNearestAt(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(n, 80);
+  Result<TrajectoryStore> store = TrajectoryStore::Build(d);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Trajectory& t = d[rng.UniformIndex(d.size())];
+    const Point& p = t[rng.UniformIndex(t.size())];
+    benchmark::DoNotOptimize(store->NearestAt(p.x, p.y, p.t, 5));
+  }
+}
+BENCHMARK(BM_StoreNearestAt)->Range(64, 512);
+
+void BM_WcopCtEndToEnd(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(n, 60);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunWcopCt(d));
+  }
+}
+BENCHMARK(BM_WcopCtEndToEnd)->Range(32, 128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Adversary workbench: how strong must an attacker be to re-identify users
+// in the published dataset? Sweeps the three adversary knobs of the attack
+// model — number of observations, observation noise, and location
+// uncertainty (Definition 1 possible-motion-curve observations) — against
+// both the raw data and its WCOP-CT anonymization.
+//
+// Run:  ./attack_workbench [--trajectories=60] [--kmax=5]
+
+#include <cstdio>
+#include <iostream>
+
+#include "anon/wcop.h"
+#include "common/arg_parser.h"
+#include "common/table_printer.h"
+#include "data/synthetic.h"
+
+using namespace wcop;
+
+namespace {
+
+void SweepRow(TablePrinter* table, const std::string& label,
+              const Dataset& original, const Dataset& raw,
+              const Dataset& anonymized, const AttackOptions& options) {
+  Result<AttackResult> on_raw = SimulateLinkageAttack(original, raw, options);
+  Result<AttackResult> on_anon =
+      SimulateLinkageAttack(original, anonymized, options);
+  if (!on_raw.ok() || !on_anon.ok()) {
+    return;
+  }
+  table->AddRow({label, FormatSignificant(on_raw->top1_success_rate, 3),
+                 FormatSignificant(on_anon->top1_success_rate, 3),
+                 FormatSignificant(on_anon->mean_true_rank, 3)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+
+  SyntheticOptions gen;
+  gen.seed = 19;
+  gen.num_trajectories = static_cast<size_t>(args.GetInt("trajectories", 60));
+  gen.num_users = gen.num_trajectories / 3 + 1;
+  gen.points_per_trajectory = 80;
+  gen.region_half_diagonal = 15000.0;
+  gen.dataset_duration_days = 30.0;
+  Result<Dataset> maybe_dataset = GenerateSyntheticGeoLife(gen);
+  if (!maybe_dataset.ok()) {
+    std::cerr << maybe_dataset.status() << "\n";
+    return 1;
+  }
+  Dataset dataset = std::move(maybe_dataset).value();
+  Rng rng(3);
+  AssignUniformRequirements(&dataset, 2,
+                            static_cast<int>(args.GetInt("kmax", 5)), 50.0,
+                            250.0, &rng);
+
+  WcopOptions options;
+  options.seed = 11;
+  Result<AnonymizationResult> anonymized = RunWcopCt(dataset, options);
+  if (!anonymized.ok()) {
+    std::cerr << anonymized.status() << "\n";
+    return 1;
+  }
+  std::printf("dataset: %zu trajectories; WCOP-CT produced %zu clusters\n\n",
+              dataset.size(), anonymized->report.num_clusters);
+
+  {
+    std::printf("adversary strength: number of observed (location, time) "
+                "fixes\n");
+    TablePrinter table({"observations", "top-1 on raw", "top-1 on anonymized",
+                        "mean rank (anon)"});
+    for (size_t obs : {1u, 2u, 5u, 10u, 25u}) {
+      AttackOptions attack;
+      attack.observations_per_victim = obs;
+      attack.seed = 100 + obs;
+      SweepRow(&table, std::to_string(obs), dataset, dataset,
+               anonymized->sanitized, attack);
+    }
+    table.Print(std::cout);
+  }
+  {
+    std::printf("\nadversary quality: GPS noise on the observations "
+                "(metres)\n");
+    TablePrinter table({"noise (m)", "top-1 on raw", "top-1 on anonymized",
+                        "mean rank (anon)"});
+    for (double noise : {0.0, 25.0, 100.0, 400.0, 1600.0}) {
+      AttackOptions attack;
+      attack.observation_noise = noise;
+      attack.seed = 200 + static_cast<uint64_t>(noise);
+      SweepRow(&table, FormatSignificant(noise, 4), dataset, dataset,
+               anonymized->sanitized, attack);
+    }
+    table.Print(std::cout);
+  }
+  {
+    std::printf("\nadversary knowledge model: observations from a possible "
+                "motion curve of diameter delta (Definition 1)\n");
+    TablePrinter table({"pmc delta (m)", "top-1 on raw",
+                        "top-1 on anonymized", "mean rank (anon)"});
+    for (double delta : {0.0, 50.0, 250.0, 1000.0, 4000.0}) {
+      AttackOptions attack;
+      attack.pmc_delta = delta;
+      attack.seed = 300 + static_cast<uint64_t>(delta);
+      SweepRow(&table, FormatSignificant(delta, 4), dataset, dataset,
+               anonymized->sanitized, attack);
+    }
+    table.Print(std::cout);
+  }
+
+  std::printf("\ntakeaway: against raw data even one exact fix identifies "
+              "most victims; the anonymized release holds linkage near the "
+              "1/k floor until the adversary collects many precise fixes.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Scenario: a fleet operator publishes anonymized movement data every hour
+// rather than once at the end of the quarter. The streaming driver
+// anonymizes each time window independently (full personalized
+// (K,Delta)-anonymity within the window) and this example reports the
+// per-window outcomes plus what the bounded latency costs compared to one
+// offline pass.
+//
+// Run:  ./continuous_publication [--trajectories=50] [--window=600]
+
+#include <cstdio>
+#include <iostream>
+
+#include "anon/report_json.h"
+#include "anon/wcop.h"
+#include "common/arg_parser.h"
+#include "common/table_printer.h"
+#include "data/synthetic.h"
+
+using namespace wcop;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+
+  SyntheticOptions gen;
+  gen.seed = 23;
+  gen.num_trajectories = static_cast<size_t>(args.GetInt("trajectories", 50));
+  gen.num_users = gen.num_trajectories / 3 + 1;
+  gen.points_per_trajectory = 90;
+  gen.sampling_interval = 20.0;
+  gen.region_half_diagonal = 15000.0;
+  gen.dataset_duration_days = 0.5;  // a busy half-day of traffic
+  Result<Dataset> maybe_dataset = GenerateSyntheticGeoLife(gen);
+  if (!maybe_dataset.ok()) {
+    std::cerr << maybe_dataset.status() << "\n";
+    return 1;
+  }
+  Dataset dataset = std::move(maybe_dataset).value();
+  Rng rng(9);
+  AssignUniformRequirements(&dataset, 2, 4, 50.0, 300.0, &rng);
+
+  // Offline reference: one pass over the whole history.
+  WcopOptions wcop;
+  wcop.seed = 31;
+  Result<AnonymizationResult> offline = RunWcopCt(dataset, wcop);
+  if (!offline.ok()) {
+    std::cerr << offline.status() << "\n";
+    return 1;
+  }
+
+  // Streaming: publish every `window` seconds.
+  StreamingOptions streaming;
+  streaming.window_seconds = args.GetDouble("window", 600.0);
+  streaming.wcop = wcop;
+  Result<StreamingResult> live = RunStreamingWcop(dataset, streaming);
+  if (!live.ok()) {
+    std::cerr << live.status() << "\n";
+    return 1;
+  }
+
+  std::printf("windows of %.0f s over %zu trajectories:\n\n",
+              streaming.window_seconds, dataset.size());
+  TablePrinter table({"window start", "fragments in", "published",
+                      "clusters", "TTD"});
+  size_t shown = 0;
+  for (const StreamingWindowSummary& w : live->windows) {
+    if (++shown > 12) {
+      table.AddRow({"...", "", "", "", ""});
+      break;
+    }
+    table.AddRow({FormatSignificant(w.window_start, 6),
+                  std::to_string(w.input_fragments),
+                  w.skipped ? "suppressed" : std::to_string(
+                                                 w.published_fragments),
+                  std::to_string(w.clusters), FormatSignificant(w.ttd, 4)});
+  }
+  table.Print(std::cout);
+
+  std::printf("\nlatency cost: streaming TTD %.4g over %zu windows vs "
+              "offline TTD %.4g in one pass (%zu fragments suppressed at "
+              "window boundaries)\n",
+              live->total_ttd, live->windows.size(), offline->report.ttd,
+              live->suppressed_fragments);
+
+  // Machine-readable footprint of the offline run, for pipelines.
+  const std::string json_path = args.GetString("json", "");
+  if (!json_path.empty()) {
+    if (WriteJsonFile(ResultToJson(*offline), json_path).ok()) {
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  } else {
+    std::printf("\noffline run report as JSON:\n%s\n",
+                ReportToJson(offline->report).c_str());
+  }
+  return 0;
+}

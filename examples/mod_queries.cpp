@@ -1,0 +1,133 @@
+// Scenario: a data consumer received the anonymized release and loads it
+// into the moving-objects store to answer the questions trajectory data
+// exists for — "who passed through here at rush hour?", "what was moving
+// near this incident?", "which published tracks resemble this probe?" —
+// and compares the answers against what the raw data would have said.
+//
+// Run:  ./mod_queries [--trajectories=60]
+
+#include <cstdio>
+#include <iostream>
+
+#include "anon/wcop.h"
+#include "common/arg_parser.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "data/synthetic.h"
+#include "mod/trajectory_store.h"
+
+using namespace wcop;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+
+  SyntheticOptions gen;
+  gen.seed = 37;
+  gen.num_trajectories = static_cast<size_t>(args.GetInt("trajectories", 60));
+  gen.num_users = gen.num_trajectories / 3 + 1;
+  gen.points_per_trajectory = 100;
+  gen.region_half_diagonal = 15000.0;
+  gen.dataset_duration_days = 10.0;
+  Result<Dataset> maybe_dataset = GenerateSyntheticGeoLife(gen);
+  if (!maybe_dataset.ok()) {
+    std::cerr << maybe_dataset.status() << "\n";
+    return 1;
+  }
+  Dataset dataset = std::move(maybe_dataset).value();
+  Rng rng(5);
+  AssignUniformRequirements(&dataset, 2, 5, 50.0, 250.0, &rng);
+
+  Result<AnonymizationResult> anonymized = RunWcopCt(dataset);
+  if (!anonymized.ok()) {
+    std::cerr << anonymized.status() << "\n";
+    return 1;
+  }
+
+  Stopwatch build_timer;
+  Result<TrajectoryStore> raw_store = TrajectoryStore::Build(dataset);
+  Result<TrajectoryStore> anon_store =
+      TrajectoryStore::Build(anonymized->sanitized);
+  if (!raw_store.ok() || !anon_store.ok()) {
+    std::cerr << "store build failed\n";
+    return 1;
+  }
+  std::printf("built 2 stores over %zu + %zu trajectories in %.1f ms "
+              "(%zu index cells)\n\n",
+              raw_store->size(), anon_store->size(),
+              build_timer.ElapsedMillis(),
+              raw_store->num_cells() + anon_store->num_cells());
+
+  // Q1: range queries — who passed through a busy area?
+  {
+    TablePrinter table({"query window", "raw matches", "anonymized matches"});
+    Rng qrng(11);
+    for (int q = 0; q < 5; ++q) {
+      const Trajectory& t = dataset[qrng.UniformIndex(dataset.size())];
+      const Point& c = t[qrng.UniformIndex(t.size())];
+      StRange range;
+      range.x_lo = c.x - 800;
+      range.x_hi = c.x + 800;
+      range.y_lo = c.y - 800;
+      range.y_hi = c.y + 800;
+      range.t_lo = c.t - 600;
+      range.t_hi = c.t + 600;
+      table.AddRow({"#" + std::to_string(q + 1) + " (800m x 20min)",
+                    std::to_string(raw_store->RangeQuery(range).size()),
+                    std::to_string(anon_store->RangeQuery(range).size())});
+    }
+    std::printf("Q1: spatiotemporal range counts\n");
+    table.Print(std::cout);
+  }
+
+  // Q2: who was nearest to an incident?
+  {
+    const Trajectory& witness = dataset[3];
+    const Point incident = witness[witness.size() / 2];
+    const auto raw_nn = raw_store->NearestAt(incident.x, incident.y,
+                                             incident.t, 3);
+    const auto anon_nn = anon_store->NearestAt(incident.x, incident.y,
+                                               incident.t, 3);
+    std::printf("\nQ2: 3 nearest to the incident at t=%.0f\n", incident.t);
+    TablePrinter table({"rank", "raw id (dist m)", "anonymized id (dist m)"});
+    const size_t rows = std::max(raw_nn.size(), anon_nn.size());
+    for (size_t i = 0; i < 3 && i < rows; ++i) {
+      auto cell = [&](const std::vector<StNeighbor>& nn) -> std::string {
+        if (i >= nn.size()) {
+          return "-";
+        }
+        return std::to_string(nn[i].trajectory_id) + " (" +
+               FormatSignificant(nn[i].distance, 3) + ")";
+      };
+      table.AddRow({std::to_string(i + 1), cell(raw_nn), cell(anon_nn)});
+    }
+    table.Print(std::cout);
+    if (anon_nn.empty()) {
+      std::printf("no published track is alive at the incident instant: the\n"
+                  "witness's anonymity set adopted its pivot's timeline, so\n"
+                  "the whole cluster was translated *temporally* — exactly\n"
+                  "the spatio-temporal editing W4M/WCOP perform.\n");
+    } else {
+      std::printf("note: inside the incident's anonymity set the nearest "
+                  "published track is deliberately ambiguous.\n");
+    }
+  }
+
+  // Q3: similarity search with a probe trajectory.
+  {
+    DistanceConfig config;
+    config.kind = DistanceConfig::Kind::kEdr;
+    config.edr_scale = dataset.Bounds().HalfDiagonal();
+    config.tolerance = EdrTolerance::FromDeltaMax(
+        250.0, dataset.ComputeStats().avg_speed);
+    const Trajectory& probe = dataset[0];
+    const auto similar = anon_store->MostSimilar(probe, 4, config);
+    std::printf("\nQ3: published tracks most similar to probe (id 0)\n");
+    for (const StNeighbor& n : similar) {
+      std::printf("  id %lld at EDR-scaled distance %.3g\n",
+                  static_cast<long long>(n.trajectory_id), n.distance);
+    }
+    std::printf("the probe's own anonymity-set companions rank first — "
+                "useful analytics survive, identities stay ambiguous.\n");
+  }
+  return 0;
+}

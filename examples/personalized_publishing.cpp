@@ -1,0 +1,97 @@
+// Scenario: a mobility provider publishes traces of a user base in which a
+// minority is privacy-conscious (journalists, clinicians: high k, tight
+// delta) while the majority accepts relaxed settings. A universal-(k,delta)
+// publisher must adopt the strictest preference for everyone; the WCOP
+// personalized pipeline honours each preference individually.
+//
+// The example contrasts WCOP-NV (universal) with WCOP-CT (personalized) on
+// the same dataset and reports the over-anonymization the universal policy
+// causes.
+//
+// Run:  ./personalized_publishing [--trajectories=80] [--strict=0.15]
+
+#include <cstdio>
+#include <iostream>
+
+#include "anon/wcop.h"
+#include "common/arg_parser.h"
+#include "common/table_printer.h"
+#include "data/synthetic.h"
+
+using namespace wcop;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const size_t n = static_cast<size_t>(args.GetInt("trajectories", 80));
+  const double strict_fraction = args.GetDouble("strict", 0.15);
+
+  SyntheticOptions gen;
+  gen.seed = 21;
+  gen.num_trajectories = n;
+  gen.num_users = n / 2 + 1;
+  gen.points_per_trajectory = 80;
+  gen.region_half_diagonal = 15000.0;
+  gen.dataset_duration_days = 30.0;
+  Result<Dataset> maybe_dataset = GenerateSyntheticGeoLife(gen);
+  if (!maybe_dataset.ok()) {
+    std::cerr << maybe_dataset.status() << "\n";
+    return 1;
+  }
+  Dataset dataset = std::move(maybe_dataset).value();
+
+  RequirementProfile profile;
+  profile.strict_fraction = strict_fraction;
+  profile.strict_k = 8;
+  profile.strict_delta = 80.0;
+  profile.relaxed_k = 2;
+  profile.relaxed_delta = 400.0;
+  Rng rng(5);
+  AssignProfileRequirements(&dataset, profile, &rng);
+
+  size_t strict_users = 0;
+  for (const Trajectory& t : dataset.trajectories()) {
+    if (t.requirement().k == profile.strict_k) {
+      ++strict_users;
+    }
+  }
+  std::printf("dataset: %zu trajectories, %zu strict users (k=%d, d=%.0fm), "
+              "%zu relaxed (k=%d, d=%.0fm)\n\n",
+              dataset.size(), strict_users, profile.strict_k,
+              profile.strict_delta, dataset.size() - strict_users,
+              profile.relaxed_k, profile.relaxed_delta);
+
+  WcopOptions options;
+  options.seed = 17;
+  Result<AnonymizationResult> nv = RunWcopNv(dataset, options);
+  Result<AnonymizationResult> ct = RunWcopCt(dataset, options);
+  if (!nv.ok() || !ct.ok()) {
+    std::cerr << "anonymization failed: "
+              << (!nv.ok() ? nv.status() : ct.status()) << "\n";
+    return 1;
+  }
+
+  TablePrinter table({"metric", "WCOP-NV (universal)", "WCOP-CT (personal)"});
+  auto row = [&](const char* name, double a, double b) {
+    table.AddRow({name, FormatSignificant(a), FormatSignificant(b)});
+  };
+  row("clusters", nv->report.num_clusters, ct->report.num_clusters);
+  row("suppressed trajectories", nv->report.trashed_trajectories,
+      ct->report.trashed_trajectories);
+  row("total distortion", nv->report.total_distortion,
+      ct->report.total_distortion);
+  row("discernibility (lower=better)", nv->report.discernibility,
+      ct->report.discernibility);
+  row("created points", nv->report.created_points,
+      ct->report.created_points);
+  row("deleted points", nv->report.deleted_points,
+      ct->report.deleted_points);
+  table.Print(std::cout);
+
+  const double saved = nv->report.total_distortion > 0.0
+                           ? 100.0 * (1.0 - ct->report.total_distortion /
+                                                nv->report.total_distortion)
+                           : 0.0;
+  std::printf("\npersonalization avoided %.1f%% of the universal policy's "
+              "distortion while honouring every preference\n", saved);
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Regenerates the data behind the paper's Figures 3-4: the original dataset
+// plus its anonymization under each WCOP variant, written as CSV (and
+// optionally GeoJSON) for plotting. Plot each file's (x, y) traces to see
+// what Figure 4 shows — WCOP-NV collapsing the trend, WCOP-CT and the SA
+// variants preserving it.
+//
+// Run:  ./visualize_anonymization [--outdir=/tmp] [--trajectories=80]
+//       [--geojson]
+//
+// Outputs (in --outdir, default "."):
+//   fig3_original.csv, fig4a_wcop_nv.csv, fig4b_wcop_ct.csv,
+//   fig4c_wcop_sa_traclus.csv, fig4d_wcop_sa_convoys.csv
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "anon/wcop.h"
+#include "common/arg_parser.h"
+#include "data/synthetic.h"
+#include "segment/convoy.h"
+#include "segment/traclus.h"
+#include "traj/geojson.h"
+#include "traj/io.h"
+
+using namespace wcop;
+
+namespace {
+
+int WriteOut(const Dataset& dataset, const std::string& outdir,
+             const std::string& stem, bool geojson) {
+  const std::string csv_path = outdir + "/" + stem + ".csv";
+  const Status s = WriteDatasetCsv(dataset, csv_path);
+  if (!s.ok()) {
+    std::cerr << s << "\n";
+    return 1;
+  }
+  std::printf("wrote %s (%zu trajectories, %zu points)\n", csv_path.c_str(),
+              dataset.size(), dataset.TotalPoints());
+  if (geojson) {
+    const LocalProjection projection(39.9057, 116.3913);
+    const std::string geo_path = outdir + "/" + stem + ".geojson";
+    if (WriteDatasetGeoJson(dataset, projection, geo_path).ok()) {
+      std::printf("wrote %s\n", geo_path.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const std::string outdir = args.GetString("outdir", ".");
+  const bool geojson = args.GetBool("geojson", false);
+
+  SyntheticOptions gen;
+  gen.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  gen.num_trajectories = static_cast<size_t>(args.GetInt("trajectories", 80));
+  gen.num_users = gen.num_trajectories / 3 + 1;
+  gen.points_per_trajectory = static_cast<size_t>(args.GetInt("points", 100));
+  gen.region_half_diagonal = 20000.0;
+  gen.dataset_duration_days = 30.0;
+  gen.popular_route_prob = 0.5;
+  Result<Dataset> maybe_dataset = GenerateSyntheticGeoLife(gen);
+  if (!maybe_dataset.ok()) {
+    std::cerr << maybe_dataset.status() << "\n";
+    return 1;
+  }
+  Dataset dataset = std::move(maybe_dataset).value();
+  Rng rng(gen.seed + 1);
+  AssignUniformRequirements(&dataset, 2, 5, 10.0, 250.0, &rng);
+
+  if (WriteOut(dataset, outdir, "fig3_original", geojson) != 0) {
+    return 1;
+  }
+
+  WcopOptions options;
+  options.seed = gen.seed + 2;
+
+  Result<AnonymizationResult> nv = RunWcopNv(dataset, options);
+  if (!nv.ok() ||
+      WriteOut(nv->sanitized, outdir, "fig4a_wcop_nv", geojson) != 0) {
+    std::cerr << "WCOP-NV step failed\n";
+    return 1;
+  }
+  Result<AnonymizationResult> ct = RunWcopCt(dataset, options);
+  if (!ct.ok() ||
+      WriteOut(ct->sanitized, outdir, "fig4b_wcop_ct", geojson) != 0) {
+    std::cerr << "WCOP-CT step failed\n";
+    return 1;
+  }
+  TraclusSegmenter traclus;
+  Result<WcopSaResult> sa_traclus = RunWcopSa(dataset, &traclus, options);
+  if (!sa_traclus.ok() ||
+      WriteOut(sa_traclus->anonymization.sanitized, outdir,
+               "fig4c_wcop_sa_traclus", geojson) != 0) {
+    std::cerr << "WCOP-SA-Traclus step failed\n";
+    return 1;
+  }
+  ConvoyOptions convoy_options;
+  convoy_options.min_objects = 2;
+  convoy_options.eps = 250.0;
+  convoy_options.snapshot_interval = 60.0;
+  ConvoySegmenter convoys(convoy_options);
+  Result<WcopSaResult> sa_convoys = RunWcopSa(dataset, &convoys, options);
+  if (!sa_convoys.ok() ||
+      WriteOut(sa_convoys->anonymization.sanitized, outdir,
+               "fig4d_wcop_sa_convoys", geojson) != 0) {
+    std::cerr << "WCOP-SA-Convoys step failed\n";
+    return 1;
+  }
+
+  std::printf("\nplot the (x, y) columns of each CSV to reproduce the look "
+              "of Figures 3-4.\n");
+  return 0;
+}

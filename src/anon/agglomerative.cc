@@ -1,0 +1,179 @@
+#include "anon/agglomerative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace wcop {
+
+namespace {
+
+struct WorkingCluster {
+  std::vector<size_t> members;
+  int k = 0;
+  double delta = 0.0;
+  size_t medoid = 0;
+  bool alive = true;
+
+  size_t Deficit() const {
+    return members.size() >= static_cast<size_t>(k)
+               ? 0
+               : static_cast<size_t>(k) - members.size();
+  }
+};
+
+class PairCache {
+ public:
+  PairCache(const Dataset& dataset, const DistanceConfig& config)
+      : dataset_(dataset), config_(config), n_(dataset.size()) {}
+
+  double Get(size_t i, size_t j) {
+    if (i == j) {
+      return 0.0;
+    }
+    const uint64_t key = i < j ? static_cast<uint64_t>(i) * n_ + j
+                               : static_cast<uint64_t>(j) * n_ + i;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    const double d = ClusterDistance(dataset_[i], dataset_[j], config_);
+    cache_.emplace(key, d);
+    return d;
+  }
+
+ private:
+  const Dataset& dataset_;
+  const DistanceConfig& config_;
+  uint64_t n_;
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+size_t ElectMedoid(const std::vector<size_t>& members, PairCache* distances) {
+  if (members.size() <= 2) {
+    return members.front();
+  }
+  size_t best = members.front();
+  double best_sum = std::numeric_limits<double>::infinity();
+  for (size_t candidate : members) {
+    double sum = 0.0;
+    for (size_t other : members) {
+      sum += distances->Get(candidate, other);
+    }
+    if (sum < best_sum) {
+      best_sum = sum;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<ClusteringOutcome> AgglomerativeClustering(const Dataset& dataset,
+                                                  size_t trash_max,
+                                                  const WcopOptions& options) {
+  const size_t n = dataset.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot cluster an empty dataset");
+  }
+  if (options.radius_max <= 0.0) {
+    return Status::InvalidArgument("radius_max must be positive");
+  }
+  if (options.radius_growth <= 1.0) {
+    return Status::InvalidArgument("radius_growth must exceed 1");
+  }
+
+  PairCache distances(dataset, options.distance);
+  double radius_max = options.radius_max;
+
+  for (size_t round = 0; round < options.max_clustering_rounds; ++round) {
+    std::vector<WorkingCluster> clusters(n);
+    for (size_t i = 0; i < n; ++i) {
+      clusters[i].members = {i};
+      clusters[i].k = dataset[i].requirement().k;
+      clusters[i].delta = dataset[i].requirement().delta;
+      clusters[i].medoid = i;
+    }
+
+    // Deficit-driven merging.
+    while (true) {
+      // Most deficient live cluster.
+      size_t worst = n;
+      size_t worst_deficit = 0;
+      for (size_t c = 0; c < clusters.size(); ++c) {
+        if (clusters[c].alive && clusters[c].Deficit() > worst_deficit) {
+          worst_deficit = clusters[c].Deficit();
+          worst = c;
+        }
+      }
+      if (worst == n) {
+        break;  // all requirements met
+      }
+      // Nearest live partner within radius_max (medoid distance).
+      size_t partner = n;
+      double partner_dist = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < clusters.size(); ++c) {
+        if (c == worst || !clusters[c].alive) {
+          continue;
+        }
+        const double d =
+            distances.Get(clusters[worst].medoid, clusters[c].medoid);
+        if (d <= radius_max && d < partner_dist) {
+          partner_dist = d;
+          partner = c;
+        }
+      }
+      if (partner == n) {
+        // Unsatisfiable within the radius: retire the cluster (its members
+        // head for the trash this round).
+        clusters[worst].alive = false;
+        clusters[worst].k = -1;  // mark as trashed
+        continue;
+      }
+      // Merge partner into worst.
+      WorkingCluster& dst = clusters[worst];
+      WorkingCluster& src = clusters[partner];
+      dst.members.insert(dst.members.end(), src.members.begin(),
+                         src.members.end());
+      dst.k = std::max(dst.k, src.k);
+      dst.delta = std::min(dst.delta, src.delta);
+      dst.medoid = ElectMedoid(dst.members, &distances);
+      src.alive = false;
+      src.members.clear();
+    }
+
+    ClusteringOutcome outcome;
+    for (const WorkingCluster& c : clusters) {
+      if (c.k == -1) {
+        for (size_t m : c.members) {
+          outcome.trash.push_back(m);
+        }
+        continue;
+      }
+      if (!c.alive || c.members.empty()) {
+        continue;
+      }
+      AnonymityCluster out;
+      out.pivot = c.medoid;
+      out.members = c.members;
+      out.k = c.k;
+      out.delta = c.delta;
+      outcome.clusters.push_back(std::move(out));
+    }
+    outcome.rounds = round + 1;
+    outcome.final_radius = radius_max;
+    if (outcome.trash.size() <= trash_max) {
+      return outcome;
+    }
+    radius_max *= options.radius_growth;
+  }
+
+  return Status::Unsatisfiable(
+      "agglomerative clustering could not meet trash_max=" +
+      std::to_string(trash_max) + " within " +
+      std::to_string(options.max_clustering_rounds) + " radius relaxations");
+}
+
+}  // namespace wcop

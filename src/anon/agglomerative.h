@@ -1,0 +1,34 @@
+#ifndef WCOP_ANON_AGGLOMERATIVE_H_
+#define WCOP_ANON_AGGLOMERATIVE_H_
+
+#include "anon/greedy_clustering.h"
+#include "anon/types.h"
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Personalized agglomerative clustering — the "more sophisticated
+/// clustering method" the paper's conclusion lists as future work,
+/// implemented as a drop-in alternative to WCOP-Clustering.
+///
+/// Every trajectory starts as a singleton cluster carrying its own (k_i,
+/// delta_i). While any cluster's size is below its k (the max over its
+/// members), the most-deficient cluster merges with its nearest neighbour
+/// cluster (medoid-to-medoid distance) within radius_max. Merging updates
+/// k (max), delta (min) and re-elects the medoid (the member minimizing
+/// the sum of distances to the other members), which then serves as the
+/// translation pivot. Clusters that cannot reach their k within radius_max
+/// fall into the trash; radius_max relaxes geometrically like Algorithm 3
+/// when the trash overflows.
+///
+/// Compared to the paper's random-pivot greedy pass, this trades runtime
+/// (more distance evaluations) for better pivots — medoids instead of
+/// random seeds — and for deficit-driven merge order.
+Result<ClusteringOutcome> AgglomerativeClustering(const Dataset& dataset,
+                                                  size_t trash_max,
+                                                  const WcopOptions& options);
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_AGGLOMERATIVE_H_

@@ -1,0 +1,38 @@
+#include "anon/colocalization.h"
+
+#include <cmath>
+
+namespace wcop {
+
+bool Colocalized(const Trajectory& a, const Trajectory& b, double delta,
+                 double epsilon) {
+  if (a.size() != b.size() || a.empty()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i].t - b[i].t) > epsilon) {
+      return false;
+    }
+    if (SpatialDistance(a[i], b[i]) > delta + epsilon) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool IsAnonymitySet(const std::vector<const Trajectory*>& members, int k,
+                    double delta, double epsilon) {
+  if (members.size() < static_cast<size_t>(k)) {
+    return false;
+  }
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      if (!Colocalized(*members[i], *members[j], delta, epsilon)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace wcop

@@ -1,0 +1,29 @@
+#ifndef WCOP_ANON_COLOCALIZATION_H_
+#define WCOP_ANON_COLOCALIZATION_H_
+
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace wcop {
+
+/// Definition 2: two trajectories defined over the same interval are
+/// co-localized w.r.t. delta when their synchronized spatial distance never
+/// exceeds delta. Because the library's translation phase aligns every
+/// member onto the pivot's timestamps and both sides interpolate linearly,
+/// checking at the shared sample timestamps is exact (the distance between
+/// two linear interpolants on a common segment is maximized at an endpoint).
+///
+/// Returns false when the trajectories have different sizes or timestamp
+/// sequences (they are not aligned, hence not a translation-phase output).
+bool Colocalized(const Trajectory& a, const Trajectory& b, double delta,
+                 double epsilon = 1e-6);
+
+/// Definition 3: S is a (k,delta)-anonymity set iff |S| >= k and all pairs
+/// are co-localized w.r.t. delta.
+bool IsAnonymitySet(const std::vector<const Trajectory*>& members, int k,
+                    double delta, double epsilon = 1e-6);
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_COLOCALIZATION_H_

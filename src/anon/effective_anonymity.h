@@ -1,0 +1,35 @@
+#ifndef WCOP_ANON_EFFECTIVE_ANONYMITY_H_
+#define WCOP_ANON_EFFECTIVE_ANONYMITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Measures the anonymity a published dataset *actually* provides, without
+/// trusting any cluster metadata: for each published trajectory, count the
+/// published trajectories (including itself) it is co-localized with
+/// w.r.t. delta over a shared timeline. A trajectory published inside an
+/// intact (k,delta)-anonymity set scores >= k; a trajectory that ended up
+/// alone scores 1 — a privacy leak this auditor surfaces no matter what
+/// the publisher claims.
+struct EffectiveAnonymityReport {
+  std::vector<size_t> counts;     ///< aligned with the published dataset
+  size_t min_anonymity = 0;
+  double mean_anonymity = 0.0;
+  /// Fraction of trajectories whose effective anonymity is below their own
+  /// declared k requirement (0 = the publication honours everyone).
+  double violation_fraction = 0.0;
+};
+
+/// Computes the report. `delta` is the co-localization diameter to audit
+/// at; pass each trajectory's own requirement delta by setting
+/// `use_personal_delta` (then `delta` is ignored).
+EffectiveAnonymityReport MeasureEffectiveAnonymity(
+    const Dataset& published, double delta, bool use_personal_delta = false);
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_EFFECTIVE_ANONYMITY_H_

@@ -1,0 +1,211 @@
+#include "anon/greedy_clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace wcop {
+
+namespace {
+
+/// Memoizes symmetric pairwise distances across radius-relaxation rounds
+/// (the distance function is deterministic, so recomputation is pure waste).
+class PairDistanceCache {
+ public:
+  PairDistanceCache(const Dataset& dataset, const DistanceConfig& config)
+      : dataset_(dataset), config_(config), n_(dataset.size()) {}
+
+  double Get(size_t i, size_t j) {
+    if (i == j) {
+      return 0.0;
+    }
+    const uint64_t key = i < j ? static_cast<uint64_t>(i) * n_ + j
+                               : static_cast<uint64_t>(j) * n_ + i;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      return it->second;
+    }
+    const double d = ClusterDistance(dataset_[i], dataset_[j], config_);
+    cache_.emplace(key, d);
+    return d;
+  }
+
+ private:
+  const Dataset& dataset_;
+  const DistanceConfig& config_;
+  uint64_t n_;
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace
+
+Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
+                                           size_t trash_max,
+                                           const WcopOptions& options) {
+  const size_t n = dataset.size();
+  if (n == 0) {
+    return Status::InvalidArgument("cannot cluster an empty dataset");
+  }
+  if (options.radius_max <= 0.0) {
+    return Status::InvalidArgument("radius_max must be positive");
+  }
+  if (options.radius_growth <= 1.0) {
+    return Status::InvalidArgument("radius_growth must exceed 1");
+  }
+
+  PairDistanceCache distances(dataset, options.distance);
+  Rng rng(options.seed);
+  double radius_max = options.radius_max;
+
+  ClusteringOutcome best;
+  size_t best_trash = std::numeric_limits<size_t>::max();
+
+  for (size_t round = 0; round < options.max_clustering_rounds; ++round) {
+    std::vector<bool> active(n, true);
+    std::vector<bool> clustered(n, false);
+    std::vector<size_t> active_list(n);
+    for (size_t i = 0; i < n; ++i) {
+      active_list[i] = i;
+    }
+    std::vector<AnonymityCluster> clusters;
+
+    // --- Phase 1: pivot selection and cluster growth (lines 3-19). ---
+    std::vector<size_t> chosen_pivots;
+    while (!active_list.empty()) {
+      // Pivot selection: random (Algorithm 3) or farthest-first (the W4M
+      // heuristic, exposed as an ablation).
+      size_t pivot;
+      if (options.pivot_policy == WcopOptions::PivotPolicy::kFarthestFirst &&
+          !chosen_pivots.empty()) {
+        pivot = active_list[0];
+        double best_score = -1.0;
+        for (size_t cand : active_list) {
+          double nearest_pivot = std::numeric_limits<double>::infinity();
+          for (size_t p : chosen_pivots) {
+            nearest_pivot = std::min(nearest_pivot, distances.Get(p, cand));
+          }
+          if (nearest_pivot > best_score) {
+            best_score = nearest_pivot;
+            pivot = cand;
+          }
+        }
+      } else {
+        pivot = active_list[rng.UniformIndex(active_list.size())];
+      }
+      chosen_pivots.push_back(pivot);
+
+      AnonymityCluster cluster;
+      cluster.pivot = pivot;
+      cluster.members.push_back(pivot);
+      cluster.k = dataset[pivot].requirement().k;
+      cluster.delta = dataset[pivot].requirement().delta;
+
+      // Distances from the pivot to every unclustered candidate, nearest
+      // first (the pivot's NN pool of line 8 is D - Clustered).
+      std::vector<std::pair<double, size_t>> pool;
+      pool.reserve(n);
+      for (size_t cand = 0; cand < n; ++cand) {
+        if (cand == pivot || clustered[cand]) {
+          continue;
+        }
+        pool.emplace_back(distances.Get(pivot, cand), cand);
+      }
+      std::sort(pool.begin(), pool.end());
+
+      size_t next_candidate = 0;
+      bool grown = true;
+      while (static_cast<size_t>(cluster.k) > cluster.members.size()) {
+        if (next_candidate >= pool.size()) {
+          grown = false;  // not enough unclustered trajectories remain
+          break;
+        }
+        const size_t nn = pool[next_candidate].second;
+        ++next_candidate;
+        cluster.members.push_back(nn);
+        cluster.k = std::max(cluster.k, dataset[nn].requirement().k);
+        cluster.delta = std::min(cluster.delta, dataset[nn].requirement().delta);
+      }
+
+      // Acceptance test (line 13): pivot-to-member radius within bounds.
+      double radius = 0.0;
+      for (size_t m : cluster.members) {
+        radius = std::max(radius, distances.Get(pivot, m));
+      }
+      if (grown && radius <= radius_max) {
+        for (size_t m : cluster.members) {
+          clustered[m] = true;
+          active[m] = false;
+        }
+        clusters.push_back(std::move(cluster));
+        // Compact the active list.
+        active_list.erase(
+            std::remove_if(active_list.begin(), active_list.end(),
+                           [&](size_t idx) { return !active[idx]; }),
+            active_list.end());
+      } else {
+        // Reject: only the pivot leaves the active set (line 18).
+        active[pivot] = false;
+        active_list.erase(
+            std::remove(active_list.begin(), active_list.end(), pivot),
+            active_list.end());
+      }
+    }
+
+    // --- Phase 2: leftover assignment (lines 20-26). ---
+    std::vector<size_t> trash;
+    for (size_t idx = 0; idx < n; ++idx) {
+      if (clustered[idx]) {
+        continue;
+      }
+      const Requirement& req = dataset[idx].requirement();
+      double best_dist = std::numeric_limits<double>::infinity();
+      AnonymityCluster* best_cluster = nullptr;
+      for (AnonymityCluster& cluster : clusters) {
+        // Eligibility: the cluster (including tau itself) satisfies tau's k,
+        // and tau's delta tolerance is no stricter than the cluster's delta.
+        if (cluster.members.size() + 1 < static_cast<size_t>(req.k)) {
+          continue;
+        }
+        if (cluster.delta > req.delta) {
+          continue;
+        }
+        const double d = distances.Get(cluster.pivot, idx);
+        if (d <= radius_max && d < best_dist) {
+          best_dist = d;
+          best_cluster = &cluster;
+        }
+      }
+      if (best_cluster != nullptr) {
+        best_cluster->members.push_back(idx);
+        best_cluster->k = std::max(best_cluster->k, req.k);
+      } else {
+        trash.push_back(idx);
+      }
+    }
+
+    if (trash.size() < best_trash) {
+      best_trash = trash.size();
+      best.clusters = clusters;
+      best.trash = trash;
+      best.rounds = round + 1;
+      best.final_radius = radius_max;
+    }
+    if (trash.size() <= trash_max) {
+      ClusteringOutcome out;
+      out.clusters = std::move(clusters);
+      out.trash = std::move(trash);
+      out.rounds = round + 1;
+      out.final_radius = radius_max;
+      return out;
+    }
+    radius_max *= options.radius_growth;  // line 27: increase(radius_max)
+  }
+
+  return Status::Unsatisfiable(
+      "clustering could not meet trash_max=" + std::to_string(trash_max) +
+      " within " + std::to_string(options.max_clustering_rounds) +
+      " radius relaxations (best trash: " + std::to_string(best_trash) + ")");
+}
+
+}  // namespace wcop

@@ -1,0 +1,42 @@
+#ifndef WCOP_ANON_GREEDY_CLUSTERING_H_
+#define WCOP_ANON_GREEDY_CLUSTERING_H_
+
+#include <vector>
+
+#include "anon/types.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Output of WCOP-Clustering (Algorithm 3).
+struct ClusteringOutcome {
+  std::vector<AnonymityCluster> clusters;
+  std::vector<size_t> trash;     ///< indices of suppressed trajectories
+  size_t rounds = 0;             ///< radius relaxations performed + 1
+  double final_radius = 0.0;     ///< the radius_max that produced the result
+};
+
+/// WCOP-Clustering: greedy pivot-based clustering with per-cluster (k,delta)
+/// maintenance (Algorithm 3 of the paper).
+///
+/// Repeatedly: pick a random unvisited pivot, grow its candidate cluster
+/// with nearest unclustered neighbours while updating the cluster's k
+/// (max of members) and delta (min of members) until |C| >= C.k; accept the
+/// cluster when the pivot-to-member radius stays within radius_max.
+/// Afterwards, leftovers join the nearest compatible pivot's cluster
+/// (size >= tau.k - 1, cluster delta <= tau.delta, distance <= radius_max)
+/// or fall into the trash. When the trash exceeds trash_max, radius_max is
+/// relaxed geometrically and the whole process restarts.
+///
+/// Fails with Status::Unsatisfiable when max_clustering_rounds relaxations
+/// still leave more than trash_max trajectories unassigned (e.g. some k_i
+/// exceeds |D|).
+Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
+                                           size_t trash_max,
+                                           const WcopOptions& options);
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_GREEDY_CLUSTERING_H_

@@ -1,0 +1,222 @@
+#include "anon/mahdavifar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <numeric>
+
+#include "anon/metrics.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "distance/edr.h"
+
+namespace wcop {
+
+namespace {
+
+/// Matching-point representative: resample every member onto the
+/// centroid's timeline and average the positions per timestamp.
+Trajectory MatchingPointRepresentative(const Dataset& dataset,
+                                       const std::vector<size_t>& members,
+                                       size_t centroid) {
+  const Trajectory& center = dataset[centroid];
+  std::vector<Point> rep;
+  rep.reserve(center.size());
+  for (const Point& cp : center.points()) {
+    double sx = 0.0, sy = 0.0;
+    for (size_t m : members) {
+      const Point p = dataset[m].PositionAt(cp.t);
+      sx += p.x;
+      sy += p.y;
+    }
+    const double n = static_cast<double>(members.size());
+    rep.push_back(Point(sx / n, sy / n, cp.t));
+  }
+  return Trajectory(center.id(), std::move(rep));
+}
+
+}  // namespace
+
+Result<AnonymizationResult> RunMahdavifar(const Dataset& dataset,
+                                          const MahdavifarOptions& options) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  Stopwatch timer;
+  const size_t n = dataset.size();
+  const double radius = std::max(dataset.Bounds().HalfDiagonal(), 1.0);
+  const size_t trash_max = static_cast<size_t>(
+      options.trash_fraction * static_cast<double>(n));
+
+  // EDR configuration matches the WCOP drivers so comparisons are fair.
+  DistanceConfig config;
+  config.kind = DistanceConfig::Kind::kEdr;
+  config.edr_scale = radius;
+  double delta_max = 0.0;
+  for (const Trajectory& t : dataset.trajectories()) {
+    delta_max = std::max(delta_max, t.requirement().delta);
+  }
+  if (delta_max <= 0.0) {
+    delta_max = 0.03 * radius;
+  }
+  config.tolerance = EdrTolerance::FromDeltaMax(
+      delta_max, dataset.ComputeStats().avg_speed);
+
+  Rng rng(options.seed);
+  double threshold = options.distance_threshold_fraction * radius;
+
+  std::vector<AnonymityCluster> best_clusters;
+  std::vector<size_t> best_trash;
+  size_t best_trash_size = std::numeric_limits<size_t>::max();
+  size_t rounds_used = 0;
+  double threshold_used = threshold;
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    rounds_used = round + 1;
+    // Group trajectory indices by privacy level, highest level first.
+    std::map<int, std::vector<size_t>, std::greater<int>> by_level;
+    for (size_t i = 0; i < n; ++i) {
+      by_level[dataset[i].requirement().k].push_back(i);
+    }
+    std::vector<bool> clustered(n, false);
+    std::vector<AnonymityCluster> clusters;
+    std::vector<size_t> trash;
+
+    for (auto& [level, group] : by_level) {
+      std::shuffle(group.begin(), group.end(), rng.engine());
+      for (size_t centroid : group) {
+        if (clustered[centroid]) {
+          continue;
+        }
+        AnonymityCluster cluster;
+        cluster.pivot = centroid;
+        cluster.members.push_back(centroid);
+        cluster.k = dataset[centroid].requirement().k;
+
+        // Candidates: all unclustered trajectories within the threshold,
+        // from this and progressively lower privacy groups (the map is
+        // already ordered highest-first, and candidates from *higher*
+        // groups were consumed by earlier iterations or are admissible
+        // anyway — the original algorithm searches lower groups).
+        std::vector<std::pair<double, size_t>> candidates;
+        for (size_t cand = 0; cand < n; ++cand) {
+          if (cand == centroid || clustered[cand]) {
+            continue;
+          }
+          const double d =
+              ClusterDistance(dataset[centroid], dataset[cand], config);
+          if (d <= threshold) {
+            candidates.emplace_back(d, cand);
+          }
+        }
+        std::sort(candidates.begin(), candidates.end());
+        size_t next = 0;
+        while (static_cast<size_t>(cluster.k) > cluster.members.size() &&
+               next < candidates.size()) {
+          const size_t cand = candidates[next++].second;
+          cluster.members.push_back(cand);
+          cluster.k = std::max(cluster.k, dataset[cand].requirement().k);
+        }
+        if (static_cast<size_t>(cluster.k) <= cluster.members.size()) {
+          for (size_t m : cluster.members) {
+            clustered[m] = true;
+          }
+          clusters.push_back(std::move(cluster));
+        }
+        // else: centroid stays unclustered; it may join another cluster.
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!clustered[i]) {
+        trash.push_back(i);
+      }
+    }
+    if (trash.size() < best_trash_size) {
+      best_trash_size = trash.size();
+      best_clusters = clusters;
+      best_trash = trash;
+      threshold_used = threshold;
+    }
+    if (trash.size() <= trash_max) {
+      break;
+    }
+    threshold *= options.threshold_growth;
+  }
+  if (best_trash_size > trash_max) {
+    return Status::Unsatisfiable(
+        "Mahdavifar clustering left " + std::to_string(best_trash_size) +
+        " trajectories unclustered (trash_max " + std::to_string(trash_max) +
+        ")");
+  }
+
+  // Anonymization: every member is replaced by the cluster representative
+  // (full generalization), keeping its own id/metadata.
+  AnonymizationResult result;
+  result.clusters = best_clusters;
+  std::vector<const Trajectory*> sanitized_of(n, nullptr);
+  std::vector<Trajectory> storage;
+  size_t published = 0;
+  for (const AnonymityCluster& c : best_clusters) {
+    published += c.members.size();
+  }
+  storage.reserve(published);
+
+  double max_translation = 0.0;
+  for (AnonymityCluster& cluster : result.clusters) {
+    const Trajectory rep =
+        MatchingPointRepresentative(dataset, cluster.members, cluster.pivot);
+    // Achieved co-localization diameter: members collapse onto one curve,
+    // so the published diameter is 0; report the *displacement* diameter
+    // (how far members moved) as the cluster's effective delta.
+    double max_disp = 0.0;
+    for (size_t m : cluster.members) {
+      Trajectory out(dataset[m].id(), rep.points(),
+                     dataset[m].requirement());
+      out.set_object_id(dataset[m].object_id());
+      out.set_parent_id(dataset[m].parent_id());
+      for (const Point& p : rep.points()) {
+        max_disp = std::max(
+            max_disp, SpatialDistance(dataset[m].PositionAt(p.t), p));
+      }
+      storage.push_back(std::move(out));
+      sanitized_of[m] = &storage.back();
+    }
+    cluster.delta = max_disp * 2.0;
+    max_translation = std::max(max_translation, max_disp);
+  }
+  double omega = max_translation;
+  if (omega <= 0.0) {
+    omega = radius;
+  }
+
+  AnonymizationReport& report = result.report;
+  report.input_trajectories = n;
+  report.num_clusters = result.clusters.size();
+  report.trashed_trajectories = best_trash.size();
+  for (size_t idx : best_trash) {
+    result.trashed_ids.push_back(dataset[idx].id());
+    report.trashed_points += dataset[idx].size();
+  }
+  report.discernibility =
+      Discernibility(result.clusters, best_trash.size(), n);
+  report.omega = omega;
+  report.ttd = TotalTranslationDistortion(dataset, sanitized_of, omega);
+  report.total_distortion = report.ttd;
+  report.clustering_rounds = rounds_used;
+  report.final_radius = threshold_used;
+
+  std::vector<Trajectory> published_trajectories;
+  published_trajectories.reserve(published);
+  for (size_t i = 0; i < n; ++i) {
+    if (sanitized_of[i] != nullptr) {
+      published_trajectories.push_back(*sanitized_of[i]);
+    }
+  }
+  result.sanitized = Dataset(std::move(published_trajectories));
+  result.report.runtime_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace wcop

@@ -1,0 +1,49 @@
+#ifndef WCOP_ANON_MAHDAVIFAR_H_
+#define WCOP_ANON_MAHDAVIFAR_H_
+
+#include "anon/types.h"
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// The clustering-based personalized baseline of Mahdavifar, Abadi, Kahani
+/// & Mahdikhani (NSS 2012) — the closest prior work the paper compares
+/// against conceptually (Section 2).
+///
+/// Differences from WCOP: each trajectory has a personal privacy level k_i
+/// but *no* quality bound delta_i. Trajectories are grouped by privacy
+/// level; clusters grow around random centroids with nearest neighbours
+/// (EDR distance below a threshold), drawing from progressively
+/// lower-privacy groups until the cluster's maximum k is satisfied.
+/// Each cluster is then anonymized by *full generalization*: a matching-
+/// point representative trajectory replaces every member.
+///
+/// The paper's critique — which this implementation lets you measure — is
+/// the compulsory privacy/quality trade-off: members cannot bound their
+/// displacement, so users with strict k suffer unbounded utility loss.
+struct MahdavifarOptions {
+  /// Neighbour admission threshold as a fraction of the dataset radius
+  /// (applied to normalized EDR x radius, as in DistanceConfig).
+  double distance_threshold_fraction = 0.5;
+
+  /// Relaxation factor applied to the threshold when clusters cannot be
+  /// completed (mirrors WCOP's radius relaxation).
+  double threshold_growth = 1.5;
+  size_t max_rounds = 16;
+
+  double trash_fraction = 0.10;
+  uint64_t seed = 7;
+};
+
+/// Runs the baseline. The returned report fills the same fields as the
+/// WCOP algorithms (distortion, discernibility, ...) so benches can compare
+/// rows directly. Cluster `delta` in the result is the *achieved*
+/// co-localization diameter (max member-to-representative distance x2),
+/// since the algorithm has no delta input.
+Result<AnonymizationResult> RunMahdavifar(const Dataset& dataset,
+                                          const MahdavifarOptions& options = {});
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_MAHDAVIFAR_H_

@@ -1,0 +1,86 @@
+#include "anon/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wcop {
+
+double TranslationDistortion(const Trajectory& original,
+                             const Trajectory& sanitized, double omega) {
+  if (sanitized.empty()) {
+    return static_cast<double>(original.size()) * omega;
+  }
+  double total = 0.0;
+  for (const Point& p : sanitized.points()) {
+    total += SpatialDistance(original.PositionAt(p.t), p);
+  }
+  return total;
+}
+
+double TotalTranslationDistortion(
+    const Dataset& original,
+    const std::vector<const Trajectory*>& sanitized_of, double omega) {
+  double total = 0.0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    const Trajectory* sanitized =
+        i < sanitized_of.size() ? sanitized_of[i] : nullptr;
+    if (sanitized == nullptr) {
+      total += static_cast<double>(original[i].size()) * omega;
+    } else {
+      total += TranslationDistortion(original[i], *sanitized, omega);
+    }
+  }
+  return total;
+}
+
+double Discernibility(const std::vector<AnonymityCluster>& clusters,
+                      size_t trash_size, size_t dataset_size) {
+  double total = 0.0;
+  for (const AnonymityCluster& c : clusters) {
+    const double size = static_cast<double>(c.members.size());
+    total += size * size;
+  }
+  total += static_cast<double>(trash_size) * static_cast<double>(dataset_size);
+  return total;
+}
+
+double Demandingness(const Requirement& req, int k_max, double delta_min,
+                     double w1, double w2) {
+  double value = 0.0;
+  if (k_max >= 1) {
+    value += w1 * static_cast<double>(req.k) / static_cast<double>(k_max);
+  }
+  if (req.delta > 0.0 && delta_min > 0.0) {
+    value += w2 * delta_min / req.delta;
+  }
+  return value;
+}
+
+std::vector<double> DatasetDemandingness(const Dataset& dataset, double w1,
+                                         double w2) {
+  const int k_max = dataset.MaxK();
+  const double delta_min = dataset.MinDelta();
+  std::vector<double> out;
+  out.reserve(dataset.size());
+  for (const Trajectory& t : dataset.trajectories()) {
+    out.push_back(Demandingness(t.requirement(), k_max, delta_min, w1, w2));
+  }
+  return out;
+}
+
+double EditCost(double demandingness, double threshold_demandingness,
+                double max_demandingness) {
+  const double denom = max_demandingness - threshold_demandingness;
+  if (denom <= 0.0) {
+    return 0.0;  // Eq. 4's "otherwise" branch
+  }
+  return std::clamp((demandingness - threshold_demandingness) / denom, 0.0,
+                    1.0);
+}
+
+double EditingDistortion(size_t trajectory_points, double omega,
+                         double edit_cost) {
+  return static_cast<double>(trajectory_points) * omega * edit_cost;
+}
+
+}  // namespace wcop

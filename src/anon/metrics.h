@@ -1,0 +1,58 @@
+#ifndef WCOP_ANON_METRICS_H_
+#define WCOP_ANON_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "anon/types.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Translation distortion of one trajectory (Definition 5, Eq. 1):
+/// the sum of point-wise spatial distances between the sanitized points and
+/// the original trajectory evaluated (by linear interpolation) at the same
+/// timestamps. A suppressed trajectory (empty sanitized version) costs
+/// |tau| * omega.
+double TranslationDistortion(const Trajectory& original,
+                             const Trajectory& sanitized, double omega);
+
+/// Total translation distortion over the dataset (Eq. 2). `sanitized_of`
+/// maps each original index to its sanitized trajectory, or nullptr when
+/// trashed.
+double TotalTranslationDistortion(
+    const Dataset& original,
+    const std::vector<const Trajectory*>& sanitized_of, double omega);
+
+/// Discernibility metric (Bayardo & Agrawal, referenced as Eq. for DC in
+/// Section 6.2): sum over clusters of |C|^2 plus |Trash| * |D|. Lower is
+/// better (more elements indistinguishable at lower cost).
+double Discernibility(const std::vector<AnonymityCluster>& clusters,
+                      size_t trash_size, size_t dataset_size);
+
+/// Dataset-aware demandingness of a trajectory (Definition 6, Eq. 3):
+///   ddem = w1 * k/k_max + w2 * delta_min/delta.
+/// Requires k_max >= 1 and delta > 0, delta_min > 0; degenerate inputs
+/// contribute 0 to the respective component.
+double Demandingness(const Requirement& req, int k_max, double delta_min,
+                     double w1 = 0.5, double w2 = 0.5);
+
+/// Demandingness of every trajectory in the dataset (k_max / delta_min are
+/// taken from the dataset itself, as Definition 6 prescribes).
+std::vector<double> DatasetDemandingness(const Dataset& dataset,
+                                         double w1 = 0.5, double w2 = 0.5);
+
+/// Trajectory edit cost (Definition 7, Eq. 4): how far the trajectory's
+/// demandingness sits above the threshold trajectory's, normalized by the
+/// gap between the dataset maximum and the threshold. Clamped to [0, 1].
+double EditCost(double demandingness, double threshold_demandingness,
+                double max_demandingness);
+
+/// Distortion contributed by one edited trajectory (Definition 8, Eq. 5):
+/// |tau| * omega * cost_edit.
+double EditingDistortion(size_t trajectory_points, double omega,
+                         double edit_cost);
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_METRICS_H_

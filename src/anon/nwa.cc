@@ -1,0 +1,278 @@
+#include "anon/nwa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "anon/greedy_clustering.h"
+#include "anon/metrics.h"
+#include "anon/wcop_ct.h"
+#include "common/stopwatch.h"
+#include "geo/disk.h"
+
+namespace wcop {
+
+namespace {
+
+/// NWA's spatial-only translation: resample onto the pivot's timeline and
+/// clamp into the delta/2 disk.
+struct StatsLite {
+  double spatial = 0.0;
+  double max_move = 0.0;
+  size_t points = 0;
+};
+
+Trajectory SpatialTranslateImpl(const Trajectory& traj,
+                                const Trajectory& pivot, double delta,
+                                StatsLite* stats) {
+  const double radius = std::max(delta, 0.0) / 2.0;
+  std::vector<Point> out;
+  out.reserve(pivot.size());
+  for (const Point& pc : pivot.points()) {
+    const Point original = traj.PositionAt(pc.t);
+    const Point moved = ClampIntoDisk(original, pc, radius, pc.t);
+    const double displacement = SpatialDistance(original, moved);
+    stats->spatial += displacement;
+    stats->max_move = std::max(stats->max_move, displacement);
+    ++stats->points;
+    out.push_back(moved);
+  }
+  Trajectory sanitized(traj.id(), std::move(out), traj.requirement());
+  sanitized.set_object_id(traj.object_id());
+  sanitized.set_parent_id(traj.parent_id());
+  return sanitized;
+}
+
+}  // namespace
+
+Result<AnonymizationResult> RunNwa(const Dataset& dataset, int k, double delta,
+                                   const WcopOptions& options) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  if (k < 1 || delta < 0.0) {
+    return Status::InvalidArgument("need k >= 1 and delta >= 0");
+  }
+  Stopwatch timer;
+
+  Dataset uniform = dataset;
+  for (Trajectory& t : uniform.mutable_trajectories()) {
+    t.set_requirement(Requirement{k, delta});
+  }
+
+  WcopOptions resolved = options;
+  resolved.distance.kind = DistanceConfig::Kind::kSynchronizedEuclidean;
+  resolved = ResolveOptions(uniform, resolved);
+  const size_t trash_max = std::min(
+      resolved.trash_max_override,
+      static_cast<size_t>(resolved.trash_fraction *
+                          static_cast<double>(uniform.size())));
+
+  WCOP_ASSIGN_OR_RETURN(ClusteringOutcome outcome,
+                        GreedyClustering(uniform, trash_max, resolved));
+
+  // Spatial-only translation phase.
+  StatsLite stats;
+  std::vector<const Trajectory*> sanitized_of(uniform.size(), nullptr);
+  std::vector<Trajectory> storage;
+  size_t published = 0;
+  for (const AnonymityCluster& c : outcome.clusters) {
+    published += c.members.size();
+  }
+  storage.reserve(published);
+  for (const AnonymityCluster& cluster : outcome.clusters) {
+    const Trajectory& pivot = uniform[cluster.pivot];
+    for (size_t member : cluster.members) {
+      storage.push_back(
+          SpatialTranslateImpl(uniform[member], pivot, cluster.delta, &stats));
+      sanitized_of[member] = &storage.back();
+    }
+  }
+
+  double omega = stats.max_move;
+  if (omega <= 0.0) {
+    omega = std::max(uniform.Bounds().HalfDiagonal(), 1.0);
+  }
+
+  AnonymizationResult result;
+  result.clusters = outcome.clusters;
+  for (size_t idx : outcome.trash) {
+    result.trashed_ids.push_back(uniform[idx].id());
+    result.report.trashed_points += uniform[idx].size();
+  }
+  AnonymizationReport& report = result.report;
+  report.input_trajectories = uniform.size();
+  report.num_clusters = outcome.clusters.size();
+  report.trashed_trajectories = outcome.trash.size();
+  report.discernibility =
+      Discernibility(outcome.clusters, outcome.trash.size(), uniform.size());
+  report.total_spatial_translation = stats.spatial;
+  report.avg_spatial_translation =
+      stats.spatial / std::max<double>(1.0, static_cast<double>(published));
+  report.omega = omega;
+  report.ttd = TotalTranslationDistortion(uniform, sanitized_of, omega);
+  report.total_distortion = report.ttd;
+  report.clustering_rounds = outcome.rounds;
+  report.final_radius = outcome.final_radius;
+
+  std::vector<Trajectory> published_trajectories;
+  published_trajectories.reserve(published);
+  for (size_t i = 0; i < uniform.size(); ++i) {
+    if (sanitized_of[i] != nullptr) {
+      published_trajectories.push_back(*sanitized_of[i]);
+    }
+  }
+  result.sanitized = Dataset(std::move(published_trajectories));
+  result.report.runtime_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+NwaPreprocessResult NwaPreprocess(const Dataset& dataset,
+                                  double period_seconds, size_t min_points,
+                                  size_t min_class_size) {
+  NwaPreprocessResult result;
+  if (period_seconds <= 0.0) {
+    period_seconds = 1.0;
+  }
+  // Class key: (first whole period, last whole period).
+  std::map<std::pair<int64_t, int64_t>, std::vector<Trajectory>> classes;
+  for (const Trajectory& t : dataset.trajectories()) {
+    // Trim to whole periods: keep points in [ceil(start/p)*p,
+    // floor(end/p)*p].
+    const double lo =
+        std::ceil(t.StartTime() / period_seconds) * period_seconds;
+    const double hi =
+        std::floor(t.EndTime() / period_seconds) * period_seconds;
+    std::vector<Point> kept;
+    for (const Point& p : t.points()) {
+      if (p.t >= lo && p.t <= hi) {
+        kept.push_back(p);
+      } else {
+        ++result.trimmed_points;
+      }
+    }
+    if (kept.size() < std::max<size_t>(min_points, 2)) {
+      ++result.dropped_trajectories;
+      result.trimmed_points += kept.size();
+      continue;
+    }
+    const int64_t first_period =
+        static_cast<int64_t>(std::llround(lo / period_seconds));
+    const int64_t last_period =
+        static_cast<int64_t>(std::llround(hi / period_seconds));
+    Trajectory trimmed(t.id(), std::move(kept), t.requirement());
+    trimmed.set_object_id(t.object_id());
+    trimmed.set_parent_id(t.parent_id());
+    classes[{first_period, last_period}].push_back(std::move(trimmed));
+  }
+  for (auto& [key, members] : classes) {
+    if (members.size() < min_class_size) {
+      result.dropped_trajectories += members.size();
+      continue;
+    }
+    result.classes.push_back(Dataset(std::move(members)));
+  }
+  return result;
+}
+
+Result<AnonymizationResult> RunNwaWithPreprocessing(
+    const Dataset& dataset, int k, double delta, double period_seconds,
+    const WcopOptions& options) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  Stopwatch timer;
+  NwaPreprocessResult pre = NwaPreprocess(dataset, period_seconds,
+                                          /*min_points=*/2,
+                                          /*min_class_size=*/
+                                          static_cast<size_t>(std::max(1, k)));
+
+  AnonymizationResult merged;
+  AnonymizationReport& report = merged.report;
+  report.input_trajectories = dataset.size();
+  std::vector<Trajectory> published;
+  std::unordered_set<int64_t> published_ids;
+
+  // Classes are trimmed copies; cluster member indices in the merged
+  // result must refer to the *original* dataset, so build an id -> index
+  // map once.
+  std::unordered_map<int64_t, size_t> index_of;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    index_of[dataset[i].id()] = i;
+  }
+
+  for (const Dataset& klass : pre.classes) {
+    // A class can still be unsatisfiable (too spread out); treat a failed
+    // class as fully trashed rather than failing the whole run.
+    WcopOptions class_options = options;
+    class_options.trash_max_override = klass.size();
+    Result<AnonymizationResult> r = RunNwa(klass, k, delta, class_options);
+    if (!r.ok()) {
+      for (const Trajectory& t : klass.trajectories()) {
+        merged.trashed_ids.push_back(t.id());
+        report.trashed_points += t.size();
+      }
+      continue;
+    }
+    for (const Trajectory& t : r->sanitized.trajectories()) {
+      published.push_back(t);
+      published_ids.insert(t.id());
+    }
+    for (int64_t id : r->trashed_ids) {
+      merged.trashed_ids.push_back(id);
+    }
+    for (const AnonymityCluster& c : r->clusters) {
+      AnonymityCluster remapped;
+      remapped.k = c.k;
+      remapped.delta = c.delta;
+      remapped.pivot = index_of.at(klass[c.pivot].id());
+      for (size_t m : c.members) {
+        remapped.members.push_back(index_of.at(klass[m].id()));
+      }
+      merged.clusters.push_back(std::move(remapped));
+    }
+    report.trashed_points += r->report.trashed_points;
+    report.total_spatial_translation += r->report.total_spatial_translation;
+    report.ttd += r->report.ttd;
+    report.omega = std::max(report.omega, r->report.omega);
+    report.clustering_rounds =
+        std::max(report.clustering_rounds, r->report.clustering_rounds);
+    report.final_radius = std::max(report.final_radius, r->report.final_radius);
+  }
+
+  // Everything the preprocessing dropped is trash in the merged view.
+  for (const Trajectory& t : dataset.trajectories()) {
+    if (!published_ids.count(t.id()) &&
+        std::find(merged.trashed_ids.begin(), merged.trashed_ids.end(),
+                  t.id()) == merged.trashed_ids.end()) {
+      merged.trashed_ids.push_back(t.id());
+      report.trashed_points += t.size();
+    }
+  }
+  report.num_clusters = merged.clusters.size();
+  report.trashed_trajectories = merged.trashed_ids.size();
+  report.discernibility = Discernibility(
+      merged.clusters, merged.trashed_ids.size(), dataset.size());
+  // Charge the trimmed points at Ω, like suppressed points (the price of
+  // NWA's preprocessing).
+  if (report.omega <= 0.0) {
+    report.omega = std::max(dataset.Bounds().HalfDiagonal(), 1.0);
+  }
+  report.ttd += static_cast<double>(pre.trimmed_points) * report.omega;
+  report.deleted_points = pre.trimmed_points;
+  report.total_distortion = report.ttd;
+  const double published_count =
+      std::max<double>(1.0, static_cast<double>(published.size()));
+  report.avg_spatial_translation =
+      report.total_spatial_translation / published_count;
+  merged.sanitized = Dataset(std::move(published));
+  report.runtime_seconds = timer.ElapsedSeconds();
+  return merged;
+}
+
+}  // namespace wcop

@@ -1,0 +1,57 @@
+#ifndef WCOP_ANON_NWA_H_
+#define WCOP_ANON_NWA_H_
+
+#include <vector>
+
+#include "anon/types.h"
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Never Walk Alone (Abul, Bonchi & Nanni, ICDE 2008): the original
+/// (k,delta)-anonymizer that W4M extends. Differences from W4M / WCOP-CT:
+///
+///  * the clustering distance is synchronized Euclidean (not EDR), so two
+///    trajectories must overlap in time to share a cluster;
+///  * the translation is purely *spatial*: each member is resampled onto
+///    the pivot's timestamps by linear interpolation and clamped into the
+///    delta/2 disk — timestamps are never edited and no EDR script is
+///    replayed.
+///
+/// Exposed as a first-class baseline for the ablation benchmarks (the
+/// paper compares against the W4M behaviour via WCOP-NV; NWA completes the
+/// lineage). Uses universal (k, delta) like the original algorithm.
+Result<AnonymizationResult> RunNwa(const Dataset& dataset, int k, double delta,
+                                   const WcopOptions& options = {});
+
+/// NWA's preprocessing: partition the dataset into *equivalence classes* of
+/// trajectories sharing the same quantized time span. Each trajectory is
+/// trimmed to whole periods of `period_seconds` (its first/last partial
+/// periods are dropped) and grouped by its (first period, last period)
+/// pair; trajectories left with fewer than `min_points` points are
+/// discarded. Only classes of at least `min_class_size` trajectories are
+/// emitted (smaller ones cannot host a k-anonymity set anyway and are
+/// reported in `dropped_trajectories`).
+struct NwaPreprocessResult {
+  std::vector<Dataset> classes;
+  size_t dropped_trajectories = 0;
+  size_t trimmed_points = 0;  ///< points removed by period trimming
+};
+NwaPreprocessResult NwaPreprocess(const Dataset& dataset,
+                                  double period_seconds, size_t min_points,
+                                  size_t min_class_size);
+
+/// Full NWA: preprocessing into co-temporal equivalence classes, then the
+/// (k,delta) clustering-and-spatial-translation pass per class, with the
+/// per-class results merged. Trajectories dropped by preprocessing or
+/// belonging to undersized classes are reported as trash. Unlike the bare
+/// RunNwa (which requires temporally overlapping input), this runs on any
+/// dataset — at the price NWA pays: trimmed data.
+Result<AnonymizationResult> RunNwaWithPreprocessing(
+    const Dataset& dataset, int k, double delta, double period_seconds,
+    const WcopOptions& options = {});
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_NWA_H_

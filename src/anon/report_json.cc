@@ -1,0 +1,142 @@
+#include "anon/report_json.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wcop {
+
+namespace {
+
+void AppendField(std::ostringstream& os, const char* key, double value,
+                 bool* first) {
+  if (!*first) {
+    os << ",";
+  }
+  *first = false;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  os << "\"" << key << "\":" << buf;
+}
+
+void AppendField(std::ostringstream& os, const char* key, size_t value,
+                 bool* first) {
+  if (!*first) {
+    os << ",";
+  }
+  *first = false;
+  os << "\"" << key << "\":" << value;
+}
+
+std::string EscapeJson(const std::string& in) {
+  std::string out;
+  out.reserve(in.size() + 8);
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ReportToJson(const AnonymizationReport& report) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  AppendField(os, "input_trajectories", report.input_trajectories, &first);
+  AppendField(os, "num_clusters", report.num_clusters, &first);
+  AppendField(os, "trashed_trajectories", report.trashed_trajectories,
+              &first);
+  AppendField(os, "trashed_points", report.trashed_points, &first);
+  AppendField(os, "discernibility", report.discernibility, &first);
+  AppendField(os, "created_points", report.created_points, &first);
+  AppendField(os, "deleted_points", report.deleted_points, &first);
+  AppendField(os, "total_spatial_translation",
+              report.total_spatial_translation, &first);
+  AppendField(os, "total_temporal_translation",
+              report.total_temporal_translation, &first);
+  AppendField(os, "avg_spatial_translation", report.avg_spatial_translation,
+              &first);
+  AppendField(os, "avg_temporal_translation",
+              report.avg_temporal_translation, &first);
+  AppendField(os, "omega", report.omega, &first);
+  AppendField(os, "ttd", report.ttd, &first);
+  AppendField(os, "editing_distortion", report.editing_distortion, &first);
+  AppendField(os, "total_distortion", report.total_distortion, &first);
+  AppendField(os, "runtime_seconds", report.runtime_seconds, &first);
+  AppendField(os, "clustering_rounds", report.clustering_rounds, &first);
+  AppendField(os, "final_radius", report.final_radius, &first);
+  os << "}";
+  return os.str();
+}
+
+std::string ResultToJson(const AnonymizationResult& result) {
+  std::ostringstream os;
+  os << "{\"report\":" << ReportToJson(result.report) << ",\"clusters\":[";
+  for (size_t i = 0; i < result.clusters.size(); ++i) {
+    const AnonymityCluster& c = result.clusters[i];
+    if (i != 0) {
+      os << ",";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", c.delta);
+    os << "{\"pivot\":" << c.pivot << ",\"size\":" << c.members.size()
+       << ",\"k\":" << c.k << ",\"delta\":" << buf << "}";
+  }
+  os << "],\"trashed_ids\":[";
+  for (size_t i = 0; i < result.trashed_ids.size(); ++i) {
+    if (i != 0) {
+      os << ",";
+    }
+    os << result.trashed_ids[i];
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string VerificationToJson(const VerificationReport& report) {
+  std::ostringstream os;
+  os << "{\"ok\":" << (report.ok ? "true" : "false")
+     << ",\"clusters_checked\":" << report.clusters_checked
+     << ",\"violations\":" << report.violations << ",\"messages\":[";
+  for (size_t i = 0; i < report.messages.size(); ++i) {
+    if (i != 0) {
+      os << ",";
+    }
+    os << "\"" << EscapeJson(report.messages[i]) << "\"";
+  }
+  os << "]}";
+  return os.str();
+}
+
+Status WriteJsonFile(const std::string& json, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << json << "\n";
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace wcop

@@ -1,0 +1,31 @@
+#ifndef WCOP_ANON_REPORT_JSON_H_
+#define WCOP_ANON_REPORT_JSON_H_
+
+#include <string>
+
+#include "anon/types.h"
+#include "anon/verifier.h"
+#include "common/status.h"
+
+namespace wcop {
+
+/// JSON serialization of run reports — the machine-readable face of the
+/// benchmark harness, for dashboards and CI pipelines that track the
+/// anonymization metrics over time.
+
+/// Serializes an AnonymizationReport as a single JSON object.
+std::string ReportToJson(const AnonymizationReport& report);
+
+/// Serializes a full AnonymizationResult: the report, cluster summaries
+/// (pivot/k/delta/size — never the trajectory data itself), and trash ids.
+std::string ResultToJson(const AnonymizationResult& result);
+
+/// Serializes a verification report (ok flag, counts, messages).
+std::string VerificationToJson(const VerificationReport& report);
+
+/// Writes `json` to `path` (overwrites).
+Status WriteJsonFile(const std::string& json, const std::string& path);
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_REPORT_JSON_H_

@@ -1,0 +1,87 @@
+#include "anon/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "anon/wcop_ct.h"
+
+namespace wcop {
+
+Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
+                                         const StreamingOptions& options) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  if (options.window_seconds <= 0.0) {
+    return Status::InvalidArgument("window_seconds must be positive");
+  }
+
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = -std::numeric_limits<double>::infinity();
+  for (const Trajectory& t : dataset.trajectories()) {
+    t_min = std::min(t_min, t.StartTime());
+    t_max = std::max(t_max, t.EndTime());
+  }
+
+  StreamingResult result;
+  std::vector<Trajectory> published;
+  int64_t next_id = 0;
+  for (double window_start = t_min; window_start <= t_max;
+       window_start += options.window_seconds) {
+    const double window_end = window_start + options.window_seconds;
+    // Collect each trajectory's fragment inside [window_start, window_end).
+    std::vector<Trajectory> fragments;
+    for (const Trajectory& t : dataset.trajectories()) {
+      if (t.EndTime() < window_start || t.StartTime() >= window_end) {
+        continue;
+      }
+      std::vector<Point> points;
+      for (const Point& p : t.points()) {
+        if (p.t >= window_start && p.t < window_end) {
+          points.push_back(p);
+        }
+      }
+      if (points.size() < std::max<size_t>(options.min_fragment_points, 2)) {
+        result.suppressed_fragments += points.empty() ? 0 : 1;
+        continue;
+      }
+      Trajectory fragment(next_id++, std::move(points), t.requirement());
+      fragment.set_object_id(t.object_id());
+      fragment.set_parent_id(t.id());
+      fragments.push_back(std::move(fragment));
+    }
+
+    StreamingWindowSummary summary;
+    summary.window_start = window_start;
+    summary.input_fragments = fragments.size();
+    if (fragments.empty()) {
+      continue;  // silent gap between bursts: nothing to publish
+    }
+    Result<AnonymizationResult> window_result =
+        RunWcopCt(Dataset(std::move(fragments)), options.wcop);
+    if (!window_result.ok()) {
+      // Unsatisfiable window (e.g. too few co-travellers for someone's k):
+      // the provider suppresses the whole window rather than leaking it.
+      summary.skipped = true;
+      result.suppressed_fragments += summary.input_fragments;
+      result.windows.push_back(summary);
+      continue;
+    }
+    summary.published_fragments = window_result->sanitized.size();
+    summary.clusters = window_result->report.num_clusters;
+    summary.ttd = window_result->report.ttd;
+    result.suppressed_fragments += window_result->trashed_ids.size();
+    result.total_clusters += window_result->report.num_clusters;
+    result.total_ttd += window_result->report.ttd;
+    for (const Trajectory& t : window_result->sanitized.trajectories()) {
+      published.push_back(t);
+    }
+    result.windows.push_back(summary);
+  }
+  result.sanitized = Dataset(std::move(published));
+  return result;
+}
+
+}  // namespace wcop

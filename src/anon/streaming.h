@@ -1,0 +1,57 @@
+#ifndef WCOP_ANON_STREAMING_H_
+#define WCOP_ANON_STREAMING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "anon/types.h"
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Windowed (streaming-style) publication: a provider that releases data
+/// continuously cannot wait for the full history — it anonymizes and
+/// publishes one time window at a time. This driver partitions the dataset
+/// into fixed windows, runs WCOP-CT independently per window (each
+/// trajectory contributes the sub-trajectory falling inside the window,
+/// inheriting its (k_i, delta_i)), and concatenates the sanitized windows.
+///
+/// The per-window guarantee is the full personalized (K,Delta)-anonymity
+/// within that window; the deliberate trade-off (measurable through the
+/// report) is that window boundaries fragment trajectories, so total
+/// distortion and trash are typically higher than one offline pass — the
+/// price of bounded publication latency.
+struct StreamingOptions {
+  double window_seconds = 3600.0;
+  /// Window fragments with fewer points than this are dropped (counted as
+  /// trashed points in the report).
+  size_t min_fragment_points = 2;
+  WcopOptions wcop;  ///< per-window anonymization settings
+};
+
+struct StreamingWindowSummary {
+  double window_start = 0.0;
+  size_t input_fragments = 0;
+  size_t published_fragments = 0;
+  size_t clusters = 0;
+  double ttd = 0.0;
+  bool skipped = false;  ///< window unsatisfiable -> fully suppressed
+};
+
+struct StreamingResult {
+  /// All sanitized window fragments (ids are fresh; parent_id links each
+  /// fragment to its source trajectory).
+  Dataset sanitized;
+  std::vector<StreamingWindowSummary> windows;
+  size_t total_clusters = 0;
+  size_t suppressed_fragments = 0;
+  double total_ttd = 0.0;
+};
+
+Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
+                                         const StreamingOptions& options = {});
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_STREAMING_H_

@@ -1,0 +1,61 @@
+#include "anon/translation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/disk.h"
+
+namespace wcop {
+
+Trajectory TranslateToPivot(const Trajectory& traj, const Trajectory& pivot,
+                            double delta, const EdrTolerance& tolerance,
+                            Rng* rng, TranslationStats* stats) {
+  const double radius = std::max(delta, 0.0) / 2.0;
+  const std::vector<EdrOp> ops = EdrOpSequence(traj, pivot, tolerance);
+
+  std::vector<Point> out;
+  out.reserve(pivot.size());
+  TranslationStats local;
+
+  for (const EdrOp& op : ops) {
+    switch (op.kind) {
+      case EdrOp::Kind::kDeleteFromPivot: {
+        // Instead of deleting the pivot's point, invent one inside the
+        // uncertainty disk around it (Algorithm 4, lines 5-7).
+        const Point& pc = pivot[op.pivot_index];
+        out.push_back(RandomPointInDisk(pc, radius, pc.t, *rng));
+        ++local.created_points;
+        break;
+      }
+      case EdrOp::Kind::kMatch: {
+        const Point& original = traj[op.traj_index];
+        const Point& pc = pivot[op.pivot_index];
+        // Minimum-displacement translation into the disk; the sanitized
+        // point always carries the pivot's timestamp (lines 9-12).
+        const Point moved = ClampIntoDisk(original, pc, radius, pc.t);
+        local.spatial_translation += SpatialDistance(original, moved);
+        local.temporal_translation += std::abs(original.t - pc.t);
+        local.max_translation =
+            std::max(local.max_translation, SpatialDistance(original, moved));
+        ++local.matched_points;
+        out.push_back(moved);
+        break;
+      }
+      case EdrOp::Kind::kDeleteFromTraj:
+        // The trajectory's point has no counterpart: permanently removed
+        // (lines 13-14).
+        ++local.deleted_points;
+        break;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->Accumulate(local);
+  }
+  Trajectory sanitized(traj.id(), std::move(out), traj.requirement());
+  sanitized.set_object_id(traj.object_id());
+  sanitized.set_parent_id(traj.parent_id());
+  return sanitized;
+}
+
+}  // namespace wcop

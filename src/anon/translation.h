@@ -1,0 +1,52 @@
+#ifndef WCOP_ANON_TRANSLATION_H_
+#define WCOP_ANON_TRANSLATION_H_
+
+#include "common/rng.h"
+#include "distance/edr.h"
+#include "traj/trajectory.h"
+
+namespace wcop {
+
+/// Per-call statistics of the spatio-temporal translation phase, aggregated
+/// into the Table 3 rows.
+struct TranslationStats {
+  size_t created_points = 0;   ///< points invented for unmatched pivot points
+  size_t deleted_points = 0;   ///< tau points dropped by the edit script
+  size_t matched_points = 0;
+  double spatial_translation = 0.0;   ///< sum of spatial displacements (m)
+  double temporal_translation = 0.0;  ///< sum of |t - t_pivot| over matches
+  double max_translation = 0.0;       ///< max single displacement (feeds Ω)
+
+  void Accumulate(const TranslationStats& other) {
+    created_points += other.created_points;
+    deleted_points += other.deleted_points;
+    matched_points += other.matched_points;
+    spatial_translation += other.spatial_translation;
+    temporal_translation += other.temporal_translation;
+    max_translation = std::max(max_translation, other.max_translation);
+  }
+};
+
+/// WCOP-Translation (Algorithm 4): edits `traj` into a sanitized trajectory
+/// co-localized with `pivot` w.r.t. the cluster's delta.
+///
+/// The EDR edit script between traj and pivot is replayed:
+///  * delete-from-pivot ops *create* a random point inside the
+///    delta/2-radius disk around the pivot point (line 6);
+///  * match ops translate the trajectory point the minimum distance needed
+///    to fall inside that disk, adopting the pivot's timestamp when the two
+///    differ (lines 9-12);
+///  * delete-from-traj ops drop the trajectory point (lines 13-14).
+///
+/// The result therefore has exactly the pivot's timestamps, every point
+/// within delta/2 of the corresponding pivot point — so all members of a
+/// cluster are pairwise co-localized w.r.t. delta (Definition 2, by the
+/// triangle inequality), and the id/requirement metadata of `traj` is
+/// preserved.
+Trajectory TranslateToPivot(const Trajectory& traj, const Trajectory& pivot,
+                            double delta, const EdrTolerance& tolerance,
+                            Rng* rng, TranslationStats* stats);
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_TRANSLATION_H_

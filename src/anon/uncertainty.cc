@@ -1,0 +1,80 @@
+#include "anon/uncertainty.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/disk.h"
+
+namespace wcop {
+
+bool InsideTrajectoryVolume(const Trajectory& tau, double delta,
+                            const Point& p, double epsilon) {
+  if (tau.empty()) {
+    return false;
+  }
+  if (p.t < tau.StartTime() - epsilon || p.t > tau.EndTime() + epsilon) {
+    return false;
+  }
+  const Point expected = tau.PositionAt(p.t);
+  return SpatialDistance(expected, p) <= delta / 2.0 + epsilon;
+}
+
+bool IsPossibleMotionCurve(const Trajectory& pmc, const Trajectory& tau,
+                           double delta, double epsilon) {
+  if (pmc.empty() || tau.empty()) {
+    return false;
+  }
+  if (std::abs(pmc.StartTime() - tau.StartTime()) > epsilon ||
+      std::abs(pmc.EndTime() - tau.EndTime()) > epsilon) {
+    return false;
+  }
+  // Offsets between two piecewise-linear curves are extremal at the union
+  // of both curves' vertex times.
+  for (const Point& p : pmc.points()) {
+    if (!InsideTrajectoryVolume(tau, delta, p, epsilon)) {
+      return false;
+    }
+  }
+  for (const Point& q : tau.points()) {
+    if (!InsideTrajectoryVolume(tau, delta, pmc.PositionAt(q.t), epsilon)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Trajectory SamplePossibleMotionCurve(const Trajectory& tau, double delta,
+                                     Rng* rng, double smoothness) {
+  const double radius = std::max(delta, 0.0) / 2.0;
+  const double s = std::clamp(smoothness, 0.0, 1.0);
+  std::vector<Point> points;
+  points.reserve(tau.size());
+  double ox = 0.0, oy = 0.0;  // current offset inside the disk
+  bool first = true;
+  for (const Point& p : tau.points()) {
+    if (first || s >= 1.0) {
+      const Point sample = RandomPointInDisk(Point(0, 0, 0), radius, 0, *rng);
+      ox = sample.x;
+      oy = sample.y;
+      first = false;
+    } else {
+      // Smooth random walk: Gaussian step scaled by smoothness, clamped
+      // back into the disk (offsets at the vertices bound the offset of the
+      // whole linear interpolant by convexity).
+      ox += rng->Gaussian(0.0, s * radius);
+      oy += rng->Gaussian(0.0, s * radius);
+      const double norm = std::sqrt(ox * ox + oy * oy);
+      if (norm > radius && norm > 0.0) {
+        ox *= radius / norm;
+        oy *= radius / norm;
+      }
+    }
+    points.push_back(Point(p.x + ox, p.y + oy, p.t));
+  }
+  Trajectory pmc(tau.id(), std::move(points), tau.requirement());
+  pmc.set_object_id(tau.object_id());
+  pmc.set_parent_id(tau.parent_id());
+  return pmc;
+}
+
+}  // namespace wcop

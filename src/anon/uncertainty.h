@@ -1,0 +1,43 @@
+#ifndef WCOP_ANON_UNCERTAINTY_H_
+#define WCOP_ANON_UNCERTAINTY_H_
+
+#include "common/rng.h"
+#include "traj/trajectory.h"
+
+namespace wcop {
+
+/// Definition 1 of the paper: the uncertain counterpart of a trajectory.
+///
+/// Under uncertainty threshold delta, an object's location at time t is not
+/// tau(t) but anywhere inside the horizontal disk of *diameter* delta
+/// centred at tau(t); the trajectory volume Vol(tau^delta) is the union of
+/// those disks over the lifetime, and a possible motion curve (PMC) is any
+/// continuous function staying inside the volume. This module implements
+/// the membership predicate and a PMC sampler — the machinery that makes
+/// (k,delta)-anonymity meaningful: published cylinders stand for *sets* of
+/// plausible motions, not single polylines.
+
+/// True iff the spatiotemporal point `p` lies inside Vol(tau^delta):
+/// p.t within the lifetime and the spatial distance to tau(p.t) at most
+/// delta / 2.
+bool InsideTrajectoryVolume(const Trajectory& tau, double delta,
+                            const Point& p, double epsilon = 1e-9);
+
+/// True iff `pmc` is a valid possible motion curve of `tau` w.r.t. delta:
+/// same lifetime (within epsilon) and every vertex inside the volume.
+/// Because both curves interpolate linearly and the offset of a linear
+/// interpolant is a convex combination of the endpoint offsets, checking
+/// the vertices of `pmc` (plus tau's own vertex times) is exact.
+bool IsPossibleMotionCurve(const Trajectory& pmc, const Trajectory& tau,
+                           double delta, double epsilon = 1e-6);
+
+/// Samples a random possible motion curve of `tau` w.r.t. delta: the
+/// vertex offsets follow a smooth random walk inside the delta/2 disk
+/// (`smoothness` in (0,1]: small = slowly drifting offset, 1 = independent
+/// per-vertex draws). The result has tau's timestamps and metadata.
+Trajectory SamplePossibleMotionCurve(const Trajectory& tau, double delta,
+                                     Rng* rng, double smoothness = 0.3);
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_UNCERTAINTY_H_

@@ -1,0 +1,177 @@
+#include "anon/utility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/bounding_box.h"
+#include "geo/segment_geometry.h"
+
+namespace wcop {
+
+namespace {
+
+/// True iff the spatial segment (a, b) intersects the query box.
+bool SegmentIntersectsBox(double ax, double ay, double bx, double by,
+                          const RangeQuery& q) {
+  return SegmentIntersectsRect(ax, ay, bx, by, q.x_lo, q.x_hi, q.y_lo,
+                               q.y_hi);
+}
+
+}  // namespace
+
+bool TrajectoryMatchesQuery(const Trajectory& trajectory,
+                            const RangeQuery& query) {
+  if (trajectory.empty()) {
+    return false;
+  }
+  if (trajectory.EndTime() < query.t_lo || trajectory.StartTime() > query.t_hi) {
+    return false;
+  }
+  // Single point alive during the window.
+  if (trajectory.size() == 1) {
+    const Point& p = trajectory.front();
+    return p.x >= query.x_lo && p.x <= query.x_hi && p.y >= query.y_lo &&
+           p.y <= query.y_hi;
+  }
+  for (size_t i = 0; i + 1 < trajectory.size(); ++i) {
+    const Point& a = trajectory[i];
+    const Point& b = trajectory[i + 1];
+    if (b.t < query.t_lo || a.t > query.t_hi) {
+      continue;
+    }
+    // Clip the segment to the time window (linear interpolation).
+    const double span = b.t - a.t;
+    const double alpha_lo =
+        span > 0.0 ? std::clamp((query.t_lo - a.t) / span, 0.0, 1.0) : 0.0;
+    const double alpha_hi =
+        span > 0.0 ? std::clamp((query.t_hi - a.t) / span, 0.0, 1.0) : 1.0;
+    const double ax = a.x + alpha_lo * (b.x - a.x);
+    const double ay = a.y + alpha_lo * (b.y - a.y);
+    const double bx = a.x + alpha_hi * (b.x - a.x);
+    const double by = a.y + alpha_hi * (b.y - a.y);
+    if (SegmentIntersectsBox(ax, ay, bx, by, query)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t CountMatches(const Dataset& dataset, const RangeQuery& query) {
+  size_t matches = 0;
+  for (const Trajectory& t : dataset.trajectories()) {
+    if (TrajectoryMatchesQuery(t, query)) {
+      ++matches;
+    }
+  }
+  return matches;
+}
+
+std::vector<RangeQuery> GenerateRangeQueries(const Dataset& dataset,
+                                             size_t count,
+                                             double spatial_fraction,
+                                             double temporal_fraction,
+                                             Rng* rng) {
+  std::vector<RangeQuery> queries;
+  if (dataset.empty() || count == 0) {
+    return queries;
+  }
+  const double radius = dataset.Bounds().HalfDiagonal();
+  const double half_extent = std::max(1.0, radius * spatial_fraction);
+  double t_min = dataset[0].StartTime();
+  double t_max = dataset[0].EndTime();
+  for (const Trajectory& t : dataset.trajectories()) {
+    t_min = std::min(t_min, t.StartTime());
+    t_max = std::max(t_max, t.EndTime());
+  }
+  const double half_window =
+      std::max(1.0, (t_max - t_min) * temporal_fraction);
+
+  queries.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    // Centre on a random recorded point so queries hit populated space.
+    const Trajectory& t = dataset[rng->UniformIndex(dataset.size())];
+    const Point& center = t[rng->UniformIndex(t.size())];
+    RangeQuery query;
+    query.x_lo = center.x - half_extent;
+    query.x_hi = center.x + half_extent;
+    query.y_lo = center.y - half_extent;
+    query.y_hi = center.y + half_extent;
+    query.t_lo = center.t - half_window;
+    query.t_hi = center.t + half_window;
+    queries.push_back(query);
+  }
+  return queries;
+}
+
+RangeQueryDistortionResult RangeQueryDistortion(
+    const Dataset& original, const Dataset& sanitized,
+    const std::vector<RangeQuery>& queries) {
+  RangeQueryDistortionResult result;
+  result.num_queries = queries.size();
+  if (queries.empty()) {
+    return result;
+  }
+  double abs_error = 0.0;
+  double rel_error = 0.0;
+  for (const RangeQuery& query : queries) {
+    const size_t orig = CountMatches(original, query);
+    const size_t sani = CountMatches(sanitized, query);
+    result.total_original_matches += orig;
+    result.total_sanitized_matches += sani;
+    const double diff = std::abs(static_cast<double>(orig) -
+                                 static_cast<double>(sani));
+    abs_error += diff;
+    rel_error += diff / std::max<double>(1.0, static_cast<double>(orig));
+  }
+  result.mean_absolute_error = abs_error / static_cast<double>(queries.size());
+  result.mean_relative_error = rel_error / static_cast<double>(queries.size());
+  return result;
+}
+
+double SpatialDensityDivergence(const Dataset& original,
+                                const Dataset& sanitized,
+                                size_t cells_per_axis) {
+  if (cells_per_axis == 0 || original.empty() || sanitized.empty()) {
+    return original.empty() == sanitized.empty() ? 0.0 : 1.0;
+  }
+  BoundingBox box = original.Bounds();
+  box.Extend(sanitized.Bounds());
+  const double width = std::max(box.width(), 1e-9);
+  const double height = std::max(box.height(), 1e-9);
+  const size_t cells = cells_per_axis * cells_per_axis;
+
+  auto histogram = [&](const Dataset& dataset) {
+    std::vector<double> h(cells, 0.0);
+    size_t total = 0;
+    for (const Trajectory& t : dataset.trajectories()) {
+      for (const Point& p : t.points()) {
+        const size_t cx = std::min(
+            cells_per_axis - 1,
+            static_cast<size_t>((p.x - box.min_x()) / width *
+                                static_cast<double>(cells_per_axis)));
+        const size_t cy = std::min(
+            cells_per_axis - 1,
+            static_cast<size_t>((p.y - box.min_y()) / height *
+                                static_cast<double>(cells_per_axis)));
+        h[cy * cells_per_axis + cx] += 1.0;
+        ++total;
+      }
+    }
+    if (total > 0) {
+      for (double& v : h) {
+        v /= static_cast<double>(total);
+      }
+    }
+    return h;
+  };
+
+  const std::vector<double> ho = histogram(original);
+  const std::vector<double> hs = histogram(sanitized);
+  double l1 = 0.0;
+  for (size_t i = 0; i < cells; ++i) {
+    l1 += std::abs(ho[i] - hs[i]);
+  }
+  return 0.5 * l1;  // total variation distance
+}
+
+}  // namespace wcop

@@ -1,0 +1,73 @@
+#ifndef WCOP_ANON_UTILITY_H_
+#define WCOP_ANON_UTILITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Utility metrics of a sanitized dataset beyond raw translation distortion.
+///
+/// The W4M line of work evaluates anonymization utility by *range query
+/// distortion*: how differently the sanitized data answers spatiotemporal
+/// count queries than the original. This module implements that metric plus
+/// a spatial-density divergence, both over arbitrary dataset pairs — they
+/// make no assumption about how the sanitized data was produced.
+
+/// A spatiotemporal range query: "how many trajectories pass through the
+/// box [x_lo,x_hi] x [y_lo,y_hi] during [t_lo, t_hi]?"
+struct RangeQuery {
+  double x_lo = 0.0, x_hi = 0.0;
+  double y_lo = 0.0, y_hi = 0.0;
+  double t_lo = 0.0, t_hi = 0.0;
+};
+
+/// True iff the (linearly interpolated) trajectory intersects the query
+/// volume. Exact under the linear-interpolation model: each recorded
+/// segment is clipped to the time window and the clipped spatial segment is
+/// tested against the box.
+bool TrajectoryMatchesQuery(const Trajectory& trajectory,
+                            const RangeQuery& query);
+
+/// Number of trajectories in `dataset` matching `query`.
+size_t CountMatches(const Dataset& dataset, const RangeQuery& query);
+
+/// Generates `count` random queries over the dataset's extent: each query
+/// box is centred on a random recorded point, with spatial half-extent
+/// `spatial_fraction` of the dataset radius and temporal half-extent
+/// `temporal_fraction` of the dataset duration.
+std::vector<RangeQuery> GenerateRangeQueries(const Dataset& dataset,
+                                             size_t count,
+                                             double spatial_fraction,
+                                             double temporal_fraction,
+                                             Rng* rng);
+
+/// Aggregate outcome of a range-query workload evaluation.
+struct RangeQueryDistortionResult {
+  size_t num_queries = 0;
+  double mean_absolute_error = 0.0;   ///< mean |orig - sanitized|
+  double mean_relative_error = 0.0;   ///< mean |orig - san| / max(orig, 1)
+  size_t total_original_matches = 0;
+  size_t total_sanitized_matches = 0;
+};
+
+/// Evaluates how differently `sanitized` answers the query workload than
+/// `original` — lower is better utility.
+RangeQueryDistortionResult RangeQueryDistortion(
+    const Dataset& original, const Dataset& sanitized,
+    const std::vector<RangeQuery>& queries);
+
+/// Spatial-density divergence: grid both datasets' points over the union
+/// bounding box into `cells_per_axis`^2 cells, normalize to distributions,
+/// and return half the L1 distance (total variation, in [0, 1]; 0 = same
+/// spatial density everywhere).
+double SpatialDensityDivergence(const Dataset& original,
+                                const Dataset& sanitized,
+                                size_t cells_per_axis = 32);
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_UTILITY_H_

@@ -1,0 +1,133 @@
+#include "anon/verifier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace wcop {
+
+namespace {
+
+void AddViolation(VerificationReport* report, size_t max_messages,
+                  std::string message) {
+  ++report->violations;
+  if (report->messages.size() < max_messages) {
+    report->messages.push_back(std::move(message));
+  }
+}
+
+/// First-principles pairwise co-localization check at shared timestamps.
+bool PairColocalized(const Trajectory& a, const Trajectory& b, double delta) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::abs(a[i].t - b[i].t) > 1e-6) {
+      return false;
+    }
+    const double dx = a[i].x - b[i].x;
+    const double dy = a[i].y - b[i].y;
+    if (std::sqrt(dx * dx + dy * dy) > delta + 1e-6) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+VerificationReport VerifyAnonymity(const Dataset& original,
+                                   const AnonymizationResult& result,
+                                   size_t max_messages) {
+  VerificationReport report;
+
+  // Index the published trajectories by id.
+  std::unordered_map<int64_t, const Trajectory*> published;
+  for (const Trajectory& t : result.sanitized.trajectories()) {
+    if (!published.emplace(t.id(), &t).second) {
+      AddViolation(&report, max_messages,
+                   "duplicate published id " + std::to_string(t.id()));
+    }
+  }
+  std::unordered_set<int64_t> trashed(result.trashed_ids.begin(),
+                                      result.trashed_ids.end());
+
+  // Coverage: each original id is published XOR trashed.
+  for (const Trajectory& t : original.trajectories()) {
+    const bool is_published = published.count(t.id()) != 0;
+    const bool is_trashed = trashed.count(t.id()) != 0;
+    if (is_published == is_trashed) {
+      AddViolation(&report, max_messages,
+                   "trajectory " + std::to_string(t.id()) +
+                       (is_published ? " both published and trashed"
+                                     : " neither published nor trashed"));
+    }
+  }
+
+  // Per-cluster anonymity-set audit.
+  for (const AnonymityCluster& cluster : result.clusters) {
+    ++report.clusters_checked;
+    std::vector<const Trajectory*> members;
+    int max_personal_k = 0;
+    double min_personal_delta = std::numeric_limits<double>::infinity();
+    for (size_t idx : cluster.members) {
+      if (idx >= original.size()) {
+        AddViolation(&report, max_messages,
+                     "cluster references out-of-range index " +
+                         std::to_string(idx));
+        continue;
+      }
+      const Trajectory& orig = original[idx];
+      max_personal_k = std::max(max_personal_k, orig.requirement().k);
+      min_personal_delta =
+          std::min(min_personal_delta, orig.requirement().delta);
+      auto it = published.find(orig.id());
+      if (it == published.end()) {
+        AddViolation(&report, max_messages,
+                     "cluster member " + std::to_string(orig.id()) +
+                         " was not published");
+        continue;
+      }
+      members.push_back(it->second);
+      // Metadata preservation.
+      if (it->second->object_id() != orig.object_id()) {
+        AddViolation(&report, max_messages,
+                     "object id changed for trajectory " +
+                         std::to_string(orig.id()));
+      }
+    }
+    // Personalization guarantee: the cluster satisfies every member.
+    if (cluster.k < max_personal_k) {
+      AddViolation(&report, max_messages,
+                   "cluster k=" + std::to_string(cluster.k) +
+                       " below a member's personal k=" +
+                       std::to_string(max_personal_k));
+    }
+    if (cluster.delta > min_personal_delta + 1e-9) {
+      AddViolation(&report, max_messages,
+                   "cluster delta exceeds a member's personal delta");
+    }
+    if (members.size() < static_cast<size_t>(cluster.k)) {
+      AddViolation(&report, max_messages,
+                   "cluster of size " + std::to_string(members.size()) +
+                       " cannot satisfy k=" + std::to_string(cluster.k));
+    }
+    // Definition 3: all pairs co-localized w.r.t. the cluster delta.
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        if (!PairColocalized(*members[i], *members[j], cluster.delta)) {
+          AddViolation(&report, max_messages,
+                       "members " + std::to_string(members[i]->id()) +
+                           " and " + std::to_string(members[j]->id()) +
+                           " are not co-localized within cluster delta");
+        }
+      }
+    }
+  }
+
+  report.ok = report.violations == 0;
+  return report;
+}
+
+}  // namespace wcop

@@ -1,0 +1,39 @@
+#ifndef WCOP_ANON_VERIFIER_H_
+#define WCOP_ANON_VERIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "anon/types.h"
+#include "common/status.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Outcome of an independent anonymity audit of a published result.
+struct VerificationReport {
+  bool ok = false;
+  size_t clusters_checked = 0;
+  size_t violations = 0;
+  std::vector<std::string> messages;  ///< one per violation (capped)
+};
+
+/// Independently audits an AnonymizationResult against the *original*
+/// dataset:
+///  * every published cluster is a true (k, delta)-anonymity set
+///    (Definition 3) under the cluster's own k and delta;
+///  * the cluster's k is >= every member's personal k_i and its delta is
+///    <= every member's personal delta_i (the personalization guarantee);
+///  * every original trajectory is either published or trashed, never both;
+///  * published trajectories preserve id/object metadata.
+///
+/// The checker reimplements co-localization from the definitions rather
+/// than reusing the translation phase's internals, so a bug in translation
+/// cannot hide from it.
+VerificationReport VerifyAnonymity(const Dataset& original,
+                                   const AnonymizationResult& result,
+                                   size_t max_messages = 16);
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_VERIFIER_H_

@@ -1,0 +1,127 @@
+#include "anon/wcop_b.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "anon/metrics.h"
+#include "anon/wcop_ct.h"
+#include "common/stopwatch.h"
+
+namespace wcop {
+
+Result<WcopBResult> RunWcopB(const Dataset& dataset,
+                             const WcopOptions& options,
+                             const WcopBOptions& b_options) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  if (b_options.step == 0) {
+    return Status::InvalidArgument("step must be positive");
+  }
+  Stopwatch timer;
+  const size_t n = dataset.size();
+  // Resolve shared parameters once against the original dataset so every
+  // round runs with identical clustering settings.
+  const WcopOptions resolved = ResolveOptions(dataset, options);
+
+  // Lines 1-5: score and rank by demandingness (most demanding first).
+  const std::vector<double> demand =
+      DatasetDemandingness(dataset, b_options.w1, b_options.w2);
+  std::vector<size_t> ranked(n);
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::stable_sort(ranked.begin(), ranked.end(), [&](size_t a, size_t b) {
+    return demand[a] > demand[b];
+  });
+  const double max_demand = demand[ranked.front()];
+
+  WcopBResult result;
+  const size_t edit_limit =
+      b_options.max_edit_size == 0 ? n : std::min(b_options.max_edit_size, n);
+  size_t edit_size = b_options.step;
+  bool have_round = false;
+
+  while (true) {
+    edit_size = std::min(edit_size, edit_limit);
+    // Line 7: reset to the original requirements, then edit the top
+    // edit_size trajectories towards the threshold trajectory (the first
+    // non-edited one in the ranking).
+    Dataset edited = dataset;
+    const size_t threshold_rank = std::min(edit_size, n - 1);
+    const Requirement threshold_req =
+        dataset[ranked[threshold_rank]].requirement();
+    const double threshold_demand = demand[ranked[threshold_rank]];
+
+    std::vector<double> edit_costs;  // aligned with ranked[0..edit_size)
+    edit_costs.reserve(edit_size);
+    for (size_t r = 0; r < edit_size; ++r) {
+      const size_t idx = ranked[r];
+      double cost = EditCost(demand[idx], threshold_demand, max_demand);
+      Requirement& req = edited[idx].mutable_requirement();
+      if (b_options.edit_policy == WcopBOptions::EditPolicy::kProportional) {
+        // Move only part of the way towards the threshold requirement; the
+        // DE penalty shrinks by the same factor (less relaxation applied).
+        const double s =
+            std::clamp(b_options.proportional_strength, 0.0, 1.0);
+        if (req.k > threshold_req.k) {
+          req.k -= static_cast<int>(
+              std::llround(s * static_cast<double>(req.k - threshold_req.k)));
+        }
+        if (req.delta < threshold_req.delta) {
+          req.delta += s * (threshold_req.delta - req.delta);
+        }
+        cost *= s;
+      } else {
+        req.k = std::min(req.k, threshold_req.k);             // line 13
+        req.delta = std::max(req.delta, threshold_req.delta);  // line 14
+      }
+      edit_costs.push_back(cost);
+    }
+
+    // Line 19: anonymization phase.
+    WCOP_ASSIGN_OR_RETURN(AnonymizationResult round_result,
+                          RunWcopCt(edited, resolved));
+
+    // Line 20: Distortion = TTD + DE (Eq. 7), with Ω taken from this
+    // round's anonymization.
+    double de = 0.0;
+    for (size_t r = 0; r < edit_size; ++r) {
+      de += EditingDistortion(dataset[ranked[r]].size(),
+                              round_result.report.omega, edit_costs[r]);
+    }
+    round_result.report.editing_distortion = de;
+    round_result.report.total_distortion = round_result.report.ttd + de;
+
+    WcopBRound round;
+    round.edit_size = edit_size;
+    round.ttd = round_result.report.ttd;
+    round.editing_distortion = de;
+    round.total_distortion = round_result.report.total_distortion;
+    round.num_clusters = round_result.report.num_clusters;
+    round.trashed = round_result.report.trashed_trajectories;
+    result.rounds.push_back(round);
+
+    const bool satisfied =
+        round_result.report.total_distortion <= b_options.distort_max;
+    const bool exhausted = edit_size >= edit_limit;
+    // Keep the most recent round's output (the accepted one when satisfied;
+    // the fully-edited one otherwise, matching Algorithm 6's return).
+    result.anonymization = std::move(round_result);
+    result.final_edit_size = edit_size;
+    have_round = true;
+    if (satisfied || exhausted) {
+      result.bound_satisfied = satisfied;
+      break;
+    }
+    edit_size += b_options.step;  // line 21
+  }
+
+  if (!have_round) {
+    return Status::Internal("WCOP-B performed no rounds");
+  }
+  result.anonymization.report.runtime_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace wcop

@@ -1,0 +1,77 @@
+#ifndef WCOP_ANON_WCOP_B_H_
+#define WCOP_ANON_WCOP_B_H_
+
+#include <vector>
+
+#include "anon/types.h"
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Parameters of the Bounded Personalized (K,Delta)-anonymity solver.
+struct WcopBOptions {
+  /// Accepted total distortion (Eq. 7). Set to 0 to force the full editing
+  /// sweep (useful to chart distortion vs edit size, Figure 8).
+  double distort_max = 0.0;
+
+  /// How many additional trajectories get their requirements relaxed per
+  /// round (Algorithm 6's `step`; the paper's experiments use 1).
+  size_t step = 1;
+
+  /// Demandingness weights of Eq. 3 (the paper uses 1/2, 1/2).
+  double w1 = 0.5;
+  double w2 = 0.5;
+
+  /// Optional cap on the editing sweep (0 = no cap, i.e. up to |D|).
+  /// Algorithm 6 stops at |D| anyway; benchmarks use a cap to chart a
+  /// bounded edit-size range.
+  size_t max_edit_size = 0;
+
+  /// How requirements are relaxed — the "alternative editing methods" of
+  /// the paper's future-work list:
+  ///  * kThreshold (Algorithm 6): edited trajectories adopt the threshold
+  ///    trajectory's k and delta outright;
+  ///  * kProportional: they move only a `proportional_strength` fraction
+  ///    of the way towards the threshold (gentler edits, smaller DE).
+  enum class EditPolicy { kThreshold, kProportional };
+  EditPolicy edit_policy = EditPolicy::kThreshold;
+  double proportional_strength = 0.5;
+};
+
+/// One editing-and-anonymization round of Algorithm 6.
+struct WcopBRound {
+  size_t edit_size = 0;
+  double ttd = 0.0;                ///< translation distortion of this round
+  double editing_distortion = 0.0; ///< DE of this round (Eq. 6)
+  double total_distortion = 0.0;   ///< Eq. 7
+  size_t num_clusters = 0;
+  size_t trashed = 0;
+};
+
+/// Full output of WCOP-B.
+struct WcopBResult {
+  AnonymizationResult anonymization;  ///< the round that was accepted
+  std::vector<WcopBRound> rounds;     ///< every round, in execution order
+  size_t final_edit_size = 0;
+  bool bound_satisfied = false;       ///< false when even editing the whole
+                                      ///< dataset could not meet distort_max
+};
+
+/// WCOP-B (Algorithm 6): ranks trajectories by dataset-aware demandingness
+/// (Eq. 3), then repeatedly relaxes the (k,delta) requirements of the
+/// `edit_size` most demanding trajectories to the threshold trajectory's
+/// values (k decreases, delta increases — editing never tightens), re-runs
+/// WCOP-CT, and accounts the editing penalty DE (Eq. 5-6) on top of the
+/// translation distortion, growing edit_size by `step` until the bound is
+/// met or the whole dataset has been edited.
+///
+/// Works on whole trajectories or on pre-segmented sub-trajectories alike
+/// (feed it the output of a Segmenter for the WCOP-SA + B combination).
+Result<WcopBResult> RunWcopB(const Dataset& dataset,
+                             const WcopOptions& options = {},
+                             const WcopBOptions& b_options = {});
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_WCOP_B_H_

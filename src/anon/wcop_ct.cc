@@ -1,0 +1,163 @@
+#include "anon/wcop_ct.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "anon/agglomerative.h"
+#include "anon/metrics.h"
+#include "anon/translation.h"
+#include "common/stopwatch.h"
+
+namespace wcop {
+
+WcopOptions ResolveOptions(const Dataset& dataset, WcopOptions options) {
+  const double radius = dataset.Bounds().HalfDiagonal();
+  if (options.radius_max <= 0.0) {
+    options.radius_max = radius > 0.0 ? radius : 1.0;
+  }
+  if (options.distance.kind == DistanceConfig::Kind::kEdr) {
+    if (options.distance.edr_scale <= 0.0) {
+      options.distance.edr_scale = radius > 0.0 ? radius : 1.0;
+    }
+    if (options.distance.tolerance.dx <= 0.0) {
+      // The paper's heuristic (Section 6.1): Delta = {10*delta_max,
+      // 10*delta_max, 10*delta_max/avg_speed}.
+      double delta_max = 0.0;
+      for (const Trajectory& t : dataset.trajectories()) {
+        delta_max = std::max(delta_max, t.requirement().delta);
+      }
+      if (delta_max <= 0.0) {
+        delta_max = 0.03 * options.radius_max;
+      }
+      options.distance.tolerance = EdrTolerance::FromDeltaMax(
+          delta_max, dataset.ComputeStats().avg_speed);
+    }
+  }
+  return options;
+}
+
+namespace {
+
+size_t ResolveTrashMax(const Dataset& dataset, const WcopOptions& options) {
+  const size_t by_fraction = static_cast<size_t>(
+      options.trash_fraction * static_cast<double>(dataset.size()));
+  return std::min(options.trash_max_override, by_fraction);
+}
+
+}  // namespace
+
+AnonymizationResult AnonymizeClusters(const Dataset& dataset,
+                                      const ClusteringOutcome& outcome,
+                                      const WcopOptions& resolved_options) {
+  AnonymizationResult result;
+  result.clusters = outcome.clusters;
+  result.trashed_ids.reserve(outcome.trash.size());
+  for (size_t idx : outcome.trash) {
+    result.trashed_ids.push_back(dataset[idx].id());
+  }
+
+  // Translation phase (Algorithm 2 lines 3-11): every member of every
+  // cluster is translated towards its pivot under the cluster's own delta.
+  Rng rng(resolved_options.seed ^ 0x5DEECE66Dull);
+  TranslationStats stats;
+  std::vector<const Trajectory*> sanitized_of(dataset.size(), nullptr);
+  std::vector<Trajectory> sanitized_storage;
+  sanitized_storage.reserve(dataset.size());
+  // Reserve exact size so pointers into the vector stay stable.
+  size_t published = 0;
+  for (const AnonymityCluster& cluster : outcome.clusters) {
+    published += cluster.members.size();
+  }
+  sanitized_storage.reserve(published);
+
+  for (size_t c = 0; c < outcome.clusters.size(); ++c) {
+    const AnonymityCluster& cluster = outcome.clusters[c];
+    const Trajectory& pivot = dataset[cluster.pivot];
+    // Algorithm 2 line 5: delta_c = min member delta (the clustering phase
+    // maintains that); the kMean ablation replaces it with the member mean.
+    double delta_c = cluster.delta;
+    if (resolved_options.delta_policy == WcopOptions::DeltaPolicy::kMean) {
+      double sum = 0.0;
+      for (size_t member : cluster.members) {
+        sum += dataset[member].requirement().delta;
+      }
+      delta_c = sum / static_cast<double>(cluster.members.size());
+      result.clusters[c].delta = delta_c;
+    }
+    for (size_t member : cluster.members) {
+      sanitized_storage.push_back(
+          TranslateToPivot(dataset[member], pivot, delta_c,
+                           resolved_options.distance.tolerance, &rng, &stats));
+      sanitized_of[member] = &sanitized_storage.back();
+    }
+  }
+
+  // Ω: the maximum translation observed; floored at radius(D) when the run
+  // moved nothing, so Eq. (1) never waives the penalty for trashed
+  // trajectories.
+  double omega = stats.max_translation;
+  if (omega <= 0.0) {
+    omega = std::max(dataset.Bounds().HalfDiagonal(), 1.0);
+  }
+
+  AnonymizationReport& report = result.report;
+  report.input_trajectories = dataset.size();
+  report.num_clusters = outcome.clusters.size();
+  report.trashed_trajectories = outcome.trash.size();
+  for (size_t idx : outcome.trash) {
+    report.trashed_points += dataset[idx].size();
+  }
+  report.discernibility =
+      Discernibility(outcome.clusters, outcome.trash.size(), dataset.size());
+  report.created_points = stats.created_points;
+  report.deleted_points = stats.deleted_points;
+  report.total_spatial_translation = stats.spatial_translation;
+  report.total_temporal_translation = stats.temporal_translation;
+  const double published_count =
+      std::max<double>(1.0, static_cast<double>(published));
+  report.avg_spatial_translation = stats.spatial_translation / published_count;
+  report.avg_temporal_translation =
+      stats.temporal_translation / published_count;
+  report.omega = omega;
+  report.ttd = TotalTranslationDistortion(dataset, sanitized_of, omega);
+  report.editing_distortion = 0.0;
+  report.total_distortion = report.ttd;
+  report.clustering_rounds = outcome.rounds;
+  report.final_radius = outcome.final_radius;
+
+  // Publish in input order (skipping the trash) so downstream joins on id
+  // order are stable.
+  std::vector<Trajectory> published_trajectories;
+  published_trajectories.reserve(published);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (sanitized_of[i] != nullptr) {
+      published_trajectories.push_back(*sanitized_of[i]);
+    }
+  }
+  result.sanitized = Dataset(std::move(published_trajectories));
+  return result;
+}
+
+Result<AnonymizationResult> RunWcopCt(const Dataset& dataset,
+                                      const WcopOptions& options) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  Stopwatch timer;
+  const WcopOptions resolved = ResolveOptions(dataset, options);
+  const size_t trash_max = ResolveTrashMax(dataset, resolved);
+  Result<ClusteringOutcome> clustering =
+      resolved.clustering_algo == WcopOptions::ClusteringAlgo::kAgglomerative
+          ? AgglomerativeClustering(dataset, trash_max, resolved)
+          : GreedyClustering(dataset, trash_max, resolved);
+  if (!clustering.ok()) {
+    return clustering.status();
+  }
+  ClusteringOutcome outcome = std::move(clustering).value();
+  AnonymizationResult result = AnonymizeClusters(dataset, outcome, resolved);
+  result.report.runtime_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace wcop

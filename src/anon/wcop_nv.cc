@@ -1,0 +1,39 @@
+#include "anon/wcop_nv.h"
+
+#include "anon/wcop_ct.h"
+
+namespace wcop {
+
+Result<AnonymizationResult> RunW4m(const Dataset& dataset, int k, double delta,
+                                   const WcopOptions& options) {
+  if (k < 1) {
+    return Status::InvalidArgument("universal k must be >= 1");
+  }
+  if (delta < 0.0) {
+    return Status::InvalidArgument("universal delta must be non-negative");
+  }
+  // Uniform requirements turn the personalized pipeline into exactly the
+  // universal one: every cluster grows to k members and uses delta.
+  Dataset uniform = dataset;
+  for (Trajectory& t : uniform.mutable_trajectories()) {
+    t.set_requirement(Requirement{k, delta});
+  }
+  // Resolve distance tolerance against the *original* personalized dataset
+  // so WCOP-NV and WCOP-CT comparisons share identical EDR parameters.
+  const WcopOptions resolved = ResolveOptions(dataset, options);
+  return RunWcopCt(uniform, resolved);
+}
+
+Result<AnonymizationResult> RunWcopNv(const Dataset& dataset,
+                                      const WcopOptions& options) {
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  // Algorithm 1, lines 1-2: the only universal values satisfying every
+  // user's preference.
+  const int k_uni = dataset.MaxK();
+  const double delta_uni = dataset.MinDelta();
+  return RunW4m(dataset, k_uni, delta_uni, options);
+}
+
+}  // namespace wcop

@@ -1,0 +1,26 @@
+#ifndef WCOP_ANON_WCOP_NV_H_
+#define WCOP_ANON_WCOP_NV_H_
+
+#include "anon/types.h"
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// W4M-style universal (k,delta)-anonymization (Abul et al. 2010): every
+/// trajectory is forced to the same requirement, then the standard
+/// clustering-and-translation pipeline runs. This is the state-of-the-art
+/// algorithm the paper builds on, exposed as a first-class baseline.
+Result<AnonymizationResult> RunW4m(const Dataset& dataset, int k, double delta,
+                                   const WcopOptions& options = {});
+
+/// WCOP-NV (Algorithm 1): the naive personalized baseline — ignore the
+/// individual preferences and run the universal algorithm with
+/// k := max_i k_i and delta := min_i delta_i, the only universal values
+/// that satisfy everybody.
+Result<AnonymizationResult> RunWcopNv(const Dataset& dataset,
+                                      const WcopOptions& options = {});
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_WCOP_NV_H_

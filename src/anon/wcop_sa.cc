@@ -1,0 +1,30 @@
+#include "anon/wcop_sa.h"
+
+#include "anon/wcop_ct.h"
+#include "common/stopwatch.h"
+
+namespace wcop {
+
+Result<WcopSaResult> RunWcopSa(const Dataset& dataset, Segmenter* segmenter,
+                               const WcopOptions& options) {
+  if (segmenter == nullptr) {
+    return Status::InvalidArgument("segmenter must not be null");
+  }
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  Stopwatch timer;
+  WCOP_ASSIGN_OR_RETURN(Dataset segmented, segmenter->Segment(dataset));
+  if (segmented.empty()) {
+    return Status::Internal("segmentation produced an empty dataset");
+  }
+  WCOP_ASSIGN_OR_RETURN(AnonymizationResult anonymization,
+                        RunWcopCt(segmented, options));
+  // Report the full pipeline runtime (segmentation + anonymization), as the
+  // paper's Table 3 does for the SA variants.
+  anonymization.report.runtime_seconds = timer.ElapsedSeconds();
+  WcopSaResult result;
+  result.anonymization = std::move(anonymization);
+  result.segmented = std::move(segmented);
+  return result;
+}
+
+}  // namespace wcop

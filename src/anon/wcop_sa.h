@@ -1,0 +1,29 @@
+#ifndef WCOP_ANON_WCOP_SA_H_
+#define WCOP_ANON_WCOP_SA_H_
+
+#include "anon/types.h"
+#include "common/result.h"
+#include "segment/segmenter.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Output of WCOP-SA: the anonymization result over sub-trajectories plus
+/// the intermediate segmented dataset (useful for metric drill-downs and
+/// the per-parent aggregation below).
+struct WcopSaResult {
+  AnonymizationResult anonymization;
+  Dataset segmented;
+};
+
+/// WCOP-SA (Algorithm 5): Segment-and-Anonymize. Applies the given
+/// segmenter to partition every trajectory into sub-trajectories (each
+/// inheriting its parent's (k_i, delta_i)), then anonymizes the
+/// sub-trajectory dataset with WCOP-CT. The report's counters refer to
+/// sub-trajectories, matching how Table 3 reports the SA variants.
+Result<WcopSaResult> RunWcopSa(const Dataset& dataset, Segmenter* segmenter,
+                               const WcopOptions& options = {});
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_WCOP_SA_H_

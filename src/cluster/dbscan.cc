@@ -1,0 +1,70 @@
+#include "cluster/dbscan.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace wcop {
+
+std::vector<std::vector<size_t>> DbscanResult::Clusters() const {
+  std::vector<std::vector<size_t>> out(static_cast<size_t>(num_clusters));
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] >= 0) {
+      out[static_cast<size_t>(labels[i])].push_back(i);
+    }
+  }
+  return out;
+}
+
+DbscanResult Dbscan(size_t num_items, size_t min_points,
+                    const NeighborProvider& neighbors) {
+  constexpr int kUnvisited = -2;
+  DbscanResult result;
+  result.labels.assign(num_items, kUnvisited);
+
+  auto neighborhood_of = [&](size_t item) {
+    std::vector<size_t> n = neighbors(item);
+    // Ensure the item itself is counted exactly once.
+    if (std::find(n.begin(), n.end(), item) == n.end()) {
+      n.push_back(item);
+    }
+    return n;
+  };
+
+  for (size_t i = 0; i < num_items; ++i) {
+    if (result.labels[i] != kUnvisited) {
+      continue;
+    }
+    std::vector<size_t> seed = neighborhood_of(i);
+    if (seed.size() < min_points) {
+      result.labels[i] = DbscanResult::kNoise;
+      continue;
+    }
+    const int cluster = result.num_clusters++;
+    result.labels[i] = cluster;
+    std::deque<size_t> frontier(seed.begin(), seed.end());
+    while (!frontier.empty()) {
+      const size_t q = frontier.front();
+      frontier.pop_front();
+      if (result.labels[q] == DbscanResult::kNoise) {
+        result.labels[q] = cluster;  // border point adopted by this cluster
+      }
+      if (result.labels[q] != kUnvisited) {
+        continue;
+      }
+      result.labels[q] = cluster;
+      std::vector<size_t> qn = neighborhood_of(q);
+      if (qn.size() >= min_points) {
+        // q is itself a core point: expand through it.
+        for (size_t r : qn) {
+          if (result.labels[r] == kUnvisited ||
+              result.labels[r] == DbscanResult::kNoise) {
+            frontier.push_back(r);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wcop

@@ -1,0 +1,40 @@
+#ifndef WCOP_CLUSTER_DBSCAN_H_
+#define WCOP_CLUSTER_DBSCAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace wcop {
+
+/// Generic DBSCAN (Ester et al. 1996) over `num_items` abstract items.
+///
+/// The caller supplies a neighbour provider: given an item index, return the
+/// indices of all items within eps (the item itself may or may not be
+/// included — DBSCAN adds it). This keeps the algorithm independent of the
+/// metric/index: TRACLUS runs it over line segments with the three-component
+/// segment distance, convoy discovery runs it over per-snapshot object
+/// positions with a grid index.
+///
+/// Label semantics in the result: >= 0 cluster id, kNoise for noise.
+struct DbscanResult {
+  static constexpr int kNoise = -1;
+
+  std::vector<int> labels;   ///< one label per item
+  int num_clusters = 0;
+
+  /// Items grouped per cluster (noise excluded).
+  std::vector<std::vector<size_t>> Clusters() const;
+};
+
+using NeighborProvider = std::function<std::vector<size_t>(size_t item)>;
+
+/// Runs DBSCAN. `min_points` counts the item itself (the classic MinPts):
+/// an item is a core point when |N_eps(item)| >= min_points, where the
+/// neighbourhood includes the item.
+DbscanResult Dbscan(size_t num_items, size_t min_points,
+                    const NeighborProvider& neighbors);
+
+}  // namespace wcop
+
+#endif  // WCOP_CLUSTER_DBSCAN_H_

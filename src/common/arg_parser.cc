@@ -1,0 +1,72 @@
+#include "common/arg_parser.h"
+
+#include <cstdlib>
+
+namespace wcop {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  if (argc > 0) {
+    program_name_ = argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  int64_t value = std::strtoll(it->second.c_str(), &end, 10);
+  return (end == nullptr || *end != '\0') ? fallback : value;
+}
+
+double ArgParser::GetDouble(const std::string& name, double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  char* end = nullptr;
+  double value = std::strtod(it->second.c_str(), &end);
+  return (end == nullptr || *end != '\0') ? fallback : value;
+}
+
+bool ArgParser::GetBool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace wcop

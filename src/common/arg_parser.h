@@ -1,0 +1,38 @@
+#ifndef WCOP_COMMON_ARG_PARSER_H_
+#define WCOP_COMMON_ARG_PARSER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wcop {
+
+/// Minimal command-line flag parser for the benchmark and example binaries.
+///
+/// Accepts `--name=value` and bare `--name` (boolean true). Anything not
+/// starting with "--" is collected as a positional argument.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+
+  /// Returns the flag value, or `fallback` if absent or unparsable.
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_ARG_PARSER_H_

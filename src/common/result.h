@@ -1,0 +1,80 @@
+#ifndef WCOP_COMMON_RESULT_H_
+#define WCOP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace wcop {
+
+/// Value-or-Status, in the spirit of absl::StatusOr / arrow::Result.
+///
+/// A Result<T> holds either a T (status is OK) or a non-OK Status. Accessing
+/// the value of an errored Result is a programming error and asserts in debug
+/// builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value — enables `return value;`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from a non-OK status — enables `return status;`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its error.
+/// Usage:
+///   WCOP_ASSIGN_OR_RETURN(Dataset d, LoadDataset(path));
+#define WCOP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#define WCOP_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define WCOP_ASSIGN_OR_RETURN_NAME(a, b) WCOP_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define WCOP_ASSIGN_OR_RETURN(lhs, expr) \
+  WCOP_ASSIGN_OR_RETURN_IMPL(            \
+      WCOP_ASSIGN_OR_RETURN_NAME(_wcop_result_, __LINE__), lhs, expr)
+
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_RESULT_H_

@@ -1,0 +1,56 @@
+#ifndef WCOP_COMMON_RNG_H_
+#define WCOP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace wcop {
+
+/// Deterministic random source used throughout the library.
+///
+/// Every stochastic component (pivot selection, requirement assignment, the
+/// synthetic data generator, random points inside uncertainty disks) takes an
+/// Rng& so experiments are reproducible from a single seed. The engine is
+/// mt19937_64; helper methods mirror the distributions the paper uses.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard-normal draw scaled to the given mean and stddev.
+  double Gaussian(double mean, double stddev) {
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution dist(p);
+    return dist(engine_);
+  }
+
+  /// Uniform index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_RNG_H_

@@ -1,0 +1,106 @@
+#ifndef WCOP_COMMON_STATUS_H_
+#define WCOP_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace wcop {
+
+/// Error categories used across the library. Kept deliberately small: the
+/// library signals *what class of thing went wrong*; the message carries the
+/// detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kIoError,
+  kParseError,
+  kResourceExhausted,
+  kInternal,
+  kUnsatisfiable,  ///< No solution exists under the given constraints
+                   ///< (e.g. Bounded anonymity with an unreachable bound).
+};
+
+/// Returns a stable, human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Lightweight status object in the RocksDB/Abseil tradition: core library
+/// paths never throw; fallible operations return a Status (or Result<T>).
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// message string otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unsatisfiable(std::string msg) {
+    return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller. Usage:
+///   WCOP_RETURN_IF_ERROR(DoThing());
+#define WCOP_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::wcop::Status _wcop_status = (expr);   \
+    if (!_wcop_status.ok()) {               \
+      return _wcop_status;                  \
+    }                                       \
+  } while (false)
+
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef WCOP_COMMON_STOPWATCH_H_
+#define WCOP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace wcop {
+
+/// Wall-clock stopwatch used by the benchmark harness to report algorithm
+/// runtimes (the "runtime (seconds)" row of Table 3).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_STOPWATCH_H_

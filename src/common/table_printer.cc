@@ -1,0 +1,93 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace wcop {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+  print_row(header_);
+  os << '|';
+  for (size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+namespace {
+
+void WriteCsvCell(std::ostream& os, const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) {
+    os << cell;
+    return;
+  }
+  os << '"';
+  for (char ch : cell) {
+    if (ch == '"') {
+      os << '"';
+    }
+    os << ch;
+  }
+  os << '"';
+}
+
+void WriteCsvRow(std::ostream& os, const std::vector<std::string>& row) {
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c != 0) {
+      os << ',';
+    }
+    WriteCsvCell(os, row[c]);
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  WriteCsvRow(os, header_);
+  for (const auto& row : rows_) {
+    WriteCsvRow(os, row);
+  }
+}
+
+std::string FormatSignificant(double value, int digits) {
+  if (!std::isfinite(value)) {
+    return value > 0 ? "inf" : (value < 0 ? "-inf" : "nan");
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", digits, value);
+  return buf;
+}
+
+}  // namespace wcop

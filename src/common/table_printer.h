@@ -1,0 +1,44 @@
+#ifndef WCOP_COMMON_TABLE_PRINTER_H_
+#define WCOP_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace wcop {
+
+/// Renders aligned text tables and CSV, used by the benchmark harness to
+/// print rows in the same layout as the paper's tables and figure series.
+///
+/// Usage:
+///   TablePrinter t({"kmax", "distortion", "discernibility"});
+///   t.AddRow({"5", "1.05e13", "2500"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; the row must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Writes an aligned, pipe-separated table.
+  void Print(std::ostream& os) const;
+
+  /// Writes RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void PrintCsv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (benchmark output
+/// helper; keeps tables compact without losing the comparison shape).
+std::string FormatSignificant(double value, int digits = 4);
+
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_TABLE_PRINTER_H_

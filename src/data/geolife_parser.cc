@@ -1,0 +1,216 @@
+#include "data/geolife_parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace wcop {
+
+namespace fs = std::filesystem;
+
+Result<Trajectory> ParsePltFile(const std::string& path,
+                                const LocalProjection& projection,
+                                const GeoLifeOptions& options) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open .plt file: " + path);
+  }
+  std::string line;
+  // Skip the six header lines (tolerate files that omit some of them by
+  // detecting the first record-looking line).
+  std::vector<std::string> buffered;
+  for (int i = 0; i < 6 && std::getline(in, line); ++i) {
+    // A record line starts with a latitude ([-]dd.dddd,), has >= 6 commas,
+    // and contains no letters (the track-name header line does).
+    char* end = nullptr;
+    const double maybe_lat = std::strtod(line.c_str(), &end);
+    const bool has_alpha = std::any_of(line.begin(), line.end(), [](char c) {
+      return std::isalpha(static_cast<unsigned char>(c)) != 0;
+    });
+    if (end != line.c_str() && *end == ',' && std::abs(maybe_lat) <= 90.0 &&
+        !has_alpha && std::count(line.begin(), line.end(), ',') >= 6) {
+      buffered.push_back(line);
+      break;
+    }
+  }
+
+  Trajectory traj;
+  double last_time = -std::numeric_limits<double>::infinity();
+  auto consume = [&](const std::string& record) -> Status {
+    std::istringstream ss(record);
+    std::string cell;
+    double lat = 0.0, lon = 0.0, days = 0.0;
+    for (int field = 0; std::getline(ss, cell, ','); ++field) {
+      char* end = nullptr;
+      switch (field) {
+        case 0:
+          lat = std::strtod(cell.c_str(), &end);
+          if (end == cell.c_str()) {
+            return Status::ParseError("bad latitude in " + path);
+          }
+          break;
+        case 1:
+          lon = std::strtod(cell.c_str(), &end);
+          if (end == cell.c_str()) {
+            return Status::ParseError("bad longitude in " + path);
+          }
+          break;
+        case 4:
+          days = std::strtod(cell.c_str(), &end);
+          if (end == cell.c_str()) {
+            return Status::ParseError("bad timestamp in " + path);
+          }
+          break;
+        default:
+          break;  // altitude/date/time fields are not needed
+      }
+    }
+    const double t = days * 86400.0;
+    if (t <= last_time) {
+      return Status::OK();  // drop duplicate / out-of-order fixes
+    }
+    const Point p = projection.ToMetric(lat, lon, t);
+    if (options.filter_outliers &&
+        (std::abs(p.x) > options.max_offset_metres ||
+         std::abs(p.y) > options.max_offset_metres)) {
+      return Status::OK();
+    }
+    traj.AppendPoint(p);
+    last_time = t;
+    return Status::OK();
+  };
+
+  for (const std::string& record : buffered) {
+    WCOP_RETURN_IF_ERROR(consume(record));
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    WCOP_RETURN_IF_ERROR(consume(line));
+  }
+  if (traj.size() < options.min_points) {
+    return Status::NotFound("trajectory in " + path + " has only " +
+                            std::to_string(traj.size()) + " usable points");
+  }
+  return traj;
+}
+
+Result<Dataset> LoadGeoLifeDirectory(const std::string& root,
+                                     const GeoLifeOptions& options) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status::NotFound("GeoLife root is not a directory: " + root);
+  }
+  const LocalProjection projection(options.ref_lat, options.ref_lon);
+
+  // Users are subdirectories (conventionally zero-padded numbers).
+  std::vector<fs::path> user_dirs;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (entry.is_directory()) {
+      user_dirs.push_back(entry.path());
+    }
+  }
+  std::sort(user_dirs.begin(), user_dirs.end());
+  if (options.max_users > 0 && user_dirs.size() > options.max_users) {
+    user_dirs.resize(options.max_users);
+  }
+
+  Dataset dataset;
+  int64_t next_traj_id = 0;
+  int64_t user_index = 0;
+  for (const fs::path& user_dir : user_dirs) {
+    const fs::path traj_dir = user_dir / "Trajectory";
+    if (!fs::is_directory(traj_dir, ec)) {
+      ++user_index;
+      continue;
+    }
+    std::vector<fs::path> plt_files;
+    for (const auto& entry : fs::directory_iterator(traj_dir, ec)) {
+      if (entry.is_regular_file() && entry.path().extension() == ".plt") {
+        plt_files.push_back(entry.path());
+      }
+    }
+    std::sort(plt_files.begin(), plt_files.end());
+    for (const fs::path& plt : plt_files) {
+      if (options.max_trajectories > 0 &&
+          dataset.size() >= options.max_trajectories) {
+        return dataset;
+      }
+      Result<Trajectory> parsed = ParsePltFile(plt.string(), projection,
+                                               options);
+      if (!parsed.ok()) {
+        if (parsed.status().code() == StatusCode::kNotFound) {
+          continue;  // too-short trajectory; skip silently
+        }
+        return parsed.status();
+      }
+      Trajectory t = std::move(parsed).value();
+      t.set_id(next_traj_id++);
+      t.set_object_id(user_index);
+      dataset.Add(std::move(t));
+    }
+    ++user_index;
+  }
+  if (dataset.empty()) {
+    return Status::NotFound("no .plt trajectories found under " + root);
+  }
+  return dataset;
+}
+
+Status WritePltFile(const Trajectory& trajectory,
+                    const LocalProjection& projection,
+                    const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open .plt for writing: " + path);
+  }
+  out << "Geolife trajectory\n"
+         "WGS 84\n"
+         "Altitude is in Feet\n"
+         "Reserved 3\n"
+         "0,2,255,My Track,0,0,2182,255\n"
+      << trajectory.size() << "\n";
+  char line[160];
+  for (const Point& p : trajectory.points()) {
+    double lat = 0.0, lon = 0.0;
+    projection.ToGeographic(p, &lat, &lon);
+    const double days = p.t / 86400.0;
+    // The textual date/time fields are informational duplicates of the
+    // days-since-1899 field; the parser only reads the numeric field, so a
+    // fixed placeholder keeps the format valid.
+    std::snprintf(line, sizeof(line), "%.7f,%.7f,0,0,%.10f,1970-01-01,00:00:00\n",
+                  lat, lon, days);
+    out << line;
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status WriteGeoLifeDirectory(const Dataset& dataset,
+                             const LocalProjection& projection,
+                             const std::string& root) {
+  std::error_code ec;
+  for (const Trajectory& t : dataset.trajectories()) {
+    char user[32];
+    std::snprintf(user, sizeof(user), "%03lld",
+                  static_cast<long long>(t.object_id()));
+    const fs::path dir = fs::path(root) / user / "Trajectory";
+    fs::create_directories(dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create " + dir.string() + ": " +
+                             ec.message());
+    }
+    const fs::path path =
+        dir / (std::to_string(t.id()) + ".plt");
+    WCOP_RETURN_IF_ERROR(WritePltFile(t, projection, path.string()));
+  }
+  return Status::OK();
+}
+
+}  // namespace wcop

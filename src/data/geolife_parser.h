@@ -1,0 +1,69 @@
+#ifndef WCOP_DATA_GEOLIFE_PARSER_H_
+#define WCOP_DATA_GEOLIFE_PARSER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "geo/projection.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Reader for the Microsoft GeoLife GPS trajectory dataset (Zheng et al.),
+/// the dataset of the paper's experimental study.
+///
+/// A .plt file has six header lines followed by records of the form
+///   latitude,longitude,0,altitude_ft,days_since_1899,date,time
+/// The directory layout is  <root>/<user_id>/Trajectory/<timestamp>.plt.
+///
+/// All points are projected into local metric coordinates (metres) through
+/// a LocalProjection anchored at central Beijing by default; timestamps are
+/// converted to seconds (days-since-1899 * 86400).
+struct GeoLifeOptions {
+  /// Projection anchor (defaults: central Beijing).
+  double ref_lat = 39.9057;
+  double ref_lon = 116.3913;
+
+  /// Stop after this many users / trajectories (0 = no limit). The paper
+  /// uses a 238-trajectory, 72-user sample.
+  size_t max_users = 0;
+  size_t max_trajectories = 0;
+
+  /// Skip trajectories with fewer points than this.
+  size_t min_points = 2;
+
+  /// Drop obviously broken fixes (outside a generous lat/lon window around
+  /// the anchor).
+  bool filter_outliers = true;
+  double max_offset_metres = 500000.0;  ///< 500 km window
+};
+
+/// Parses a single .plt file into a Trajectory (id/object id must be set by
+/// the caller; the function leaves them 0).
+Result<Trajectory> ParsePltFile(const std::string& path,
+                                const LocalProjection& projection,
+                                const GeoLifeOptions& options = {});
+
+/// Walks a GeoLife-layout directory and loads every .plt found, assigning
+/// sequential trajectory ids and per-directory user ids.
+Result<Dataset> LoadGeoLifeDirectory(const std::string& root,
+                                     const GeoLifeOptions& options = {});
+
+/// Writes a trajectory as a GeoLife-format .plt file (six-line header +
+/// lat,lon,0,altitude,days,date,time records), re-projecting metric
+/// coordinates through `projection`. Round-trips with ParsePltFile.
+Status WritePltFile(const Trajectory& trajectory,
+                    const LocalProjection& projection,
+                    const std::string& path);
+
+/// Writes the whole dataset in GeoLife directory layout:
+/// <root>/<object_id>/Trajectory/<traj_id>.plt. Creates directories as
+/// needed; round-trips with LoadGeoLifeDirectory.
+Status WriteGeoLifeDirectory(const Dataset& dataset,
+                             const LocalProjection& projection,
+                             const std::string& root);
+
+}  // namespace wcop
+
+#endif  // WCOP_DATA_GEOLIFE_PARSER_H_

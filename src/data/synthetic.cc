@@ -1,0 +1,316 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace wcop {
+
+namespace {
+
+/// A route is a dense polyline (metres); trajectories travel along it at
+/// constant-ish speed with a per-trajectory lateral lane offset.
+struct Route {
+  std::vector<Point> waypoints;  ///< t unused
+  std::vector<double> cumulative_length;
+
+  double TotalLength() const {
+    return cumulative_length.empty() ? 0.0 : cumulative_length.back();
+  }
+
+  /// Position at arc length s (clamped), plus the local unit normal so the
+  /// caller can apply a lateral offset.
+  void At(double s, double* x, double* y, double* nx, double* ny) const {
+    if (waypoints.size() < 2) {
+      *x = waypoints.empty() ? 0.0 : waypoints[0].x;
+      *y = waypoints.empty() ? 0.0 : waypoints[0].y;
+      *nx = 0.0;
+      *ny = 1.0;
+      return;
+    }
+    s = std::clamp(s, 0.0, TotalLength());
+    const auto it = std::lower_bound(cumulative_length.begin(),
+                                     cumulative_length.end(), s);
+    size_t seg = static_cast<size_t>(it - cumulative_length.begin());
+    seg = std::min(std::max<size_t>(seg, 1), waypoints.size() - 1);
+    const Point& a = waypoints[seg - 1];
+    const Point& b = waypoints[seg];
+    const double seg_start = cumulative_length[seg - 1];
+    const double seg_len = cumulative_length[seg] - seg_start;
+    const double alpha = seg_len > 0.0 ? (s - seg_start) / seg_len : 0.0;
+    *x = a.x + alpha * (b.x - a.x);
+    *y = a.y + alpha * (b.y - a.y);
+    const double dx = b.x - a.x;
+    const double dy = b.y - a.y;
+    const double norm = std::sqrt(dx * dx + dy * dy);
+    if (norm > 0.0) {
+      *nx = -dy / norm;
+      *ny = dx / norm;
+    } else {
+      *nx = 0.0;
+      *ny = 1.0;
+    }
+  }
+};
+
+void FinalizeRoute(Route* route) {
+  route->cumulative_length.resize(route->waypoints.size());
+  double total = 0.0;
+  for (size_t i = 0; i < route->waypoints.size(); ++i) {
+    if (i > 0) {
+      total += SpatialDistance(route->waypoints[i - 1], route->waypoints[i]);
+    }
+    route->cumulative_length[i] = total;
+  }
+}
+
+/// Generates the hub layout: a dense "downtown" hub at the centre and the
+/// rest pulled towards it, all inside the square region.
+std::vector<Point> MakeHubs(const SyntheticOptions& options, double half_side,
+                            Rng* rng) {
+  std::vector<Point> hubs;
+  hubs.push_back(Point(0.0, 0.0, 0.0));
+  while (hubs.size() < options.num_hubs) {
+    // Gaussian pull towards the centre, clamped to the region.
+    const double x =
+        std::clamp(rng->Gaussian(0.0, half_side * 0.55), -half_side, half_side);
+    const double y =
+        std::clamp(rng->Gaussian(0.0, half_side * 0.55), -half_side, half_side);
+    hubs.push_back(Point(x, y, 0.0));
+  }
+  return hubs;
+}
+
+/// Builds one route through `num_legs`+1 distinct hubs, preferring nearby
+/// hubs for consecutive legs, with per-leg wiggle waypoints.
+Route MakeRoute(const std::vector<Point>& hubs, size_t num_legs,
+                const SyntheticOptions& options, Rng* rng) {
+  Route route;
+  size_t current = rng->UniformIndex(hubs.size());
+  std::vector<size_t> visited = {current};
+  route.waypoints.push_back(hubs[current]);
+  for (size_t leg = 0; leg < num_legs; ++leg) {
+    // Choose the next hub among the 5 nearest unvisited ones.
+    std::vector<size_t> order(hubs.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return SpatialDistanceSquared(hubs[current], hubs[a]) <
+             SpatialDistanceSquared(hubs[current], hubs[b]);
+    });
+    size_t next = current;
+    std::vector<size_t> candidates;
+    for (size_t idx : order) {
+      if (std::find(visited.begin(), visited.end(), idx) == visited.end()) {
+        candidates.push_back(idx);
+        if (candidates.size() == 5) {
+          break;
+        }
+      }
+    }
+    if (candidates.empty()) {
+      break;
+    }
+    next = candidates[rng->UniformIndex(candidates.size())];
+
+    // Subdivide the leg with lateral wiggle so routes look like roads, not
+    // rulers. The wiggle is part of the route: everyone using this route
+    // shares it.
+    const Point& a = hubs[current];
+    const Point& b = hubs[next];
+    const double dx = b.x - a.x;
+    const double dy = b.y - a.y;
+    const double len = std::sqrt(dx * dx + dy * dy);
+    const double nx = len > 0.0 ? -dy / len : 0.0;
+    const double ny = len > 0.0 ? dx / len : 1.0;
+    for (size_t w = 1; w <= options.waypoints_per_leg; ++w) {
+      const double alpha =
+          static_cast<double>(w) / (options.waypoints_per_leg + 1);
+      // Sine envelope keeps wiggle zero at the hubs themselves.
+      const double envelope = std::sin(alpha * M_PI);
+      const double offset =
+          rng->Gaussian(0.0, options.route_wiggle_sigma) * envelope;
+      route.waypoints.push_back(Point(a.x + alpha * dx + nx * offset,
+                                      a.y + alpha * dy + ny * offset, 0.0));
+    }
+    route.waypoints.push_back(b);
+    visited.push_back(next);
+    current = next;
+  }
+  FinalizeRoute(&route);
+  return route;
+}
+
+/// Travel plan for one trajectory: route, direction, departure, speed, lane.
+struct TravelPlan {
+  size_t route_index = 0;
+  bool reverse = false;
+  double departure = 0.0;
+  double speed = 1.0;
+  double lane_offset = 0.0;
+};
+
+Trajectory Realize(const TravelPlan& plan, const Route& route,
+                   const SyntheticOptions& options, int64_t id, Rng* rng) {
+  std::vector<Point> points;
+  points.reserve(options.points_per_trajectory);
+  const double total = route.TotalLength();
+  double s = plan.reverse ? total : 0.0;
+  double time = plan.departure;
+  for (size_t i = 0; i < options.points_per_trajectory; ++i) {
+    double x, y, nx, ny;
+    route.At(s, &x, &y, &nx, &ny);
+    const double jitter_x = rng->Gaussian(0.0, options.gps_noise_sigma);
+    const double jitter_y = rng->Gaussian(0.0, options.gps_noise_sigma);
+    points.push_back(Point(x + nx * plan.lane_offset + jitter_x,
+                           y + ny * plan.lane_offset + jitter_y, time));
+    // Small per-step speed noise; direction flips at route ends so long
+    // recordings pace back and forth like commuters do.
+    const double step =
+        std::max(0.5, plan.speed + rng->Gaussian(0.0, 0.1 * plan.speed)) *
+        options.sampling_interval;
+    if (plan.reverse) {
+      s -= step;
+      if (s <= 0.0) {
+        s = -s;
+      }
+    } else {
+      s += step;
+      if (s >= total) {
+        s = std::max(0.0, 2.0 * total - s);
+      }
+    }
+    time += options.sampling_interval;
+  }
+  return Trajectory(id, std::move(points));
+}
+
+}  // namespace
+
+Result<Dataset> GenerateSyntheticGeoLife(const SyntheticOptions& options) {
+  if (options.num_trajectories == 0 || options.num_users == 0) {
+    return Status::InvalidArgument("need at least one user and trajectory");
+  }
+  if (options.points_per_trajectory < 2) {
+    return Status::InvalidArgument("points_per_trajectory must be >= 2");
+  }
+  if (options.sampling_interval <= 0.0) {
+    return Status::InvalidArgument("sampling_interval must be positive");
+  }
+  if (options.num_hubs < 2) {
+    return Status::InvalidArgument("need at least two hubs");
+  }
+
+  Rng rng(options.seed);
+  const double half_side = options.region_half_diagonal / std::sqrt(2.0);
+  const std::vector<Point> hubs = MakeHubs(options, half_side, &rng);
+
+  std::vector<Route> routes;
+  routes.reserve(options.num_routes);
+  for (size_t r = 0; r < options.num_routes; ++r) {
+    routes.push_back(
+        MakeRoute(hubs, /*num_legs=*/1 + rng.UniformIndex(3), options, &rng));
+  }
+
+  const double span_seconds = options.dataset_duration_days * 86400.0;
+  const double trip_seconds =
+      static_cast<double>(options.points_per_trajectory) *
+      options.sampling_interval;
+
+  Dataset dataset;
+  TravelPlan previous;
+  bool have_previous = false;
+  size_t companions_left = 0;
+  for (size_t i = 0; i < options.num_trajectories; ++i) {
+    // Guarded so a zero fraction consumes no randomness (keeps seeded
+    // streams identical to pre-outlier datasets).
+    if (options.outlier_fraction > 0.0 &&
+        rng.Bernoulli(options.outlier_fraction)) {
+      // Outlier: a free random walk that shares no route with anyone.
+      std::vector<Point> points;
+      points.reserve(options.points_per_trajectory);
+      double x = rng.UniformReal(-half_side, half_side);
+      double y = rng.UniformReal(-half_side, half_side);
+      double heading = rng.UniformReal(0.0, 2.0 * M_PI);
+      const double speed = std::clamp(
+          rng.Gaussian(options.avg_speed, options.speed_stddev), 2.0, 18.0);
+      double time = rng.UniformReal(
+          0.0, std::max(1.0, span_seconds - trip_seconds));
+      for (size_t p = 0; p < options.points_per_trajectory; ++p) {
+        points.push_back(Point(x, y, time));
+        heading += rng.Gaussian(0.0, 0.35);  // meandering course
+        const double step = speed * options.sampling_interval;
+        x = std::clamp(x + step * std::cos(heading), -half_side, half_side);
+        y = std::clamp(y + step * std::sin(heading), -half_side, half_side);
+        time += options.sampling_interval;
+      }
+      Trajectory t(static_cast<int64_t>(i), std::move(points));
+      t.set_object_id(static_cast<int64_t>(i % options.num_users));
+      dataset.Add(std::move(t));
+      have_previous = false;  // outliers break companion chains
+      continue;
+    }
+    TravelPlan plan;
+    if (have_previous && companions_left > 0 &&
+        rng.Bernoulli(options.companion_prob)) {
+      // Depart together with the previous traveller: same route and
+      // direction, nearby departure, similar speed, own lane.
+      plan = previous;
+      plan.departure += rng.UniformReal(-30.0, 30.0);
+      plan.speed = std::max(0.5, plan.speed + rng.Gaussian(0.0, 0.15));
+      plan.lane_offset = rng.Gaussian(0.0, options.route_lateral_sigma);
+      --companions_left;
+    } else {
+      if (rng.Bernoulli(options.popular_route_prob)) {
+        plan.route_index = rng.UniformIndex(routes.size());
+      } else {
+        // Ad hoc trip: mint a fresh route nobody else shares.
+        routes.push_back(
+            MakeRoute(hubs, 1 + rng.UniformIndex(3), options, &rng));
+        plan.route_index = routes.size() - 1;
+      }
+      plan.reverse = rng.Bernoulli(0.5);
+      plan.departure =
+          rng.UniformReal(0.0, std::max(1.0, span_seconds - trip_seconds));
+      plan.speed = std::clamp(
+          rng.Gaussian(options.avg_speed, options.speed_stddev), 2.0, 18.0);
+      plan.lane_offset = rng.Gaussian(0.0, options.route_lateral_sigma);
+      companions_left = 1 + rng.UniformIndex(4);
+    }
+    previous = plan;
+    have_previous = true;
+
+    Trajectory t = Realize(plan, routes[plan.route_index],
+                           options, static_cast<int64_t>(i), &rng);
+    t.set_object_id(static_cast<int64_t>(i % options.num_users));
+    dataset.Add(std::move(t));
+  }
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+void AssignUniformRequirements(Dataset* dataset, int k_min, int k_max,
+                               double delta_min, double delta_max, Rng* rng) {
+  for (Trajectory& t : dataset->mutable_trajectories()) {
+    Requirement r;
+    r.k = static_cast<int>(rng->UniformInt(k_min, k_max));
+    r.delta = rng->UniformReal(delta_min, delta_max);
+    t.set_requirement(r);
+  }
+}
+
+void AssignProfileRequirements(Dataset* dataset,
+                               const RequirementProfile& profile, Rng* rng) {
+  for (Trajectory& t : dataset->mutable_trajectories()) {
+    Requirement r;
+    if (rng->Bernoulli(profile.strict_fraction)) {
+      r.k = profile.strict_k;
+      r.delta = profile.strict_delta;
+    } else {
+      r.k = profile.relaxed_k;
+      r.delta = profile.relaxed_delta;
+    }
+    t.set_requirement(r);
+  }
+}
+
+}  // namespace wcop

@@ -1,0 +1,49 @@
+#include "distance/dtw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace wcop {
+
+double DtwDistance(const Trajectory& a, const Trajectory& b, size_t window) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // A band narrower than the length difference admits no path; widen to
+  // the minimum feasible band (standard Sakoe-Chiba adjustment).
+  size_t band = window == 0 ? std::max(n, m)
+                            : std::max(window, n > m ? n - m : m - n);
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, kInf), curr(m + 1, kInf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    std::fill(curr.begin(), curr.end(), kInf);
+    const size_t j_lo = i > band ? i - band : 1;
+    const size_t j_hi = std::min(m, i + band);
+    for (size_t j = j_lo; j <= j_hi; ++j) {
+      const double cost = SpatialDistance(a[i - 1], b[j - 1]);
+      const double best =
+          std::min({prev[j - 1], prev[j], curr[j - 1]});
+      curr[j] = best == kInf ? kInf : cost + best;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double NormalizedDtwDistance(const Trajectory& a, const Trajectory& b,
+                             size_t window) {
+  const double d = DtwDistance(a, b, window);
+  const size_t denom = a.size() + b.size();
+  if (denom == 0 || !std::isfinite(d)) {
+    return d;
+  }
+  return d / static_cast<double>(denom);
+}
+
+}  // namespace wcop

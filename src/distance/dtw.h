@@ -1,0 +1,32 @@
+#ifndef WCOP_DISTANCE_DTW_H_
+#define WCOP_DISTANCE_DTW_H_
+
+#include <cstddef>
+
+#include "traj/trajectory.h"
+
+namespace wcop {
+
+/// Dynamic Time Warping over the spatial components of two trajectories.
+///
+/// Complements EDR in the distance toolbox: DTW sums real distances along
+/// the optimal alignment (scale-sensitive, no tolerance parameter), where
+/// EDR counts tolerance-mismatched edits (robust to outliers). Provided
+/// for distance-function ablations; the WCOP pipeline itself uses EDR as
+/// the paper prescribes.
+
+/// Classic DTW with optional Sakoe-Chiba band: alignment |i - j| is
+/// limited to `window` when window > 0 (0 = unconstrained). Returns the
+/// summed spatial distance along the optimal warping path, or +infinity
+/// when either trajectory is empty (or the band admits no path).
+double DtwDistance(const Trajectory& a, const Trajectory& b,
+                   size_t window = 0);
+
+/// DTW normalized by the warping path's worst-case length (|a| + |b|),
+/// giving a per-step average displacement in metres.
+double NormalizedDtwDistance(const Trajectory& a, const Trajectory& b,
+                             size_t window = 0);
+
+}  // namespace wcop
+
+#endif  // WCOP_DISTANCE_DTW_H_

@@ -1,0 +1,41 @@
+#include "distance/lcss.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace wcop {
+
+size_t LcssLength(const Trajectory& a, const Trajectory& b,
+                  const EdrTolerance& tolerance) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) {
+    return 0;
+  }
+  std::vector<uint32_t> prev(m + 1, 0), curr(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
+    const Point& pa = a[i - 1];
+    for (size_t j = 1; j <= m; ++j) {
+      if (tolerance.Matches(pa, b[j - 1])) {
+        curr[j] = prev[j - 1] + 1;
+      } else {
+        curr[j] = std::max(prev[j], curr[j - 1]);
+      }
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double LcssDistance(const Trajectory& a, const Trajectory& b,
+                    const EdrTolerance& tolerance) {
+  const size_t shortest = std::min(a.size(), b.size());
+  if (shortest == 0) {
+    return a.size() == b.size() ? 0.0 : 1.0;
+  }
+  return 1.0 - static_cast<double>(LcssLength(a, b, tolerance)) /
+                   static_cast<double>(shortest);
+}
+
+}  // namespace wcop

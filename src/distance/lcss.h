@@ -1,0 +1,26 @@
+#ifndef WCOP_DISTANCE_LCSS_H_
+#define WCOP_DISTANCE_LCSS_H_
+
+#include "distance/edr.h"
+#include "traj/trajectory.h"
+
+namespace wcop {
+
+/// Longest Common SubSequence similarity between trajectories under the same
+/// tolerance model as EDR. Provided as an auxiliary trajectory-similarity
+/// measure (useful for sanity cross-checks in tests and for ablations against
+/// the EDR-driven clustering; not part of the paper's headline pipeline).
+
+/// Length of the longest tolerance-matched common subsequence.
+/// O(|a|*|b|) time, O(min(|a|,|b|)) space.
+size_t LcssLength(const Trajectory& a, const Trajectory& b,
+                  const EdrTolerance& tolerance);
+
+/// LCSS distance in [0, 1]: 1 - LCSS / min(|a|, |b|). Two empty
+/// trajectories are at distance 0.
+double LcssDistance(const Trajectory& a, const Trajectory& b,
+                    const EdrTolerance& tolerance);
+
+}  // namespace wcop
+
+#endif  // WCOP_DISTANCE_LCSS_H_

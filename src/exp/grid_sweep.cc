@@ -1,0 +1,115 @@
+#include "exp/grid_sweep.h"
+
+#include "common/table_printer.h"
+
+namespace wcop {
+
+void GridSweepResult::Set(const std::string& metric, size_t delta_index,
+                          size_t k_index, double value) {
+  auto it = grids_.find(metric);
+  if (it == grids_.end()) {
+    it = grids_
+             .emplace(metric,
+                      std::vector<std::vector<double>>(
+                          delta_values_.size(),
+                          std::vector<double>(k_values_.size(), 0.0)))
+             .first;
+  }
+  if (delta_index < delta_values_.size() && k_index < k_values_.size()) {
+    it->second[delta_index][k_index] = value;
+  }
+}
+
+double GridSweepResult::Get(const std::string& metric, size_t delta_index,
+                            size_t k_index) const {
+  auto it = grids_.find(metric);
+  if (it == grids_.end() || delta_index >= delta_values_.size() ||
+      k_index >= k_values_.size()) {
+    return 0.0;
+  }
+  return it->second[delta_index][k_index];
+}
+
+std::vector<std::string> GridSweepResult::Metrics() const {
+  std::vector<std::string> names;
+  names.reserve(grids_.size());
+  for (const auto& [name, grid] : grids_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+void GridSweepResult::PrintTable(const std::string& metric,
+                                 std::ostream& os) const {
+  std::vector<std::string> header = {"series"};
+  for (int k : k_values_) {
+    header.push_back("kmax=" + std::to_string(k));
+  }
+  TablePrinter table(header);
+  for (size_t di = 0; di < delta_values_.size(); ++di) {
+    std::vector<std::string> row = {
+        "dmax=" + FormatSignificant(delta_values_[di], 4)};
+    for (size_t ki = 0; ki < k_values_.size(); ++ki) {
+      row.push_back(FormatSignificant(Get(metric, di, ki), 4));
+    }
+    table.AddRow(row);
+  }
+  table.Print(os);
+}
+
+bool GridSweepResult::AnySeriesNonMonotone(const std::string& metric,
+                                           double tolerance) const {
+  for (size_t di = 0; di < delta_values_.size(); ++di) {
+    bool rose = false, fell = false;
+    for (size_t ki = 1; ki < k_values_.size(); ++ki) {
+      const double prev = Get(metric, di, ki - 1);
+      const double curr = Get(metric, di, ki);
+      rose |= curr > prev + tolerance;
+      fell |= curr < prev - tolerance;
+    }
+    if (rose && fell) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<GridSweepResult> RunGridSweep(const std::vector<int>& k_values,
+                                     const std::vector<double>& delta_values,
+                                     const SweepFn& fn) {
+  if (k_values.empty() || delta_values.empty()) {
+    return Status::InvalidArgument("sweep axes must be non-empty");
+  }
+  if (!fn) {
+    return Status::InvalidArgument("sweep function must be set");
+  }
+  GridSweepResult result(k_values, delta_values);
+  for (size_t ki = 0; ki < k_values.size(); ++ki) {
+    for (size_t di = 0; di < delta_values.size(); ++di) {
+      SweepCell cell;
+      cell.k_max = k_values[ki];
+      cell.delta_max = delta_values[di];
+      cell.k_index = ki;
+      cell.delta_index = di;
+      Result<std::map<std::string, double>> metrics = fn(cell);
+      if (!metrics.ok()) {
+        return Status(metrics.status().code(),
+                      "sweep cell (kmax=" + std::to_string(cell.k_max) +
+                          ", dmax=" + std::to_string(cell.delta_max) +
+                          ") failed: " + metrics.status().message());
+      }
+      for (const auto& [name, value] : *metrics) {
+        result.Set(name, di, ki, value);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> PaperKValues() { return {5, 10, 25, 50, 100}; }
+
+std::vector<double> PaperDeltaValues() {
+  return {50.0, 100.0, 250.0, 500.0, 1000.0, 1400.0};
+}
+
+}  // namespace wcop

@@ -1,0 +1,78 @@
+#ifndef WCOP_EXP_GRID_SWEEP_H_
+#define WCOP_EXP_GRID_SWEEP_H_
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace wcop {
+
+/// Experiment-harness substrate: the paper's Figures 5-8 are all grids of
+/// metrics over (k_max, delta_max) combinations. GridSweep runs a caller
+/// function over the grid once, collects every named metric, and renders
+/// the paper-style series tables (one row per delta_max, one column per
+/// k_max) — so each bench states only *what* it measures.
+
+/// One grid cell's parameters.
+struct SweepCell {
+  int k_max = 0;
+  double delta_max = 0.0;
+  size_t k_index = 0;
+  size_t delta_index = 0;
+};
+
+/// The caller's measurement: metric name -> value for one cell.
+using SweepFn =
+    std::function<Result<std::map<std::string, double>>(const SweepCell&)>;
+
+class GridSweepResult {
+ public:
+  GridSweepResult(std::vector<int> k_values, std::vector<double> delta_values)
+      : k_values_(std::move(k_values)),
+        delta_values_(std::move(delta_values)) {}
+
+  /// Stores one metric value for a cell (overwrites).
+  void Set(const std::string& metric, size_t delta_index, size_t k_index,
+           double value);
+
+  /// Value of a metric at a cell; 0 when absent.
+  double Get(const std::string& metric, size_t delta_index,
+             size_t k_index) const;
+
+  /// Names of all collected metrics, sorted.
+  std::vector<std::string> Metrics() const;
+
+  /// Prints the paper-style table of one metric ("| dmax=... | v v v |").
+  void PrintTable(const std::string& metric, std::ostream& os) const;
+
+  /// True iff some delta series of the metric both rises and falls along
+  /// k_max — the non-monotonicity the paper highlights in Figures 5 and 8.
+  bool AnySeriesNonMonotone(const std::string& metric,
+                            double tolerance = 0.0) const;
+
+  const std::vector<int>& k_values() const { return k_values_; }
+  const std::vector<double>& delta_values() const { return delta_values_; }
+
+ private:
+  std::vector<int> k_values_;
+  std::vector<double> delta_values_;
+  std::map<std::string, std::vector<std::vector<double>>> grids_;
+};
+
+/// Runs `fn` over every (k_max, delta_max) combination. Stops at the first
+/// failing cell and propagates its status.
+Result<GridSweepResult> RunGridSweep(const std::vector<int>& k_values,
+                                     const std::vector<double>& delta_values,
+                                     const SweepFn& fn);
+
+/// The paper's standard sweep axes (Section 6.3).
+std::vector<int> PaperKValues();
+std::vector<double> PaperDeltaValues();
+
+}  // namespace wcop
+
+#endif  // WCOP_EXP_GRID_SWEEP_H_

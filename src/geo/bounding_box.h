@@ -1,0 +1,76 @@
+#ifndef WCOP_GEO_BOUNDING_BOX_H_
+#define WCOP_GEO_BOUNDING_BOX_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/point.h"
+
+namespace wcop {
+
+/// Axis-aligned spatial bounding box (time is not part of the box).
+///
+/// Used for dataset statistics — radius(D) in Table 2 is the half-diagonal of
+/// the minimum bounding box of the entire space covered by the dataset.
+class BoundingBox {
+ public:
+  BoundingBox()
+      : min_x_(std::numeric_limits<double>::infinity()),
+        min_y_(std::numeric_limits<double>::infinity()),
+        max_x_(-std::numeric_limits<double>::infinity()),
+        max_y_(-std::numeric_limits<double>::infinity()) {}
+
+  BoundingBox(double min_x, double min_y, double max_x, double max_y)
+      : min_x_(min_x), min_y_(min_y), max_x_(max_x), max_y_(max_y) {}
+
+  /// True until the first Extend().
+  bool empty() const { return min_x_ > max_x_ || min_y_ > max_y_; }
+
+  /// Grows the box to cover `p`.
+  void Extend(const Point& p) {
+    min_x_ = std::min(min_x_, p.x);
+    min_y_ = std::min(min_y_, p.y);
+    max_x_ = std::max(max_x_, p.x);
+    max_y_ = std::max(max_y_, p.y);
+  }
+
+  /// Grows the box to cover `other`.
+  void Extend(const BoundingBox& other) {
+    if (other.empty()) {
+      return;
+    }
+    min_x_ = std::min(min_x_, other.min_x_);
+    min_y_ = std::min(min_y_, other.min_y_);
+    max_x_ = std::max(max_x_, other.max_x_);
+    max_y_ = std::max(max_y_, other.max_y_);
+  }
+
+  bool Contains(const Point& p) const {
+    return !empty() && p.x >= min_x_ && p.x <= max_x_ && p.y >= min_y_ &&
+           p.y <= max_y_;
+  }
+
+  double width() const { return empty() ? 0.0 : max_x_ - min_x_; }
+  double height() const { return empty() ? 0.0 : max_y_ - min_y_; }
+
+  /// Half the diagonal length — the radius(D) statistic of Table 2.
+  double HalfDiagonal() const {
+    if (empty()) {
+      return 0.0;
+    }
+    return 0.5 * std::sqrt(width() * width() + height() * height());
+  }
+
+  double min_x() const { return min_x_; }
+  double min_y() const { return min_y_; }
+  double max_x() const { return max_x_; }
+  double max_y() const { return max_y_; }
+
+ private:
+  double min_x_, min_y_, max_x_, max_y_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_GEO_BOUNDING_BOX_H_

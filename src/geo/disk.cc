@@ -1,0 +1,33 @@
+#include "geo/disk.h"
+
+#include <cmath>
+
+namespace wcop {
+
+Point ClampIntoDisk(const Point& p, const Point& center, double radius,
+                    double keep_time) {
+  const double dist = SpatialDistance(p, center);
+  if (dist <= radius) {
+    return Point(p.x, p.y, keep_time);
+  }
+  // Pull the point along the line towards the centre until it sits exactly on
+  // the disk boundary — this is the minimum-distance translation.
+  const double scale = radius / dist;
+  return Point(center.x + (p.x - center.x) * scale,
+               center.y + (p.y - center.y) * scale, keep_time);
+}
+
+Point RandomPointInDisk(const Point& center, double radius, double time,
+                        Rng& rng) {
+  const double angle = rng.UniformReal(0.0, 2.0 * M_PI);
+  const double r = radius * std::sqrt(rng.UniformReal(0.0, 1.0));
+  return Point(center.x + r * std::cos(angle), center.y + r * std::sin(angle),
+               time);
+}
+
+bool InsideDisk(const Point& p, const Point& center, double radius,
+                double epsilon) {
+  return SpatialDistance(p, center) <= radius + epsilon;
+}
+
+}  // namespace wcop

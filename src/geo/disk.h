@@ -1,0 +1,34 @@
+#ifndef WCOP_GEO_DISK_H_
+#define WCOP_GEO_DISK_H_
+
+#include "common/rng.h"
+#include "geo/point.h"
+
+namespace wcop {
+
+/// Disk operations used by the translation phase (Algorithm 4).
+///
+/// Every sanitized point must lie inside the disk of radius delta_c/2 centred
+/// at the corresponding pivot point: matched points are *clamped* into the
+/// disk with the minimum displacement, and points created for unmatched pivot
+/// points are drawn *uniformly at random* inside the disk.
+
+/// Moves `p` the minimum distance needed to lie within `radius` of `center`
+/// (spatial coordinates only; the returned point keeps `keep_time`).
+/// If `p` is already inside, it is returned unchanged except for the time.
+Point ClampIntoDisk(const Point& p, const Point& center, double radius,
+                    double keep_time);
+
+/// Uniform random point inside the disk of `radius` around `center`, stamped
+/// with `time`. Uses the sqrt-radius transform for area uniformity.
+Point RandomPointInDisk(const Point& center, double radius, double time,
+                        Rng& rng);
+
+/// True iff the spatial distance between `p` and `center` is <= radius
+/// (with a small epsilon to absorb floating-point clamping error).
+bool InsideDisk(const Point& p, const Point& center, double radius,
+                double epsilon = 1e-9);
+
+}  // namespace wcop
+
+#endif  // WCOP_GEO_DISK_H_

@@ -1,0 +1,53 @@
+#ifndef WCOP_GEO_POINT_H_
+#define WCOP_GEO_POINT_H_
+
+#include <cmath>
+#include <ostream>
+
+namespace wcop {
+
+/// A timestamped 2-D location: the paper's (p, t) pair with p = (x, y).
+///
+/// Coordinates are metric (metres in a local projection) and time is in
+/// seconds. Trajectories are ordered sequences of Points with strictly
+/// increasing t (see Trajectory).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  double t = 0.0;
+
+  Point() = default;
+  Point(double x_in, double y_in, double t_in) : x(x_in), y(y_in), t(t_in) {}
+
+  bool operator==(const Point& other) const {
+    return x == other.x && y == other.y && t == other.t;
+  }
+};
+
+/// Euclidean distance between the spatial components (time is ignored);
+/// this is the d(p1, p2) of Definition 2.
+inline double SpatialDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared spatial distance — avoids the sqrt on hot comparison paths.
+inline double SpatialDistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Absolute time difference in seconds.
+inline double TemporalDistance(const Point& a, const Point& b) {
+  return std::abs(a.t - b.t);
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << "(" << p.x << ", " << p.y << ", t=" << p.t << ")";
+}
+
+}  // namespace wcop
+
+#endif  // WCOP_GEO_POINT_H_

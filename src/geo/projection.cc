@@ -1,0 +1,32 @@
+#include "geo/projection.h"
+
+#include <cmath>
+
+namespace wcop {
+
+namespace {
+// Mean Earth radius (IUGG), metres.
+constexpr double kEarthRadiusMetres = 6371008.8;
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+LocalProjection::LocalProjection(double ref_lat_deg, double ref_lon_deg)
+    : ref_lat_deg_(ref_lat_deg), ref_lon_deg_(ref_lon_deg) {
+  metres_per_deg_lat_ = kEarthRadiusMetres * kDegToRad;
+  metres_per_deg_lon_ =
+      kEarthRadiusMetres * kDegToRad * std::cos(ref_lat_deg * kDegToRad);
+}
+
+Point LocalProjection::ToMetric(double lat_deg, double lon_deg,
+                                double time) const {
+  return Point((lon_deg - ref_lon_deg_) * metres_per_deg_lon_,
+               (lat_deg - ref_lat_deg_) * metres_per_deg_lat_, time);
+}
+
+void LocalProjection::ToGeographic(const Point& p, double* lat_deg,
+                                   double* lon_deg) const {
+  *lat_deg = ref_lat_deg_ + p.y / metres_per_deg_lat_;
+  *lon_deg = ref_lon_deg_ + p.x / metres_per_deg_lon_;
+}
+
+}  // namespace wcop

@@ -1,0 +1,41 @@
+#ifndef WCOP_GEO_PROJECTION_H_
+#define WCOP_GEO_PROJECTION_H_
+
+#include "geo/point.h"
+
+namespace wcop {
+
+/// Equirectangular projection from WGS-84 (lat, lon) to local metric
+/// coordinates, anchored at a reference latitude/longitude.
+///
+/// GeoLife .plt files record raw GPS latitude/longitude; every distance in
+/// the paper (delta in metres, radius(D) in metres, speeds in m/s) assumes a
+/// metric plane, so the parser projects through this class. The
+/// equirectangular approximation is accurate to well under 0.1% over a
+/// city-scale extent such as Beijing's, which is far below the uncertainty
+/// thresholds the algorithms operate with.
+class LocalProjection {
+ public:
+  /// Anchors the projection at (ref_lat_deg, ref_lon_deg); that geographic
+  /// point maps to the metric origin (0, 0).
+  LocalProjection(double ref_lat_deg, double ref_lon_deg);
+
+  /// (lat, lon) in degrees -> metric (x east, y north) in metres.
+  Point ToMetric(double lat_deg, double lon_deg, double time) const;
+
+  /// Inverse transform: metric point -> (lat, lon) in degrees.
+  void ToGeographic(const Point& p, double* lat_deg, double* lon_deg) const;
+
+  double reference_latitude() const { return ref_lat_deg_; }
+  double reference_longitude() const { return ref_lon_deg_; }
+
+ private:
+  double ref_lat_deg_;
+  double ref_lon_deg_;
+  double metres_per_deg_lat_;
+  double metres_per_deg_lon_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_GEO_PROJECTION_H_

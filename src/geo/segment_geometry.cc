@@ -1,0 +1,142 @@
+#include "geo/segment_geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wcop {
+
+double ProjectionParameter(const Point& p, const LineSegment& seg) {
+  const double vx = seg.end.x - seg.start.x;
+  const double vy = seg.end.y - seg.start.y;
+  const double len_sq = vx * vx + vy * vy;
+  if (len_sq == 0.0) {
+    return 0.0;
+  }
+  const double wx = p.x - seg.start.x;
+  const double wy = p.y - seg.start.y;
+  return (wx * vx + wy * vy) / len_sq;
+}
+
+namespace {
+
+/// Point on the infinite supporting line at parameter u.
+Point PointAtParameter(const LineSegment& seg, double u) {
+  return Point(seg.start.x + u * (seg.end.x - seg.start.x),
+               seg.start.y + u * (seg.end.y - seg.start.y), 0.0);
+}
+
+}  // namespace
+
+Point ClosestPointOnSegment(const Point& p, const LineSegment& seg) {
+  const double u = std::clamp(ProjectionParameter(p, seg), 0.0, 1.0);
+  return PointAtParameter(seg, u);
+}
+
+double PointToSegmentDistance(const Point& p, const LineSegment& seg) {
+  return SpatialDistance(p, ClosestPointOnSegment(p, seg));
+}
+
+double PointToLineDistance(const Point& p, const LineSegment& seg) {
+  const double u = ProjectionParameter(p, seg);
+  return SpatialDistance(p, PointAtParameter(seg, u));
+}
+
+double AngleBetween(const LineSegment& a, const LineSegment& b) {
+  const double ax = a.end.x - a.start.x;
+  const double ay = a.end.y - a.start.y;
+  const double bx = b.end.x - b.start.x;
+  const double by = b.end.y - b.start.y;
+  const double la = std::sqrt(ax * ax + ay * ay);
+  const double lb = std::sqrt(bx * bx + by * by);
+  if (la == 0.0 || lb == 0.0) {
+    return 0.0;
+  }
+  const double cosine = std::clamp((ax * bx + ay * by) / (la * lb), -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+SegmentDistanceComponents ComputeSegmentDistanceComponents(
+    const LineSegment& a, const LineSegment& b) {
+  // Follow the TRACLUS convention: the longer segment is Li, the shorter Lj.
+  const LineSegment& longer = a.Length() >= b.Length() ? a : b;
+  const LineSegment& shorter = a.Length() >= b.Length() ? b : a;
+
+  SegmentDistanceComponents out;
+
+  // Perpendicular: Lehmer mean of the two projection offsets.
+  const double u_s = ProjectionParameter(shorter.start, longer);
+  const double u_e = ProjectionParameter(shorter.end, longer);
+  const Point ps = Point(longer.start.x + u_s * (longer.end.x - longer.start.x),
+                         longer.start.y + u_s * (longer.end.y - longer.start.y),
+                         0.0);
+  const Point pe = Point(longer.start.x + u_e * (longer.end.x - longer.start.x),
+                         longer.start.y + u_e * (longer.end.y - longer.start.y),
+                         0.0);
+  const double l_perp1 = SpatialDistance(shorter.start, ps);
+  const double l_perp2 = SpatialDistance(shorter.end, pe);
+  const double denom = l_perp1 + l_perp2;
+  out.perpendicular =
+      denom == 0.0 ? 0.0 : (l_perp1 * l_perp1 + l_perp2 * l_perp2) / denom;
+
+  // Parallel: smaller overhang of the two projections beyond Li's endpoints.
+  const double longer_len = longer.Length();
+  auto overhang = [&](double u) {
+    // Distance from the projected point to the nearer endpoint of Li,
+    // measured along Li; zero when the projection falls inside Li.
+    if (u < 0.0) {
+      return -u * longer_len;
+    }
+    if (u > 1.0) {
+      return (u - 1.0) * longer_len;
+    }
+    return 0.0;
+  };
+  out.parallel = std::min(overhang(u_s), overhang(u_e));
+
+  // Angular: ||Lj|| * sin(theta) for theta < 90 degrees, ||Lj|| otherwise
+  // (opposite-pointing segments are maximally dissimilar).
+  const double theta = AngleBetween(longer, shorter);
+  const double shorter_len = shorter.Length();
+  out.angular = theta < M_PI / 2.0 ? shorter_len * std::sin(theta)
+                                   : shorter_len;
+  return out;
+}
+
+bool SegmentIntersectsRect(double ax, double ay, double bx, double by,
+                           double x_lo, double x_hi, double y_lo,
+                           double y_hi) {
+  double t0 = 0.0, t1 = 1.0;
+  const double dx = bx - ax;
+  const double dy = by - ay;
+  auto clip = [&](double p, double v) {
+    // Clip against p * t <= v (one rectangle edge).
+    if (p == 0.0) {
+      return v >= 0.0;  // parallel: fully inside or fully outside
+    }
+    const double r = v / p;
+    if (p < 0.0) {
+      if (r > t1) {
+        return false;
+      }
+      t0 = std::max(t0, r);
+    } else {
+      if (r < t0) {
+        return false;
+      }
+      t1 = std::min(t1, r);
+    }
+    return t0 <= t1;
+  };
+  return clip(-dx, ax - x_lo) && clip(dx, x_hi - ax) && clip(-dy, ay - y_lo) &&
+         clip(dy, y_hi - ay);
+}
+
+double SegmentDistance(const LineSegment& a, const LineSegment& b,
+                       double w_perpendicular, double w_parallel,
+                       double w_angular) {
+  const SegmentDistanceComponents c = ComputeSegmentDistanceComponents(a, b);
+  return w_perpendicular * c.perpendicular + w_parallel * c.parallel +
+         w_angular * c.angular;
+}
+
+}  // namespace wcop

@@ -1,0 +1,69 @@
+#ifndef WCOP_GEO_SEGMENT_GEOMETRY_H_
+#define WCOP_GEO_SEGMENT_GEOMETRY_H_
+
+#include "geo/point.h"
+
+namespace wcop {
+
+/// A directed spatial line segment (time stripped), the working unit of the
+/// TRACLUS partition-and-group framework (Lee, Han & Whang, SIGMOD 2007).
+struct LineSegment {
+  Point start;
+  Point end;
+
+  LineSegment() = default;
+  LineSegment(const Point& s, const Point& e) : start(s), end(e) {}
+
+  double Length() const { return SpatialDistance(start, end); }
+};
+
+/// The three distance components between directed segments from the TRACLUS
+/// paper. By convention the *longer* segment plays the role of Li and the
+/// shorter of Lj; SegmentDistance() below handles the swap.
+struct SegmentDistanceComponents {
+  double perpendicular = 0.0;  ///< d_perp: mean-square of the two projection
+                               ///< offsets (Lee et al., Eq. for d⊥).
+  double parallel = 0.0;       ///< d_par: min of the projections' overhangs.
+  double angular = 0.0;        ///< d_theta: ||Lj||*sin(theta), or ||Lj|| when
+                               ///< the segments point in opposite directions.
+};
+
+/// Projects point `p` onto the (infinite) line through `seg`, returning the
+/// projection parameter u (u=0 at seg.start, u=1 at seg.end). Degenerate
+/// zero-length segments yield u=0.
+double ProjectionParameter(const Point& p, const LineSegment& seg);
+
+/// Closest point on the *finite* segment to `p`.
+Point ClosestPointOnSegment(const Point& p, const LineSegment& seg);
+
+/// Euclidean distance from `p` to the finite segment.
+double PointToSegmentDistance(const Point& p, const LineSegment& seg);
+
+/// Perpendicular distance from `p` to the infinite supporting line of `seg`.
+double PointToLineDistance(const Point& p, const LineSegment& seg);
+
+/// Computes the TRACLUS distance components between two directed segments.
+SegmentDistanceComponents ComputeSegmentDistanceComponents(
+    const LineSegment& a, const LineSegment& b);
+
+/// Weighted TRACLUS segment distance: w_perp*d_perp + w_par*d_par +
+/// w_theta*d_theta. The TRACLUS paper uses equal unit weights by default.
+double SegmentDistance(const LineSegment& a, const LineSegment& b,
+                       double w_perpendicular = 1.0, double w_parallel = 1.0,
+                       double w_angular = 1.0);
+
+/// Angle between the direction vectors of the two segments, in radians
+/// within [0, pi]. Zero-length segments are treated as parallel (angle 0).
+double AngleBetween(const LineSegment& a, const LineSegment& b);
+
+/// True iff the spatial segment (ax,ay)-(bx,by) intersects the axis-aligned
+/// rectangle [x_lo,x_hi] x [y_lo,y_hi] (Liang-Barsky parametric clipping).
+/// Shared by the range-query predicate of the utility metrics and by the
+/// spatiotemporal index.
+bool SegmentIntersectsRect(double ax, double ay, double bx, double by,
+                           double x_lo, double x_hi, double y_lo,
+                           double y_hi);
+
+}  // namespace wcop
+
+#endif  // WCOP_GEO_SEGMENT_GEOMETRY_H_

@@ -1,0 +1,66 @@
+#include "index/grid_index.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace wcop {
+
+GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {
+  assert(cell_size_ > 0.0);
+  if (cell_size_ <= 0.0) {
+    cell_size_ = 1.0;
+  }
+}
+
+GridIndex::CellKey GridIndex::KeyFor(double x, double y) const {
+  return CellKey{static_cast<int64_t>(std::floor(x / cell_size_)),
+                 static_cast<int64_t>(std::floor(y / cell_size_))};
+}
+
+void GridIndex::Insert(size_t item, double x, double y) {
+  cells_[KeyFor(x, y)].push_back(Entry{item, x, y});
+  ++count_;
+}
+
+void GridIndex::CandidateQuery(double x, double y, double radius,
+                               std::vector<size_t>* out) const {
+  const int64_t span = static_cast<int64_t>(std::ceil(radius / cell_size_));
+  const CellKey center = KeyFor(x, y);
+  for (int64_t dx = -span; dx <= span; ++dx) {
+    for (int64_t dy = -span; dy <= span; ++dy) {
+      auto it = cells_.find(CellKey{center.cx + dx, center.cy + dy});
+      if (it == cells_.end()) {
+        continue;
+      }
+      for (const Entry& e : it->second) {
+        out->push_back(e.item);
+      }
+    }
+  }
+}
+
+std::vector<size_t> GridIndex::RangeQuery(double x, double y,
+                                          double radius) const {
+  std::vector<size_t> result;
+  const double radius_sq = radius * radius;
+  const int64_t span = static_cast<int64_t>(std::ceil(radius / cell_size_));
+  const CellKey center = KeyFor(x, y);
+  for (int64_t dx = -span; dx <= span; ++dx) {
+    for (int64_t dy = -span; dy <= span; ++dy) {
+      auto it = cells_.find(CellKey{center.cx + dx, center.cy + dy});
+      if (it == cells_.end()) {
+        continue;
+      }
+      for (const Entry& e : it->second) {
+        const double ddx = e.x - x;
+        const double ddy = e.y - y;
+        if (ddx * ddx + ddy * ddy <= radius_sq) {
+          result.push_back(e.item);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace wcop

@@ -1,0 +1,72 @@
+#ifndef WCOP_INDEX_GRID_INDEX_H_
+#define WCOP_INDEX_GRID_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace wcop {
+
+/// Uniform spatial hash grid over 2-D points for epsilon-range queries.
+///
+/// Items are referenced by index (size_t) into a caller-owned collection; the
+/// grid stores (x, y) only. Cell size should be close to the query radius —
+/// then a range query touches at most 9 cells. Used by the per-snapshot
+/// DBSCAN in convoy discovery and by the TRACLUS segment clustering
+/// (indexing segment midpoints as a cheap pre-filter).
+class GridIndex {
+ public:
+  /// `cell_size` must be > 0.
+  explicit GridIndex(double cell_size);
+
+  /// Inserts an item with the given location.
+  void Insert(size_t item, double x, double y);
+
+  /// Number of inserted items.
+  size_t size() const { return count_; }
+
+  /// Returns items within `radius` of (x, y) (inclusive boundary). The
+  /// candidate set is gathered from covering cells and filtered exactly.
+  std::vector<size_t> RangeQuery(double x, double y, double radius) const;
+
+  /// As RangeQuery, but appends candidate items *without* the exact distance
+  /// filter (callers with a custom metric filter themselves). May contain
+  /// items up to (radius + cell diagonal) away.
+  void CandidateQuery(double x, double y, double radius,
+                      std::vector<size_t>* out) const;
+
+ private:
+  struct CellKey {
+    int64_t cx;
+    int64_t cy;
+    bool operator==(const CellKey& other) const {
+      return cx == other.cx && cy == other.cy;
+    }
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& key) const {
+      // 64-bit mix of the two cell coordinates.
+      uint64_t h = static_cast<uint64_t>(key.cx) * 0x9E3779B97F4A7C15ull;
+      h ^= static_cast<uint64_t>(key.cy) + 0x9E3779B97F4A7C15ull + (h << 6) +
+           (h >> 2);
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    size_t item;
+    double x;
+    double y;
+  };
+
+  CellKey KeyFor(double x, double y) const;
+
+  double cell_size_;
+  size_t count_ = 0;
+  std::unordered_map<CellKey, std::vector<Entry>, CellKeyHash> cells_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_INDEX_GRID_INDEX_H_

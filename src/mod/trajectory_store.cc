@@ -1,0 +1,266 @@
+#include "mod/trajectory_store.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "geo/segment_geometry.h"
+
+namespace wcop {
+
+namespace {
+
+/// Exact predicate: does the trajectory's interpolated movement intersect
+/// the window? (Mirror of the utility module's range-query semantics, but
+/// evaluated per candidate segment by the index.)
+bool SegmentInWindow(const Point& a, const Point& b, const StRange& r) {
+  if (b.t < r.t_lo || a.t > r.t_hi) {
+    return false;
+  }
+  const double span = b.t - a.t;
+  const double alpha_lo =
+      span > 0.0 ? std::clamp((r.t_lo - a.t) / span, 0.0, 1.0) : 0.0;
+  const double alpha_hi =
+      span > 0.0 ? std::clamp((r.t_hi - a.t) / span, 0.0, 1.0) : 1.0;
+  const double ax = a.x + alpha_lo * (b.x - a.x);
+  const double ay = a.y + alpha_lo * (b.y - a.y);
+  const double bx = a.x + alpha_hi * (b.x - a.x);
+  const double by = a.y + alpha_hi * (b.y - a.y);
+  return SegmentIntersectsRect(ax, ay, bx, by, r.x_lo, r.x_hi, r.y_lo,
+                               r.y_hi);
+}
+
+}  // namespace
+
+size_t TrajectoryStore::CellKeyHash::operator()(const CellKey& key) const {
+  uint64_t h = static_cast<uint64_t>(key.cx) * 0x9E3779B97F4A7C15ull;
+  h ^= static_cast<uint64_t>(key.cy) + 0x9E3779B97F4A7C15ull + (h << 6) +
+       (h >> 2);
+  h ^= static_cast<uint64_t>(key.ct) + 0x9E3779B97F4A7C15ull + (h << 6) +
+       (h >> 2);
+  return static_cast<size_t>(h);
+}
+
+TrajectoryStore::CellKey TrajectoryStore::KeyFor(double x, double y,
+                                                 double t) const {
+  return CellKey{static_cast<int64_t>(std::floor(x / cell_size_)),
+                 static_cast<int64_t>(std::floor(y / cell_size_)),
+                 static_cast<int64_t>(std::floor(t / time_bucket_))};
+}
+
+void TrajectoryStore::InsertSegment(uint32_t trajectory, uint32_t segment) {
+  const Trajectory& traj = dataset_[trajectory];
+  const Point& a = traj[segment];
+  const Point& b = traj[segment + 1];
+  const int64_t cx_lo =
+      static_cast<int64_t>(std::floor(std::min(a.x, b.x) / cell_size_));
+  const int64_t cx_hi =
+      static_cast<int64_t>(std::floor(std::max(a.x, b.x) / cell_size_));
+  const int64_t cy_lo =
+      static_cast<int64_t>(std::floor(std::min(a.y, b.y) / cell_size_));
+  const int64_t cy_hi =
+      static_cast<int64_t>(std::floor(std::max(a.y, b.y) / cell_size_));
+  const int64_t ct_lo = static_cast<int64_t>(std::floor(a.t / time_bucket_));
+  const int64_t ct_hi = static_cast<int64_t>(std::floor(b.t / time_bucket_));
+  for (int64_t cx = cx_lo; cx <= cx_hi; ++cx) {
+    for (int64_t cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (int64_t ct = ct_lo; ct <= ct_hi; ++ct) {
+        cells_[CellKey{cx, cy, ct}].push_back(
+            SegmentRef{trajectory, segment});
+        ++segment_entries_;
+      }
+    }
+  }
+}
+
+Result<TrajectoryStore> TrajectoryStore::Build(
+    Dataset dataset, const TrajectoryStoreOptions& options) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  TrajectoryStore store;
+  store.dataset_ = std::move(dataset);
+
+  const BoundingBox bounds = store.dataset_.Bounds();
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = -std::numeric_limits<double>::infinity();
+  for (const Trajectory& t : store.dataset_.trajectories()) {
+    if (!t.empty()) {
+      t_min = std::min(t_min, t.StartTime());
+      t_max = std::max(t_max, t.EndTime());
+    }
+  }
+  store.cell_size_ =
+      options.cell_size > 0.0
+          ? options.cell_size
+          : std::max(1.0, std::max(bounds.width(), bounds.height()) / 64.0);
+  store.time_bucket_ =
+      options.time_bucket > 0.0
+          ? options.time_bucket
+          : std::max(1.0, (t_max > t_min ? t_max - t_min : 1.0) / 64.0);
+
+  for (uint32_t i = 0; i < store.dataset_.size(); ++i) {
+    const Trajectory& t = store.dataset_[i];
+    for (uint32_t s = 0; s + 1 < t.size(); ++s) {
+      store.InsertSegment(i, s);
+    }
+    // Single-point trajectories are registered by their lone point so
+    // range queries can still find them.
+    if (t.size() == 1) {
+      const Point& p = t.front();
+      store.cells_[store.KeyFor(p.x, p.y, p.t)].push_back(SegmentRef{i, 0});
+      ++store.segment_entries_;
+    }
+  }
+  return store;
+}
+
+std::vector<int64_t> TrajectoryStore::RangeQuery(const StRange& range) const {
+  std::set<uint32_t> verified;
+  const int64_t cx_lo =
+      static_cast<int64_t>(std::floor(range.x_lo / cell_size_));
+  const int64_t cx_hi =
+      static_cast<int64_t>(std::floor(range.x_hi / cell_size_));
+  const int64_t cy_lo =
+      static_cast<int64_t>(std::floor(range.y_lo / cell_size_));
+  const int64_t cy_hi =
+      static_cast<int64_t>(std::floor(range.y_hi / cell_size_));
+  const int64_t ct_lo =
+      static_cast<int64_t>(std::floor(range.t_lo / time_bucket_));
+  const int64_t ct_hi =
+      static_cast<int64_t>(std::floor(range.t_hi / time_bucket_));
+
+  for (int64_t cx = cx_lo; cx <= cx_hi; ++cx) {
+    for (int64_t cy = cy_lo; cy <= cy_hi; ++cy) {
+      for (int64_t ct = ct_lo; ct <= ct_hi; ++ct) {
+        auto it = cells_.find(CellKey{cx, cy, ct});
+        if (it == cells_.end()) {
+          continue;
+        }
+        for (const SegmentRef& ref : it->second) {
+          if (verified.count(ref.trajectory)) {
+            continue;
+          }
+          const Trajectory& t = dataset_[ref.trajectory];
+          bool hit;
+          if (t.size() == 1) {
+            const Point& p = t.front();
+            hit = p.t >= range.t_lo && p.t <= range.t_hi &&
+                  p.x >= range.x_lo && p.x <= range.x_hi &&
+                  p.y >= range.y_lo && p.y <= range.y_hi;
+          } else {
+            hit = SegmentInWindow(t[ref.segment], t[ref.segment + 1], range);
+          }
+          if (hit) {
+            verified.insert(ref.trajectory);
+          }
+        }
+      }
+    }
+  }
+  std::vector<int64_t> ids;
+  ids.reserve(verified.size());
+  for (uint32_t idx : verified) {
+    ids.push_back(dataset_[idx].id());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<StNeighbor> TrajectoryStore::NearestAt(double x, double y,
+                                                   double t,
+                                                   size_t k) const {
+  // Expanding-ring search over the time bucket containing t. Because an
+  // alive trajectory's position at t lies on a segment spanning t, that
+  // segment is registered in the cell of (position, t)'s neighbourhood —
+  // rings expand until k candidates are confirmed closer than the next
+  // ring's minimum possible distance.
+  std::vector<StNeighbor> heap;  // collected candidates
+  std::set<uint32_t> seen;
+  const int64_t ct = static_cast<int64_t>(std::floor(t / time_bucket_));
+  const int64_t cx0 = static_cast<int64_t>(std::floor(x / cell_size_));
+  const int64_t cy0 = static_cast<int64_t>(std::floor(y / cell_size_));
+
+  auto consider_cell = [&](int64_t cx, int64_t cy, int64_t bucket) {
+    auto it = cells_.find(CellKey{cx, cy, bucket});
+    if (it == cells_.end()) {
+      return;
+    }
+    for (const SegmentRef& ref : it->second) {
+      if (!seen.insert(ref.trajectory).second) {
+        continue;
+      }
+      const Trajectory& traj = dataset_[ref.trajectory];
+      if (t < traj.StartTime() || t > traj.EndTime()) {
+        continue;
+      }
+      const Point pos = traj.PositionAt(t);
+      const double dx = pos.x - x;
+      const double dy = pos.y - y;
+      heap.push_back(StNeighbor{traj.id(), std::sqrt(dx * dx + dy * dy)});
+    }
+  };
+
+  // A segment spanning time t may sit in the bucket of t or the adjacent
+  // ones (segments longer than one bucket are registered in all covered
+  // buckets, so t's own bucket suffices; include neighbours defensively
+  // for boundary timestamps).
+  const int64_t buckets[3] = {ct - 1, ct, ct + 1};
+  size_t ring = 0;
+  // Rings beyond the dataset extent cannot contain anything new.
+  const BoundingBox bounds = dataset_.Bounds();
+  const size_t max_ring =
+      2 + static_cast<size_t>(std::ceil(
+              std::max(bounds.width(), bounds.height()) / cell_size_));
+  while (true) {
+    for (int64_t bucket : buckets) {
+      if (ring == 0) {
+        consider_cell(cx0, cy0, bucket);
+      } else {
+        const int64_t r = static_cast<int64_t>(ring);
+        for (int64_t d = -r; d <= r; ++d) {
+          consider_cell(cx0 + d, cy0 - r, bucket);
+          consider_cell(cx0 + d, cy0 + r, bucket);
+          if (d != -r && d != r) {
+            consider_cell(cx0 - r, cy0 + d, bucket);
+            consider_cell(cx0 + r, cy0 + d, bucket);
+          }
+        }
+      }
+    }
+    // Confirmed when the k-th best distance is within the guaranteed-
+    // covered radius of the rings explored so far.
+    std::sort(heap.begin(), heap.end(),
+              [](const StNeighbor& a, const StNeighbor& b) {
+                return a.distance < b.distance;
+              });
+    const double covered = static_cast<double>(ring) * cell_size_;
+    if ((heap.size() >= k && heap[k - 1].distance <= covered) ||
+        ring > max_ring || seen.size() >= dataset_.size()) {
+      break;
+    }
+    ++ring;
+  }
+  if (heap.size() > k) {
+    heap.resize(k);
+  }
+  return heap;
+}
+
+std::vector<StNeighbor> TrajectoryStore::MostSimilar(
+    const Trajectory& probe, size_t k, const DistanceConfig& config) const {
+  std::vector<StNeighbor> all;
+  all.reserve(dataset_.size());
+  for (const Trajectory& t : dataset_.trajectories()) {
+    all.push_back(StNeighbor{t.id(), ClusterDistance(probe, t, config)});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const StNeighbor& a, const StNeighbor& b) {
+              return a.distance < b.distance;
+            });
+  if (all.size() > k) {
+    all.resize(k);
+  }
+  return all;
+}
+
+}  // namespace wcop

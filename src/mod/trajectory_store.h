@@ -1,0 +1,105 @@
+#ifndef WCOP_MOD_TRAJECTORY_STORE_H_
+#define WCOP_MOD_TRAJECTORY_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "anon/types.h"
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Moving-objects-database substrate: an indexed, queryable trajectory
+/// store. The anonymization pipeline treats datasets as flat vectors; this
+/// store is what a *consumer* of published (or raw) trajectory data would
+/// actually query — and what makes utility evaluation fast at scale.
+///
+/// The index is a uniform spatiotemporal grid: every recorded segment is
+/// registered in the (x, y) cells its bounding box covers, within its time
+/// bucket. Queries gather candidate trajectories from covering cells and
+/// verify exactly under the linear-interpolation movement model.
+struct TrajectoryStoreOptions {
+  /// Spatial cell edge length in metres. 0 = auto: the dataset bounding
+  /// box is split into ~64 cells per axis.
+  double cell_size = 0.0;
+
+  /// Time bucket length in seconds. 0 = auto: the dataset duration is
+  /// split into ~64 buckets.
+  double time_bucket = 0.0;
+};
+
+/// A spatiotemporal window: the store's native query volume.
+struct StRange {
+  double x_lo = 0.0, x_hi = 0.0;
+  double y_lo = 0.0, y_hi = 0.0;
+  double t_lo = 0.0, t_hi = 0.0;
+};
+
+/// One nearest-neighbour answer.
+struct StNeighbor {
+  int64_t trajectory_id = 0;
+  double distance = 0.0;
+};
+
+class TrajectoryStore {
+ public:
+  /// Builds the store over a copy of `dataset`. Fails on invalid data.
+  static Result<TrajectoryStore> Build(
+      Dataset dataset, const TrajectoryStoreOptions& options = {});
+
+  const Dataset& dataset() const { return dataset_; }
+  size_t size() const { return dataset_.size(); }
+
+  /// Ids of all trajectories whose interpolated movement intersects the
+  /// window. Exact (index-accelerated, then verified).
+  std::vector<int64_t> RangeQuery(const StRange& range) const;
+
+  /// The k trajectories alive at time `t` whose interpolated position is
+  /// closest to (x, y), nearest first. Trajectories not alive at `t` are
+  /// excluded. Returns fewer than k when fewer are alive.
+  std::vector<StNeighbor> NearestAt(double x, double y, double t,
+                                    size_t k) const;
+
+  /// The k most similar stored trajectories to `probe` under the given
+  /// trajectory distance, nearest first (linear scan — trajectory-level
+  /// similarity admits no exact cheap index; used by linkage tooling and
+  /// analysis, not hot paths).
+  std::vector<StNeighbor> MostSimilar(const Trajectory& probe, size_t k,
+                                      const DistanceConfig& config) const;
+
+  /// Index statistics (for tests and tuning).
+  size_t num_cells() const { return cells_.size(); }
+  size_t num_segment_entries() const { return segment_entries_; }
+
+ private:
+  TrajectoryStore() = default;
+
+  struct CellKey {
+    int64_t cx, cy, ct;
+    bool operator==(const CellKey& o) const {
+      return cx == o.cx && cy == o.cy && ct == o.ct;
+    }
+  };
+  struct CellKeyHash {
+    size_t operator()(const CellKey& key) const;
+  };
+  struct SegmentRef {
+    uint32_t trajectory;
+    uint32_t segment;
+  };
+
+  CellKey KeyFor(double x, double y, double t) const;
+  void InsertSegment(uint32_t trajectory, uint32_t segment);
+
+  Dataset dataset_;
+  double cell_size_ = 1.0;
+  double time_bucket_ = 1.0;
+  size_t segment_entries_ = 0;
+  std::unordered_map<CellKey, std::vector<SegmentRef>, CellKeyHash> cells_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_MOD_TRAJECTORY_STORE_H_

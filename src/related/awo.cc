@@ -1,0 +1,150 @@
+#include "related/awo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "common/rng.h"
+#include "distance/euclidean.h"
+
+namespace wcop {
+
+Result<AwoResult> RunAwo(const Dataset& dataset, const AwoOptions& options) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  if (options.k < 2 || options.region_interval <= 0.0) {
+    return Status::InvalidArgument("need k >= 2 and positive interval");
+  }
+  Rng rng(options.seed);
+  const size_t n = dataset.size();
+
+  // --- Grouping: random representative + k-1 nearest (synchronized
+  // Euclidean; non-overlapping trajectories are at infinite distance). ---
+  std::vector<bool> used(n, false);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  AwoResult result;
+  for (size_t rep : order) {
+    if (used[rep]) {
+      continue;
+    }
+    std::vector<std::pair<double, size_t>> candidates;
+    for (size_t cand = 0; cand < n; ++cand) {
+      if (cand == rep || used[cand]) {
+        continue;
+      }
+      const double d =
+          SynchronizedEuclideanDistance(dataset[rep], dataset[cand]);
+      if (std::isfinite(d)) {
+        candidates.emplace_back(d, cand);
+      }
+    }
+    if (candidates.size() + 1 < static_cast<size_t>(options.k)) {
+      continue;  // not enough overlapping partners; rep may join later
+    }
+    std::sort(candidates.begin(), candidates.end());
+    AwoRegionSeries group;
+    group.members.push_back(rep);
+    for (int m = 0; m + 1 < options.k; ++m) {
+      group.members.push_back(candidates[static_cast<size_t>(m)].second);
+    }
+    for (size_t m : group.members) {
+      used[m] = true;
+    }
+    result.groups.push_back(std::move(group));
+  }
+  std::vector<size_t> trash;
+  for (size_t i = 0; i < n; ++i) {
+    if (!used[i]) {
+      trash.push_back(i);
+    }
+  }
+  const size_t trash_max = static_cast<size_t>(
+      options.trash_fraction * static_cast<double>(n));
+  if (trash.size() > trash_max) {
+    return Status::Unsatisfiable(
+        "AWO grouping left " + std::to_string(trash.size()) +
+        " trajectories ungrouped (trash_max " + std::to_string(trash_max) +
+        "); the data lacks temporal overlap for k=" +
+        std::to_string(options.k));
+  }
+
+  // --- Generalize each group into regions and reconstruct k outputs. ---
+  double diagonal_sum = 0.0;
+  size_t diagonal_count = 0;
+  std::vector<Trajectory> published;
+  for (AwoRegionSeries& group : result.groups) {
+    // Common timeline: the members' overlapping interval.
+    double t_lo = -std::numeric_limits<double>::infinity();
+    double t_hi = std::numeric_limits<double>::infinity();
+    for (size_t m : group.members) {
+      t_lo = std::max(t_lo, dataset[m].StartTime());
+      t_hi = std::min(t_hi, dataset[m].EndTime());
+    }
+    if (!(t_lo < t_hi)) {
+      t_hi = t_lo;  // degenerate single snapshot
+    }
+    for (double t = t_lo; t <= t_hi + 1e-9; t += options.region_interval) {
+      BoundingBox region;
+      for (size_t m : group.members) {
+        region.Extend(dataset[m].PositionAt(std::min(t, t_hi)));
+      }
+      group.regions.push_back(region);
+      group.times.push_back(std::min(t, t_hi));
+      diagonal_sum += 2.0 * region.HalfDiagonal();
+      ++diagonal_count;
+      if (t >= t_hi) {
+        break;
+      }
+    }
+    // Reconstruct one trajectory per member: a random point inside every
+    // region, connected in time order. Identity assignment to members is
+    // arbitrary (AWO deliberately unlinks reconstructed paths from users).
+    for (size_t m : group.members) {
+      std::vector<Point> points;
+      points.reserve(group.regions.size());
+      double last_t = -std::numeric_limits<double>::infinity();
+      for (size_t r = 0; r < group.regions.size(); ++r) {
+        const BoundingBox& box = group.regions[r];
+        if (group.times[r] <= last_t) {
+          continue;
+        }
+        points.emplace_back(rng.UniformReal(box.min_x(), box.max_x()),
+                            rng.UniformReal(box.min_y(), box.max_y()),
+                            group.times[r]);
+        last_t = group.times[r];
+      }
+      if (points.size() < 2) {
+        // Pad a degenerate snapshot so the output remains a trajectory.
+        const Point base = points.empty()
+                               ? dataset[m].PositionAt(t_lo)
+                               : points.front();
+        points.clear();
+        points.emplace_back(base.x, base.y, t_lo);
+        points.emplace_back(base.x, base.y, t_lo + 1.0);
+      }
+      Trajectory out(dataset[m].id(), std::move(points),
+                     dataset[m].requirement());
+      out.set_object_id(dataset[m].object_id());
+      published.push_back(std::move(out));
+    }
+  }
+
+  for (size_t idx : trash) {
+    result.trashed_ids.push_back(dataset[idx].id());
+  }
+  result.report.num_groups = result.groups.size();
+  result.report.trashed_trajectories = trash.size();
+  result.report.mean_region_diagonal =
+      diagonal_count == 0 ? 0.0
+                          : diagonal_sum / static_cast<double>(diagonal_count);
+  result.sanitized = Dataset(std::move(published));
+  return result;
+}
+
+}  // namespace wcop

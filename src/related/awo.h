@@ -1,0 +1,59 @@
+#ifndef WCOP_RELATED_AWO_H_
+#define WCOP_RELATED_AWO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/bounding_box.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Always-Walk-with-Others-style generalization (Nergiz, Atzori & Saygin,
+/// SPRINGL 2008) — the related-work baseline that publishes *anonymized
+/// regions* instead of translated points.
+///
+/// Groups of k trajectories are formed around representatives (nearest
+/// first); each group's movement is generalized into a time series of
+/// bounding-box regions covering all members, and k fresh trajectories are
+/// *reconstructed* by sampling one random point per region and connecting
+/// them — so the published atoms never coincide with real recorded points.
+struct AwoOptions {
+  int k = 5;
+  /// Common timeline granularity for the regions (seconds between region
+  /// snapshots along the representative's lifetime).
+  double region_interval = 120.0;
+  /// Groups whose members do not overlap in time with the representative
+  /// are impossible; leftovers beyond this fraction fail the run.
+  double trash_fraction = 0.10;
+  uint64_t seed = 7;
+};
+
+/// One generalized group: the region time series that was published.
+struct AwoRegionSeries {
+  std::vector<BoundingBox> regions;
+  std::vector<double> times;
+  std::vector<size_t> members;  ///< indices into the input dataset
+};
+
+struct AwoReport {
+  size_t num_groups = 0;
+  size_t trashed_trajectories = 0;
+  double mean_region_diagonal = 0.0;  ///< generalization coarseness (m)
+};
+
+struct AwoResult {
+  Dataset sanitized;  ///< k reconstructed trajectories per group, carrying
+                      ///< the member ids (arbitrary assignment — the
+                      ///< reconstruction deliberately unlinks identities)
+  std::vector<int64_t> trashed_ids;
+  std::vector<AwoRegionSeries> groups;
+  AwoReport report;
+};
+
+Result<AwoResult> RunAwo(const Dataset& dataset, const AwoOptions& options = {});
+
+}  // namespace wcop
+
+#endif  // WCOP_RELATED_AWO_H_

@@ -1,0 +1,146 @@
+#include "related/path_perturbation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "distance/euclidean.h"
+
+namespace wcop {
+
+namespace {
+
+/// Finds the time of closest synchronized approach between two
+/// trajectories over their temporal overlap (sampled at the union of their
+/// vertex times). Returns false when they never overlap.
+bool ClosestApproach(const Trajectory& a, const Trajectory& b, double* t_out,
+                     double* dist_out) {
+  const double t_lo = std::max(a.StartTime(), b.StartTime());
+  const double t_hi = std::min(a.EndTime(), b.EndTime());
+  if (t_lo > t_hi) {
+    return false;
+  }
+  double best_t = t_lo;
+  double best_d = std::numeric_limits<double>::infinity();
+  auto consider = [&](double t) {
+    if (t < t_lo || t > t_hi) {
+      return;
+    }
+    const double d = SpatialDistance(a.PositionAt(t), b.PositionAt(t));
+    if (d < best_d) {
+      best_d = d;
+      best_t = t;
+    }
+  };
+  consider(t_lo);
+  consider(t_hi);
+  for (const Point& p : a.points()) {
+    consider(p.t);
+  }
+  for (const Point& p : b.points()) {
+    consider(p.t);
+  }
+  *t_out = best_t;
+  *dist_out = best_d;
+  return true;
+}
+
+/// Bends trajectory points within `window` seconds of `t_cross` towards
+/// `target`, with a triangular weight peaking at t_cross (so the
+/// perturbation fades in and out smoothly). The *cumulative* displacement
+/// of every point relative to its position in `original` stays within
+/// `max_move`, even across multiple crossings. Returns the summed
+/// displacement applied by this call.
+double BendTowards(Trajectory* t, const Trajectory& original, double t_cross,
+                   const Point& target, double window, double max_move,
+                   double* max_disp) {
+  double total = 0.0;
+  for (size_t i = 0; i < t->size(); ++i) {
+    Point& p = t->mutable_points()[i];
+    const Point& orig = original[i];
+    const double dt = std::abs(p.t - t_cross);
+    if (dt > window) {
+      continue;
+    }
+    const double weight = 1.0 - dt / window;  // 1 at the crossing, 0 at edge
+    const double before_x = p.x;
+    const double before_y = p.y;
+    double nx = p.x + (target.x - p.x) * weight;
+    double ny = p.y + (target.y - p.y) * weight;
+    // Clamp the cumulative displacement back into the radius around the
+    // original position.
+    const double ox = nx - orig.x;
+    const double oy = ny - orig.y;
+    const double norm = std::sqrt(ox * ox + oy * oy);
+    if (norm > max_move && norm > 0.0) {
+      nx = orig.x + ox * max_move / norm;
+      ny = orig.y + oy * max_move / norm;
+    }
+    p.x = nx;
+    p.y = ny;
+    const double moved = std::sqrt((p.x - before_x) * (p.x - before_x) +
+                                   (p.y - before_y) * (p.y - before_y));
+    total += moved;
+    const double cumulative = SpatialDistance(p, orig);
+    *max_disp = std::max(*max_disp, cumulative);
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<PathPerturbationResult> RunPathPerturbation(
+    const Dataset& dataset, const PathPerturbationOptions& options) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  if (options.radius <= 0.0 || options.time_window <= 0.0) {
+    return Status::InvalidArgument("radius and time_window must be positive");
+  }
+  Rng rng(options.seed);
+  PathPerturbationResult result;
+  result.perturbed = dataset;
+  Dataset& out = result.perturbed;
+  std::vector<size_t> crossings(dataset.size(), 0);
+
+  // Consider each pair once, nearest encounters first would be ideal; the
+  // original algorithm processes pairs within each time window. A simple
+  // pair sweep suffices at library scale (the quadratic pair scan is the
+  // same cost class as the clustering algorithms here).
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (size_t j = i + 1; j < out.size(); ++j) {
+      if (crossings[i] >= options.max_crossings_per_trajectory ||
+          crossings[j] >= options.max_crossings_per_trajectory) {
+        continue;
+      }
+      double t_cross = 0.0, dist = 0.0;
+      if (!ClosestApproach(out[i], out[j], &t_cross, &dist)) {
+        continue;
+      }
+      if (dist > options.radius || dist <= 0.0) {
+        continue;  // too far to confuse, or already crossing
+      }
+      ++result.report.candidate_pairs;
+      // Fake crossing point: a random point between the two positions at
+      // the approach time (jittered so crossings do not all sit at
+      // midpoints).
+      const Point pa = out[i].PositionAt(t_cross);
+      const Point pb = out[j].PositionAt(t_cross);
+      const double alpha = rng.UniformReal(0.35, 0.65);
+      const Point cross(pa.x + alpha * (pb.x - pa.x),
+                        pa.y + alpha * (pb.y - pa.y), t_cross);
+      double max_disp = result.report.max_displacement;
+      result.report.total_displacement +=
+          BendTowards(&out[i], dataset[i], t_cross, cross,
+                      options.time_window, options.radius, &max_disp);
+      result.report.total_displacement +=
+          BendTowards(&out[j], dataset[j], t_cross, cross,
+                      options.time_window, options.radius, &max_disp);
+      result.report.max_displacement = max_disp;
+      ++result.report.crossings_created;
+      ++crossings[i];
+      ++crossings[j];
+    }
+  }
+  return result;
+}
+
+}  // namespace wcop

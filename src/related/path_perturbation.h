@@ -1,0 +1,63 @@
+#ifndef WCOP_RELATED_PATH_PERTURBATION_H_
+#define WCOP_RELATED_PATH_PERTURBATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Path Perturbation (Hoh & Gruteser, SecureComm 2005) — the data-
+/// perturbation baseline of the paper's related work (Section 2).
+///
+/// Instead of clustering, the algorithm *confuses* an adversary's tracking
+/// by creating fake crossing points between pairs of non-intersecting
+/// trajectories that pass close to each other: whenever two trajectories
+/// come within `radius` during a `time_window`, their paths are locally
+/// bent so that they actually cross, making it ambiguous which user
+/// continued on which path afterwards.
+///
+/// This gives *tracking confusion*, not k-anonymity: there is no guarantee
+/// a trajectory is indistinguishable from k-1 others — which is exactly
+/// why the (k,delta) line of work exists. The frontier bench quantifies
+/// the difference.
+struct PathPerturbationOptions {
+  /// Maximum allowable perturbation / desired privacy radius (metres): two
+  /// trajectories closer than this (at some common time) are candidates
+  /// for a fake crossing, and no point moves further than this.
+  double radius = 200.0;
+
+  /// Candidate crossings must happen within this window of each other's
+  /// samples (seconds).
+  double time_window = 120.0;
+
+  /// At most this many crossings are created per trajectory (the original
+  /// algorithm perturbs each path segment at most once per encounter).
+  size_t max_crossings_per_trajectory = 4;
+
+  uint64_t seed = 7;
+};
+
+/// Summary of one perturbation run.
+struct PathPerturbationReport {
+  size_t candidate_pairs = 0;   ///< close-encounter pairs considered
+  size_t crossings_created = 0;
+  double total_displacement = 0.0;  ///< metres moved, summed over points
+  double max_displacement = 0.0;
+};
+
+struct PathPerturbationResult {
+  Dataset perturbed;
+  PathPerturbationReport report;
+};
+
+/// Runs path perturbation over the dataset. Ids/metadata are preserved;
+/// only point coordinates move (never further than options.radius).
+Result<PathPerturbationResult> RunPathPerturbation(
+    const Dataset& dataset, const PathPerturbationOptions& options = {});
+
+}  // namespace wcop
+
+#endif  // WCOP_RELATED_PATH_PERTURBATION_H_

@@ -1,0 +1,160 @@
+#include "related/suppression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace wcop {
+
+namespace {
+
+using PlaceId = std::pair<int64_t, int64_t>;
+
+PlaceId PlaceOf(const Point& p, double cell) {
+  return {static_cast<int64_t>(std::floor(p.x / cell)),
+          static_cast<int64_t>(std::floor(p.y / cell))};
+}
+
+/// Support of each place: how many distinct trajectories visit it.
+std::map<PlaceId, std::set<size_t>> PlaceSupport(const Dataset& d,
+                                                 double cell) {
+  std::map<PlaceId, std::set<size_t>> support;
+  for (size_t i = 0; i < d.size(); ++i) {
+    for (const Point& p : d[i].points()) {
+      support[PlaceOf(p, cell)].insert(i);
+    }
+  }
+  return support;
+}
+
+/// Support of ordered place pairs (a visited before b) per trajectory.
+std::map<std::pair<PlaceId, PlaceId>, std::set<size_t>> PairSupport(
+    const Dataset& d, double cell) {
+  std::map<std::pair<PlaceId, PlaceId>, std::set<size_t>> support;
+  for (size_t i = 0; i < d.size(); ++i) {
+    // Deduplicated visit sequence.
+    std::vector<PlaceId> sequence;
+    for (const Point& p : d[i].points()) {
+      const PlaceId place = PlaceOf(p, cell);
+      if (sequence.empty() || sequence.back() != place) {
+        sequence.push_back(place);
+      }
+    }
+    std::set<std::pair<PlaceId, PlaceId>> seen;
+    for (size_t a = 0; a < sequence.size(); ++a) {
+      for (size_t b = a + 1; b < sequence.size(); ++b) {
+        seen.insert({sequence[a], sequence[b]});
+      }
+    }
+    for (const auto& pair : seen) {
+      support[pair].insert(i);
+    }
+  }
+  return support;
+}
+
+}  // namespace
+
+Result<SuppressionResult> RunSuppression(const Dataset& dataset,
+                                         const SuppressionOptions& options) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  if (dataset.empty()) {
+    return Status::InvalidArgument("cannot anonymize an empty dataset");
+  }
+  if (options.cell_size <= 0.0 || options.k < 1) {
+    return Status::InvalidArgument("need positive cell_size and k >= 1");
+  }
+
+  SuppressionResult result;
+  const size_t total_points = dataset.TotalPoints();
+  std::set<PlaceId> suppressed_places;
+
+  // Pass 1: suppress under-supported places until every remaining place
+  // has support >= k. Suppressing a place can only lower other places'
+  // support (trajectories never gain places), so one pass over the support
+  // map, iterated to a fixed point, suffices.
+  {
+    bool changed = true;
+    std::map<PlaceId, std::set<size_t>> support =
+        PlaceSupport(dataset, options.cell_size);
+    result.report.places_total = support.size();
+    while (changed) {
+      changed = false;
+      for (auto it = support.begin(); it != support.end();) {
+        if (it->second.size() < static_cast<size_t>(options.k)) {
+          suppressed_places.insert(it->first);
+          it = support.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+      // Support sets do not change when a whole place vanishes (a
+      // trajectory still visits the other places), so one sweep reaches
+      // the fixed point; the loop guards the adversary_pairs pass below.
+      break;
+    }
+  }
+
+  // Pass 2 (optional): ordered-pair knowledge. Suppress the rarer endpoint
+  // of every under-supported pair.
+  if (options.adversary_pairs) {
+    const auto place_support = PlaceSupport(dataset, options.cell_size);
+    for (const auto& [pair, trajs] : PairSupport(dataset, options.cell_size)) {
+      if (trajs.size() >= static_cast<size_t>(options.k)) {
+        continue;
+      }
+      if (suppressed_places.count(pair.first) ||
+          suppressed_places.count(pair.second)) {
+        continue;  // already broken by pass 1
+      }
+      const size_t support_a = place_support.count(pair.first)
+                                   ? place_support.at(pair.first).size()
+                                   : 0;
+      const size_t support_b = place_support.count(pair.second)
+                                   ? place_support.at(pair.second).size()
+                                   : 0;
+      suppressed_places.insert(support_a <= support_b ? pair.first
+                                                      : pair.second);
+    }
+  }
+  result.report.places_suppressed = suppressed_places.size();
+
+  // Materialize: drop points in suppressed places; trajectories losing too
+  // much (or left with < 2 points) are suppressed entirely.
+  std::vector<Trajectory> published;
+  for (const Trajectory& t : dataset.trajectories()) {
+    std::vector<Point> kept;
+    kept.reserve(t.size());
+    for (const Point& p : t.points()) {
+      if (!suppressed_places.count(PlaceOf(p, options.cell_size))) {
+        kept.push_back(p);
+      }
+    }
+    const size_t lost = t.size() - kept.size();
+    result.report.points_suppressed += lost;
+    const double loss_fraction =
+        static_cast<double>(lost) / static_cast<double>(t.size());
+    if (kept.size() < 2 || loss_fraction > options.max_loss_fraction) {
+      result.trashed_ids.push_back(t.id());
+      ++result.report.trajectories_suppressed;
+      // Its surviving points are withdrawn too.
+      result.report.points_suppressed += kept.size();
+      continue;
+    }
+    Trajectory out(t.id(), std::move(kept), t.requirement());
+    out.set_object_id(t.object_id());
+    out.set_parent_id(t.parent_id());
+    published.push_back(std::move(out));
+  }
+  result.report.suppression_ratio =
+      total_points == 0 ? 0.0
+                        : static_cast<double>(result.report.points_suppressed) /
+                              static_cast<double>(total_points);
+  result.sanitized = Dataset(std::move(published));
+  return result;
+}
+
+}  // namespace wcop

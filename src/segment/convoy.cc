@@ -1,0 +1,202 @@
+#include "segment/convoy.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "cluster/dbscan.h"
+#include "index/grid_index.h"
+#include "traj/resample.h"
+
+namespace wcop {
+
+namespace {
+
+/// One candidate coherent moving cluster being extended snapshot by
+/// snapshot (the CMC algorithm's V set).
+struct Candidate {
+  std::set<int64_t> members;
+  double start_time = 0.0;
+  double end_time = 0.0;
+  size_t snapshots = 0;
+};
+
+std::set<int64_t> Intersect(const std::set<int64_t>& a,
+                            const std::set<int64_t>& b) {
+  std::set<int64_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Convoy>> DiscoverConvoys(const Dataset& dataset,
+                                            const ConvoyOptions& options) {
+  if (options.snapshot_interval <= 0.0) {
+    return Status::InvalidArgument("snapshot_interval must be positive");
+  }
+  if (options.min_objects < 2) {
+    return Status::InvalidArgument("min_objects must be at least 2");
+  }
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+
+  const std::vector<double> grid_times =
+      UniformTimeGrid(dataset, options.snapshot_interval);
+  std::vector<Convoy> convoys;
+  std::vector<Candidate> candidates;
+
+  auto close_candidate = [&](const Candidate& c) {
+    if (c.snapshots >= options.min_duration_snapshots &&
+        c.members.size() >= options.min_objects) {
+      convoys.push_back(Convoy{c.members, c.start_time, c.end_time});
+    }
+  };
+
+  for (double snapshot_time : grid_times) {
+    // Gather trajectories alive at this snapshot and their positions.
+    std::vector<int64_t> ids;
+    std::vector<Point> positions;
+    for (const Trajectory& t : dataset.trajectories()) {
+      if (t.StartTime() <= snapshot_time && snapshot_time <= t.EndTime()) {
+        ids.push_back(t.id());
+        positions.push_back(t.PositionAt(snapshot_time));
+      }
+    }
+
+    // Per-snapshot DBSCAN over the alive positions via a grid index.
+    std::vector<std::set<int64_t>> snapshot_clusters;
+    if (ids.size() >= options.min_objects) {
+      GridIndex grid(std::max(options.eps, 1.0));
+      for (size_t i = 0; i < positions.size(); ++i) {
+        grid.Insert(i, positions[i].x, positions[i].y);
+      }
+      auto neighbors = [&](size_t item) {
+        return grid.RangeQuery(positions[item].x, positions[item].y,
+                               options.eps);
+      };
+      const DbscanResult db =
+          Dbscan(ids.size(), options.min_objects, neighbors);
+      snapshot_clusters.resize(static_cast<size_t>(db.num_clusters));
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (db.labels[i] >= 0) {
+          snapshot_clusters[static_cast<size_t>(db.labels[i])].insert(ids[i]);
+        }
+      }
+    }
+
+    // CMC extension step: each candidate either extends through one of the
+    // current clusters (intersection still big enough) or is closed.
+    std::vector<Candidate> next;
+    std::vector<bool> cluster_consumed(snapshot_clusters.size(), false);
+    for (const Candidate& cand : candidates) {
+      bool extended = false;
+      for (size_t c = 0; c < snapshot_clusters.size(); ++c) {
+        std::set<int64_t> common = Intersect(cand.members, snapshot_clusters[c]);
+        if (common.size() >= options.min_objects) {
+          // When the member set shrinks, the larger group's co-movement ends
+          // here: close it (so e.g. a trio that loses one member still
+          // yields the trio convoy alongside the surviving pair's).
+          if (common.size() < cand.members.size()) {
+            close_candidate(cand);
+          }
+          Candidate grown;
+          grown.members = std::move(common);
+          grown.start_time = cand.start_time;
+          grown.end_time = snapshot_time;
+          grown.snapshots = cand.snapshots + 1;
+          next.push_back(std::move(grown));
+          cluster_consumed[c] = true;
+          extended = true;
+          break;
+        }
+      }
+      if (!extended) {
+        close_candidate(cand);
+      }
+    }
+    // Clusters that did not extend any candidate start fresh candidates.
+    for (size_t c = 0; c < snapshot_clusters.size(); ++c) {
+      if (!cluster_consumed[c]) {
+        Candidate fresh;
+        fresh.members = snapshot_clusters[c];
+        fresh.start_time = snapshot_time;
+        fresh.end_time = snapshot_time;
+        fresh.snapshots = 1;
+        next.push_back(std::move(fresh));
+      }
+    }
+    candidates = std::move(next);
+  }
+  for (const Candidate& cand : candidates) {
+    close_candidate(cand);
+  }
+
+  // Drop convoys strictly contained in another convoy (same-or-subset
+  // members within a covered interval) to keep output maximal.
+  std::vector<Convoy> maximal;
+  for (size_t i = 0; i < convoys.size(); ++i) {
+    bool dominated = false;
+    for (size_t j = 0; j < convoys.size() && !dominated; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const bool subset = std::includes(
+          convoys[j].members.begin(), convoys[j].members.end(),
+          convoys[i].members.begin(), convoys[i].members.end());
+      const bool covered = convoys[j].start_time <= convoys[i].start_time &&
+                           convoys[i].end_time <= convoys[j].end_time;
+      const bool strictly_smaller =
+          convoys[j].members.size() > convoys[i].members.size() ||
+          convoys[j].end_time - convoys[j].start_time >
+              convoys[i].end_time - convoys[i].start_time;
+      dominated = subset && covered && strictly_smaller;
+    }
+    if (!dominated) {
+      maximal.push_back(convoys[i]);
+    }
+  }
+  return maximal;
+}
+
+Result<Dataset> ConvoySegmenter::Segment(const Dataset& dataset) {
+  WCOP_ASSIGN_OR_RETURN(std::vector<Convoy> convoys,
+                        DiscoverConvoys(dataset, options_));
+
+  // For each trajectory, collect the time boundaries of the convoys it
+  // belongs to, convert them to point indices, and cut there.
+  std::map<int64_t, std::vector<double>> boundaries;
+  for (const Convoy& convoy : convoys) {
+    for (int64_t id : convoy.members) {
+      boundaries[id].push_back(convoy.start_time);
+      boundaries[id].push_back(convoy.end_time);
+    }
+  }
+
+  std::vector<Trajectory> out;
+  int64_t next_id = 0;
+  for (const Trajectory& t : dataset.trajectories()) {
+    std::vector<size_t> cuts;
+    auto it = boundaries.find(t.id());
+    if (it != boundaries.end()) {
+      for (double boundary_time : it->second) {
+        if (boundary_time <= t.StartTime() || boundary_time >= t.EndTime()) {
+          continue;
+        }
+        // First point index at or after the boundary time.
+        const auto& pts = t.points();
+        const auto pos = std::lower_bound(
+            pts.begin(), pts.end(), boundary_time,
+            [](const Point& p, double value) { return p.t < value; });
+        const size_t idx = static_cast<size_t>(pos - pts.begin());
+        if (idx > 0 && idx < t.size()) {
+          cuts.push_back(idx);
+        }
+      }
+    }
+    CutAtIndices(t, cuts, options_.min_sub_trajectory_points, &next_id, &out);
+  }
+  return Dataset(std::move(out));
+}
+
+}  // namespace wcop

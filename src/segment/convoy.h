@@ -1,0 +1,67 @@
+#ifndef WCOP_SEGMENT_CONVOY_H_
+#define WCOP_SEGMENT_CONVOY_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "segment/segmenter.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Parameters of convoy discovery (Jeung et al., VLDB 2008): a convoy is a
+/// group of at least `min_objects` trajectories that are density-connected
+/// w.r.t. `eps` during at least `min_duration_snapshots` consecutive
+/// snapshots taken every `snapshot_interval` seconds.
+struct ConvoyOptions {
+  size_t min_objects = 3;                 ///< m
+  double eps = 100.0;                     ///< e (metres)
+  size_t min_duration_snapshots = 3;      ///< k
+  double snapshot_interval = 60.0;        ///< seconds between snapshots
+  size_t min_sub_trajectory_points = 2;   ///< segmentation granularity floor
+};
+
+/// A discovered convoy: the trajectory ids travelling together and the
+/// closed time interval during which they did.
+struct Convoy {
+  std::set<int64_t> members;
+  double start_time = 0.0;
+  double end_time = 0.0;
+
+  size_t DurationSnapshots(double interval) const {
+    return interval <= 0.0
+               ? 0
+               : static_cast<size_t>((end_time - start_time) / interval) + 1;
+  }
+};
+
+/// Runs the CMC (coherent moving cluster) algorithm: per-snapshot DBSCAN
+/// over the interpolated positions of all trajectories alive at that
+/// snapshot, then intersection of candidate convoys across consecutive
+/// snapshots. Returns maximal convoys meeting the duration requirement.
+Result<std::vector<Convoy>> DiscoverConvoys(const Dataset& dataset,
+                                            const ConvoyOptions& options);
+
+/// The Segmenter used by WCOP-SA-Convoys: each trajectory is cut at the
+/// boundaries of every convoy interval it participates in, so that the
+/// pieces moving together with a group become their own sub-trajectories
+/// (Figure 2(c) of the paper).
+class ConvoySegmenter : public Segmenter {
+ public:
+  explicit ConvoySegmenter(ConvoyOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "convoy"; }
+  Result<Dataset> Segment(const Dataset& dataset) override;
+
+  const ConvoyOptions& options() const { return options_; }
+
+ private:
+  ConvoyOptions options_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_SEGMENT_CONVOY_H_

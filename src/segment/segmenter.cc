@@ -1,0 +1,57 @@
+#include "segment/segmenter.h"
+
+#include <algorithm>
+
+namespace wcop {
+
+Result<Dataset> FixedLengthSegmenter::Segment(const Dataset& dataset) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  std::vector<Trajectory> out;
+  int64_t next_id = 0;
+  for (const Trajectory& t : dataset.trajectories()) {
+    std::vector<size_t> cuts;
+    for (size_t idx = piece_points_; idx < t.size(); idx += piece_points_) {
+      cuts.push_back(idx);
+    }
+    CutAtIndices(t, cuts, /*min_points=*/2, &next_id, &out);
+  }
+  return Dataset(std::move(out));
+}
+
+void CutAtIndices(const Trajectory& t, const std::vector<size_t>& cut_indices,
+                  size_t min_points, int64_t* next_id,
+                  std::vector<Trajectory>* out) {
+  std::vector<size_t> cuts;
+  cuts.reserve(cut_indices.size() + 2);
+  cuts.push_back(0);
+  for (size_t idx : cut_indices) {
+    if (idx > 0 && idx < t.size()) {
+      cuts.push_back(idx);
+    }
+  }
+  cuts.push_back(t.size());
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  // Merge short pieces forward: walk boundaries and drop a boundary whenever
+  // the piece it closes would be too small.
+  std::vector<size_t> kept;
+  kept.push_back(cuts.front());
+  for (size_t i = 1; i + 1 < cuts.size(); ++i) {
+    if (cuts[i] - kept.back() >= min_points) {
+      kept.push_back(cuts[i]);
+    }
+  }
+  // Final piece must also be big enough; if not, merge it into the previous.
+  if (t.size() - kept.back() < min_points && kept.size() > 1) {
+    kept.pop_back();
+  }
+  kept.push_back(t.size());
+
+  for (size_t i = 0; i + 1 < kept.size(); ++i) {
+    Trajectory piece = t.Slice(kept[i], kept[i + 1], (*next_id)++);
+    out->push_back(std::move(piece));
+  }
+}
+
+}  // namespace wcop

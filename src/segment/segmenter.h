@@ -1,0 +1,63 @@
+#ifndef WCOP_SEGMENT_SEGMENTER_H_
+#define WCOP_SEGMENT_SEGMENTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Interface of the segmentation phase of WCOP-SA (Algorithm 5, line 1):
+/// partition a dataset of trajectories into a dataset of sub-trajectories.
+///
+/// Contract for implementations:
+///  * every input point appears in exactly one output sub-trajectory
+///    (boundary points may be duplicated at cut positions when
+///    `duplicate_boundaries` is chosen by the implementation — the default
+///    implementations here cut without duplication);
+///  * each sub-trajectory inherits its parent's (k_i, delta_i) requirement
+///    and object id, and records parent_id = parent trajectory id;
+///  * output ids are fresh and unique across the output dataset.
+class Segmenter {
+ public:
+  virtual ~Segmenter() = default;
+
+  /// Human-readable name ("traclus", "convoy", ...), used in reports.
+  virtual std::string name() const = 0;
+
+  /// Splits every trajectory of `dataset` into sub-trajectories.
+  virtual Result<Dataset> Segment(const Dataset& dataset) = 0;
+};
+
+/// Trivial baseline segmenter used by the segmentation ablation: cuts every
+/// trajectory into fixed-length pieces of `piece_points` points, ignoring
+/// the data entirely. Useful to show that *dataset-aware* segmentation
+/// (TRACLUS / Convoys) is what buys distortion, not splitting per se.
+class FixedLengthSegmenter : public Segmenter {
+ public:
+  explicit FixedLengthSegmenter(size_t piece_points)
+      : piece_points_(piece_points < 2 ? 2 : piece_points) {}
+
+  std::string name() const override { return "fixed-length"; }
+  Result<Dataset> Segment(const Dataset& dataset) override;
+
+  size_t piece_points() const { return piece_points_; }
+
+ private:
+  size_t piece_points_;
+};
+
+/// Helper shared by segmenter implementations: cuts `t` at the given sorted
+/// point indices (each index becomes the first point of the next piece) and
+/// appends the resulting sub-trajectories — with fresh ids drawn from
+/// `next_id` — to `out`. Pieces with fewer than `min_points` points are
+/// merged into their predecessor. Cut indices outside (0, size) are ignored.
+void CutAtIndices(const Trajectory& t, const std::vector<size_t>& cut_indices,
+                  size_t min_points, int64_t* next_id,
+                  std::vector<Trajectory>* out);
+
+}  // namespace wcop
+
+#endif  // WCOP_SEGMENT_SEGMENTER_H_

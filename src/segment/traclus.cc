@@ -1,0 +1,268 @@
+#include "segment/traclus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/dbscan.h"
+#include "index/grid_index.h"
+
+namespace wcop {
+
+namespace {
+
+/// log2 clamped below at 0 bits (distances under one metre cost nothing);
+/// matches the convention of the TRACLUS MDL formulation for metric data.
+double Log2Cost(double value) { return std::log2(std::max(value, 1.0)); }
+
+/// L(H) + L(D|H) for replacing points [i..j] of `t` by the single segment
+/// (t[i], t[j]). L(D|H) charges each spanned raw segment its perpendicular
+/// and angular deviation from the hypothesis (Lee et al., Definition of
+/// MDL_par: a per-segment sum of log2 terms).
+double MdlPartition(const Trajectory& t, size_t i, size_t j) {
+  const LineSegment hypothesis(t[i], t[j]);
+  double cost = Log2Cost(hypothesis.Length());
+  for (size_t k = i; k < j; ++k) {
+    const LineSegment piece(t[k], t[k + 1]);
+    const SegmentDistanceComponents c =
+        ComputeSegmentDistanceComponents(hypothesis, piece);
+    cost += Log2Cost(c.perpendicular) + Log2Cost(c.angular);
+  }
+  return cost;
+}
+
+/// L(H) with no partitioning: describe every raw segment individually
+/// (L(D|H) is zero by definition).
+double MdlNoPartition(const Trajectory& t, size_t i, size_t j) {
+  double cost = 0.0;
+  for (size_t k = i; k < j; ++k) {
+    cost += Log2Cost(SpatialDistance(t[k], t[k + 1]));
+  }
+  return cost;
+}
+
+}  // namespace
+
+std::vector<size_t> TraclusCharacteristicPoints(const Trajectory& t,
+                                                const TraclusOptions& options) {
+  std::vector<size_t> char_points;
+  if (t.empty()) {
+    return char_points;
+  }
+  char_points.push_back(0);
+  if (t.size() == 1) {
+    return char_points;
+  }
+  // Approximate trajectory partitioning (Lee et al., Figure 8): grow a
+  // window until partitioning at the previous point is cheaper than not
+  // partitioning.
+  size_t start = 0;
+  size_t length = 1;
+  while (start + length < t.size()) {
+    const size_t curr = start + length;
+    const double cost_par = MdlPartition(t, start, curr);
+    const double cost_nopar = MdlNoPartition(t, start, curr);
+    if (cost_par > cost_nopar + options.mdl_advantage) {
+      const size_t cut = curr - 1;
+      if (cut > char_points.back()) {
+        char_points.push_back(cut);
+      }
+      start = cut;
+      length = 1;
+    } else {
+      ++length;
+    }
+  }
+  if (char_points.back() != t.size() - 1) {
+    char_points.push_back(t.size() - 1);
+  }
+  return char_points;
+}
+
+std::vector<TaggedSegment> ExtractCharacteristicSegments(
+    const Dataset& dataset, const TraclusOptions& options) {
+  std::vector<TaggedSegment> segments;
+  for (const Trajectory& t : dataset.trajectories()) {
+    const std::vector<size_t> cps = TraclusCharacteristicPoints(t, options);
+    for (size_t i = 0; i + 1 < cps.size(); ++i) {
+      segments.push_back(TaggedSegment{
+          LineSegment(t[cps[i]], t[cps[i + 1]]), t.id(), cps[i]});
+    }
+  }
+  return segments;
+}
+
+SegmentClustering ClusterSegments(const std::vector<TaggedSegment>& segments,
+                                  const TraclusOptions& options) {
+  // Pre-filter candidates through a grid over segment midpoints: two
+  // segments within distance eps must have midpoints within
+  // eps_reach = eps + (len_a + len_b)/2; we bound segment length influence
+  // by indexing midpoints and querying with eps + max_half_len + half_len.
+  double max_half_len = 0.0;
+  for (const TaggedSegment& s : segments) {
+    max_half_len = std::max(max_half_len, 0.5 * s.segment.Length());
+  }
+  const double cell = std::max(options.eps, 1.0);
+  GridIndex grid(cell);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const LineSegment& seg = segments[i].segment;
+    grid.Insert(i, 0.5 * (seg.start.x + seg.end.x),
+                0.5 * (seg.start.y + seg.end.y));
+  }
+
+  std::vector<size_t> scratch;
+  auto neighbors = [&](size_t item) {
+    const LineSegment& seg = segments[item].segment;
+    const double mx = 0.5 * (seg.start.x + seg.end.x);
+    const double my = 0.5 * (seg.start.y + seg.end.y);
+    scratch.clear();
+    grid.CandidateQuery(mx, my,
+                        options.eps + max_half_len + 0.5 * seg.Length(),
+                        &scratch);
+    std::vector<size_t> out;
+    for (size_t cand : scratch) {
+      if (cand == item) {
+        continue;
+      }
+      const double d =
+          SegmentDistance(seg, segments[cand].segment, options.w_perpendicular,
+                          options.w_parallel, options.w_angular);
+      if (d <= options.eps) {
+        out.push_back(cand);
+      }
+    }
+    return out;
+  };
+
+  const DbscanResult db = Dbscan(segments.size(), options.min_lines, neighbors);
+  return SegmentClustering{db.labels, db.num_clusters};
+}
+
+Trajectory RepresentativeTrajectory(const std::vector<TaggedSegment>& segments,
+                                    const std::vector<size_t>& member_indices,
+                                    const TraclusOptions& options) {
+  if (member_indices.empty()) {
+    return Trajectory();
+  }
+  // Average direction vector of the cluster (flip segments pointing against
+  // the emerging majority so the average is stable).
+  double vx = 0.0, vy = 0.0;
+  for (size_t idx : member_indices) {
+    const LineSegment& s = segments[idx].segment;
+    double dx = s.end.x - s.start.x;
+    double dy = s.end.y - s.start.y;
+    if (dx * vx + dy * vy < 0.0) {
+      dx = -dx;
+      dy = -dy;
+    }
+    vx += dx;
+    vy += dy;
+  }
+  const double norm = std::sqrt(vx * vx + vy * vy);
+  if (norm == 0.0) {
+    return Trajectory();
+  }
+  vx /= norm;
+  vy /= norm;
+
+  // Rotate so the average direction is the X' axis.
+  auto to_rotated_x = [&](const Point& p) { return p.x * vx + p.y * vy; };
+  auto to_rotated_y = [&](const Point& p) { return -p.x * vy + p.y * vx; };
+
+  struct SweepEvent {
+    double x;  ///< rotated x of a segment endpoint
+  };
+  std::vector<SweepEvent> events;
+  events.reserve(member_indices.size() * 2);
+  for (size_t idx : member_indices) {
+    events.push_back({to_rotated_x(segments[idx].segment.start)});
+    events.push_back({to_rotated_x(segments[idx].segment.end)});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SweepEvent& a, const SweepEvent& b) { return a.x < b.x; });
+
+  std::vector<Point> rep_points;
+  double sweep_index = 0.0;
+  for (const SweepEvent& ev : events) {
+    // Average y' of all segments whose rotated-x span covers ev.x.
+    double sum_y = 0.0;
+    size_t count = 0;
+    for (size_t idx : member_indices) {
+      const LineSegment& s = segments[idx].segment;
+      double xs = to_rotated_x(s.start);
+      double xe = to_rotated_x(s.end);
+      double ys = to_rotated_y(s.start);
+      double ye = to_rotated_y(s.end);
+      if (xs > xe) {
+        std::swap(xs, xe);
+        std::swap(ys, ye);
+      }
+      if (ev.x < xs || ev.x > xe) {
+        continue;
+      }
+      const double span = xe - xs;
+      const double y_at =
+          span == 0.0 ? 0.5 * (ys + ye) : ys + (ev.x - xs) / span * (ye - ys);
+      sum_y += y_at;
+      ++count;
+    }
+    if (count < options.min_representative_lines) {
+      continue;
+    }
+    const double avg_y = sum_y / static_cast<double>(count);
+    // Rotate back to the original frame.
+    const double px = ev.x * vx - avg_y * vy;
+    const double py = ev.x * vy + avg_y * vx;
+    if (!rep_points.empty() &&
+        SpatialDistance(rep_points.back(), Point(px, py, 0.0)) < 1e-9) {
+      continue;
+    }
+    rep_points.push_back(Point(px, py, sweep_index));
+    sweep_index += 1.0;
+  }
+  return Trajectory(-1, std::move(rep_points));
+}
+
+TraclusClusteringResult RunTraclus(const Dataset& dataset,
+                                   const TraclusOptions& options) {
+  TraclusClusteringResult result;
+  result.segments = ExtractCharacteristicSegments(dataset, options);
+  result.clustering = ClusterSegments(result.segments, options);
+  result.representatives.reserve(
+      static_cast<size_t>(result.clustering.num_clusters));
+  // Group member indices per cluster, then sweep each for a representative.
+  std::vector<std::vector<size_t>> members(
+      static_cast<size_t>(result.clustering.num_clusters));
+  for (size_t i = 0; i < result.segments.size(); ++i) {
+    const int label = result.clustering.labels[i];
+    if (label >= 0) {
+      members[static_cast<size_t>(label)].push_back(i);
+    }
+  }
+  for (size_t c = 0; c < members.size(); ++c) {
+    Trajectory rep =
+        RepresentativeTrajectory(result.segments, members[c], options);
+    rep.set_id(static_cast<int64_t>(c));
+    result.representatives.push_back(std::move(rep));
+  }
+  return result;
+}
+
+Result<Dataset> TraclusSegmenter::Segment(const Dataset& dataset) {
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  std::vector<Trajectory> out;
+  int64_t next_id = 0;
+  for (const Trajectory& t : dataset.trajectories()) {
+    const std::vector<size_t> cps = TraclusCharacteristicPoints(t, options_);
+    // Characteristic points other than the endpoints become cut positions.
+    std::vector<size_t> cuts;
+    for (size_t cp : cps) {
+      if (cp != 0 && cp + 1 != t.size()) {
+        cuts.push_back(cp);
+      }
+    }
+    CutAtIndices(t, cuts, options_.min_sub_trajectory_points, &next_id, &out);
+  }
+  return Dataset(std::move(out));
+}
+
+}  // namespace wcop

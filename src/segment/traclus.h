@@ -1,0 +1,115 @@
+#ifndef WCOP_SEGMENT_TRACLUS_H_
+#define WCOP_SEGMENT_TRACLUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/segment_geometry.h"
+#include "segment/segmenter.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Options of the TRACLUS partition-and-group framework (Lee, Han & Whang,
+/// SIGMOD 2007).
+struct TraclusOptions {
+  /// MDL partitioning: a point becomes a characteristic point when the cost
+  /// of partitioning exceeds the cost of not partitioning by more than this
+  /// margin (bits). 0 reproduces the paper's rule; higher values yield
+  /// coarser partitionings (fewer, longer sub-trajectories).
+  double mdl_advantage = 0.0;
+
+  /// Minimum number of points per emitted sub-trajectory.
+  size_t min_sub_trajectory_points = 2;
+
+  /// Segment-clustering parameters (only used by ClusterSegments /
+  /// RepresentativeTrajectories): DBSCAN eps over the weighted segment
+  /// distance, and MinLns (minimum segments per cluster).
+  double eps = 50.0;
+  size_t min_lines = 3;
+
+  /// Weights of the three segment-distance components.
+  double w_perpendicular = 1.0;
+  double w_parallel = 1.0;
+  double w_angular = 1.0;
+
+  /// Minimum number of contributing segments for a representative point
+  /// (the TRACLUS paper's MinLns sweep threshold).
+  size_t min_representative_lines = 3;
+};
+
+/// MDL-based approximate trajectory partitioning: returns the indices of the
+/// characteristic points of `t` (always includes 0 and size-1; empty input
+/// yields an empty list).
+std::vector<size_t> TraclusCharacteristicPoints(const Trajectory& t,
+                                                const TraclusOptions& options);
+
+/// A directed segment tagged with its provenance (used by segment
+/// clustering and representative-trajectory generation).
+struct TaggedSegment {
+  LineSegment segment;
+  int64_t trajectory_id = 0;
+  size_t point_index = 0;  ///< index of segment.start within the trajectory
+};
+
+/// Extracts the characteristic segments (between consecutive characteristic
+/// points) of every trajectory in the dataset.
+std::vector<TaggedSegment> ExtractCharacteristicSegments(
+    const Dataset& dataset, const TraclusOptions& options);
+
+/// Groups characteristic segments with DBSCAN under the weighted segment
+/// distance. Returns per-segment cluster labels (-1 = noise) and the number
+/// of clusters.
+struct SegmentClustering {
+  std::vector<int> labels;
+  int num_clusters = 0;
+};
+SegmentClustering ClusterSegments(const std::vector<TaggedSegment>& segments,
+                                  const TraclusOptions& options);
+
+/// Computes the representative trajectory of one segment cluster using the
+/// TRACLUS sweep: rotate onto the cluster's average direction, sweep the
+/// sorted projected endpoints, and average the segments crossing each sweep
+/// line (only where at least min_representative_lines segments participate).
+/// The `t` fields of the returned points carry the sweep parameter, not real
+/// time. Returns an empty trajectory when the cluster is too sparse.
+Trajectory RepresentativeTrajectory(const std::vector<TaggedSegment>& segments,
+                                    const std::vector<size_t>& member_indices,
+                                    const TraclusOptions& options);
+
+/// The complete TRACLUS partition-and-group pipeline over a dataset:
+/// MDL partitioning into characteristic segments, density-based segment
+/// clustering, and one representative trajectory per cluster. This is the
+/// full framework of Lee et al. (WCOP-SA only consumes the partitioning
+/// step; the full pipeline backs pattern-exploration tooling and the
+/// segmentation ablations).
+struct TraclusClusteringResult {
+  std::vector<TaggedSegment> segments;   ///< all characteristic segments
+  SegmentClustering clustering;          ///< labels aligned with `segments`
+  std::vector<Trajectory> representatives;  ///< one per cluster (may be
+                                            ///< empty for sparse clusters)
+};
+TraclusClusteringResult RunTraclus(const Dataset& dataset,
+                                   const TraclusOptions& options = {});
+
+/// The Segmenter used by WCOP-SA-Traclus: partitions every trajectory at its
+/// MDL characteristic points and emits the pieces as sub-trajectories.
+class TraclusSegmenter : public Segmenter {
+ public:
+  explicit TraclusSegmenter(TraclusOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "traclus"; }
+  Result<Dataset> Segment(const Dataset& dataset) override;
+
+  const TraclusOptions& options() const { return options_; }
+
+ private:
+  TraclusOptions options_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_SEGMENT_TRACLUS_H_

@@ -1,0 +1,109 @@
+#include "traj/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <unordered_set>
+
+namespace wcop {
+
+int Dataset::MaxK() const {
+  int max_k = 0;
+  for (const Trajectory& t : trajectories_) {
+    max_k = std::max(max_k, t.requirement().k);
+  }
+  return max_k;
+}
+
+double Dataset::MinDelta() const {
+  if (trajectories_.empty()) {
+    return 0.0;
+  }
+  double min_delta = std::numeric_limits<double>::infinity();
+  for (const Trajectory& t : trajectories_) {
+    min_delta = std::min(min_delta, t.requirement().delta);
+  }
+  return min_delta;
+}
+
+size_t Dataset::TotalPoints() const {
+  size_t total = 0;
+  for (const Trajectory& t : trajectories_) {
+    total += t.size();
+  }
+  return total;
+}
+
+BoundingBox Dataset::Bounds() const {
+  BoundingBox box;
+  for (const Trajectory& t : trajectories_) {
+    box.Extend(t.Bounds());
+  }
+  return box;
+}
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats stats;
+  stats.num_trajectories = trajectories_.size();
+  stats.num_points = TotalPoints();
+  stats.radius = Bounds().HalfDiagonal();
+
+  std::unordered_set<int64_t> objects;
+  double min_time = std::numeric_limits<double>::infinity();
+  double max_time = -std::numeric_limits<double>::infinity();
+  double weighted_speed = 0.0;
+  double total_duration = 0.0;
+  for (const Trajectory& t : trajectories_) {
+    objects.insert(t.object_id());
+    if (!t.empty()) {
+      min_time = std::min(min_time, t.StartTime());
+      max_time = std::max(max_time, t.EndTime());
+      weighted_speed += t.AverageSpeed() * t.Duration();
+      total_duration += t.Duration();
+    }
+  }
+  stats.num_objects = objects.size();
+  stats.avg_speed = total_duration > 0.0 ? weighted_speed / total_duration : 0.0;
+  stats.duration_days =
+      max_time > min_time ? (max_time - min_time) / 86400.0 : 0.0;
+  stats.avg_points_per_traj =
+      stats.num_trajectories > 0
+          ? static_cast<double>(stats.num_points) / stats.num_trajectories
+          : 0.0;
+  return stats;
+}
+
+Status Dataset::Validate() const {
+  std::unordered_set<int64_t> ids;
+  for (const Trajectory& t : trajectories_) {
+    WCOP_RETURN_IF_ERROR(t.Validate());
+    if (!ids.insert(t.id()).second) {
+      return Status::InvalidArgument("duplicate trajectory id " +
+                                     std::to_string(t.id()));
+    }
+  }
+  return Status::OK();
+}
+
+const Trajectory* Dataset::FindById(int64_t id) const {
+  for (const Trajectory& t : trajectories_) {
+    if (t.id() == id) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+std::string Dataset::DebugString() const {
+  const DatasetStats stats = ComputeStats();
+  std::ostringstream os;
+  os << "Dataset{objects=" << stats.num_objects
+     << ", trajectories=" << stats.num_trajectories
+     << ", points=" << stats.num_points << ", avg_speed=" << stats.avg_speed
+     << " m/s, radius=" << stats.radius
+     << " m, duration=" << stats.duration_days << " days}";
+  return os.str();
+}
+
+}  // namespace wcop

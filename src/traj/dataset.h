@@ -1,0 +1,78 @@
+#ifndef WCOP_TRAJ_DATASET_H_
+#define WCOP_TRAJ_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "traj/trajectory.h"
+
+namespace wcop {
+
+/// Aggregate statistics of a dataset — the columns of the paper's Table 2.
+struct DatasetStats {
+  size_t num_objects = 0;         ///< distinct users / moving objects
+  size_t num_trajectories = 0;    ///< |D|
+  size_t num_points = 0;          ///< total spatiotemporal points
+  double avg_speed = 0.0;         ///< mean of per-trajectory average speeds,
+                                  ///< weighted by duration (m/s)
+  double radius = 0.0;            ///< half-diagonal of the space MBB (m)
+  double duration_days = 0.0;     ///< overall time span in days
+  double avg_points_per_traj = 0.0;
+};
+
+/// The trajectory database D = {(tau_1, k_1, delta_1), ...}.
+///
+/// A plain ordered container over Trajectory with dataset-level helpers used
+/// throughout the suite: universal-requirement extraction (max k_i /
+/// min delta_i for WCOP-NV), Table 2 statistics, and validation.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<Trajectory> trajectories)
+      : trajectories_(std::move(trajectories)) {}
+
+  const std::vector<Trajectory>& trajectories() const { return trajectories_; }
+  std::vector<Trajectory>& mutable_trajectories() { return trajectories_; }
+
+  size_t size() const { return trajectories_.size(); }
+  bool empty() const { return trajectories_.empty(); }
+  const Trajectory& operator[](size_t i) const { return trajectories_[i]; }
+  Trajectory& operator[](size_t i) { return trajectories_[i]; }
+
+  void Add(Trajectory t) { trajectories_.push_back(std::move(t)); }
+
+  /// Largest privacy requirement in the dataset (k_max of Eq. 3 / WCOP-NV);
+  /// 0 on an empty dataset.
+  int MaxK() const;
+
+  /// Smallest quality requirement in the dataset (delta_min); 0 on empty.
+  double MinDelta() const;
+
+  /// Total number of spatiotemporal points across all trajectories.
+  size_t TotalPoints() const;
+
+  /// Spatial bounding box over all trajectories.
+  BoundingBox Bounds() const;
+
+  /// Computes the Table 2 statistics.
+  DatasetStats ComputeStats() const;
+
+  /// Validates every trajectory and checks ids are unique.
+  Status Validate() const;
+
+  /// Looks up a trajectory by id; returns nullptr when absent (linear scan —
+  /// datasets here are hundreds to tens of thousands of trajectories).
+  const Trajectory* FindById(int64_t id) const;
+
+  std::string DebugString() const;
+
+ private:
+  std::vector<Trajectory> trajectories_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_TRAJ_DATASET_H_

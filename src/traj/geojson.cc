@@ -1,0 +1,66 @@
+#include "traj/geojson.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wcop {
+
+namespace {
+
+void AppendFeature(std::ostringstream& os, const Trajectory& t,
+                   const LocalProjection& projection, bool first) {
+  if (!first) {
+    os << ",\n";
+  }
+  os << "    {\"type\":\"Feature\",\"properties\":{"
+     << "\"traj_id\":" << t.id() << ",\"object_id\":" << t.object_id()
+     << ",\"parent_id\":" << t.parent_id()
+     << ",\"k\":" << t.requirement().k;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", t.requirement().delta);
+  os << ",\"delta\":" << buf;
+  std::snprintf(buf, sizeof(buf), "%.3f", t.StartTime());
+  os << ",\"start_time\":" << buf;
+  std::snprintf(buf, sizeof(buf), "%.3f", t.EndTime());
+  os << ",\"end_time\":" << buf;
+  os << "},\"geometry\":{\"type\":\"LineString\",\"coordinates\":[";
+  for (size_t i = 0; i < t.size(); ++i) {
+    double lat = 0.0, lon = 0.0;
+    projection.ToGeographic(t[i], &lat, &lon);
+    std::snprintf(buf, sizeof(buf), "[%.7f,%.7f]", lon, lat);
+    os << (i == 0 ? "" : ",") << buf;
+  }
+  os << "]}}";
+}
+
+}  // namespace
+
+std::string DatasetToGeoJson(const Dataset& dataset,
+                             const LocalProjection& projection) {
+  std::ostringstream os;
+  os << "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  bool first = true;
+  for (const Trajectory& t : dataset.trajectories()) {
+    AppendFeature(os, t, projection, first);
+    first = false;
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Status WriteDatasetGeoJson(const Dataset& dataset,
+                           const LocalProjection& projection,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << DatasetToGeoJson(dataset, projection);
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace wcop

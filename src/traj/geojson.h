@@ -1,0 +1,32 @@
+#ifndef WCOP_TRAJ_GEOJSON_H_
+#define WCOP_TRAJ_GEOJSON_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "geo/projection.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// GeoJSON export for map-based inspection of original vs anonymized data
+/// (the paper's Figures 3-4 are exactly such plots).
+///
+/// Each trajectory becomes one LineString feature with properties
+/// `traj_id`, `object_id`, `parent_id`, `k`, `delta`, `start_time`,
+/// `end_time`. Coordinates are converted from the library's local metric
+/// frame back to WGS-84 (lon, lat) through the given projection — use the
+/// same anchor the data was loaded/generated with.
+
+/// Serializes the dataset as a GeoJSON FeatureCollection string.
+std::string DatasetToGeoJson(const Dataset& dataset,
+                             const LocalProjection& projection);
+
+/// Writes DatasetToGeoJson() to `path` (overwrites).
+Status WriteDatasetGeoJson(const Dataset& dataset,
+                           const LocalProjection& projection,
+                           const std::string& path);
+
+}  // namespace wcop
+
+#endif  // WCOP_TRAJ_GEOJSON_H_

@@ -1,0 +1,87 @@
+#include "traj/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace wcop {
+
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << "traj_id,object_id,parent_id,k,delta,x,y,t\n";
+  char line[256];
+  for (const Trajectory& t : dataset.trajectories()) {
+    for (const Point& p : t.points()) {
+      std::snprintf(line, sizeof(line),
+                    "%lld,%lld,%lld,%d,%.6f,%.6f,%.6f,%.6f\n",
+                    static_cast<long long>(t.id()),
+                    static_cast<long long>(t.object_id()),
+                    static_cast<long long>(t.parent_id()), t.requirement().k,
+                    t.requirement().delta, p.x, p.y, p.t);
+      out << line;
+    }
+  }
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> ReadDatasetCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError("cannot open for reading: " + path);
+  }
+  Dataset dataset;
+  Trajectory current;
+  bool have_current = false;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.rfind("traj_id", 0) == 0) {
+      continue;  // Skip blank lines and the header.
+    }
+    std::istringstream ss(line);
+    std::string cell;
+    double fields[8];
+    int n = 0;
+    while (n < 8 && std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      fields[n] = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                  ": bad numeric cell '" + cell + "'");
+      }
+      ++n;
+    }
+    if (n != 8) {
+      return Status::ParseError(path + ":" + std::to_string(line_no) +
+                                ": expected 8 cells, got " +
+                                std::to_string(n));
+    }
+    const int64_t traj_id = static_cast<int64_t>(fields[0]);
+    if (!have_current || current.id() != traj_id) {
+      if (have_current) {
+        dataset.Add(std::move(current));
+      }
+      current = Trajectory(traj_id, {});
+      current.set_object_id(static_cast<int64_t>(fields[1]));
+      current.set_parent_id(static_cast<int64_t>(fields[2]));
+      current.set_requirement(
+          Requirement{static_cast<int>(fields[3]), fields[4]});
+      have_current = true;
+    }
+    current.AppendPoint(Point(fields[5], fields[6], fields[7]));
+  }
+  if (have_current) {
+    dataset.Add(std::move(current));
+  }
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace wcop

@@ -1,0 +1,27 @@
+#ifndef WCOP_TRAJ_IO_H_
+#define WCOP_TRAJ_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Flat-file dataset exchange format used by the examples and the benchmark
+/// harness (one point per line):
+///
+///   traj_id,object_id,parent_id,k,delta,x,y,t
+///
+/// The header line is written on export and tolerated on import.
+
+/// Writes the dataset to `path`; overwrites any existing file.
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by WriteDatasetCsv. Points belonging
+/// to the same traj_id must be contiguous and time-ordered.
+Result<Dataset> ReadDatasetCsv(const std::string& path);
+
+}  // namespace wcop
+
+#endif  // WCOP_TRAJ_IO_H_

@@ -1,0 +1,87 @@
+#include "traj/resample.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wcop {
+
+Trajectory ResampleUniform(const Trajectory& t, double interval) {
+  if (t.size() <= 1 || interval <= 0.0) {
+    return t;
+  }
+  std::vector<Point> points;
+  const double t0 = t.StartTime();
+  const double t1 = t.EndTime();
+  const size_t steps = static_cast<size_t>(std::floor((t1 - t0) / interval));
+  points.reserve(steps + 2);
+  for (size_t i = 0; i <= steps; ++i) {
+    points.push_back(t.PositionAt(t0 + static_cast<double>(i) * interval));
+  }
+  // Keep the exact endpoint unless the grid already landed on it.
+  if (points.back().t < t1) {
+    points.push_back(t.PositionAt(t1));
+  }
+  Trajectory out(t.id(), std::move(points), t.requirement());
+  out.set_object_id(t.object_id());
+  out.set_parent_id(t.parent_id());
+  return out;
+}
+
+Trajectory DownsampleToMaxPoints(const Trajectory& t, size_t max_points) {
+  if (max_points < 2 || t.size() <= max_points) {
+    return t;
+  }
+  std::vector<Point> points;
+  points.reserve(max_points);
+  const size_t n = t.size();
+  // Evenly spaced index selection that always includes the endpoints.
+  for (size_t i = 0; i < max_points; ++i) {
+    const size_t idx =
+        static_cast<size_t>(std::llround(static_cast<double>(i) *
+                                         static_cast<double>(n - 1) /
+                                         static_cast<double>(max_points - 1)));
+    if (!points.empty() && points.back().t >= t[idx].t) {
+      continue;  // Guard against duplicate indices from rounding.
+    }
+    points.push_back(t[idx]);
+  }
+  Trajectory out(t.id(), std::move(points), t.requirement());
+  out.set_object_id(t.object_id());
+  out.set_parent_id(t.parent_id());
+  return out;
+}
+
+Dataset DownsampleDataset(const Dataset& dataset, size_t max_points) {
+  std::vector<Trajectory> out;
+  out.reserve(dataset.size());
+  for (const Trajectory& t : dataset.trajectories()) {
+    out.push_back(DownsampleToMaxPoints(t, max_points));
+  }
+  return Dataset(std::move(out));
+}
+
+std::vector<double> UniformTimeGrid(const Dataset& dataset, double step) {
+  std::vector<double> grid;
+  if (dataset.empty() || step <= 0.0) {
+    return grid;
+  }
+  double t_min = std::numeric_limits<double>::infinity();
+  double t_max = -std::numeric_limits<double>::infinity();
+  for (const Trajectory& t : dataset.trajectories()) {
+    if (t.empty()) {
+      continue;
+    }
+    t_min = std::min(t_min, t.StartTime());
+    t_max = std::max(t_max, t.EndTime());
+  }
+  if (!(t_min <= t_max)) {
+    return grid;
+  }
+  for (double time = t_min; time <= t_max; time += step) {
+    grid.push_back(time);
+  }
+  return grid;
+}
+
+}  // namespace wcop

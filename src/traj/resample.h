@@ -1,0 +1,36 @@
+#ifndef WCOP_TRAJ_RESAMPLE_H_
+#define WCOP_TRAJ_RESAMPLE_H_
+
+#include <vector>
+
+#include "traj/dataset.h"
+#include "traj/trajectory.h"
+
+namespace wcop {
+
+/// Resampling utilities. Convoy discovery and the synchronized (NWA-style)
+/// Euclidean distance both need positions at common timestamps; the benchmark
+/// harness also downsamples trajectories to keep the quadratic EDR clustering
+/// tractable at interactive speeds.
+
+/// Resamples `t` on a uniform grid of `interval` seconds starting at its own
+/// first timestamp (inclusive of the last point's time). Uses linear
+/// interpolation; a single-point trajectory is returned unchanged.
+Trajectory ResampleUniform(const Trajectory& t, double interval);
+
+/// Keeps roughly every n-th point so that the result has at most
+/// `max_points` points (always keeps first and last). No-op when the
+/// trajectory is already small enough or `max_points` < 2.
+Trajectory DownsampleToMaxPoints(const Trajectory& t, size_t max_points);
+
+/// Applies DownsampleToMaxPoints to every trajectory of the dataset.
+Dataset DownsampleDataset(const Dataset& dataset, size_t max_points);
+
+/// The sorted union of snapshot times implied by a uniform grid over the
+/// dataset's full time span (used by convoy discovery): t_min, t_min + step,
+/// ..., up to t_max.
+std::vector<double> UniformTimeGrid(const Dataset& dataset, double step);
+
+}  // namespace wcop
+
+#endif  // WCOP_TRAJ_RESAMPLE_H_

@@ -1,0 +1,88 @@
+#include "traj/simplify.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "geo/segment_geometry.h"
+
+namespace wcop {
+
+namespace {
+
+/// Iterative Douglas-Peucker over index range [lo, hi]: marks kept points.
+void MarkKeepers(const std::vector<Point>& points, double epsilon,
+                 std::vector<bool>* keep) {
+  std::vector<std::pair<size_t, size_t>> stack = {{0, points.size() - 1}};
+  while (!stack.empty()) {
+    const auto [lo, hi] = stack.back();
+    stack.pop_back();
+    if (hi <= lo + 1) {
+      continue;
+    }
+    const LineSegment chord(points[lo], points[hi]);
+    double worst = -1.0;
+    size_t worst_index = lo;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      const double d = PointToSegmentDistance(points[i], chord);
+      if (d > worst) {
+        worst = d;
+        worst_index = i;
+      }
+    }
+    if (worst > epsilon) {
+      (*keep)[worst_index] = true;
+      stack.emplace_back(lo, worst_index);
+      stack.emplace_back(worst_index, hi);
+    }
+  }
+}
+
+}  // namespace
+
+Trajectory SimplifyDouglasPeucker(const Trajectory& t, double epsilon) {
+  if (epsilon <= 0.0 || t.size() <= 2) {
+    return t;
+  }
+  std::vector<bool> keep(t.size(), false);
+  keep.front() = keep.back() = true;
+  MarkKeepers(t.points(), epsilon, &keep);
+
+  std::vector<Point> kept;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (keep[i]) {
+      kept.push_back(t[i]);
+    }
+  }
+  Trajectory out(t.id(), std::move(kept), t.requirement());
+  out.set_object_id(t.object_id());
+  out.set_parent_id(t.parent_id());
+  return out;
+}
+
+Dataset SimplifyDataset(const Dataset& dataset, double epsilon) {
+  std::vector<Trajectory> out;
+  out.reserve(dataset.size());
+  for (const Trajectory& t : dataset.trajectories()) {
+    out.push_back(SimplifyDouglasPeucker(t, epsilon));
+  }
+  return Dataset(std::move(out));
+}
+
+double MaxSimplificationError(const Trajectory& original,
+                              const Trajectory& simplified) {
+  if (original.empty() || simplified.size() < 2) {
+    return 0.0;
+  }
+  double worst = 0.0;
+  size_t seg = 0;  // current simplified segment, advanced by timestamp
+  for (const Point& p : original.points()) {
+    while (seg + 2 < simplified.size() && simplified[seg + 1].t < p.t) {
+      ++seg;
+    }
+    const LineSegment chord(simplified[seg], simplified[seg + 1]);
+    worst = std::max(worst, PointToSegmentDistance(p, chord));
+  }
+  return worst;
+}
+
+}  // namespace wcop

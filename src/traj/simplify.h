@@ -1,0 +1,35 @@
+#ifndef WCOP_TRAJ_SIMPLIFY_H_
+#define WCOP_TRAJ_SIMPLIFY_H_
+
+#include "traj/dataset.h"
+#include "traj/trajectory.h"
+
+namespace wcop {
+
+/// Douglas-Peucker trajectory simplification — the standard lossy
+/// preprocessing of trajectory systems: drop points whose removal displaces
+/// the polyline by less than a tolerance. Complements the uniform
+/// downsampler in resample.h (which bounds the point *count*, not the
+/// shape error); a GeoLife-scale pipeline typically simplifies before
+/// feeding the quadratic EDR stages.
+
+/// Simplifies `t` with spatial tolerance `epsilon` (metres): every removed
+/// point lies within `epsilon` of the simplified polyline (distances
+/// measured point-to-segment in space; timestamps ride along unchanged).
+/// First and last points are always kept. Non-positive epsilon returns the
+/// input unchanged.
+Trajectory SimplifyDouglasPeucker(const Trajectory& t, double epsilon);
+
+/// Applies SimplifyDouglasPeucker to every trajectory.
+Dataset SimplifyDataset(const Dataset& dataset, double epsilon);
+
+/// Maximum spatial deviation between `simplified` (a subset polyline of
+/// `original`'s points) and the original: the largest distance from any
+/// original point to the simplified polyline's corresponding segment.
+/// Diagnostic companion to the simplifier (and its test oracle).
+double MaxSimplificationError(const Trajectory& original,
+                              const Trajectory& simplified);
+
+}  // namespace wcop
+
+#endif  // WCOP_TRAJ_SIMPLIFY_H_

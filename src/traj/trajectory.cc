@@ -1,0 +1,115 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace wcop {
+
+double Trajectory::PathLength() const {
+  double total = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    total += SpatialDistance(points_[i - 1], points_[i]);
+  }
+  return total;
+}
+
+double Trajectory::AverageSpeed() const {
+  const double duration = Duration();
+  if (duration <= 0.0) {
+    return 0.0;
+  }
+  return PathLength() / duration;
+}
+
+BoundingBox Trajectory::Bounds() const {
+  BoundingBox box;
+  for (const Point& p : points_) {
+    box.Extend(p);
+  }
+  return box;
+}
+
+Point Trajectory::PositionAt(double t) const {
+  if (points_.empty()) {
+    return Point();
+  }
+  if (t <= points_.front().t) {
+    return Point(points_.front().x, points_.front().y, t);
+  }
+  if (t >= points_.back().t) {
+    return Point(points_.back().x, points_.back().y, t);
+  }
+  // Binary search for the first point with timestamp > t.
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](double value, const Point& p) { return value < p.t; });
+  const Point& next = *it;
+  const Point& prev = *(it - 1);
+  const double span = next.t - prev.t;
+  if (span <= 0.0) {
+    return Point(prev.x, prev.y, t);
+  }
+  const double alpha = (t - prev.t) / span;
+  return Point(prev.x + alpha * (next.x - prev.x),
+               prev.y + alpha * (next.y - prev.y), t);
+}
+
+Status Trajectory::Validate() const {
+  if (points_.empty()) {
+    return Status::InvalidArgument("trajectory " + std::to_string(id_) +
+                                   " has no points");
+  }
+  for (size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    if (!std::isfinite(p.x) || !std::isfinite(p.y) || !std::isfinite(p.t)) {
+      return Status::InvalidArgument(
+          "trajectory " + std::to_string(id_) + " has non-finite point at " +
+          std::to_string(i));
+    }
+    if (i > 0 && points_[i - 1].t >= p.t) {
+      return Status::InvalidArgument(
+          "trajectory " + std::to_string(id_) +
+          " has non-increasing timestamps at index " + std::to_string(i));
+    }
+  }
+  if (requirement_.k < 1) {
+    return Status::InvalidArgument("trajectory " + std::to_string(id_) +
+                                   " has k < 1");
+  }
+  if (requirement_.delta < 0.0) {
+    return Status::InvalidArgument("trajectory " + std::to_string(id_) +
+                                   " has negative delta");
+  }
+  return Status::OK();
+}
+
+Trajectory Trajectory::Slice(size_t begin, size_t end, int64_t new_id) const {
+  begin = std::min(begin, points_.size());
+  end = std::min(end, points_.size());
+  std::vector<Point> slice;
+  if (begin < end) {
+    slice.assign(points_.begin() + begin, points_.begin() + end);
+  }
+  Trajectory out(new_id, std::move(slice), requirement_);
+  out.set_object_id(object_id_);
+  out.set_parent_id(id_);
+  return out;
+}
+
+std::string Trajectory::DebugString() const {
+  std::ostringstream os;
+  os << "Trajectory{id=" << id_ << ", object=" << object_id_;
+  if (is_sub_trajectory()) {
+    os << ", parent=" << parent_id_;
+  }
+  os << ", k=" << requirement_.k << ", delta=" << requirement_.delta
+     << ", points=" << points_.size();
+  if (!points_.empty()) {
+    os << ", span=[" << StartTime() << ", " << EndTime() << "]";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace wcop

@@ -1,0 +1,108 @@
+#ifndef WCOP_TRAJ_TRAJECTORY_H_
+#define WCOP_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/bounding_box.h"
+#include "geo/point.h"
+
+namespace wcop {
+
+/// Per-trajectory privacy and quality preferences: the (k_i, delta_i) pair of
+/// Problem 1. `k` is the anonymity threshold (hide among >= k-1 others);
+/// `delta` is the uncertainty-cylinder diameter in metres, acting as a
+/// service-quality bound (larger delta = more tolerated displacement).
+struct Requirement {
+  int k = 2;
+  double delta = 0.0;
+
+  bool operator==(const Requirement& other) const {
+    return k == other.k && delta == other.delta;
+  }
+};
+
+/// A moving-object trajectory: a polyline in (x, y, t) space, i.e. a sequence
+/// of timestamped locations with strictly increasing timestamps and linear
+/// interpolation in between (Section 3 of the paper).
+///
+/// Each trajectory carries its personalized Requirement and remembers its
+/// provenance: `object_id` identifies the moving object (several trajectories
+/// can belong to one user) and, for sub-trajectories produced by the
+/// segmentation phase, `parent_id` points at the original trajectory.
+class Trajectory {
+ public:
+  static constexpr int64_t kNoParent = -1;
+
+  Trajectory() = default;
+  Trajectory(int64_t id, std::vector<Point> points)
+      : id_(id), points_(std::move(points)) {}
+  Trajectory(int64_t id, std::vector<Point> points, Requirement requirement)
+      : id_(id), requirement_(requirement), points_(std::move(points)) {}
+
+  int64_t id() const { return id_; }
+  void set_id(int64_t id) { id_ = id; }
+
+  int64_t object_id() const { return object_id_; }
+  void set_object_id(int64_t object_id) { object_id_ = object_id; }
+
+  int64_t parent_id() const { return parent_id_; }
+  void set_parent_id(int64_t parent_id) { parent_id_ = parent_id; }
+  bool is_sub_trajectory() const { return parent_id_ != kNoParent; }
+
+  const Requirement& requirement() const { return requirement_; }
+  Requirement& mutable_requirement() { return requirement_; }
+  void set_requirement(Requirement r) { requirement_ = r; }
+
+  const std::vector<Point>& points() const { return points_; }
+  std::vector<Point>& mutable_points() { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const Point& front() const { return points_.front(); }
+  const Point& back() const { return points_.back(); }
+  const Point& operator[](size_t i) const { return points_[i]; }
+
+  void AppendPoint(const Point& p) { points_.push_back(p); }
+
+  /// Trajectory lifetime [t_1, t_n]; zero-point trajectories report 0.
+  double StartTime() const { return empty() ? 0.0 : points_.front().t; }
+  double EndTime() const { return empty() ? 0.0 : points_.back().t; }
+  double Duration() const { return EndTime() - StartTime(); }
+
+  /// Total spatial path length in metres.
+  double PathLength() const;
+
+  /// Mean speed = path length / duration; 0 for degenerate trajectories.
+  double AverageSpeed() const;
+
+  /// Spatial bounding box of the points.
+  BoundingBox Bounds() const;
+
+  /// Linearly interpolated position at time `t` (Section 3: the object moves
+  /// along a straight line with constant speed between recorded points).
+  /// Times outside [t_1, t_n] clamp to the first/last point.
+  Point PositionAt(double t) const;
+
+  /// Checks the structural invariant: at least one point and strictly
+  /// increasing timestamps, all coordinates finite.
+  Status Validate() const;
+
+  /// Extracts the sub-trajectory covering point indices [begin, end)
+  /// (inherits requirement and object id; parent_id is set to this->id()).
+  Trajectory Slice(size_t begin, size_t end, int64_t new_id) const;
+
+  std::string DebugString() const;
+
+ private:
+  int64_t id_ = 0;
+  int64_t object_id_ = 0;
+  int64_t parent_id_ = kNoParent;
+  Requirement requirement_;
+  std::vector<Point> points_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "anon/attack.h"
+#include "anon/wcop_ct.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::SmallSynthetic;
+
+TEST(AttackTest, LinkageAgainstUnprotectedDataSucceeds) {
+  // Publishing the original data verbatim: the adversary's observations
+  // match the victim's own trajectory exactly, so top-1 linkage is ~100%.
+  const Dataset d = SmallSynthetic(30, 50);
+  Result<AttackResult> r = SimulateLinkageAttack(d, d);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->victims_attacked, 30u);
+  EXPECT_GE(r->top1_success_rate, 0.95);
+  EXPECT_LE(r->mean_true_rank, 1.2);
+}
+
+TEST(AttackTest, AnonymizationReducesLinkage) {
+  const Dataset d = SmallSynthetic(40, 50, /*k_max=*/5);
+  Result<AnonymizationResult> anonymized = RunWcopCt(d);
+  ASSERT_TRUE(anonymized.ok());
+
+  Result<AttackResult> before = SimulateLinkageAttack(d, d);
+  Result<AttackResult> after = SimulateLinkageAttack(d, anonymized->sanitized);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  // The whole point of (k,delta)-anonymity: co-localized cluster members
+  // are near-indistinguishable, so linkage confidence drops substantially.
+  EXPECT_LT(after->top1_success_rate, before->top1_success_rate);
+  EXPECT_GT(after->mean_true_rank, before->mean_true_rank);
+  EXPECT_LT(after->mean_reciprocal_rank, 1.0);
+}
+
+TEST(AttackTest, NoiseWeakensTheAdversary) {
+  const Dataset d = SmallSynthetic(30, 50);
+  AttackOptions clean;
+  AttackOptions noisy;
+  noisy.observation_noise = 2000.0;  // very coarse observations
+  Result<AttackResult> exact = SimulateLinkageAttack(d, d, clean);
+  Result<AttackResult> blurred = SimulateLinkageAttack(d, d, noisy);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(blurred.ok());
+  EXPECT_LE(blurred->top1_success_rate, exact->top1_success_rate);
+}
+
+TEST(AttackTest, VictimSubsetRespected) {
+  const Dataset d = SmallSynthetic(30, 40);
+  AttackOptions options;
+  options.num_victims = 10;
+  Result<AttackResult> r = SimulateLinkageAttack(d, d, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->victims_attacked, 10u);
+}
+
+TEST(AttackTest, SuppressedVictimsAreSkipped) {
+  Dataset original = SmallSynthetic(20, 40);
+  Dataset published = original;
+  published.mutable_trajectories().pop_back();  // one victim suppressed
+  Result<AttackResult> r = SimulateLinkageAttack(original, published);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->victims_attacked, 19u);
+}
+
+TEST(AttackTest, DeterministicForSeed) {
+  const Dataset d = SmallSynthetic(25, 40);
+  AttackOptions options;
+  options.seed = 1234;
+  const auto a = SimulateLinkageAttack(d, d, options);
+  const auto b = SimulateLinkageAttack(d, d, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->top1_hits, b->top1_hits);
+  EXPECT_DOUBLE_EQ(a->mean_true_rank, b->mean_true_rank);
+}
+
+TEST(AttackTest, UncertaintyAwareAdversaryIsWeaker) {
+  // Observations drawn from a wide possible motion curve carry less
+  // information than exact fixes.
+  const Dataset d = SmallSynthetic(30, 50);
+  AttackOptions exact;
+  AttackOptions uncertain;
+  uncertain.pmc_delta = 4000.0;
+  Result<AttackResult> a = SimulateLinkageAttack(d, d, exact);
+  Result<AttackResult> b = SimulateLinkageAttack(d, d, uncertain);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b->top1_success_rate, a->top1_success_rate);
+  EXPECT_GE(b->mean_true_rank, a->mean_true_rank);
+}
+
+TEST(TrackingAttackTest, FollowsRawDataPerfectly) {
+  const Dataset d = SmallSynthetic(20, 50);
+  TrackingAttackOptions options;
+  options.step_seconds = 30.0;
+  Result<TrackingAttackResult> r = SimulateTrackingAttack(d, d, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->victims_tracked, 20u);
+  // Tracking exact data from the true start should mostly stay on target
+  // (companions travelling in the same lane may occasionally steal it).
+  EXPECT_GE(r->tracking_success_rate, 0.7);
+}
+
+TEST(TrackingAttackTest, CrossingsConfuseTheTracker) {
+  // Two co-temporal parallel lanes that get fake crossings: tracking
+  // confusion should rise (switches > 0), which is Path Perturbation's
+  // design goal. We emulate a crossing directly by swapping the second
+  // halves of two lanes.
+  Dataset d;
+  std::vector<Point> a, b;
+  for (int i = 0; i < 60; ++i) {
+    a.emplace_back(i * 10.0, 0.0, i * 10.0);
+    b.emplace_back(i * 10.0, 40.0, i * 10.0);
+  }
+  Dataset crossed;
+  std::vector<Point> a2(a.begin(), a.begin() + 30);
+  std::vector<Point> b2(b.begin(), b.begin() + 30);
+  for (int i = 30; i < 60; ++i) {
+    a2.push_back(b[static_cast<size_t>(i)]);
+    b2.push_back(a[static_cast<size_t>(i)]);
+  }
+  d.Add(Trajectory(0, a));
+  d.Add(Trajectory(1, b));
+  crossed.Add(Trajectory(0, a2));
+  crossed.Add(Trajectory(1, b2));
+
+  TrackingAttackOptions options;
+  options.step_seconds = 10.0;
+  Result<TrackingAttackResult> clean = SimulateTrackingAttack(d, d, options);
+  Result<TrackingAttackResult> confused =
+      SimulateTrackingAttack(d, crossed, options);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(confused.ok());
+  EXPECT_DOUBLE_EQ(clean->tracking_success_rate, 1.0);
+  // After the swap, following position continuity lands the tracker on the
+  // *other* user's id.
+  EXPECT_LT(confused->tracking_success_rate, clean->tracking_success_rate);
+}
+
+TEST(TrackingAttackTest, RejectsBadInputs) {
+  const Dataset d = SmallSynthetic(10, 30);
+  TrackingAttackOptions options;
+  options.step_seconds = 0.0;
+  EXPECT_FALSE(SimulateTrackingAttack(d, d, options).ok());
+  EXPECT_FALSE(SimulateTrackingAttack(Dataset(), d, {}).ok());
+}
+
+TEST(AttackTest, RejectsBadInputs) {
+  const Dataset d = SmallSynthetic(10, 30);
+  EXPECT_FALSE(SimulateLinkageAttack(Dataset(), d).ok());
+  EXPECT_FALSE(SimulateLinkageAttack(d, Dataset()).ok());
+  AttackOptions options;
+  options.observations_per_victim = 0;
+  EXPECT_FALSE(SimulateLinkageAttack(d, d, options).ok());
+}
+
+}  // namespace
+}  // namespace wcop

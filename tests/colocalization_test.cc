@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "anon/colocalization.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+
+TEST(ColocalizationTest, ParallelWithinDelta) {
+  const Trajectory a = MakeLine(1, 0, 0, 1, 0, 10);
+  const Trajectory b = MakeLine(2, 0, 3, 1, 0, 10);
+  EXPECT_TRUE(Colocalized(a, b, 3.0));
+  EXPECT_TRUE(Colocalized(a, b, 5.0));
+  EXPECT_FALSE(Colocalized(a, b, 2.9));
+}
+
+TEST(ColocalizationTest, SelfIsAlwaysColocalized) {
+  const Trajectory a = MakeLine(1, 5, 5, 2, 2, 8);
+  EXPECT_TRUE(Colocalized(a, a, 0.0));
+}
+
+TEST(ColocalizationTest, RequiresAlignedTimestamps) {
+  const Trajectory a = MakeLine(1, 0, 0, 1, 0, 10, 1.0, 0.0);
+  const Trajectory b = MakeLine(2, 0, 0, 1, 0, 10, 1.0, 0.5);  // shifted
+  EXPECT_FALSE(Colocalized(a, b, 100.0));
+}
+
+TEST(ColocalizationTest, RequiresEqualSizes) {
+  const Trajectory a = MakeLine(1, 0, 0, 1, 0, 10);
+  const Trajectory b = MakeLine(2, 0, 0, 1, 0, 9);
+  EXPECT_FALSE(Colocalized(a, b, 100.0));
+  EXPECT_FALSE(Colocalized(Trajectory(), Trajectory(), 100.0));
+}
+
+TEST(ColocalizationTest, SinglePointViolationBreaksIt) {
+  const Trajectory a = MakeLine(1, 0, 0, 1, 0, 10);
+  Trajectory b = MakeLine(2, 0, 1, 1, 0, 10);
+  b.mutable_points()[5].y = 100.0;  // one far point
+  EXPECT_FALSE(Colocalized(a, b, 5.0));
+}
+
+TEST(IsAnonymitySetTest, SizeAndPairwiseChecks) {
+  const Trajectory a = MakeLine(1, 0, 0, 1, 0, 10);
+  const Trajectory b = MakeLine(2, 0, 2, 1, 0, 10);
+  const Trajectory c = MakeLine(3, 0, 4, 1, 0, 10);
+  // Pairwise max distance: a-c is 4.
+  EXPECT_TRUE(IsAnonymitySet({&a, &b, &c}, 3, 4.0));
+  EXPECT_FALSE(IsAnonymitySet({&a, &b, &c}, 3, 3.9));  // a-c too far
+  EXPECT_FALSE(IsAnonymitySet({&a, &b}, 3, 100.0));    // too few members
+  EXPECT_TRUE(IsAnonymitySet({&a, &b}, 2, 2.0));
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "segment/convoy.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+using testing_util::MakeLineWithReq;
+
+/// Three trajectories moving east together for [0,100]s, then #2 splits off
+/// north while #0 and #1 continue together until 200 s.
+Dataset SplitGroup() {
+  Dataset d;
+  std::vector<Point> a, b, c;
+  for (int i = 0; i <= 200; i += 5) {
+    const double t = i;
+    a.emplace_back(t * 2.0, 0.0, t);
+    b.emplace_back(t * 2.0, 10.0, t);
+    if (i <= 100) {
+      c.emplace_back(t * 2.0, 20.0, t);
+    } else {
+      c.emplace_back(200.0 * 2.0 - 40.0, 20.0 + (t - 100.0) * 2.0, t);
+    }
+  }
+  d.Add(Trajectory(0, a));
+  d.Add(Trajectory(1, b));
+  d.Add(Trajectory(2, c));
+  for (Trajectory& t : d.mutable_trajectories()) {
+    t.set_requirement(Requirement{2, 100.0});
+  }
+  return d;
+}
+
+ConvoyOptions SmallOptions() {
+  ConvoyOptions options;
+  options.min_objects = 2;
+  options.eps = 30.0;
+  options.min_duration_snapshots = 3;
+  options.snapshot_interval = 10.0;
+  return options;
+}
+
+TEST(ConvoyDiscoveryTest, FindsTheGroupTravellingTogether) {
+  const Dataset d = SplitGroup();
+  Result<std::vector<Convoy>> convoys = DiscoverConvoys(d, SmallOptions());
+  ASSERT_TRUE(convoys.ok()) << convoys.status();
+  ASSERT_FALSE(convoys->empty());
+  // The dominant convoy holds {0,1} for the whole 200 s.
+  bool found_pair = false;
+  for (const Convoy& c : *convoys) {
+    if (c.members.count(0) && c.members.count(1) &&
+        c.end_time - c.start_time >= 150.0) {
+      found_pair = true;
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(ConvoyDiscoveryTest, ThreeTogetherWhileClose) {
+  const Dataset d = SplitGroup();
+  ConvoyOptions options = SmallOptions();
+  options.min_objects = 3;
+  Result<std::vector<Convoy>> convoys = DiscoverConvoys(d, options);
+  ASSERT_TRUE(convoys.ok());
+  ASSERT_FALSE(convoys->empty());
+  // All three move together only during roughly [0, 100].
+  bool found_triple = false;
+  for (const Convoy& c : *convoys) {
+    if (c.members.size() == 3) {
+      found_triple = true;
+      EXPECT_LE(c.start_time, 20.0);
+      EXPECT_NEAR(c.end_time, 100.0, 15.0);
+    }
+  }
+  EXPECT_TRUE(found_triple);
+}
+
+TEST(ConvoyDiscoveryTest, NoConvoysWhenApart) {
+  Dataset d;
+  d.Add(MakeLine(0, 0, 0, 10, 0, 50));
+  d.Add(MakeLine(1, 0, 100000, 10, 0, 50));
+  Result<std::vector<Convoy>> convoys = DiscoverConvoys(d, SmallOptions());
+  ASSERT_TRUE(convoys.ok());
+  EXPECT_TRUE(convoys->empty());
+}
+
+TEST(ConvoyDiscoveryTest, DurationRequirementFilters) {
+  const Dataset d = SplitGroup();
+  ConvoyOptions options = SmallOptions();
+  options.min_objects = 3;
+  options.min_duration_snapshots = 100;  // longer than the triple coexists
+  Result<std::vector<Convoy>> convoys = DiscoverConvoys(d, options);
+  ASSERT_TRUE(convoys.ok());
+  for (const Convoy& c : *convoys) {
+    EXPECT_LT(c.members.size(), 3u);
+  }
+}
+
+TEST(ConvoyDiscoveryTest, RejectsBadOptions) {
+  const Dataset d = SplitGroup();
+  ConvoyOptions options = SmallOptions();
+  options.snapshot_interval = 0.0;
+  EXPECT_FALSE(DiscoverConvoys(d, options).ok());
+  options = SmallOptions();
+  options.min_objects = 1;
+  EXPECT_FALSE(DiscoverConvoys(d, options).ok());
+}
+
+TEST(ConvoySegmenterTest, CutsAtConvoyBoundaries) {
+  const Dataset d = SplitGroup();
+  ConvoySegmenter segmenter(SmallOptions());
+  Result<Dataset> segmented = segmenter.Segment(d);
+  ASSERT_TRUE(segmented.ok()) << segmented.status();
+  // Trajectory 2 leaves the convoy at ~100 s, so it must be cut; the dataset
+  // grows beyond the original 3 trajectories.
+  EXPECT_GT(segmented->size(), 3u);
+  EXPECT_EQ(segmented->TotalPoints(), d.TotalPoints());
+  EXPECT_TRUE(segmented->Validate().ok());
+}
+
+TEST(ConvoySegmenterTest, MetadataInherited) {
+  Dataset d = SplitGroup();
+  d[2].set_object_id(9);
+  ConvoySegmenter segmenter(SmallOptions());
+  Result<Dataset> segmented = segmenter.Segment(d);
+  ASSERT_TRUE(segmented.ok());
+  bool saw_child_of_2 = false;
+  for (const Trajectory& sub : segmented->trajectories()) {
+    if (sub.parent_id() == 2) {
+      saw_child_of_2 = true;
+      EXPECT_EQ(sub.object_id(), 9);
+      EXPECT_EQ(sub.requirement().k, 2);
+    }
+  }
+  EXPECT_TRUE(saw_child_of_2);
+}
+
+TEST(ConvoySegmenterTest, NoConvoysMeansPassThrough) {
+  Dataset d;
+  d.Add(MakeLineWithReq(0, 0, 0, 10, 0, 50, 2, 50.0));
+  d.Add(MakeLineWithReq(1, 0, 100000, 10, 0, 50, 2, 50.0));
+  ConvoySegmenter segmenter(SmallOptions());
+  Result<Dataset> segmented = segmenter.Segment(d);
+  ASSERT_TRUE(segmented.ok());
+  EXPECT_EQ(segmented->size(), 2u);
+  EXPECT_EQ(segmented->TotalPoints(), d.TotalPoints());
+}
+
+TEST(ConvoyTest, DurationSnapshotsHelper) {
+  Convoy c;
+  c.start_time = 0.0;
+  c.end_time = 50.0;
+  EXPECT_EQ(c.DurationSnapshots(10.0), 6u);
+  EXPECT_EQ(c.DurationSnapshots(0.0), 0u);
+}
+
+}  // namespace
+}  // namespace wcop

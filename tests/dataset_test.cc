@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "test_util.h"
+#include "traj/dataset.h"
+#include "traj/io.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLineWithReq;
+
+Dataset ThreeTrajectories() {
+  Dataset d;
+  d.Add(MakeLineWithReq(0, 0, 0, 1, 0, 10, /*k=*/2, /*delta=*/100.0));
+  d.Add(MakeLineWithReq(1, 5, 5, 0, 1, 20, /*k=*/7, /*delta=*/50.0));
+  d.Add(MakeLineWithReq(2, -5, 0, 1, 1, 15, /*k=*/3, /*delta=*/400.0));
+  return d;
+}
+
+TEST(DatasetTest, MaxKAndMinDelta) {
+  const Dataset d = ThreeTrajectories();
+  EXPECT_EQ(d.MaxK(), 7);
+  EXPECT_DOUBLE_EQ(d.MinDelta(), 50.0);
+}
+
+TEST(DatasetTest, EmptyDatasetDefaults) {
+  const Dataset d;
+  EXPECT_EQ(d.MaxK(), 0);
+  EXPECT_DOUBLE_EQ(d.MinDelta(), 0.0);
+  EXPECT_EQ(d.TotalPoints(), 0u);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DatasetTest, TotalPoints) {
+  EXPECT_EQ(ThreeTrajectories().TotalPoints(), 45u);
+}
+
+TEST(DatasetTest, ComputeStatsCountsDistinctObjects) {
+  Dataset d = ThreeTrajectories();
+  d[0].set_object_id(1);
+  d[1].set_object_id(1);
+  d[2].set_object_id(2);
+  const DatasetStats stats = d.ComputeStats();
+  EXPECT_EQ(stats.num_objects, 2u);
+  EXPECT_EQ(stats.num_trajectories, 3u);
+  EXPECT_EQ(stats.num_points, 45u);
+  EXPECT_GT(stats.avg_speed, 0.0);
+  EXPECT_GT(stats.radius, 0.0);
+  EXPECT_NEAR(stats.avg_points_per_traj, 15.0, 1e-9);
+}
+
+TEST(DatasetTest, ValidateCatchesDuplicateIds) {
+  Dataset d = ThreeTrajectories();
+  d.Add(MakeLineWithReq(1, 0, 0, 1, 0, 5, 2, 10.0));  // duplicate id 1
+  EXPECT_FALSE(d.Validate().ok());
+}
+
+TEST(DatasetTest, FindById) {
+  const Dataset d = ThreeTrajectories();
+  ASSERT_NE(d.FindById(1), nullptr);
+  EXPECT_EQ(d.FindById(1)->requirement().k, 7);
+  EXPECT_EQ(d.FindById(99), nullptr);
+}
+
+TEST(DatasetIoTest, CsvRoundTrip) {
+  Dataset d = ThreeTrajectories();
+  d[1].set_object_id(4);
+  d[2].set_parent_id(77);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wcop_io_test.csv").string();
+  ASSERT_TRUE(WriteDatasetCsv(d, path).ok());
+
+  Result<Dataset> loaded = ReadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ((*loaded)[i].id(), d[i].id());
+    EXPECT_EQ((*loaded)[i].object_id(), d[i].object_id());
+    EXPECT_EQ((*loaded)[i].parent_id(), d[i].parent_id());
+    EXPECT_EQ((*loaded)[i].requirement().k, d[i].requirement().k);
+    EXPECT_NEAR((*loaded)[i].requirement().delta, d[i].requirement().delta,
+                1e-5);
+    ASSERT_EQ((*loaded)[i].size(), d[i].size());
+    for (size_t j = 0; j < d[i].size(); ++j) {
+      EXPECT_NEAR((*loaded)[i][j].x, d[i][j].x, 1e-5);
+      EXPECT_NEAR((*loaded)[i][j].y, d[i][j].y, 1e-5);
+      EXPECT_NEAR((*loaded)[i][j].t, d[i][j].t, 1e-5);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatasetIoTest, ReadRejectsMissingFile) {
+  EXPECT_EQ(ReadDatasetCsv("/nonexistent/file.csv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(DatasetIoTest, ReadRejectsMalformedRow) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wcop_io_bad.csv").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("traj_id,object_id,parent_id,k,delta,x,y,t\n1,2,3,4\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(ReadDatasetCsv(path).status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace wcop

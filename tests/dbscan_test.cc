@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "cluster/dbscan.h"
+#include "common/rng.h"
+
+namespace wcop {
+namespace {
+
+/// Neighbour provider over a point list with plain Euclidean distance.
+NeighborProvider MakeProvider(const std::vector<std::pair<double, double>>& pts,
+                              double eps) {
+  return [&pts, eps](size_t item) {
+    std::vector<size_t> out;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      const double dx = pts[i].first - pts[item].first;
+      const double dy = pts[i].second - pts[item].second;
+      if (std::sqrt(dx * dx + dy * dy) <= eps) {
+        out.push_back(i);
+      }
+    }
+    return out;
+  };
+}
+
+TEST(DbscanTest, TwoBlobsAndNoise) {
+  std::vector<std::pair<double, double>> pts;
+  // Blob A around (0,0), blob B around (100,0), one lone point far away.
+  for (int i = 0; i < 6; ++i) {
+    pts.emplace_back(0.0 + i * 0.5, 0.0);
+  }
+  for (int i = 0; i < 6; ++i) {
+    pts.emplace_back(100.0 + i * 0.5, 0.0);
+  }
+  pts.emplace_back(500.0, 500.0);
+
+  const DbscanResult r = Dbscan(pts.size(), 3, MakeProvider(pts, 1.0));
+  EXPECT_EQ(r.num_clusters, 2);
+  EXPECT_EQ(r.labels.back(), DbscanResult::kNoise);
+  // All of blob A shares one label, all of blob B another.
+  for (int i = 1; i < 6; ++i) {
+    EXPECT_EQ(r.labels[i], r.labels[0]);
+    EXPECT_EQ(r.labels[6 + i], r.labels[6]);
+  }
+  EXPECT_NE(r.labels[0], r.labels[6]);
+}
+
+TEST(DbscanTest, AllNoiseWhenSparse) {
+  std::vector<std::pair<double, double>> pts = {
+      {0, 0}, {100, 0}, {200, 0}, {300, 0}};
+  const DbscanResult r = Dbscan(pts.size(), 2, MakeProvider(pts, 1.0));
+  EXPECT_EQ(r.num_clusters, 0);
+  for (int label : r.labels) {
+    EXPECT_EQ(label, DbscanResult::kNoise);
+  }
+}
+
+TEST(DbscanTest, ChainOfCorePointsFormsOneCluster) {
+  // Density-connected chain: consecutive points within eps, each point has
+  // >= 3 neighbours including itself.
+  std::vector<std::pair<double, double>> pts;
+  for (int i = 0; i < 20; ++i) {
+    pts.emplace_back(i * 0.8, 0.0);
+  }
+  const DbscanResult r = Dbscan(pts.size(), 3, MakeProvider(pts, 1.0));
+  EXPECT_EQ(r.num_clusters, 1);
+  for (int label : r.labels) {
+    EXPECT_EQ(label, 0);
+  }
+}
+
+TEST(DbscanTest, BorderPointAdoptedNotCore) {
+  // Dense core of 5 near origin; one border point within eps of a core
+  // point but with too few neighbours to be core itself.
+  std::vector<std::pair<double, double>> pts = {
+      {0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}, {0.05, 0.05}, {0.9, 0}};
+  const DbscanResult r = Dbscan(pts.size(), 5, MakeProvider(pts, 1.0));
+  EXPECT_EQ(r.num_clusters, 1);
+  EXPECT_EQ(r.labels[5], 0);  // adopted as border point
+}
+
+TEST(DbscanTest, EmptyInput) {
+  const DbscanResult r =
+      Dbscan(0, 3, [](size_t) { return std::vector<size_t>(); });
+  EXPECT_EQ(r.num_clusters, 0);
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_TRUE(r.Clusters().empty());
+}
+
+TEST(DbscanTest, MinPointsOneMakesEverythingCore) {
+  std::vector<std::pair<double, double>> pts = {{0, 0}, {100, 0}, {200, 0}};
+  const DbscanResult r = Dbscan(pts.size(), 1, MakeProvider(pts, 1.0));
+  EXPECT_EQ(r.num_clusters, 3);
+}
+
+TEST(DbscanTest, ClustersViewGroupsMembers) {
+  std::vector<std::pair<double, double>> pts = {
+      {0, 0}, {0.5, 0}, {1.0, 0}, {100, 0}, {100.5, 0}, {101, 0}};
+  const DbscanResult r = Dbscan(pts.size(), 3, MakeProvider(pts, 1.0));
+  const auto clusters = r.Clusters();
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].size() + clusters[1].size(), 6u);
+}
+
+TEST(DbscanTest, LabelsAreStableForPermutedDensity) {
+  // Property: every point labelled in a cluster must be within eps of some
+  // other member of the same cluster (connectivity sanity).
+  Rng rng(13);
+  std::vector<std::pair<double, double>> pts;
+  for (int blob = 0; blob < 3; ++blob) {
+    const double cx = blob * 50.0;
+    for (int i = 0; i < 15; ++i) {
+      pts.emplace_back(cx + rng.UniformReal(-2, 2), rng.UniformReal(-2, 2));
+    }
+  }
+  const double eps = 3.0;
+  const DbscanResult r = Dbscan(pts.size(), 4, MakeProvider(pts, eps));
+  EXPECT_EQ(r.num_clusters, 3);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (r.labels[i] < 0) {
+      continue;
+    }
+    bool has_near_same_cluster = false;
+    for (size_t j = 0; j < pts.size() && !has_near_same_cluster; ++j) {
+      if (i == j || r.labels[j] != r.labels[i]) {
+        continue;
+      }
+      const double dx = pts[i].first - pts[j].first;
+      const double dy = pts[i].second - pts[j].second;
+      has_near_same_cluster = std::sqrt(dx * dx + dy * dy) <= eps;
+    }
+    EXPECT_TRUE(has_near_same_cluster) << "point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace wcop

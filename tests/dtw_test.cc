@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distance/dtw.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+
+TEST(DtwTest, IdenticalIsZero) {
+  const Trajectory t = MakeLine(1, 0, 0, 3, 2, 15);
+  EXPECT_DOUBLE_EQ(DtwDistance(t, t), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedDtwDistance(t, t), 0.0);
+}
+
+TEST(DtwTest, ParallelLinesSumOffsets) {
+  const Trajectory a = MakeLine(1, 0, 0, 10, 0, 8);
+  const Trajectory b = MakeLine(2, 0, 4, 10, 0, 8);
+  // Optimal alignment is the diagonal: 8 matches of distance 4.
+  EXPECT_NEAR(DtwDistance(a, b), 32.0, 1e-9);
+  EXPECT_NEAR(NormalizedDtwDistance(a, b), 2.0, 1e-9);
+}
+
+TEST(DtwTest, Symmetric) {
+  const Trajectory a = MakeLine(1, 0, 0, 7, 3, 9);
+  const Trajectory b = MakeLine(2, 5, -2, 6, 4, 13);
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b), DtwDistance(b, a));
+}
+
+TEST(DtwTest, WarpsAcrossDifferentSamplingRates) {
+  // Same path sampled at 1x and 2x density: warping aligns the 9 extra
+  // dense samples (x = 1, 3, ..., 17) to their nearest coarse sample at
+  // distance 1 each — far below the no-warp diagonal cost.
+  const Trajectory coarse = MakeLine(1, 0, 0, 2, 0, 10);   // x: 0..18
+  const Trajectory dense = MakeLine(2, 0, 0, 1, 0, 19);    // x: 0..18
+  EXPECT_NEAR(DtwDistance(coarse, dense), 9.0, 1e-9);
+  EXPECT_LT(NormalizedDtwDistance(coarse, dense), 0.5);
+}
+
+TEST(DtwTest, EmptyIsInfinite) {
+  const Trajectory t = MakeLine(1, 0, 0, 1, 0, 5);
+  EXPECT_TRUE(std::isinf(DtwDistance(t, Trajectory())));
+  EXPECT_TRUE(std::isinf(DtwDistance(Trajectory(), t)));
+}
+
+TEST(DtwTest, BandConstraintNeverBeatsUnconstrained) {
+  Rng rng(6);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Point> pa, pb;
+    for (int i = 0; i < 12; ++i) {
+      pa.emplace_back(rng.UniformReal(0, 10), rng.UniformReal(0, 10), i);
+      pb.emplace_back(rng.UniformReal(0, 10), rng.UniformReal(0, 10), i);
+    }
+    const Trajectory a(1, pa), b(2, pb);
+    const double unconstrained = DtwDistance(a, b, 0);
+    const double banded = DtwDistance(a, b, 2);
+    EXPECT_GE(banded + 1e-9, unconstrained);
+  }
+}
+
+TEST(DtwTest, BandWidensToFeasibilityForLengthMismatch) {
+  // |a| = 3, |b| = 10: a window of 1 is infeasible as given, but the
+  // implementation widens it to the minimum feasible band.
+  const Trajectory a = MakeLine(1, 0, 0, 1, 0, 3);
+  const Trajectory b = MakeLine(2, 0, 0, 1, 0, 10);
+  EXPECT_TRUE(std::isfinite(DtwDistance(a, b, 1)));
+}
+
+TEST(DtwTest, TriangleLikeSanityOnSharedPath) {
+  // DTW is not a metric, but a-to-b plus b-to-c should not be wildly less
+  // than a-to-c on collinear offsets (sanity envelope, not an identity).
+  const Trajectory a = MakeLine(1, 0, 0, 5, 0, 10);
+  const Trajectory b = MakeLine(2, 0, 3, 5, 0, 10);
+  const Trajectory c = MakeLine(3, 0, 6, 5, 0, 10);
+  EXPECT_GE(DtwDistance(a, b) + DtwDistance(b, c) + 1e-9, DtwDistance(a, c));
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,137 @@
+// Cross-cutting edge cases that don't belong to a single module's suite.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "anon/wcop.h"
+#include "common/table_printer.h"
+#include "mod/trajectory_store.h"
+#include "segment/traclus.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+using testing_util::MakeLineWithReq;
+using testing_util::SmallSynthetic;
+
+TEST(EdgeCases, EmptyStoreIsQueryable) {
+  Result<TrajectoryStore> store = TrajectoryStore::Build(Dataset());
+  ASSERT_TRUE(store.ok());
+  StRange range;
+  range.x_hi = range.y_hi = range.t_hi = 100.0;
+  EXPECT_TRUE(store->RangeQuery(range).empty());
+  EXPECT_TRUE(store->NearestAt(0, 0, 0, 3).empty());
+}
+
+TEST(EdgeCases, SaWithFixedLengthSegmenter) {
+  const Dataset d = SmallSynthetic(15, 60);
+  FixedLengthSegmenter segmenter(20);
+  Result<WcopSaResult> r = RunWcopSa(d, &segmenter);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->segmented.size(), 45u);  // 60 points -> 3 pieces each
+  EXPECT_TRUE(VerifyAnonymity(r->segmented, r->anonymization).ok);
+}
+
+TEST(EdgeCases, SingleTrajectoryDatasetWithK1) {
+  Dataset d;
+  d.Add(MakeLineWithReq(0, 0, 0, 5, 0, 20, /*k=*/1, /*delta=*/100.0));
+  Result<AnonymizationResult> r = RunWcopCt(d);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r->sanitized.size(), 1u);
+  EXPECT_EQ(r->report.num_clusters, 1u);
+  EXPECT_TRUE(VerifyAnonymity(d, *r).ok);
+}
+
+TEST(EdgeCases, AllIdenticalRequirementsMatchesW4m) {
+  // With uniform requirements and the same seed, CT and W4M (same k/delta)
+  // produce identical reports — NV's claim of replicating W4M, inverted.
+  Dataset d = SmallSynthetic(25, 40);
+  for (Trajectory& t : d.mutable_trajectories()) {
+    t.set_requirement(Requirement{3, 150.0});
+  }
+  WcopOptions options;
+  options.seed = 77;
+  Result<AnonymizationResult> ct = RunWcopCt(d, options);
+  Result<AnonymizationResult> w4m = RunW4m(d, 3, 150.0, options);
+  ASSERT_TRUE(ct.ok());
+  ASSERT_TRUE(w4m.ok());
+  EXPECT_EQ(ct->report.num_clusters, w4m->report.num_clusters);
+  EXPECT_DOUBLE_EQ(ct->report.ttd, w4m->report.ttd);
+}
+
+TEST(EdgeCases, TrajectoryWithDuplicateSpatialPoints) {
+  // A parked vehicle: all points at one location. Everything downstream
+  // must stay finite.
+  std::vector<Point> parked;
+  for (int i = 0; i < 30; ++i) {
+    parked.emplace_back(100.0, 200.0, i * 10.0);
+  }
+  Dataset d;
+  Trajectory t(0, parked, Requirement{2, 100.0});
+  d.Add(t);
+  d.Add(MakeLineWithReq(1, 100, 210, 0.1, 0, 30, 2, 100.0, 10.0));
+  Result<AnonymizationResult> r = RunWcopCt(d);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(std::isfinite(r->report.total_distortion));
+  EXPECT_TRUE(VerifyAnonymity(d, *r).ok);
+  // TRACLUS partitioning of a zero-length path must not blow up either.
+  EXPECT_GE(TraclusCharacteristicPoints(t, {}).size(), 2u);
+}
+
+TEST(EdgeCases, TablePrinterEmptyTable) {
+  TablePrinter table({"a", "b"});
+  EXPECT_EQ(table.num_rows(), 0u);
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("| a | b |"), std::string::npos);
+}
+
+TEST(EdgeCases, DatasetDebugStringSmoke) {
+  const Dataset d = SmallSynthetic(5, 20);
+  const std::string s = d.DebugString();
+  EXPECT_NE(s.find("trajectories=5"), std::string::npos);
+  EXPECT_NE(s.find("points=100"), std::string::npos);
+}
+
+TEST(EdgeCases, VerifierAcceptsEmptyResultForEmptyOriginal) {
+  AnonymizationResult empty;
+  const VerificationReport report = VerifyAnonymity(Dataset(), empty);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.clusters_checked, 0u);
+}
+
+TEST(EdgeCases, HugeDeltaMakesTranslationFree) {
+  // delta larger than the dataset diameter: everyone is already inside
+  // everyone's disk, so matched points never move.
+  Dataset d;
+  d.Add(MakeLineWithReq(0, 0, 0, 10, 0, 20, 2, 1e9));
+  d.Add(MakeLineWithReq(1, 0, 50, 10, 0, 20, 2, 1e9));
+  WcopOptions options;
+  options.distance.tolerance.dx = 1e9;
+  options.distance.tolerance.dy = 1e9;
+  options.distance.tolerance.dt = 1e9;
+  Result<AnonymizationResult> r = RunWcopCt(d, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->report.total_spatial_translation, 0.0);
+}
+
+TEST(EdgeCases, StressManySmallTrajectories) {
+  // 200 two-point trajectories: the degenerate small-n/large-|D| corner.
+  Dataset d;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.UniformReal(0, 1000);
+    const double y = rng.UniformReal(0, 1000);
+    d.Add(MakeLineWithReq(i, x, y, 5, 0, 2, 2, 200.0, 10.0,
+                          rng.UniformReal(0, 100)));
+  }
+  Result<AnonymizationResult> r = RunWcopCt(d);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(VerifyAnonymity(d, *r).ok);
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,113 @@
+// Robustness: the file parsers must never crash or loop on malformed
+// input — they fail with a Status or skip garbage records gracefully.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "common/rng.h"
+#include "data/geolife_parser.h"
+#include "traj/io.h"
+
+namespace wcop {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FuzzRobustnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "wcop_fuzz";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string WriteBytes(const std::string& name, const std::string& bytes) {
+    const fs::path path = dir_ / name;
+    std::ofstream out(path, std::ios::binary);
+    out << bytes;
+    return path.string();
+  }
+
+  fs::path dir_;
+};
+
+std::string RandomBytes(Rng* rng, size_t n, bool printable) {
+  std::string out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(printable
+                      ? static_cast<char>(rng->UniformInt(32, 126))
+                      : static_cast<char>(rng->UniformInt(0, 255)));
+  }
+  return out;
+}
+
+TEST_F(FuzzRobustnessTest, PltParserSurvivesRandomBytes) {
+  const LocalProjection proj(39.9057, 116.3913);
+  Rng rng(101);
+  for (int round = 0; round < 40; ++round) {
+    const std::string path = WriteBytes(
+        "fuzz_" + std::to_string(round) + ".plt",
+        RandomBytes(&rng, 64 + rng.UniformIndex(2048), round % 2 == 0));
+    // Must return (any status) without crashing; a parsed result must be
+    // structurally valid.
+    Result<Trajectory> r = ParsePltFile(path, proj);
+    if (r.ok()) {
+      EXPECT_TRUE(r->Validate().ok());
+    }
+  }
+}
+
+TEST_F(FuzzRobustnessTest, CsvReaderSurvivesRandomBytes) {
+  Rng rng(202);
+  for (int round = 0; round < 40; ++round) {
+    const std::string path = WriteBytes(
+        "fuzz_" + std::to_string(round) + ".csv",
+        RandomBytes(&rng, 64 + rng.UniformIndex(2048), round % 2 == 0));
+    Result<Dataset> r = ReadDatasetCsv(path);
+    if (r.ok()) {
+      EXPECT_TRUE(r->Validate().ok());
+    }
+  }
+}
+
+TEST_F(FuzzRobustnessTest, CsvReaderSurvivesTruncatedValidFile) {
+  // A valid file cut at every prefix length must parse or error cleanly.
+  const std::string full =
+      "traj_id,object_id,parent_id,k,delta,x,y,t\n"
+      "1,2,-1,3,100.5,10.25,20.5,1000\n"
+      "1,2,-1,3,100.5,11.25,21.5,1010\n"
+      "2,3,-1,2,50.0,0,0,5\n"
+      "2,3,-1,2,50.0,1,1,6\n";
+  for (size_t len = 0; len <= full.size(); len += 7) {
+    const std::string path =
+        WriteBytes("trunc_" + std::to_string(len) + ".csv",
+                   full.substr(0, len));
+    Result<Dataset> r = ReadDatasetCsv(path);
+    if (r.ok()) {
+      EXPECT_TRUE(r->Validate().ok());
+    }
+  }
+}
+
+TEST_F(FuzzRobustnessTest, PltParserSurvivesPathologicalNumbers) {
+  const LocalProjection proj(39.9057, 116.3913);
+  const std::string path = WriteBytes(
+      "patho.plt",
+      "90.0,180.0,0,0,1e308,x,y\n"
+      "-90.0,-180.0,0,0,-1e308,x,y\n"
+      "nan,inf,0,0,nan,x,y\n"
+      "1e-320,5,0,0,39745.2,2008-10-24,04:48:00\n"
+      "39.9,116.4,0,0,39745.3,2008-10-24,07:12:00\n"
+      "39.91,116.41,0,0,39745.4,2008-10-24,09:36:00\n");
+  Result<Trajectory> r = ParsePltFile(path, proj);
+  if (r.ok()) {
+    EXPECT_TRUE(r->Validate().ok());  // non-finite points must not survive
+  }
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "geo/bounding_box.h"
+#include "geo/disk.h"
+#include "geo/point.h"
+#include "geo/projection.h"
+#include "geo/segment_geometry.h"
+
+namespace wcop {
+namespace {
+
+TEST(PointTest, SpatialDistanceIgnoresTime) {
+  const Point a(0, 0, 0), b(3, 4, 999);
+  EXPECT_DOUBLE_EQ(SpatialDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SpatialDistanceSquared(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(TemporalDistance(a, b), 999.0);
+}
+
+TEST(BoundingBoxTest, EmptyUntilExtended) {
+  BoundingBox box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.HalfDiagonal(), 0.0);
+  box.Extend(Point(1, 2, 0));
+  EXPECT_FALSE(box.empty());
+  EXPECT_TRUE(box.Contains(Point(1, 2, 5)));
+}
+
+TEST(BoundingBoxTest, HalfDiagonal) {
+  BoundingBox box;
+  box.Extend(Point(0, 0, 0));
+  box.Extend(Point(6, 8, 0));
+  EXPECT_DOUBLE_EQ(box.HalfDiagonal(), 5.0);
+  EXPECT_DOUBLE_EQ(box.width(), 6.0);
+  EXPECT_DOUBLE_EQ(box.height(), 8.0);
+}
+
+TEST(BoundingBoxTest, ExtendWithBox) {
+  BoundingBox a;
+  a.Extend(Point(0, 0, 0));
+  BoundingBox b;
+  b.Extend(Point(10, -5, 0));
+  a.Extend(b);
+  EXPECT_TRUE(a.Contains(Point(10, -5, 0)));
+  EXPECT_TRUE(a.Contains(Point(5, -2, 0)));
+  // Extending with an empty box is a no-op.
+  BoundingBox empty;
+  a.Extend(empty);
+  EXPECT_DOUBLE_EQ(a.max_x(), 10.0);
+}
+
+TEST(SegmentGeometryTest, ProjectionParameter) {
+  const LineSegment seg(Point(0, 0, 0), Point(10, 0, 0));
+  EXPECT_DOUBLE_EQ(ProjectionParameter(Point(5, 3, 0), seg), 0.5);
+  EXPECT_DOUBLE_EQ(ProjectionParameter(Point(-5, 0, 0), seg), -0.5);
+  EXPECT_DOUBLE_EQ(ProjectionParameter(Point(20, 1, 0), seg), 2.0);
+  // Degenerate segment.
+  const LineSegment degenerate(Point(1, 1, 0), Point(1, 1, 0));
+  EXPECT_DOUBLE_EQ(ProjectionParameter(Point(9, 9, 0), degenerate), 0.0);
+}
+
+TEST(SegmentGeometryTest, PointToSegmentDistanceClampsToEndpoints) {
+  const LineSegment seg(Point(0, 0, 0), Point(10, 0, 0));
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance(Point(5, 3, 0), seg), 3.0);
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance(Point(-3, 4, 0), seg), 5.0);
+  EXPECT_DOUBLE_EQ(PointToSegmentDistance(Point(13, 4, 0), seg), 5.0);
+}
+
+TEST(SegmentGeometryTest, PointToLineDistanceDoesNotClamp) {
+  const LineSegment seg(Point(0, 0, 0), Point(10, 0, 0));
+  EXPECT_DOUBLE_EQ(PointToLineDistance(Point(-3, 4, 0), seg), 4.0);
+}
+
+TEST(SegmentGeometryTest, AngleBetween) {
+  const LineSegment east(Point(0, 0, 0), Point(1, 0, 0));
+  const LineSegment north(Point(0, 0, 0), Point(0, 1, 0));
+  const LineSegment west(Point(0, 0, 0), Point(-1, 0, 0));
+  EXPECT_NEAR(AngleBetween(east, north), M_PI / 2, 1e-12);
+  EXPECT_NEAR(AngleBetween(east, west), M_PI, 1e-12);
+  EXPECT_NEAR(AngleBetween(east, east), 0.0, 1e-12);
+}
+
+TEST(SegmentGeometryTest, ParallelSegmentsPerpendicularComponent) {
+  // Two parallel horizontal segments 4 apart: d_perp = (16+16)/(4+4) = 4.
+  const LineSegment a(Point(0, 0, 0), Point(10, 0, 0));
+  const LineSegment b(Point(2, 4, 0), Point(8, 4, 0));
+  const SegmentDistanceComponents c = ComputeSegmentDistanceComponents(a, b);
+  EXPECT_NEAR(c.perpendicular, 4.0, 1e-12);
+  EXPECT_NEAR(c.angular, 0.0, 1e-12);
+  EXPECT_NEAR(c.parallel, 0.0, 1e-12);  // projections fall inside a
+}
+
+TEST(SegmentGeometryTest, ParallelComponentMeasuresOverhang) {
+  // b sits entirely beyond a's end: both projections overhang.
+  const LineSegment a(Point(0, 0, 0), Point(10, 0, 0));
+  const LineSegment b(Point(12, 0, 0), Point(15, 0, 0));
+  const SegmentDistanceComponents c = ComputeSegmentDistanceComponents(a, b);
+  EXPECT_NEAR(c.parallel, 2.0, 1e-9);  // nearer overhang: 12 - 10
+}
+
+TEST(SegmentGeometryTest, AngularComponentUsesShorterLength) {
+  // Perpendicular segments: d_theta = |shorter| * sin(90deg) = 4.
+  const LineSegment a(Point(0, 0, 0), Point(10, 0, 0));
+  const LineSegment b(Point(5, 0, 0), Point(5, 4, 0));
+  const SegmentDistanceComponents c = ComputeSegmentDistanceComponents(a, b);
+  EXPECT_NEAR(c.angular, 4.0, 1e-12);
+}
+
+TEST(SegmentGeometryTest, OppositeDirectionIsMaximallyAngular) {
+  const LineSegment a(Point(0, 0, 0), Point(10, 0, 0));
+  const LineSegment b(Point(8, 1, 0), Point(2, 1, 0));  // pointing west
+  const SegmentDistanceComponents c = ComputeSegmentDistanceComponents(a, b);
+  EXPECT_NEAR(c.angular, 6.0, 1e-12);  // full |b|
+}
+
+TEST(SegmentGeometryTest, DistanceIsSymmetric) {
+  const LineSegment a(Point(0, 0, 0), Point(10, 3, 0));
+  const LineSegment b(Point(2, 7, 0), Point(6, 5, 0));
+  EXPECT_NEAR(SegmentDistance(a, b), SegmentDistance(b, a), 1e-9);
+}
+
+TEST(SegmentGeometryTest, IdenticalSegmentsAreAtZero) {
+  const LineSegment a(Point(1, 2, 0), Point(8, 9, 0));
+  EXPECT_NEAR(SegmentDistance(a, a), 0.0, 1e-12);
+}
+
+TEST(DiskTest, ClampKeepsInsidePointsUntouched) {
+  const Point center(0, 0, 0);
+  const Point inside(1, 1, 5);
+  const Point out = ClampIntoDisk(inside, center, 3.0, 7.0);
+  EXPECT_DOUBLE_EQ(out.x, 1.0);
+  EXPECT_DOUBLE_EQ(out.y, 1.0);
+  EXPECT_DOUBLE_EQ(out.t, 7.0);  // time is always replaced
+}
+
+TEST(DiskTest, ClampPullsOutsidePointsToBoundary) {
+  const Point center(0, 0, 0);
+  const Point far(10, 0, 0);
+  const Point out = ClampIntoDisk(far, center, 3.0, 0.0);
+  EXPECT_NEAR(out.x, 3.0, 1e-12);
+  EXPECT_NEAR(out.y, 0.0, 1e-12);
+  EXPECT_TRUE(InsideDisk(out, center, 3.0));
+}
+
+TEST(DiskTest, ClampIsMinimumDisplacement) {
+  Rng rng(3);
+  const Point center(5, -2, 0);
+  for (int i = 0; i < 200; ++i) {
+    const Point p(rng.UniformReal(-50, 50), rng.UniformReal(-50, 50), 0);
+    const Point clamped = ClampIntoDisk(p, center, 4.0, 0.0);
+    EXPECT_TRUE(InsideDisk(clamped, center, 4.0));
+    // Displacement equals max(0, dist - radius): the analytic minimum.
+    const double expect = std::max(0.0, SpatialDistance(p, center) - 4.0);
+    EXPECT_NEAR(SpatialDistance(p, clamped), expect, 1e-9);
+  }
+}
+
+TEST(DiskTest, RandomPointsStayInDisk) {
+  Rng rng(9);
+  const Point center(100, 200, 0);
+  for (int i = 0; i < 500; ++i) {
+    const Point p = RandomPointInDisk(center, 7.5, 42.0, rng);
+    EXPECT_TRUE(InsideDisk(p, center, 7.5));
+    EXPECT_DOUBLE_EQ(p.t, 42.0);
+  }
+}
+
+TEST(DiskTest, RandomPointsCoverTheDisk) {
+  // Area-uniformity smoke check: about half the draws should land outside
+  // the radius/sqrt(2) inner circle (equal-area split).
+  Rng rng(17);
+  const Point center(0, 0, 0);
+  int outer = 0;
+  const int kDraws = 4000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Point p = RandomPointInDisk(center, 1.0, 0.0, rng);
+    if (SpatialDistance(p, center) > 1.0 / std::sqrt(2.0)) {
+      ++outer;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(outer) / kDraws, 0.5, 0.05);
+}
+
+TEST(ProjectionTest, AnchorMapsToOrigin) {
+  const LocalProjection proj(39.9057, 116.3913);
+  const Point p = proj.ToMetric(39.9057, 116.3913, 10.0);
+  EXPECT_NEAR(p.x, 0.0, 1e-9);
+  EXPECT_NEAR(p.y, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(p.t, 10.0);
+}
+
+TEST(ProjectionTest, RoundTrip) {
+  const LocalProjection proj(39.9057, 116.3913);
+  const Point p = proj.ToMetric(39.99, 116.5, 0.0);
+  double lat = 0.0, lon = 0.0;
+  proj.ToGeographic(p, &lat, &lon);
+  EXPECT_NEAR(lat, 39.99, 1e-9);
+  EXPECT_NEAR(lon, 116.5, 1e-9);
+}
+
+TEST(ProjectionTest, OneDegreeLatitudeIsAbout111Km) {
+  const LocalProjection proj(39.9057, 116.3913);
+  const Point p = proj.ToMetric(40.9057, 116.3913, 0.0);
+  EXPECT_NEAR(p.y, 111195.0, 200.0);
+  EXPECT_NEAR(p.x, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace wcop

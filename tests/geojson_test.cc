@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "test_util.h"
+#include "traj/geojson.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLineWithReq;
+
+TEST(GeoJsonTest, SerializesFeatureCollection) {
+  Dataset d;
+  Trajectory t = MakeLineWithReq(7, 0, 0, 100, 0, 3, 4, 120.0);
+  t.set_object_id(2);
+  d.Add(t);
+  const LocalProjection proj(39.9057, 116.3913);
+  const std::string json = DatasetToGeoJson(d, proj);
+
+  EXPECT_NE(json.find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(json.find("\"LineString\""), std::string::npos);
+  EXPECT_NE(json.find("\"traj_id\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"object_id\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"k\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"delta\":120.000"), std::string::npos);
+  // The origin point maps back to the anchor coordinates (lon first).
+  EXPECT_NE(json.find("[116.3913000,39.9057000]"), std::string::npos);
+}
+
+TEST(GeoJsonTest, RoundTripsThroughProjection) {
+  Dataset d;
+  d.Add(MakeLineWithReq(1, 1234.5, -987.6, 10, 5, 5, 2, 50.0));
+  const LocalProjection proj(39.9057, 116.3913);
+  const std::string json = DatasetToGeoJson(d, proj);
+  // Spot-check: the first coordinate re-projects to ~the original metres.
+  const auto pos = json.find("\"coordinates\":[[");
+  ASSERT_NE(pos, std::string::npos);
+  double lon = 0.0, lat = 0.0;
+  ASSERT_EQ(std::sscanf(json.c_str() + pos + 16, "%lf,%lf", &lon, &lat), 2);
+  const Point back = proj.ToMetric(lat, lon, 0.0);
+  EXPECT_NEAR(back.x, 1234.5, 0.05);
+  EXPECT_NEAR(back.y, -987.6, 0.05);
+}
+
+TEST(GeoJsonTest, MultipleFeaturesSeparatedByCommas) {
+  Dataset d;
+  d.Add(MakeLineWithReq(1, 0, 0, 10, 0, 3, 2, 50.0));
+  d.Add(MakeLineWithReq(2, 50, 0, 10, 0, 3, 2, 50.0));
+  const LocalProjection proj(39.9057, 116.3913);
+  const std::string json = DatasetToGeoJson(d, proj);
+  size_t features = 0;
+  for (size_t pos = json.find("\"Feature\""); pos != std::string::npos;
+       pos = json.find("\"Feature\"", pos + 1)) {
+    ++features;
+  }
+  EXPECT_EQ(features, 2u);
+}
+
+TEST(GeoJsonTest, WritesToFile) {
+  Dataset d;
+  d.Add(MakeLineWithReq(1, 0, 0, 10, 0, 3, 2, 50.0));
+  const LocalProjection proj(39.9057, 116.3913);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wcop_test.geojson").string();
+  ASSERT_TRUE(WriteDatasetGeoJson(d, proj, path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("FeatureCollection"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(GeoJsonTest, BadPathIsIoError) {
+  const LocalProjection proj(39.9057, 116.3913);
+  EXPECT_EQ(WriteDatasetGeoJson(Dataset(), proj, "/no/such/dir/x.geojson")
+                .code(),
+            StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "data/geolife_parser.h"
+
+namespace wcop {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char kPltHeader[] =
+    "Geolife trajectory\n"
+    "WGS 84\n"
+    "Altitude is in Feet\n"
+    "Reserved 3\n"
+    "0,2,255,My Track,0,0,2182,255\n"
+    "0\n";
+
+class GeoLifeParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / "wcop_geolife_test";
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  std::string WritePlt(const std::string& user, const std::string& name,
+                       const std::string& body, bool with_header = true) {
+    const fs::path dir = root_ / user / "Trajectory";
+    fs::create_directories(dir);
+    const fs::path path = dir / name;
+    std::ofstream out(path);
+    if (with_header) {
+      out << kPltHeader;
+    }
+    out << body;
+    return path.string();
+  }
+
+  fs::path root_;
+};
+
+TEST_F(GeoLifeParserTest, ParsesWellFormedFile) {
+  const std::string path = WritePlt(
+      "000", "a.plt",
+      "39.906631,116.385564,0,492,39745.1717361111,2008-10-24,04:07:18\n"
+      "39.906703,116.385624,0,492,39745.1717939815,2008-10-24,04:07:23\n"
+      "39.906840,116.385684,0,492,39745.1718518519,2008-10-24,04:07:28\n");
+  const LocalProjection proj(39.9057, 116.3913);
+  Result<Trajectory> t = ParsePltFile(path, proj);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ASSERT_EQ(t->size(), 3u);
+  EXPECT_TRUE(t->Validate().ok());
+  // Timestamps are ~5 s apart (the .plt day fractions above).
+  EXPECT_NEAR(t->points()[1].t - t->points()[0].t, 5.0, 0.1);
+  // Position is within a few km of the anchor.
+  EXPECT_LT(std::abs(t->points()[0].x), 5000.0);
+  EXPECT_LT(std::abs(t->points()[0].y), 5000.0);
+}
+
+TEST_F(GeoLifeParserTest, SkipsOutOfOrderFixes) {
+  const std::string path = WritePlt(
+      "000", "a.plt",
+      "39.9066,116.3855,0,492,39745.20,2008-10-24,04:48:00\n"
+      "39.9067,116.3856,0,492,39745.10,2008-10-24,02:24:00\n"  // goes back
+      "39.9068,116.3857,0,492,39745.30,2008-10-24,07:12:00\n");
+  const LocalProjection proj(39.9057, 116.3913);
+  Result<Trajectory> t = ParsePltFile(path, proj);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 2u);
+}
+
+TEST_F(GeoLifeParserTest, FiltersFarOutliers) {
+  GeoLifeOptions options;
+  options.max_offset_metres = 100000.0;
+  const std::string path = WritePlt(
+      "000", "a.plt",
+      "39.9066,116.3855,0,492,39745.10,2008-10-24,02:24:00\n"
+      "0.0,0.0,0,0,39745.20,2008-10-24,04:48:00\n"  // (0,0) — bogus fix
+      "39.9068,116.3857,0,492,39745.30,2008-10-24,07:12:00\n");
+  const LocalProjection proj(39.9057, 116.3913);
+  Result<Trajectory> t = ParsePltFile(path, proj, options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->size(), 2u);
+}
+
+TEST_F(GeoLifeParserTest, TooShortIsNotFound) {
+  const std::string path = WritePlt(
+      "000", "a.plt",
+      "39.9066,116.3855,0,492,39745.10,2008-10-24,02:24:00\n");
+  const LocalProjection proj(39.9057, 116.3913);
+  EXPECT_EQ(ParsePltFile(path, proj).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(GeoLifeParserTest, MissingFileIsIoError) {
+  const LocalProjection proj(39.9057, 116.3913);
+  EXPECT_EQ(ParsePltFile("/no/such/file.plt", proj).status().code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(GeoLifeParserTest, DirectoryWalkAssignsIdsAndUsers) {
+  const char* body =
+      "39.9066,116.3855,0,492,39745.10,2008-10-24,02:24:00\n"
+      "39.9067,116.3856,0,492,39745.20,2008-10-24,04:48:00\n";
+  WritePlt("000", "a.plt", body);
+  WritePlt("000", "b.plt", body);
+  WritePlt("001", "c.plt", body);
+  Result<Dataset> d = LoadGeoLifeDirectory(root_.string());
+  ASSERT_TRUE(d.ok()) << d.status();
+  ASSERT_EQ(d->size(), 3u);
+  EXPECT_TRUE(d->Validate().ok());
+  EXPECT_EQ((*d)[0].object_id(), (*d)[1].object_id());
+  EXPECT_NE((*d)[0].object_id(), (*d)[2].object_id());
+}
+
+TEST_F(GeoLifeParserTest, MaxTrajectoriesCapsLoad) {
+  const char* body =
+      "39.9066,116.3855,0,492,39745.10,2008-10-24,02:24:00\n"
+      "39.9067,116.3856,0,492,39745.20,2008-10-24,04:48:00\n";
+  WritePlt("000", "a.plt", body);
+  WritePlt("000", "b.plt", body);
+  WritePlt("001", "c.plt", body);
+  GeoLifeOptions options;
+  options.max_trajectories = 2;
+  Result<Dataset> d = LoadGeoLifeDirectory(root_.string(), options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 2u);
+}
+
+TEST_F(GeoLifeParserTest, EmptyRootIsNotFound) {
+  EXPECT_EQ(LoadGeoLifeDirectory(root_.string()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(LoadGeoLifeDirectory("/no/such/dir").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(GeoLifeParserTest, PltWriterRoundTrips) {
+  const LocalProjection proj(39.9057, 116.3913);
+  std::vector<Point> points;
+  for (int i = 0; i < 20; ++i) {
+    points.emplace_back(i * 37.5, 1000.0 - i * 12.0, 1000.0 + i * 5.0);
+  }
+  Trajectory original(3, points);
+  const std::string path = (root_ / "roundtrip.plt").string();
+  ASSERT_TRUE(WritePltFile(original, proj, path).ok());
+
+  GeoLifeOptions options;
+  options.filter_outliers = false;
+  Result<Trajectory> parsed = ParsePltFile(path, proj, options);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR((*parsed)[i].x, original[i].x, 0.05);
+    EXPECT_NEAR((*parsed)[i].y, original[i].y, 0.05);
+    EXPECT_NEAR((*parsed)[i].t, original[i].t, 0.01);
+  }
+}
+
+TEST_F(GeoLifeParserTest, DirectoryWriterRoundTrips) {
+  const LocalProjection proj(39.9057, 116.3913);
+  Dataset d;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Point> points;
+    for (int j = 0; j < 5; ++j) {
+      points.emplace_back(i * 100.0 + j * 10.0, i * 50.0, 100.0 + j * 5.0);
+    }
+    Trajectory t(i, points);
+    t.set_object_id(i % 2);
+    d.Add(t);
+  }
+  const std::string out_root = (root_ / "written").string();
+  ASSERT_TRUE(WriteGeoLifeDirectory(d, proj, out_root).ok());
+  Result<Dataset> loaded = LoadGeoLifeDirectory(out_root);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->size(), 3u);
+  EXPECT_EQ(loaded->TotalPoints(), 15u);
+  EXPECT_EQ(loaded->ComputeStats().num_objects, 2u);
+}
+
+TEST_F(GeoLifeParserTest, HeaderlessFileStillParses) {
+  const std::string path = WritePlt(
+      "000", "nohdr.plt",
+      "39.9066,116.3855,0,492,39745.10,2008-10-24,02:24:00\n"
+      "39.9067,116.3856,0,492,39745.20,2008-10-24,04:48:00\n",
+      /*with_header=*/false);
+  const LocalProjection proj(39.9057, 116.3913);
+  Result<Trajectory> t = ParsePltFile(path, proj);
+  ASSERT_TRUE(t.ok()) << t.status();
+  EXPECT_EQ(t->size(), 2u);
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/grid_index.h"
+
+namespace wcop {
+namespace {
+
+TEST(GridIndexTest, EmptyQueryReturnsNothing) {
+  GridIndex grid(10.0);
+  EXPECT_TRUE(grid.RangeQuery(0, 0, 100).empty());
+  EXPECT_EQ(grid.size(), 0u);
+}
+
+TEST(GridIndexTest, FindsInsertedPoint) {
+  GridIndex grid(10.0);
+  grid.Insert(7, 5.0, 5.0);
+  const auto hits = grid.RangeQuery(6.0, 5.0, 2.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+}
+
+TEST(GridIndexTest, ExcludesPointsBeyondRadius) {
+  GridIndex grid(10.0);
+  grid.Insert(0, 0.0, 0.0);
+  grid.Insert(1, 3.0, 4.0);   // distance 5
+  grid.Insert(2, 30.0, 40.0); // distance 50
+  const auto hits = grid.RangeQuery(0, 0, 5.0);
+  EXPECT_EQ(hits.size(), 2u);  // inclusive boundary keeps index 1
+  EXPECT_TRUE(std::find(hits.begin(), hits.end(), 2u) == hits.end());
+}
+
+TEST(GridIndexTest, WorksAcrossCellBoundariesAndNegativeCoords) {
+  GridIndex grid(1.0);
+  grid.Insert(0, -0.5, -0.5);
+  grid.Insert(1, 0.5, 0.5);
+  const auto hits = grid.RangeQuery(0.0, 0.0, 1.0);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(GridIndexTest, MatchesBruteForceOnRandomData) {
+  Rng rng(31);
+  std::vector<std::pair<double, double>> points;
+  GridIndex grid(25.0);
+  for (size_t i = 0; i < 500; ++i) {
+    const double x = rng.UniformReal(-300, 300);
+    const double y = rng.UniformReal(-300, 300);
+    points.emplace_back(x, y);
+    grid.Insert(i, x, y);
+  }
+  for (int q = 0; q < 50; ++q) {
+    const double qx = rng.UniformReal(-300, 300);
+    const double qy = rng.UniformReal(-300, 300);
+    const double r = rng.UniformReal(5, 120);
+    std::vector<size_t> expected;
+    for (size_t i = 0; i < points.size(); ++i) {
+      const double dx = points[i].first - qx;
+      const double dy = points[i].second - qy;
+      if (std::sqrt(dx * dx + dy * dy) <= r) {
+        expected.push_back(i);
+      }
+    }
+    std::vector<size_t> got = grid.RangeQuery(qx, qy, r);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+}
+
+TEST(GridIndexTest, CandidateQueryIsSuperset) {
+  Rng rng(77);
+  GridIndex grid(10.0);
+  std::vector<std::pair<double, double>> points;
+  for (size_t i = 0; i < 200; ++i) {
+    const double x = rng.UniformReal(-100, 100);
+    const double y = rng.UniformReal(-100, 100);
+    points.emplace_back(x, y);
+    grid.Insert(i, x, y);
+  }
+  for (int q = 0; q < 20; ++q) {
+    const double qx = rng.UniformReal(-100, 100);
+    const double qy = rng.UniformReal(-100, 100);
+    const double r = rng.UniformReal(1, 40);
+    std::vector<size_t> exact = grid.RangeQuery(qx, qy, r);
+    std::vector<size_t> candidates;
+    grid.CandidateQuery(qx, qy, r, &candidates);
+    std::sort(exact.begin(), exact.end());
+    std::sort(candidates.begin(), candidates.end());
+    EXPECT_TRUE(std::includes(candidates.begin(), candidates.end(),
+                              exact.begin(), exact.end()));
+  }
+}
+
+TEST(GridIndexTest, DuplicateLocationsAllReturned) {
+  GridIndex grid(5.0);
+  grid.Insert(1, 2.0, 2.0);
+  grid.Insert(2, 2.0, 2.0);
+  grid.Insert(3, 2.0, 2.0);
+  EXPECT_EQ(grid.RangeQuery(2.0, 2.0, 0.1).size(), 3u);
+}
+
+}  // namespace
+}  // namespace wcop

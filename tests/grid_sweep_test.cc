@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/grid_sweep.h"
+
+namespace wcop {
+namespace {
+
+TEST(GridSweepTest, RunsEveryCellOnce) {
+  size_t calls = 0;
+  Result<GridSweepResult> result = RunGridSweep(
+      {2, 4}, {10.0, 20.0, 30.0},
+      [&](const SweepCell& cell) -> Result<std::map<std::string, double>> {
+        ++calls;
+        return std::map<std::string, double>{
+            {"product", static_cast<double>(cell.k_max) * cell.delta_max}};
+      });
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(calls, 6u);
+  EXPECT_DOUBLE_EQ(result->Get("product", 0, 0), 20.0);   // k=2, d=10
+  EXPECT_DOUBLE_EQ(result->Get("product", 2, 1), 120.0);  // k=4, d=30
+}
+
+TEST(GridSweepTest, CollectsMultipleMetrics) {
+  Result<GridSweepResult> result = RunGridSweep(
+      {1}, {1.0},
+      [](const SweepCell&) -> Result<std::map<std::string, double>> {
+        return std::map<std::string, double>{{"a", 1.0}, {"b", 2.0}};
+      });
+  ASSERT_TRUE(result.ok());
+  const std::vector<std::string> metrics = result->Metrics();
+  ASSERT_EQ(metrics.size(), 2u);
+  EXPECT_EQ(metrics[0], "a");
+  EXPECT_EQ(metrics[1], "b");
+  // Absent metric / out-of-range reads are safe zeros.
+  EXPECT_DOUBLE_EQ(result->Get("missing", 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(result->Get("a", 9, 9), 0.0);
+}
+
+TEST(GridSweepTest, PropagatesCellFailure) {
+  Result<GridSweepResult> result = RunGridSweep(
+      {2, 4}, {10.0},
+      [](const SweepCell& cell) -> Result<std::map<std::string, double>> {
+        if (cell.k_max == 4) {
+          return Status::Unsatisfiable("boom");
+        }
+        return std::map<std::string, double>{{"x", 1.0}};
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsatisfiable);
+  EXPECT_NE(result.status().message().find("kmax=4"), std::string::npos);
+}
+
+TEST(GridSweepTest, RejectsBadInputs) {
+  auto ok_fn = [](const SweepCell&) -> Result<std::map<std::string, double>> {
+    return std::map<std::string, double>{};
+  };
+  EXPECT_FALSE(RunGridSweep({}, {1.0}, ok_fn).ok());
+  EXPECT_FALSE(RunGridSweep({1}, {}, ok_fn).ok());
+  EXPECT_FALSE(RunGridSweep({1}, {1.0}, SweepFn()).ok());
+}
+
+TEST(GridSweepTest, PrintTableMatchesPaperLayout) {
+  Result<GridSweepResult> result = RunGridSweep(
+      {5, 10}, {50.0},
+      [](const SweepCell& cell) -> Result<std::map<std::string, double>> {
+        return std::map<std::string, double>{
+            {"m", static_cast<double>(cell.k_max)}};
+      });
+  ASSERT_TRUE(result.ok());
+  std::ostringstream os;
+  result->PrintTable("m", os);
+  const std::string table = os.str();
+  EXPECT_NE(table.find("kmax=5"), std::string::npos);
+  EXPECT_NE(table.find("kmax=10"), std::string::npos);
+  EXPECT_NE(table.find("dmax=50"), std::string::npos);
+}
+
+TEST(GridSweepTest, NonMonotoneDetection) {
+  GridSweepResult grid({1, 2, 3}, {1.0});
+  grid.Set("up", 0, 0, 1.0);
+  grid.Set("up", 0, 1, 2.0);
+  grid.Set("up", 0, 2, 3.0);
+  EXPECT_FALSE(grid.AnySeriesNonMonotone("up"));
+  grid.Set("bump", 0, 0, 1.0);
+  grid.Set("bump", 0, 1, 3.0);
+  grid.Set("bump", 0, 2, 2.0);
+  EXPECT_TRUE(grid.AnySeriesNonMonotone("bump"));
+  // Tolerance can absorb the dip.
+  EXPECT_FALSE(grid.AnySeriesNonMonotone("bump", 1.5));
+}
+
+TEST(GridSweepTest, PaperAxesMatchSection63) {
+  EXPECT_EQ(PaperKValues(), (std::vector<int>{5, 10, 25, 50, 100}));
+  EXPECT_EQ(PaperDeltaValues(),
+            (std::vector<double>{50, 100, 250, 500, 1000, 1400}));
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "anon/metrics.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+
+TEST(TranslationDistortionTest, IdenticalIsZero) {
+  const Trajectory t = MakeLine(1, 0, 0, 1, 0, 10);
+  EXPECT_DOUBLE_EQ(TranslationDistortion(t, t, 100.0), 0.0);
+}
+
+TEST(TranslationDistortionTest, ConstantOffsetSums) {
+  const Trajectory orig = MakeLine(1, 0, 0, 1, 0, 10);
+  const Trajectory moved = MakeLine(1, 0, 3, 1, 0, 10);  // +3 m north
+  EXPECT_NEAR(TranslationDistortion(orig, moved, 100.0), 30.0, 1e-9);
+}
+
+TEST(TranslationDistortionTest, TrashedCostsSizeTimesOmega) {
+  const Trajectory orig = MakeLine(1, 0, 0, 1, 0, 25);
+  EXPECT_DOUBLE_EQ(TranslationDistortion(orig, Trajectory(), 7.0), 175.0);
+}
+
+TEST(TranslationDistortionTest, SanitizedAtDifferentTimesUsesInterpolation) {
+  // Original runs along x = t; sanitized has one point at t=0.5 offset 1 m.
+  const Trajectory orig(1, {Point(0, 0, 0), Point(1, 0, 1)});
+  const Trajectory sanitized(1, {Point(0.5, 1.0, 0.5)});
+  EXPECT_NEAR(TranslationDistortion(orig, sanitized, 10.0), 1.0, 1e-9);
+}
+
+TEST(TotalTranslationDistortionTest, MixesPublishedAndTrashed) {
+  Dataset d;
+  d.Add(MakeLine(0, 0, 0, 1, 0, 10));
+  d.Add(MakeLine(1, 0, 0, 1, 0, 5));
+  const Trajectory moved = MakeLine(0, 0, 2, 1, 0, 10);
+  std::vector<const Trajectory*> sanitized_of = {&moved, nullptr};
+  // 10 points * 2 m + 5 points * omega(=3).
+  EXPECT_NEAR(TotalTranslationDistortion(d, sanitized_of, 3.0), 35.0, 1e-9);
+}
+
+TEST(DiscernibilityTest, FormulaMatches) {
+  std::vector<AnonymityCluster> clusters(2);
+  clusters[0].members = {0, 1, 2};     // 9
+  clusters[1].members = {3, 4, 5, 6};  // 16
+  EXPECT_DOUBLE_EQ(Discernibility(clusters, 2, 10), 9.0 + 16.0 + 20.0);
+  EXPECT_DOUBLE_EQ(Discernibility({}, 0, 10), 0.0);
+}
+
+// The paper's Table 1 worked example: kmax = 50, delta_min = 20.
+TEST(DemandingnessTest, PaperTable1Values) {
+  EXPECT_NEAR(Demandingness(Requirement{50, 30.0}, 50, 20.0), 0.83, 0.005);
+  EXPECT_NEAR(Demandingness(Requirement{30, 20.0}, 50, 20.0), 0.80, 0.005);
+  EXPECT_NEAR(Demandingness(Requirement{23, 100.0}, 50, 20.0), 0.33, 0.005);
+  EXPECT_NEAR(Demandingness(Requirement{23, 220.0}, 50, 20.0), 0.27, 0.01);
+  EXPECT_NEAR(Demandingness(Requirement{20, 200.0}, 50, 20.0), 0.25, 0.005);
+}
+
+TEST(DemandingnessTest, MonotoneInKAndInverseInDelta) {
+  const double base = Demandingness(Requirement{10, 100.0}, 50, 20.0);
+  EXPECT_GT(Demandingness(Requirement{20, 100.0}, 50, 20.0), base);
+  EXPECT_GT(Demandingness(Requirement{10, 50.0}, 50, 20.0), base);
+  EXPECT_LT(Demandingness(Requirement{10, 200.0}, 50, 20.0), base);
+}
+
+TEST(DemandingnessTest, WeightsShiftEmphasis) {
+  const Requirement req{50, 40.0};
+  const double k_only = Demandingness(req, 50, 20.0, 1.0, 0.0);
+  const double d_only = Demandingness(req, 50, 20.0, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(k_only, 1.0);
+  EXPECT_DOUBLE_EQ(d_only, 0.5);
+}
+
+TEST(DemandingnessTest, DegenerateInputsAreSafe) {
+  EXPECT_DOUBLE_EQ(Demandingness(Requirement{5, 0.0}, 10, 0.0), 0.25);
+  EXPECT_DOUBLE_EQ(Demandingness(Requirement{5, 10.0}, 0, 5.0), 0.25);
+}
+
+TEST(DatasetDemandingnessTest, UsesDatasetExtremes) {
+  Dataset d;
+  Trajectory a = MakeLine(0, 0, 0, 1, 0, 5);
+  a.set_requirement(Requirement{50, 30.0});
+  Trajectory b = MakeLine(1, 0, 0, 1, 0, 5);
+  b.set_requirement(Requirement{10, 20.0});
+  d.Add(a);
+  d.Add(b);
+  const std::vector<double> dd = DatasetDemandingness(d);
+  ASSERT_EQ(dd.size(), 2u);
+  EXPECT_NEAR(dd[0], 0.5 * 50.0 / 50.0 + 0.5 * 20.0 / 30.0, 1e-9);
+  EXPECT_NEAR(dd[1], 0.5 * 10.0 / 50.0 + 0.5 * 20.0 / 20.0, 1e-9);
+}
+
+// Table 1 continued: threshold = tau_47 (0.33), max = tau_21 (0.83).
+TEST(EditCostTest, PaperExampleValues) {
+  const double d21 = Demandingness(Requirement{50, 30.0}, 50, 20.0);
+  const double d5 = Demandingness(Requirement{30, 20.0}, 50, 20.0);
+  const double d47 = Demandingness(Requirement{23, 100.0}, 50, 20.0);
+  EXPECT_NEAR(EditCost(d21, d47, d21), 1.0, 1e-9);
+  EXPECT_NEAR(EditCost(d5, d47, d21), 0.94, 0.01);
+}
+
+TEST(EditCostTest, OtherwiseBranchIsZero) {
+  EXPECT_DOUBLE_EQ(EditCost(0.9, 0.5, 0.5), 0.0);   // max == threshold
+  EXPECT_DOUBLE_EQ(EditCost(0.3, 0.5, 0.9), 0.0);   // below threshold clamps
+}
+
+TEST(EditingDistortionTest, Formula) {
+  EXPECT_DOUBLE_EQ(EditingDistortion(100, 50.0, 0.5), 2500.0);
+  EXPECT_DOUBLE_EQ(EditingDistortion(0, 50.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(EditingDistortion(10, 50.0, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace wcop

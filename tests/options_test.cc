@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anon/verifier.h"
+#include "anon/wcop_ct.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+using testing_util::SmallSynthetic;
+
+TEST(ClusterDistanceTest, EdrKindUsesNormalizedScaledValue) {
+  const Trajectory a = MakeLine(1, 0, 0, 1, 0, 10);
+  const Trajectory b = MakeLine(2, 1e6, 1e6, 1, 0, 10);  // nothing matches
+  DistanceConfig config;
+  config.kind = DistanceConfig::Kind::kEdr;
+  config.tolerance.dx = 1.0;
+  config.tolerance.dy = 1.0;
+  config.tolerance.dt = 1.0;
+  config.edr_scale = 500.0;
+  // Fully unalignable -> normalized EDR 1.0 -> scaled to 500.
+  EXPECT_DOUBLE_EQ(ClusterDistance(a, b, config), 500.0);
+  EXPECT_DOUBLE_EQ(ClusterDistance(a, a, config), 0.0);
+}
+
+TEST(ClusterDistanceTest, EuclideanKindIgnoresEdrFields) {
+  const Trajectory a = MakeLine(1, 0, 0, 1, 0, 10);
+  const Trajectory b = MakeLine(2, 0, 7, 1, 0, 10);
+  DistanceConfig config;
+  config.kind = DistanceConfig::Kind::kSynchronizedEuclidean;
+  EXPECT_NEAR(ClusterDistance(a, b, config), 7.0, 1e-9);
+}
+
+TEST(PivotPolicyTest, FarthestFirstKeepsInvariants) {
+  const Dataset d = SmallSynthetic(40, 45, /*k_max=*/5);
+  WcopOptions options;
+  options.pivot_policy = WcopOptions::PivotPolicy::kFarthestFirst;
+  Result<AnonymizationResult> result = RunWcopCt(d, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(VerifyAnonymity(d, *result).ok);
+}
+
+TEST(PivotPolicyTest, FarthestFirstIsDeterministicAfterFirstPivot) {
+  const Dataset d = SmallSynthetic(30, 40);
+  WcopOptions options;
+  options.pivot_policy = WcopOptions::PivotPolicy::kFarthestFirst;
+  options.seed = 42;
+  const auto a = RunWcopCt(d, options);
+  const auto b = RunWcopCt(d, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->report.ttd, b->report.ttd);
+}
+
+TEST(DeltaPolicyTest, MeanDeltaLoosensTranslationButBreaksGuarantee) {
+  const Dataset d = SmallSynthetic(40, 45, /*k_max=*/5, /*delta_max=*/400.0);
+  WcopOptions min_options;
+  min_options.seed = 9;
+  WcopOptions mean_options = min_options;
+  mean_options.delta_policy = WcopOptions::DeltaPolicy::kMean;
+
+  Result<AnonymizationResult> with_min = RunWcopCt(d, min_options);
+  Result<AnonymizationResult> with_mean = RunWcopCt(d, mean_options);
+  ASSERT_TRUE(with_min.ok());
+  ASSERT_TRUE(with_mean.ok());
+
+  // The paper's min policy always honours every member's delta.
+  EXPECT_TRUE(VerifyAnonymity(d, *with_min).ok);
+
+  // With the same clustering, the mean policy's cluster deltas are >= the
+  // min policy's (looser disks).
+  ASSERT_EQ(with_min->clusters.size(), with_mean->clusters.size());
+  bool any_looser = false;
+  for (size_t i = 0; i < with_min->clusters.size(); ++i) {
+    EXPECT_GE(with_mean->clusters[i].delta,
+              with_min->clusters[i].delta - 1e-9);
+    any_looser |= with_mean->clusters[i].delta >
+                  with_min->clusters[i].delta + 1e-9;
+  }
+  EXPECT_TRUE(any_looser);
+
+  // And the verifier catches the preference violations the mean policy
+  // introduces whenever a multi-member cluster has heterogeneous deltas.
+  if (any_looser) {
+    EXPECT_FALSE(VerifyAnonymity(d, *with_mean).ok);
+  }
+}
+
+TEST(OptionsTest, DefaultsAreThePaperSettings) {
+  const WcopOptions options;
+  EXPECT_DOUBLE_EQ(options.trash_fraction, 0.10);
+  EXPECT_EQ(options.pivot_policy, WcopOptions::PivotPolicy::kRandom);
+  EXPECT_EQ(options.delta_policy, WcopOptions::DeltaPolicy::kMin);
+  EXPECT_EQ(options.distance.kind, DistanceConfig::Kind::kEdr);
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "related/awo.h"
+#include "related/path_perturbation.h"
+#include "related/suppression.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+using testing_util::MakeLineWithReq;
+using testing_util::SmallSynthetic;
+
+// ---------------------------------------------------------------------------
+// Path Perturbation (Hoh & Gruteser)
+// ---------------------------------------------------------------------------
+
+TEST(PathPerturbationTest, CreatesCrossingsForCloseNonIntersectingPaths) {
+  Dataset d;
+  // Two parallel co-temporal lanes 50 m apart: a classic confusion target.
+  d.Add(MakeLine(0, 0, 0, 10, 0, 40));
+  d.Add(MakeLine(1, 0, 50, 10, 0, 40));
+  PathPerturbationOptions options;
+  options.radius = 100.0;
+  Result<PathPerturbationResult> r = RunPathPerturbation(d, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GE(r->report.crossings_created, 1u);
+  EXPECT_GT(r->report.total_displacement, 0.0);
+  // At the crossing time the two perturbed paths actually meet (within a
+  // small epsilon: both were bent towards the same point).
+  double min_gap = 1e18;
+  for (const Point& p : r->perturbed[0].points()) {
+    min_gap = std::min(min_gap,
+                       SpatialDistance(p, r->perturbed[1].PositionAt(p.t)));
+  }
+  EXPECT_LT(min_gap, 10.0);
+}
+
+TEST(PathPerturbationTest, DisplacementNeverExceedsRadius) {
+  const Dataset d = SmallSynthetic(20, 40);
+  PathPerturbationOptions options;
+  options.radius = 150.0;
+  Result<PathPerturbationResult> r = RunPathPerturbation(d, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->report.max_displacement, options.radius + 1e-9);
+  // Structure preserved: same ids, sizes, timestamps.
+  ASSERT_EQ(r->perturbed.size(), d.size());
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_EQ(r->perturbed[i].id(), d[i].id());
+    ASSERT_EQ(r->perturbed[i].size(), d[i].size());
+    for (size_t j = 0; j < d[i].size(); ++j) {
+      EXPECT_DOUBLE_EQ(r->perturbed[i][j].t, d[i][j].t);
+      EXPECT_LE(SpatialDistance(r->perturbed[i][j], d[i][j]),
+                options.radius + 1e-9);
+    }
+  }
+}
+
+TEST(PathPerturbationTest, FarApartPathsUntouched) {
+  Dataset d;
+  d.Add(MakeLine(0, 0, 0, 10, 0, 20));
+  d.Add(MakeLine(1, 0, 1e6, 10, 0, 20));
+  Result<PathPerturbationResult> r = RunPathPerturbation(d, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->report.crossings_created, 0u);
+  EXPECT_DOUBLE_EQ(r->report.total_displacement, 0.0);
+}
+
+TEST(PathPerturbationTest, CrossingCapRespected) {
+  Dataset d;
+  for (int i = 0; i < 6; ++i) {
+    d.Add(MakeLine(i, 0, i * 30.0, 10, 0, 40));
+  }
+  PathPerturbationOptions options;
+  options.radius = 100.0;
+  options.max_crossings_per_trajectory = 1;
+  Result<PathPerturbationResult> r = RunPathPerturbation(d, options);
+  ASSERT_TRUE(r.ok());
+  // With a per-trajectory cap of 1 over 6 trajectories, at most 3 pairs.
+  EXPECT_LE(r->report.crossings_created, 3u);
+}
+
+TEST(PathPerturbationTest, RejectsBadOptions) {
+  const Dataset d = SmallSynthetic(5, 20);
+  PathPerturbationOptions options;
+  options.radius = 0.0;
+  EXPECT_FALSE(RunPathPerturbation(d, options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression (Terrovitis & Mamoulis style)
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionTest, RarePlacesAreRemoved) {
+  Dataset d;
+  // Five trajectories share a corridor; one detours through a unique cell.
+  for (int i = 0; i < 5; ++i) {
+    d.Add(MakeLineWithReq(i, 0, i * 10.0, 100, 0, 20, 2, 100.0));
+  }
+  Trajectory detour = MakeLineWithReq(5, 0, 50.0, 100, 0, 20, 2, 100.0);
+  detour.mutable_points()[10].x = 50000.0;  // a place nobody else visits
+  detour.mutable_points()[10].y = 50000.0;
+  d.Add(detour);
+  SuppressionOptions options;
+  options.cell_size = 1000.0;
+  options.k = 2;
+  Result<SuppressionResult> r = RunSuppression(d, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GE(r->report.places_suppressed, 1u);
+  EXPECT_GE(r->report.points_suppressed, 1u);
+  // The detour point is gone from the published trajectory 5.
+  const Trajectory* published = r->sanitized.FindById(5);
+  ASSERT_NE(published, nullptr);
+  for (const Point& p : published->points()) {
+    EXPECT_LT(p.x, 40000.0);
+  }
+}
+
+TEST(SuppressionTest, EveryRemainingPlaceHasSupportK) {
+  const Dataset d = SmallSynthetic(30, 40);
+  SuppressionOptions options;
+  options.cell_size = 2000.0;
+  options.k = 3;
+  options.max_loss_fraction = 1.0;  // keep everything that has >= 2 points
+  Result<SuppressionResult> r = RunSuppression(d, options);
+  ASSERT_TRUE(r.ok());
+  // Re-derive place support over the published data: every place must be
+  // visited by >= k trajectories.
+  std::map<std::pair<int64_t, int64_t>, std::set<int64_t>> support;
+  for (const Trajectory& t : r->sanitized.trajectories()) {
+    for (const Point& p : t.points()) {
+      support[{static_cast<int64_t>(std::floor(p.x / options.cell_size)),
+               static_cast<int64_t>(std::floor(p.y / options.cell_size))}]
+          .insert(t.id());
+    }
+  }
+  for (const auto& [place, visitors] : support) {
+    EXPECT_GE(visitors.size(), 3u);
+  }
+}
+
+TEST(SuppressionTest, OverdamagedTrajectoriesAreTrashed) {
+  Dataset d;
+  // One loner far away: all of its places are unique -> fully suppressed.
+  for (int i = 0; i < 4; ++i) {
+    d.Add(MakeLineWithReq(i, 0, i * 10.0, 100, 0, 20, 2, 100.0));
+  }
+  d.Add(MakeLineWithReq(9, 9e6, 9e6, 100, 0, 20, 2, 100.0));
+  SuppressionOptions options;
+  options.cell_size = 1000.0;
+  options.k = 2;
+  Result<SuppressionResult> r = RunSuppression(d, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->report.trajectories_suppressed, 1u);
+  ASSERT_EQ(r->trashed_ids.size(), 1u);
+  EXPECT_EQ(r->trashed_ids[0], 9);
+}
+
+TEST(SuppressionTest, PairAdversarySuppressesMore) {
+  const Dataset d = SmallSynthetic(30, 40);
+  SuppressionOptions single;
+  single.cell_size = 2000.0;
+  single.k = 3;
+  SuppressionOptions pairs = single;
+  pairs.adversary_pairs = true;
+  Result<SuppressionResult> a = RunSuppression(d, single);
+  Result<SuppressionResult> b = RunSuppression(d, pairs);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(b->report.places_suppressed, a->report.places_suppressed);
+  EXPECT_GE(b->report.points_suppressed, a->report.points_suppressed);
+}
+
+TEST(SuppressionTest, RejectsBadOptions) {
+  const Dataset d = SmallSynthetic(5, 20);
+  SuppressionOptions options;
+  options.k = 0;
+  EXPECT_FALSE(RunSuppression(d, options).ok());
+  EXPECT_FALSE(RunSuppression(Dataset(), {}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// AWO-style generalization (Nergiz et al.)
+// ---------------------------------------------------------------------------
+
+Dataset CoTemporalBundle(size_t n, size_t points) {
+  Dataset d = SmallSynthetic(n, points);
+  for (Trajectory& t : d.mutable_trajectories()) {
+    const double t0 = t.StartTime();
+    for (Point& p : t.mutable_points()) {
+      p.t -= t0;
+    }
+  }
+  return d;
+}
+
+TEST(AwoTest, GroupsOfKAndReconstructedOutputs) {
+  const Dataset d = CoTemporalBundle(20, 40);
+  AwoOptions options;
+  options.k = 4;
+  options.region_interval = 60.0;
+  Result<AwoResult> r = RunAwo(d, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GE(r->report.num_groups, 1u);
+  for (const AwoRegionSeries& group : r->groups) {
+    EXPECT_EQ(group.members.size(), 4u);
+    EXPECT_EQ(group.regions.size(), group.times.size());
+    EXPECT_GE(group.regions.size(), 1u);
+  }
+  EXPECT_EQ(r->sanitized.size() + r->trashed_ids.size(), d.size());
+}
+
+TEST(AwoTest, ReconstructedPointsLieInsideRegions) {
+  const Dataset d = CoTemporalBundle(12, 40);
+  AwoOptions options;
+  options.k = 3;
+  options.region_interval = 60.0;
+  Result<AwoResult> r = RunAwo(d, options);
+  ASSERT_TRUE(r.ok());
+  for (const AwoRegionSeries& group : r->groups) {
+    // Every published trajectory of the group samples within the regions.
+    for (size_t m : group.members) {
+      const Trajectory* out = r->sanitized.FindById(d[m].id());
+      ASSERT_NE(out, nullptr);
+      for (const Point& p : out->points()) {
+        // Find the region at this timestamp.
+        bool found = false;
+        for (size_t ridx = 0; ridx < group.times.size(); ++ridx) {
+          if (std::abs(group.times[ridx] - p.t) < 1e-6) {
+            EXPECT_TRUE(group.regions[ridx].Contains(p));
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          // Padded degenerate outputs are allowed to fall outside.
+          EXPECT_LE(out->size(), 2u);
+        }
+      }
+    }
+  }
+}
+
+TEST(AwoTest, GeneralizationCoarsenessReported) {
+  const Dataset d = CoTemporalBundle(15, 40);
+  AwoOptions options;
+  options.k = 3;
+  Result<AwoResult> r = RunAwo(d, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->report.mean_region_diagonal, 0.0);
+}
+
+TEST(AwoTest, FailsWhenNoTemporalOverlap) {
+  // Trajectories scattered over months: no group of k overlaps.
+  const Dataset d = SmallSynthetic(10, 30);
+  AwoOptions options;
+  options.k = 5;
+  options.trash_fraction = 0.0;
+  Result<AwoResult> r = RunAwo(d, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsatisfiable);
+}
+
+TEST(AwoTest, RejectsBadOptions) {
+  const Dataset d = CoTemporalBundle(6, 20);
+  AwoOptions options;
+  options.k = 1;
+  EXPECT_FALSE(RunAwo(d, options).ok());
+  EXPECT_FALSE(RunAwo(Dataset(), {}).ok());
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "anon/report_json.h"
+#include "anon/wcop_ct.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::SmallSynthetic;
+
+TEST(ReportJsonTest, ContainsEveryField) {
+  AnonymizationReport report;
+  report.input_trajectories = 10;
+  report.num_clusters = 3;
+  report.ttd = 123.456;
+  report.total_distortion = 200.5;
+  const std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("\"input_trajectories\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"num_clusters\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"ttd\":123.456"), std::string::npos);
+  EXPECT_NE(json.find("\"total_distortion\":200.5"), std::string::npos);
+  EXPECT_NE(json.find("\"omega\""), std::string::npos);
+  EXPECT_NE(json.find("\"runtime_seconds\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ReportJsonTest, ResultIncludesClustersAndTrash) {
+  const Dataset d = SmallSynthetic(20, 40);
+  Result<AnonymizationResult> result = RunWcopCt(d);
+  ASSERT_TRUE(result.ok());
+  const std::string json = ResultToJson(*result);
+  EXPECT_NE(json.find("\"report\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"clusters\":["), std::string::npos);
+  EXPECT_NE(json.find("\"trashed_ids\":["), std::string::npos);
+  EXPECT_NE(json.find("\"pivot\":"), std::string::npos);
+  // Sanity: balanced braces and brackets.
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+    brackets += c == '[' ? 1 : (c == ']' ? -1 : 0);
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(ReportJsonTest, VerificationEscapesMessages) {
+  VerificationReport report;
+  report.ok = false;
+  report.violations = 1;
+  report.messages = {"bad \"quote\" and\nnewline"};
+  const std::string json = VerificationToJson(report);
+  EXPECT_NE(json.find("\\\"quote\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ReportJsonTest, WriteJsonFileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "wcop_report.json").string();
+  ASSERT_TRUE(WriteJsonFile("{\"x\":1}", path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "{\"x\":1}\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(WriteJsonFile("{}", "/no/such/dir/x.json").ok());
+}
+
+}  // namespace
+}  // namespace wcop

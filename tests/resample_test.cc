@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "traj/resample.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+
+TEST(ResampleTest, UniformGridHitsInterval) {
+  // 0..10 seconds at 1 Hz, resampled to 2.5 s.
+  Trajectory t = MakeLine(1, 0, 0, 1, 0, 11);
+  const Trajectory r = ResampleUniform(t, 2.5);
+  ASSERT_GE(r.size(), 5u);
+  EXPECT_DOUBLE_EQ(r[0].t, 0.0);
+  EXPECT_DOUBLE_EQ(r[1].t, 2.5);
+  EXPECT_DOUBLE_EQ(r.back().t, 10.0);
+  // Positions follow the line x = t.
+  for (const Point& p : r.points()) {
+    EXPECT_NEAR(p.x, p.t, 1e-9);
+  }
+}
+
+TEST(ResampleTest, SinglePointUnchanged) {
+  Trajectory t(1, {Point(3, 4, 5)});
+  const Trajectory r = ResampleUniform(t, 10.0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0].x, 3.0);
+}
+
+TEST(ResampleTest, NonPositiveIntervalIsIdentity) {
+  Trajectory t = MakeLine(1, 0, 0, 1, 0, 5);
+  EXPECT_EQ(ResampleUniform(t, 0.0).size(), 5u);
+  EXPECT_EQ(ResampleUniform(t, -1.0).size(), 5u);
+}
+
+TEST(ResampleTest, PreservesMetadata) {
+  Trajectory t = MakeLine(9, 0, 0, 1, 0, 11);
+  t.set_object_id(4);
+  t.set_requirement(Requirement{6, 120.0});
+  const Trajectory r = ResampleUniform(t, 3.0);
+  EXPECT_EQ(r.id(), 9);
+  EXPECT_EQ(r.object_id(), 4);
+  EXPECT_EQ(r.requirement().k, 6);
+}
+
+TEST(DownsampleTest, KeepsEndpointsAndCount) {
+  Trajectory t = MakeLine(1, 0, 0, 1, 0, 100);
+  const Trajectory d = DownsampleToMaxPoints(t, 10);
+  EXPECT_LE(d.size(), 10u);
+  EXPECT_GE(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.front().t, t.front().t);
+  EXPECT_DOUBLE_EQ(d.back().t, t.back().t);
+  EXPECT_TRUE(d.Validate().ok());
+}
+
+TEST(DownsampleTest, NoOpWhenAlreadySmall) {
+  Trajectory t = MakeLine(1, 0, 0, 1, 0, 5);
+  EXPECT_EQ(DownsampleToMaxPoints(t, 10).size(), 5u);
+  EXPECT_EQ(DownsampleToMaxPoints(t, 1).size(), 5u);  // max_points < 2
+}
+
+TEST(DownsampleTest, DatasetVariantAppliesToAll) {
+  Dataset d;
+  d.Add(MakeLine(0, 0, 0, 1, 0, 100));
+  d.Add(MakeLine(1, 5, 5, 1, 0, 30));
+  const Dataset small = DownsampleDataset(d, 20);
+  EXPECT_LE(small[0].size(), 20u);
+  EXPECT_LE(small[1].size(), 20u);
+  EXPECT_EQ(small.size(), 2u);
+}
+
+TEST(UniformTimeGridTest, CoversDatasetSpan) {
+  Dataset d;
+  d.Add(MakeLine(0, 0, 0, 1, 0, 11, /*dt=*/1.0, /*t0=*/0.0));
+  d.Add(MakeLine(1, 0, 0, 1, 0, 11, /*dt=*/1.0, /*t0=*/20.0));
+  const std::vector<double> grid = UniformTimeGrid(d, 5.0);
+  ASSERT_FALSE(grid.empty());
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_GE(grid.back(), 25.0);
+  for (size_t i = 1; i < grid.size(); ++i) {
+    EXPECT_DOUBLE_EQ(grid[i] - grid[i - 1], 5.0);
+  }
+}
+
+TEST(UniformTimeGridTest, EmptyOnDegenerateInput) {
+  EXPECT_TRUE(UniformTimeGrid(Dataset(), 5.0).empty());
+  Dataset d;
+  d.Add(MakeLine(0, 0, 0, 1, 0, 5));
+  EXPECT_TRUE(UniformTimeGrid(d, 0.0).empty());
+}
+
+}  // namespace
+}  // namespace wcop

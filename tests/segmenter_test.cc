@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "segment/segmenter.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLineWithReq;
+
+TEST(CutAtIndicesTest, BasicCuts) {
+  const Trajectory t = MakeLineWithReq(1, 0, 0, 1, 0, 10, 3, 50.0);
+  std::vector<Trajectory> out;
+  int64_t next_id = 100;
+  CutAtIndices(t, {4, 7}, /*min_points=*/2, &next_id, &out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].size(), 4u);
+  EXPECT_EQ(out[1].size(), 3u);
+  EXPECT_EQ(out[2].size(), 3u);
+  EXPECT_EQ(out[0].id(), 100);
+  EXPECT_EQ(out[2].id(), 102);
+  EXPECT_EQ(next_id, 103);
+  for (const Trajectory& sub : out) {
+    EXPECT_EQ(sub.parent_id(), 1);
+    EXPECT_EQ(sub.requirement().k, 3);
+  }
+}
+
+TEST(CutAtIndicesTest, NoCutsYieldsWholeTrajectory) {
+  const Trajectory t = MakeLineWithReq(1, 0, 0, 1, 0, 10, 2, 50.0);
+  std::vector<Trajectory> out;
+  int64_t next_id = 0;
+  CutAtIndices(t, {}, 2, &next_id, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 10u);
+}
+
+TEST(CutAtIndicesTest, ShortPiecesMergeForward) {
+  const Trajectory t = MakeLineWithReq(1, 0, 0, 1, 0, 10, 2, 50.0);
+  std::vector<Trajectory> out;
+  int64_t next_id = 0;
+  // Cut at 1 would leave a 1-point head: merged into the next piece.
+  CutAtIndices(t, {1, 5}, /*min_points=*/3, &next_id, &out);
+  size_t total = 0;
+  for (const Trajectory& sub : out) {
+    EXPECT_GE(sub.size(), 3u);
+    total += sub.size();
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(CutAtIndicesTest, TrailingShortPieceMergesBackward) {
+  const Trajectory t = MakeLineWithReq(1, 0, 0, 1, 0, 10, 2, 50.0);
+  std::vector<Trajectory> out;
+  int64_t next_id = 0;
+  // Cut at 9 would leave a 1-point tail.
+  CutAtIndices(t, {9}, /*min_points=*/2, &next_id, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].size(), 10u);
+}
+
+TEST(CutAtIndicesTest, IgnoresOutOfRangeAndDuplicateIndices) {
+  const Trajectory t = MakeLineWithReq(1, 0, 0, 1, 0, 10, 2, 50.0);
+  std::vector<Trajectory> out;
+  int64_t next_id = 0;
+  CutAtIndices(t, {0, 5, 5, 10, 99}, 2, &next_id, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].size(), 5u);
+  EXPECT_EQ(out[1].size(), 5u);
+}
+
+TEST(FixedLengthSegmenterTest, CutsIntoEqualPieces) {
+  Dataset d;
+  d.Add(MakeLineWithReq(1, 0, 0, 1, 0, 100, 4, 80.0));
+  FixedLengthSegmenter segmenter(25);
+  Result<Dataset> segmented = segmenter.Segment(d);
+  ASSERT_TRUE(segmented.ok());
+  EXPECT_EQ(segmented->size(), 4u);
+  for (const Trajectory& sub : segmented->trajectories()) {
+    EXPECT_EQ(sub.size(), 25u);
+    EXPECT_EQ(sub.requirement().k, 4);
+    EXPECT_EQ(sub.parent_id(), 1);
+  }
+  EXPECT_EQ(segmented->TotalPoints(), 100u);
+}
+
+TEST(FixedLengthSegmenterTest, ClampsTinyPieceLength) {
+  FixedLengthSegmenter segmenter(0);
+  EXPECT_EQ(segmenter.piece_points(), 2u);
+  EXPECT_EQ(segmenter.name(), "fixed-length");
+}
+
+TEST(FixedLengthSegmenterTest, ShortTrajectoryPassesThrough) {
+  Dataset d;
+  d.Add(MakeLineWithReq(1, 0, 0, 1, 0, 5, 2, 50.0));
+  FixedLengthSegmenter segmenter(25);
+  Result<Dataset> segmented = segmenter.Segment(d);
+  ASSERT_TRUE(segmented.ok());
+  EXPECT_EQ(segmented->size(), 1u);
+  EXPECT_EQ((*segmented)[0].size(), 5u);
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "traj/simplify.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+using testing_util::SmallSynthetic;
+
+TEST(SimplifyTest, StraightLineCollapsesToEndpoints) {
+  const Trajectory t = MakeLine(1, 0, 0, 10, 0, 50);
+  const Trajectory s = SimplifyDouglasPeucker(t, 1.0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.front(), t.front());
+  EXPECT_EQ(s.back(), t.back());
+}
+
+TEST(SimplifyTest, CornerSurvives) {
+  // An L-shape: the corner point deviates far from the endpoint chord.
+  std::vector<Point> points;
+  for (int i = 0; i <= 10; ++i) {
+    points.emplace_back(i * 10.0, 0.0, i);
+  }
+  for (int i = 1; i <= 10; ++i) {
+    points.emplace_back(100.0, i * 10.0, 10 + i);
+  }
+  const Trajectory t(1, points);
+  const Trajectory s = SimplifyDouglasPeucker(t, 5.0);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s[1].x, 100.0);
+  EXPECT_DOUBLE_EQ(s[1].y, 0.0);
+}
+
+TEST(SimplifyTest, ErrorBoundHolds) {
+  const Dataset d = SmallSynthetic(10, 80);
+  for (double epsilon : {5.0, 25.0, 100.0}) {
+    for (const Trajectory& t : d.trajectories()) {
+      const Trajectory s = SimplifyDouglasPeucker(t, epsilon);
+      EXPECT_LE(MaxSimplificationError(t, s), epsilon + 1e-6)
+          << "epsilon=" << epsilon;
+      EXPECT_GE(s.size(), 2u);
+      EXPECT_TRUE(s.Validate().ok());
+      EXPECT_EQ(s.front(), t.front());
+      EXPECT_EQ(s.back(), t.back());
+    }
+  }
+}
+
+TEST(SimplifyTest, LargerEpsilonKeepsFewerPoints) {
+  const Dataset d = SmallSynthetic(5, 80);
+  for (const Trajectory& t : d.trajectories()) {
+    const size_t fine = SimplifyDouglasPeucker(t, 2.0).size();
+    const size_t coarse = SimplifyDouglasPeucker(t, 200.0).size();
+    EXPECT_LE(coarse, fine);
+  }
+}
+
+TEST(SimplifyTest, NonPositiveEpsilonIsIdentity) {
+  const Trajectory t = MakeLine(1, 0, 0, 1, 1, 10);
+  EXPECT_EQ(SimplifyDouglasPeucker(t, 0.0).size(), 10u);
+  EXPECT_EQ(SimplifyDouglasPeucker(t, -5.0).size(), 10u);
+}
+
+TEST(SimplifyTest, TinyTrajectoriesUntouched) {
+  const Trajectory two = MakeLine(1, 0, 0, 1, 0, 2);
+  EXPECT_EQ(SimplifyDouglasPeucker(two, 100.0).size(), 2u);
+  const Trajectory one(1, {Point(5, 5, 0)});
+  EXPECT_EQ(SimplifyDouglasPeucker(one, 100.0).size(), 1u);
+}
+
+TEST(SimplifyTest, MetadataPreserved) {
+  Trajectory t = MakeLine(7, 0, 0, 10, 0, 30);
+  t.set_object_id(3);
+  t.set_requirement(Requirement{5, 120.0});
+  const Trajectory s = SimplifyDouglasPeucker(t, 1.0);
+  EXPECT_EQ(s.id(), 7);
+  EXPECT_EQ(s.object_id(), 3);
+  EXPECT_EQ(s.requirement().k, 5);
+}
+
+TEST(SimplifyTest, DatasetVariant) {
+  const Dataset d = SmallSynthetic(8, 60);
+  const Dataset s = SimplifyDataset(d, 50.0);
+  ASSERT_EQ(s.size(), d.size());
+  EXPECT_LE(s.TotalPoints(), d.TotalPoints());
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+}  // namespace
+}  // namespace wcop

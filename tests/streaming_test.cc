@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "anon/streaming.h"
+#include "anon/verifier.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::SmallSynthetic;
+
+TEST(StreamingTest, PublishesWindowFragments) {
+  const Dataset d = SmallSynthetic(30, 60);
+  StreamingOptions options;
+  options.window_seconds = 200.0;  // SmallSynthetic samples every 10 s
+  Result<StreamingResult> r = RunStreamingWcop(d, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_FALSE(r->sanitized.empty());
+  EXPECT_GT(r->windows.size(), 0u);
+  EXPECT_GT(r->total_clusters, 0u);
+  EXPECT_TRUE(r->sanitized.Validate().ok());
+}
+
+TEST(StreamingTest, FragmentsLinkToSourceTrajectories) {
+  const Dataset d = SmallSynthetic(20, 60);
+  StreamingOptions options;
+  options.window_seconds = 300.0;
+  Result<StreamingResult> r = RunStreamingWcop(d, options);
+  ASSERT_TRUE(r.ok());
+  std::set<int64_t> sources;
+  for (const Trajectory& fragment : r->sanitized.trajectories()) {
+    const Trajectory* parent = d.FindById(fragment.parent_id());
+    ASSERT_NE(parent, nullptr);
+    sources.insert(fragment.parent_id());
+    EXPECT_EQ(fragment.object_id(), parent->object_id());
+    // Sanitized fragments carry their cluster pivot's timeline, so they can
+    // overhang the parent's own samples slightly — but never a window span.
+    EXPECT_LE(fragment.Duration(), options.window_seconds + 1e-6);
+  }
+  EXPECT_GT(sources.size(), 1u);
+}
+
+TEST(StreamingTest, WindowSummariesAccount) {
+  const Dataset d = SmallSynthetic(25, 60);
+  StreamingOptions options;
+  options.window_seconds = 250.0;
+  Result<StreamingResult> r = RunStreamingWcop(d, options);
+  ASSERT_TRUE(r.ok());
+  size_t published = 0;
+  double ttd = 0.0;
+  for (const StreamingWindowSummary& w : r->windows) {
+    published += w.published_fragments;
+    ttd += w.ttd;
+    if (!w.skipped) {
+      EXPECT_LE(w.published_fragments, w.input_fragments);
+    }
+  }
+  EXPECT_EQ(published, r->sanitized.size());
+  EXPECT_NEAR(ttd, r->total_ttd, 1e-6);
+}
+
+TEST(StreamingTest, SmallerWindowsFragmentMore) {
+  const Dataset d = SmallSynthetic(20, 60);
+  StreamingOptions coarse;
+  coarse.window_seconds = 10000.0;  // everything in one window
+  StreamingOptions fine;
+  fine.window_seconds = 150.0;
+  Result<StreamingResult> a = RunStreamingWcop(d, coarse);
+  Result<StreamingResult> b = RunStreamingWcop(d, fine);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(b->windows.size(), a->windows.size());
+}
+
+TEST(StreamingTest, RejectsBadOptions) {
+  const Dataset d = SmallSynthetic(10, 30);
+  StreamingOptions options;
+  options.window_seconds = 0.0;
+  EXPECT_FALSE(RunStreamingWcop(d, options).ok());
+  EXPECT_FALSE(RunStreamingWcop(Dataset(), {}).ok());
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+SyntheticOptions FastOptions() {
+  SyntheticOptions options;
+  options.seed = 123;
+  options.num_users = 10;
+  options.num_trajectories = 30;
+  options.points_per_trajectory = 50;
+  options.sampling_interval = 5.0;
+  options.region_half_diagonal = 10000.0;
+  options.num_hubs = 6;
+  options.num_routes = 6;
+  options.dataset_duration_days = 5.0;
+  return options;
+}
+
+TEST(SyntheticTest, ShapeMatchesOptions) {
+  Result<Dataset> d = GenerateSyntheticGeoLife(FastOptions());
+  ASSERT_TRUE(d.ok()) << d.status();
+  EXPECT_EQ(d->size(), 30u);
+  EXPECT_EQ(d->TotalPoints(), 30u * 50u);
+  for (const Trajectory& t : d->trajectories()) {
+    EXPECT_EQ(t.size(), 50u);
+  }
+  EXPECT_TRUE(d->Validate().ok());
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const Dataset a = GenerateSyntheticGeoLife(FastOptions()).value();
+  const Dataset b = GenerateSyntheticGeoLife(FastOptions()).value();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j], b[i][j]);
+    }
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticOptions other = FastOptions();
+  other.seed = 321;
+  const Dataset a = GenerateSyntheticGeoLife(FastOptions()).value();
+  const Dataset b = GenerateSyntheticGeoLife(other).value();
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size() && !any_diff; ++i) {
+    any_diff = !(a[i][0] == b[i][0]);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, AllUsersRepresented) {
+  const Dataset d = GenerateSyntheticGeoLife(FastOptions()).value();
+  std::set<int64_t> users;
+  for (const Trajectory& t : d.trajectories()) {
+    users.insert(t.object_id());
+  }
+  EXPECT_EQ(users.size(), 10u);
+}
+
+TEST(SyntheticTest, SpeedsNearTarget) {
+  SyntheticOptions options = FastOptions();
+  options.num_trajectories = 60;
+  const Dataset d = GenerateSyntheticGeoLife(options).value();
+  const DatasetStats stats = d.ComputeStats();
+  // Generator draws speeds around avg_speed; the realized dataset mean
+  // should land in a loose band around it.
+  EXPECT_GT(stats.avg_speed, 3.0);
+  EXPECT_LT(stats.avg_speed, 10.0);
+}
+
+TEST(SyntheticTest, StaysWithinRegionScale) {
+  const SyntheticOptions options = FastOptions();
+  const Dataset d = GenerateSyntheticGeoLife(options).value();
+  // Trajectories live on routes inside the region; allow slack for lane
+  // offsets and noise.
+  EXPECT_LT(d.Bounds().HalfDiagonal(), options.region_half_diagonal * 1.2);
+}
+
+TEST(SyntheticTest, Table2ScaleConfigurationIsConsistent) {
+  // Default options mirror Table 2 (not generated here in full: this checks
+  // the arithmetic that the full-scale run relies on).
+  const SyntheticOptions defaults;
+  EXPECT_EQ(defaults.num_users, 72u);
+  EXPECT_EQ(defaults.num_trajectories, 238u);
+  EXPECT_NEAR(static_cast<double>(defaults.num_trajectories *
+                                  defaults.points_per_trajectory),
+              343129.0, 3500.0);
+  EXPECT_NEAR(defaults.region_half_diagonal, 51982.0, 1.0);
+  EXPECT_NEAR(defaults.avg_speed, 6.36, 1e-9);
+}
+
+TEST(SyntheticTest, RejectsBadOptions) {
+  SyntheticOptions options = FastOptions();
+  options.num_trajectories = 0;
+  EXPECT_FALSE(GenerateSyntheticGeoLife(options).ok());
+  options = FastOptions();
+  options.points_per_trajectory = 1;
+  EXPECT_FALSE(GenerateSyntheticGeoLife(options).ok());
+  options = FastOptions();
+  options.sampling_interval = 0.0;
+  EXPECT_FALSE(GenerateSyntheticGeoLife(options).ok());
+  options = FastOptions();
+  options.num_hubs = 1;
+  EXPECT_FALSE(GenerateSyntheticGeoLife(options).ok());
+}
+
+TEST(RequirementAssignmentTest, UniformRespectsRanges) {
+  Dataset d = GenerateSyntheticGeoLife(FastOptions()).value();
+  Rng rng(5);
+  AssignUniformRequirements(&d, 2, 100, 10.0, 1400.0, &rng);
+  int k_min_seen = 1000, k_max_seen = 0;
+  for (const Trajectory& t : d.trajectories()) {
+    EXPECT_GE(t.requirement().k, 2);
+    EXPECT_LE(t.requirement().k, 100);
+    EXPECT_GE(t.requirement().delta, 10.0);
+    EXPECT_LE(t.requirement().delta, 1400.0);
+    k_min_seen = std::min(k_min_seen, t.requirement().k);
+    k_max_seen = std::max(k_max_seen, t.requirement().k);
+  }
+  EXPECT_LT(k_min_seen, k_max_seen);  // actually varied
+}
+
+TEST(RequirementAssignmentTest, ProfileSplitsStrictAndRelaxed) {
+  Dataset d = GenerateSyntheticGeoLife(FastOptions()).value();
+  Rng rng(5);
+  RequirementProfile profile;
+  profile.strict_fraction = 0.5;
+  AssignProfileRequirements(&d, profile, &rng);
+  size_t strict = 0, relaxed = 0;
+  for (const Trajectory& t : d.trajectories()) {
+    if (t.requirement().k == profile.strict_k) {
+      ++strict;
+    } else if (t.requirement().k == profile.relaxed_k) {
+      ++relaxed;
+    } else {
+      FAIL() << "unexpected k " << t.requirement().k;
+    }
+  }
+  EXPECT_GT(strict, 0u);
+  EXPECT_GT(relaxed, 0u);
+}
+
+TEST(SyntheticTest, OutlierFractionProducesLoners) {
+  SyntheticOptions options = FastOptions();
+  options.num_trajectories = 60;
+  options.outlier_fraction = 0.2;
+  const Dataset with = GenerateSyntheticGeoLife(options).value();
+  options.outlier_fraction = 0.0;
+  const Dataset without = GenerateSyntheticGeoLife(options).value();
+  ASSERT_EQ(with.size(), without.size());
+  EXPECT_TRUE(with.Validate().ok());
+  // Outliers meander instead of pacing a route, so the datasets differ and
+  // the outlier variant covers at least as much area.
+  bool any_diff = false;
+  for (size_t i = 0; i < with.size() && !any_diff; ++i) {
+    any_diff = !(with[i][0] == without[i][0]);
+  }
+  EXPECT_TRUE(any_diff);
+  // Every trajectory still has the exact requested point count.
+  for (const Trajectory& t : with.trajectories()) {
+    EXPECT_EQ(t.size(), options.points_per_trajectory);
+  }
+}
+
+TEST(SyntheticTest, OutlierFractionOneIsAllOutliers) {
+  SyntheticOptions options = FastOptions();
+  options.outlier_fraction = 1.0;
+  const Dataset d = GenerateSyntheticGeoLife(options).value();
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_EQ(d.size(), options.num_trajectories);
+  // Random walks stay inside the region.
+  const double half_side = options.region_half_diagonal / std::sqrt(2.0);
+  const BoundingBox box = d.Bounds();
+  EXPECT_GE(box.min_x(), -half_side - 1.0);
+  EXPECT_LE(box.max_x(), half_side + 1.0);
+}
+
+TEST(SyntheticTest, SmallSyntheticHelperIsUsable) {
+  const Dataset d = testing_util::SmallSynthetic();
+  EXPECT_EQ(d.size(), 40u);
+  EXPECT_TRUE(d.Validate().ok());
+  EXPECT_GE(d.MaxK(), 2);
+  EXPECT_GE(d.MinDelta(), 10.0);
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "segment/traclus.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+
+/// L-shaped trajectory: east for `leg` points then north for `leg` points.
+Trajectory MakeRightAngle(int64_t id, size_t leg, double step = 10.0) {
+  std::vector<Point> points;
+  double t = 0.0;
+  for (size_t i = 0; i < leg; ++i) {
+    points.emplace_back(step * static_cast<double>(i), 0.0, t);
+    t += 1.0;
+  }
+  const double corner_x = step * static_cast<double>(leg - 1);
+  for (size_t i = 1; i <= leg; ++i) {
+    points.emplace_back(corner_x, step * static_cast<double>(i), t);
+    t += 1.0;
+  }
+  return Trajectory(id, std::move(points));
+}
+
+TEST(TraclusPartitionTest, StraightLineHasNoInteriorCharPoints) {
+  const Trajectory t = MakeLine(1, 0, 0, 10, 0, 50);
+  const std::vector<size_t> cps = TraclusCharacteristicPoints(t, {});
+  ASSERT_GE(cps.size(), 2u);
+  EXPECT_EQ(cps.front(), 0u);
+  EXPECT_EQ(cps.back(), 49u);
+  // A perfectly straight path compresses to its two endpoints.
+  EXPECT_EQ(cps.size(), 2u);
+}
+
+TEST(TraclusPartitionTest, RightAngleGetsCutNearCorner) {
+  const Trajectory t = MakeRightAngle(1, 20);
+  const std::vector<size_t> cps = TraclusCharacteristicPoints(t, {});
+  ASSERT_GE(cps.size(), 3u);
+  // Some characteristic point must fall within a few samples of the corner
+  // (index 19).
+  bool near_corner = false;
+  for (size_t cp : cps) {
+    if (cp >= 16 && cp <= 22) {
+      near_corner = true;
+    }
+  }
+  EXPECT_TRUE(near_corner);
+}
+
+TEST(TraclusPartitionTest, HigherAdvantageMeansFewerCuts) {
+  // Noisy zig-zag: more MDL advantage -> coarser partitioning.
+  Rng rng(4);
+  std::vector<Point> points;
+  for (int i = 0; i < 200; ++i) {
+    points.emplace_back(i * 10.0, rng.UniformReal(-40, 40), i);
+  }
+  const Trajectory t(1, points);
+  TraclusOptions strict;
+  strict.mdl_advantage = 0.0;
+  TraclusOptions loose;
+  loose.mdl_advantage = 16.0;
+  EXPECT_GE(TraclusCharacteristicPoints(t, strict).size(),
+            TraclusCharacteristicPoints(t, loose).size());
+}
+
+TEST(TraclusPartitionTest, TinyTrajectories) {
+  EXPECT_TRUE(TraclusCharacteristicPoints(Trajectory(), {}).empty());
+  const Trajectory one(1, {Point(0, 0, 0)});
+  EXPECT_EQ(TraclusCharacteristicPoints(one, {}).size(), 1u);
+  const Trajectory two = MakeLine(1, 0, 0, 1, 0, 2);
+  const auto cps = TraclusCharacteristicPoints(two, {});
+  ASSERT_EQ(cps.size(), 2u);
+  EXPECT_EQ(cps[0], 0u);
+  EXPECT_EQ(cps[1], 1u);
+}
+
+TEST(TraclusSegmenterTest, PreservesEveryPointExactlyOnce) {
+  Dataset d = testing_util::SmallSynthetic(10, 80);
+  TraclusSegmenter segmenter;
+  Result<Dataset> segmented = segmenter.Segment(d);
+  ASSERT_TRUE(segmented.ok()) << segmented.status();
+  EXPECT_EQ(segmented->TotalPoints(), d.TotalPoints());
+  EXPECT_GE(segmented->size(), d.size());
+  EXPECT_TRUE(segmented->Validate().ok());
+}
+
+TEST(TraclusSegmenterTest, ChildrenInheritRequirementAndParent) {
+  Dataset d;
+  Trajectory t = MakeRightAngle(5, 15);
+  t.set_requirement(Requirement{7, 123.0});
+  t.set_object_id(3);
+  d.Add(t);
+  TraclusSegmenter segmenter;
+  Result<Dataset> segmented = segmenter.Segment(d);
+  ASSERT_TRUE(segmented.ok());
+  ASSERT_GE(segmented->size(), 2u);
+  std::set<int64_t> ids;
+  for (const Trajectory& sub : segmented->trajectories()) {
+    EXPECT_EQ(sub.parent_id(), 5);
+    EXPECT_EQ(sub.object_id(), 3);
+    EXPECT_EQ(sub.requirement().k, 7);
+    EXPECT_DOUBLE_EQ(sub.requirement().delta, 123.0);
+    EXPECT_TRUE(ids.insert(sub.id()).second) << "duplicate sub id";
+    EXPECT_GE(sub.size(), 2u);
+  }
+}
+
+TEST(TraclusSegmenterTest, MinPointsRespected) {
+  Dataset d;
+  d.Add(MakeRightAngle(1, 30));
+  TraclusOptions options;
+  options.min_sub_trajectory_points = 8;
+  TraclusSegmenter segmenter(options);
+  Result<Dataset> segmented = segmenter.Segment(d);
+  ASSERT_TRUE(segmented.ok());
+  for (const Trajectory& sub : segmented->trajectories()) {
+    EXPECT_GE(sub.size(), 8u);
+  }
+}
+
+TEST(ExtractCharacteristicSegmentsTest, TagsProvenance) {
+  Dataset d;
+  d.Add(MakeRightAngle(11, 10));
+  d.Add(MakeLine(22, 500, 500, 5, 0, 10));
+  const std::vector<TaggedSegment> segs =
+      ExtractCharacteristicSegments(d, {});
+  ASSERT_GE(segs.size(), 3u);
+  std::set<int64_t> sources;
+  for (const TaggedSegment& s : segs) {
+    sources.insert(s.trajectory_id);
+    EXPECT_GT(s.segment.Length(), 0.0);
+  }
+  EXPECT_EQ(sources.size(), 2u);
+}
+
+TEST(ClusterSegmentsTest, ParallelBundlesCluster) {
+  // Three bundles of 5 nearly identical segments, far apart.
+  std::vector<TaggedSegment> segments;
+  for (int bundle = 0; bundle < 3; ++bundle) {
+    const double base_y = bundle * 10000.0;
+    for (int i = 0; i < 5; ++i) {
+      segments.push_back(TaggedSegment{
+          LineSegment(Point(0, base_y + i * 2.0, 0),
+                      Point(500, base_y + i * 2.0, 0)),
+          bundle * 5 + i, 0});
+    }
+  }
+  TraclusOptions options;
+  options.eps = 50.0;
+  options.min_lines = 3;
+  const SegmentClustering clustering = ClusterSegments(segments, options);
+  EXPECT_EQ(clustering.num_clusters, 3);
+  for (int label : clustering.labels) {
+    EXPECT_GE(label, 0);
+  }
+}
+
+TEST(RepresentativeTrajectoryTest, AveragesParallelSegments) {
+  std::vector<TaggedSegment> segments;
+  std::vector<size_t> members;
+  for (int i = 0; i < 5; ++i) {
+    segments.push_back(TaggedSegment{
+        LineSegment(Point(0, i * 2.0, 0), Point(100, i * 2.0, 0)), i, 0});
+    members.push_back(i);
+  }
+  TraclusOptions options;
+  options.min_representative_lines = 3;
+  const Trajectory rep =
+      RepresentativeTrajectory(segments, members, options);
+  ASSERT_GE(rep.size(), 2u);
+  // The representative should run along y ~= 4 (mean of 0,2,4,6,8).
+  for (const Point& p : rep.points()) {
+    EXPECT_NEAR(p.y, 4.0, 1e-6);
+    EXPECT_GE(p.x, -1e-9);
+    EXPECT_LE(p.x, 100.0 + 1e-9);
+  }
+}
+
+TEST(RunTraclusTest, FullPipelineOnBundledLanes) {
+  // Three bundles of parallel lanes; the full pipeline should produce one
+  // cluster (and representative) per bundle.
+  Dataset d;
+  int64_t id = 0;
+  for (int bundle = 0; bundle < 3; ++bundle) {
+    const double base_y = bundle * 20000.0;
+    for (int lane = 0; lane < 4; ++lane) {
+      d.Add(MakeLine(id++, 0, base_y + lane * 3.0, 50, 0, 12));
+    }
+  }
+  TraclusOptions options;
+  options.eps = 100.0;
+  options.min_lines = 3;
+  options.min_representative_lines = 3;
+  const TraclusClusteringResult result = RunTraclus(d, options);
+  EXPECT_EQ(result.segments.size(), 12u);  // straight lanes: one segment each
+  EXPECT_EQ(result.clustering.num_clusters, 3);
+  ASSERT_EQ(result.representatives.size(), 3u);
+  for (const Trajectory& rep : result.representatives) {
+    EXPECT_GE(rep.size(), 2u);
+    // Representatives run along the lane direction (x), spanning the lanes.
+    EXPECT_GT(rep.back().x - rep.front().x, 100.0);
+  }
+}
+
+TEST(RunTraclusTest, EmptyDatasetYieldsEmptyResult) {
+  const TraclusClusteringResult result = RunTraclus(Dataset(), {});
+  EXPECT_TRUE(result.segments.empty());
+  EXPECT_EQ(result.clustering.num_clusters, 0);
+  EXPECT_TRUE(result.representatives.empty());
+}
+
+TEST(RepresentativeTrajectoryTest, EmptyWhenTooSparse) {
+  std::vector<TaggedSegment> segments = {
+      TaggedSegment{LineSegment(Point(0, 0, 0), Point(10, 0, 0)), 0, 0}};
+  TraclusOptions options;
+  options.min_representative_lines = 3;
+  EXPECT_TRUE(RepresentativeTrajectory(segments, {0}, options).empty());
+}
+
+}  // namespace
+}  // namespace wcop

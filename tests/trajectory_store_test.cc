@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "anon/utility.h"
+#include "mod/trajectory_store.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+using testing_util::SmallSynthetic;
+
+StRange Window(double x_lo, double x_hi, double y_lo, double y_hi,
+               double t_lo, double t_hi) {
+  StRange r;
+  r.x_lo = x_lo;
+  r.x_hi = x_hi;
+  r.y_lo = y_lo;
+  r.y_hi = y_hi;
+  r.t_lo = t_lo;
+  r.t_hi = t_hi;
+  return r;
+}
+
+TEST(TrajectoryStoreTest, BuildIndexesAllSegments) {
+  const Dataset d = SmallSynthetic(10, 30);
+  Result<TrajectoryStore> store = TrajectoryStore::Build(d);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ(store->size(), 10u);
+  // Every segment lands in at least one cell.
+  EXPECT_GE(store->num_segment_entries(), 10u * 29u);
+  EXPECT_GT(store->num_cells(), 0u);
+}
+
+TEST(TrajectoryStoreTest, RangeQueryFindsKnownTrajectory) {
+  Dataset d;
+  d.Add(MakeLine(1, 0, 0, 10, 0, 11));     // x: 0..100 over t: 0..10
+  d.Add(MakeLine(2, 0, 5000, 10, 0, 11));  // far north
+  Result<TrajectoryStore> store = TrajectoryStore::Build(d);
+  ASSERT_TRUE(store.ok());
+  const std::vector<int64_t> hits =
+      store->RangeQuery(Window(40, 60, -5, 5, 3, 7));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1);
+}
+
+TEST(TrajectoryStoreTest, RangeQueryMatchesLinearScan) {
+  const Dataset d = SmallSynthetic(30, 50);
+  Result<TrajectoryStore> store = TrajectoryStore::Build(d);
+  ASSERT_TRUE(store.ok());
+  Rng rng(21);
+  const std::vector<RangeQuery> queries =
+      GenerateRangeQueries(d, 40, 0.08, 0.05, &rng);
+  for (const RangeQuery& q : queries) {
+    // Reference: the utility module's linear scan.
+    std::set<int64_t> expected;
+    for (const Trajectory& t : d.trajectories()) {
+      if (TrajectoryMatchesQuery(t, q)) {
+        expected.insert(t.id());
+      }
+    }
+    const std::vector<int64_t> got = store->RangeQuery(
+        Window(q.x_lo, q.x_hi, q.y_lo, q.y_hi, q.t_lo, q.t_hi));
+    EXPECT_EQ(std::set<int64_t>(got.begin(), got.end()), expected);
+  }
+}
+
+TEST(TrajectoryStoreTest, NearestAtFindsAliveNeighbours) {
+  Dataset d;
+  d.Add(MakeLine(1, 0, 0, 1, 0, 11));      // at (5, 0) when t = 5
+  d.Add(MakeLine(2, 0, 100, 1, 0, 11));    // at (5, 100) when t = 5
+  d.Add(MakeLine(3, 0, 0, 1, 0, 11, 1.0, 100.0));  // not alive at t = 5
+  Result<TrajectoryStore> store = TrajectoryStore::Build(d);
+  ASSERT_TRUE(store.ok());
+  const std::vector<StNeighbor> nn = store->NearestAt(5.0, 1.0, 5.0, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0].trajectory_id, 1);
+  EXPECT_NEAR(nn[0].distance, 1.0, 1e-9);
+  EXPECT_EQ(nn[1].trajectory_id, 2);
+  EXPECT_NEAR(nn[1].distance, 99.0, 1e-9);
+}
+
+TEST(TrajectoryStoreTest, NearestAtMatchesBruteForce) {
+  const Dataset d = SmallSynthetic(25, 40);
+  Result<TrajectoryStore> store = TrajectoryStore::Build(d);
+  ASSERT_TRUE(store.ok());
+  Rng rng(31);
+  for (int round = 0; round < 20; ++round) {
+    const Trajectory& anchor = d[rng.UniformIndex(d.size())];
+    const Point& p = anchor[rng.UniformIndex(anchor.size())];
+    const double qx = p.x + rng.UniformReal(-500, 500);
+    const double qy = p.y + rng.UniformReal(-500, 500);
+    const double qt = p.t;
+
+    // Brute force.
+    std::vector<StNeighbor> expected;
+    for (const Trajectory& t : d.trajectories()) {
+      if (qt < t.StartTime() || qt > t.EndTime()) {
+        continue;
+      }
+      const Point pos = t.PositionAt(qt);
+      expected.push_back(
+          StNeighbor{t.id(), SpatialDistance(pos, Point(qx, qy, qt))});
+    }
+    std::sort(expected.begin(), expected.end(),
+              [](const StNeighbor& a, const StNeighbor& b) {
+                return a.distance < b.distance;
+              });
+    const size_t k = std::min<size_t>(3, expected.size());
+    const std::vector<StNeighbor> got = store->NearestAt(qx, qy, qt, 3);
+    ASSERT_EQ(got.size(), std::min<size_t>(3, expected.size()));
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(got[i].distance, expected[i].distance, 1e-6)
+          << "round " << round << " rank " << i;
+    }
+  }
+}
+
+TEST(TrajectoryStoreTest, MostSimilarRanksByConfiguredDistance) {
+  Dataset d;
+  d.Add(MakeLine(1, 0, 0, 10, 0, 20));
+  d.Add(MakeLine(2, 0, 50, 10, 0, 20));    // near-parallel, offset 50
+  d.Add(MakeLine(3, 0, 9999, 10, 0, 20));  // far away
+  Result<TrajectoryStore> store = TrajectoryStore::Build(d);
+  ASSERT_TRUE(store.ok());
+  DistanceConfig config;
+  config.kind = DistanceConfig::Kind::kSynchronizedEuclidean;
+  const Trajectory probe = MakeLine(99, 0, 1, 10, 0, 20);
+  const std::vector<StNeighbor> similar = store->MostSimilar(probe, 2, config);
+  ASSERT_EQ(similar.size(), 2u);
+  EXPECT_EQ(similar[0].trajectory_id, 1);
+  EXPECT_EQ(similar[1].trajectory_id, 2);
+}
+
+TEST(TrajectoryStoreTest, SinglePointTrajectoriesAreQueryable) {
+  Dataset d;
+  d.Add(Trajectory(5, {Point(10, 10, 10)}));
+  Result<TrajectoryStore> store = TrajectoryStore::Build(d);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->RangeQuery(Window(0, 20, 0, 20, 0, 20)).size(), 1u);
+  EXPECT_TRUE(store->RangeQuery(Window(0, 20, 0, 20, 11, 20)).empty());
+}
+
+TEST(TrajectoryStoreTest, BuildRejectsInvalidData) {
+  Dataset d;
+  d.Add(Trajectory(1, {Point(0, 0, 5), Point(1, 1, 4)}));  // bad times
+  EXPECT_FALSE(TrajectoryStore::Build(d).ok());
+}
+
+TEST(TrajectoryStoreTest, ExplicitCellSizing) {
+  const Dataset d = SmallSynthetic(10, 30);
+  TrajectoryStoreOptions fine_options;
+  fine_options.cell_size = 20.0;
+  fine_options.time_bucket = 60.0;
+  TrajectoryStoreOptions coarse_options;
+  coarse_options.cell_size = 5000.0;
+  coarse_options.time_bucket = 86400.0;
+  Result<TrajectoryStore> fine = TrajectoryStore::Build(d, fine_options);
+  Result<TrajectoryStore> coarse = TrajectoryStore::Build(d, coarse_options);
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse.ok());
+  // Finer cells -> at least as many cell entries.
+  EXPECT_GE(fine->num_cells(), coarse->num_cells());
+}
+
+}  // namespace
+}  // namespace wcop

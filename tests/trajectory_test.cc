@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "traj/trajectory.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+
+TEST(TrajectoryTest, BasicAccessors) {
+  Trajectory t = MakeLine(7, 0, 0, 1, 0, 5);
+  EXPECT_EQ(t.id(), 7);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_FALSE(t.empty());
+  EXPECT_DOUBLE_EQ(t.StartTime(), 0.0);
+  EXPECT_DOUBLE_EQ(t.EndTime(), 4.0);
+  EXPECT_DOUBLE_EQ(t.Duration(), 4.0);
+}
+
+TEST(TrajectoryTest, PathLengthAndSpeed) {
+  Trajectory t = MakeLine(1, 0, 0, 3, 4, 3);  // two hops of length 5
+  EXPECT_DOUBLE_EQ(t.PathLength(), 10.0);
+  EXPECT_DOUBLE_EQ(t.AverageSpeed(), 5.0);  // 10 m over 2 s
+}
+
+TEST(TrajectoryTest, DegenerateSpeedIsZero) {
+  Trajectory single(1, {Point(1, 1, 0)});
+  EXPECT_DOUBLE_EQ(single.AverageSpeed(), 0.0);
+}
+
+TEST(TrajectoryTest, PositionAtInterpolatesLinearly) {
+  Trajectory t(1, {Point(0, 0, 0), Point(10, 20, 10)});
+  const Point mid = t.PositionAt(5.0);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 10.0);
+  EXPECT_DOUBLE_EQ(mid.t, 5.0);
+  const Point quarter = t.PositionAt(2.5);
+  EXPECT_DOUBLE_EQ(quarter.x, 2.5);
+  EXPECT_DOUBLE_EQ(quarter.y, 5.0);
+}
+
+TEST(TrajectoryTest, PositionAtClampsOutsideLifetime) {
+  Trajectory t(1, {Point(1, 2, 10), Point(3, 4, 20)});
+  const Point before = t.PositionAt(0.0);
+  EXPECT_DOUBLE_EQ(before.x, 1.0);
+  EXPECT_DOUBLE_EQ(before.y, 2.0);
+  EXPECT_DOUBLE_EQ(before.t, 0.0);
+  const Point after = t.PositionAt(100.0);
+  EXPECT_DOUBLE_EQ(after.x, 3.0);
+  EXPECT_DOUBLE_EQ(after.y, 4.0);
+}
+
+TEST(TrajectoryTest, PositionAtExactSamples) {
+  Trajectory t = MakeLine(1, 0, 0, 2, 1, 10);
+  for (size_t i = 0; i < t.size(); ++i) {
+    const Point p = t.PositionAt(t[i].t);
+    EXPECT_DOUBLE_EQ(p.x, t[i].x);
+    EXPECT_DOUBLE_EQ(p.y, t[i].y);
+  }
+}
+
+TEST(TrajectoryTest, ValidateAcceptsWellFormed) {
+  Trajectory t = MakeLine(1, 0, 0, 1, 1, 10);
+  EXPECT_TRUE(t.Validate().ok());
+}
+
+TEST(TrajectoryTest, ValidateRejectsEmpty) {
+  Trajectory t;
+  EXPECT_EQ(t.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TrajectoryTest, ValidateRejectsNonIncreasingTime) {
+  Trajectory t(1, {Point(0, 0, 5), Point(1, 1, 5)});
+  EXPECT_FALSE(t.Validate().ok());
+  Trajectory t2(1, {Point(0, 0, 5), Point(1, 1, 4)});
+  EXPECT_FALSE(t2.Validate().ok());
+}
+
+TEST(TrajectoryTest, ValidateRejectsNonFinite) {
+  Trajectory t(1, {Point(0, 0, 0), Point(std::nan(""), 1, 1)});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TrajectoryTest, ValidateRejectsBadRequirement) {
+  Trajectory t = MakeLine(1, 0, 0, 1, 1, 3);
+  t.set_requirement(Requirement{0, 10.0});
+  EXPECT_FALSE(t.Validate().ok());
+  t.set_requirement(Requirement{2, -1.0});
+  EXPECT_FALSE(t.Validate().ok());
+}
+
+TEST(TrajectoryTest, SliceInheritsMetadata) {
+  Trajectory t = MakeLine(42, 0, 0, 1, 0, 10);
+  t.set_object_id(3);
+  t.set_requirement(Requirement{5, 100.0});
+  const Trajectory sub = t.Slice(2, 6, 99);
+  EXPECT_EQ(sub.id(), 99);
+  EXPECT_EQ(sub.object_id(), 3);
+  EXPECT_EQ(sub.parent_id(), 42);
+  EXPECT_TRUE(sub.is_sub_trajectory());
+  EXPECT_EQ(sub.requirement().k, 5);
+  EXPECT_EQ(sub.size(), 4u);
+  EXPECT_DOUBLE_EQ(sub.front().t, 2.0);
+  EXPECT_DOUBLE_EQ(sub.back().t, 5.0);
+}
+
+TEST(TrajectoryTest, SliceClampsOutOfRange) {
+  Trajectory t = MakeLine(1, 0, 0, 1, 0, 5);
+  EXPECT_EQ(t.Slice(3, 100, 2).size(), 2u);
+  EXPECT_EQ(t.Slice(10, 20, 3).size(), 0u);
+}
+
+TEST(TrajectoryTest, BoundsCoverAllPoints) {
+  Trajectory t(1, {Point(-5, 2, 0), Point(7, -3, 1), Point(0, 9, 2)});
+  const BoundingBox box = t.Bounds();
+  EXPECT_DOUBLE_EQ(box.min_x(), -5.0);
+  EXPECT_DOUBLE_EQ(box.max_x(), 7.0);
+  EXPECT_DOUBLE_EQ(box.min_y(), -3.0);
+  EXPECT_DOUBLE_EQ(box.max_y(), 9.0);
+}
+
+TEST(TrajectoryTest, DebugStringMentionsKeyFields) {
+  Trajectory t = MakeLine(5, 0, 0, 1, 0, 3);
+  t.set_requirement(Requirement{4, 77.0});
+  const std::string s = t.DebugString();
+  EXPECT_NE(s.find("id=5"), std::string::npos);
+  EXPECT_NE(s.find("k=4"), std::string::npos);
+  EXPECT_NE(s.find("points=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "anon/colocalization.h"
+#include "anon/translation.h"
+#include "geo/disk.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+
+EdrTolerance Tol(double dx, double dy, double dt) {
+  EdrTolerance t;
+  t.dx = dx;
+  t.dy = dy;
+  t.dt = dt;
+  return t;
+}
+
+TEST(TranslationTest, OutputAlignsWithPivotTimeline) {
+  const Trajectory traj = MakeLine(1, 0, 0, 1, 0, 8);
+  const Trajectory pivot = MakeLine(2, 100, 100, 1, 0, 12);
+  Rng rng(1);
+  TranslationStats stats;
+  const Trajectory out =
+      TranslateToPivot(traj, pivot, 50.0, Tol(5, 5, 5), &rng, &stats);
+  ASSERT_EQ(out.size(), pivot.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].t, pivot[i].t);
+    EXPECT_TRUE(InsideDisk(out[i], pivot[i], 25.0));
+  }
+  EXPECT_TRUE(out.Validate().ok());
+}
+
+TEST(TranslationTest, SelfTranslationIsIdentityUpToDisk) {
+  const Trajectory pivot = MakeLine(2, 10, 10, 3, 1, 15);
+  Rng rng(1);
+  TranslationStats stats;
+  const Trajectory out =
+      TranslateToPivot(pivot, pivot, 40.0, Tol(1, 1, 0.5), &rng, &stats);
+  ASSERT_EQ(out.size(), pivot.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].x, pivot[i].x);
+    EXPECT_DOUBLE_EQ(out[i].y, pivot[i].y);
+  }
+  EXPECT_EQ(stats.created_points, 0u);
+  EXPECT_EQ(stats.deleted_points, 0u);
+  EXPECT_EQ(stats.matched_points, pivot.size());
+  EXPECT_DOUBLE_EQ(stats.spatial_translation, 0.0);
+}
+
+TEST(TranslationTest, MembersBecomeColocalizedPairwise) {
+  // Several members translated to the same pivot are pairwise co-localized
+  // w.r.t. delta (each within delta/2 of the pivot point).
+  const Trajectory pivot = MakeLine(0, 0, 0, 2, 1, 20);
+  const double delta = 30.0;
+  Rng rng(5);
+  TranslationStats stats;
+  std::vector<Trajectory> members;
+  for (int i = 1; i <= 4; ++i) {
+    const Trajectory m = MakeLine(i, i * 100.0, -i * 50.0, 2, 1, 10 + i * 3);
+    members.push_back(
+        TranslateToPivot(m, pivot, delta, Tol(10, 10, 5), &rng, &stats));
+  }
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      EXPECT_TRUE(Colocalized(members[i], members[j], delta));
+    }
+  }
+}
+
+TEST(TranslationTest, StatsAccountForAllPoints) {
+  const Trajectory traj = MakeLine(1, 1000, 1000, 1, 0, 9);
+  const Trajectory pivot = MakeLine(2, 0, 0, 1, 0, 6);
+  Rng rng(7);
+  TranslationStats stats;
+  const Trajectory out =
+      TranslateToPivot(traj, pivot, 10.0, Tol(1, 1, 1e9), &rng, &stats);
+  // Every traj point is matched or deleted; every pivot point matched or
+  // recreated.
+  EXPECT_EQ(stats.matched_points + stats.deleted_points, traj.size());
+  EXPECT_EQ(stats.matched_points + stats.created_points, pivot.size());
+  EXPECT_EQ(out.size(), pivot.size());
+}
+
+TEST(TranslationTest, MaxTranslationBoundsIndividualMoves) {
+  const Trajectory traj = MakeLine(1, 500, 0, 1, 0, 10);
+  const Trajectory pivot = MakeLine(2, 0, 0, 1, 0, 10);
+  Rng rng(2);
+  TranslationStats stats;
+  TranslateToPivot(traj, pivot, 20.0, Tol(1e6, 1e6, 1e6), &rng, &stats);
+  // Matched moves are ~490 m (pull to 10 m disk boundary).
+  EXPECT_NEAR(stats.max_translation, 490.0, 1.0);
+  EXPECT_GE(stats.max_translation * stats.matched_points,
+            stats.spatial_translation);
+}
+
+TEST(TranslationTest, TemporalTranslationCountsTimeShifts) {
+  // Same spatial line, shifted 3 s in time; huge tolerances force matches.
+  const Trajectory traj = MakeLine(1, 0, 0, 1, 0, 10, 1.0, 3.0);
+  const Trajectory pivot = MakeLine(2, 0, 0, 1, 0, 10, 1.0, 0.0);
+  Rng rng(2);
+  TranslationStats stats;
+  const Trajectory out =
+      TranslateToPivot(traj, pivot, 10.0, Tol(1e6, 1e6, 1e6), &rng, &stats);
+  EXPECT_EQ(stats.matched_points, 10u);
+  EXPECT_NEAR(stats.temporal_translation, 30.0, 1e-9);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out[i].t, pivot[i].t);
+  }
+}
+
+TEST(TranslationTest, ZeroDeltaCollapsesOntoPivot) {
+  const Trajectory traj = MakeLine(1, 50, 50, 1, 0, 10);
+  const Trajectory pivot = MakeLine(2, 0, 0, 1, 0, 10);
+  Rng rng(2);
+  TranslationStats stats;
+  const Trajectory out =
+      TranslateToPivot(traj, pivot, 0.0, Tol(1e6, 1e6, 1e6), &rng, &stats);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_NEAR(out[i].x, pivot[i].x, 1e-9);
+    EXPECT_NEAR(out[i].y, pivot[i].y, 1e-9);
+  }
+}
+
+TEST(TranslationTest, PreservesIdentityMetadata) {
+  Trajectory traj = MakeLine(1, 0, 0, 1, 0, 5);
+  traj.set_object_id(77);
+  traj.set_requirement(Requirement{4, 60.0});
+  const Trajectory pivot = MakeLine(2, 10, 0, 1, 0, 5);
+  Rng rng(2);
+  TranslationStats stats;
+  const Trajectory out =
+      TranslateToPivot(traj, pivot, 30.0, Tol(20, 20, 5), &rng, &stats);
+  EXPECT_EQ(out.id(), 1);
+  EXPECT_EQ(out.object_id(), 77);
+  EXPECT_EQ(out.requirement().k, 4);
+}
+
+TEST(TranslationTest, NullStatsPointerIsAllowed) {
+  const Trajectory traj = MakeLine(1, 0, 0, 1, 0, 5);
+  const Trajectory pivot = MakeLine(2, 10, 0, 1, 0, 5);
+  Rng rng(2);
+  const Trajectory out =
+      TranslateToPivot(traj, pivot, 30.0, Tol(20, 20, 5), &rng, nullptr);
+  EXPECT_EQ(out.size(), pivot.size());
+}
+
+}  // namespace
+}  // namespace wcop

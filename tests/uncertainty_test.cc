@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "anon/uncertainty.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+
+TEST(UncertaintyTest, VolumeMembershipBasics) {
+  const Trajectory t = MakeLine(1, 0, 0, 10, 0, 11);  // x = 10t, [0, 10]
+  // On the expected curve.
+  EXPECT_TRUE(InsideTrajectoryVolume(t, 20.0, Point(50, 0, 5)));
+  // Within delta/2 = 10 laterally.
+  EXPECT_TRUE(InsideTrajectoryVolume(t, 20.0, Point(50, 9.9, 5)));
+  // Beyond delta/2.
+  EXPECT_FALSE(InsideTrajectoryVolume(t, 20.0, Point(50, 10.5, 5)));
+  // Outside the lifetime.
+  EXPECT_FALSE(InsideTrajectoryVolume(t, 20.0, Point(0, 0, -1)));
+  EXPECT_FALSE(InsideTrajectoryVolume(t, 20.0, Point(100, 0, 11)));
+}
+
+TEST(UncertaintyTest, TrajectoryIsItsOwnPmc) {
+  const Trajectory t = MakeLine(1, 5, 5, 3, 1, 20);
+  EXPECT_TRUE(IsPossibleMotionCurve(t, t, 0.0));
+  EXPECT_TRUE(IsPossibleMotionCurve(t, t, 100.0));
+}
+
+TEST(UncertaintyTest, ShiftedCurveIsPmcIffWithinHalfDelta) {
+  const Trajectory t = MakeLine(1, 0, 0, 10, 0, 11);
+  const Trajectory shifted = MakeLine(2, 0, 4, 10, 0, 11);  // +4 north
+  EXPECT_TRUE(IsPossibleMotionCurve(shifted, t, 8.0));    // 4 <= 8/2
+  EXPECT_FALSE(IsPossibleMotionCurve(shifted, t, 7.0));   // 4 > 7/2
+}
+
+TEST(UncertaintyTest, DifferentLifetimeIsNotPmc) {
+  const Trajectory t = MakeLine(1, 0, 0, 10, 0, 11);
+  const Trajectory longer = MakeLine(2, 0, 0, 10, 0, 12);
+  EXPECT_FALSE(IsPossibleMotionCurve(longer, t, 1000.0));
+}
+
+TEST(UncertaintyTest, SampledPmcIsAlwaysValid) {
+  Rng rng(7);
+  const Trajectory t = MakeLine(1, 100, -50, 7, 3, 60);
+  for (double delta : {1.0, 10.0, 100.0}) {
+    for (double smoothness : {0.1, 0.5, 1.0}) {
+      const Trajectory pmc =
+          SamplePossibleMotionCurve(t, delta, &rng, smoothness);
+      ASSERT_EQ(pmc.size(), t.size());
+      EXPECT_TRUE(IsPossibleMotionCurve(pmc, t, delta))
+          << "delta=" << delta << " smoothness=" << smoothness;
+      EXPECT_TRUE(pmc.Validate().ok());
+    }
+  }
+}
+
+TEST(UncertaintyTest, SampledPmcKeepsMetadataAndTimestamps) {
+  Rng rng(9);
+  Trajectory t = MakeLine(4, 0, 0, 5, 5, 20);
+  t.set_object_id(8);
+  t.set_requirement(Requirement{6, 77.0});
+  const Trajectory pmc = SamplePossibleMotionCurve(t, 50.0, &rng);
+  EXPECT_EQ(pmc.id(), 4);
+  EXPECT_EQ(pmc.object_id(), 8);
+  EXPECT_EQ(pmc.requirement().k, 6);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pmc[i].t, t[i].t);
+  }
+}
+
+TEST(UncertaintyTest, ZeroDeltaPmcEqualsBase) {
+  Rng rng(3);
+  const Trajectory t = MakeLine(1, 10, 20, 2, 2, 15);
+  const Trajectory pmc = SamplePossibleMotionCurve(t, 0.0, &rng);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(pmc[i].x, t[i].x, 1e-12);
+    EXPECT_NEAR(pmc[i].y, t[i].y, 1e-12);
+  }
+}
+
+TEST(UncertaintyTest, SmootherPmcsDriftLessBetweenSteps) {
+  Rng rng_a(5), rng_b(5);
+  const Trajectory t = MakeLine(1, 0, 0, 1, 0, 200);
+  const Trajectory smooth = SamplePossibleMotionCurve(t, 100.0, &rng_a, 0.05);
+  const Trajectory rough = SamplePossibleMotionCurve(t, 100.0, &rng_b, 1.0);
+  auto mean_step = [&](const Trajectory& pmc) {
+    double total = 0.0;
+    for (size_t i = 1; i < pmc.size(); ++i) {
+      // Offset change between consecutive vertices.
+      const double ox = (pmc[i].x - t[i].x) - (pmc[i - 1].x - t[i - 1].x);
+      const double oy = (pmc[i].y - t[i].y) - (pmc[i - 1].y - t[i - 1].y);
+      total += std::sqrt(ox * ox + oy * oy);
+    }
+    return total / static_cast<double>(pmc.size() - 1);
+  };
+  EXPECT_LT(mean_step(smooth), mean_step(rough));
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "anon/utility.h"
+#include "anon/wcop_ct.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::MakeLine;
+using testing_util::SmallSynthetic;
+
+RangeQuery Box(double x_lo, double x_hi, double y_lo, double y_hi,
+               double t_lo, double t_hi) {
+  RangeQuery q;
+  q.x_lo = x_lo;
+  q.x_hi = x_hi;
+  q.y_lo = y_lo;
+  q.y_hi = y_hi;
+  q.t_lo = t_lo;
+  q.t_hi = t_hi;
+  return q;
+}
+
+TEST(RangeQueryTest, PointInsideBoxAndWindow) {
+  const Trajectory t = MakeLine(1, 0, 0, 10, 0, 11);  // x = 10t over [0,10]
+  EXPECT_TRUE(TrajectoryMatchesQuery(t, Box(40, 60, -5, 5, 3, 7)));
+}
+
+TEST(RangeQueryTest, RightPlaceWrongTime) {
+  const Trajectory t = MakeLine(1, 0, 0, 10, 0, 11);
+  // The trajectory is near x=50 only around t=5; query the same box at the
+  // start of the window.
+  EXPECT_FALSE(TrajectoryMatchesQuery(t, Box(40, 60, -5, 5, 0, 1)));
+}
+
+TEST(RangeQueryTest, WrongPlaceRightTime) {
+  const Trajectory t = MakeLine(1, 0, 0, 10, 0, 11);
+  EXPECT_FALSE(TrajectoryMatchesQuery(t, Box(40, 60, 100, 200, 3, 7)));
+}
+
+TEST(RangeQueryTest, SegmentCrossingBoxWithoutVertexInside) {
+  // One long segment passes through a small box between its endpoints.
+  const Trajectory t(1, {Point(-100, -100, 0), Point(100, 100, 10)});
+  EXPECT_TRUE(TrajectoryMatchesQuery(t, Box(-5, 5, -5, 5, 0, 10)));
+  // The same box but in a time slice when the object is elsewhere.
+  EXPECT_FALSE(TrajectoryMatchesQuery(t, Box(-5, 5, -5, 5, 8, 10)));
+}
+
+TEST(RangeQueryTest, LifetimeDisjointWindow) {
+  const Trajectory t = MakeLine(1, 0, 0, 1, 0, 5, 1.0, 100.0);  // [100,104]
+  EXPECT_FALSE(TrajectoryMatchesQuery(t, Box(-10, 10, -10, 10, 0, 50)));
+}
+
+TEST(RangeQueryTest, EmptyAndSinglePoint) {
+  EXPECT_FALSE(TrajectoryMatchesQuery(Trajectory(), Box(0, 1, 0, 1, 0, 1)));
+  const Trajectory single(1, {Point(5, 5, 5)});
+  EXPECT_TRUE(TrajectoryMatchesQuery(single, Box(0, 10, 0, 10, 0, 10)));
+  EXPECT_FALSE(TrajectoryMatchesQuery(single, Box(6, 10, 0, 10, 0, 10)));
+}
+
+TEST(RangeQueryTest, CountMatches) {
+  Dataset d;
+  d.Add(MakeLine(0, 0, 0, 1, 0, 10));
+  d.Add(MakeLine(1, 0, 100, 1, 0, 10));
+  d.Add(MakeLine(2, 0, 200, 1, 0, 10));
+  EXPECT_EQ(CountMatches(d, Box(-1, 20, -1, 101, 0, 10)), 2u);
+}
+
+TEST(RangeQueryTest, GeneratorProducesQueriesOnPopulatedSpace) {
+  const Dataset d = SmallSynthetic(20, 40);
+  Rng rng(3);
+  const std::vector<RangeQuery> queries =
+      GenerateRangeQueries(d, 50, 0.05, 0.01, &rng);
+  ASSERT_EQ(queries.size(), 50u);
+  size_t hits = 0;
+  for (const RangeQuery& q : queries) {
+    EXPECT_LT(q.x_lo, q.x_hi);
+    EXPECT_LT(q.t_lo, q.t_hi);
+    hits += CountMatches(d, q);
+  }
+  // Queries centred on recorded points must hit at least their own source.
+  EXPECT_GE(hits, queries.size());
+}
+
+TEST(RangeQueryDistortionTest, IdenticalDatasetsHaveZeroError) {
+  const Dataset d = SmallSynthetic(15, 40);
+  Rng rng(5);
+  const auto queries = GenerateRangeQueries(d, 30, 0.05, 0.01, &rng);
+  const RangeQueryDistortionResult r = RangeQueryDistortion(d, d, queries);
+  EXPECT_EQ(r.num_queries, 30u);
+  EXPECT_DOUBLE_EQ(r.mean_absolute_error, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_relative_error, 0.0);
+  EXPECT_EQ(r.total_original_matches, r.total_sanitized_matches);
+}
+
+TEST(RangeQueryDistortionTest, AnonymizationIncreasesErrorModerately) {
+  const Dataset d = SmallSynthetic(40, 50);
+  Result<AnonymizationResult> result = RunWcopCt(d);
+  ASSERT_TRUE(result.ok());
+  Rng rng(5);
+  const auto queries = GenerateRangeQueries(d, 40, 0.05, 0.02, &rng);
+  const RangeQueryDistortionResult r =
+      RangeQueryDistortion(d, result->sanitized, queries);
+  // Anonymization moves points, so some queries answer differently (a
+  // small query can even gain matches when a cluster translates into it,
+  // pushing the per-query ratio above 1)...
+  EXPECT_GT(r.mean_relative_error, 0.0);
+  EXPECT_LT(r.mean_relative_error, 3.0);
+  // ...but the aggregate answer volume stays the same order of magnitude.
+  EXPECT_GT(r.total_sanitized_matches, r.total_original_matches / 4);
+  EXPECT_LT(r.total_sanitized_matches, r.total_original_matches * 4);
+}
+
+TEST(SpatialDensityDivergenceTest, IdenticalIsZero) {
+  const Dataset d = SmallSynthetic(10, 40);
+  EXPECT_DOUBLE_EQ(SpatialDensityDivergence(d, d), 0.0);
+}
+
+TEST(SpatialDensityDivergenceTest, DisjointIsOne) {
+  Dataset a, b;
+  a.Add(MakeLine(0, 0, 0, 1, 0, 50));
+  b.Add(MakeLine(0, 1e6, 1e6, 1, 0, 50));
+  EXPECT_NEAR(SpatialDensityDivergence(a, b), 1.0, 1e-9);
+}
+
+TEST(SpatialDensityDivergenceTest, AnonymizedStaysClose) {
+  const Dataset d = SmallSynthetic(40, 50);
+  Result<AnonymizationResult> result = RunWcopCt(d);
+  ASSERT_TRUE(result.ok());
+  const double divergence = SpatialDensityDivergence(d, result->sanitized);
+  EXPECT_GT(divergence, 0.0);
+  EXPECT_LT(divergence, 0.9);  // the published data still covers the city
+}
+
+TEST(SpatialDensityDivergenceTest, DegenerateInputs) {
+  const Dataset d = SmallSynthetic(5, 20);
+  EXPECT_DOUBLE_EQ(SpatialDensityDivergence(Dataset(), Dataset()), 0.0);
+  EXPECT_DOUBLE_EQ(SpatialDensityDivergence(d, Dataset()), 1.0);
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "anon/verifier.h"
+#include "anon/wcop_ct.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::SmallSynthetic;
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = SmallSynthetic(30, 40);
+    Result<AnonymizationResult> result = RunWcopCt(dataset_);
+    ASSERT_TRUE(result.ok()) << result.status();
+    result_ = std::move(result).value();
+    ASSERT_TRUE(VerifyAnonymity(dataset_, result_).ok);
+  }
+
+  Dataset dataset_;
+  AnonymizationResult result_;
+};
+
+TEST_F(VerifierTest, DetectsDisplacedPoint) {
+  // Teleport one published point far away: some pair in its cluster stops
+  // being co-localized.
+  ASSERT_FALSE(result_.sanitized.empty());
+  result_.sanitized[0].mutable_points()[0].x += 1e7;
+  const VerificationReport report = VerifyAnonymity(dataset_, result_);
+  EXPECT_FALSE(report.ok);
+  EXPECT_GT(report.violations, 0u);
+}
+
+TEST_F(VerifierTest, DetectsMissingPublication) {
+  // Drop a published trajectory without recording it as trash.
+  auto& trajectories = result_.sanitized.mutable_trajectories();
+  trajectories.pop_back();
+  const VerificationReport report = VerifyAnonymity(dataset_, result_);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST_F(VerifierTest, DetectsDoubleAccounting) {
+  // Mark a published trajectory as trashed too.
+  result_.trashed_ids.push_back(result_.sanitized[0].id());
+  const VerificationReport report = VerifyAnonymity(dataset_, result_);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST_F(VerifierTest, DetectsUndersizedCluster) {
+  // Claim a higher k than the cluster can honour.
+  ASSERT_FALSE(result_.clusters.empty());
+  result_.clusters[0].k =
+      static_cast<int>(result_.clusters[0].members.size()) + 5;
+  const VerificationReport report = VerifyAnonymity(dataset_, result_);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST_F(VerifierTest, DetectsDeltaAboveMemberPreference) {
+  // Inflate a cluster's delta beyond some member's personal delta.
+  ASSERT_FALSE(result_.clusters.empty());
+  result_.clusters[0].delta = 1e9;
+  const VerificationReport report = VerifyAnonymity(dataset_, result_);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST_F(VerifierTest, DetectsTamperedObjectId) {
+  result_.sanitized[0].set_object_id(result_.sanitized[0].object_id() + 1);
+  const VerificationReport report = VerifyAnonymity(dataset_, result_);
+  EXPECT_FALSE(report.ok);
+}
+
+TEST_F(VerifierTest, MessageCapRespected) {
+  // Corrupt everything by *different* amounts (a uniform shift would leave
+  // pairwise distances intact); messages stay capped while violations keep
+  // counting.
+  double shift = 1e7;
+  for (Trajectory& t : result_.sanitized.mutable_trajectories()) {
+    t.mutable_points()[0].x += shift;
+    shift *= 2.0;
+  }
+  const VerificationReport report =
+      VerifyAnonymity(dataset_, result_, /*max_messages=*/3);
+  EXPECT_FALSE(report.ok);
+  EXPECT_LE(report.messages.size(), 3u);
+  EXPECT_GE(report.violations, report.messages.size());
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "anon/verifier.h"
+#include "anon/wcop_nv.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::SmallSynthetic;
+
+TEST(WcopNvTest, PassesVerifier) {
+  const Dataset d = SmallSynthetic(40, 50, /*k_max=*/4);
+  Result<AnonymizationResult> result = RunWcopNv(d);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const VerificationReport report = VerifyAnonymity(d, *result);
+  EXPECT_TRUE(report.ok) << (report.messages.empty()
+                                 ? "no messages"
+                                 : report.messages.front());
+}
+
+TEST(WcopNvTest, EveryClusterMeetsUniversalK) {
+  const Dataset d = SmallSynthetic(40, 50, /*k_max=*/4);
+  const int k_uni = d.MaxK();
+  const double delta_uni = d.MinDelta();
+  Result<AnonymizationResult> result = RunWcopNv(d);
+  ASSERT_TRUE(result.ok());
+  for (const AnonymityCluster& c : result->clusters) {
+    EXPECT_GE(c.members.size(), static_cast<size_t>(k_uni));
+    EXPECT_DOUBLE_EQ(c.delta, delta_uni);
+  }
+}
+
+TEST(WcopNvTest, OveranonymizesRelativeToPersonalized) {
+  // The motivating claim of the paper: universal k = max k_i forces larger
+  // clusters (coarser published data, fewer clusters) than the
+  // personalized per-cluster k of WCOP-CT.
+  const Dataset d = SmallSynthetic(50, 40, /*k_max=*/5);
+  Result<AnonymizationResult> nv = RunWcopNv(d);
+  ASSERT_TRUE(nv.ok());
+  // Minimum cluster size under NV is k_uni; WCOP-CT can create clusters as
+  // small as 2, so NV can never have more clusters on the same data.
+  size_t min_size = d.size();
+  for (const AnonymityCluster& c : nv->clusters) {
+    min_size = std::min(min_size, c.members.size());
+  }
+  EXPECT_GE(min_size, static_cast<size_t>(d.MaxK()));
+}
+
+TEST(W4mTest, UniversalParametersApplied) {
+  const Dataset d = SmallSynthetic(30, 40);
+  Result<AnonymizationResult> result = RunW4m(d, /*k=*/3, /*delta=*/120.0);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const AnonymityCluster& c : result->clusters) {
+    EXPECT_GE(c.members.size(), 3u);
+    EXPECT_DOUBLE_EQ(c.delta, 120.0);
+  }
+}
+
+TEST(W4mTest, RejectsBadUniversalParameters) {
+  const Dataset d = SmallSynthetic(10, 30);
+  EXPECT_FALSE(RunW4m(d, 0, 100.0).ok());
+  EXPECT_FALSE(RunW4m(d, 2, -5.0).ok());
+}
+
+TEST(WcopNvTest, RejectsEmptyDataset) {
+  EXPECT_FALSE(RunWcopNv(Dataset()).ok());
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "anon/verifier.h"
+#include "anon/wcop_sa.h"
+#include "segment/convoy.h"
+#include "segment/traclus.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::SmallSynthetic;
+
+TEST(WcopSaTest, TraclusVariantPassesVerifierOnSegmentedInput) {
+  const Dataset d = SmallSynthetic(25, 60, /*k_max=*/4);
+  TraclusSegmenter segmenter;
+  Result<WcopSaResult> result = RunWcopSa(d, &segmenter);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The anonymization's guarantees are stated over the segmented dataset.
+  const VerificationReport report =
+      VerifyAnonymity(result->segmented, result->anonymization);
+  EXPECT_TRUE(report.ok) << (report.messages.empty()
+                                 ? "no messages"
+                                 : report.messages.front());
+  EXPECT_GE(result->segmented.size(), d.size());
+  EXPECT_EQ(result->anonymization.report.input_trajectories,
+            result->segmented.size());
+}
+
+TEST(WcopSaTest, ConvoyVariantRuns) {
+  const Dataset d = SmallSynthetic(25, 60, /*k_max=*/4);
+  ConvoyOptions convoy_options;
+  convoy_options.min_objects = 2;
+  convoy_options.eps = 300.0;
+  convoy_options.min_duration_snapshots = 3;
+  convoy_options.snapshot_interval = 30.0;
+  ConvoySegmenter segmenter(convoy_options);
+  Result<WcopSaResult> result = RunWcopSa(d, &segmenter);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const VerificationReport report =
+      VerifyAnonymity(result->segmented, result->anonymization);
+  EXPECT_TRUE(report.ok);
+  // Convoy segmentation preserves the point count.
+  EXPECT_EQ(result->segmented.TotalPoints(), d.TotalPoints());
+}
+
+TEST(WcopSaTest, SubTrajectoriesKeepParentRequirements) {
+  const Dataset d = SmallSynthetic(15, 60);
+  TraclusSegmenter segmenter;
+  Result<WcopSaResult> result = RunWcopSa(d, &segmenter);
+  ASSERT_TRUE(result.ok());
+  for (const Trajectory& sub : result->segmented.trajectories()) {
+    ASSERT_TRUE(sub.is_sub_trajectory());
+    const Trajectory* parent = d.FindById(sub.parent_id());
+    ASSERT_NE(parent, nullptr);
+    EXPECT_EQ(sub.requirement().k, parent->requirement().k);
+    EXPECT_DOUBLE_EQ(sub.requirement().delta, parent->requirement().delta);
+  }
+}
+
+TEST(WcopSaTest, NullSegmenterRejected) {
+  const Dataset d = SmallSynthetic(10, 30);
+  EXPECT_FALSE(RunWcopSa(d, nullptr).ok());
+}
+
+TEST(WcopSaTest, RuntimeCoversBothPhases) {
+  const Dataset d = SmallSynthetic(15, 50);
+  TraclusSegmenter segmenter;
+  Result<WcopSaResult> result = RunWcopSa(d, &segmenter);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->anonymization.report.runtime_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace wcop
