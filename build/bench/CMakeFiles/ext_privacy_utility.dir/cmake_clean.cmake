@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_privacy_utility.dir/ext_privacy_utility.cpp.o"
+  "CMakeFiles/ext_privacy_utility.dir/ext_privacy_utility.cpp.o.d"
+  "ext_privacy_utility"
+  "ext_privacy_utility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_privacy_utility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

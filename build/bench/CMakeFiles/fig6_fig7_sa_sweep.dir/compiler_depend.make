@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_fig7_sa_sweep.
+# This may be replaced when dependencies are built.

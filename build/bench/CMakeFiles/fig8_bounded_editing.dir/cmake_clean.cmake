@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_bounded_editing.dir/fig8_bounded_editing.cpp.o"
+  "CMakeFiles/fig8_bounded_editing.dir/fig8_bounded_editing.cpp.o.d"
+  "fig8_bounded_editing"
+  "fig8_bounded_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_bounded_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_workbench.dir/attack_workbench.cpp.o"
+  "CMakeFiles/attack_workbench.dir/attack_workbench.cpp.o.d"
+  "attack_workbench"
+  "attack_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

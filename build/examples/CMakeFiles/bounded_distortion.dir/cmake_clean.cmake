@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounded_distortion.dir/bounded_distortion.cpp.o"
+  "CMakeFiles/bounded_distortion.dir/bounded_distortion.cpp.o.d"
+  "bounded_distortion"
+  "bounded_distortion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounded_distortion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

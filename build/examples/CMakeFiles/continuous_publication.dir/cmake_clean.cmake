@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_publication.dir/continuous_publication.cpp.o"
+  "CMakeFiles/continuous_publication.dir/continuous_publication.cpp.o.d"
+  "continuous_publication"
+  "continuous_publication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_publication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mod_queries.dir/mod_queries.cpp.o"
+  "CMakeFiles/mod_queries.dir/mod_queries.cpp.o.d"
+  "mod_queries"
+  "mod_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mod_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/personalized_publishing.dir/personalized_publishing.cpp.o"
+  "CMakeFiles/personalized_publishing.dir/personalized_publishing.cpp.o.d"
+  "personalized_publishing"
+  "personalized_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/personalized_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segmentation_explorer.dir/segmentation_explorer.cpp.o"
+  "CMakeFiles/segmentation_explorer.dir/segmentation_explorer.cpp.o.d"
+  "segmentation_explorer"
+  "segmentation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segmentation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

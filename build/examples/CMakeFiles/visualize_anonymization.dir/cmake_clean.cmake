@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/visualize_anonymization.dir/visualize_anonymization.cpp.o"
+  "CMakeFiles/visualize_anonymization.dir/visualize_anonymization.cpp.o.d"
+  "visualize_anonymization"
+  "visualize_anonymization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/visualize_anonymization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

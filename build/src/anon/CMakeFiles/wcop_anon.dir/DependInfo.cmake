@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anon/agglomerative.cc" "src/anon/CMakeFiles/wcop_anon.dir/agglomerative.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/agglomerative.cc.o.d"
+  "/root/repo/src/anon/attack.cc" "src/anon/CMakeFiles/wcop_anon.dir/attack.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/attack.cc.o.d"
+  "/root/repo/src/anon/colocalization.cc" "src/anon/CMakeFiles/wcop_anon.dir/colocalization.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/colocalization.cc.o.d"
+  "/root/repo/src/anon/effective_anonymity.cc" "src/anon/CMakeFiles/wcop_anon.dir/effective_anonymity.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/effective_anonymity.cc.o.d"
+  "/root/repo/src/anon/greedy_clustering.cc" "src/anon/CMakeFiles/wcop_anon.dir/greedy_clustering.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/greedy_clustering.cc.o.d"
+  "/root/repo/src/anon/mahdavifar.cc" "src/anon/CMakeFiles/wcop_anon.dir/mahdavifar.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/mahdavifar.cc.o.d"
+  "/root/repo/src/anon/metrics.cc" "src/anon/CMakeFiles/wcop_anon.dir/metrics.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/metrics.cc.o.d"
+  "/root/repo/src/anon/nwa.cc" "src/anon/CMakeFiles/wcop_anon.dir/nwa.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/nwa.cc.o.d"
+  "/root/repo/src/anon/report_json.cc" "src/anon/CMakeFiles/wcop_anon.dir/report_json.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/report_json.cc.o.d"
+  "/root/repo/src/anon/streaming.cc" "src/anon/CMakeFiles/wcop_anon.dir/streaming.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/streaming.cc.o.d"
+  "/root/repo/src/anon/translation.cc" "src/anon/CMakeFiles/wcop_anon.dir/translation.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/translation.cc.o.d"
+  "/root/repo/src/anon/types.cc" "src/anon/CMakeFiles/wcop_anon.dir/types.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/types.cc.o.d"
+  "/root/repo/src/anon/uncertainty.cc" "src/anon/CMakeFiles/wcop_anon.dir/uncertainty.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/uncertainty.cc.o.d"
+  "/root/repo/src/anon/utility.cc" "src/anon/CMakeFiles/wcop_anon.dir/utility.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/utility.cc.o.d"
+  "/root/repo/src/anon/verifier.cc" "src/anon/CMakeFiles/wcop_anon.dir/verifier.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/verifier.cc.o.d"
+  "/root/repo/src/anon/wcop_b.cc" "src/anon/CMakeFiles/wcop_anon.dir/wcop_b.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/wcop_b.cc.o.d"
+  "/root/repo/src/anon/wcop_ct.cc" "src/anon/CMakeFiles/wcop_anon.dir/wcop_ct.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/wcop_ct.cc.o.d"
+  "/root/repo/src/anon/wcop_nv.cc" "src/anon/CMakeFiles/wcop_anon.dir/wcop_nv.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/wcop_nv.cc.o.d"
+  "/root/repo/src/anon/wcop_sa.cc" "src/anon/CMakeFiles/wcop_anon.dir/wcop_sa.cc.o" "gcc" "src/anon/CMakeFiles/wcop_anon.dir/wcop_sa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traj/CMakeFiles/wcop_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/wcop_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/wcop_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wcop_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/wcop_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wcop_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wcop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_cluster.dir/dbscan.cc.o"
+  "CMakeFiles/wcop_cluster.dir/dbscan.cc.o.d"
+  "libwcop_cluster.a"
+  "libwcop_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

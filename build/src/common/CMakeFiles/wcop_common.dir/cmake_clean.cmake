@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_common.dir/arg_parser.cc.o"
+  "CMakeFiles/wcop_common.dir/arg_parser.cc.o.d"
+  "CMakeFiles/wcop_common.dir/status.cc.o"
+  "CMakeFiles/wcop_common.dir/status.cc.o.d"
+  "CMakeFiles/wcop_common.dir/table_printer.cc.o"
+  "CMakeFiles/wcop_common.dir/table_printer.cc.o.d"
+  "libwcop_common.a"
+  "libwcop_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

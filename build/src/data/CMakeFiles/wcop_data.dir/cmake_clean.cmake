@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_data.dir/geolife_parser.cc.o"
+  "CMakeFiles/wcop_data.dir/geolife_parser.cc.o.d"
+  "CMakeFiles/wcop_data.dir/synthetic.cc.o"
+  "CMakeFiles/wcop_data.dir/synthetic.cc.o.d"
+  "libwcop_data.a"
+  "libwcop_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

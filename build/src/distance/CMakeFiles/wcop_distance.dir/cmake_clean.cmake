@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_distance.dir/dtw.cc.o"
+  "CMakeFiles/wcop_distance.dir/dtw.cc.o.d"
+  "CMakeFiles/wcop_distance.dir/edr.cc.o"
+  "CMakeFiles/wcop_distance.dir/edr.cc.o.d"
+  "CMakeFiles/wcop_distance.dir/euclidean.cc.o"
+  "CMakeFiles/wcop_distance.dir/euclidean.cc.o.d"
+  "CMakeFiles/wcop_distance.dir/lcss.cc.o"
+  "CMakeFiles/wcop_distance.dir/lcss.cc.o.d"
+  "libwcop_distance.a"
+  "libwcop_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

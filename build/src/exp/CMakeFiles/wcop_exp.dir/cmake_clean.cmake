@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_exp.dir/grid_sweep.cc.o"
+  "CMakeFiles/wcop_exp.dir/grid_sweep.cc.o.d"
+  "libwcop_exp.a"
+  "libwcop_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwcop_exp.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/disk.cc" "src/geo/CMakeFiles/wcop_geo.dir/disk.cc.o" "gcc" "src/geo/CMakeFiles/wcop_geo.dir/disk.cc.o.d"
+  "/root/repo/src/geo/projection.cc" "src/geo/CMakeFiles/wcop_geo.dir/projection.cc.o" "gcc" "src/geo/CMakeFiles/wcop_geo.dir/projection.cc.o.d"
+  "/root/repo/src/geo/segment_geometry.cc" "src/geo/CMakeFiles/wcop_geo.dir/segment_geometry.cc.o" "gcc" "src/geo/CMakeFiles/wcop_geo.dir/segment_geometry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wcop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

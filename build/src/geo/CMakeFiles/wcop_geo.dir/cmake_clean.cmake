@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_geo.dir/disk.cc.o"
+  "CMakeFiles/wcop_geo.dir/disk.cc.o.d"
+  "CMakeFiles/wcop_geo.dir/projection.cc.o"
+  "CMakeFiles/wcop_geo.dir/projection.cc.o.d"
+  "CMakeFiles/wcop_geo.dir/segment_geometry.cc.o"
+  "CMakeFiles/wcop_geo.dir/segment_geometry.cc.o.d"
+  "libwcop_geo.a"
+  "libwcop_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_index.dir/grid_index.cc.o"
+  "CMakeFiles/wcop_index.dir/grid_index.cc.o.d"
+  "libwcop_index.a"
+  "libwcop_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_mod.dir/trajectory_store.cc.o"
+  "CMakeFiles/wcop_mod.dir/trajectory_store.cc.o.d"
+  "libwcop_mod.a"
+  "libwcop_mod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_mod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/related/awo.cc" "src/related/CMakeFiles/wcop_related.dir/awo.cc.o" "gcc" "src/related/CMakeFiles/wcop_related.dir/awo.cc.o.d"
+  "/root/repo/src/related/path_perturbation.cc" "src/related/CMakeFiles/wcop_related.dir/path_perturbation.cc.o" "gcc" "src/related/CMakeFiles/wcop_related.dir/path_perturbation.cc.o.d"
+  "/root/repo/src/related/suppression.cc" "src/related/CMakeFiles/wcop_related.dir/suppression.cc.o" "gcc" "src/related/CMakeFiles/wcop_related.dir/suppression.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/traj/CMakeFiles/wcop_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/wcop_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wcop_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wcop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

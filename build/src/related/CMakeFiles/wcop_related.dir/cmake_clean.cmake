@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_related.dir/awo.cc.o"
+  "CMakeFiles/wcop_related.dir/awo.cc.o.d"
+  "CMakeFiles/wcop_related.dir/path_perturbation.cc.o"
+  "CMakeFiles/wcop_related.dir/path_perturbation.cc.o.d"
+  "CMakeFiles/wcop_related.dir/suppression.cc.o"
+  "CMakeFiles/wcop_related.dir/suppression.cc.o.d"
+  "libwcop_related.a"
+  "libwcop_related.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_related.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_segment.dir/convoy.cc.o"
+  "CMakeFiles/wcop_segment.dir/convoy.cc.o.d"
+  "CMakeFiles/wcop_segment.dir/segmenter.cc.o"
+  "CMakeFiles/wcop_segment.dir/segmenter.cc.o.d"
+  "CMakeFiles/wcop_segment.dir/traclus.cc.o"
+  "CMakeFiles/wcop_segment.dir/traclus.cc.o.d"
+  "libwcop_segment.a"
+  "libwcop_segment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_segment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traj/dataset.cc" "src/traj/CMakeFiles/wcop_traj.dir/dataset.cc.o" "gcc" "src/traj/CMakeFiles/wcop_traj.dir/dataset.cc.o.d"
+  "/root/repo/src/traj/geojson.cc" "src/traj/CMakeFiles/wcop_traj.dir/geojson.cc.o" "gcc" "src/traj/CMakeFiles/wcop_traj.dir/geojson.cc.o.d"
+  "/root/repo/src/traj/io.cc" "src/traj/CMakeFiles/wcop_traj.dir/io.cc.o" "gcc" "src/traj/CMakeFiles/wcop_traj.dir/io.cc.o.d"
+  "/root/repo/src/traj/resample.cc" "src/traj/CMakeFiles/wcop_traj.dir/resample.cc.o" "gcc" "src/traj/CMakeFiles/wcop_traj.dir/resample.cc.o.d"
+  "/root/repo/src/traj/simplify.cc" "src/traj/CMakeFiles/wcop_traj.dir/simplify.cc.o" "gcc" "src/traj/CMakeFiles/wcop_traj.dir/simplify.cc.o.d"
+  "/root/repo/src/traj/trajectory.cc" "src/traj/CMakeFiles/wcop_traj.dir/trajectory.cc.o" "gcc" "src/traj/CMakeFiles/wcop_traj.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/wcop_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wcop_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_traj.dir/dataset.cc.o"
+  "CMakeFiles/wcop_traj.dir/dataset.cc.o.d"
+  "CMakeFiles/wcop_traj.dir/geojson.cc.o"
+  "CMakeFiles/wcop_traj.dir/geojson.cc.o.d"
+  "CMakeFiles/wcop_traj.dir/io.cc.o"
+  "CMakeFiles/wcop_traj.dir/io.cc.o.d"
+  "CMakeFiles/wcop_traj.dir/resample.cc.o"
+  "CMakeFiles/wcop_traj.dir/resample.cc.o.d"
+  "CMakeFiles/wcop_traj.dir/simplify.cc.o"
+  "CMakeFiles/wcop_traj.dir/simplify.cc.o.d"
+  "CMakeFiles/wcop_traj.dir/trajectory.cc.o"
+  "CMakeFiles/wcop_traj.dir/trajectory.cc.o.d"
+  "libwcop_traj.a"
+  "libwcop_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/colocalization_test.dir/colocalization_test.cc.o"
+  "CMakeFiles/colocalization_test.dir/colocalization_test.cc.o.d"
+  "colocalization_test"
+  "colocalization_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/colocalization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/effective_anonymity_test.dir/effective_anonymity_test.cc.o"
+  "CMakeFiles/effective_anonymity_test.dir/effective_anonymity_test.cc.o.d"
+  "effective_anonymity_test"
+  "effective_anonymity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/effective_anonymity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geolife_parser_test.dir/geolife_parser_test.cc.o"
+  "CMakeFiles/geolife_parser_test.dir/geolife_parser_test.cc.o.d"
+  "geolife_parser_test"
+  "geolife_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geolife_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

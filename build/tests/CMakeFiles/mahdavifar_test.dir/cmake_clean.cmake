@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mahdavifar_test.dir/mahdavifar_test.cc.o"
+  "CMakeFiles/mahdavifar_test.dir/mahdavifar_test.cc.o.d"
+  "mahdavifar_test"
+  "mahdavifar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mahdavifar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

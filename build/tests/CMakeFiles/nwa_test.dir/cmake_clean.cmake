@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nwa_test.dir/nwa_test.cc.o"
+  "CMakeFiles/nwa_test.dir/nwa_test.cc.o.d"
+  "nwa_test"
+  "nwa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nwa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trajectory_store_test.dir/trajectory_store_test.cc.o"
+  "CMakeFiles/trajectory_store_test.dir/trajectory_store_test.cc.o.d"
+  "trajectory_store_test"
+  "trajectory_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trajectory_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

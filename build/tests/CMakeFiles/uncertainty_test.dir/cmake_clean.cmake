@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uncertainty_test.dir/uncertainty_test.cc.o"
+  "CMakeFiles/uncertainty_test.dir/uncertainty_test.cc.o.d"
+  "uncertainty_test"
+  "uncertainty_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uncertainty_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/verifier_test.cc" "tests/CMakeFiles/verifier_test.dir/verifier_test.cc.o" "gcc" "tests/CMakeFiles/verifier_test.dir/verifier_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/wcop_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/mod/CMakeFiles/wcop_mod.dir/DependInfo.cmake"
+  "/root/repo/build/src/related/CMakeFiles/wcop_related.dir/DependInfo.cmake"
+  "/root/repo/build/src/anon/CMakeFiles/wcop_anon.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wcop_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/segment/CMakeFiles/wcop_segment.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/wcop_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/wcop_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/distance/CMakeFiles/wcop_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/wcop_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wcop_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/wcop_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_b_test.dir/wcop_b_test.cc.o"
+  "CMakeFiles/wcop_b_test.dir/wcop_b_test.cc.o.d"
+  "wcop_b_test"
+  "wcop_b_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_b_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_ct_test.dir/wcop_ct_test.cc.o"
+  "CMakeFiles/wcop_ct_test.dir/wcop_ct_test.cc.o.d"
+  "wcop_ct_test"
+  "wcop_ct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_ct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_nv_test.dir/wcop_nv_test.cc.o"
+  "CMakeFiles/wcop_nv_test.dir/wcop_nv_test.cc.o.d"
+  "wcop_nv_test"
+  "wcop_nv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_nv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

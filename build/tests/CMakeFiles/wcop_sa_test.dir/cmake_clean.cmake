@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcop_sa_test.dir/wcop_sa_test.cc.o"
+  "CMakeFiles/wcop_sa_test.dir/wcop_sa_test.cc.o.d"
+  "wcop_sa_test"
+  "wcop_sa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcop_sa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
