@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/failpoint.h"
+
 namespace wcop {
 
 namespace {
@@ -25,8 +27,10 @@ struct WorkingCluster {
 
 class PairCache {
  public:
-  PairCache(const Dataset& dataset, const DistanceConfig& config)
-      : dataset_(dataset), config_(config), n_(dataset.size()) {}
+  PairCache(const Dataset& dataset, const DistanceConfig& config,
+            const RunContext* context)
+      : dataset_(dataset), config_(config), context_(context),
+        n_(dataset.size()) {}
 
   double Get(size_t i, size_t j) {
     if (i == j) {
@@ -39,6 +43,9 @@ class PairCache {
       return it->second;
     }
     const double d = ClusterDistance(dataset_[i], dataset_[j], config_);
+    if (context_ != nullptr) {
+      context_->ChargeDistance();
+    }
     cache_.emplace(key, d);
     return d;
   }
@@ -46,6 +53,7 @@ class PairCache {
  private:
   const Dataset& dataset_;
   const DistanceConfig& config_;
+  const RunContext* context_;
   uint64_t n_;
   std::unordered_map<uint64_t, double> cache_;
 };
@@ -85,10 +93,14 @@ Result<ClusteringOutcome> AgglomerativeClustering(const Dataset& dataset,
     return Status::InvalidArgument("radius_growth must exceed 1");
   }
 
-  PairCache distances(dataset, options.distance);
+  const RunContext* context = options.run_context;
+  PairCache distances(dataset, options.distance, context);
   double radius_max = options.radius_max;
 
   for (size_t round = 0; round < options.max_clustering_rounds; ++round) {
+    WCOP_FAILPOINT("cluster.agglomerative_round");
+    bool degraded = false;
+    std::string degraded_reason;
     std::vector<WorkingCluster> clusters(n);
     for (size_t i = 0; i < n; ++i) {
       clusters[i].members = {i};
@@ -99,6 +111,23 @@ Result<ClusteringOutcome> AgglomerativeClustering(const Dataset& dataset,
 
     // Deficit-driven merging.
     while (true) {
+      // Cooperative yield point: one check per merge step. On a trip with
+      // allow_partial_results, every still-deficient cluster is retired to
+      // the trash; the satisfied ones remain publishable anonymity sets.
+      if (Status s = CheckRunContext(context); !s.ok()) {
+        if (!options.allow_partial_results) {
+          return s;
+        }
+        degraded = true;
+        degraded_reason = s.ToString();
+        for (WorkingCluster& c : clusters) {
+          if (c.alive && c.Deficit() > 0) {
+            c.alive = false;
+            c.k = -1;  // mark as trashed
+          }
+        }
+        break;
+      }
       // Most deficient live cluster.
       size_t worst = n;
       size_t worst_deficit = 0;
@@ -164,6 +193,11 @@ Result<ClusteringOutcome> AgglomerativeClustering(const Dataset& dataset,
     }
     outcome.rounds = round + 1;
     outcome.final_radius = radius_max;
+    if (degraded) {
+      outcome.degraded = true;
+      outcome.degraded_reason = std::move(degraded_reason);
+      return outcome;  // may exceed trash_max; the trip ends the run
+    }
     if (outcome.trash.size() <= trash_max) {
       return outcome;
     }

@@ -5,6 +5,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/failpoint.h"
+
 namespace wcop {
 
 namespace {
@@ -13,8 +15,10 @@ namespace {
 /// (the distance function is deterministic, so recomputation is pure waste).
 class PairDistanceCache {
  public:
-  PairDistanceCache(const Dataset& dataset, const DistanceConfig& config)
-      : dataset_(dataset), config_(config), n_(dataset.size()) {}
+  PairDistanceCache(const Dataset& dataset, const DistanceConfig& config,
+                    const RunContext* context)
+      : dataset_(dataset), config_(config), context_(context),
+        n_(dataset.size()) {}
 
   double Get(size_t i, size_t j) {
     if (i == j) {
@@ -27,6 +31,9 @@ class PairDistanceCache {
       return it->second;
     }
     const double d = ClusterDistance(dataset_[i], dataset_[j], config_);
+    if (context_ != nullptr) {
+      context_->ChargeDistance();
+    }
     cache_.emplace(key, d);
     return d;
   }
@@ -34,6 +41,7 @@ class PairDistanceCache {
  private:
   const Dataset& dataset_;
   const DistanceConfig& config_;
+  const RunContext* context_;
   uint64_t n_;
   std::unordered_map<uint64_t, double> cache_;
 };
@@ -54,7 +62,8 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
     return Status::InvalidArgument("radius_growth must exceed 1");
   }
 
-  PairDistanceCache distances(dataset, options.distance);
+  const RunContext* context = options.run_context;
+  PairDistanceCache distances(dataset, options.distance, context);
   Rng rng(options.seed);
   double radius_max = options.radius_max;
 
@@ -62,6 +71,7 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
   size_t best_trash = std::numeric_limits<size_t>::max();
 
   for (size_t round = 0; round < options.max_clustering_rounds; ++round) {
+    WCOP_FAILPOINT("cluster.greedy_round");
     std::vector<bool> active(n, true);
     std::vector<bool> clustered(n, false);
     std::vector<size_t> active_list(n);
@@ -70,9 +80,24 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
     }
     std::vector<AnonymityCluster> clusters;
 
+    // Set when the run context trips mid-round and allow_partial_results
+    // turns the trip into degradation: no further clusters are formed and
+    // every unclustered trajectory is suppressed.
+    bool degraded = false;
+    std::string degraded_reason;
+
     // --- Phase 1: pivot selection and cluster growth (lines 3-19). ---
     std::vector<size_t> chosen_pivots;
     while (!active_list.empty()) {
+      // Cooperative yield point: one check per cluster attempt.
+      if (Status s = CheckRunContext(context); !s.ok()) {
+        if (!options.allow_partial_results) {
+          return s;
+        }
+        degraded = true;
+        degraded_reason = s.ToString();
+        break;
+      }
       // Pivot selection: random (Algorithm 3) or farthest-first (the W4M
       // heuristic, exposed as an ablation).
       size_t pivot;
@@ -112,6 +137,9 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
         pool.emplace_back(distances.Get(pivot, cand), cand);
       }
       std::sort(pool.begin(), pool.end());
+      if (context != nullptr) {
+        context->ChargeCandidatePairs(pool.size());
+      }
 
       size_t next_candidate = 0;
       bool grown = true;
@@ -158,6 +186,21 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
       if (clustered[idx]) {
         continue;
       }
+      if (!degraded) {
+        if (Status s = CheckRunContext(context); !s.ok()) {
+          if (!options.allow_partial_results) {
+            return s;
+          }
+          degraded = true;
+          degraded_reason = s.ToString();
+        }
+      }
+      if (degraded) {
+        // Degradation: leftovers are suppressed without spending further
+        // distance computations.
+        trash.push_back(idx);
+        continue;
+      }
       const Requirement& req = dataset[idx].requirement();
       double best_dist = std::numeric_limits<double>::infinity();
       AnonymityCluster* best_cluster = nullptr;
@@ -182,6 +225,20 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
       } else {
         trash.push_back(idx);
       }
+    }
+
+    if (degraded) {
+      // The trip ends the run here: later rounds would only spend more of
+      // the exhausted budget. The clusters formed so far are complete
+      // anonymity sets; everything else is trash (possibly > trash_max).
+      ClusteringOutcome out;
+      out.clusters = std::move(clusters);
+      out.trash = std::move(trash);
+      out.rounds = round + 1;
+      out.final_radius = radius_max;
+      out.degraded = true;
+      out.degraded_reason = std::move(degraded_reason);
+      return out;
     }
 
     if (trash.size() < best_trash) {

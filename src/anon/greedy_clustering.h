@@ -16,6 +16,13 @@ struct ClusteringOutcome {
   std::vector<size_t> trash;     ///< indices of suppressed trajectories
   size_t rounds = 0;             ///< radius relaxations performed + 1
   double final_radius = 0.0;     ///< the radius_max that produced the result
+  /// Set when the run context tripped mid-clustering and
+  /// `options.allow_partial_results` turned the trip into suppression of
+  /// the unprocessed trajectories instead of an error. A degraded outcome
+  /// may exceed trash_max; every emitted cluster is still a complete
+  /// anonymity set.
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 /// WCOP-Clustering: greedy pivot-based clustering with per-cluster (k,delta)

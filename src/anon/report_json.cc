@@ -84,6 +84,11 @@ std::string ReportToJson(const AnonymizationReport& report) {
   AppendField(os, "runtime_seconds", report.runtime_seconds, &first);
   AppendField(os, "clustering_rounds", report.clustering_rounds, &first);
   AppendField(os, "final_radius", report.final_radius, &first);
+  os << ",\"degraded\":" << (report.degraded ? "true" : "false");
+  if (report.degraded) {
+    os << ",\"degraded_reason\":\"" << EscapeJson(report.degraded_reason)
+       << "\"";
+  }
   os << "}";
   return os.str();
 }

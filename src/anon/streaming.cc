@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "anon/wcop_ct.h"
+#include "common/failpoint.h"
 
 namespace wcop {
 
@@ -30,6 +31,18 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
   int64_t next_id = 0;
   for (double window_start = t_min; window_start <= t_max;
        window_start += options.window_seconds) {
+    WCOP_FAILPOINT("streaming.window");
+    // Cooperative yield point: one check per publication window. With
+    // partial results allowed, a trip stops the stream — the windows
+    // published so far each carry the full per-window guarantee.
+    if (Status s = CheckRunContext(options.wcop.run_context); !s.ok()) {
+      if (!options.wcop.allow_partial_results) {
+        return s;
+      }
+      result.degraded = true;
+      result.degraded_reason = s.ToString();
+      break;
+    }
     const double window_end = window_start + options.window_seconds;
     // Collect each trajectory's fragment inside [window_start, window_end).
     std::vector<Trajectory> fragments;
@@ -68,6 +81,10 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
       result.suppressed_fragments += summary.input_fragments;
       result.windows.push_back(summary);
       continue;
+    }
+    if (window_result->report.degraded && !result.degraded) {
+      result.degraded = true;
+      result.degraded_reason = window_result->report.degraded_reason;
     }
     summary.published_fragments = window_result->sanitized.size();
     summary.clusters = window_result->report.num_clusters;

@@ -2,6 +2,7 @@
 #define WCOP_ANON_STREAMING_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "anon/types.h"
@@ -47,6 +48,11 @@ struct StreamingResult {
   size_t total_clusters = 0;
   size_t suppressed_fragments = 0;
   double total_ttd = 0.0;
+  /// Set when the run context tripped and `wcop.allow_partial_results`
+  /// turned the trip into early termination: windows processed so far are
+  /// published (each individually verified-safe), the rest are suppressed.
+  bool degraded = false;
+  std::string degraded_reason;
 };
 
 Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,

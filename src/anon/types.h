@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
+#include "common/run_context.h"
 #include "distance/edr.h"
 #include "traj/dataset.h"
 
@@ -84,6 +86,23 @@ struct WcopOptions {
   /// verifier flags the resulting per-member violations.
   enum class DeltaPolicy { kMin, kMean };
   DeltaPolicy delta_policy = DeltaPolicy::kMin;
+
+  /// Optional execution context: deadline, cancellation, resource budget.
+  /// The hot loops poll it at per-cluster / per-trajectory granularity.
+  /// Null (the default) means unbounded. Non-owning; the caller keeps the
+  /// RunContext alive for the duration of the run.
+  const RunContext* run_context = nullptr;
+
+  /// Graceful degradation: when the run context trips mid-run and this is
+  /// set, the pipeline stops forming new clusters, suppresses the
+  /// not-yet-processed trajectories through the paper's own trash mechanism
+  /// (Problem 1 allows up to trash_max suppressions; a degraded run may
+  /// exceed that), and returns a partial result flagged
+  /// `report.degraded = true`. Every *published* trajectory still satisfies
+  /// its (k_i, delta_i) requirement. When false (the default), a tripped
+  /// context surfaces as the corresponding non-OK Status and nothing is
+  /// published.
+  bool allow_partial_results = false;
 };
 
 /// Aggregate statistics of one anonymization run — the rows of Table 3.
@@ -106,6 +125,10 @@ struct AnonymizationReport {
   double runtime_seconds = 0.0;
   size_t clustering_rounds = 0;     ///< radius relaxations + 1
   double final_radius = 0.0;        ///< radius_max actually used
+  /// True when the run tripped its deadline / cancellation / budget and
+  /// published a partial result under WcopOptions::allow_partial_results.
+  bool degraded = false;
+  std::string degraded_reason;      ///< human-readable trip cause (if any)
 };
 
 /// Full output of an anonymization run.

@@ -6,6 +6,7 @@
 
 #include "anon/metrics.h"
 #include "anon/wcop_ct.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 
 namespace wcop {
@@ -43,6 +44,19 @@ Result<WcopBResult> RunWcopB(const Dataset& dataset,
   bool have_round = false;
 
   while (true) {
+    WCOP_FAILPOINT("wcop_b.round");
+    // Cooperative yield point: one check per requirement-editing round. A
+    // trip after at least one completed round keeps that round's output
+    // (flagged degraded) when partial results are allowed.
+    if (Status s = CheckRunContext(resolved.run_context); !s.ok()) {
+      if (!resolved.allow_partial_results || !have_round) {
+        return s;
+      }
+      result.anonymization.report.degraded = true;
+      result.anonymization.report.degraded_reason = s.ToString();
+      result.bound_satisfied = false;
+      break;
+    }
     edit_size = std::min(edit_size, edit_limit);
     // Line 7: reset to the original requirements, then edit the top
     // edit_size trajectories towards the threshold trajectory (the first
@@ -105,11 +119,18 @@ Result<WcopBResult> RunWcopB(const Dataset& dataset,
     const bool satisfied =
         round_result.report.total_distortion <= b_options.distort_max;
     const bool exhausted = edit_size >= edit_limit;
+    const bool degraded = round_result.report.degraded;
     // Keep the most recent round's output (the accepted one when satisfied;
     // the fully-edited one otherwise, matching Algorithm 6's return).
     result.anonymization = std::move(round_result);
     result.final_edit_size = edit_size;
     have_round = true;
+    if (degraded) {
+      // The inner anonymization already ran out of deadline/budget; further
+      // rounds could only repeat the trip. Keep the partial round.
+      result.bound_satisfied = satisfied;
+      break;
+    }
     if (satisfied || exhausted) {
       result.bound_satisfied = satisfied;
       break;

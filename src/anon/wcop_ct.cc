@@ -6,6 +6,7 @@
 #include "anon/agglomerative.h"
 #include "anon/metrics.h"
 #include "anon/translation.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 
 namespace wcop {
@@ -46,15 +47,16 @@ size_t ResolveTrashMax(const Dataset& dataset, const WcopOptions& options) {
 
 }  // namespace
 
-AnonymizationResult AnonymizeClusters(const Dataset& dataset,
-                                      const ClusteringOutcome& outcome,
-                                      const WcopOptions& resolved_options) {
+Result<AnonymizationResult> AnonymizeClusters(
+    const Dataset& dataset, const ClusteringOutcome& outcome,
+    const WcopOptions& resolved_options) {
+  const RunContext* context = resolved_options.run_context;
   AnonymizationResult result;
-  result.clusters = outcome.clusters;
-  result.trashed_ids.reserve(outcome.trash.size());
-  for (size_t idx : outcome.trash) {
-    result.trashed_ids.push_back(dataset[idx].id());
-  }
+  // A degraded clustering outcome is carried through; its clusters are
+  // complete anonymity sets and are translated normally below.
+  result.report.degraded = outcome.degraded;
+  result.report.degraded_reason = outcome.degraded_reason;
+  std::vector<size_t> trashed_indices(outcome.trash);
 
   // Translation phase (Algorithm 2 lines 3-11): every member of every
   // cluster is translated towards its pivot under the cluster's own delta.
@@ -62,27 +64,52 @@ AnonymizationResult AnonymizeClusters(const Dataset& dataset,
   TranslationStats stats;
   std::vector<const Trajectory*> sanitized_of(dataset.size(), nullptr);
   std::vector<Trajectory> sanitized_storage;
-  sanitized_storage.reserve(dataset.size());
   // Reserve exact size so pointers into the vector stay stable.
-  size_t published = 0;
+  size_t max_published = 0;
   for (const AnonymityCluster& cluster : outcome.clusters) {
-    published += cluster.members.size();
+    max_published += cluster.members.size();
   }
-  sanitized_storage.reserve(published);
+  sanitized_storage.reserve(max_published);
+  result.clusters.reserve(outcome.clusters.size());
 
-  for (size_t c = 0; c < outcome.clusters.size(); ++c) {
-    const AnonymityCluster& cluster = outcome.clusters[c];
+  // Once the context trips mid-translation (with allow_partial_results),
+  // every remaining cluster is suppressed instead of translated, so the
+  // published part still passes the independent verifier. A clustering
+  // outcome that already degraded skips the context checks here: its
+  // context is permanently tripped, and translating the few clusters it
+  // did form is exactly the bounded remainder of the partial result.
+  bool suppress_remaining = false;
+  for (const AnonymityCluster& cluster : outcome.clusters) {
+    if (!suppress_remaining) {
+      WCOP_FAILPOINT("anon.translate_cluster");
+      // Cooperative yield point: one check per cluster.
+      if (Status s = CheckRunContext(context);
+          !s.ok() && !outcome.degraded) {
+        if (!resolved_options.allow_partial_results) {
+          return s;
+        }
+        suppress_remaining = true;
+        result.report.degraded = true;
+        result.report.degraded_reason = s.ToString();
+      }
+    }
+    if (suppress_remaining) {
+      trashed_indices.insert(trashed_indices.end(), cluster.members.begin(),
+                             cluster.members.end());
+      continue;
+    }
     const Trajectory& pivot = dataset[cluster.pivot];
     // Algorithm 2 line 5: delta_c = min member delta (the clustering phase
     // maintains that); the kMean ablation replaces it with the member mean.
     double delta_c = cluster.delta;
+    AnonymityCluster published_cluster = cluster;
     if (resolved_options.delta_policy == WcopOptions::DeltaPolicy::kMean) {
       double sum = 0.0;
       for (size_t member : cluster.members) {
         sum += dataset[member].requirement().delta;
       }
       delta_c = sum / static_cast<double>(cluster.members.size());
-      result.clusters[c].delta = delta_c;
+      published_cluster.delta = delta_c;
     }
     for (size_t member : cluster.members) {
       sanitized_storage.push_back(
@@ -90,7 +117,14 @@ AnonymizationResult AnonymizeClusters(const Dataset& dataset,
                            resolved_options.distance.tolerance, &rng, &stats));
       sanitized_of[member] = &sanitized_storage.back();
     }
+    result.clusters.push_back(std::move(published_cluster));
   }
+
+  result.trashed_ids.reserve(trashed_indices.size());
+  for (size_t idx : trashed_indices) {
+    result.trashed_ids.push_back(dataset[idx].id());
+  }
+  const size_t published = sanitized_storage.size();
 
   // Ω: the maximum translation observed; floored at radius(D) when the run
   // moved nothing, so Eq. (1) never waives the penalty for trashed
@@ -102,13 +136,13 @@ AnonymizationResult AnonymizeClusters(const Dataset& dataset,
 
   AnonymizationReport& report = result.report;
   report.input_trajectories = dataset.size();
-  report.num_clusters = outcome.clusters.size();
-  report.trashed_trajectories = outcome.trash.size();
-  for (size_t idx : outcome.trash) {
+  report.num_clusters = result.clusters.size();
+  report.trashed_trajectories = trashed_indices.size();
+  for (size_t idx : trashed_indices) {
     report.trashed_points += dataset[idx].size();
   }
   report.discernibility =
-      Discernibility(outcome.clusters, outcome.trash.size(), dataset.size());
+      Discernibility(result.clusters, trashed_indices.size(), dataset.size());
   report.created_points = stats.created_points;
   report.deleted_points = stats.deleted_points;
   report.total_spatial_translation = stats.spatial_translation;
@@ -155,7 +189,8 @@ Result<AnonymizationResult> RunWcopCt(const Dataset& dataset,
     return clustering.status();
   }
   ClusteringOutcome outcome = std::move(clustering).value();
-  AnonymizationResult result = AnonymizeClusters(dataset, outcome, resolved);
+  WCOP_ASSIGN_OR_RETURN(AnonymizationResult result,
+                        AnonymizeClusters(dataset, outcome, resolved));
   result.report.runtime_seconds = timer.ElapsedSeconds();
   return result;
 }

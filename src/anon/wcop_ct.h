@@ -31,9 +31,14 @@ WcopOptions ResolveOptions(const Dataset& dataset, WcopOptions options);
 /// dataset plus the full report (translation, distortion, discernibility,
 /// runtime fields other than runtime_seconds which the caller owns).
 /// `dataset` must be the dataset the clustering was computed on.
-AnonymizationResult AnonymizeClusters(const Dataset& dataset,
-                                      const ClusteringOutcome& outcome,
-                                      const WcopOptions& resolved_options);
+///
+/// Honours `resolved_options.run_context` at per-cluster granularity: a
+/// trip mid-translation either propagates as a Status or — with
+/// `allow_partial_results` — suppresses the not-yet-translated clusters
+/// (their members join the trash) and flags the result degraded.
+Result<AnonymizationResult> AnonymizeClusters(
+    const Dataset& dataset, const ClusteringOutcome& outcome,
+    const WcopOptions& resolved_options);
 
 }  // namespace wcop
 

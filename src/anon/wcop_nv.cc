@@ -12,6 +12,11 @@ Result<AnonymizationResult> RunW4m(const Dataset& dataset, int k, double delta,
   if (delta < 0.0) {
     return Status::InvalidArgument("universal delta must be non-negative");
   }
+  // Fail fast before copying the dataset; mid-run trips are handled by the
+  // shared pipeline underneath.
+  if (!options.allow_partial_results) {
+    WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
+  }
   // Uniform requirements turn the personalized pipeline into exactly the
   // universal one: every cluster grows to k members and uses delta.
   Dataset uniform = dataset;

@@ -11,10 +11,17 @@ Result<WcopSaResult> RunWcopSa(const Dataset& dataset, Segmenter* segmenter,
     return Status::InvalidArgument("segmenter must not be null");
   }
   WCOP_RETURN_IF_ERROR(dataset.Validate());
+  WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
   Stopwatch timer;
   WCOP_ASSIGN_OR_RETURN(Dataset segmented, segmenter->Segment(dataset));
   if (segmented.empty()) {
     return Status::Internal("segmentation produced an empty dataset");
+  }
+  // Between phases: segmentation may have consumed the whole budget. The
+  // anonymization phase below handles mid-run trips itself (including the
+  // allow_partial_results degradation).
+  if (!options.allow_partial_results) {
+    WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
   }
   WCOP_ASSIGN_OR_RETURN(AnonymizationResult anonymization,
                         RunWcopCt(segmented, options));

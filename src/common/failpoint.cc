@@ -1,0 +1,95 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+
+namespace wcop {
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  // Environment-driven arming: WCOP_FAILPOINTS="site1,site2" arms each
+  // listed site to inject Status::Internal on every hit. Lets a whole test
+  // binary (or a staging deployment) run under injected faults without
+  // recompiling.
+  const char* env = std::getenv("WCOP_FAILPOINTS");
+  if (env == nullptr || *env == '\0') {
+    return;
+  }
+  std::string_view spec(env);
+  while (!spec.empty()) {
+    const size_t comma = spec.find(',');
+    std::string_view site = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view()
+                                           : spec.substr(comma + 1);
+    // Trim surrounding whitespace.
+    while (!site.empty() && site.front() == ' ') site.remove_prefix(1);
+    while (!site.empty() && site.back() == ' ') site.remove_suffix(1);
+    if (!site.empty()) {
+      Arm(site, Status::Internal("injected fault (WCOP_FAILPOINTS) at " +
+                                 std::string(site)));
+    }
+  }
+}
+
+void FailpointRegistry::Arm(std::string_view site, Status status,
+                            int max_fires) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      sites_.insert_or_assign(std::string(site), Entry{std::move(status),
+                                                       max_fires});
+  (void)it;
+  if (inserted) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(std::string(site)) > 0) {
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_count_.fetch_sub(static_cast<int>(sites_.size()),
+                         std::memory_order_relaxed);
+  sites_.clear();
+  hits_.clear();
+}
+
+Status FailpointRegistry::Fire(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++hits_[std::string(site)];
+  auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) {
+    return Status::OK();
+  }
+  Status injected = it->second.status;
+  if (it->second.remaining > 0 && --it->second.remaining == 0) {
+    sites_.erase(it);
+    armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  return injected;
+}
+
+uint64_t FailpointRegistry::HitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(std::string(site));
+  return it == hits_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> FailpointRegistry::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [site, entry] : sites_) {
+    out.push_back(site);
+  }
+  return out;
+}
+
+}  // namespace wcop

@@ -1,0 +1,110 @@
+#ifndef WCOP_COMMON_FAILPOINT_H_
+#define WCOP_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wcop {
+
+/// RocksDB-SyncPoint-style fault injection registry.
+///
+/// Production code marks its fallible boundaries with
+///
+///   WCOP_FAILPOINT("geolife.read_line");
+///
+/// inside any function returning Status or Result<T>. Disarmed (the normal
+/// state) a failpoint costs one relaxed atomic load. Tests arm a site —
+/// programmatically through Arm()/ScopedFailpoint, or for whole binaries via
+/// the WCOP_FAILPOINTS environment variable ("site1,site2", each firing
+/// Status::Internal on every hit) — and the next hit returns the injected
+/// Status from the enclosing function, exercising the error-propagation path
+/// exactly as a real I/O or resource failure would.
+///
+/// All operations are thread-safe.
+class FailpointRegistry {
+ public:
+  /// The process-wide registry. First access parses WCOP_FAILPOINTS.
+  static FailpointRegistry& Instance();
+
+  /// Arms `site` to return `status` on hits. `max_fires` > 0 limits the
+  /// number of injected failures (the site disarms itself afterwards);
+  /// -1 fires forever. Re-arming an armed site overwrites it.
+  void Arm(std::string_view site, Status status, int max_fires = -1);
+
+  /// Disarms `site`; no-op when not armed.
+  void Disarm(std::string_view site);
+
+  /// Disarms every site (test teardown).
+  void DisarmAll();
+
+  /// Fast path used by the WCOP_FAILPOINT macro: false when nothing is
+  /// armed anywhere in the process.
+  bool any_armed() const {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Returns the injected Status when `site` is armed, OK otherwise.
+  Status Fire(std::string_view site);
+
+  /// Total hits observed at `site` (armed or not, but only counted while
+  /// any site is armed — the disarmed fast path skips the registry).
+  uint64_t HitCount(std::string_view site) const;
+
+  /// Names of the currently armed sites (diagnostics).
+  std::vector<std::string> ArmedSites() const;
+
+ private:
+  FailpointRegistry();
+
+  struct Entry {
+    Status status;
+    int remaining = -1;  ///< fires left; -1 = unlimited
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> sites_;
+  std::unordered_map<std::string, uint64_t> hits_;
+  std::atomic<int> armed_count_{0};
+};
+
+/// RAII arming for tests: arms in the constructor, disarms in the
+/// destructor (even when the test body throws or asserts).
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string site, Status status, int max_fires = -1)
+      : site_(std::move(site)) {
+    FailpointRegistry::Instance().Arm(site_, std::move(status), max_fires);
+  }
+  ~ScopedFailpoint() { FailpointRegistry::Instance().Disarm(site_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string site_;
+};
+
+}  // namespace wcop
+
+/// Fault-injection boundary marker. Usable in any function returning Status
+/// or Result<T> (both implicitly construct from a non-OK Status). Near-zero
+/// cost when no failpoint is armed: a single relaxed atomic load.
+#define WCOP_FAILPOINT(site)                                         \
+  do {                                                               \
+    if (::wcop::FailpointRegistry::Instance().any_armed()) {         \
+      ::wcop::Status _wcop_fp_status =                               \
+          ::wcop::FailpointRegistry::Instance().Fire(site);          \
+      if (!_wcop_fp_status.ok()) {                                   \
+        return _wcop_fp_status;                                      \
+      }                                                              \
+    }                                                                \
+  } while (false)
+
+#endif  // WCOP_COMMON_FAILPOINT_H_

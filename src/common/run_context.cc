@@ -1,0 +1,27 @@
+#include "common/run_context.h"
+
+namespace wcop {
+
+Status RunContext::Check() const {
+  if (cancelled()) {
+    return Status::Cancelled("run cancelled by caller");
+  }
+  if (deadline_exceeded()) {
+    return Status::DeadlineExceeded("run deadline exceeded");
+  }
+  if (budget_exhausted()) {
+    if (budget_.max_distance_computations != 0 &&
+        distance_computations() > budget_.max_distance_computations) {
+      return Status::ResourceExhausted(
+          "distance-computation budget exhausted (" +
+          std::to_string(distance_computations()) + " > " +
+          std::to_string(budget_.max_distance_computations) + ")");
+    }
+    return Status::ResourceExhausted(
+        "candidate-pair budget exhausted (" + std::to_string(candidate_pairs()) +
+        " > " + std::to_string(budget_.max_candidate_pairs) + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace wcop

@@ -1,0 +1,138 @@
+#ifndef WCOP_COMMON_RUN_CONTEXT_H_
+#define WCOP_COMMON_RUN_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/status.h"
+
+namespace wcop {
+
+/// Cooperative cancellation handle in the std::stop_token tradition.
+///
+/// Copies share one flag: a service thread keeps a copy and calls
+/// RequestCancellation() while the worker polls cancellation_requested()
+/// (through RunContext::Check) at per-cluster / per-trajectory granularity.
+/// All operations are thread-safe and lock-free.
+class CancellationToken {
+ public:
+  CancellationToken() : cancelled_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation; idempotent, callable from any thread.
+  void RequestCancellation() {
+    cancelled_->store(true, std::memory_order_relaxed);
+  }
+
+  bool cancellation_requested() const {
+    return cancelled_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> cancelled_;
+};
+
+/// Hard caps on the superlinear cost drivers of the pipeline. A value of 0
+/// means "unlimited". The caps bound *work*, not memory directly, but the
+/// distance matrix and the candidate-pair pools are exactly the structures
+/// that grow quadratically with |D|.
+struct ResourceBudget {
+  uint64_t max_distance_computations = 0;  ///< pairwise trajectory distances
+  uint64_t max_candidate_pairs = 0;        ///< pivot-candidate pool entries
+};
+
+/// Cross-cutting execution context threaded (as an optional const pointer)
+/// through the hot loops of the WCOP pipeline: a monotonic deadline, a
+/// cooperative cancellation token, and a resource budget.
+///
+/// Long-running phases call Check() at natural yield points (per cluster,
+/// per trajectory, per window, per file) and propagate the non-OK Status;
+/// drivers with `WcopOptions::allow_partial_results` instead degrade
+/// gracefully (see DESIGN.md "Robustness"). A null RunContext pointer means
+/// "unbounded" everywhere, so existing call sites keep their behaviour.
+///
+/// The charge counters are mutable atomics so that a `const RunContext*`
+/// can be shared across helper layers; the object itself is not copyable.
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  RunContext() = default;
+  RunContext(const RunContext&) = delete;
+  RunContext& operator=(const RunContext&) = delete;
+
+  /// Sets an absolute monotonic deadline.
+  void set_deadline(Clock::time_point deadline) { deadline_ = deadline; }
+
+  /// Sets the deadline `budget` from now.
+  void set_deadline_after(std::chrono::nanoseconds budget) {
+    deadline_ = Clock::now() + budget;
+  }
+
+  void clear_deadline() { deadline_.reset(); }
+  bool has_deadline() const { return deadline_.has_value(); }
+
+  bool deadline_exceeded() const {
+    return deadline_.has_value() && Clock::now() >= *deadline_;
+  }
+
+  /// Attaches a cancellation token (a copy; the caller keeps the original
+  /// to request cancellation from another thread).
+  void set_cancellation_token(CancellationToken token) {
+    token_ = std::move(token);
+  }
+
+  bool cancelled() const {
+    return token_.has_value() && token_->cancellation_requested();
+  }
+
+  void set_budget(ResourceBudget budget) { budget_ = budget; }
+  const ResourceBudget& budget() const { return budget_; }
+
+  /// Records `n` pairwise distance computations against the budget.
+  void ChargeDistance(uint64_t n = 1) const {
+    distance_computations_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Records `n` candidate-pair pool entries against the budget.
+  void ChargeCandidatePairs(uint64_t n = 1) const {
+    candidate_pairs_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t distance_computations() const {
+    return distance_computations_.load(std::memory_order_relaxed);
+  }
+  uint64_t candidate_pairs() const {
+    return candidate_pairs_.load(std::memory_order_relaxed);
+  }
+
+  bool budget_exhausted() const {
+    return (budget_.max_distance_computations != 0 &&
+            distance_computations() > budget_.max_distance_computations) ||
+           (budget_.max_candidate_pairs != 0 &&
+            candidate_pairs() > budget_.max_candidate_pairs);
+  }
+
+  /// The cooperative yield point: OK while the run may continue, otherwise
+  /// the most urgent trip reason — kCancelled before kDeadlineExceeded
+  /// before kResourceExhausted.
+  Status Check() const;
+
+ private:
+  std::optional<Clock::time_point> deadline_;
+  std::optional<CancellationToken> token_;
+  ResourceBudget budget_;
+  mutable std::atomic<uint64_t> distance_computations_{0};
+  mutable std::atomic<uint64_t> candidate_pairs_{0};
+};
+
+/// Check() through an optional context: null means unbounded (always OK).
+inline Status CheckRunContext(const RunContext* context) {
+  return context == nullptr ? Status::OK() : context->Check();
+}
+
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_RUN_CONTEXT_H_

@@ -23,6 +23,8 @@ enum class StatusCode {
   kInternal,
   kUnsatisfiable,  ///< No solution exists under the given constraints
                    ///< (e.g. Bounded anonymity with an unreachable bound).
+  kDeadlineExceeded,  ///< A RunContext deadline expired mid-computation.
+  kCancelled,         ///< A RunContext cancellation token was triggered.
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -69,6 +71,12 @@ class Status {
   }
   static Status Unsatisfiable(std::string msg) {
     return Status(StatusCode::kUnsatisfiable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

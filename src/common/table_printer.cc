@@ -1,7 +1,6 @@
 #include "common/table_printer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdio>
 
@@ -11,7 +10,8 @@ TablePrinter::TablePrinter(std::vector<std::string> header)
     : header_(std::move(header)) {}
 
 void TablePrinter::AddRow(std::vector<std::string> row) {
-  assert(row.size() == header_.size());
+  // Tolerate mismatched rows instead of asserting: short rows are padded
+  // with empty cells, long rows truncated to the header width.
   row.resize(header_.size());
   rows_.push_back(std::move(row));
 }

@@ -18,7 +18,8 @@ class TablePrinter {
  public:
   explicit TablePrinter(std::vector<std::string> header);
 
-  /// Appends one row; the row must have exactly as many cells as the header.
+  /// Appends one row. Rows with fewer cells than the header are padded with
+  /// empty cells; rows with more are truncated to the header width.
   void AddRow(std::vector<std::string> row);
 
   /// Number of data rows added so far.

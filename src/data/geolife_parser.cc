@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace wcop {
 
 namespace fs = std::filesystem;
@@ -39,7 +41,15 @@ Result<Trajectory> ParsePltFile(const std::string& path,
 
   Trajectory traj;
   double last_time = -std::numeric_limits<double>::infinity();
+  size_t records_since_check = 0;
   auto consume = [&](const std::string& record) -> Status {
+    WCOP_FAILPOINT("geolife.read_line");
+    // Poll the context with a stride: a record is microseconds of work, so
+    // per-record clock reads would dominate the parse.
+    if (++records_since_check >= 4096) {
+      records_since_check = 0;
+      WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
+    }
     std::istringstream ss(record);
     std::string cell;
     double lat = 0.0, lon = 0.0, days = 0.0;
@@ -136,6 +146,9 @@ Result<Dataset> LoadGeoLifeDirectory(const std::string& root,
     }
     std::sort(plt_files.begin(), plt_files.end());
     for (const fs::path& plt : plt_files) {
+      WCOP_FAILPOINT("geolife.open_file");
+      // Cooperative yield point: one check per .plt file.
+      WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
       if (options.max_trajectories > 0 &&
           dataset.size() >= options.max_trajectories) {
         return dataset;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/run_context.h"
 #include "geo/projection.h"
 #include "traj/dataset.h"
 
@@ -37,6 +38,10 @@ struct GeoLifeOptions {
   /// the anchor).
   bool filter_outliers = true;
   double max_offset_metres = 500000.0;  ///< 500 km window
+
+  /// Optional execution context (deadline / cancellation), polled per file
+  /// and every few thousand records. Null means unbounded.
+  const RunContext* run_context = nullptr;
 };
 
 /// Parses a single .plt file into a Trajectory (id/object id must be set by

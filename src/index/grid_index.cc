@@ -1,13 +1,20 @@
 #include "index/grid_index.h"
 
-#include <cassert>
 #include <cmath>
+#include <string>
 
 namespace wcop {
 
+Result<GridIndex> GridIndex::Create(double cell_size) {
+  if (!std::isfinite(cell_size) || cell_size <= 0.0) {
+    return Status::InvalidArgument("grid cell size must be positive, got " +
+                                   std::to_string(cell_size));
+  }
+  return GridIndex(cell_size);
+}
+
 GridIndex::GridIndex(double cell_size) : cell_size_(cell_size) {
-  assert(cell_size_ > 0.0);
-  if (cell_size_ <= 0.0) {
+  if (!(cell_size_ > 0.0)) {  // also catches NaN
     cell_size_ = 1.0;
   }
 }

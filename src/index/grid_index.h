@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.h"
 #include "geo/point.h"
 
 namespace wcop {
@@ -18,11 +19,19 @@ namespace wcop {
 /// (indexing segment midpoints as a cheap pre-filter).
 class GridIndex {
  public:
-  /// `cell_size` must be > 0.
+  /// Validated construction: fails with InvalidArgument on a non-positive
+  /// or non-finite cell size instead of silently clamping.
+  static Result<GridIndex> Create(double cell_size);
+
+  /// `cell_size` should be > 0; non-positive values are clamped to 1 (use
+  /// Create() to reject them instead).
   explicit GridIndex(double cell_size);
 
   /// Inserts an item with the given location.
   void Insert(size_t item, double x, double y);
+
+  /// The (validated or clamped) cell size in use.
+  double cell_size() const { return cell_size_; }
 
   /// Number of inserted items.
   size_t size() const { return count_; }

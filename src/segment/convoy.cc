@@ -5,6 +5,7 @@
 #include <map>
 
 #include "cluster/dbscan.h"
+#include "common/failpoint.h"
 #include "index/grid_index.h"
 #include "traj/resample.h"
 
@@ -54,6 +55,10 @@ Result<std::vector<Convoy>> DiscoverConvoys(const Dataset& dataset,
   };
 
   for (double snapshot_time : grid_times) {
+    WCOP_FAILPOINT("segment.convoy_snapshot");
+    // Cooperative yield point: one check per snapshot (each snapshot runs
+    // a full DBSCAN over the alive objects).
+    WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
     // Gather trajectories alive at this snapshot and their positions.
     std::vector<int64_t> ids;
     std::vector<Point> positions;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/run_context.h"
 #include "segment/segmenter.h"
 #include "traj/dataset.h"
 
@@ -22,6 +23,10 @@ struct ConvoyOptions {
   size_t min_duration_snapshots = 3;      ///< k
   double snapshot_interval = 60.0;        ///< seconds between snapshots
   size_t min_sub_trajectory_points = 2;   ///< segmentation granularity floor
+
+  /// Optional execution context (deadline / cancellation / budget), polled
+  /// per snapshot by DiscoverConvoys. Null means unbounded.
+  const RunContext* run_context = nullptr;
 };
 
 /// A discovered convoy: the trajectory ids travelling together and the

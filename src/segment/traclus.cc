@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cluster/dbscan.h"
+#include "common/failpoint.h"
 #include "index/grid_index.h"
 
 namespace wcop {
@@ -252,6 +253,10 @@ Result<Dataset> TraclusSegmenter::Segment(const Dataset& dataset) {
   std::vector<Trajectory> out;
   int64_t next_id = 0;
   for (const Trajectory& t : dataset.trajectories()) {
+    WCOP_FAILPOINT("segment.traclus");
+    // Cooperative yield point: MDL partitioning is quadratic per
+    // trajectory, so per-trajectory granularity bounds the overshoot.
+    WCOP_RETURN_IF_ERROR(CheckRunContext(options_.run_context));
     const std::vector<size_t> cps = TraclusCharacteristicPoints(t, options_);
     // Characteristic points other than the endpoints become cut positions.
     std::vector<size_t> cuts;

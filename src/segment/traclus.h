@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/run_context.h"
 #include "geo/segment_geometry.h"
 #include "segment/segmenter.h"
 #include "traj/dataset.h"
@@ -38,6 +39,10 @@ struct TraclusOptions {
   /// Minimum number of contributing segments for a representative point
   /// (the TRACLUS paper's MinLns sweep threshold).
   size_t min_representative_lines = 3;
+
+  /// Optional execution context (deadline / cancellation / budget), polled
+  /// per trajectory by TraclusSegmenter::Segment. Null means unbounded.
+  const RunContext* run_context = nullptr;
 };
 
 /// MDL-based approximate trajectory partitioning: returns the indices of the

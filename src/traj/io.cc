@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/failpoint.h"
+
 namespace wcop {
 
 Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
@@ -30,7 +32,8 @@ Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
   return Status::OK();
 }
 
-Result<Dataset> ReadDatasetCsv(const std::string& path) {
+Result<Dataset> ReadDatasetCsv(const std::string& path,
+                               const RunContext* run_context) {
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open for reading: " + path);
@@ -42,6 +45,11 @@ Result<Dataset> ReadDatasetCsv(const std::string& path) {
   size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    WCOP_FAILPOINT("csv.read_line");
+    // Strided context poll: a line is microseconds of work.
+    if (line_no % 4096 == 0) {
+      WCOP_RETURN_IF_ERROR(CheckRunContext(run_context));
+    }
     if (line.empty() || line.rfind("traj_id", 0) == 0) {
       continue;  // Skip blank lines and the header.
     }

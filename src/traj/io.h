@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/run_context.h"
 #include "traj/dataset.h"
 
 namespace wcop {
@@ -19,8 +20,11 @@ namespace wcop {
 Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
 
 /// Reads a dataset previously written by WriteDatasetCsv. Points belonging
-/// to the same traj_id must be contiguous and time-ordered.
-Result<Dataset> ReadDatasetCsv(const std::string& path);
+/// to the same traj_id must be contiguous and time-ordered. An optional
+/// RunContext bounds the read (deadline / cancellation, polled every few
+/// thousand lines).
+Result<Dataset> ReadDatasetCsv(const std::string& path,
+                               const RunContext* run_context = nullptr);
 
 }  // namespace wcop
 

@@ -143,6 +143,16 @@ TEST(TablePrinterTest, AlignsColumns) {
   EXPECT_NE(out.find("| b     | 20000 |"), std::string::npos);
 }
 
+TEST(TablePrinterTest, PadsShortRowsAndTruncatesLongRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"1"});                      // short: padded with empty cells
+  t.AddRow({"1", "2", "3", "extra"});   // long: truncated to header width
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b,c\n1,,\n1,2,3\n");
+}
+
 TEST(TablePrinterTest, CsvQuotesSpecialCells) {
   TablePrinter t({"a", "b"});
   t.AddRow({"x,y", "say \"hi\""});

@@ -1,0 +1,222 @@
+#include "common/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "anon/streaming.h"
+#include "anon/wcop_b.h"
+#include "anon/wcop_ct.h"
+#include "anon/wcop_sa.h"
+#include "data/geolife_parser.h"
+#include "geo/projection.h"
+#include "segment/convoy.h"
+#include "segment/traclus.h"
+#include "test_util.h"
+#include "traj/io.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::SmallSynthetic;
+
+// Every test disarms on teardown so a failed assertion cannot leak an armed
+// site into later tests (ScopedFailpoint does the same per-site; this is the
+// belt to its suspenders).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+
+  std::string TempPath(const std::string& name) {
+    return (std::filesystem::path(::testing::TempDir()) / name).string();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Registry semantics.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailpointTest, DisarmedRegistryIsInert) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  EXPECT_FALSE(registry.any_armed());
+  EXPECT_TRUE(registry.Fire("nonexistent.site").ok());
+  EXPECT_TRUE(registry.ArmedSites().empty());
+}
+
+TEST_F(FailpointTest, ArmFireDisarm) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  registry.Arm("test.site", Status::IoError("injected"));
+  EXPECT_TRUE(registry.any_armed());
+  ASSERT_EQ(registry.ArmedSites().size(), 1u);
+  EXPECT_EQ(registry.ArmedSites().front(), "test.site");
+
+  Status s = registry.Fire("test.site");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_TRUE(registry.Fire("other.site").ok());
+
+  registry.Disarm("test.site");
+  EXPECT_FALSE(registry.any_armed());
+  EXPECT_TRUE(registry.Fire("test.site").ok());
+}
+
+TEST_F(FailpointTest, MaxFiresSelfDisarms) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  registry.Arm("test.limited", Status::Internal("boom"), /*max_fires=*/2);
+  EXPECT_FALSE(registry.Fire("test.limited").ok());
+  EXPECT_FALSE(registry.Fire("test.limited").ok());
+  EXPECT_TRUE(registry.Fire("test.limited").ok());  // exhausted -> disarmed
+  EXPECT_FALSE(registry.any_armed());
+  EXPECT_GE(registry.HitCount("test.limited"), 2u);
+}
+
+TEST_F(FailpointTest, ReArmingOverwrites) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  registry.Arm("test.site", Status::Internal("first"));
+  registry.Arm("test.site", Status::IoError("second"));
+  EXPECT_EQ(registry.ArmedSites().size(), 1u);
+  EXPECT_EQ(registry.Fire("test.site").code(), StatusCode::kIoError);
+  registry.Disarm("test.site");
+  EXPECT_FALSE(registry.any_armed());
+}
+
+TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
+  {
+    ScopedFailpoint fp("test.scoped", Status::Internal("boom"));
+    EXPECT_TRUE(FailpointRegistry::Instance().any_armed());
+  }
+  EXPECT_FALSE(FailpointRegistry::Instance().any_armed());
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection through every instrumented pipeline boundary. Each test
+// arms exactly one production site and asserts the enclosing driver returns
+// the injected Status cleanly (no crash, no partial mutation escaping as a
+// published result).
+// ---------------------------------------------------------------------------
+
+TEST_F(FailpointTest, InjectCsvReadLine) {
+  const Dataset d = SmallSynthetic(5, 10);
+  const std::string path = TempPath("failpoint_csv_test.csv");
+  ASSERT_TRUE(WriteDatasetCsv(d, path).ok());
+
+  ScopedFailpoint fp("csv.read_line", Status::IoError("injected read error"));
+  Result<Dataset> result = ReadDatasetCsv(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError) << result.status();
+  std::filesystem::remove(path);
+}
+
+TEST_F(FailpointTest, InjectGeoLifeReadLine) {
+  const Dataset d = SmallSynthetic(2, 20);
+  const LocalProjection projection(39.9057, 116.3913);
+  const std::string path = TempPath("failpoint_geolife_test.plt");
+  ASSERT_TRUE(
+      WritePltFile(*d.FindById(d.trajectories().front().id()), projection, path)
+          .ok());
+
+  ScopedFailpoint fp("geolife.read_line", Status::IoError("injected"));
+  Result<Trajectory> result = ParsePltFile(path, projection);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError) << result.status();
+  std::filesystem::remove(path);
+}
+
+TEST_F(FailpointTest, InjectGeoLifeOpenFile) {
+  const Dataset d = SmallSynthetic(3, 20);
+  const LocalProjection projection(39.9057, 116.3913);
+  const std::string root = TempPath("failpoint_geolife_dir");
+  ASSERT_TRUE(WriteGeoLifeDirectory(d, projection, root).ok());
+
+  ScopedFailpoint fp("geolife.open_file", Status::IoError("injected"));
+  Result<Dataset> result = LoadGeoLifeDirectory(root);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError) << result.status();
+  std::filesystem::remove_all(root);
+}
+
+TEST_F(FailpointTest, InjectGreedyClusteringRound) {
+  const Dataset d = SmallSynthetic(20, 20);
+  ScopedFailpoint fp("cluster.greedy_round",
+                     Status::ResourceExhausted("injected"));
+  Result<AnonymizationResult> result = RunWcopCt(d);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status();
+}
+
+TEST_F(FailpointTest, InjectAgglomerativeRound) {
+  const Dataset d = SmallSynthetic(20, 20);
+  WcopOptions options;
+  options.clustering_algo = WcopOptions::ClusteringAlgo::kAgglomerative;
+  ScopedFailpoint fp("cluster.agglomerative_round",
+                     Status::Internal("injected"));
+  Result<AnonymizationResult> result = RunWcopCt(d, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal) << result.status();
+}
+
+TEST_F(FailpointTest, InjectClusterTranslation) {
+  const Dataset d = SmallSynthetic(20, 20);
+  ScopedFailpoint fp("anon.translate_cluster", Status::Internal("injected"));
+  Result<AnonymizationResult> result = RunWcopCt(d);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal) << result.status();
+}
+
+TEST_F(FailpointTest, InjectTraclusSegmentation) {
+  const Dataset d = SmallSynthetic(15, 30);
+  TraclusSegmenter segmenter;
+  ScopedFailpoint fp("segment.traclus", Status::Internal("injected"));
+  Result<WcopSaResult> result = RunWcopSa(d, &segmenter);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal) << result.status();
+}
+
+TEST_F(FailpointTest, InjectConvoySnapshot) {
+  const Dataset d = SmallSynthetic(15, 30);
+  ConvoyOptions options;
+  options.snapshot_interval = 30.0;
+  ScopedFailpoint fp("segment.convoy_snapshot", Status::Internal("injected"));
+  Result<std::vector<Convoy>> result = DiscoverConvoys(d, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal) << result.status();
+}
+
+TEST_F(FailpointTest, InjectStreamingWindow) {
+  const Dataset d = SmallSynthetic(20, 60);
+  StreamingOptions options;
+  options.window_seconds = 200.0;
+  ScopedFailpoint fp("streaming.window", Status::Internal("injected"));
+  Result<StreamingResult> result = RunStreamingWcop(d, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal) << result.status();
+}
+
+TEST_F(FailpointTest, InjectWcopBRound) {
+  const Dataset d = SmallSynthetic(15, 20);
+  WcopBOptions b_options;
+  b_options.max_edit_size = 3;
+  ScopedFailpoint fp("wcop_b.round", Status::Internal("injected"));
+  Result<WcopBResult> result = RunWcopB(d, {}, b_options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal) << result.status();
+}
+
+// A max_fires=1 injection on a per-round site lets the retry-free pipeline
+// fail once and the next, un-injected run succeed — proving no state leaks
+// across runs through the registry.
+TEST_F(FailpointTest, PipelineRecoversAfterInjection) {
+  const Dataset d = SmallSynthetic(20, 20);
+  {
+    ScopedFailpoint fp("cluster.greedy_round", Status::Internal("transient"),
+                       /*max_fires=*/1);
+    EXPECT_FALSE(RunWcopCt(d).ok());
+  }
+  Result<AnonymizationResult> retry = RunWcopCt(d);
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_FALSE(retry->report.degraded);
+}
+
+}  // namespace
+}  // namespace wcop

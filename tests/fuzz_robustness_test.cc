@@ -1,14 +1,23 @@
 // Robustness: the file parsers must never crash or loop on malformed
-// input — they fail with a Status or skip garbage records gracefully.
+// input — they fail with a Status or skip garbage records gracefully —
+// and the anonymization pipeline must survive adversarial datasets
+// (non-finite coordinates, broken timelines, degenerate trajectories)
+// by returning a non-OK Status or a structurally valid result.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <string>
+#include <vector>
 
+#include "anon/verifier.h"
+#include "anon/wcop_ct.h"
 #include "common/rng.h"
 #include "data/geolife_parser.h"
+#include "test_util.h"
 #include "traj/io.h"
 
 namespace wcop {
@@ -107,6 +116,133 @@ TEST_F(FuzzRobustnessTest, PltParserSurvivesPathologicalNumbers) {
   if (r.ok()) {
     EXPECT_TRUE(r->Validate().ok());  // non-finite points must not survive
   }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial end-to-end runs: RunWcopCt must either reject the dataset with
+// a clean Status or publish a result the independent verifier accepts. It
+// must never crash, hang, or publish structurally invalid trajectories.
+// ---------------------------------------------------------------------------
+
+using testing_util::MakeLineWithReq;
+
+// Shared contract check for every adversarial dataset below.
+void ExpectCleanRejectionOrValidResult(const Dataset& dataset) {
+  WcopOptions options;
+  options.seed = 13;
+  Result<AnonymizationResult> r = RunWcopCt(dataset, options);
+  if (!r.ok()) {
+    EXPECT_FALSE(r.status().message().empty()) << r.status();
+    return;
+  }
+  EXPECT_TRUE(r->sanitized.Validate().ok());
+  VerificationReport verification = VerifyAnonymity(dataset, *r);
+  EXPECT_TRUE(verification.ok)
+      << (verification.messages.empty() ? "" : verification.messages.front());
+}
+
+TEST(AdversarialPipelineTest, NanCoordinates) {
+  Dataset d;
+  for (int i = 0; i < 8; ++i) {
+    d.Add(MakeLineWithReq(i + 1, i * 10.0, 0.0, 1.0, 1.0, 20, 2, 500.0));
+  }
+  std::vector<Point> points;
+  for (int i = 0; i < 20; ++i) {
+    points.emplace_back(std::nan(""), 5.0, 10.0 * i);
+  }
+  Trajectory poisoned(100, std::move(points), Requirement{2, 500.0});
+  d.Add(std::move(poisoned));
+  ExpectCleanRejectionOrValidResult(d);
+}
+
+TEST(AdversarialPipelineTest, InfiniteCoordinates) {
+  Dataset d;
+  for (int i = 0; i < 8; ++i) {
+    d.Add(MakeLineWithReq(i + 1, i * 10.0, 0.0, 1.0, 1.0, 20, 2, 500.0));
+  }
+  std::vector<Point> points;
+  const double inf = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < 20; ++i) {
+    points.emplace_back(i % 2 == 0 ? inf : -inf, 5.0, 10.0 * i);
+  }
+  d.Add(Trajectory(100, std::move(points), Requirement{2, 500.0}));
+  ExpectCleanRejectionOrValidResult(d);
+}
+
+TEST(AdversarialPipelineTest, NonMonotoneTimestamps) {
+  Dataset d;
+  for (int i = 0; i < 8; ++i) {
+    d.Add(MakeLineWithReq(i + 1, i * 10.0, 0.0, 1.0, 1.0, 20, 2, 500.0));
+  }
+  std::vector<Point> points;
+  for (int i = 0; i < 20; ++i) {
+    // Timeline zig-zags backwards every third sample.
+    points.emplace_back(1.0 * i, 1.0 * i, i % 3 == 0 ? 100.0 - i : 1.0 * i);
+  }
+  d.Add(Trajectory(100, std::move(points), Requirement{2, 500.0}));
+  ExpectCleanRejectionOrValidResult(d);
+}
+
+TEST(AdversarialPipelineTest, ZeroPointTrajectory) {
+  Dataset d;
+  for (int i = 0; i < 8; ++i) {
+    d.Add(MakeLineWithReq(i + 1, i * 10.0, 0.0, 1.0, 1.0, 20, 2, 500.0));
+  }
+  d.Add(Trajectory(100, {}, Requirement{2, 500.0}));
+  ExpectCleanRejectionOrValidResult(d);
+}
+
+TEST(AdversarialPipelineTest, SinglePointTrajectory) {
+  Dataset d;
+  for (int i = 0; i < 8; ++i) {
+    d.Add(MakeLineWithReq(i + 1, i * 10.0, 0.0, 1.0, 1.0, 20, 2, 500.0));
+  }
+  d.Add(Trajectory(100, {Point(3.0, 4.0, 50.0)}, Requirement{2, 500.0}));
+  ExpectCleanRejectionOrValidResult(d);
+}
+
+TEST(AdversarialPipelineTest, DuplicateTrajectoryIds) {
+  Dataset d;
+  for (int i = 0; i < 8; ++i) {
+    d.Add(MakeLineWithReq(i + 1, i * 10.0, 0.0, 1.0, 1.0, 20, 2, 500.0));
+  }
+  // Same id as trajectory 1, different geometry.
+  d.Add(MakeLineWithReq(1, 500.0, 500.0, -1.0, 0.5, 20, 3, 400.0));
+  ExpectCleanRejectionOrValidResult(d);
+}
+
+TEST(AdversarialPipelineTest, DuplicateObjectIds) {
+  Dataset d;
+  for (int i = 0; i < 8; ++i) {
+    Trajectory t = MakeLineWithReq(i + 1, i * 10.0, 0.0, 1.0, 1.0, 20, 2,
+                                   500.0);
+    t.set_object_id(7);  // every trajectory claims the same moving object
+    d.Add(std::move(t));
+  }
+  ExpectCleanRejectionOrValidResult(d);
+}
+
+TEST(AdversarialPipelineTest, EmptyDataset) {
+  ExpectCleanRejectionOrValidResult(Dataset{});
+}
+
+TEST(AdversarialPipelineTest, UnsatisfiableRequirements) {
+  // Three trajectories all demanding k = 50: no cluster can ever reach its
+  // k, so everything must be trashed or the run must fail cleanly.
+  Dataset d;
+  for (int i = 0; i < 3; ++i) {
+    d.Add(MakeLineWithReq(i + 1, i * 10.0, 0.0, 1.0, 1.0, 20, 50, 500.0));
+  }
+  ExpectCleanRejectionOrValidResult(d);
+}
+
+TEST(AdversarialPipelineTest, ExtremeCoordinateMagnitudes) {
+  Dataset d;
+  for (int i = 0; i < 8; ++i) {
+    d.Add(MakeLineWithReq(i + 1, i * 10.0, 0.0, 1.0, 1.0, 20, 2, 500.0));
+  }
+  d.Add(MakeLineWithReq(100, 1e15, -1e15, 1e12, -1e12, 20, 2, 500.0));
+  ExpectCleanRejectionOrValidResult(d);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -100,6 +101,31 @@ TEST(GridIndexTest, DuplicateLocationsAllReturned) {
   grid.Insert(2, 2.0, 2.0);
   grid.Insert(3, 2.0, 2.0);
   EXPECT_EQ(grid.RangeQuery(2.0, 2.0, 0.1).size(), 3u);
+}
+
+TEST(GridIndexTest, CreateValidatesCellSize) {
+  Result<GridIndex> ok = GridIndex::Create(25.0);
+  ASSERT_TRUE(ok.ok()) << ok.status();
+  EXPECT_EQ(ok->cell_size(), 25.0);
+
+  for (double bad : {0.0, -3.0, std::nan(""),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    Result<GridIndex> r = GridIndex::Create(bad);
+    ASSERT_FALSE(r.ok()) << "cell_size=" << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(GridIndexTest, DirectConstructionClampsDegenerateCellSize) {
+  // The legacy constructor no longer asserts; it clamps to a usable cell so
+  // pre-Create() call sites keep working.
+  GridIndex nan_grid(std::nan(""));
+  EXPECT_GT(nan_grid.cell_size(), 0.0);
+  GridIndex zero_grid(0.0);
+  EXPECT_GT(zero_grid.cell_size(), 0.0);
+  zero_grid.Insert(1, 2.0, 2.0);
+  EXPECT_EQ(zero_grid.RangeQuery(2.0, 2.0, 0.5).size(), 1u);
 }
 
 }  // namespace
