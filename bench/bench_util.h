@@ -2,10 +2,16 @@
 #define WCOP_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "anon/report_json.h"
 #include "common/arg_parser.h"
 #include "common/rng.h"
+#include "common/telemetry.h"
 #include "data/synthetic.h"
 #include "segment/convoy.h"
 #include "segment/traclus.h"
@@ -91,6 +97,74 @@ inline TraclusOptions BenchTraclusOptions() {
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// Machine-readable bench output behind the shared `--json-out=FILE` flag:
+/// each benchmark configuration appends one record
+///
+///   {"bench":"table3","config":{"points":120,...},"seconds":1.23,
+///    "metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+///
+/// and Flush() writes the array. A missing flag turns everything into a
+/// no-op so benches can call Add/Flush unconditionally.
+class JsonOut {
+ public:
+  explicit JsonOut(const ArgParser& args)
+      : path_(args.GetString("json-out", "")) {}
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& bench,
+           const std::vector<std::pair<std::string, double>>& config,
+           double seconds, const telemetry::MetricsSnapshot& metrics) {
+    if (!enabled()) {
+      return;
+    }
+    std::ostringstream os;
+    os << "{\"bench\":\"" << bench << "\",\"config\":{";
+    for (size_t i = 0; i < config.size(); ++i) {
+      if (i != 0) {
+        os << ",";
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.10g", config[i].second);
+      os << "\"" << config[i].first << "\":" << buf;
+    }
+    char seconds_buf[64];
+    std::snprintf(seconds_buf, sizeof(seconds_buf), "%.10g", seconds);
+    os << "},\"seconds\":" << seconds_buf
+       << ",\"metrics\":" << MetricsToJson(metrics) << "}";
+    records_.push_back(os.str());
+  }
+
+  /// Writes the accumulated records; reports failure on stderr and returns
+  /// false so main() can propagate a non-zero exit.
+  bool Flush() const {
+    if (!enabled()) {
+      return true;
+    }
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --json-out file: %s\n", path_.c_str());
+      return false;
+    }
+    out << "[";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << (i == 0 ? "\n  " : ",\n  ") << records_[i];
+    }
+    out << "\n]\n";
+    if (!out) {
+      std::fprintf(stderr, "write failed: %s\n", path_.c_str());
+      return false;
+    }
+    std::printf("wrote %zu bench records to %s\n", records_.size(),
+                path_.c_str());
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
 
 }  // namespace bench
 }  // namespace wcop

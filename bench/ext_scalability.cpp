@@ -22,6 +22,14 @@ int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const size_t max_trajectories =
       static_cast<size_t>(args.GetInt("max-trajectories", 238));
+  JsonOut json_out(args);
+
+  // One sink for the whole sweep holds the aggregated phase-timing
+  // histograms; each configuration additionally gets its own sink so its
+  // json metrics record stands alone.
+  telemetry::Telemetry tel;
+  telemetry::Histogram* ct_hist = tel.metrics().GetHistogram("bench.wcop_ct_ns");
+  telemetry::Histogram* sa_hist = tel.metrics().GetHistogram("bench.wcop_sa_ns");
 
   PrintHeader("Extension: runtime vs number of trajectories (80 pts each)");
   {
@@ -38,21 +46,36 @@ int main(int argc, char** argv) {
       AssignPaperRequirements(&d, 5, 250.0, 11);
       WcopOptions options;
       options.seed = 3;
+      telemetry::Telemetry run_tel;
+      options.telemetry = &run_tel;
 
-      Stopwatch ct_timer;
-      Result<AnonymizationResult> ct = RunWcopCt(d, options);
-      const double ct_seconds = ct_timer.ElapsedSeconds();
+      double ct_seconds = 0.0;
+      Result<AnonymizationResult> ct = Status::Internal("not run");
+      {
+        ScopedTimer timer(ct_hist);
+        ct = RunWcopCt(d, options);
+        ct_seconds = timer.watch().ElapsedSeconds();
+      }
 
       TraclusSegmenter segmenter(BenchTraclusOptions());
-      Stopwatch sa_timer;
-      Result<WcopSaResult> sa = RunWcopSa(d, &segmenter, options);
-      const double sa_seconds = sa_timer.ElapsedSeconds();
+      double sa_seconds = 0.0;
+      {
+        ScopedTimer timer(sa_hist);
+        Result<WcopSaResult> sa = RunWcopSa(d, &segmenter, options);
+        sa_seconds = timer.watch().ElapsedSeconds();
+        (void)sa;
+      }
 
+      if (ct.ok()) {
+        json_out.Add("ext_scalability/trajectories",
+                     {{"trajectories", static_cast<double>(n)},
+                      {"points", 80.0}},
+                     ct_seconds, ct->report.metrics);
+      }
       table.AddRow({std::to_string(n), FormatSignificant(ct_seconds, 3),
                     FormatSignificant(sa_seconds, 3),
                     ct.ok() ? std::to_string(ct->report.num_clusters)
                             : "fail"});
-      (void)sa;
     }
     table.Print(std::cout);
   }
@@ -70,19 +93,44 @@ int main(int argc, char** argv) {
       AssignPaperRequirements(&d, 5, 250.0, 11);
       WcopOptions options;
       options.seed = 3;
-      Stopwatch timer;
-      Result<AnonymizationResult> r = RunWcopCt(d, options);
-      const double seconds = timer.ElapsedSeconds();
+      telemetry::Telemetry run_tel;
+      options.telemetry = &run_tel;
+      double seconds = 0.0;
+      Result<AnonymizationResult> r = Status::Internal("not run");
+      {
+        ScopedTimer timer(ct_hist);
+        r = RunWcopCt(d, options);
+        seconds = timer.watch().ElapsedSeconds();
+      }
       if (base == 0.0) {
         base = seconds;
       }
+      if (r.ok()) {
+        json_out.Add("ext_scalability/points",
+                     {{"trajectories", 120.0},
+                      {"points", static_cast<double>(points)}},
+                     seconds, r->report.metrics);
+      }
       table.AddRow({std::to_string(points), FormatSignificant(seconds, 3),
                     FormatSignificant(seconds / base, 3) + "x"});
-      (void)r;
     }
     table.Print(std::cout);
     std::printf("expected shape: ~4x runtime per point-count doubling (the\n"
                 "EDR dynamic program is quadratic in trajectory length).\n");
+  }
+
+  // The aggregated phase-timing distribution over every configuration run.
+  const telemetry::MetricsSnapshot snapshot = tel.metrics().Snapshot();
+  if (const telemetry::HistogramSummary* h =
+          snapshot.FindHistogram("bench.wcop_ct_ns");
+      h != nullptr && h->count > 0) {
+    std::printf("\nWCOP-CT timing over %llu runs: mean %.3fs, p50 %.3fs, "
+                "max %.3fs\n",
+                static_cast<unsigned long long>(h->count), h->mean * 1e-9,
+                h->p50 * 1e-9, static_cast<double>(h->max) * 1e-9);
+  }
+  if (!json_out.Flush()) {
+    return 1;
   }
   return 0;
 }

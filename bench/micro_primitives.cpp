@@ -172,6 +172,77 @@ void BM_WcopCtEndToEnd(benchmark::State& state) {
 }
 BENCHMARK(BM_WcopCtEndToEnd)->Range(32, 128)->Unit(benchmark::kMillisecond);
 
+// With a sink attached: the same pipeline paying for counters and spans.
+// Comparing against BM_WcopCtEndToEnd quantifies the observability overhead
+// on a real run (the acceptance bar is "negligible against the quadratic
+// distance work", not zero).
+void BM_WcopCtEndToEndTelemetry(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(n, 60);
+  for (auto _ : state) {
+    telemetry::Telemetry tel;
+    WcopOptions options;
+    options.telemetry = &tel;
+    benchmark::DoNotOptimize(RunWcopCt(d, options));
+  }
+}
+BENCHMARK(BM_WcopCtEndToEndTelemetry)
+    ->Range(32, 128)
+    ->Unit(benchmark::kMillisecond);
+
+// Raw cost of the telemetry primitives themselves.
+void BM_TelemetryCounterAdd(benchmark::State& state) {
+  telemetry::Telemetry tel;
+  telemetry::Counter* counter = tel.metrics().GetCounter("bench.counter");
+  for (auto _ : state) {
+    telemetry::CounterAdd(counter);
+  }
+  benchmark::DoNotOptimize(counter->value());
+}
+BENCHMARK(BM_TelemetryCounterAdd);
+
+// The disabled path every instrumented call site pays without a sink.
+void BM_TelemetryCounterAddNull(benchmark::State& state) {
+  telemetry::Counter* counter = nullptr;
+  for (auto _ : state) {
+    telemetry::CounterAdd(counter);
+    benchmark::DoNotOptimize(counter);
+  }
+}
+BENCHMARK(BM_TelemetryCounterAddNull);
+
+void BM_TelemetryHistogramRecord(benchmark::State& state) {
+  telemetry::Telemetry tel;
+  telemetry::Histogram* hist = tel.metrics().GetHistogram("bench.hist");
+  uint64_t v = 1;
+  for (auto _ : state) {
+    hist->Record(v);
+    v = (v * 2862933555777941757ull + 3037000493ull) >> 16;  // cheap lcg
+  }
+  benchmark::DoNotOptimize(hist->count());
+}
+BENCHMARK(BM_TelemetryHistogramRecord);
+
+void BM_TelemetryScopedSpan(benchmark::State& state) {
+  telemetry::Telemetry tel;
+  for (auto _ : state) {
+    WCOP_TRACE_SPAN(&tel, "bench/span");
+  }
+  benchmark::DoNotOptimize(tel.trace().event_count());
+}
+// Fixed iteration count: every span is kept in the recorder, so an
+// auto-scaled run would grow the event vector into the hundreds of MB.
+BENCHMARK(BM_TelemetryScopedSpan)->Iterations(1 << 16);
+
+void BM_TelemetryScopedSpanNull(benchmark::State& state) {
+  telemetry::Telemetry* tel = nullptr;
+  for (auto _ : state) {
+    WCOP_TRACE_SPAN(tel, "bench/span");
+    benchmark::DoNotOptimize(tel);
+  }
+}
+BENCHMARK(BM_TelemetryScopedSpanNull);
+
 }  // namespace
 
 BENCHMARK_MAIN();

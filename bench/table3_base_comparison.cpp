@@ -9,6 +9,8 @@
 // CT's distortion by editing a handful of demanding trajectories.
 //
 // Run:  ./table3_base_comparison [--points=120] [--full]
+//       [--json-out=table3.json]   one metrics record per algorithm
+//       [--trace-out=trace.json]   Chrome trace of the WCOP-CT run
 
 #include <cstdio>
 #include <iostream>
@@ -43,40 +45,82 @@ int main(int argc, char** argv) {
   WcopOptions options;
   options.seed = scale.seed + 2;
 
+  JsonOut json_out(args);
+  const std::string trace_out = args.GetString("trace-out", "");
+  const std::vector<std::pair<std::string, double>> config = {
+      {"points", static_cast<double>(scale.points)},
+      {"trajectories", static_cast<double>(scale.trajectories)},
+      {"kmax", static_cast<double>(k_max)},
+      {"dmax", delta_max},
+  };
+
   std::vector<NamedReport> reports;
 
   {
+    // Each algorithm runs with its own telemetry sink so the per-bench
+    // metrics records are independent, not cumulative.
+    telemetry::Telemetry tel;
+    options.telemetry = &tel;
     Result<AnonymizationResult> r = RunWcopNv(dataset, options);
     if (!r.ok()) {
       std::cerr << "WCOP-NV failed: " << r.status() << "\n";
       return 1;
     }
+    json_out.Add("table3/WCOP-NV", config, r->report.runtime_seconds,
+                 r->report.metrics);
     reports.push_back({"WCOP-NV", r->report});
   }
   {
+    telemetry::Telemetry tel;
+    options.telemetry = &tel;
     Result<AnonymizationResult> r = RunWcopCt(dataset, options);
     if (!r.ok()) {
       std::cerr << "WCOP-CT failed: " << r.status() << "\n";
       return 1;
     }
+    if (!trace_out.empty()) {
+      Status s = tel.WriteChromeTrace(trace_out);
+      if (!s.ok()) {
+        std::cerr << "trace export failed: " << s << "\n";
+        return 1;
+      }
+      std::printf("wrote Chrome trace of the WCOP-CT run to %s\n",
+                  trace_out.c_str());
+    }
+    json_out.Add("table3/WCOP-CT", config, r->report.runtime_seconds,
+                 r->report.metrics);
     reports.push_back({"WCOP-CT", r->report});
   }
   {
-    TraclusSegmenter segmenter(BenchTraclusOptions());
+    telemetry::Telemetry tel;
+    options.telemetry = &tel;
+    TraclusOptions traclus_options = BenchTraclusOptions();
+    traclus_options.telemetry = &tel;
+    TraclusSegmenter segmenter(traclus_options);
     Result<WcopSaResult> r = RunWcopSa(dataset, &segmenter, options);
     if (!r.ok()) {
       std::cerr << "WCOP-SA Traclus failed: " << r.status() << "\n";
       return 1;
     }
+    json_out.Add("table3/WCOP-SA-Traclus", config,
+                 r->anonymization.report.runtime_seconds,
+                 r->anonymization.report.metrics);
     reports.push_back({"WCOP-SA Traclus", r->anonymization.report});
   }
   {
-    ConvoySegmenter segmenter(BenchConvoyOptions());
+    telemetry::Telemetry tel;
+    options.telemetry = &tel;
+    ConvoyOptions convoy_options = BenchConvoyOptions();
+    convoy_options.telemetry = &tel;
+    ConvoySegmenter segmenter(convoy_options);
     Result<WcopSaResult> r = RunWcopSa(dataset, &segmenter, options);
     if (!r.ok()) {
       std::cerr << "WCOP-SA Convoys failed: " << r.status() << "\n";
       return 1;
     }
+    json_out.Add("table3/WCOP-SA-Convoys", config,
+                 r->anonymization.report.runtime_seconds,
+                 r->anonymization.report.metrics);
     reports.push_back({"WCOP-SA Convoys", r->anonymization.report});
   }
   {
@@ -88,6 +132,8 @@ int main(int argc, char** argv) {
     b_options.distort_max = reports[1].report.total_distortion * 0.8;
     b_options.step = 1;
     b_options.max_edit_size = 16;
+    telemetry::Telemetry sweep_tel;
+    options.telemetry = &sweep_tel;
     Result<WcopBResult> swept = RunWcopB(dataset, options, b_options);
     if (!swept.ok()) {
       std::cerr << "WCOP-B failed: " << swept.status() << "\n";
@@ -108,13 +154,19 @@ int main(int argc, char** argv) {
     // Re-run to the best operating point so the reported row is the full,
     // consistent report of that round (runs are seed-deterministic).
     b_options.distort_max = best_total * (1.0 + 1e-9);
+    telemetry::Telemetry tel;
+    options.telemetry = &tel;
     Result<WcopBResult> best = RunWcopB(dataset, options, b_options);
     if (!best.ok()) {
       std::cerr << "WCOP-B failed: " << best.status() << "\n";
       return 1;
     }
+    json_out.Add("table3/WCOP-B", config,
+                 best->anonymization.report.runtime_seconds,
+                 best->anonymization.report.metrics);
     reports.push_back({"WCOP-B", best->anonymization.report});
   }
+  options.telemetry = nullptr;
 
   PrintHeader(
       "Table 3: base comparison (k_max=5, delta_max=250, same dataset)");
@@ -187,5 +239,8 @@ int main(int argc, char** argv) {
                   : "MISMATCH");
   std::printf("  [%s] WCOP-B distortion <= WCOP-CT\n",
               b.total_distortion <= ct.total_distortion ? "ok" : "MISMATCH");
+  if (!json_out.Flush()) {
+    return 1;
+  }
   return 0;
 }

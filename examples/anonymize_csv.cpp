@@ -16,8 +16,10 @@
 #include <iostream>
 #include <string>
 
+#include "anon/report_json.h"
 #include "anon/wcop.h"
 #include "common/arg_parser.h"
+#include "common/telemetry.h"
 #include "data/geolife_parser.h"
 #include "data/synthetic.h"
 #include "segment/convoy.h"
@@ -63,7 +65,8 @@ int main(int argc, char** argv) {
         "              [--out=anon.csv] [--dump-original=orig.csv]\n"
         "              [--assign-k=5 --assign-delta=250]  (if input lacks "
         "requirements)\n"
-        "              [--budget=0.8] [--max-points=500] [--seed=7]");
+        "              [--budget=0.8] [--max-points=500] [--seed=7]\n"
+        "              [--trace-out=trace.json] [--metrics-out=metrics.json]");
     return 0;
   }
 
@@ -106,8 +109,14 @@ int main(int argc, char** argv) {
   std::printf("input: %s\n", dataset.DebugString().c_str());
 
   const std::string algo = args.GetString("algo", "ct");
+  const std::string trace_out = args.GetString("trace-out", "");
+  const std::string metrics_out = args.GetString("metrics-out", "");
+  telemetry::Telemetry telemetry;
   WcopOptions options;
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 7)) + 2;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    options.telemetry = &telemetry;
+  }
 
   Dataset audited_input = dataset;
   AnonymizationResult result;
@@ -129,11 +138,14 @@ int main(int argc, char** argv) {
     }
     result = std::move(r).value();
   } else if (algo == "sa-traclus" || algo == "sa-convoys") {
-    TraclusSegmenter traclus;
+    TraclusOptions traclus_options;
+    traclus_options.telemetry = options.telemetry;
+    TraclusSegmenter traclus(traclus_options);
     ConvoyOptions convoy_options;
     convoy_options.min_objects = 2;
     convoy_options.eps = 200.0;
     convoy_options.snapshot_interval = 60.0;
+    convoy_options.telemetry = options.telemetry;
     ConvoySegmenter convoys(convoy_options);
     Segmenter* segmenter =
         algo == "sa-traclus" ? static_cast<Segmenter*>(&traclus)
@@ -172,6 +184,23 @@ int main(int argc, char** argv) {
               "%.4g, discernibility %.4g, %.2fs\n",
               algo.c_str(), rep.num_clusters, rep.trashed_trajectories,
               rep.total_distortion, rep.discernibility, rep.runtime_seconds);
+
+  if (!trace_out.empty()) {
+    Status s = telemetry.WriteChromeTrace(trace_out);
+    if (!s.ok()) {
+      std::cerr << "trace export failed: " << s << "\n";
+      return 1;
+    }
+    std::printf("wrote %s (open in chrome://tracing)\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    Status s = WriteJsonFile(MetricsToJson(rep.metrics), metrics_out);
+    if (!s.ok()) {
+      std::cerr << "metrics export failed: " << s << "\n";
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
 
   if (algo != "b") {  // B edits requirements; the audit base differs
     const VerificationReport audit = VerifyAnonymity(audited_input, result);

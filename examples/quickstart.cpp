@@ -2,12 +2,17 @@
 // preferences, anonymize it with WCOP-CT, and audit the result.
 //
 // Run:  ./quickstart [--trajectories=60] [--points=80] [--seed=7]
+//       [--trace-out=trace.json]     Chrome trace (chrome://tracing)
+//       [--metrics-out=metrics.json] metrics snapshot as JSON
 
 #include <cstdio>
 #include <iostream>
+#include <string>
 
+#include "anon/report_json.h"
 #include "anon/wcop.h"
 #include "common/arg_parser.h"
+#include "common/telemetry.h"
 #include "data/synthetic.h"
 
 using namespace wcop;
@@ -43,7 +48,16 @@ int main(int argc, char** argv) {
   std::cout << "input:  " << dataset.DebugString() << "\n";
 
   // 3. Anonymize with the personalized clustering-and-translation pipeline.
-  Result<AnonymizationResult> maybe_result = RunWcopCt(dataset);
+  //    A telemetry sink is optional; attaching one records phase spans and
+  //    named counters for the run (exported below).
+  const std::string trace_out = args.GetString("trace-out", "");
+  const std::string metrics_out = args.GetString("metrics-out", "");
+  telemetry::Telemetry telemetry;
+  WcopOptions options;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    options.telemetry = &telemetry;
+  }
+  Result<AnonymizationResult> maybe_result = RunWcopCt(dataset, options);
   if (!maybe_result.ok()) {
     std::cerr << "anonymization failed: " << maybe_result.status() << "\n";
     return 1;
@@ -59,7 +73,28 @@ int main(int argc, char** argv) {
   std::printf("        created %zu / deleted %zu points, runtime %.2fs\n",
               r.created_points, r.deleted_points, r.runtime_seconds);
 
-  // 4. Audit: every published cluster must be a true (k,delta)-anonymity
+  // 4. Export observability artifacts when asked for.
+  if (!trace_out.empty()) {
+    Status s = telemetry.WriteChromeTrace(trace_out);
+    if (!s.ok()) {
+      std::cerr << "trace export failed: " << s << "\n";
+      return 1;
+    }
+    std::printf("trace:  wrote %s (open in chrome://tracing)\n",
+                trace_out.c_str());
+    std::printf("%s", telemetry.trace().Summary(5).c_str());
+  }
+  if (!metrics_out.empty()) {
+    Status s = WriteJsonFile(MetricsToJson(r.metrics), metrics_out);
+    if (!s.ok()) {
+      std::cerr << "metrics export failed: " << s << "\n";
+      return 1;
+    }
+    std::printf("metrics: wrote %s (%zu counters)\n", metrics_out.c_str(),
+                r.metrics.counters.size());
+  }
+
+  // 5. Audit: every published cluster must be a true (k,delta)-anonymity
   //    set satisfying each member's personal preference.
   const VerificationReport audit = VerifyAnonymity(dataset, result);
   std::printf("audit:  %zu clusters checked, %zu violations -> %s\n",

@@ -28,9 +28,15 @@ struct WorkingCluster {
 class PairCache {
  public:
   PairCache(const Dataset& dataset, const DistanceConfig& config,
-            const RunContext* context)
+            const RunContext* context, telemetry::Telemetry* telemetry)
       : dataset_(dataset), config_(config), context_(context),
-        n_(dataset.size()) {}
+        n_(dataset.size()) {
+    if (telemetry != nullptr) {
+      distance_calls_ =
+          telemetry->metrics().GetCounter(DistanceCallCounterName(config));
+      cache_hits_ = telemetry->metrics().GetCounter("distance.cache_hits");
+    }
+  }
 
   double Get(size_t i, size_t j) {
     if (i == j) {
@@ -40,12 +46,14 @@ class PairCache {
                                : static_cast<uint64_t>(j) * n_ + i;
     auto it = cache_.find(key);
     if (it != cache_.end()) {
+      telemetry::CounterAdd(cache_hits_);
       return it->second;
     }
     const double d = ClusterDistance(dataset_[i], dataset_[j], config_);
     if (context_ != nullptr) {
       context_->ChargeDistance();
     }
+    telemetry::CounterAdd(distance_calls_);
     cache_.emplace(key, d);
     return d;
   }
@@ -54,6 +62,8 @@ class PairCache {
   const Dataset& dataset_;
   const DistanceConfig& config_;
   const RunContext* context_;
+  telemetry::Counter* distance_calls_ = nullptr;
+  telemetry::Counter* cache_hits_ = nullptr;
   uint64_t n_;
   std::unordered_map<uint64_t, double> cache_;
 };
@@ -94,11 +104,25 @@ Result<ClusteringOutcome> AgglomerativeClustering(const Dataset& dataset,
   }
 
   const RunContext* context = options.run_context;
-  PairCache distances(dataset, options.distance, context);
+  telemetry::Telemetry* tel = options.telemetry;
+  WCOP_TRACE_SPAN(tel, "cluster/agglomerative");
+  telemetry::Counter* merges = nullptr;
+  telemetry::Counter* retired = nullptr;
+  telemetry::Counter* rounds_counter = nullptr;
+  telemetry::Histogram* cluster_size = nullptr;
+  if (tel != nullptr) {
+    merges = tel->metrics().GetCounter("cluster.merges");
+    retired = tel->metrics().GetCounter("cluster.retired");
+    rounds_counter = tel->metrics().GetCounter("cluster.rounds");
+    cluster_size = tel->metrics().GetHistogram("cluster.size");
+  }
+  PairCache distances(dataset, options.distance, context, tel);
   double radius_max = options.radius_max;
 
   for (size_t round = 0; round < options.max_clustering_rounds; ++round) {
     WCOP_FAILPOINT("cluster.agglomerative_round");
+    WCOP_TRACE_SPAN(tel, "cluster/agglomerative_round");
+    telemetry::CounterAdd(rounds_counter);
     bool degraded = false;
     std::string degraded_reason;
     std::vector<WorkingCluster> clusters(n);
@@ -157,11 +181,13 @@ Result<ClusteringOutcome> AgglomerativeClustering(const Dataset& dataset,
       if (partner == n) {
         // Unsatisfiable within the radius: retire the cluster (its members
         // head for the trash this round).
+        telemetry::CounterAdd(retired);
         clusters[worst].alive = false;
         clusters[worst].k = -1;  // mark as trashed
         continue;
       }
       // Merge partner into worst.
+      telemetry::CounterAdd(merges);
       WorkingCluster& dst = clusters[worst];
       WorkingCluster& src = clusters[partner];
       dst.members.insert(dst.members.end(), src.members.begin(),
@@ -189,6 +215,9 @@ Result<ClusteringOutcome> AgglomerativeClustering(const Dataset& dataset,
       out.members = c.members;
       out.k = c.k;
       out.delta = c.delta;
+      if (cluster_size != nullptr) {
+        cluster_size->Record(out.members.size());
+      }
       outcome.clusters.push_back(std::move(out));
     }
     outcome.rounds = round + 1;

@@ -16,9 +16,19 @@ namespace {
 class PairDistanceCache {
  public:
   PairDistanceCache(const Dataset& dataset, const DistanceConfig& config,
-                    const RunContext* context)
+                    const RunContext* context, telemetry::Telemetry* telemetry)
       : dataset_(dataset), config_(config), context_(context),
-        n_(dataset.size()) {}
+        n_(dataset.size()) {
+    if (telemetry != nullptr) {
+      // Resolve the counters once; Get() then pays one atomic add per
+      // *computed* distance — cache hits touch nothing, matching the
+      // RunContext budget accounting exactly.
+      distance_calls_ =
+          telemetry->metrics().GetCounter(DistanceCallCounterName(config));
+      cache_hits_ =
+          telemetry->metrics().GetCounter("distance.cache_hits");
+    }
+  }
 
   double Get(size_t i, size_t j) {
     if (i == j) {
@@ -28,12 +38,14 @@ class PairDistanceCache {
                                : static_cast<uint64_t>(j) * n_ + i;
     auto it = cache_.find(key);
     if (it != cache_.end()) {
+      telemetry::CounterAdd(cache_hits_);
       return it->second;
     }
     const double d = ClusterDistance(dataset_[i], dataset_[j], config_);
     if (context_ != nullptr) {
       context_->ChargeDistance();
     }
+    telemetry::CounterAdd(distance_calls_);
     cache_.emplace(key, d);
     return d;
   }
@@ -42,6 +54,8 @@ class PairDistanceCache {
   const Dataset& dataset_;
   const DistanceConfig& config_;
   const RunContext* context_;
+  telemetry::Counter* distance_calls_ = nullptr;
+  telemetry::Counter* cache_hits_ = nullptr;
   uint64_t n_;
   std::unordered_map<uint64_t, double> cache_;
 };
@@ -63,7 +77,29 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
   }
 
   const RunContext* context = options.run_context;
-  PairDistanceCache distances(dataset, options.distance, context);
+  telemetry::Telemetry* tel = options.telemetry;
+  WCOP_TRACE_SPAN(tel, "cluster/greedy");
+  // Counter handles resolved once up front; null when telemetry is off.
+  telemetry::Counter* attempts = nullptr;
+  telemetry::Counter* accepted = nullptr;
+  telemetry::Counter* rejected_radius = nullptr;
+  telemetry::Counter* rejected_exhausted = nullptr;
+  telemetry::Counter* leftover_assigned = nullptr;
+  telemetry::Counter* leftover_trashed = nullptr;
+  telemetry::Counter* rounds_counter = nullptr;
+  telemetry::Histogram* cluster_size = nullptr;
+  if (tel != nullptr) {
+    attempts = tel->metrics().GetCounter("cluster.attempts");
+    accepted = tel->metrics().GetCounter("cluster.accepted");
+    rejected_radius = tel->metrics().GetCounter("cluster.rejected.radius");
+    rejected_exhausted =
+        tel->metrics().GetCounter("cluster.rejected.exhausted");
+    leftover_assigned = tel->metrics().GetCounter("cluster.leftover.assigned");
+    leftover_trashed = tel->metrics().GetCounter("cluster.leftover.trashed");
+    rounds_counter = tel->metrics().GetCounter("cluster.rounds");
+    cluster_size = tel->metrics().GetHistogram("cluster.size");
+  }
+  PairDistanceCache distances(dataset, options.distance, context, tel);
   Rng rng(options.seed);
   double radius_max = options.radius_max;
 
@@ -72,6 +108,8 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
 
   for (size_t round = 0; round < options.max_clustering_rounds; ++round) {
     WCOP_FAILPOINT("cluster.greedy_round");
+    WCOP_TRACE_SPAN(tel, "cluster/greedy_round");
+    telemetry::CounterAdd(rounds_counter);
     std::vector<bool> active(n, true);
     std::vector<bool> clustered(n, false);
     std::vector<size_t> active_list(n);
@@ -119,6 +157,8 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
         pivot = active_list[rng.UniformIndex(active_list.size())];
       }
       chosen_pivots.push_back(pivot);
+      WCOP_TRACE_SPAN(tel, "cluster/grow");
+      telemetry::CounterAdd(attempts);
 
       AnonymityCluster cluster;
       cluster.pivot = pivot;
@@ -161,6 +201,10 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
         radius = std::max(radius, distances.Get(pivot, m));
       }
       if (grown && radius <= radius_max) {
+        telemetry::CounterAdd(accepted);
+        if (cluster_size != nullptr) {
+          cluster_size->Record(cluster.members.size());
+        }
         for (size_t m : cluster.members) {
           clustered[m] = true;
           active[m] = false;
@@ -173,6 +217,7 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
             active_list.end());
       } else {
         // Reject: only the pivot leaves the active set (line 18).
+        telemetry::CounterAdd(grown ? rejected_radius : rejected_exhausted);
         active[pivot] = false;
         active_list.erase(
             std::remove(active_list.begin(), active_list.end(), pivot),
@@ -198,6 +243,7 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
       if (degraded) {
         // Degradation: leftovers are suppressed without spending further
         // distance computations.
+        telemetry::CounterAdd(leftover_trashed);
         trash.push_back(idx);
         continue;
       }
@@ -220,9 +266,11 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
         }
       }
       if (best_cluster != nullptr) {
+        telemetry::CounterAdd(leftover_assigned);
         best_cluster->members.push_back(idx);
         best_cluster->k = std::max(best_cluster->k, req.k);
       } else {
+        telemetry::CounterAdd(leftover_trashed);
         trash.push_back(idx);
       }
     }

@@ -1,5 +1,6 @@
 #include "anon/report_json.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -8,15 +9,27 @@ namespace wcop {
 
 namespace {
 
+/// Single point of float formatting: JSON has no NaN/Inf literals, so
+/// non-finite values are emitted as null (every consumer that parses the
+/// report would otherwise reject the whole document).
+void AppendDouble(std::ostringstream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  os << buf;
+}
+
 void AppendField(std::ostringstream& os, const char* key, double value,
                  bool* first) {
   if (!*first) {
     os << ",";
   }
   *first = false;
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.10g", value);
-  os << "\"" << key << "\":" << buf;
+  os << "\"" << key << "\":";
+  AppendDouble(os, value);
 }
 
 void AppendField(std::ostringstream& os, const char* key, size_t value,
@@ -57,6 +70,46 @@ std::string EscapeJson(const std::string& in) {
 
 }  // namespace
 
+std::string MetricsToJson(const telemetry::MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i != 0) {
+      os << ",";
+    }
+    os << "\"" << EscapeJson(snapshot.counters[i].first)
+       << "\":" << snapshot.counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i != 0) {
+      os << ",";
+    }
+    os << "\"" << EscapeJson(snapshot.gauges[i].first) << "\":";
+    AppendDouble(os, snapshot.gauges[i].second);
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const telemetry::HistogramSummary& h = snapshot.histograms[i];
+    if (i != 0) {
+      os << ",";
+    }
+    os << "\"" << EscapeJson(h.name) << "\":{\"count\":" << h.count
+       << ",\"sum\":" << h.sum << ",\"min\":" << h.min
+       << ",\"max\":" << h.max << ",\"mean\":";
+    AppendDouble(os, h.mean);
+    os << ",\"p50\":";
+    AppendDouble(os, h.p50);
+    os << ",\"p90\":";
+    AppendDouble(os, h.p90);
+    os << ",\"p99\":";
+    AppendDouble(os, h.p99);
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
 std::string ReportToJson(const AnonymizationReport& report) {
   std::ostringstream os;
   os << "{";
@@ -89,6 +142,9 @@ std::string ReportToJson(const AnonymizationReport& report) {
     os << ",\"degraded_reason\":\"" << EscapeJson(report.degraded_reason)
        << "\"";
   }
+  if (!report.metrics.empty()) {
+    os << ",\"metrics\":" << MetricsToJson(report.metrics);
+  }
   os << "}";
   return os.str();
 }
@@ -101,10 +157,10 @@ std::string ResultToJson(const AnonymizationResult& result) {
     if (i != 0) {
       os << ",";
     }
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.10g", c.delta);
     os << "{\"pivot\":" << c.pivot << ",\"size\":" << c.members.size()
-       << ",\"k\":" << c.k << ",\"delta\":" << buf << "}";
+       << ",\"k\":" << c.k << ",\"delta\":";
+    AppendDouble(os, c.delta);
+    os << "}";
   }
   os << "],\"trashed_ids\":[";
   for (size_t i = 0; i < result.trashed_ids.size(); ++i) {

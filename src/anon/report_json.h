@@ -13,8 +13,16 @@ namespace wcop {
 /// benchmark harness, for dashboards and CI pipelines that track the
 /// anonymization metrics over time.
 
-/// Serializes an AnonymizationReport as a single JSON object.
+/// Serializes an AnonymizationReport as a single JSON object. When the
+/// report carries a telemetry metrics snapshot, it is emitted under a
+/// "metrics" key (see MetricsToJson).
 std::string ReportToJson(const AnonymizationReport& report);
+
+/// Serializes a telemetry metrics snapshot:
+///   {"counters":{...},"gauges":{...},
+///    "histograms":{"name":{"count":..,"sum":..,"min":..,"max":..,
+///                  "mean":..,"p50":..,"p90":..,"p99":..},...}}
+std::string MetricsToJson(const telemetry::MetricsSnapshot& snapshot);
 
 /// Serializes a full AnonymizationResult: the report, cluster summaries
 /// (pivot/k/delta/size — never the trajectory data itself), and trash ids.

@@ -26,12 +26,24 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
     t_max = std::max(t_max, t.EndTime());
   }
 
+  telemetry::Telemetry* tel = options.wcop.telemetry;
+  WCOP_TRACE_SPAN(tel, "streaming/run");
+  telemetry::Counter* windows_counter = nullptr;
+  telemetry::Counter* windows_skipped = nullptr;
+  telemetry::Counter* fragments_counter = nullptr;
+  if (tel != nullptr) {
+    windows_counter = tel->metrics().GetCounter("streaming.windows");
+    windows_skipped = tel->metrics().GetCounter("streaming.windows_skipped");
+    fragments_counter = tel->metrics().GetCounter("streaming.fragments");
+  }
+
   StreamingResult result;
   std::vector<Trajectory> published;
   int64_t next_id = 0;
   for (double window_start = t_min; window_start <= t_max;
        window_start += options.window_seconds) {
     WCOP_FAILPOINT("streaming.window");
+    WCOP_TRACE_SPAN(tel, "streaming/window");
     // Cooperative yield point: one check per publication window. With
     // partial results allowed, a trip stops the stream — the windows
     // published so far each carry the full per-window guarantee.
@@ -72,11 +84,14 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
     if (fragments.empty()) {
       continue;  // silent gap between bursts: nothing to publish
     }
+    telemetry::CounterAdd(windows_counter);
+    telemetry::CounterAdd(fragments_counter, fragments.size());
     Result<AnonymizationResult> window_result =
         RunWcopCt(Dataset(std::move(fragments)), options.wcop);
     if (!window_result.ok()) {
       // Unsatisfiable window (e.g. too few co-travellers for someone's k):
       // the provider suppresses the whole window rather than leaking it.
+      telemetry::CounterAdd(windows_skipped);
       summary.skipped = true;
       result.suppressed_fragments += summary.input_fragments;
       result.windows.push_back(summary);
@@ -98,6 +113,11 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
     result.windows.push_back(summary);
   }
   result.sanitized = Dataset(std::move(published));
+  if (tel != nullptr) {
+    AnonymizationReport scratch;
+    SnapshotTelemetry(options.wcop, &scratch);
+    result.metrics = std::move(scratch.metrics);
+  }
   return result;
 }
 

@@ -53,6 +53,10 @@ struct StreamingResult {
   /// published (each individually verified-safe), the rest are suppressed.
   bool degraded = false;
   std::string degraded_reason;
+
+  /// Final metrics snapshot over the entire stream (all windows), when a
+  /// telemetry sink was attached through `StreamingOptions::wcop`.
+  telemetry::MetricsSnapshot metrics;
 };
 
 Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,

@@ -15,4 +15,14 @@ double ClusterDistance(const Trajectory& a, const Trajectory& b,
   return 0.0;
 }
 
+const char* DistanceCallCounterName(const DistanceConfig& config) {
+  switch (config.kind) {
+    case DistanceConfig::Kind::kEdr:
+      return "distance.calls.edr";
+    case DistanceConfig::Kind::kSynchronizedEuclidean:
+      return "distance.calls.sync_euclidean";
+  }
+  return "distance.calls.unknown";
+}
+
 }  // namespace wcop

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/run_context.h"
+#include "common/telemetry.h"
 #include "distance/edr.h"
 #include "traj/dataset.h"
 
@@ -33,6 +34,11 @@ struct DistanceConfig {
 /// Distance between two trajectories under `config` (see DistanceConfig).
 double ClusterDistance(const Trajectory& a, const Trajectory& b,
                        const DistanceConfig& config);
+
+/// Telemetry counter name for distance calls of the configured kind
+/// ("distance.calls.edr" / "distance.calls.sync_euclidean") — the
+/// per-kind accounting Table 3's runtime rows decompose into.
+const char* DistanceCallCounterName(const DistanceConfig& config);
 
 /// One anonymity set produced by the clustering phase. Indices refer to the
 /// *input* dataset. `k` / `delta` are the cluster's own requirements: the
@@ -93,6 +99,13 @@ struct WcopOptions {
   /// RunContext alive for the duration of the run.
   const RunContext* run_context = nullptr;
 
+  /// Optional telemetry sink: named counters/gauges/histograms plus phase
+  /// trace spans (see DESIGN.md "Observability" for the metric catalog).
+  /// Null (the default) disables all instrumentation at one-branch cost.
+  /// Non-owning; the caller keeps the Telemetry alive for the run and
+  /// snapshots/exports it afterwards.
+  telemetry::Telemetry* telemetry = nullptr;
+
   /// Graceful degradation: when the run context trips mid-run and this is
   /// set, the pipeline stops forming new clusters, suppresses the
   /// not-yet-processed trajectories through the paper's own trash mechanism
@@ -129,6 +142,13 @@ struct AnonymizationReport {
   /// published a partial result under WcopOptions::allow_partial_results.
   bool degraded = false;
   std::string degraded_reason;      ///< human-readable trip cause (if any)
+
+  /// Metrics snapshot taken when the run finished, when a telemetry sink
+  /// was attached (empty otherwise). Serialized by ReportToJson under
+  /// "metrics". Counters are cumulative over the sink's lifetime, so a
+  /// driver that runs the pipeline repeatedly (WCOP-B rounds, streaming
+  /// windows) reports the totals of the whole run.
+  telemetry::MetricsSnapshot metrics;
 };
 
 /// Full output of an anonymization run.

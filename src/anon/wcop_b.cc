@@ -26,6 +26,14 @@ Result<WcopBResult> RunWcopB(const Dataset& dataset,
   // Resolve shared parameters once against the original dataset so every
   // round runs with identical clustering settings.
   const WcopOptions resolved = ResolveOptions(dataset, options);
+  telemetry::Telemetry* tel = resolved.telemetry;
+  WCOP_TRACE_SPAN(tel, "wcop_b/run");
+  telemetry::Counter* rounds_counter = nullptr;
+  telemetry::Counter* edited_counter = nullptr;
+  if (tel != nullptr) {
+    rounds_counter = tel->metrics().GetCounter("wcop_b.rounds");
+    edited_counter = tel->metrics().GetCounter("wcop_b.edited_requirements");
+  }
 
   // Lines 1-5: score and rank by demandingness (most demanding first).
   const std::vector<double> demand =
@@ -57,7 +65,10 @@ Result<WcopBResult> RunWcopB(const Dataset& dataset,
       result.bound_satisfied = false;
       break;
     }
+    WCOP_TRACE_SPAN(tel, "wcop_b/round");
+    telemetry::CounterAdd(rounds_counter);
     edit_size = std::min(edit_size, edit_limit);
+    telemetry::CounterAdd(edited_counter, edit_size);
     // Line 7: reset to the original requirements, then edit the top
     // edit_size trajectories towards the threshold trajectory (the first
     // non-edited one in the ranking).
@@ -142,6 +153,8 @@ Result<WcopBResult> RunWcopB(const Dataset& dataset,
     return Status::Internal("WCOP-B performed no rounds");
   }
   result.anonymization.report.runtime_seconds = timer.ElapsedSeconds();
+  // Re-snapshot so wcop_b.* counters from every round reach the report.
+  SnapshotTelemetry(resolved, &result.anonymization.report);
   return result;
 }
 

@@ -47,10 +47,32 @@ size_t ResolveTrashMax(const Dataset& dataset, const WcopOptions& options) {
 
 }  // namespace
 
+void SnapshotTelemetry(const WcopOptions& options,
+                       AnonymizationReport* report) {
+  telemetry::Telemetry* tel = options.telemetry;
+  if (tel == nullptr) {
+    return;
+  }
+  if (const RunContext* context = options.run_context; context != nullptr) {
+    tel->metrics()
+        .GetGauge("run_context.distance_computations")
+        ->Set(static_cast<double>(context->distance_computations()));
+    tel->metrics()
+        .GetGauge("run_context.candidate_pairs")
+        ->Set(static_cast<double>(context->candidate_pairs()));
+  }
+  tel->metrics()
+      .GetGauge("failpoint.fires_total")
+      ->Set(static_cast<double>(FailpointRegistry::Instance().TotalFired()));
+  report->metrics = tel->metrics().Snapshot();
+}
+
 Result<AnonymizationResult> AnonymizeClusters(
     const Dataset& dataset, const ClusteringOutcome& outcome,
     const WcopOptions& resolved_options) {
   const RunContext* context = resolved_options.run_context;
+  telemetry::Telemetry* tel = resolved_options.telemetry;
+  WCOP_TRACE_SPAN(tel, "wcop_ct/translate");
   AnonymizationResult result;
   // A degraded clustering outcome is carried through; its clusters are
   // complete anonymity sets and are translated normally below.
@@ -111,13 +133,27 @@ Result<AnonymizationResult> AnonymizeClusters(
       delta_c = sum / static_cast<double>(cluster.members.size());
       published_cluster.delta = delta_c;
     }
-    for (size_t member : cluster.members) {
-      sanitized_storage.push_back(
-          TranslateToPivot(dataset[member], pivot, delta_c,
-                           resolved_options.distance.tolerance, &rng, &stats));
-      sanitized_of[member] = &sanitized_storage.back();
+    {
+      WCOP_TRACE_SPAN(tel, "translate/cluster");
+      for (size_t member : cluster.members) {
+        sanitized_storage.push_back(TranslateToPivot(
+            dataset[member], pivot, delta_c,
+            resolved_options.distance.tolerance, &rng, &stats));
+        sanitized_of[member] = &sanitized_storage.back();
+      }
     }
     result.clusters.push_back(std::move(published_cluster));
+  }
+
+  if (tel != nullptr) {
+    telemetry::CounterAdd(tel->metrics().GetCounter("translate.created_points"),
+                          stats.created_points);
+    telemetry::CounterAdd(tel->metrics().GetCounter("translate.deleted_points"),
+                          stats.deleted_points);
+    telemetry::CounterAdd(tel->metrics().GetCounter("translate.matched_points"),
+                          stats.matched_points);
+    telemetry::CounterAdd(tel->metrics().GetCounter("trash.trajectories"),
+                          trashed_indices.size());
   }
 
   result.trashed_ids.reserve(trashed_indices.size());
@@ -180,6 +216,7 @@ Result<AnonymizationResult> RunWcopCt(const Dataset& dataset,
   }
   Stopwatch timer;
   const WcopOptions resolved = ResolveOptions(dataset, options);
+  WCOP_TRACE_SPAN(resolved.telemetry, "wcop_ct/run");
   const size_t trash_max = ResolveTrashMax(dataset, resolved);
   Result<ClusteringOutcome> clustering =
       resolved.clustering_algo == WcopOptions::ClusteringAlgo::kAgglomerative
@@ -192,6 +229,7 @@ Result<AnonymizationResult> RunWcopCt(const Dataset& dataset,
   WCOP_ASSIGN_OR_RETURN(AnonymizationResult result,
                         AnonymizeClusters(dataset, outcome, resolved));
   result.report.runtime_seconds = timer.ElapsedSeconds();
+  SnapshotTelemetry(resolved, &result.report);
   return result;
 }
 

@@ -40,6 +40,14 @@ Result<AnonymizationResult> AnonymizeClusters(
     const Dataset& dataset, const ClusteringOutcome& outcome,
     const WcopOptions& resolved_options);
 
+/// Publishes the run-wide telemetry gauges (RunContext budget consumption,
+/// process failpoint fires) and stores a metrics snapshot on `report`.
+/// No-op when `options.telemetry` is null. Drivers that wrap RunWcopCt
+/// (WCOP-SA/B, streaming) call this again after adding their own counters
+/// so the final report carries the complete totals.
+void SnapshotTelemetry(const WcopOptions& options,
+                       AnonymizationReport* report);
+
 }  // namespace wcop
 
 #endif  // WCOP_ANON_WCOP_CT_H_

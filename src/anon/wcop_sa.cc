@@ -12,10 +12,21 @@ Result<WcopSaResult> RunWcopSa(const Dataset& dataset, Segmenter* segmenter,
   }
   WCOP_RETURN_IF_ERROR(dataset.Validate());
   WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
+  telemetry::Telemetry* tel = options.telemetry;
+  WCOP_TRACE_SPAN(tel, "wcop_sa/run");
   Stopwatch timer;
-  WCOP_ASSIGN_OR_RETURN(Dataset segmented, segmenter->Segment(dataset));
+  Dataset segmented;
+  {
+    WCOP_TRACE_SPAN(tel, "wcop_sa/segment");
+    WCOP_ASSIGN_OR_RETURN(segmented, segmenter->Segment(dataset));
+  }
   if (segmented.empty()) {
     return Status::Internal("segmentation produced an empty dataset");
+  }
+  if (tel != nullptr) {
+    telemetry::CounterAdd(
+        tel->metrics().GetCounter("segment.sub_trajectories"),
+        segmented.size());
   }
   // Between phases: segmentation may have consumed the whole budget. The
   // anonymization phase below handles mid-run trips itself (including the
@@ -28,6 +39,8 @@ Result<WcopSaResult> RunWcopSa(const Dataset& dataset, Segmenter* segmenter,
   // Report the full pipeline runtime (segmentation + anonymization), as the
   // paper's Table 3 does for the SA variants.
   anonymization.report.runtime_seconds = timer.ElapsedSeconds();
+  // Re-snapshot so counters added by the segmenter show in the final report.
+  SnapshotTelemetry(options, &anonymization.report);
   WcopSaResult result;
   result.anonymization = std::move(anonymization);
   result.segmented = std::move(segmented);

@@ -69,6 +69,9 @@ Status FailpointRegistry::Fire(std::string_view site) {
     return Status::OK();
   }
   Status injected = it->second.status;
+  if (!injected.ok()) {
+    fired_count_.fetch_add(1, std::memory_order_relaxed);
+  }
   if (it->second.remaining > 0 && --it->second.remaining == 0) {
     sites_.erase(it);
     armed_count_.fetch_sub(1, std::memory_order_relaxed);

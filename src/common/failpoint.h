@@ -57,6 +57,13 @@ class FailpointRegistry {
   /// any site is armed — the disarmed fast path skips the registry).
   uint64_t HitCount(std::string_view site) const;
 
+  /// Process-wide count of injected (non-OK) fires, across all sites and
+  /// the whole process lifetime. Telemetry publishes this as the
+  /// `failpoint.fires_total` gauge.
+  uint64_t TotalFired() const {
+    return fired_count_.load(std::memory_order_relaxed);
+  }
+
   /// Names of the currently armed sites (diagnostics).
   std::vector<std::string> ArmedSites() const;
 
@@ -72,6 +79,7 @@ class FailpointRegistry {
   std::unordered_map<std::string, Entry> sites_;
   std::unordered_map<std::string, uint64_t> hits_;
   std::atomic<int> armed_count_{0};
+  std::atomic<uint64_t> fired_count_{0};
 };
 
 /// RAII arming for tests: arms in the constructor, disarms in the

@@ -2,6 +2,9 @@
 #define WCOP_COMMON_STOPWATCH_H_
 
 #include <chrono>
+#include <cstdint>
+
+#include "common/telemetry.h"
 
 namespace wcop {
 
@@ -22,9 +25,46 @@ class Stopwatch {
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Nanoseconds elapsed since construction or the last Reset(), as the
+  /// integer a telemetry histogram records.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII timer: records the elapsed nanoseconds into a telemetry histogram
+/// when the scope closes. A null histogram disables it, so call sites can
+/// write
+///
+///   ScopedTimer timer(tel ? tel->metrics().GetHistogram("phase.x_ns")
+///                         : nullptr);
+///
+/// and pay nothing when telemetry is detached.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(telemetry::Histogram* histogram)
+      : histogram_(histogram) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Record(static_cast<uint64_t>(watch_.ElapsedNanos()));
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// The underlying stopwatch (e.g. to also print the elapsed time).
+  const Stopwatch& watch() const { return watch_; }
+
+ private:
+  telemetry::Histogram* histogram_;
+  Stopwatch watch_;
 };
 
 }  // namespace wcop

@@ -1,0 +1,343 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+
+namespace wcop {
+namespace telemetry {
+
+namespace {
+
+/// Per-thread span nesting depth. Shared across recorders on the same
+/// thread, which is fine: a thread participates in one pipeline run at a
+/// time, and depth is only used to annotate events.
+thread_local uint32_t t_span_depth = 0;
+
+void AppendEscaped(std::string* out, std::string_view in) {
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+size_t Histogram::BucketFor(uint64_t value) {
+  return static_cast<size_t>(std::bit_width(value));
+}
+
+uint64_t Histogram::BucketLowerBound(size_t b) {
+  return b == 0 ? 0 : uint64_t{1} << (b - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen_min = min_.load(std::memory_order_relaxed);
+  while (value < seen_min &&
+         !min_.compare_exchange_weak(seen_min, value,
+                                     std::memory_order_relaxed)) {
+  }
+  uint64_t seen_max = max_.load(std::memory_order_relaxed);
+  while (value > seen_max &&
+         !max_.compare_exchange_weak(seen_max, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+namespace {
+
+/// Percentile by cumulative bucket walk with linear interpolation inside
+/// the bucket; exact below-minimum / above-maximum clamping.
+double Percentile(const std::array<uint64_t, Histogram::kBuckets>& buckets,
+                  uint64_t count, uint64_t min_v, uint64_t max_v, double p) {
+  if (count == 0) {
+    return 0.0;
+  }
+  const double target = p * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    if (buckets[b] == 0) {
+      continue;
+    }
+    const double before = cumulative;
+    cumulative += static_cast<double>(buckets[b]);
+    if (cumulative >= target) {
+      const double lo = static_cast<double>(Histogram::BucketLowerBound(b));
+      const double hi =
+          b == 0 ? 0.0
+                 : static_cast<double>(Histogram::BucketLowerBound(b)) * 2.0;
+      const double frac = buckets[b] == 0
+                              ? 0.0
+                              : (target - before) /
+                                    static_cast<double>(buckets[b]);
+      const double value = lo + frac * (hi - lo);
+      return std::clamp(value, static_cast<double>(min_v),
+                        static_cast<double>(max_v));
+    }
+  }
+  return static_cast<double>(max_v);
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->value());
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->value());
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSummary summary;
+    summary.name = name;
+    summary.count = histogram->count();
+    summary.sum = histogram->sum();
+    summary.min = histogram->min();
+    summary.max = histogram->max();
+    summary.mean = summary.count == 0
+                       ? 0.0
+                       : static_cast<double>(summary.sum) /
+                             static_cast<double>(summary.count);
+    std::array<uint64_t, Histogram::kBuckets> buckets;
+    for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+      buckets[b] = histogram->bucket_count(b);
+    }
+    summary.p50 = Percentile(buckets, summary.count, summary.min, summary.max,
+                             0.50);
+    summary.p90 = Percentile(buckets, summary.count, summary.min, summary.max,
+                             0.90);
+    summary.p99 = Percentile(buckets, summary.count, summary.min, summary.max,
+                             0.99);
+    snapshot.histograms.push_back(std::move(summary));
+  }
+  return snapshot;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0.0;
+}
+
+const HistogramSummary* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSummary& h : histograms) {
+    if (h.name == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+uint32_t TraceRecorder::TidForCurrentThread() {
+  const std::thread::id id = std::this_thread::get_id();
+  auto it = thread_numbers_.find(id);
+  if (it == thread_numbers_.end()) {
+    it = thread_numbers_
+             .emplace(id, static_cast<uint32_t>(thread_numbers_.size()))
+             .first;
+  }
+  return it->second;
+}
+
+void TraceRecorder::Record(const char* name, uint64_t start_ns,
+                           uint64_t end_ns, uint32_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent event;
+  event.name = name;
+  event.start_ns = start_ns;
+  event.dur_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  event.tid = TidForCurrentThread();
+  event.depth = depth;
+  events_.push_back(event);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Events();
+  // Spans are recorded at close time, so siblings arrive child-before-
+  // parent; sort by start for a stable, chronological file.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  std::string out = "{\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "{\"name\":\"";
+    AppendEscaped(&out, e.name);
+    // Complete ("X") events; timestamps/durations in microseconds as the
+    // trace_event format requires.
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"cat\":\"wcop\",\"ph\":\"X\",\"ts\":%.3f,"
+                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                  "\"args\":{\"depth\":%u}}",
+                  static_cast<double>(e.start_ns) / 1e3,
+                  static_cast<double>(e.dur_ns) / 1e3, e.tid, e.depth);
+    out += buf;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+std::string TraceRecorder::Summary(size_t n) const {
+  struct Aggregate {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+    uint64_t max_ns = 0;
+  };
+  std::map<std::string_view, Aggregate> by_name;
+  const std::vector<TraceEvent> events = Events();
+  for (const TraceEvent& e : events) {
+    Aggregate& agg = by_name[e.name];
+    ++agg.count;
+    agg.total_ns += e.dur_ns;
+    agg.max_ns = std::max(agg.max_ns, e.dur_ns);
+  }
+  std::vector<std::pair<std::string_view, Aggregate>> rows(by_name.begin(),
+                                                           by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_ns > b.second.total_ns;
+  });
+  if (rows.size() > n) {
+    rows.resize(n);
+  }
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%-32s %10s %12s %12s %12s\n", "span",
+                "count", "total_ms", "avg_us", "max_us");
+  out += line;
+  for (const auto& [name, agg] : rows) {
+    const double avg_us =
+        agg.count == 0
+            ? 0.0
+            : static_cast<double>(agg.total_ns) /
+                  static_cast<double>(agg.count) / 1e3;
+    std::snprintf(line, sizeof(line), "%-32.*s %10llu %12.3f %12.1f %12.1f\n",
+                  static_cast<int>(name.size()), name.data(),
+                  static_cast<unsigned long long>(agg.count),
+                  static_cast<double>(agg.total_ns) / 1e6, avg_us,
+                  static_cast<double>(agg.max_ns) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+Status Telemetry::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError("cannot open for writing: " + path);
+  }
+  out << trace_.ToChromeTraceJson() << "\n";
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+ScopedSpan::ScopedSpan(Telemetry* telemetry, const char* name) {
+  if (telemetry == nullptr) {
+    return;
+  }
+  recorder_ = &telemetry->trace();
+  name_ = name;
+  start_ns_ = recorder_->NowNs();
+  depth_ = t_span_depth++;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (recorder_ == nullptr) {
+    return;
+  }
+  --t_span_depth;
+  recorder_->Record(name_, start_ns_, recorder_->NowNs(), depth_);
+}
+
+}  // namespace telemetry
+}  // namespace wcop

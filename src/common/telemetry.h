@@ -1,0 +1,261 @@
+#ifndef WCOP_COMMON_TELEMETRY_H_
+#define WCOP_COMMON_TELEMETRY_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace wcop {
+namespace telemetry {
+
+/// Observability subsystem of the WCOP pipeline (DESIGN.md "Observability").
+///
+/// Two halves, bundled by `Telemetry`:
+///  * a MetricsRegistry of named counters, gauges and log-scale histograms —
+///    handles are fetched once per call site and incremented with a single
+///    relaxed atomic add on the hot path;
+///  * a TraceRecorder of nested phase spans (WCOP_TRACE_SPAN) exported as
+///    Chrome trace_event JSON loadable in chrome://tracing / Perfetto.
+///
+/// A null `Telemetry*` (the default everywhere) disables both halves; the
+/// instrumented code then pays at most one pointer comparison per site, so
+/// the distance kernels and other hot loops are unaffected when telemetry
+/// is not attached.
+
+/// Monotonically increasing event count. One relaxed fetch_add per Add.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins numeric observation (budget consumption, sizes, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Lock-free histogram over non-negative integers with power-of-two
+/// ("log-scale") buckets: bucket b holds values in [2^(b-1), 2^b), bucket 0
+/// holds the value 0. 65 buckets cover the whole uint64_t range, so a
+/// nanosecond-resolution timer and a cluster-size distribution use the same
+/// type. Record is a handful of relaxed atomic operations.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Bucket index for `value`: 0 for 0, otherwise floor(log2(value)) + 1.
+  static size_t BucketFor(uint64_t value);
+  /// Inclusive lower bound of bucket `b` (0 for b == 0).
+  static uint64_t BucketLowerBound(size_t b);
+
+  uint64_t bucket_count(size_t b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time summary of one histogram (bucket midpoint interpolation
+/// for the percentiles; exact count/sum/min/max).
+struct HistogramSummary {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Point-in-time copy of a whole registry, safe to serialize or ship across
+/// threads after the run. Stored on AnonymizationReport and serialized by
+/// report_json's MetricsToJson.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSummary> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Convenience for tests/tools: value of counter `name`, 0 when absent.
+  uint64_t CounterValue(std::string_view name) const;
+  /// Gauge value, 0.0 when absent.
+  double GaugeValue(std::string_view name) const;
+  /// Pointer into `histograms`, nullptr when absent.
+  const HistogramSummary* FindHistogram(std::string_view name) const;
+};
+
+/// Thread-safe registry of named metrics. Get* creates on first use and
+/// returns a pointer that stays valid for the registry's lifetime, so call
+/// sites resolve the name once (outside their loop) and touch only the
+/// atomic afterwards. Names are dot-separated lowercase paths — see the
+/// metric catalog in DESIGN.md.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// One completed span: a named [start, end) interval on one thread at one
+/// nesting depth. Names must be string literals (or otherwise outlive the
+/// recorder) — spans store the pointer, not a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;    ///< small per-recorder thread number (0, 1, ...)
+  uint32_t depth = 0;  ///< nesting depth at span open (0 = top level)
+};
+
+/// Collects completed spans from any number of threads. Span open/close
+/// happens at phase granularity (per cluster / per window / per file), so a
+/// mutex-protected append is cheap relative to the work inside each span.
+class TraceRecorder {
+ public:
+  TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Nanoseconds since the recorder was created.
+  uint64_t NowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+  void Record(const char* name, uint64_t start_ns, uint64_t end_ns,
+              uint32_t depth);
+
+  std::vector<TraceEvent> Events() const;
+  size_t event_count() const;
+
+  /// Chrome trace_event JSON ("X" complete events, microsecond timestamps):
+  /// load the file in chrome://tracing or https://ui.perfetto.dev.
+  std::string ToChromeTraceJson() const;
+
+  /// Plain-text table of the top `n` span names by total time.
+  std::string Summary(size_t n = 10) const;
+
+ private:
+  uint32_t TidForCurrentThread();  ///< callers must hold mu_
+
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::unordered_map<std::thread::id, uint32_t> thread_numbers_;
+};
+
+/// The bundle threaded (as an optional pointer, like RunContext) through
+/// the anonymization pipeline. Non-owning call sites treat null as
+/// "telemetry disabled".
+class Telemetry {
+ public:
+  Telemetry() = default;
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+  /// Writes the Chrome trace_event JSON to `path` (overwrites).
+  Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+};
+
+/// Null-safe counter add: the disabled-telemetry path is one branch.
+inline void CounterAdd(Counter* counter, uint64_t n = 1) {
+  if (counter != nullptr) {
+    counter->Add(n);
+  }
+}
+
+/// RAII phase span. A null telemetry pointer makes both constructor and
+/// destructor no-ops. Spans opened and closed on the same thread nest:
+/// each records the depth at which it was opened.
+class ScopedSpan {
+ public:
+  ScopedSpan(Telemetry* telemetry, const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_ = nullptr;
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace telemetry
+}  // namespace wcop
+
+#define WCOP_TELEMETRY_CONCAT_INNER(a, b) a##b
+#define WCOP_TELEMETRY_CONCAT(a, b) WCOP_TELEMETRY_CONCAT_INNER(a, b)
+
+/// Opens a trace span covering the rest of the enclosing scope:
+///
+///   WCOP_TRACE_SPAN(options.telemetry, "cluster/grow");
+///
+/// `tel` is a (possibly null) wcop::telemetry::Telemetry*; `name` must be a
+/// string literal following the "phase/subphase" naming convention.
+#define WCOP_TRACE_SPAN(tel, name)                       \
+  [[maybe_unused]] ::wcop::telemetry::ScopedSpan         \
+      WCOP_TELEMETRY_CONCAT(wcop_trace_span_, __LINE__)((tel), (name))
+
+#endif  // WCOP_COMMON_TELEMETRY_H_

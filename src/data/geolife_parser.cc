@@ -16,6 +16,7 @@ namespace fs = std::filesystem;
 Result<Trajectory> ParsePltFile(const std::string& path,
                                 const LocalProjection& projection,
                                 const GeoLifeOptions& options) {
+  WCOP_TRACE_SPAN(options.telemetry, "parse/plt_file");
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open .plt file: " + path);
@@ -106,11 +107,19 @@ Result<Trajectory> ParsePltFile(const std::string& path,
     return Status::NotFound("trajectory in " + path + " has only " +
                             std::to_string(traj.size()) + " usable points");
   }
+  if (options.telemetry != nullptr) {
+    telemetry::CounterAdd(
+        options.telemetry->metrics().GetCounter("parse.plt_files"));
+    telemetry::CounterAdd(
+        options.telemetry->metrics().GetCounter("parse.plt_points"),
+        traj.size());
+  }
   return traj;
 }
 
 Result<Dataset> LoadGeoLifeDirectory(const std::string& root,
                                      const GeoLifeOptions& options) {
+  WCOP_TRACE_SPAN(options.telemetry, "parse/geolife_dir");
   std::error_code ec;
   if (!fs::is_directory(root, ec)) {
     return Status::NotFound("GeoLife root is not a directory: " + root);

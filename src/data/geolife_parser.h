@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/run_context.h"
+#include "common/telemetry.h"
 #include "geo/projection.h"
 #include "traj/dataset.h"
 
@@ -42,6 +43,11 @@ struct GeoLifeOptions {
   /// Optional execution context (deadline / cancellation), polled per file
   /// and every few thousand records. Null means unbounded.
   const RunContext* run_context = nullptr;
+
+  /// Optional telemetry sink: `parse.plt_files` / `parse.plt_points`
+  /// counters plus `parse/geolife_dir` and `parse/plt_file` spans. Null
+  /// (the default) disables instrumentation. Non-owning.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Parses a single .plt file into a Trajectory (id/object id must be set by

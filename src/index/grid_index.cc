@@ -24,15 +24,31 @@ GridIndex::CellKey GridIndex::KeyFor(double x, double y) const {
                  static_cast<int64_t>(std::floor(y / cell_size_))};
 }
 
+void GridIndex::AttachTelemetry(telemetry::Telemetry* telemetry) {
+  if (telemetry == nullptr) {
+    inserts_ = nullptr;
+    range_queries_ = nullptr;
+    candidates_scanned_ = nullptr;
+    return;
+  }
+  inserts_ = telemetry->metrics().GetCounter("grid.inserts");
+  range_queries_ = telemetry->metrics().GetCounter("grid.range_queries");
+  candidates_scanned_ =
+      telemetry->metrics().GetCounter("grid.candidates_scanned");
+}
+
 void GridIndex::Insert(size_t item, double x, double y) {
   cells_[KeyFor(x, y)].push_back(Entry{item, x, y});
   ++count_;
+  telemetry::CounterAdd(inserts_);
 }
 
 void GridIndex::CandidateQuery(double x, double y, double radius,
                                std::vector<size_t>* out) const {
   const int64_t span = static_cast<int64_t>(std::ceil(radius / cell_size_));
   const CellKey center = KeyFor(x, y);
+  telemetry::CounterAdd(range_queries_);
+  size_t scanned = 0;
   for (int64_t dx = -span; dx <= span; ++dx) {
     for (int64_t dy = -span; dy <= span; ++dy) {
       auto it = cells_.find(CellKey{center.cx + dx, center.cy + dy});
@@ -42,8 +58,10 @@ void GridIndex::CandidateQuery(double x, double y, double radius,
       for (const Entry& e : it->second) {
         out->push_back(e.item);
       }
+      scanned += it->second.size();
     }
   }
+  telemetry::CounterAdd(candidates_scanned_, scanned);
 }
 
 std::vector<size_t> GridIndex::RangeQuery(double x, double y,
@@ -52,12 +70,15 @@ std::vector<size_t> GridIndex::RangeQuery(double x, double y,
   const double radius_sq = radius * radius;
   const int64_t span = static_cast<int64_t>(std::ceil(radius / cell_size_));
   const CellKey center = KeyFor(x, y);
+  telemetry::CounterAdd(range_queries_);
+  size_t scanned = 0;
   for (int64_t dx = -span; dx <= span; ++dx) {
     for (int64_t dy = -span; dy <= span; ++dy) {
       auto it = cells_.find(CellKey{center.cx + dx, center.cy + dy});
       if (it == cells_.end()) {
         continue;
       }
+      scanned += it->second.size();
       for (const Entry& e : it->second) {
         const double ddx = e.x - x;
         const double ddy = e.y - y;
@@ -67,6 +88,7 @@ std::vector<size_t> GridIndex::RangeQuery(double x, double y,
       }
     }
   }
+  telemetry::CounterAdd(candidates_scanned_, scanned);
   return result;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/telemetry.h"
 #include "geo/point.h"
 
 namespace wcop {
@@ -29,6 +30,12 @@ class GridIndex {
 
   /// Inserts an item with the given location.
   void Insert(size_t item, double x, double y);
+
+  /// Attaches a telemetry sink (non-owning, may be null to detach). The
+  /// counter handles (`grid.inserts`, `grid.range_queries`,
+  /// `grid.candidates_scanned`) are resolved once here so the query path
+  /// pays only relaxed atomic adds.
+  void AttachTelemetry(telemetry::Telemetry* telemetry);
 
   /// The (validated or clamped) cell size in use.
   double cell_size() const { return cell_size_; }
@@ -73,6 +80,9 @@ class GridIndex {
 
   double cell_size_;
   size_t count_ = 0;
+  telemetry::Counter* inserts_ = nullptr;
+  telemetry::Counter* range_queries_ = nullptr;
+  telemetry::Counter* candidates_scanned_ = nullptr;
   std::unordered_map<CellKey, std::vector<Entry>, CellKeyHash> cells_;
 };
 

@@ -42,6 +42,11 @@ Result<std::vector<Convoy>> DiscoverConvoys(const Dataset& dataset,
   }
   WCOP_RETURN_IF_ERROR(dataset.Validate());
 
+  telemetry::Telemetry* tel = options.telemetry;
+  WCOP_TRACE_SPAN(tel, "segment/convoy");
+  telemetry::Counter* snapshots_counter =
+      tel != nullptr ? tel->metrics().GetCounter("convoy.snapshots") : nullptr;
+
   const std::vector<double> grid_times =
       UniformTimeGrid(dataset, options.snapshot_interval);
   std::vector<Convoy> convoys;
@@ -59,6 +64,7 @@ Result<std::vector<Convoy>> DiscoverConvoys(const Dataset& dataset,
     // Cooperative yield point: one check per snapshot (each snapshot runs
     // a full DBSCAN over the alive objects).
     WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
+    telemetry::CounterAdd(snapshots_counter);
     // Gather trajectories alive at this snapshot and their positions.
     std::vector<int64_t> ids;
     std::vector<Point> positions;
@@ -73,6 +79,7 @@ Result<std::vector<Convoy>> DiscoverConvoys(const Dataset& dataset,
     std::vector<std::set<int64_t>> snapshot_clusters;
     if (ids.size() >= options.min_objects) {
       GridIndex grid(std::max(options.eps, 1.0));
+      grid.AttachTelemetry(tel);
       for (size_t i = 0; i < positions.size(); ++i) {
         grid.Insert(i, positions[i].x, positions[i].y);
       }
@@ -160,6 +167,10 @@ Result<std::vector<Convoy>> DiscoverConvoys(const Dataset& dataset,
     if (!dominated) {
       maximal.push_back(convoys[i]);
     }
+  }
+  if (tel != nullptr) {
+    telemetry::CounterAdd(tel->metrics().GetCounter("convoy.discovered"),
+                          maximal.size());
   }
   return maximal;
 }

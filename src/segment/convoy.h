@@ -8,6 +8,7 @@
 
 #include "common/result.h"
 #include "common/run_context.h"
+#include "common/telemetry.h"
 #include "segment/segmenter.h"
 #include "traj/dataset.h"
 
@@ -27,6 +28,12 @@ struct ConvoyOptions {
   /// Optional execution context (deadline / cancellation / budget), polled
   /// per snapshot by DiscoverConvoys. Null means unbounded.
   const RunContext* run_context = nullptr;
+
+  /// Optional telemetry sink: `convoy.snapshots` / `convoy.discovered`
+  /// counters, grid-index counters via GridIndex::AttachTelemetry, plus a
+  /// `segment/convoy` span. Null (the default) disables instrumentation.
+  /// Non-owning.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// A discovered convoy: the trajectory ids travelling together and the

@@ -225,9 +225,15 @@ Trajectory RepresentativeTrajectory(const std::vector<TaggedSegment>& segments,
 
 TraclusClusteringResult RunTraclus(const Dataset& dataset,
                                    const TraclusOptions& options) {
+  WCOP_TRACE_SPAN(options.telemetry, "segment/traclus_full");
   TraclusClusteringResult result;
   result.segments = ExtractCharacteristicSegments(dataset, options);
   result.clustering = ClusterSegments(result.segments, options);
+  if (options.telemetry != nullptr) {
+    telemetry::CounterAdd(
+        options.telemetry->metrics().GetCounter("segment.segments_clustered"),
+        result.segments.size());
+  }
   result.representatives.reserve(
       static_cast<size_t>(result.clustering.num_clusters));
   // Group member indices per cluster, then sweep each for a representative.
@@ -250,6 +256,12 @@ TraclusClusteringResult RunTraclus(const Dataset& dataset,
 
 Result<Dataset> TraclusSegmenter::Segment(const Dataset& dataset) {
   WCOP_RETURN_IF_ERROR(dataset.Validate());
+  WCOP_TRACE_SPAN(options_.telemetry, "segment/traclus");
+  telemetry::Counter* characteristic_points =
+      options_.telemetry != nullptr
+          ? options_.telemetry->metrics().GetCounter(
+                "segment.characteristic_points")
+          : nullptr;
   std::vector<Trajectory> out;
   int64_t next_id = 0;
   for (const Trajectory& t : dataset.trajectories()) {
@@ -258,6 +270,7 @@ Result<Dataset> TraclusSegmenter::Segment(const Dataset& dataset) {
     // trajectory, so per-trajectory granularity bounds the overshoot.
     WCOP_RETURN_IF_ERROR(CheckRunContext(options_.run_context));
     const std::vector<size_t> cps = TraclusCharacteristicPoints(t, options_);
+    telemetry::CounterAdd(characteristic_points, cps.size());
     // Characteristic points other than the endpoints become cut positions.
     std::vector<size_t> cuts;
     for (size_t cp : cps) {

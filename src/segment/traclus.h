@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/run_context.h"
+#include "common/telemetry.h"
 #include "geo/segment_geometry.h"
 #include "segment/segmenter.h"
 #include "traj/dataset.h"
@@ -43,6 +44,11 @@ struct TraclusOptions {
   /// Optional execution context (deadline / cancellation / budget), polled
   /// per trajectory by TraclusSegmenter::Segment. Null means unbounded.
   const RunContext* run_context = nullptr;
+
+  /// Optional telemetry sink: `segment.characteristic_points` /
+  /// `segment.segments_clustered` counters plus a `segment/traclus` span.
+  /// Null (the default) disables instrumentation. Non-owning.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// MDL-based approximate trajectory partitioning: returns the indices of the

@@ -33,7 +33,12 @@ Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
 }
 
 Result<Dataset> ReadDatasetCsv(const std::string& path,
-                               const RunContext* run_context) {
+                               const RunContext* run_context,
+                               telemetry::Telemetry* telemetry) {
+  WCOP_TRACE_SPAN(telemetry, "parse/csv");
+  telemetry::Counter* csv_rows =
+      telemetry != nullptr ? telemetry->metrics().GetCounter("parse.csv_rows")
+                           : nullptr;
   std::ifstream in(path);
   if (!in) {
     return Status::IoError("cannot open for reading: " + path);
@@ -53,6 +58,7 @@ Result<Dataset> ReadDatasetCsv(const std::string& path,
     if (line.empty() || line.rfind("traj_id", 0) == 0) {
       continue;  // Skip blank lines and the header.
     }
+    telemetry::CounterAdd(csv_rows);
     std::istringstream ss(line);
     std::string cell;
     double fields[8];

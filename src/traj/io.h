@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "common/run_context.h"
+#include "common/telemetry.h"
 #include "traj/dataset.h"
 
 namespace wcop {
@@ -22,9 +23,11 @@ Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
 /// Reads a dataset previously written by WriteDatasetCsv. Points belonging
 /// to the same traj_id must be contiguous and time-ordered. An optional
 /// RunContext bounds the read (deadline / cancellation, polled every few
-/// thousand lines).
+/// thousand lines). An optional telemetry sink records `parse.csv_rows`
+/// and a `parse/csv` span.
 Result<Dataset> ReadDatasetCsv(const std::string& path,
-                               const RunContext* run_context = nullptr);
+                               const RunContext* run_context = nullptr,
+                               telemetry::Telemetry* telemetry = nullptr);
 
 }  // namespace wcop
 

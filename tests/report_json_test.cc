@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "anon/report_json.h"
 #include "anon/wcop_ct.h"
+#include "common/telemetry.h"
 #include "test_util.h"
 
 namespace wcop {
@@ -60,6 +63,45 @@ TEST(ReportJsonTest, VerificationEscapesMessages) {
   EXPECT_NE(json.find("\\\"quote\\\""), std::string::npos);
   EXPECT_NE(json.find("\\n"), std::string::npos);
   EXPECT_NE(json.find("\"ok\":false"), std::string::npos);
+}
+
+TEST(ReportJsonTest, NonFiniteDoublesSerializeAsNull) {
+  // Regression: NaN/Inf used to be printed verbatim ("nan", "inf"), which
+  // no JSON parser accepts. They must come out as null.
+  AnonymizationReport report;
+  report.ttd = std::numeric_limits<double>::quiet_NaN();
+  report.omega = std::numeric_limits<double>::infinity();
+  report.total_distortion = -std::numeric_limits<double>::infinity();
+  const std::string json = ReportToJson(report);
+  EXPECT_NE(json.find("\"ttd\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"omega\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"total_distortion\":null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(ReportJsonTest, MetricsSnapshotSerialization) {
+  telemetry::MetricsRegistry registry;
+  registry.GetCounter("cluster.attempts")->Add(7);
+  registry.GetGauge("run_context.distance_computations")->Set(42.0);
+  registry.GetHistogram("cluster.size")->Record(5);
+  const telemetry::MetricsSnapshot snapshot = registry.Snapshot();
+
+  const std::string json = MetricsToJson(snapshot);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster.attempts\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"run_context.distance_computations\":42"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster.size\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  // The report embeds the snapshot under "metrics" only when non-empty.
+  AnonymizationReport report;
+  EXPECT_EQ(ReportToJson(report).find("\"metrics\""), std::string::npos);
+  report.metrics = snapshot;
+  EXPECT_NE(ReportToJson(report).find("\"metrics\":{"), std::string::npos);
 }
 
 TEST(ReportJsonTest, WriteJsonFileRoundTrip) {

@@ -1,0 +1,458 @@
+#include "common/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+
+namespace wcop {
+namespace telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax validator for the trace-export round-trip test. It
+// accepts exactly the RFC 8259 grammar (no trailing commas, no NaN), which
+// is what chrome://tracing and `python3 -m json.tool` require.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) {
+      return false;
+    }
+    pos_ += w.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonScannerTest, SanityOnKnownInputs) {
+  EXPECT_TRUE(JsonScanner(R"({"a":[1,2.5,-3e4],"b":"x\"y","c":null})").Valid());
+  EXPECT_FALSE(JsonScanner(R"({"a":1,})").Valid());
+  EXPECT_FALSE(JsonScanner(R"({"a":nan})").Valid());
+  EXPECT_FALSE(JsonScanner(R"({"a":1)").Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsRegistryTest, CountersAccumulateAndSnapshot) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("cluster.attempts");
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+
+  // Same name resolves to the same counter; a second handle sees the adds.
+  EXPECT_EQ(registry.GetCounter("cluster.attempts"), c);
+  EXPECT_NE(registry.GetCounter("cluster.accepted"), c);
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("cluster.attempts"), 42u);
+  EXPECT_EQ(snapshot.CounterValue("cluster.accepted"), 0u);
+  EXPECT_EQ(snapshot.CounterValue("no.such.counter"), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugesHoldLastWrite) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("run_context.distance_computations");
+  g->Set(10.0);
+  g->Set(3.5);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().GaugeValue(
+                       "run_context.distance_computations"),
+                   3.5);
+  EXPECT_DOUBLE_EQ(registry.Snapshot().GaugeValue("absent"), 0.0);
+}
+
+TEST(MetricsRegistryTest, HandlePointersStableAcrossGrowth) {
+  MetricsRegistry registry;
+  Counter* first = registry.GetCounter("metric.000");
+  for (int i = 1; i < 200; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "metric.%03d", i);
+    registry.GetCounter(name);
+  }
+  first->Add(7);
+  EXPECT_EQ(registry.GetCounter("metric.000")->value(), 7u);
+  EXPECT_EQ(registry.Snapshot().counters.size(), 200u);
+}
+
+TEST(MetricsRegistryTest, CounterAddHelperIsNullSafe) {
+  CounterAdd(nullptr);        // must not crash
+  CounterAdd(nullptr, 1000);  // ditto
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("x");
+  CounterAdd(c, 3);
+  EXPECT_EQ(c->value(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucketing.
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds exactly the value 0; bucket b >= 1 holds
+  // [2^(b-1), 2^b).
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10u);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11u);
+  EXPECT_EQ(Histogram::BucketFor(UINT64_MAX), Histogram::kBuckets - 1);
+
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(2), 2u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+
+  // Round trip: every value lands in a bucket whose range contains it.
+  for (uint64_t v : {0ull, 1ull, 2ull, 7ull, 100ull, 65535ull, 1ull << 40}) {
+    const size_t b = Histogram::BucketFor(v);
+    EXPECT_GE(v, Histogram::BucketLowerBound(b)) << v;
+    if (b + 1 < Histogram::kBuckets) {
+      EXPECT_LT(v, Histogram::BucketLowerBound(b + 1)) << v;
+    }
+  }
+}
+
+TEST(HistogramTest, RecordTracksCountSumMinMax) {
+  Histogram h;
+  for (uint64_t v : {5u, 1u, 100u, 7u}) {
+    h.Record(v);
+  }
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 113u);
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_EQ(h.bucket_count(Histogram::BucketFor(5)), 2u);  // 5 and 7
+}
+
+TEST(HistogramTest, SnapshotPercentilesWithinRange) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("latency");
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h->Record(v);
+  }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSummary* s = snapshot.FindHistogram("latency");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 1000u);
+  EXPECT_EQ(s->min, 1u);
+  EXPECT_EQ(s->max, 1000u);
+  EXPECT_DOUBLE_EQ(s->mean, 500.5);
+  // Log-scale buckets give coarse percentiles; assert ordering and range,
+  // not exact values.
+  EXPECT_GE(s->p50, 1.0);
+  EXPECT_LE(s->p50, s->p90);
+  EXPECT_LE(s->p90, s->p99);
+  EXPECT_LE(s->p99, 1000.0);
+  EXPECT_EQ(snapshot.FindHistogram("absent"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (run under WCOP_SANITIZE=thread in CI).
+
+TEST(TelemetryConcurrencyTest, ConcurrentCountersAndHistograms) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Resolving by name concurrently exercises the registry mutex; the
+      // adds exercise the lock-free paths.
+      Counter* c = registry.GetCounter("shared.counter");
+      Histogram* h = registry.GetHistogram("shared.histogram");
+      Gauge* g = registry.GetGauge("shared.gauge");
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Add();
+        h->Record(static_cast<uint64_t>(i));
+        g->Set(static_cast<double>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("shared.counter"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  const HistogramSummary* h = snapshot.FindHistogram("shared.histogram");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h->min, 0u);
+  EXPECT_EQ(h->max, static_cast<uint64_t>(kPerThread) - 1);
+}
+
+TEST(TelemetryConcurrencyTest, ConcurrentSpansGetDistinctThreadNumbers) {
+  Telemetry telemetry;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&telemetry] {
+      for (int i = 0; i < 50; ++i) {
+        WCOP_TRACE_SPAN(&telemetry, "test/worker");
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  const std::vector<TraceEvent> events = telemetry.trace().Events();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kThreads) * 50);
+  uint32_t max_tid = 0;
+  for (const TraceEvent& e : events) {
+    max_tid = std::max(max_tid, e.tid);
+  }
+  EXPECT_EQ(max_tid, static_cast<uint32_t>(kThreads) - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans.
+
+TEST(TraceTest, SpansNestAndRecordDepth) {
+  Telemetry telemetry;
+  {
+    WCOP_TRACE_SPAN(&telemetry, "outer");
+    {
+      WCOP_TRACE_SPAN(&telemetry, "inner");
+    }
+  }
+  const std::vector<TraceEvent> events = telemetry.trace().Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it is recorded first.
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_STREQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // The inner interval is contained in the outer one.
+  EXPECT_GE(events[0].start_ns, events[1].start_ns);
+  EXPECT_LE(events[0].start_ns + events[0].dur_ns,
+            events[1].start_ns + events[1].dur_ns);
+}
+
+TEST(TraceTest, NullTelemetryRecordsNothing) {
+  Telemetry* null_telemetry = nullptr;
+  {
+    WCOP_TRACE_SPAN(null_telemetry, "never");
+  }
+  // Depth bookkeeping must also stay untouched: a real span opened after
+  // null ones still starts at depth 0.
+  Telemetry telemetry;
+  {
+    WCOP_TRACE_SPAN(&telemetry, "real");
+  }
+  const std::vector<TraceEvent> events = telemetry.trace().Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].depth, 0u);
+}
+
+TEST(TraceTest, ChromeTraceJsonIsWellFormed) {
+  Telemetry telemetry;
+  {
+    WCOP_TRACE_SPAN(&telemetry, "wcop_ct/run");
+    {
+      WCOP_TRACE_SPAN(&telemetry, "cluster/greedy");
+    }
+    {
+      WCOP_TRACE_SPAN(&telemetry, "wcop_ct/translate");
+    }
+  }
+  const std::string json = telemetry.trace().ToChromeTraceJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"cluster/greedy\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceTest, SummaryListsTopSpans) {
+  Telemetry telemetry;
+  for (int i = 0; i < 3; ++i) {
+    WCOP_TRACE_SPAN(&telemetry, "phase/a");
+  }
+  {
+    WCOP_TRACE_SPAN(&telemetry, "phase/b");
+  }
+  const std::string summary = telemetry.trace().Summary();
+  EXPECT_NE(summary.find("phase/a"), std::string::npos);
+  EXPECT_NE(summary.find("phase/b"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer (stopwatch satellite).
+
+TEST(ScopedTimerTest, RecordsElapsedIntoHistogram) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("phase.test_ns");
+  {
+    ScopedTimer timer(h);
+    EXPECT_GE(timer.watch().ElapsedNanos(), 0);
+  }
+  EXPECT_EQ(h->count(), 1u);
+  {
+    ScopedTimer noop(nullptr);  // null histogram: must not crash
+  }
+  EXPECT_EQ(h->count(), 1u);
+}
+
+TEST(StopwatchTest, ElapsedNanosMonotone) {
+  Stopwatch watch;
+  const int64_t a = watch.ElapsedNanos();
+  const int64_t b = watch.ElapsedNanos();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace wcop

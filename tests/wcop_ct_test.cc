@@ -4,6 +4,8 @@
 
 #include "anon/verifier.h"
 #include "anon/wcop_ct.h"
+#include "common/run_context.h"
+#include "common/telemetry.h"
 #include "test_util.h"
 
 namespace wcop {
@@ -76,6 +78,51 @@ TEST(WcopCtTest, EveryClusterSatisfiesItsMembersRequirements) {
       EXPECT_LE(c.delta, d[m].requirement().delta + 1e-9);
     }
   }
+}
+
+TEST(WcopCtTest, TelemetryCountsMatchRunContextAccounting) {
+  const Dataset d = SmallSynthetic();
+  RunContext context;
+  telemetry::Telemetry telemetry;
+  WcopOptions options;
+  options.run_context = &context;
+  options.telemetry = &telemetry;
+  Result<AnonymizationResult> result = RunWcopCt(d, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  const telemetry::MetricsSnapshot& m = result->report.metrics;
+  ASSERT_FALSE(m.empty());
+
+  // Both accounting systems charge at the same site (one computed,
+  // non-cached pairwise distance), so they must agree exactly.
+  const uint64_t counted =
+      m.CounterValue(DistanceCallCounterName(options.distance));
+  EXPECT_GT(counted, 0u);
+  EXPECT_EQ(counted, context.distance_computations());
+  EXPECT_DOUBLE_EQ(m.GaugeValue("run_context.distance_computations"),
+                   static_cast<double>(context.distance_computations()));
+  EXPECT_DOUBLE_EQ(m.GaugeValue("run_context.candidate_pairs"),
+                   static_cast<double>(context.candidate_pairs()));
+
+  // The clustering phase ran: attempts happened and some were accepted
+  // (leftover assignment may still alter the final cluster count).
+  EXPECT_GT(m.CounterValue("cluster.attempts"), 0u);
+  EXPECT_GT(m.CounterValue("cluster.accepted"), 0u);
+  EXPECT_GE(m.CounterValue("cluster.attempts"),
+            m.CounterValue("cluster.accepted"));
+
+  // Phase spans were recorded with the documented names and proper nesting
+  // (translate under run).
+  const std::string trace = telemetry.trace().ToChromeTraceJson();
+  EXPECT_NE(trace.find("wcop_ct/run"), std::string::npos);
+  EXPECT_NE(trace.find("wcop_ct/translate"), std::string::npos);
+}
+
+TEST(WcopCtTest, NoTelemetryLeavesReportMetricsEmpty) {
+  const Dataset d = SmallSynthetic(20, 40);
+  Result<AnonymizationResult> result = RunWcopCt(d);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->report.metrics.empty());
 }
 
 TEST(WcopCtTest, RejectsEmptyDataset) {
