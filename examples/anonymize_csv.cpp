@@ -66,6 +66,9 @@ int main(int argc, char** argv) {
         "              [--assign-k=5 --assign-delta=250]  (if input lacks "
         "requirements)\n"
         "              [--budget=0.8] [--max-points=500] [--seed=7]\n"
+        "              [--checkpoint=FILE --checkpoint-every=1]  (algo=b: "
+        "resume an\n"
+        "                interrupted distortion-bound sweep from FILE)\n"
         "              [--trace-out=trace.json] [--metrics-out=metrics.json]");
     return 0;
   }
@@ -166,10 +169,20 @@ int main(int argc, char** argv) {
     WcopBOptions b_options;
     b_options.distort_max =
         baseline->report.total_distortion * args.GetDouble("budget", 0.8);
+    // Durable progress: with --checkpoint=FILE each completed editing round
+    // is persisted, and a re-run of the same command resumes from the last
+    // good checkpoint instead of iteration 0.
+    b_options.checkpoint_path = args.GetString("checkpoint", "");
+    b_options.checkpoint_every_rounds =
+        static_cast<size_t>(args.GetInt("checkpoint-every", 1));
     Result<WcopBResult> r = RunWcopB(dataset, options, b_options);
     if (!r.ok()) {
       std::cerr << r.status() << "\n";
       return 1;
+    }
+    if (r->resumed) {
+      std::printf("resumed from %s: %zu rounds restored\n",
+                  b_options.checkpoint_path.c_str(), r->resumed_rounds);
     }
     std::printf("WCOP-B: %zu editing rounds, bound %s\n", r->rounds.size(),
                 r->bound_satisfied ? "satisfied" : "NOT reachable");

@@ -6,6 +6,11 @@
 // offline pass.
 //
 // Run:  ./continuous_publication [--trajectories=50] [--window=600]
+//       [--checkpoint=FILE --checkpoint-every=1]
+//
+// With --checkpoint=FILE the streaming driver persists its progress after
+// each published window; re-running the same command after a crash resumes
+// from the last completed window instead of re-anonymizing the whole feed.
 
 #include <cstdio>
 #include <iostream>
@@ -51,10 +56,17 @@ int main(int argc, char** argv) {
   StreamingOptions streaming;
   streaming.window_seconds = args.GetDouble("window", 600.0);
   streaming.wcop = wcop;
+  streaming.checkpoint_path = args.GetString("checkpoint", "");
+  streaming.checkpoint_every_windows =
+      static_cast<size_t>(args.GetInt("checkpoint-every", 1));
   Result<StreamingResult> live = RunStreamingWcop(dataset, streaming);
   if (!live.ok()) {
     std::cerr << live.status() << "\n";
     return 1;
+  }
+  if (live->resumed) {
+    std::printf("resumed from %s: %zu windows restored\n\n",
+                streaming.checkpoint_path.c_str(), live->resumed_windows);
   }
 
   std::printf("windows of %.0f s over %zu trajectories:\n\n",

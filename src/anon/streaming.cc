@@ -4,10 +4,56 @@
 #include <cmath>
 #include <limits>
 
+#include "anon/checkpoint.h"
 #include "anon/wcop_ct.h"
 #include "common/failpoint.h"
+#include "common/snapshot.h"
 
 namespace wcop {
+
+namespace {
+
+/// Builds the durable state for a checkpoint: everything accumulated over
+/// `windows_done` completed windows. `result.degraded` is deliberately NOT
+/// copied from the in-flight result here — callers pass the durable
+/// degradation state explicitly, because a stream-level context trip is a
+/// property of this process run (a resumed run with a fresh context is not
+/// degraded), while window-level degradation is baked into published
+/// fragments and must persist.
+StreamingCheckpoint BuildCheckpoint(uint64_t fingerprint, size_t windows_done,
+                                    int64_t next_fragment_id,
+                                    const StreamingResult& result,
+                                    const std::vector<Trajectory>& published,
+                                    bool durable_degraded,
+                                    const std::string& durable_reason,
+                                    telemetry::Telemetry* tel) {
+  StreamingCheckpoint checkpoint;
+  checkpoint.fingerprint = fingerprint;
+  checkpoint.windows_done = windows_done;
+  checkpoint.next_fragment_id = next_fragment_id;
+  checkpoint.suppressed_fragments = result.suppressed_fragments;
+  checkpoint.total_clusters = result.total_clusters;
+  checkpoint.total_ttd = result.total_ttd;
+  checkpoint.degraded = durable_degraded;
+  checkpoint.degraded_reason = durable_reason;
+  checkpoint.windows = result.windows;
+  checkpoint.published = published;
+  if (tel != nullptr) {
+    checkpoint.counters = tel->metrics().Snapshot().counters;
+  }
+  return checkpoint;
+}
+
+Status SaveStreamingCheckpoint(const StreamingOptions& options,
+                               const StreamingCheckpoint& checkpoint) {
+  WCOP_RETURN_IF_ERROR(WriteSnapshotRotating(
+      options.checkpoint_path, EncodeStreamingCheckpoint(checkpoint),
+      kStreamingCheckpointVersion, options.snapshot_retry));
+  WCOP_FAILPOINT("streaming.checkpoint_saved");
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
                                          const StreamingOptions& options) {
@@ -37,19 +83,99 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
     fragments_counter = tel->metrics().GetCounter("streaming.fragments");
   }
 
+  const bool checkpointing = !options.checkpoint_path.empty();
+  const uint64_t fingerprint =
+      checkpointing ? StreamingConfigFingerprint(dataset, options) : 0;
+
   StreamingResult result;
   std::vector<Trajectory> published;
   int64_t next_id = 0;
-  for (double window_start = t_min; window_start <= t_max;
-       window_start += options.window_seconds) {
+  size_t first_window = 0;
+  // Window-level degradation baked into already-published fragments; kept
+  // separate from stream-level (process-local) degradation so checkpoints
+  // persist only the former.
+  bool durable_degraded = false;
+  std::string durable_reason;
+
+  if (checkpointing) {
+    Result<Snapshot> snapshot =
+        ReadSnapshotWithFallback(options.checkpoint_path,
+                                 options.snapshot_retry);
+    if (snapshot.ok()) {
+      Result<StreamingCheckpoint> decoded =
+          DecodeStreamingCheckpoint(snapshot->payload);
+      if (!decoded.ok() && decoded.status().code() != StatusCode::kDataLoss) {
+        return decoded.status();
+      }
+      if (!decoded.ok()) {
+        // Validated envelope but undecodable payload: treat like a corrupt
+        // file — recompute from scratch rather than trusting it.
+        if (tel != nullptr) {
+          tel->metrics().GetCounter("checkpoint.corrupt_discarded")->Add();
+        }
+      } else {
+        if (decoded->fingerprint != fingerprint) {
+          return Status::FailedPrecondition(
+              "checkpoint at " + options.checkpoint_path +
+              " was written for a different dataset or options "
+              "(fingerprint mismatch)");
+        }
+        first_window = decoded->windows_done;
+        next_id = decoded->next_fragment_id;
+        result.suppressed_fragments = decoded->suppressed_fragments;
+        result.total_clusters = decoded->total_clusters;
+        result.total_ttd = decoded->total_ttd;
+        result.windows = std::move(decoded->windows);
+        published = std::move(decoded->published);
+        durable_degraded = decoded->degraded;
+        durable_reason = decoded->degraded_reason;
+        result.degraded = durable_degraded;
+        result.degraded_reason = durable_reason;
+        result.resumed = true;
+        result.resumed_windows = first_window;
+        if (tel != nullptr) {
+          // Splice the prior run's counters back in so end-of-stream
+          // metrics cover the whole logical run, not just this process.
+          for (const auto& [name, value] : decoded->counters) {
+            tel->metrics().GetCounter(name)->Add(value);
+          }
+          tel->metrics().GetCounter("checkpoint.resumes")->Add();
+        }
+      }
+    } else if (snapshot.status().code() == StatusCode::kDataLoss) {
+      // Both current and previous snapshots are torn/corrupt: the only
+      // safe fallback left is a full recompute.
+      if (tel != nullptr) {
+        tel->metrics().GetCounter("checkpoint.corrupt_discarded")->Add();
+      }
+    } else if (snapshot.status().code() != StatusCode::kNotFound) {
+      return snapshot.status();
+    }
+  }
+
+  const size_t min_fragment_points =
+      std::max<size_t>(options.min_fragment_points, 1);
+  for (size_t wi = first_window;
+       t_min + static_cast<double>(wi) * options.window_seconds <= t_max;
+       ++wi) {
     WCOP_FAILPOINT("streaming.window");
     WCOP_TRACE_SPAN(tel, "streaming/window");
+    const double window_start =
+        t_min + static_cast<double>(wi) * options.window_seconds;
     // Cooperative yield point: one check per publication window. With
     // partial results allowed, a trip stops the stream — the windows
     // published so far each carry the full per-window guarantee.
     if (Status s = CheckRunContext(options.wcop.run_context); !s.ok()) {
       if (!options.wcop.allow_partial_results) {
         return s;
+      }
+      if (checkpointing) {
+        // Persist the completed windows before declaring degradation: a
+        // restart with a fresh context resumes them at full quality.
+        WCOP_RETURN_IF_ERROR(SaveStreamingCheckpoint(
+            options, BuildCheckpoint(fingerprint, wi, next_id, result,
+                                     published, durable_degraded,
+                                     durable_reason, tel)));
       }
       result.degraded = true;
       result.degraded_reason = s.ToString();
@@ -68,7 +194,7 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
           points.push_back(p);
         }
       }
-      if (points.size() < std::max<size_t>(options.min_fragment_points, 2)) {
+      if (points.size() < min_fragment_points) {
         result.suppressed_fragments += points.empty() ? 0 : 1;
         continue;
       }
@@ -81,36 +207,53 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
     StreamingWindowSummary summary;
     summary.window_start = window_start;
     summary.input_fragments = fragments.size();
-    if (fragments.empty()) {
-      continue;  // silent gap between bursts: nothing to publish
+    if (!fragments.empty()) {
+      telemetry::CounterAdd(windows_counter);
+      telemetry::CounterAdd(fragments_counter, fragments.size());
+      Result<AnonymizationResult> window_result =
+          RunWcopCt(Dataset(std::move(fragments)), options.wcop);
+      if (!window_result.ok()) {
+        // Unsatisfiable window (e.g. too few co-travellers for someone's
+        // k): the provider suppresses the whole window rather than leaking
+        // it.
+        telemetry::CounterAdd(windows_skipped);
+        summary.skipped = true;
+        result.suppressed_fragments += summary.input_fragments;
+        result.windows.push_back(summary);
+      } else {
+        if (window_result->report.degraded) {
+          // Partial fragments are published durable state: persists
+          // through checkpoints, unlike a stream-level trip.
+          durable_degraded = true;
+          if (durable_reason.empty()) {
+            durable_reason = window_result->report.degraded_reason;
+          }
+          if (!result.degraded) {
+            result.degraded = true;
+            result.degraded_reason = window_result->report.degraded_reason;
+          }
+        }
+        summary.published_fragments = window_result->sanitized.size();
+        summary.clusters = window_result->report.num_clusters;
+        summary.ttd = window_result->report.ttd;
+        result.suppressed_fragments += window_result->trashed_ids.size();
+        result.total_clusters += window_result->report.num_clusters;
+        result.total_ttd += window_result->report.ttd;
+        for (const Trajectory& t : window_result->sanitized.trajectories()) {
+          published.push_back(t);
+        }
+        result.windows.push_back(summary);
+      }
     }
-    telemetry::CounterAdd(windows_counter);
-    telemetry::CounterAdd(fragments_counter, fragments.size());
-    Result<AnonymizationResult> window_result =
-        RunWcopCt(Dataset(std::move(fragments)), options.wcop);
-    if (!window_result.ok()) {
-      // Unsatisfiable window (e.g. too few co-travellers for someone's k):
-      // the provider suppresses the whole window rather than leaking it.
-      telemetry::CounterAdd(windows_skipped);
-      summary.skipped = true;
-      result.suppressed_fragments += summary.input_fragments;
-      result.windows.push_back(summary);
-      continue;
+    if (checkpointing && (wi + 1 - first_window) %
+                                 std::max<size_t>(
+                                     options.checkpoint_every_windows, 1) ==
+                             0) {
+      WCOP_RETURN_IF_ERROR(SaveStreamingCheckpoint(
+          options, BuildCheckpoint(fingerprint, wi + 1, next_id, result,
+                                   published, durable_degraded,
+                                   durable_reason, tel)));
     }
-    if (window_result->report.degraded && !result.degraded) {
-      result.degraded = true;
-      result.degraded_reason = window_result->report.degraded_reason;
-    }
-    summary.published_fragments = window_result->sanitized.size();
-    summary.clusters = window_result->report.num_clusters;
-    summary.ttd = window_result->report.ttd;
-    result.suppressed_fragments += window_result->trashed_ids.size();
-    result.total_clusters += window_result->report.num_clusters;
-    result.total_ttd += window_result->report.ttd;
-    for (const Trajectory& t : window_result->sanitized.trajectories()) {
-      published.push_back(t);
-    }
-    result.windows.push_back(summary);
   }
   result.sanitized = Dataset(std::move(published));
   if (tel != nullptr) {

@@ -7,6 +7,7 @@
 
 #include "anon/types.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "traj/dataset.h"
 
 namespace wcop {
@@ -25,10 +26,26 @@ namespace wcop {
 /// price of bounded publication latency.
 struct StreamingOptions {
   double window_seconds = 3600.0;
-  /// Window fragments with fewer points than this are dropped (counted as
-  /// trashed points in the report).
+  /// Window fragments with *fewer* points than this are dropped (counted in
+  /// `suppressed_fragments`); a fragment with exactly this many points is
+  /// kept. Values below 1 are treated as 1 (empty fragments never publish).
   size_t min_fragment_points = 2;
   WcopOptions wcop;  ///< per-window anonymization settings
+
+  /// Durable checkpoint/resume (DESIGN.md "Crash recovery"). When set, the
+  /// driver persists its state through the atomic snapshot layer every
+  /// `checkpoint_every_windows` completed windows, and on startup resumes
+  /// from an existing checkpoint at `checkpoint_path`: already-published
+  /// windows are spliced back in (sanitized fragments, summaries, totals,
+  /// telemetry counters) and processing continues with the first
+  /// uncompleted window. A corrupt current checkpoint falls back to
+  /// `checkpoint_path`.prev; with no readable checkpoint the run starts
+  /// from scratch. A checkpoint written against a different dataset or
+  /// options (fingerprint mismatch) fails with kFailedPrecondition.
+  std::string checkpoint_path;
+  size_t checkpoint_every_windows = 1;
+  /// Optional retry policy for checkpoint snapshot I/O (null = no retries).
+  const RetryPolicy* snapshot_retry = nullptr;
 };
 
 struct StreamingWindowSummary {
@@ -53,6 +70,13 @@ struct StreamingResult {
   /// published (each individually verified-safe), the rest are suppressed.
   bool degraded = false;
   std::string degraded_reason;
+
+  /// Resume provenance: true when this run restored state from a
+  /// checkpoint, with `resumed_windows` windows spliced in rather than
+  /// recomputed. The spliced output is byte-identical to an uninterrupted
+  /// run (checkpoints serialize doubles exactly).
+  bool resumed = false;
+  size_t resumed_windows = 0;
 
   /// Final metrics snapshot over the entire stream (all windows), when a
   /// telemetry sink was attached through `StreamingOptions::wcop`.

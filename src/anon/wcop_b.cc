@@ -4,12 +4,27 @@
 #include <cmath>
 #include <numeric>
 
+#include "anon/checkpoint.h"
 #include "anon/metrics.h"
 #include "anon/wcop_ct.h"
 #include "common/failpoint.h"
+#include "common/snapshot.h"
 #include "common/stopwatch.h"
 
 namespace wcop {
+
+namespace {
+
+Status SaveWcopBCheckpoint(const WcopBOptions& b_options,
+                           const WcopBCheckpoint& checkpoint) {
+  WCOP_RETURN_IF_ERROR(WriteSnapshotRotating(
+      b_options.checkpoint_path, EncodeWcopBCheckpoint(checkpoint),
+      kWcopBCheckpointVersion, b_options.snapshot_retry));
+  WCOP_FAILPOINT("wcop_b.checkpoint_saved");
+  return Status::OK();
+}
+
+}  // namespace
 
 Result<WcopBResult> RunWcopB(const Dataset& dataset,
                              const WcopOptions& options,
@@ -50,6 +65,61 @@ Result<WcopBResult> RunWcopB(const Dataset& dataset,
       b_options.max_edit_size == 0 ? n : std::min(b_options.max_edit_size, n);
   size_t edit_size = b_options.step;
   bool have_round = false;
+
+  const bool checkpointing = !b_options.checkpoint_path.empty();
+  const uint64_t fingerprint =
+      checkpointing ? WcopBConfigFingerprint(dataset, options, b_options) : 0;
+  if (checkpointing) {
+    Result<Snapshot> snapshot = ReadSnapshotWithFallback(
+        b_options.checkpoint_path, b_options.snapshot_retry);
+    if (snapshot.ok()) {
+      Result<WcopBCheckpoint> decoded =
+          DecodeWcopBCheckpoint(snapshot->payload);
+      if (!decoded.ok() && decoded.status().code() != StatusCode::kDataLoss) {
+        return decoded.status();
+      }
+      if (!decoded.ok()) {
+        if (tel != nullptr) {
+          tel->metrics().GetCounter("checkpoint.corrupt_discarded")->Add();
+        }
+      } else {
+        if (decoded->fingerprint != fingerprint) {
+          return Status::FailedPrecondition(
+              "checkpoint at " + b_options.checkpoint_path +
+              " was written for a different dataset or options "
+              "(fingerprint mismatch)");
+        }
+        result.rounds = std::move(decoded->rounds);
+        result.anonymization = std::move(decoded->anonymization);
+        result.final_edit_size = decoded->final_edit_size;
+        result.bound_satisfied = decoded->bound_satisfied;
+        result.resumed = true;
+        result.resumed_rounds = result.rounds.size();
+        have_round = !result.rounds.empty();
+        edit_size = decoded->next_edit_size;
+        if (tel != nullptr) {
+          for (const auto& [name, value] : decoded->counters) {
+            tel->metrics().GetCounter(name)->Add(value);
+          }
+          tel->metrics().GetCounter("checkpoint.resumes")->Add();
+        }
+        if (decoded->terminal) {
+          // The sweep had already finished when this checkpoint was
+          // written; replay its result instead of recomputing anything.
+          result.anonymization.report.runtime_seconds =
+              timer.ElapsedSeconds();
+          SnapshotTelemetry(resolved, &result.anonymization.report);
+          return result;
+        }
+      }
+    } else if (snapshot.status().code() == StatusCode::kDataLoss) {
+      if (tel != nullptr) {
+        tel->metrics().GetCounter("checkpoint.corrupt_discarded")->Add();
+      }
+    } else if (snapshot.status().code() != StatusCode::kNotFound) {
+      return snapshot.status();
+    }
+  }
 
   while (true) {
     WCOP_FAILPOINT("wcop_b.round");
@@ -136,6 +206,31 @@ Result<WcopBResult> RunWcopB(const Dataset& dataset,
     result.anonymization = std::move(round_result);
     result.final_edit_size = edit_size;
     have_round = true;
+    // Durable progress: after a full-quality round, persist the sweep state
+    // so a crashed process resumes from here instead of iteration 0. A
+    // degraded round is deliberately NOT checkpointed — it exists only
+    // because *this* run's context tripped; a restart with a fresh context
+    // should redo it at full quality (the previous round's checkpoint
+    // already covers everything before it).
+    if (checkpointing && !degraded) {
+      const bool terminal = satisfied || exhausted;
+      const size_t cadence =
+          std::max<size_t>(b_options.checkpoint_every_rounds, 1);
+      if (terminal || result.rounds.size() % cadence == 0) {
+        WcopBCheckpoint checkpoint;
+        checkpoint.fingerprint = fingerprint;
+        checkpoint.next_edit_size = edit_size + b_options.step;
+        checkpoint.terminal = terminal;
+        checkpoint.bound_satisfied = satisfied;
+        checkpoint.final_edit_size = edit_size;
+        checkpoint.rounds = result.rounds;
+        checkpoint.anonymization = result.anonymization;
+        if (tel != nullptr) {
+          checkpoint.counters = tel->metrics().Snapshot().counters;
+        }
+        WCOP_RETURN_IF_ERROR(SaveWcopBCheckpoint(b_options, checkpoint));
+      }
+    }
     if (degraded) {
       // The inner anonymization already ran out of deadline/budget; further
       // rounds could only repeat the trip. Keep the partial round.

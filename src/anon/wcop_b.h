@@ -1,10 +1,12 @@
 #ifndef WCOP_ANON_WCOP_B_H_
 #define WCOP_ANON_WCOP_B_H_
 
+#include <string>
 #include <vector>
 
 #include "anon/types.h"
 #include "common/result.h"
+#include "common/retry.h"
 #include "traj/dataset.h"
 
 namespace wcop {
@@ -37,6 +39,21 @@ struct WcopBOptions {
   enum class EditPolicy { kThreshold, kProportional };
   EditPolicy edit_policy = EditPolicy::kThreshold;
   double proportional_strength = 0.5;
+
+  /// Durable checkpoint/resume (DESIGN.md "Crash recovery"). When set, the
+  /// driver persists its state through the atomic snapshot layer after
+  /// every `checkpoint_every_rounds` completed edit-and-re-anonymize
+  /// rounds, and on startup resumes from the checkpoint: completed rounds
+  /// are spliced back in and the sweep continues from the next edit size
+  /// instead of iteration 0. A terminal checkpoint (bound satisfied or
+  /// editing exhausted) replays the stored result directly. A corrupt
+  /// current checkpoint falls back to `checkpoint_path`.prev; with no
+  /// readable checkpoint the sweep starts from scratch. A fingerprint
+  /// mismatch (different dataset/options) fails with kFailedPrecondition.
+  std::string checkpoint_path;
+  size_t checkpoint_every_rounds = 1;
+  /// Optional retry policy for checkpoint snapshot I/O (null = no retries).
+  const RetryPolicy* snapshot_retry = nullptr;
 };
 
 /// One editing-and-anonymization round of Algorithm 6.
@@ -56,6 +73,10 @@ struct WcopBResult {
   size_t final_edit_size = 0;
   bool bound_satisfied = false;       ///< false when even editing the whole
                                       ///< dataset could not meet distort_max
+  /// Resume provenance: true when this run restored completed rounds from
+  /// a checkpoint instead of recomputing them (resumed_rounds of them).
+  bool resumed = false;
+  size_t resumed_rounds = 0;
 };
 
 /// WCOP-B (Algorithm 6): ranks trajectories by dataset-aware demandingness

@@ -1,8 +1,23 @@
 #include "common/failpoint.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 namespace wcop {
+
+namespace {
+
+/// Trims ASCII whitespace from both ends of `s`.
+std::string_view Trim(std::string_view s) {
+  auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
 
 FailpointRegistry& FailpointRegistry::Instance() {
   static FailpointRegistry* registry = new FailpointRegistry();
@@ -10,28 +25,64 @@ FailpointRegistry& FailpointRegistry::Instance() {
 }
 
 FailpointRegistry::FailpointRegistry() {
-  // Environment-driven arming: WCOP_FAILPOINTS="site1,site2" arms each
-  // listed site to inject Status::Internal on every hit. Lets a whole test
-  // binary (or a staging deployment) run under injected faults without
-  // recompiling.
+  // Environment-driven arming: WCOP_FAILPOINTS="site1,site2:abort@3" arms
+  // each listed site (see the class comment for the segment syntax). Lets a
+  // whole test binary (or a staging deployment, or the crash-recovery
+  // harness's child process) run under injected faults without recompiling.
   const char* env = std::getenv("WCOP_FAILPOINTS");
   if (env == nullptr || *env == '\0') {
     return;
   }
-  std::string_view spec(env);
+  Status status = ArmFromSpec(env);
+  if (!status.ok()) {
+    std::fprintf(stderr, "WCOP_FAILPOINTS: %s\n", status.ToString().c_str());
+  }
+}
+
+Status FailpointRegistry::ArmFromSpec(std::string_view spec) {
   while (!spec.empty()) {
     const size_t comma = spec.find(',');
-    std::string_view site = spec.substr(0, comma);
+    std::string_view segment = spec.substr(0, comma);
     spec = comma == std::string_view::npos ? std::string_view()
                                            : spec.substr(comma + 1);
-    // Trim surrounding whitespace.
-    while (!site.empty() && site.front() == ' ') site.remove_prefix(1);
-    while (!site.empty() && site.back() == ' ') site.remove_suffix(1);
-    if (!site.empty()) {
+    segment = Trim(segment);
+    if (segment.empty()) {
+      continue;  // trailing / duplicated commas
+    }
+    const size_t colon = segment.find(':');
+    const std::string_view site = Trim(segment.substr(0, colon));
+    if (site.empty()) {
+      return Status::InvalidArgument("failpoint segment '" +
+                                     std::string(segment) + "' has no site");
+    }
+    if (colon == std::string_view::npos) {
       Arm(site, Status::Internal("injected fault (WCOP_FAILPOINTS) at " +
                                  std::string(site)));
+      continue;
     }
+    std::string_view mode = Trim(segment.substr(colon + 1));
+    int on_hit = 1;
+    if (const size_t at = mode.find('@'); at != std::string_view::npos) {
+      const std::string count(Trim(mode.substr(at + 1)));
+      mode = Trim(mode.substr(0, at));
+      char* end = nullptr;
+      const long parsed = std::strtol(count.c_str(), &end, 10);
+      if (end == count.c_str() || *end != '\0' || parsed < 1) {
+        return Status::InvalidArgument("failpoint segment '" +
+                                       std::string(segment) +
+                                       "' has a bad hit count");
+      }
+      on_hit = static_cast<int>(parsed);
+    }
+    if (mode != "abort") {
+      return Status::InvalidArgument("failpoint segment '" +
+                                     std::string(segment) +
+                                     "' has unknown mode '" +
+                                     std::string(mode) + "'");
+    }
+    ArmAbort(site, on_hit);
   }
+  return Status::OK();
 }
 
 void FailpointRegistry::Arm(std::string_view site, Status status,
@@ -39,7 +90,23 @@ void FailpointRegistry::Arm(std::string_view site, Status status,
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] =
       sites_.insert_or_assign(std::string(site), Entry{std::move(status),
-                                                       max_fires});
+                                                       max_fires,
+                                                       /*abort_mode=*/false,
+                                                       /*abort_countdown=*/0});
+  (void)it;
+  if (inserted) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::ArmAbort(std::string_view site, int on_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.status = Status::OK();
+  entry.abort_mode = true;
+  entry.abort_countdown = on_hit < 1 ? 1 : on_hit;
+  auto [it, inserted] =
+      sites_.insert_or_assign(std::string(site), std::move(entry));
   (void)it;
   if (inserted) {
     armed_count_.fetch_add(1, std::memory_order_relaxed);
@@ -66,6 +133,17 @@ Status FailpointRegistry::Fire(std::string_view site) {
   ++hits_[std::string(site)];
   auto it = sites_.find(std::string(site));
   if (it == sites_.end()) {
+    return Status::OK();
+  }
+  if (it->second.abort_mode) {
+    if (--it->second.abort_countdown <= 0) {
+      // The whole point: die exactly here, the way a power cut or OOM kill
+      // would, so the crash-recovery harness can assert that a restart
+      // resumes cleanly from the last checkpoint.
+      std::fprintf(stderr, "failpoint abort at '%.*s'\n",
+                   static_cast<int>(site.size()), site.data());
+      std::abort();
+    }
     return Status::OK();
   }
   Status injected = it->second.status;

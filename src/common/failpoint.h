@@ -20,12 +20,20 @@ namespace wcop {
 ///   WCOP_FAILPOINT("geolife.read_line");
 ///
 /// inside any function returning Status or Result<T>. Disarmed (the normal
-/// state) a failpoint costs one relaxed atomic load. Tests arm a site —
-/// programmatically through Arm()/ScopedFailpoint, or for whole binaries via
-/// the WCOP_FAILPOINTS environment variable ("site1,site2", each firing
-/// Status::Internal on every hit) — and the next hit returns the injected
-/// Status from the enclosing function, exercising the error-propagation path
-/// exactly as a real I/O or resource failure would.
+/// state) a failpoint costs two relaxed atomic loads. Tests arm a site —
+/// programmatically through Arm()/ArmAbort()/ScopedFailpoint, or for whole
+/// binaries via the WCOP_FAILPOINTS environment variable — and the next hit
+/// either returns the injected Status from the enclosing function
+/// (exercising the error-propagation path exactly as a real I/O failure
+/// would) or, in abort mode, kills the process (exercising crash recovery).
+///
+/// WCOP_FAILPOINTS syntax: a comma-separated list of segments. Whitespace
+/// around segments is trimmed and empty segments (trailing or duplicated
+/// commas) are ignored. Each segment is
+///
+///   site            arm `site` to inject Status::Internal on every hit
+///   site:abort      arm `site` to std::abort() on its first hit
+///   site:abort@N    arm `site` to std::abort() on its N-th hit (N >= 1)
 ///
 /// All operations are thread-safe.
 class FailpointRegistry {
@@ -38,23 +46,50 @@ class FailpointRegistry {
   /// -1 fires forever. Re-arming an armed site overwrites it.
   void Arm(std::string_view site, Status status, int max_fires = -1);
 
+  /// Arms `site` to call std::abort() on its `on_hit`-th hit (1 = the next
+  /// one). The crash-recovery harness uses this to kill a child process at
+  /// an exact pipeline boundary.
+  void ArmAbort(std::string_view site, int on_hit = 1);
+
+  /// Parses a WCOP_FAILPOINTS-style spec (see class comment) and arms every
+  /// listed site. Returns InvalidArgument naming the first malformed
+  /// segment; well-formed segments before it are still armed.
+  Status ArmFromSpec(std::string_view spec);
+
   /// Disarms `site`; no-op when not armed.
   void Disarm(std::string_view site);
 
-  /// Disarms every site (test teardown).
+  /// Disarms every site and clears hit counts (test teardown). Leaves
+  /// hit counting (EnableHitCounting) as-is.
   void DisarmAll();
 
-  /// Fast path used by the WCOP_FAILPOINT macro: false when nothing is
-  /// armed anywhere in the process.
+  /// Enables counting *every* failpoint hit, armed or not. Off (the
+  /// default), the disarmed fast path skips the registry entirely and
+  /// HitCount only reflects hits made while some site was armed; tests
+  /// that need exact hit counts turn this on.
+  void EnableHitCounting(bool enabled) {
+    count_all_hits_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// True when any site is armed anywhere in the process.
   bool any_armed() const {
     return armed_count_.load(std::memory_order_relaxed) > 0;
   }
 
-  /// Returns the injected Status when `site` is armed, OK otherwise.
+  /// Fast path used by the WCOP_FAILPOINT macro: false when no site is
+  /// armed and hit counting is off — the registry need not be consulted.
+  bool active() const {
+    return any_armed() || count_all_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns the injected Status when `site` is armed (aborting instead
+  /// when the site is armed in abort mode and its hit countdown expires),
+  /// OK otherwise.
   Status Fire(std::string_view site);
 
-  /// Total hits observed at `site` (armed or not, but only counted while
-  /// any site is armed — the disarmed fast path skips the registry).
+  /// Total hits observed at `site`. Exact while hit counting is enabled or
+  /// some site is armed; the fully-disarmed fast path skips the registry,
+  /// so hits made then are not counted.
   uint64_t HitCount(std::string_view site) const;
 
   /// Process-wide count of injected (non-OK) fires, across all sites and
@@ -73,12 +108,15 @@ class FailpointRegistry {
   struct Entry {
     Status status;
     int remaining = -1;  ///< fires left; -1 = unlimited
+    bool abort_mode = false;
+    int abort_countdown = 0;  ///< abort when a hit decrements this to 0
   };
 
   mutable std::mutex mu_;
   std::unordered_map<std::string, Entry> sites_;
   std::unordered_map<std::string, uint64_t> hits_;
   std::atomic<int> armed_count_{0};
+  std::atomic<bool> count_all_hits_{false};
   std::atomic<uint64_t> fired_count_{0};
 };
 
@@ -103,10 +141,11 @@ class ScopedFailpoint {
 
 /// Fault-injection boundary marker. Usable in any function returning Status
 /// or Result<T> (both implicitly construct from a non-OK Status). Near-zero
-/// cost when no failpoint is armed: a single relaxed atomic load.
+/// cost when no failpoint is armed and hit counting is off: two relaxed
+/// atomic loads.
 #define WCOP_FAILPOINT(site)                                         \
   do {                                                               \
-    if (::wcop::FailpointRegistry::Instance().any_armed()) {         \
+    if (::wcop::FailpointRegistry::Instance().active()) {            \
       ::wcop::Status _wcop_fp_status =                               \
           ::wcop::FailpointRegistry::Instance().Fire(site);          \
       if (!_wcop_fp_status.ok()) {                                   \

@@ -1,0 +1,72 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace wcop {
+
+namespace {
+
+/// SplitMix64: the standard 64-bit finalizer; a cheap, stateless way to get
+/// a well-mixed deterministic value from (seed, attempt).
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kIoError;
+}
+
+std::chrono::nanoseconds BackoffForAttempt(const RetryPolicy& policy,
+                                           int attempt) {
+  if (policy.initial_backoff.count() <= 0) {
+    return std::chrono::nanoseconds(0);
+  }
+  double ns = static_cast<double>(policy.initial_backoff.count()) *
+              std::pow(std::max(policy.multiplier, 1.0),
+                       static_cast<double>(std::max(attempt, 0)));
+  ns = std::min(ns, static_cast<double>(policy.max_backoff.count()));
+  const double jitter = std::clamp(policy.jitter, 0.0, 0.999);
+  if (jitter > 0.0) {
+    // Deterministic factor in [1 - jitter, 1 + jitter].
+    const uint64_t h =
+        SplitMix64(policy.jitter_seed * 0x9e3779b97f4a7c15ULL +
+                   static_cast<uint64_t>(attempt));
+    const double unit =
+        static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+    ns *= 1.0 + jitter * (2.0 * unit - 1.0);
+  }
+  return std::chrono::nanoseconds(static_cast<int64_t>(ns));
+}
+
+Status RetryCall(const RetryPolicy& policy,
+                 const std::function<Status()>& op, int* attempts_out) {
+  const int max_attempts = std::max(policy.max_attempts, 1);
+  Status last = Status::OK();
+  int attempts = 0;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++attempts;
+    last = op();
+    if (last.ok() || !IsRetryable(last)) {
+      break;
+    }
+    if (attempt + 1 < max_attempts && policy.sleep_between_attempts) {
+      const std::chrono::nanoseconds pause = BackoffForAttempt(policy, attempt);
+      if (pause.count() > 0) {
+        std::this_thread::sleep_for(pause);
+      }
+    }
+  }
+  if (attempts_out != nullptr) {
+    *attempts_out = attempts;
+  }
+  return last;
+}
+
+}  // namespace wcop

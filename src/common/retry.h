@@ -1,0 +1,81 @@
+#ifndef WCOP_COMMON_RETRY_H_
+#define WCOP_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace wcop {
+
+/// Bounded exponential backoff for transient I/O failures.
+///
+/// The checkpoint writer, the snapshot reader, and the dataset parsers sit
+/// on real filesystems where opens and writes fail transiently (NFS blips,
+/// ENOSPC races with log rotation, antivirus locks). A RetryPolicy retries
+/// *retryable* failures — kIoError only; corruption (kDataLoss), parse
+/// errors, and context trips are never retried — waiting
+///
+///   backoff(attempt) = min(initial_backoff * multiplier^attempt,
+///                          max_backoff) * (1 ± jitter)
+///
+/// between attempts. Jitter is deterministic (SplitMix64 of jitter_seed and
+/// the attempt number) so tests can assert the exact schedule; production
+/// callers vary jitter_seed per process to de-synchronize retry storms.
+struct RetryPolicy {
+  /// Total attempts, including the first one. 1 disables retries.
+  int max_attempts = 3;
+
+  std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(10);
+  double multiplier = 2.0;
+  std::chrono::nanoseconds max_backoff = std::chrono::seconds(1);
+
+  /// Fractional jitter in [0, 1): each backoff is scaled by a deterministic
+  /// factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.1;
+  uint64_t jitter_seed = 0;
+
+  /// Tests set this to false to assert the schedule without sleeping.
+  bool sleep_between_attempts = true;
+};
+
+/// True for status codes a retry can plausibly fix (transient I/O).
+bool IsRetryable(const Status& status);
+
+/// The exact pause before retry number `attempt` (0-based: the wait after
+/// the first failure is BackoffForAttempt(policy, 0)). Deterministic.
+std::chrono::nanoseconds BackoffForAttempt(const RetryPolicy& policy,
+                                           int attempt);
+
+/// Runs `op` up to policy.max_attempts times, sleeping the backoff schedule
+/// between attempts. Returns the first success, the first non-retryable
+/// failure, or the last retryable failure once attempts are exhausted.
+/// `attempts_out` (optional) receives the number of attempts made.
+Status RetryCall(const RetryPolicy& policy,
+                 const std::function<Status()>& op,
+                 int* attempts_out = nullptr);
+
+/// Result<T> flavour of RetryCall.
+template <typename T>
+Result<T> RetryResultCall(const RetryPolicy& policy,
+                          const std::function<Result<T>()>& op,
+                          int* attempts_out = nullptr) {
+  Result<T> last = Status::Internal("retry loop did not run");
+  Status status = RetryCall(
+      policy,
+      [&]() {
+        last = op();
+        return last.status();
+      },
+      attempts_out);
+  if (!status.ok()) {
+    return status;
+  }
+  return last;
+}
+
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_RETRY_H_

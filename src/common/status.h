@@ -25,6 +25,8 @@ enum class StatusCode {
                    ///< (e.g. Bounded anonymity with an unreachable bound).
   kDeadlineExceeded,  ///< A RunContext deadline expired mid-computation.
   kCancelled,         ///< A RunContext cancellation token was triggered.
+  kDataLoss,          ///< Durable state is unrecoverably torn or corrupt
+                      ///< (bad magic, truncated payload, CRC mismatch).
 };
 
 /// Returns a stable, human-readable name for a status code ("OK",
@@ -77,6 +79,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

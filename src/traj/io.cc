@@ -98,4 +98,13 @@ Result<Dataset> ReadDatasetCsv(const std::string& path,
   return dataset;
 }
 
+Result<Dataset> ReadDatasetCsvRetry(const std::string& path,
+                                    const RetryPolicy& retry,
+                                    const RunContext* run_context,
+                                    telemetry::Telemetry* telemetry) {
+  return RetryResultCall<Dataset>(retry, [&]() {
+    return ReadDatasetCsv(path, run_context, telemetry);
+  });
+}
+
 }  // namespace wcop

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/retry.h"
 #include "common/run_context.h"
 #include "common/telemetry.h"
 #include "traj/dataset.h"
@@ -28,6 +29,14 @@ Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
 Result<Dataset> ReadDatasetCsv(const std::string& path,
                                const RunContext* run_context = nullptr,
                                telemetry::Telemetry* telemetry = nullptr);
+
+/// ReadDatasetCsv under a RetryPolicy: transient I/O failures (kIoError —
+/// NFS blips, locked files) restart the whole read after a bounded
+/// exponential backoff; parse errors and context trips are never retried.
+Result<Dataset> ReadDatasetCsvRetry(const std::string& path,
+                                    const RetryPolicy& retry,
+                                    const RunContext* run_context = nullptr,
+                                    telemetry::Telemetry* telemetry = nullptr);
 
 }  // namespace wcop
 

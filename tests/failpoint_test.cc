@@ -88,6 +88,89 @@ TEST_F(FailpointTest, ScopedFailpointDisarmsOnExit) {
   EXPECT_FALSE(FailpointRegistry::Instance().any_armed());
 }
 
+// HitCount with nothing armed: the disarmed fast path skips the registry,
+// but EnableHitCounting(true) makes every hit observable anyway — the
+// documented fix for the old "counts only while armed" inconsistency.
+TEST_F(FailpointTest, HitCountingWorksWithNothingArmed) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  ASSERT_FALSE(registry.any_armed());
+  EXPECT_FALSE(registry.active());
+
+  const uint64_t before = registry.HitCount("test.counted");
+  auto hit_site = []() -> Status {
+    WCOP_FAILPOINT("test.counted");
+    return Status::OK();
+  };
+  // Counting off, nothing armed: the macro's fast path skips Fire().
+  EXPECT_TRUE(hit_site().ok());
+  EXPECT_EQ(registry.HitCount("test.counted"), before);
+
+  registry.EnableHitCounting(true);
+  EXPECT_TRUE(registry.active());
+  EXPECT_TRUE(hit_site().ok());
+  EXPECT_TRUE(hit_site().ok());
+  EXPECT_EQ(registry.HitCount("test.counted"), before + 2);
+  registry.EnableHitCounting(false);
+  EXPECT_FALSE(registry.active());
+}
+
+// ---------------------------------------------------------------------------
+// WCOP_FAILPOINTS-style spec parsing (ArmFromSpec).
+// ---------------------------------------------------------------------------
+
+TEST_F(FailpointTest, ArmFromSpecArmsPlainSites) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromSpec("test.one,test.two").ok());
+  EXPECT_EQ(registry.ArmedSites().size(), 2u);
+  EXPECT_EQ(registry.Fire("test.one").code(), StatusCode::kInternal);
+  EXPECT_EQ(registry.Fire("test.two").code(), StatusCode::kInternal);
+}
+
+TEST_F(FailpointTest, ArmFromSpecTrimsWhitespaceAndSkipsEmptySegments) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromSpec("  test.one , \ttest.two\n,, ,").ok());
+  EXPECT_EQ(registry.ArmedSites().size(), 2u);
+  EXPECT_FALSE(registry.Fire("test.one").ok());
+  EXPECT_FALSE(registry.Fire("test.two").ok());
+  // An all-whitespace spec arms nothing and is not an error.
+  registry.DisarmAll();
+  ASSERT_TRUE(registry.ArmFromSpec("   ").ok());
+  EXPECT_FALSE(registry.any_armed());
+}
+
+TEST_F(FailpointTest, ArmFromSpecRejectsMalformedSegments) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  EXPECT_EQ(registry.ArmFromSpec("test.site:explode").code(),
+            StatusCode::kInvalidArgument);
+  registry.DisarmAll();
+  EXPECT_EQ(registry.ArmFromSpec("test.site:abort@0").code(),
+            StatusCode::kInvalidArgument);
+  registry.DisarmAll();
+  EXPECT_EQ(registry.ArmFromSpec("test.site:abort@notanumber").code(),
+            StatusCode::kInvalidArgument);
+  registry.DisarmAll();
+  EXPECT_EQ(registry.ArmFromSpec(":abort").code(),
+            StatusCode::kInvalidArgument);
+  registry.DisarmAll();
+  // Well-formed segments before the malformed one are still armed.
+  EXPECT_FALSE(registry.ArmFromSpec("test.good,test.bad:explode").ok());
+  EXPECT_EQ(registry.ArmedSites().size(), 1u);
+  EXPECT_EQ(registry.ArmedSites().front(), "test.good");
+}
+
+// abort-mode countdown semantics are observable without dying: earlier hits
+// of site:abort@N pass through OK (the abort itself is exercised by the
+// fork/exec crash-recovery harness, where the child is expendable).
+TEST_F(FailpointTest, AbortModeCountsDownWithoutInjectingStatus) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromSpec("test.boom:abort@3").ok());
+  EXPECT_TRUE(registry.any_armed());
+  EXPECT_TRUE(registry.Fire("test.boom").ok());  // hit 1 of 3: no abort yet
+  EXPECT_TRUE(registry.Fire("test.boom").ok());  // hit 2 of 3
+  registry.Disarm("test.boom");                  // defuse before hit 3
+  EXPECT_TRUE(registry.Fire("test.boom").ok());
+}
+
 // ---------------------------------------------------------------------------
 // Fault injection through every instrumented pipeline boundary. Each test
 // arms exactly one production site and asserts the enclosing driver returns
@@ -104,6 +187,35 @@ TEST_F(FailpointTest, InjectCsvReadLine) {
   Result<Dataset> result = ReadDatasetCsv(path);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError) << result.status();
+  std::filesystem::remove(path);
+}
+
+// The retry-wrapped parser rides over transient injected I/O failures and
+// returns the parsed dataset; a parse error is terminal on the first try.
+TEST_F(FailpointTest, CsvRetryRecoversFromTransientIo) {
+  const Dataset d = SmallSynthetic(5, 10);
+  const std::string path = TempPath("failpoint_csv_retry_test.csv");
+  ASSERT_TRUE(WriteDatasetCsv(d, path).ok());
+
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.sleep_between_attempts = false;
+  {
+    ScopedFailpoint fp("csv.read_line", Status::IoError("transient"),
+                       /*max_fires=*/2);
+    Result<Dataset> result = ReadDatasetCsvRetry(path, retry);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->size(), d.size());
+  }
+  {
+    ScopedFailpoint fp("csv.read_line", Status::ParseError("bad cell"),
+                       /*max_fires=*/2);
+    Result<Dataset> result = ReadDatasetCsvRetry(path, retry);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+    // Non-retryable: the second injected fire was never consumed.
+    EXPECT_FALSE(ReadDatasetCsv(path).ok());
+  }
   std::filesystem::remove(path);
 }
 

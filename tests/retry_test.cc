@@ -1,0 +1,198 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace wcop {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+RetryPolicy NoJitterPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff = milliseconds(10);
+  policy.multiplier = 2.0;
+  policy.max_backoff = milliseconds(50);
+  policy.jitter = 0.0;
+  policy.sleep_between_attempts = false;
+  return policy;
+}
+
+// ---------------------------------------------------------------------------
+// Retryability classification.
+// ---------------------------------------------------------------------------
+
+TEST(RetryTest, OnlyIoErrorIsRetryable) {
+  EXPECT_TRUE(IsRetryable(Status::IoError("nfs blip")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::DataLoss("corrupt")));
+  EXPECT_FALSE(IsRetryable(Status::ParseError("bad cell")));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("late")));
+  EXPECT_FALSE(IsRetryable(Status::Cancelled("stop")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("nope")));
+  EXPECT_FALSE(IsRetryable(Status::Internal("bug")));
+}
+
+// ---------------------------------------------------------------------------
+// Backoff schedule: exact, deterministic, capped.
+// ---------------------------------------------------------------------------
+
+TEST(RetryTest, BackoffDoublesAndCaps) {
+  const RetryPolicy policy = NoJitterPolicy();
+  EXPECT_EQ(BackoffForAttempt(policy, 0), nanoseconds(milliseconds(10)));
+  EXPECT_EQ(BackoffForAttempt(policy, 1), nanoseconds(milliseconds(20)));
+  EXPECT_EQ(BackoffForAttempt(policy, 2), nanoseconds(milliseconds(40)));
+  // 80ms would exceed the cap.
+  EXPECT_EQ(BackoffForAttempt(policy, 3), nanoseconds(milliseconds(50)));
+  EXPECT_EQ(BackoffForAttempt(policy, 9), nanoseconds(milliseconds(50)));
+}
+
+TEST(RetryTest, JitterIsDeterministicAndBounded) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.jitter = 0.25;
+  policy.jitter_seed = 42;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const nanoseconds jittered = BackoffForAttempt(policy, attempt);
+    // Same (seed, attempt) -> same pause, every time.
+    EXPECT_EQ(jittered, BackoffForAttempt(policy, attempt)) << attempt;
+    RetryPolicy no_jitter = policy;
+    no_jitter.jitter = 0.0;
+    const auto base =
+        static_cast<double>(BackoffForAttempt(no_jitter, attempt).count());
+    const auto value = static_cast<double>(jittered.count());
+    EXPECT_GE(value, base * 0.75 - 1.0) << attempt;
+    EXPECT_LE(value, base * 1.25 + 1.0) << attempt;
+  }
+  // A different seed perturbs the schedule (with overwhelming probability
+  // some attempt differs).
+  RetryPolicy other_seed = policy;
+  other_seed.jitter_seed = 43;
+  bool any_different = false;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    any_different |=
+        BackoffForAttempt(policy, attempt) != BackoffForAttempt(other_seed,
+                                                                attempt);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+// ---------------------------------------------------------------------------
+// RetryCall semantics.
+// ---------------------------------------------------------------------------
+
+TEST(RetryTest, FirstSuccessShortCircuits) {
+  int calls = 0;
+  int attempts = 0;
+  Status s = RetryCall(
+      NoJitterPolicy(),
+      [&]() {
+        ++calls;
+        return Status::OK();
+      },
+      &attempts);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryTest, TransientFailureRecovers) {
+  int calls = 0;
+  int attempts = 0;
+  Status s = RetryCall(
+      NoJitterPolicy(),
+      [&]() {
+        return ++calls < 3 ? Status::IoError("transient") : Status::OK();
+      },
+      &attempts);
+  EXPECT_TRUE(s.ok()) << s;
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(RetryTest, ExhaustionReturnsLastError) {
+  int calls = 0;
+  int attempts = 0;
+  Status s = RetryCall(
+      NoJitterPolicy(),
+      [&]() {
+        ++calls;
+        return Status::IoError("persistent " + std::to_string(calls));
+      },
+      &attempts);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(calls, 4);  // max_attempts
+  EXPECT_EQ(attempts, 4);
+  EXPECT_NE(s.message().find("persistent 4"), std::string::npos) << s;
+}
+
+TEST(RetryTest, NonRetryableFailureShortCircuits) {
+  int calls = 0;
+  int attempts = 0;
+  Status s = RetryCall(
+      NoJitterPolicy(),
+      [&]() {
+        ++calls;
+        return Status::DataLoss("corrupt");
+      },
+      &attempts);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryTest, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy policy = NoJitterPolicy();
+  policy.max_attempts = 1;
+  int calls = 0;
+  Status s = RetryCall(policy, [&]() {
+    ++calls;
+    return Status::IoError("transient");
+  });
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ResultFlavourReturnsValue) {
+  int calls = 0;
+  Result<int> r = RetryResultCall<int>(NoJitterPolicy(), [&]() -> Result<int> {
+    if (++calls < 2) {
+      return Status::IoError("transient");
+    }
+    return 17;
+  });
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(*r, 17);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, ResultFlavourPropagatesNonRetryable) {
+  Result<int> r = RetryResultCall<int>(NoJitterPolicy(), [&]() -> Result<int> {
+    return Status::ParseError("bad");
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+// With sleeping enabled the wall-clock pause matches the schedule at least
+// approximately (lower bound only; CI machines can oversleep freely).
+TEST(RetryTest, SleepsAtLeastTheScheduledBackoff) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.initial_backoff = milliseconds(20);
+  policy.jitter = 0.0;
+  policy.sleep_between_attempts = true;
+  const auto start = std::chrono::steady_clock::now();
+  Status s = RetryCall(policy, [&]() { return Status::IoError("x"); });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_FALSE(s.ok());
+  EXPECT_GE(elapsed, milliseconds(20));
+}
+
+}  // namespace
+}  // namespace wcop

@@ -1,15 +1,33 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
+#include <vector>
 
 #include "anon/streaming.h"
 #include "anon/verifier.h"
+#include "common/failpoint.h"
 #include "test_util.h"
 
 namespace wcop {
 namespace {
 
+using testing_util::MakeLineWithReq;
 using testing_util::SmallSynthetic;
+
+// Three co-localized lines with `points_each` samples apiece, all inside
+// one window of `window_seconds`.
+Dataset ThreeCoTravellers(size_t points_each, double dt = 10.0) {
+  std::vector<Trajectory> trajectories;
+  for (int64_t id = 0; id < 3; ++id) {
+    Trajectory t = MakeLineWithReq(id, 0.0, 30.0 * static_cast<double>(id),
+                                   5.0, 0.0, points_each, /*k=*/2,
+                                   /*delta=*/300.0, dt);
+    t.set_object_id(id);
+    trajectories.push_back(std::move(t));
+  }
+  return Dataset(std::move(trajectories));
+}
 
 TEST(StreamingTest, PublishesWindowFragments) {
   const Dataset d = SmallSynthetic(30, 60);
@@ -80,6 +98,91 @@ TEST(StreamingTest, RejectsBadOptions) {
   options.window_seconds = 0.0;
   EXPECT_FALSE(RunStreamingWcop(d, options).ok());
   EXPECT_FALSE(RunStreamingWcop(Dataset(), {}).ok());
+}
+
+// Boundary regression: a fragment with *exactly* min_fragment_points must
+// be kept (only strictly smaller fragments are suppressed).
+TEST(StreamingTest, FragmentWithExactlyMinPointsIsKept) {
+  const Dataset d = ThreeCoTravellers(/*points_each=*/4);  // t in [0, 30]
+  StreamingOptions options;
+  options.window_seconds = 40.0;  // one window holding all four samples
+  options.min_fragment_points = 4;
+  Result<StreamingResult> r = RunStreamingWcop(d, options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->windows.size(), 1u);
+  EXPECT_EQ(r->windows[0].input_fragments, 3u);
+  EXPECT_EQ(r->suppressed_fragments, 0u);
+
+  // One more required point and the same fragments are all suppressed.
+  options.min_fragment_points = 5;
+  Result<StreamingResult> stricter = RunStreamingWcop(d, options);
+  ASSERT_TRUE(stricter.ok()) << stricter.status();
+  EXPECT_TRUE(stricter->windows.empty());
+  EXPECT_EQ(stricter->suppressed_fragments, 3u);
+  EXPECT_TRUE(stricter->sanitized.empty());
+}
+
+// min_fragment_points = 1 admits single-point fragments (the old clamp to 2
+// silently dropped them); 0 is treated as 1.
+TEST(StreamingTest, SinglePointFragmentsKeptWhenMinIsOne) {
+  const Dataset d = ThreeCoTravellers(/*points_each=*/1);
+  for (const size_t min_points : {size_t{1}, size_t{0}}) {
+    StreamingOptions options;
+    options.window_seconds = 10.0;
+    options.min_fragment_points = min_points;
+    Result<StreamingResult> r = RunStreamingWcop(d, options);
+    ASSERT_TRUE(r.ok()) << r.status();
+    ASSERT_EQ(r->windows.size(), 1u) << "min=" << min_points;
+    EXPECT_EQ(r->windows[0].input_fragments, 3u) << "min=" << min_points;
+  }
+}
+
+// Resume regression: suppressed_fragments is restored from the checkpoint,
+// not re-counted, so an interrupted-and-resumed stream reports the same
+// accounting as an uninterrupted one.
+TEST(StreamingTest, SuppressedAccountingSurvivesResume) {
+  // Three healthy co-travellers over [0, 290] plus a single-point straggler
+  // in the first window — suppressed there, and the suppression count rides
+  // into the first checkpoint.
+  std::vector<Trajectory> trajectories;
+  for (int64_t id = 0; id < 3; ++id) {
+    Trajectory t = MakeLineWithReq(id, 0.0, 30.0 * static_cast<double>(id),
+                                   5.0, 0.0, /*n=*/30, /*k=*/2,
+                                   /*delta=*/300.0, /*dt=*/10.0);
+    t.set_object_id(id);
+    trajectories.push_back(std::move(t));
+  }
+  Trajectory straggler =
+      MakeLineWithReq(3, 0.0, 90.0, 5.0, 0.0, /*n=*/1, /*k=*/2,
+                      /*delta=*/300.0, /*dt=*/10.0);
+  straggler.set_object_id(3);
+  trajectories.push_back(std::move(straggler));
+  const Dataset d(std::move(trajectories));
+
+  StreamingOptions options;
+  options.window_seconds = 100.0;
+  Result<StreamingResult> baseline = RunStreamingWcop(d, options);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+  ASSERT_GT(baseline->suppressed_fragments, 0u);
+
+  const std::string checkpoint =
+      (std::filesystem::path(::testing::TempDir()) /
+       "streaming_suppressed_resume.ckpt").string();
+  std::filesystem::remove(checkpoint);
+  std::filesystem::remove(checkpoint + ".prev");
+  options.checkpoint_path = checkpoint;
+  {
+    ScopedFailpoint fp("streaming.checkpoint_saved",
+                       Status::Internal("simulated crash"), /*max_fires=*/1);
+    ASSERT_FALSE(RunStreamingWcop(d, options).ok());
+  }
+  Result<StreamingResult> resumed = RunStreamingWcop(d, options);
+  ASSERT_TRUE(resumed.ok()) << resumed.status();
+  EXPECT_TRUE(resumed->resumed);
+  EXPECT_EQ(resumed->suppressed_fragments, baseline->suppressed_fragments);
+  EXPECT_EQ(resumed->sanitized.size(), baseline->sanitized.size());
+  std::filesystem::remove(checkpoint);
+  std::filesystem::remove(checkpoint + ".prev");
 }
 
 }  // namespace
