@@ -31,6 +31,9 @@ struct BenchScale {
   size_t points = 120;
   uint64_t seed = 7;
   bool full = false;
+  /// Worker threads for the EDR hot paths (0 = all cores, 1 = serial).
+  /// Timing changes, results do not — see DESIGN.md "Parallel execution".
+  int threads = 0;
 
   static BenchScale FromArgs(const ArgParser& args) {
     BenchScale s;
@@ -39,6 +42,7 @@ struct BenchScale {
         static_cast<size_t>(args.GetInt("trajectories", 238));
     s.points = static_cast<size_t>(args.GetInt("points", s.full ? 1442 : 120));
     s.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+    s.threads = static_cast<int>(args.GetInt("threads", 0));
     return s;
   }
 };

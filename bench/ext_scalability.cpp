@@ -4,7 +4,7 @@
 // exposing the quadratic EDR-clustering core and the near-linear
 // segmentation/translation phases.
 //
-// Run:  ./ext_scalability [--max-trajectories=238]
+// Run:  ./ext_scalability [--max-trajectories=238] [--threads=N]
 
 #include <cstdio>
 #include <iostream>
@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const size_t max_trajectories =
       static_cast<size_t>(args.GetInt("max-trajectories", 238));
+  const int threads = static_cast<int>(args.GetInt("threads", 0));
   JsonOut json_out(args);
 
   // One sink for the whole sweep holds the aggregated phase-timing
@@ -46,6 +47,7 @@ int main(int argc, char** argv) {
       AssignPaperRequirements(&d, 5, 250.0, 11);
       WcopOptions options;
       options.seed = 3;
+      options.threads = threads;
       telemetry::Telemetry run_tel;
       options.telemetry = &run_tel;
 
@@ -93,6 +95,7 @@ int main(int argc, char** argv) {
       AssignPaperRequirements(&d, 5, 250.0, 11);
       WcopOptions options;
       options.seed = 3;
+      options.threads = threads;
       telemetry::Telemetry run_tel;
       options.telemetry = &run_tel;
       double seconds = 0.0;

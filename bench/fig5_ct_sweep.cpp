@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
                                     cell.delta_index);
         WcopOptions options;
         options.seed = scale.seed + 2;
+        options.threads = scale.threads;
         // Fresh sink per sweep cell: each json record stands alone.
         telemetry::Telemetry tel;
         options.telemetry = &tel;

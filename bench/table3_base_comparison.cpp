@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
 
   WcopOptions options;
   options.seed = scale.seed + 2;
+  options.threads = scale.threads;
 
   JsonOut json_out(args);
   const std::string trace_out = args.GetString("trace-out", "");

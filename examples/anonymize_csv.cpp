@@ -66,6 +66,9 @@ int main(int argc, char** argv) {
         "              [--assign-k=5 --assign-delta=250]  (if input lacks "
         "requirements)\n"
         "              [--budget=0.8] [--max-points=500] [--seed=7]\n"
+        "              [--threads=N]  (worker threads; 0 = all cores, 1 = "
+        "serial;\n"
+        "                output is byte-identical for every value)\n"
         "              [--checkpoint=FILE --checkpoint-every=1]  (algo=b: "
         "resume an\n"
         "                interrupted distortion-bound sweep from FILE)\n"
@@ -117,6 +120,7 @@ int main(int argc, char** argv) {
   telemetry::Telemetry telemetry;
   WcopOptions options;
   options.seed = static_cast<uint64_t>(args.GetInt("seed", 7)) + 2;
+  options.threads = static_cast<int>(args.GetInt("threads", 0));
   if (!trace_out.empty() || !metrics_out.empty()) {
     options.telemetry = &telemetry;
   }
@@ -142,6 +146,7 @@ int main(int argc, char** argv) {
     result = std::move(r).value();
   } else if (algo == "sa-traclus" || algo == "sa-convoys") {
     TraclusOptions traclus_options;
+    traclus_options.threads = options.threads;
     traclus_options.telemetry = options.telemetry;
     TraclusSegmenter traclus(traclus_options);
     ConvoyOptions convoy_options;

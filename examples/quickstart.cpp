@@ -2,6 +2,8 @@
 // preferences, anonymize it with WCOP-CT, and audit the result.
 //
 // Run:  ./quickstart [--trajectories=60] [--points=80] [--seed=7]
+//       [--threads=N]                worker threads (0 = all cores,
+//                                    1 = serial; same output either way)
 //       [--trace-out=trace.json]     Chrome trace (chrome://tracing)
 //       [--metrics-out=metrics.json] metrics snapshot as JSON
 
@@ -54,6 +56,7 @@ int main(int argc, char** argv) {
   const std::string metrics_out = args.GetString("metrics-out", "");
   telemetry::Telemetry telemetry;
   WcopOptions options;
+  options.threads = static_cast<int>(args.GetInt("threads", 0));
   if (!trace_out.empty() || !metrics_out.empty()) {
     options.telemetry = &telemetry;
   }

@@ -36,6 +36,9 @@ class PairCache {
           telemetry->metrics().GetCounter(DistanceCallCounterName(config));
       cache_hits_ = telemetry->metrics().GetCounter("distance.cache_hits");
     }
+    // Agglomerative merging eventually touches most pairs; reserving the
+    // full triangle up front keeps the hot loop free of rehashes.
+    cache_.reserve(n_ * (n_ - 1) / 2);
   }
 
   double Get(size_t i, size_t j) {

@@ -1,0 +1,104 @@
+#include "anon/distance_cache.h"
+
+namespace wcop {
+
+ShardedPairDistanceCache::ShardedPairDistanceCache(
+    const Dataset& dataset, const DistanceConfig& config,
+    const RunContext* context, telemetry::Telemetry* telemetry,
+    size_t expected_pairs)
+    : dataset_(dataset), config_(config), context_(context),
+      n_(dataset.size()) {
+  if (telemetry != nullptr) {
+    // Resolve the counters once; the per-lookup path then pays one atomic
+    // add per event — cache hits touch nothing budget-related, matching
+    // the RunContext accounting exactly.
+    distance_calls_ =
+        telemetry->metrics().GetCounter(DistanceCallCounterName(config));
+    cache_hits_ = telemetry->metrics().GetCounter("distance.cache_hits");
+    early_abandoned_ =
+        telemetry->metrics().GetCounter("distance.early_abandoned");
+  }
+  const size_t per_shard = expected_pairs / kShards + 1;
+  for (Shard& shard : shards_) {
+    shard.map.reserve(per_shard);
+  }
+}
+
+double ShardedPairDistanceCache::StoreExact(Shard& shard, uint64_t key,
+                                            double value) {
+  bool winner = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.try_emplace(key, Entry{value, false});
+    if (inserted) {
+      winner = true;
+    } else if (it->second.is_bound) {
+      it->second = Entry{value, false};  // upgrade a lower bound
+      winner = true;
+    } else {
+      value = it->second.value;  // lost the race to an exact value
+    }
+  }
+  if (winner) {
+    if (context_ != nullptr) {
+      context_->ChargeDistance();
+    }
+    telemetry::CounterAdd(distance_calls_);
+    computed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // Under serial execution this call would have been the cache hit.
+    telemetry::CounterAdd(cache_hits_);
+  }
+  return value;
+}
+
+double ShardedPairDistanceCache::Get(size_t i, size_t j) {
+  if (i == j) {
+    return 0.0;
+  }
+  const uint64_t key = KeyOf(i, j);
+  Shard& shard = ShardOf(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() && !it->second.is_bound) {
+      telemetry::CounterAdd(cache_hits_);
+      return it->second.value;
+    }
+  }
+  const double d = ClusterDistance(dataset_[i], dataset_[j], config_);
+  return StoreExact(shard, key, d);
+}
+
+double ShardedPairDistanceCache::GetWithCutoff(size_t i, size_t j,
+                                               double cutoff) {
+  if (i == j) {
+    return 0.0;
+  }
+  const uint64_t key = KeyOf(i, j);
+  Shard& shard = ShardOf(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end() &&
+        (!it->second.is_bound || it->second.value > cutoff)) {
+      telemetry::CounterAdd(cache_hits_);
+      return it->second.value;
+    }
+  }
+  bool was_abandoned = false;
+  const double d = ClusterDistanceWithCutoff(dataset_[i], dataset_[j],
+                                             config_, cutoff, &was_abandoned);
+  if (!was_abandoned) {
+    return StoreExact(shard, key, d);
+  }
+  telemetry::CounterAdd(early_abandoned_);
+  abandoned_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // A racing exact insert wins over our bound; racing bounds are equal (the
+  // bound depends only on the two lengths), so either store is fine.
+  auto it = shard.map.try_emplace(key, Entry{d, true}).first;
+  return it->second.is_bound ? d : it->second.value;
+}
+
+}  // namespace wcop

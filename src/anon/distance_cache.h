@@ -1,0 +1,115 @@
+#ifndef WCOP_ANON_DISTANCE_CACHE_H_
+#define WCOP_ANON_DISTANCE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "anon/types.h"
+#include "traj/dataset.h"
+
+namespace wcop {
+
+/// Mutex-striped memo of symmetric pairwise trajectory distances, shared by
+/// the coordinating thread and the ParallelFor workers of the clustering hot
+/// path (the distance function is deterministic, so recomputation across
+/// radius-relaxation rounds is pure waste).
+///
+/// Keys are the existing symmetric pair key (min(i,j) * n + max(i,j)); each
+/// of the kShards stripes holds its own map + mutex, `reserve`d up front
+/// from the expected pair count so the hot loop never rehashes under a lock.
+///
+/// Accounting is *exact* and thread-schedule-independent: every stored exact
+/// distance charges RunContext::ChargeDistance and the per-kind
+/// `distance.calls.*` counter exactly once (when two threads race on the
+/// same uncached pair, only the insertion winner charges; the loser counts
+/// as the cache hit it would have been under serial execution), lookups
+/// satisfied from the map count `distance.cache_hits`, and early-abandoned
+/// evaluations count `distance.early_abandoned` without charging the budget
+/// (no DP table was filled).
+///
+/// Early-abandon entries: GetWithCutoff stores the length lower bound
+/// (flagged, never mistaken for an exact distance) when the bound alone
+/// exceeds the cutoff. A later GetWithCutoff whose cutoff the stored bound
+/// still exceeds is served from the cache; any other access upgrades the
+/// entry to the exact distance. Decisions made by comparing the returned
+/// value against the cutoff are therefore identical to full computation.
+class ShardedPairDistanceCache {
+ public:
+  static constexpr size_t kShards = 16;
+
+  /// `expected_pairs` sizes the stripes up front (pass the anticipated
+  /// candidate-pool volume; it is a reservation, not a limit). The context
+  /// and telemetry pointers may be null; counter handles are resolved once
+  /// here, never in the per-lookup path.
+  ShardedPairDistanceCache(const Dataset& dataset,
+                           const DistanceConfig& config,
+                           const RunContext* context,
+                           telemetry::Telemetry* telemetry,
+                           size_t expected_pairs);
+
+  /// Exact distance between trajectories i and j. Safe to call concurrently;
+  /// concurrent calls for the *same uncached* pair both compute but charge
+  /// once (see class comment).
+  double Get(size_t i, size_t j);
+
+  /// Distance usable for comparisons against `cutoff`: the result is either
+  /// the exact distance or a lower bound that exceeds `cutoff` (so
+  /// `result <= cutoff` implies the result is exact, and `result > cutoff`
+  /// implies the exact distance also exceeds the cutoff).
+  double GetWithCutoff(size_t i, size_t j, double cutoff);
+
+  /// Number of full (DP) distance computations stored so far.
+  uint64_t computed() const {
+    return computed_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of early-abandoned evaluations so far.
+  uint64_t abandoned() const {
+    return abandoned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    double value = 0.0;
+    bool is_bound = false;  ///< value is a length lower bound, not exact
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, Entry> map;
+  };
+
+  uint64_t KeyOf(size_t i, size_t j) const {
+    return i < j ? static_cast<uint64_t>(i) * n_ + j
+                 : static_cast<uint64_t>(j) * n_ + i;
+  }
+  Shard& ShardOf(uint64_t key) {
+    // SplitMix64-style mix so consecutive keys spread across stripes.
+    uint64_t z = key + 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return shards_[(z ^ (z >> 31)) % kShards];
+  }
+
+  /// Stores an exact value, charging accounting only when this call wins
+  /// the insertion/upgrade race. Returns the value to report (the already
+  /// stored exact value when the race was lost).
+  double StoreExact(Shard& shard, uint64_t key, double value);
+
+  const Dataset& dataset_;
+  const DistanceConfig& config_;
+  const RunContext* context_;
+  telemetry::Counter* distance_calls_ = nullptr;
+  telemetry::Counter* cache_hits_ = nullptr;
+  telemetry::Counter* early_abandoned_ = nullptr;
+  uint64_t n_;
+  Shard shards_[kShards];
+  std::atomic<uint64_t> computed_{0};
+  std::atomic<uint64_t> abandoned_{0};
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_DISTANCE_CACHE_H_

@@ -3,64 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
+#include "anon/distance_cache.h"
 #include "common/failpoint.h"
+#include "common/parallel.h"
 
 namespace wcop {
-
-namespace {
-
-/// Memoizes symmetric pairwise distances across radius-relaxation rounds
-/// (the distance function is deterministic, so recomputation is pure waste).
-class PairDistanceCache {
- public:
-  PairDistanceCache(const Dataset& dataset, const DistanceConfig& config,
-                    const RunContext* context, telemetry::Telemetry* telemetry)
-      : dataset_(dataset), config_(config), context_(context),
-        n_(dataset.size()) {
-    if (telemetry != nullptr) {
-      // Resolve the counters once; Get() then pays one atomic add per
-      // *computed* distance — cache hits touch nothing, matching the
-      // RunContext budget accounting exactly.
-      distance_calls_ =
-          telemetry->metrics().GetCounter(DistanceCallCounterName(config));
-      cache_hits_ =
-          telemetry->metrics().GetCounter("distance.cache_hits");
-    }
-  }
-
-  double Get(size_t i, size_t j) {
-    if (i == j) {
-      return 0.0;
-    }
-    const uint64_t key = i < j ? static_cast<uint64_t>(i) * n_ + j
-                               : static_cast<uint64_t>(j) * n_ + i;
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      telemetry::CounterAdd(cache_hits_);
-      return it->second;
-    }
-    const double d = ClusterDistance(dataset_[i], dataset_[j], config_);
-    if (context_ != nullptr) {
-      context_->ChargeDistance();
-    }
-    telemetry::CounterAdd(distance_calls_);
-    cache_.emplace(key, d);
-    return d;
-  }
-
- private:
-  const Dataset& dataset_;
-  const DistanceConfig& config_;
-  const RunContext* context_;
-  telemetry::Counter* distance_calls_ = nullptr;
-  telemetry::Counter* cache_hits_ = nullptr;
-  uint64_t n_;
-  std::unordered_map<uint64_t, double> cache_;
-};
-
-}  // namespace
 
 Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
                                            size_t trash_max,
@@ -99,7 +47,23 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
     rounds_counter = tel->metrics().GetCounter("cluster.rounds");
     cluster_size = tel->metrics().GetHistogram("cluster.size");
   }
-  PairDistanceCache distances(dataset, options.distance, context, tel);
+  // Memoizes symmetric pairwise distances across radius-relaxation rounds
+  // (the distance function is deterministic, so recomputation is pure
+  // waste). Sized for the pools the first round will scan; the cache only
+  // ever holds distinct pairs, so cap at the full pair count.
+  const size_t expected_pairs =
+      std::min(n * (n - 1) / 2, n * size_t{64});
+  ShardedPairDistanceCache distances(dataset, options.distance, context, tel,
+                                     expected_pairs);
+  // Pure distance evaluations fan out over the pool; every ordering and
+  // tie-breaking decision below stays on this thread, so the outcome is
+  // identical for any thread count (see DESIGN.md "Parallel execution").
+  // Budget charges happen inside the cache; trips are observed at the same
+  // per-cluster-attempt checks as the serial path, never mid-batch.
+  parallel::ParallelOptions par;
+  par.threads = options.threads;
+  par.grain = 1;  // one EDR evaluation is orders of magnitude above overhead
+  par.telemetry = tel;
   Rng rng(options.seed);
   double radius_max = options.radius_max;
 
@@ -126,6 +90,7 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
 
     // --- Phase 1: pivot selection and cluster growth (lines 3-19). ---
     std::vector<size_t> chosen_pivots;
+    std::vector<double> scratch_values;
     while (!active_list.empty()) {
       // Cooperative yield point: one check per cluster attempt.
       if (Status s = CheckRunContext(context); !s.ok()) {
@@ -141,16 +106,30 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
       size_t pivot;
       if (options.pivot_policy == WcopOptions::PivotPolicy::kFarthestFirst &&
           !chosen_pivots.empty()) {
+        // Batch the candidate scores (pure, exact distances); the argmax
+        // with its first-wins tie-break runs serially below.
+        scratch_values.assign(active_list.size(), 0.0);
+        WCOP_TRACE_SPAN(tel, "cluster/farthest_scan");
+        Status batch = parallel::ParallelFor(
+            active_list.size(),
+            [&](size_t t) {
+              double nearest_pivot = std::numeric_limits<double>::infinity();
+              for (size_t p : chosen_pivots) {
+                nearest_pivot =
+                    std::min(nearest_pivot, distances.Get(p, active_list[t]));
+              }
+              scratch_values[t] = nearest_pivot;
+            },
+            par);
+        if (!batch.ok()) {
+          return batch;
+        }
         pivot = active_list[0];
         double best_score = -1.0;
-        for (size_t cand : active_list) {
-          double nearest_pivot = std::numeric_limits<double>::infinity();
-          for (size_t p : chosen_pivots) {
-            nearest_pivot = std::min(nearest_pivot, distances.Get(p, cand));
-          }
-          if (nearest_pivot > best_score) {
-            best_score = nearest_pivot;
-            pivot = cand;
+        for (size_t t = 0; t < active_list.size(); ++t) {
+          if (scratch_values[t] > best_score) {
+            best_score = scratch_values[t];
+            pivot = active_list[t];
           }
         }
       } else {
@@ -167,14 +146,38 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
       cluster.delta = dataset[pivot].requirement().delta;
 
       // Distances from the pivot to every unclustered candidate, nearest
-      // first (the pivot's NN pool of line 8 is D - Clustered).
-      std::vector<std::pair<double, size_t>> pool;
-      pool.reserve(n);
+      // first (the pivot's NN pool of line 8 is D - Clustered). The batch
+      // computes pure distances into per-candidate slots; candidates whose
+      // length lower bound already exceeds radius_max keep the bound — they
+      // sort after every in-radius candidate and can only appear in
+      // clusters the radius test rejects anyway, so the accepted clusters
+      // are exactly those of a full computation.
+      std::vector<size_t> candidates;
+      candidates.reserve(n);
       for (size_t cand = 0; cand < n; ++cand) {
         if (cand == pivot || clustered[cand]) {
           continue;
         }
-        pool.emplace_back(distances.Get(pivot, cand), cand);
+        candidates.push_back(cand);
+      }
+      scratch_values.assign(candidates.size(), 0.0);
+      {
+        WCOP_TRACE_SPAN(tel, "cluster/pivot_scan");
+        Status batch = parallel::ParallelFor(
+            candidates.size(),
+            [&](size_t t) {
+              scratch_values[t] =
+                  distances.GetWithCutoff(pivot, candidates[t], radius_max);
+            },
+            par);
+        if (!batch.ok()) {
+          return batch;
+        }
+      }
+      std::vector<std::pair<double, size_t>> pool;
+      pool.reserve(candidates.size());
+      for (size_t t = 0; t < candidates.size(); ++t) {
+        pool.emplace_back(scratch_values[t], candidates[t]);
       }
       std::sort(pool.begin(), pool.end());
       if (context != nullptr) {
@@ -196,9 +199,12 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
       }
 
       // Acceptance test (line 13): pivot-to-member radius within bounds.
+      // A cutoff lookup suffices — a lower bound only comes back when it
+      // exceeds radius_max, in which case the true radius does too.
       double radius = 0.0;
       for (size_t m : cluster.members) {
-        radius = std::max(radius, distances.Get(pivot, m));
+        radius = std::max(radius,
+                          distances.GetWithCutoff(pivot, m, radius_max));
       }
       if (grown && radius <= radius_max) {
         telemetry::CounterAdd(accepted);
@@ -227,6 +233,7 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
 
     // --- Phase 2: leftover assignment (lines 20-26). ---
     std::vector<size_t> trash;
+    std::vector<size_t> eligible;
     for (size_t idx = 0; idx < n; ++idx) {
       if (clustered[idx]) {
         continue;
@@ -248,9 +255,12 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
         continue;
       }
       const Requirement& req = dataset[idx].requirement();
-      double best_dist = std::numeric_limits<double>::infinity();
-      AnonymityCluster* best_cluster = nullptr;
-      for (AnonymityCluster& cluster : clusters) {
+      // Eligibility (cheap, metadata-only) on the coordinator; the eligible
+      // pivot distances are batched. The nearest-compatible selection keeps
+      // the serial first-wins tie-break over the cluster order.
+      eligible.clear();
+      for (size_t c = 0; c < clusters.size(); ++c) {
+        const AnonymityCluster& cluster = clusters[c];
         // Eligibility: the cluster (including tau itself) satisfies tau's k,
         // and tau's delta tolerance is no stricter than the cluster's delta.
         if (cluster.members.size() + 1 < static_cast<size_t>(req.k)) {
@@ -259,10 +269,26 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
         if (cluster.delta > req.delta) {
           continue;
         }
-        const double d = distances.Get(cluster.pivot, idx);
+        eligible.push_back(c);
+      }
+      scratch_values.assign(eligible.size(), 0.0);
+      Status batch = parallel::ParallelFor(
+          eligible.size(),
+          [&](size_t t) {
+            scratch_values[t] = distances.GetWithCutoff(
+                clusters[eligible[t]].pivot, idx, radius_max);
+          },
+          par);
+      if (!batch.ok()) {
+        return batch;
+      }
+      double best_dist = std::numeric_limits<double>::infinity();
+      AnonymityCluster* best_cluster = nullptr;
+      for (size_t t = 0; t < eligible.size(); ++t) {
+        const double d = scratch_values[t];
         if (d <= radius_max && d < best_dist) {
           best_dist = d;
-          best_cluster = &cluster;
+          best_cluster = &clusters[eligible[t]];
         }
       }
       if (best_cluster != nullptr) {

@@ -35,6 +35,17 @@ struct DistanceConfig {
 double ClusterDistance(const Trajectory& a, const Trajectory& b,
                        const DistanceConfig& config);
 
+/// ClusterDistance with an early-abandon cutoff (in the same scaled units
+/// as the return value): for EDR, when the length lower bound alone exceeds
+/// `cutoff`, returns that bound — a value > cutoff and <= the true distance
+/// — without running the DP, and sets *abandoned. Synchronized Euclidean
+/// has no cheap lower bound and always computes fully (*abandoned = false).
+/// Callers that only compare against `cutoff` get the same decision as a
+/// full computation.
+double ClusterDistanceWithCutoff(const Trajectory& a, const Trajectory& b,
+                                 const DistanceConfig& config, double cutoff,
+                                 bool* abandoned);
+
 /// Telemetry counter name for distance calls of the configured kind
 /// ("distance.calls.edr" / "distance.calls.sync_euclidean") — the
 /// per-kind accounting Table 3's runtime rows decompose into.
@@ -92,6 +103,14 @@ struct WcopOptions {
   /// verifier flags the resulting per-member violations.
   enum class DeltaPolicy { kMin, kMean };
   DeltaPolicy delta_policy = DeltaPolicy::kMin;
+
+  /// Thread count for the parallel hot paths (pivot candidate scans,
+  /// per-cluster translation): <= 0 resolves to WCOP_THREADS or the
+  /// hardware concurrency, 1 is the exact serial code path, N fans pure
+  /// distance/translation computations over the process-wide pool. The
+  /// published output is byte-identical across thread counts — see
+  /// DESIGN.md "Parallel execution" for the determinism contract.
+  int threads = 0;
 
   /// Optional execution context: deadline, cancellation, resource budget.
   /// The hot loops poll it at per-cluster / per-trajectory granularity.

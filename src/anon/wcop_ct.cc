@@ -7,6 +7,7 @@
 #include "anon/metrics.h"
 #include "anon/translation.h"
 #include "common/failpoint.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 
 namespace wcop {
@@ -82,7 +83,12 @@ Result<AnonymizationResult> AnonymizeClusters(
 
   // Translation phase (Algorithm 2 lines 3-11): every member of every
   // cluster is translated towards its pivot under the cluster's own delta.
-  Rng rng(resolved_options.seed ^ 0x5DEECE66Dull);
+  //
+  // Each cluster draws from its own RNG stream derived via MixSeed from the
+  // experiment seed and the cluster's index, so the random disk points a
+  // cluster sees do not depend on how many draws earlier clusters consumed —
+  // the published bytes are identical for any thread count (and for any
+  // order of cluster completion).
   TranslationStats stats;
   std::vector<const Trajectory*> sanitized_of(dataset.size(), nullptr);
   std::vector<Trajectory> sanitized_storage;
@@ -94,14 +100,26 @@ Result<AnonymizationResult> AnonymizeClusters(
   sanitized_storage.reserve(max_published);
   result.clusters.reserve(outcome.clusters.size());
 
+  // Serial pre-pass: failpoints, cooperative context checks, the delta
+  // policy, and the suppression decision all stay on the coordinating
+  // thread (in cluster order), so degradation behaviour is identical to the
+  // serial path. Only clusters that survive become translation jobs.
+  //
   // Once the context trips mid-translation (with allow_partial_results),
   // every remaining cluster is suppressed instead of translated, so the
   // published part still passes the independent verifier. A clustering
   // outcome that already degraded skips the context checks here: its
   // context is permanently tripped, and translating the few clusters it
   // did form is exactly the bounded remainder of the partial result.
+  struct ClusterJob {
+    size_t cluster_index;  ///< index into outcome.clusters (and RNG stream)
+    double delta_c;
+  };
+  std::vector<ClusterJob> jobs;
+  jobs.reserve(outcome.clusters.size());
   bool suppress_remaining = false;
-  for (const AnonymityCluster& cluster : outcome.clusters) {
+  for (size_t c = 0; c < outcome.clusters.size(); ++c) {
+    const AnonymityCluster& cluster = outcome.clusters[c];
     if (!suppress_remaining) {
       WCOP_FAILPOINT("anon.translate_cluster");
       // Cooperative yield point: one check per cluster.
@@ -120,7 +138,6 @@ Result<AnonymizationResult> AnonymizeClusters(
                              cluster.members.end());
       continue;
     }
-    const Trajectory& pivot = dataset[cluster.pivot];
     // Algorithm 2 line 5: delta_c = min member delta (the clustering phase
     // maintains that); the kMean ablation replaces it with the member mean.
     double delta_c = cluster.delta;
@@ -133,16 +150,48 @@ Result<AnonymizationResult> AnonymizeClusters(
       delta_c = sum / static_cast<double>(cluster.members.size());
       published_cluster.delta = delta_c;
     }
-    {
-      WCOP_TRACE_SPAN(tel, "translate/cluster");
-      for (size_t member : cluster.members) {
-        sanitized_storage.push_back(TranslateToPivot(
-            dataset[member], pivot, delta_c,
-            resolved_options.distance.tolerance, &rng, &stats));
-        sanitized_of[member] = &sanitized_storage.back();
-      }
-    }
+    jobs.push_back(ClusterJob{c, delta_c});
     result.clusters.push_back(std::move(published_cluster));
+  }
+
+  // Parallel translation: each job is pure given its own RNG stream and
+  // writes only its own slots. Batches never observe the run context (the
+  // pre-pass already made every suppression decision for this phase).
+  std::vector<std::vector<Trajectory>> translated(jobs.size());
+  std::vector<TranslationStats> job_stats(jobs.size());
+  parallel::ParallelOptions par;
+  par.threads = resolved_options.threads;
+  par.grain = 1;
+  par.telemetry = tel;
+  Status batch = parallel::ParallelFor(
+      jobs.size(),
+      [&](size_t t) {
+        WCOP_TRACE_SPAN(tel, "translate/cluster");
+        const AnonymityCluster& cluster =
+            outcome.clusters[jobs[t].cluster_index];
+        const Trajectory& pivot = dataset[cluster.pivot];
+        Rng rng(MixSeed(resolved_options.seed ^ 0x5DEECE66Dull,
+                        jobs[t].cluster_index));
+        translated[t].reserve(cluster.members.size());
+        for (size_t member : cluster.members) {
+          translated[t].push_back(TranslateToPivot(
+              dataset[member], pivot, jobs[t].delta_c,
+              resolved_options.distance.tolerance, &rng, &job_stats[t]));
+        }
+      },
+      par);
+  if (!batch.ok()) {
+    return batch;
+  }
+  // Serial merge in cluster order: storage layout, sanitized_of pointers,
+  // and stats accumulation are all order-sensitive and stay deterministic.
+  for (size_t t = 0; t < jobs.size(); ++t) {
+    const AnonymityCluster& cluster = outcome.clusters[jobs[t].cluster_index];
+    for (size_t m = 0; m < cluster.members.size(); ++m) {
+      sanitized_storage.push_back(std::move(translated[t][m]));
+      sanitized_of[cluster.members[m]] = &sanitized_storage.back();
+    }
+    stats.Accumulate(job_stats[t]);
   }
 
   if (tel != nullptr) {

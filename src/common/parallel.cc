@@ -1,0 +1,283 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace wcop {
+namespace parallel {
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+/// WCOP_THREADS, parsed strictly: a positive decimal integer (clamped to a
+/// sane ceiling). Anything else means "not set".
+int ParseThreadsEnv() {
+  const char* env = std::getenv("WCOP_THREADS");
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || value <= 0) {
+    return 0;
+  }
+  return static_cast<int>(std::min<long>(value, 1024));
+}
+
+}  // namespace
+
+int DefaultThreads() {
+  static const int kDefault = [] {
+    const int env = ParseThreadsEnv();
+    return env > 0 ? env : HardwareThreads();
+  }();
+  return kDefault;
+}
+
+int ResolveThreads(int requested) {
+  return requested > 0 ? requested : DefaultThreads();
+}
+
+struct ThreadPool::Batch {
+  size_t n = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  const std::function<void(size_t)>* fn = nullptr;
+  const RunContext* context = nullptr;
+  telemetry::Telemetry* telemetry = nullptr;
+  telemetry::Counter* tasks_counter = nullptr;
+
+  /// Next unclaimed chunk; workers and the coordinator race fetch_add on it
+  /// (the work-distribution decision — never a result-ordering decision).
+  std::atomic<size_t> next_chunk{0};
+  /// Set on the first trip/exception: no further chunks are claimed.
+  std::atomic<bool> stopped{false};
+
+  std::mutex mu;
+  std::condition_variable done;
+  int runners = 0;               ///< threads inside RunChunks (guarded by mu)
+  Status status;                 ///< first context trip (guarded by mu)
+  std::exception_ptr exception;  ///< first thrown exception (guarded by mu)
+
+  bool exhausted() const {
+    return stopped.load(std::memory_order_acquire) ||
+           next_chunk.load(std::memory_order_relaxed) >= num_chunks;
+  }
+};
+
+namespace {
+
+/// Claims and runs chunks until the batch is exhausted or stopped. Shared
+/// by pool workers and the coordinating thread. The final lock of b.mu
+/// publishes every result slot written here to the coordinator, which
+/// reacquires b.mu while waiting for runners == 0.
+void RunChunks(ThreadPool::Batch& b) {
+  {
+    std::lock_guard<std::mutex> lock(b.mu);
+    ++b.runners;
+  }
+  // Lifetime guard: fn/context/telemetry are owned by the coordinator's
+  // caller. A worker that registered *before* the coordinator saw
+  // runners == 0 keeps the coordinator waiting (state alive for the whole
+  // body); one that registered after necessarily observes the batch
+  // exhausted here (exhaustion is monotonic and the runners mutex orders
+  // the accesses) and must not touch any caller-owned pointer.
+  if (!b.exhausted()) {
+    WCOP_TRACE_SPAN(b.telemetry, "parallel/worker");
+    for (;;) {
+      if (b.stopped.load(std::memory_order_acquire)) {
+        break;
+      }
+      // Cooperative yield point: one deadline/cancellation/budget check per
+      // chunk boundary, identical on the serial path.
+      if (b.context != nullptr) {
+        if (Status s = b.context->Check(); !s.ok()) {
+          std::lock_guard<std::mutex> lock(b.mu);
+          if (b.status.ok() && b.exception == nullptr) {
+            b.status = std::move(s);
+          }
+          b.stopped.store(true, std::memory_order_release);
+          break;
+        }
+      }
+      const size_t chunk = b.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= b.num_chunks) {
+        break;
+      }
+      const size_t begin = chunk * b.grain;
+      const size_t end = std::min(b.n, begin + b.grain);
+      try {
+        for (size_t i = begin; i < end; ++i) {
+          (*b.fn)(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(b.mu);
+        if (b.exception == nullptr) {
+          b.exception = std::current_exception();
+        }
+        b.stopped.store(true, std::memory_order_release);
+        break;
+      }
+      telemetry::CounterAdd(b.tasks_counter);
+    }
+  }
+  std::lock_guard<std::mutex> lock(b.mu);
+  if (--b.runners == 0) {
+    b.done.notify_all();
+  }
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  // Function-local static: lazily started on first use, workers joined by
+  // the destructor during static teardown (idle by then — every ParallelFor
+  // completes before its caller returns).
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::EnsureWorkers(int count) {
+  if (count <= 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::Shutdown() {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (workers_.empty()) {
+      return;
+    }
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+  workers_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = false;  // a later EnsureWorkers restarts the pool
+}
+
+int ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutdown_ || !batches_.empty(); });
+      if (shutdown_) {
+        return;
+      }
+      batch = batches_.front();
+    }
+    RunChunks(*batch);
+    if (batch->exhausted()) {
+      Retire(batch);
+    }
+  }
+}
+
+void ThreadPool::Submit(const std::shared_ptr<Batch>& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  batches_.push_back(batch);
+  if (batch->telemetry != nullptr) {
+    batch->telemetry->metrics().GetGauge("parallel.queue_depth")
+        ->Set(static_cast<double>(batches_.size()));
+  }
+  wake_.notify_all();
+}
+
+void ThreadPool::Retire(const std::shared_ptr<Batch>& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = batches_.begin(); it != batches_.end(); ++it) {
+    if (it->get() == batch.get()) {
+      batches_.erase(it);
+      break;
+    }
+  }
+}
+
+Status ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   const ParallelOptions& options) {
+  if (n == 0) {
+    return Status::OK();
+  }
+  const int requested = ResolveThreads(options.threads);
+  const size_t grain =
+      options.grain > 0
+          ? options.grain
+          : std::max<size_t>(
+                1, n / (static_cast<size_t>(requested) * 4));
+  const size_t num_chunks = (n + grain - 1) / grain;
+  const int threads = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(requested), num_chunks));
+
+  telemetry::Counter* tasks_counter = nullptr;
+  if (options.telemetry != nullptr) {
+    tasks_counter = options.telemetry->metrics().GetCounter("parallel.tasks");
+    options.telemetry->metrics().GetCounter("parallel.batches")->Add(1);
+    options.telemetry->metrics().GetGauge("parallel.threads")
+        ->Set(static_cast<double>(threads));
+  }
+
+  if (threads <= 1) {
+    // The exact serial code path: same chunk boundaries and the same
+    // per-chunk context checks as the parallel path, on this thread, in
+    // index order. The pool is never touched.
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      if (Status s = CheckRunContext(options.context); !s.ok()) {
+        return s;
+      }
+      const size_t begin = chunk * grain;
+      const size_t end = std::min(n, begin + grain);
+      for (size_t i = begin; i < end; ++i) {
+        fn(i);
+      }
+      telemetry::CounterAdd(tasks_counter);
+    }
+    return Status::OK();
+  }
+
+  auto batch = std::make_shared<ThreadPool::Batch>();
+  batch->n = n;
+  batch->grain = grain;
+  batch->num_chunks = num_chunks;
+  batch->fn = &fn;
+  batch->context = options.context;
+  batch->telemetry = options.telemetry;
+  batch->tasks_counter = tasks_counter;
+
+  ThreadPool& pool = ThreadPool::Global();
+  pool.EnsureWorkers(threads - 1);
+  pool.Submit(batch);
+  RunChunks(*batch);  // the coordinator is always one of the runners
+  {
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done.wait(lock, [&batch] { return batch->runners == 0; });
+  }
+  pool.Retire(batch);
+  if (batch->exception != nullptr) {
+    std::rethrow_exception(batch->exception);
+  }
+  return batch->status;
+}
+
+}  // namespace parallel
+}  // namespace wcop

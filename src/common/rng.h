@@ -12,6 +12,18 @@ namespace wcop {
 /// synthetic data generator, random points inside uncertainty disks) takes an
 /// Rng& so experiments are reproducible from a single seed. The engine is
 /// mt19937_64; helper methods mirror the distributions the paper uses.
+/// SplitMix64 finalizer over `seed ^ stream`: derives decorrelated child
+/// seeds for independent random streams (one Rng per cluster/worker) from a
+/// single experiment seed. Deterministic and order-free, so parallel and
+/// serial executions that seed per-item streams this way draw identical
+/// values regardless of scheduling.
+inline uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  uint64_t z = seed ^ (stream + 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(uint64_t seed) : engine_(seed) {}

@@ -47,6 +47,24 @@ double EdrDistance(const Trajectory& a, const Trajectory& b,
   return static_cast<double>(prev[m]);
 }
 
+double EdrDistance(const Trajectory& a, const Trajectory& b,
+                   const EdrTolerance& tolerance, double cutoff,
+                   bool* abandoned) {
+  const double bound = a.size() >= b.size()
+                           ? static_cast<double>(a.size() - b.size())
+                           : static_cast<double>(b.size() - a.size());
+  if (bound > cutoff) {
+    if (abandoned != nullptr) {
+      *abandoned = true;
+    }
+    return bound;
+  }
+  if (abandoned != nullptr) {
+    *abandoned = false;
+  }
+  return EdrDistance(a, b, tolerance);
+}
+
 double NormalizedEdrDistance(const Trajectory& a, const Trajectory& b,
                              const EdrTolerance& tolerance) {
   const size_t longest = std::max(a.size(), b.size());
@@ -54,6 +72,31 @@ double NormalizedEdrDistance(const Trajectory& a, const Trajectory& b,
     return 0.0;
   }
   return EdrDistance(a, b, tolerance) / static_cast<double>(longest);
+}
+
+double NormalizedEdrDistance(const Trajectory& a, const Trajectory& b,
+                             const EdrTolerance& tolerance, double cutoff,
+                             bool* abandoned) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) {
+    if (abandoned != nullptr) {
+      *abandoned = false;
+    }
+    return 0.0;
+  }
+  const size_t shortest = std::min(a.size(), b.size());
+  const double bound = static_cast<double>(longest - shortest) /
+                       static_cast<double>(longest);
+  if (bound > cutoff) {
+    if (abandoned != nullptr) {
+      *abandoned = true;
+    }
+    return bound;
+  }
+  if (abandoned != nullptr) {
+    *abandoned = false;
+  }
+  return NormalizedEdrDistance(a, b, tolerance);
 }
 
 std::vector<EdrOp> EdrOpSequence(const Trajectory& traj,

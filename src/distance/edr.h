@@ -45,10 +45,27 @@ struct EdrOp {
 double EdrDistance(const Trajectory& a, const Trajectory& b,
                    const EdrTolerance& tolerance);
 
+/// Early-abandoning EDR: every alignment must delete or create at least
+/// ||a|-|b|| points, so EDR >= ||a|-|b||. When that length lower bound alone
+/// exceeds `cutoff`, returns the bound immediately — a value that is > cutoff
+/// and <= the true distance — without filling the DP table; `abandoned`
+/// (optional) reports which case ran. Callers that only compare the result
+/// against `cutoff` (nearest-candidate scans) get the same decision either
+/// way at O(1) instead of O(|a|*|b|) for hopeless pairs.
+double EdrDistance(const Trajectory& a, const Trajectory& b,
+                   const EdrTolerance& tolerance, double cutoff,
+                   bool* abandoned);
+
 /// EDR distance normalized by max(|a|, |b|), in [0, 1]. Useful when
 /// comparing trajectories of very different lengths.
 double NormalizedEdrDistance(const Trajectory& a, const Trajectory& b,
                              const EdrTolerance& tolerance);
+
+/// Early-abandoning normalized EDR: the length lower bound becomes
+/// ||a|-|b|| / max(|a|,|b|); semantics as the EdrDistance overload above.
+double NormalizedEdrDistance(const Trajectory& a, const Trajectory& b,
+                             const EdrTolerance& tolerance, double cutoff,
+                             bool* abandoned);
 
 /// Reconstructs one optimal EDR edit script transforming `traj` so that it
 /// aligns with `pivot` (ops are emitted in order of increasing indices).

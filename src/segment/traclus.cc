@@ -5,6 +5,7 @@
 
 #include "cluster/dbscan.h"
 #include "common/failpoint.h"
+#include "common/parallel.h"
 #include "index/grid_index.h"
 
 namespace wcop {
@@ -81,9 +82,26 @@ std::vector<size_t> TraclusCharacteristicPoints(const Trajectory& t,
 
 std::vector<TaggedSegment> ExtractCharacteristicSegments(
     const Dataset& dataset, const TraclusOptions& options) {
+  // MDL partitioning is independent per trajectory (and quadratic in its
+  // length) — compute the characteristic points into per-trajectory slots,
+  // then flatten serially so the segment order stays the input order.
+  const size_t n = dataset.size();
+  std::vector<std::vector<size_t>> cps_of(n);
+  parallel::ParallelOptions par;
+  par.threads = options.threads;
+  par.telemetry = options.telemetry;
+  // No context attached: the batch cannot fail.
+  Status batch = parallel::ParallelFor(
+      n,
+      [&](size_t i) {
+        cps_of[i] = TraclusCharacteristicPoints(dataset[i], options);
+      },
+      par);
+  (void)batch;
   std::vector<TaggedSegment> segments;
-  for (const Trajectory& t : dataset.trajectories()) {
-    const std::vector<size_t> cps = TraclusCharacteristicPoints(t, options);
+  for (size_t ti = 0; ti < n; ++ti) {
+    const Trajectory& t = dataset[ti];
+    const std::vector<size_t>& cps = cps_of[ti];
     for (size_t i = 0; i + 1 < cps.size(); ++i) {
       segments.push_back(TaggedSegment{
           LineSegment(t[cps[i]], t[cps[i + 1]]), t.id(), cps[i]});
@@ -110,29 +128,42 @@ SegmentClustering ClusterSegments(const std::vector<TaggedSegment>& segments,
                 0.5 * (seg.start.y + seg.end.y));
   }
 
-  std::vector<size_t> scratch;
-  auto neighbors = [&](size_t item) {
-    const LineSegment& seg = segments[item].segment;
-    const double mx = 0.5 * (seg.start.x + seg.end.x);
-    const double my = 0.5 * (seg.start.y + seg.end.y);
-    scratch.clear();
-    grid.CandidateQuery(mx, my,
-                        options.eps + max_half_len + 0.5 * seg.Length(),
-                        &scratch);
-    std::vector<size_t> out;
-    for (size_t cand : scratch) {
-      if (cand == item) {
-        continue;
-      }
-      const double d =
-          SegmentDistance(seg, segments[cand].segment, options.w_perpendicular,
-                          options.w_parallel, options.w_angular);
-      if (d <= options.eps) {
-        out.push_back(cand);
-      }
-    }
-    return out;
-  };
+  // The O(n * candidates) segment-distance matrix dominates TRACLUS; every
+  // neighbourhood is independent, so precompute them in parallel (per-item
+  // scratch keeps the workers share-nothing) and hand DBSCAN a lookup. The
+  // candidate sets come from the deterministic grid and each list is built
+  // by a single worker in candidate order, so the lists — and therefore the
+  // DBSCAN labels — match the serial ones exactly.
+  std::vector<std::vector<size_t>> neighbor_lists(segments.size());
+  parallel::ParallelOptions par;
+  par.threads = options.threads;
+  par.telemetry = options.telemetry;
+  Status batch = parallel::ParallelFor(
+      segments.size(),
+      [&](size_t item) {
+        const LineSegment& seg = segments[item].segment;
+        const double mx = 0.5 * (seg.start.x + seg.end.x);
+        const double my = 0.5 * (seg.start.y + seg.end.y);
+        std::vector<size_t> scratch;
+        grid.CandidateQuery(mx, my,
+                            options.eps + max_half_len + 0.5 * seg.Length(),
+                            &scratch);
+        std::vector<size_t>& out = neighbor_lists[item];
+        for (size_t cand : scratch) {
+          if (cand == item) {
+            continue;
+          }
+          const double d = SegmentDistance(
+              seg, segments[cand].segment, options.w_perpendicular,
+              options.w_parallel, options.w_angular);
+          if (d <= options.eps) {
+            out.push_back(cand);
+          }
+        }
+      },
+      par);
+  (void)batch;  // no context attached: the batch cannot fail
+  auto neighbors = [&](size_t item) { return neighbor_lists[item]; };
 
   const DbscanResult db = Dbscan(segments.size(), options.min_lines, neighbors);
   return SegmentClustering{db.labels, db.num_clusters};
@@ -262,14 +293,30 @@ Result<Dataset> TraclusSegmenter::Segment(const Dataset& dataset) {
           ? options_.telemetry->metrics().GetCounter(
                 "segment.characteristic_points")
           : nullptr;
+  // The quadratic MDL partitioning fans out per trajectory; the context is
+  // polled at chunk boundaries inside the batch. Failpoints, telemetry, and
+  // the id-assigning cut pass stay serial (in input order) below.
+  const size_t n = dataset.size();
+  std::vector<std::vector<size_t>> cps_of(n);
+  parallel::ParallelOptions par;
+  par.threads = options_.threads;
+  par.context = options_.run_context;
+  par.telemetry = options_.telemetry;
+  WCOP_RETURN_IF_ERROR(parallel::ParallelFor(
+      n,
+      [&](size_t i) {
+        cps_of[i] = TraclusCharacteristicPoints(dataset[i], options_);
+      },
+      par));
   std::vector<Trajectory> out;
   int64_t next_id = 0;
-  for (const Trajectory& t : dataset.trajectories()) {
+  for (size_t ti = 0; ti < n; ++ti) {
+    const Trajectory& t = dataset[ti];
     WCOP_FAILPOINT("segment.traclus");
-    // Cooperative yield point: MDL partitioning is quadratic per
-    // trajectory, so per-trajectory granularity bounds the overshoot.
+    // Cooperative yield point: per-trajectory granularity bounds the
+    // overshoot once the batch has returned.
     WCOP_RETURN_IF_ERROR(CheckRunContext(options_.run_context));
-    const std::vector<size_t> cps = TraclusCharacteristicPoints(t, options_);
+    const std::vector<size_t>& cps = cps_of[ti];
     telemetry::CounterAdd(characteristic_points, cps.size());
     // Characteristic points other than the endpoints become cut positions.
     std::vector<size_t> cuts;

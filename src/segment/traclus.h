@@ -41,6 +41,12 @@ struct TraclusOptions {
   /// (the TRACLUS paper's MinLns sweep threshold).
   size_t min_representative_lines = 3;
 
+  /// Worker threads for the per-trajectory MDL partitioning and the
+  /// segment-distance neighbourhood precompute (0 = the process-wide
+  /// default, 1 = serial). Results are identical for every value — see
+  /// DESIGN.md "Parallel execution".
+  int threads = 0;
+
   /// Optional execution context (deadline / cancellation / budget), polled
   /// per trajectory by TraclusSegmenter::Segment. Null means unbounded.
   const RunContext* run_context = nullptr;
