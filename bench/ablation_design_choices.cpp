@@ -8,6 +8,7 @@
 //      splitting.
 //
 // Run:  ./ablation_design_choices [--points=100] [--trajectories=150]
+//                                  [--json-out=FILE]
 
 #include <cstdio>
 #include <iostream>
@@ -24,7 +25,8 @@ namespace {
 
 std::string Fmt(double v) { return FormatSignificant(v, 4); }
 
-void AblateDeltaPolicy(const Dataset& dataset, uint64_t seed) {
+void AblateDeltaPolicy(const Dataset& dataset, uint64_t seed,
+                       JsonOut* json_out) {
   PrintHeader("Ablation 1: cluster delta = min(members) vs mean(members)");
   TablePrinter table({"delta policy", "total distortion", "avg transl.",
                       "preference violations"});
@@ -33,12 +35,20 @@ void AblateDeltaPolicy(const Dataset& dataset, uint64_t seed) {
     WcopOptions options;
     options.seed = seed;
     options.delta_policy = policy;
+    telemetry::Telemetry tel;
+    options.telemetry = &tel;
     Result<AnonymizationResult> r = RunWcopCt(dataset, options);
     if (!r.ok()) {
       std::cerr << r.status() << "\n";
       return;
     }
     const VerificationReport audit = VerifyAnonymity(dataset, *r);
+    json_out->Add("ablation/delta_policy",
+                  {{"mean_policy",
+                    policy == WcopOptions::DeltaPolicy::kMean ? 1.0 : 0.0},
+                   {"total_distortion", r->report.total_distortion},
+                   {"violations", static_cast<double>(audit.violations)}},
+                  r->report.runtime_seconds, r->report.metrics);
     table.AddRow({policy == WcopOptions::DeltaPolicy::kMin ? "min (paper)"
                                                            : "mean",
                   Fmt(r->report.total_distortion),
@@ -51,7 +61,8 @@ void AblateDeltaPolicy(const Dataset& dataset, uint64_t seed) {
               "honouring every preference\n");
 }
 
-void AblatePivotPolicy(const Dataset& dataset, uint64_t seed) {
+void AblatePivotPolicy(const Dataset& dataset, uint64_t seed,
+                       JsonOut* json_out) {
   PrintHeader("Ablation 2: pivot selection random vs farthest-first");
   TablePrinter table({"pivot policy", "clusters", "trashed",
                       "total distortion", "runtime (s)"});
@@ -60,11 +71,20 @@ void AblatePivotPolicy(const Dataset& dataset, uint64_t seed) {
     WcopOptions options;
     options.seed = seed;
     options.pivot_policy = policy;
+    telemetry::Telemetry tel;
+    options.telemetry = &tel;
     Result<AnonymizationResult> r = RunWcopCt(dataset, options);
     if (!r.ok()) {
       std::cerr << r.status() << "\n";
       return;
     }
+    json_out->Add("ablation/pivot_policy",
+                  {{"farthest_first",
+                    policy == WcopOptions::PivotPolicy::kFarthestFirst
+                        ? 1.0 : 0.0},
+                   {"clusters", static_cast<double>(r->report.num_clusters)},
+                   {"total_distortion", r->report.total_distortion}},
+                  r->report.runtime_seconds, r->report.metrics);
     table.AddRow({policy == WcopOptions::PivotPolicy::kRandom
                       ? "random (paper)"
                       : "farthest-first (W4M)",
@@ -76,7 +96,8 @@ void AblatePivotPolicy(const Dataset& dataset, uint64_t seed) {
   table.Print(std::cout);
 }
 
-void AblateEdrTolerance(const Dataset& dataset, uint64_t seed) {
+void AblateEdrTolerance(const Dataset& dataset, uint64_t seed,
+                        JsonOut* json_out) {
   PrintHeader("Ablation 3: EDR tolerance factor (paper uses 10x delta_max)");
   double delta_max = 0.0;
   for (const Trajectory& t : dataset.trajectories()) {
@@ -90,11 +111,20 @@ void AblateEdrTolerance(const Dataset& dataset, uint64_t seed) {
     options.seed = seed;
     options.distance.tolerance =
         EdrTolerance::FromDeltaMax(factor / 10.0 * delta_max, avg_speed);
+    telemetry::Telemetry tel;
+    options.telemetry = &tel;
     Result<AnonymizationResult> r = RunWcopCt(dataset, options);
     if (!r.ok()) {
       std::cerr << r.status() << "\n";
       return;
     }
+    json_out->Add("ablation/edr_tolerance",
+                  {{"factor", factor},
+                   {"clusters", static_cast<double>(r->report.num_clusters)},
+                   {"trashed",
+                    static_cast<double>(r->report.trashed_trajectories)},
+                   {"total_distortion", r->report.total_distortion}},
+                  r->report.runtime_seconds, r->report.metrics);
     table.AddRow({Fmt(factor) + "x", std::to_string(r->report.num_clusters),
                   std::to_string(r->report.trashed_trajectories),
                   Fmt(r->report.total_distortion),
@@ -103,7 +133,8 @@ void AblateEdrTolerance(const Dataset& dataset, uint64_t seed) {
   table.Print(std::cout);
 }
 
-void AblateDemandWeights(const Dataset& dataset, uint64_t seed) {
+void AblateDemandWeights(const Dataset& dataset, uint64_t seed,
+                         JsonOut* json_out) {
   PrintHeader("Ablation 4: WCOP-B demandingness weights (paper uses "
               "w1=w2=1/2)");
   TablePrinter table({"w1 (k-weight)", "best distortion in sweep",
@@ -130,12 +161,19 @@ void AblateDemandWeights(const Dataset& dataset, uint64_t seed) {
         best_size = round.edit_size;
       }
     }
+    json_out->Add("ablation/demand_weights",
+                  {{"w1", w1},
+                   {"best_distortion", best},
+                   {"best_edit_size", static_cast<double>(best_size)}},
+                  r->anonymization.report.runtime_seconds,
+                  r->anonymization.report.metrics);
     table.AddRow({Fmt(w1), Fmt(best), std::to_string(best_size)});
   }
   table.Print(std::cout);
 }
 
-void AblateSegmentation(const Dataset& dataset, uint64_t seed) {
+void AblateSegmentation(const Dataset& dataset, uint64_t seed,
+                        JsonOut* json_out) {
   PrintHeader("Ablation 5: segmentation strategy and granularity");
   TablePrinter table({"segmenter", "sub-trajectories", "clusters",
                       "total distortion"});
@@ -159,14 +197,29 @@ void AblateSegmentation(const Dataset& dataset, uint64_t seed) {
       {"fixed length 10", &fixed_short},
       {"fixed length 40", &fixed_long},
   };
+  size_t variant = 0;
   for (const Entry& entry : entries) {
     WcopOptions options;
     options.seed = seed;
+    telemetry::Telemetry tel;
+    options.telemetry = &tel;
     Result<WcopSaResult> r = RunWcopSa(dataset, entry.segmenter, options);
+    ++variant;
     if (!r.ok()) {
       std::cerr << entry.name << ": " << r.status() << "\n";
       continue;
     }
+    json_out->Add("ablation/segmentation",
+                  {{"variant", static_cast<double>(variant)},
+                   {"sub_trajectories",
+                    static_cast<double>(r->segmented.size())},
+                   {"clusters",
+                    static_cast<double>(
+                        r->anonymization.report.num_clusters)},
+                   {"total_distortion",
+                    r->anonymization.report.total_distortion}},
+                  r->anonymization.report.runtime_seconds,
+                  r->anonymization.report.metrics);
     table.AddRow({entry.name,
                   std::to_string(r->segmented.size()),
                   std::to_string(r->anonymization.report.num_clusters),
@@ -186,14 +239,18 @@ int main(int argc, char** argv) {
   if (!args.Has("points")) {
     scale.points = 100;
   }
+  JsonOut json_out(args);
   Dataset dataset = MakeBenchDataset(scale);
   AssignPaperRequirements(&dataset, /*k_max=*/10, /*delta_max=*/250.0,
                           scale.seed + 1);
 
-  AblateDeltaPolicy(dataset, scale.seed + 2);
-  AblatePivotPolicy(dataset, scale.seed + 2);
-  AblateEdrTolerance(dataset, scale.seed + 2);
-  AblateDemandWeights(dataset, scale.seed + 2);
-  AblateSegmentation(dataset, scale.seed + 2);
+  AblateDeltaPolicy(dataset, scale.seed + 2, &json_out);
+  AblatePivotPolicy(dataset, scale.seed + 2, &json_out);
+  AblateEdrTolerance(dataset, scale.seed + 2, &json_out);
+  AblateDemandWeights(dataset, scale.seed + 2, &json_out);
+  AblateSegmentation(dataset, scale.seed + 2, &json_out);
+  if (!json_out.Flush()) {
+    return 1;
+  }
   return 0;
 }

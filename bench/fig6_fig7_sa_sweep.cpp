@@ -7,7 +7,7 @@
 // substantially reduces distortion versus plain WCOP-CT while raising the
 // discernibility metric (many more, smaller clusters).
 //
-// Run:  ./fig6_fig7_sa_sweep [--points=120] [--kvalues=5,10,25]
+// Run:  ./fig6_fig7_sa_sweep [--points=120] [--json-out=FILE]
 
 #include <cstdio>
 #include <iostream>
@@ -23,6 +23,7 @@ using namespace wcop::bench;
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   const BenchScale scale = BenchScale::FromArgs(args);
+  JsonOut json_out(args);
   const Dataset base = MakeBenchDataset(scale);
 
   const std::vector<int> k_values = {5, 10, 25, 50, 100};
@@ -58,7 +59,7 @@ int main(int argc, char** argv) {
               base.size(), by_traclus->size(), by_convoys->size());
 
   auto run_sweep = [&](const Dataset& segmented, Grid* grid,
-                       const char* name) -> bool {
+                       const char* name, const char* json_name) -> bool {
     for (size_t ki = 0; ki < k_values.size(); ++ki) {
       for (size_t di = 0; di < delta_values.size(); ++di) {
         // Assign requirements to the parents, propagate to children — every
@@ -75,6 +76,8 @@ int main(int argc, char** argv) {
         }
         WcopOptions options;
         options.seed = scale.seed + 2;
+        telemetry::Telemetry tel;
+        options.telemetry = &tel;
         Result<AnonymizationResult> r = RunWcopCt(dataset, options);
         if (!r.ok()) {
           std::cerr << name << " failed at kmax=" << k_values[ki]
@@ -84,13 +87,22 @@ int main(int argc, char** argv) {
         }
         grid->distortion[di][ki] = r->report.total_distortion;
         grid->discernibility[di][ki] = r->report.discernibility;
+        json_out.Add(json_name,
+                     {{"points", static_cast<double>(scale.points)},
+                      {"sub_trajectories",
+                       static_cast<double>(dataset.size())},
+                      {"kmax", static_cast<double>(k_values[ki])},
+                      {"dmax", delta_values[di]}},
+                     r->report.runtime_seconds, r->report.metrics);
       }
     }
     return true;
   };
 
-  if (!run_sweep(*by_traclus, &traclus_grid, "SA-Traclus") ||
-      !run_sweep(*by_convoys, &convoy_grid, "SA-Convoys")) {
+  if (!run_sweep(*by_traclus, &traclus_grid, "SA-Traclus",
+                 "fig6_fig7/sa_traclus") ||
+      !run_sweep(*by_convoys, &convoy_grid, "SA-Convoys",
+                 "fig6_fig7/sa_convoys")) {
     return 1;
   }
 
@@ -121,5 +133,8 @@ int main(int argc, char** argv) {
              traclus_grid.discernibility);
   print_grid("Figure 7(b): WCOP-SA-Convoys discernibility",
              convoy_grid.discernibility);
+  if (!json_out.Flush()) {
+    return 1;
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 // penalty proportional to its edit cost, so an 'optimal' edit size exists.
 //
 // Run:  ./fig8_bounded_editing [--points=100] [--max-edit=14] [--step=2]
+//                              [--json-out=FILE]
 
 #include <cstdio>
 #include <iostream>
@@ -39,6 +40,7 @@ int main(int argc, char** argv) {
   }
   const size_t max_edit = static_cast<size_t>(args.GetInt("max-edit", 14));
   const size_t step = static_cast<size_t>(args.GetInt("step", 2));
+  JsonOut json_out(args);
   const Dataset base = MakeBenchDataset(scale);
 
   TraclusSegmenter traclus(BenchTraclusOptions());
@@ -85,6 +87,8 @@ int main(int argc, char** argv) {
     for (auto& [name, dataset] : inputs) {
       WcopOptions options;
       options.seed = scale.seed + 2;
+      telemetry::Telemetry tel;
+      options.telemetry = &tel;
       Result<AnonymizationResult> unedited = RunWcopCt(dataset, options);
       if (!unedited.ok()) {
         std::cerr << name << " unedited run failed: " << unedited.status()
@@ -100,6 +104,35 @@ int main(int argc, char** argv) {
         std::cerr << name << " WCOP-B sweep failed: " << swept.status()
                   << "\n";
         return 1;
+      }
+      // One timed record per full sweep, plus an untimed data point per
+      // editing round (the Figure 8 curve itself).
+      const std::string json_name =
+          name == "WCOP-CT" ? "fig8/wcop_ct"
+          : name == "WCOP-SA Traclus" ? "fig8/sa_traclus"
+                                      : "fig8/sa_convoys";
+      json_out.Add(json_name + "/sweep",
+                   {{"points", static_cast<double>(scale.points)},
+                    {"kmax", static_cast<double>(regime.k_max)},
+                    {"dmax", regime.delta_max},
+                    {"max_edit", static_cast<double>(max_edit)},
+                    {"step", static_cast<double>(step)},
+                    {"unedited_distortion",
+                     unedited->report.total_distortion}},
+                   swept->anonymization.report.runtime_seconds,
+                   swept->anonymization.report.metrics);
+      for (const WcopBRound& round : swept->rounds) {
+        json_out.Add(json_name + "/round",
+                     {{"kmax", static_cast<double>(regime.k_max)},
+                      {"dmax", regime.delta_max},
+                      {"edit_size", static_cast<double>(round.edit_size)},
+                      {"total_distortion", round.total_distortion},
+                      {"editing_distortion", round.editing_distortion},
+                      {"ttd", round.ttd},
+                      {"clusters",
+                       static_cast<double>(round.num_clusters)},
+                      {"trashed", static_cast<double>(round.trashed)}},
+                     0.0, {});
       }
       Series s;
       s.name = name;
@@ -156,6 +189,9 @@ int main(int argc, char** argv) {
                 "distortion; [%s] distortion non-monotone in edit size\n",
                 any_improves ? "ok" : "MISMATCH",
                 any_non_monotone ? "ok" : "MISMATCH");
+  }
+  if (!json_out.Flush()) {
+    return 1;
   }
   return 0;
 }

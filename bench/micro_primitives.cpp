@@ -2,8 +2,16 @@
 // EDR distance / op reconstruction, synchronized Euclidean distance, DBSCAN,
 // grid-index range queries, TRACLUS MDL partitioning, greedy clustering and
 // the translation phase. google-benchmark binary — runs standalone.
+//
+// `--json-out=FILE` (the shared bench_util flag) additionally captures every
+// run as a machine-readable record; all other flags pass through to
+// google-benchmark (--benchmark_filter=..., etc).
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "anon/greedy_clustering.h"
 #include "anon/translation.h"
@@ -243,6 +251,56 @@ void BM_TelemetryScopedSpanNull(benchmark::State& state) {
 }
 BENCHMARK(BM_TelemetryScopedSpanNull);
 
+// Console reporting as usual, plus one JsonOut record per run so the
+// harness's --json-out works here like in every other bench binary.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(JsonOut* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) {
+        continue;
+      }
+      const double iterations =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      out_->Add("micro/" + run.benchmark_name(),
+                {{"iterations", iterations},
+                 {"per_iteration_seconds",
+                  run.real_accumulated_time / iterations}},
+                run.real_accumulated_time, {});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  JsonOut* out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // google-benchmark rejects flags it does not know, so --json-out (and the
+  // argv[0]-preserving remainder) is peeled off before Initialize().
+  ArgParser args(argc, argv);
+  JsonOut json_out(args);
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json-out", 10) != 0) {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             bench_argv.data())) {
+    return 1;
+  }
+  JsonCaptureReporter reporter(&json_out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_out.Flush()) {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,291 @@
+// Out-of-core scaling bench: anonymize a 500k-trajectory synthetic corpus
+// through the sharded pipeline under a fixed memory budget the monolithic
+// driver cannot honour.
+//
+// The corpus is generated tile by tile (independent far-apart synthetic
+// cities, the shape of real multi-region trajectory releases) and streamed
+// straight into a trajectory store — it is never materialized in memory.
+// The sharded pipeline partitions the store index, anonymizes shard by
+// shard, audits every shard, and streams the published output to a second
+// store; peak RSS stays bounded by the index plus the largest shard.
+//
+// The monolithic comparison cannot be run at 500k: WCOP-CT's clustering is
+// quadratic in the dataset (2.5e11 pair distances at 500k), so the bench
+// times monolithic runs on increasing prefixes of the same corpus, fits
+// t = c * n^2, and reports the extrapolated full-scale time. The bench
+// fails (non-zero exit) if peak RSS exceeds --rss-budget-mb or the
+// extrapolated monolithic time is not at least 4x the sharded wall time.
+//
+// Usage:
+//   ./shard_scaling [--trajectories=500000] [--rss-budget-mb=2048]
+//                   [--store=shard_scaling.wst] [--keep-store]
+//                   [--json-out=FILE]
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "anon/wcop.h"
+#include "bench_util.h"
+#include "common/arg_parser.h"
+#include "common/stopwatch.h"
+#include "data/synthetic.h"
+#include "store/partitioner.h"
+#include "store/shard_runner.h"
+#include "store/store_file.h"
+
+using namespace wcop;
+using bench::JsonOut;
+
+namespace {
+
+constexpr size_t kPerTile = 125;       // trajectories per synthetic city
+constexpr size_t kPointsPerTraj = 8;   // short tracks keep EDR cheap
+constexpr double kTileSpacing = 200000.0;  // metres between city origins
+
+// Peak resident set (VmHWM) in MiB from /proc/self/status; 0 off Linux.
+double PeakRssMb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+SyntheticOptions TileOptions(uint64_t seed) {
+  SyntheticOptions options;
+  options.seed = seed;
+  options.num_users = kPerTile / 3 + 1;
+  options.num_trajectories = kPerTile;
+  options.points_per_trajectory = kPointsPerTraj;
+  options.sampling_interval = 60.0;
+  options.region_half_diagonal = 6000.0;
+  options.num_hubs = 5;
+  options.num_routes = 4;
+  options.dataset_duration_days = 10.0;
+  return options;
+}
+
+// Generates tile `tile` of the corpus (the same derivation for the
+// streaming writer and the monolithic-prefix runs, so both paths see the
+// exact same data).
+Result<Dataset> MakeTile(size_t tile, size_t grid_dim) {
+  Dataset city;
+  WCOP_ASSIGN_OR_RETURN(
+      city, GenerateSyntheticGeoLife(
+                TileOptions(7 + 0x9e3779b97f4a7c15ull * (tile + 1))));
+  Rng rng(1000 + tile);
+  AssignUniformRequirements(&city, 2, 5, 10.0, 200.0, &rng);
+  const double dx = static_cast<double>(tile % grid_dim) * kTileSpacing;
+  const double dy = static_cast<double>(tile / grid_dim) * kTileSpacing;
+  const int64_t id_base = static_cast<int64_t>(tile * kPerTile);
+  for (Trajectory& t : city.mutable_trajectories()) {
+    for (Point& p : t.mutable_points()) {
+      p.x += dx;
+      p.y += dy;
+    }
+    t.set_id(id_base + t.id());
+    t.set_object_id(id_base + t.object_id());
+  }
+  return city;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const size_t total =
+      static_cast<size_t>(args.GetInt("trajectories", 500000));
+  const double rss_budget_mb = args.GetDouble("rss-budget-mb", 2048.0);
+  const std::string store_path =
+      args.GetString("store", "shard_scaling.wst");
+  const std::string out_store_path = store_path + ".out";
+  JsonOut json_out(args);
+
+  const size_t tiles = (total + kPerTile - 1) / kPerTile;
+  size_t grid_dim = 1;
+  while (grid_dim * grid_dim < tiles) {
+    ++grid_dim;
+  }
+
+  bench::PrintHeader("Out-of-core sharded scaling (WCOP-CT)");
+  std::printf("corpus: %zu trajectories (%zu tiles x %zu, %zu points each), "
+              "RSS budget %.0f MiB\n",
+              tiles * kPerTile, tiles, kPerTile, kPointsPerTraj,
+              rss_budget_mb);
+
+  // ---- Stream-generate the corpus into the store: one tile in memory. --
+  Stopwatch gen_watch;
+  {
+    Result<store::TrajectoryStoreWriter> writer =
+        store::TrajectoryStoreWriter::Create(store_path);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "store create failed: %s\n",
+                   writer.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t tile = 0; tile < tiles; ++tile) {
+      Result<Dataset> city = MakeTile(tile, grid_dim);
+      if (!city.ok()) {
+        std::fprintf(stderr, "tile %zu failed: %s\n", tile,
+                     city.status().ToString().c_str());
+        return 1;
+      }
+      for (const Trajectory& t : city->trajectories()) {
+        Status s = writer->Append(t);
+        if (!s.ok()) {
+          std::fprintf(stderr, "append failed: %s\n", s.ToString().c_str());
+          return 1;
+        }
+      }
+      if ((tile + 1) % 200 == 0) {
+        std::printf("  generated %zu / %zu tiles (%.1fs, RSS %.0f MiB)\n",
+                    tile + 1, tiles, gen_watch.ElapsedSeconds(),
+                    PeakRssMb());
+      }
+    }
+    Status s = writer->Finish();
+    if (!s.ok()) {
+      std::fprintf(stderr, "store finish failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  const double gen_seconds = gen_watch.ElapsedSeconds();
+  std::printf("generated + stored in %.1fs (%ju bytes)\n", gen_seconds,
+              static_cast<uintmax_t>(
+                  std::filesystem::file_size(store_path)));
+
+  Result<store::TrajectoryStoreReader> reader =
+      store::TrajectoryStoreReader::Open(store_path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n",
+                 reader.status().ToString().c_str());
+    return 1;
+  }
+
+  // ---- Sharded run: stream the published output to a second store. -----
+  telemetry::Telemetry telemetry;
+  store::ShardRunOptions run;
+  run.wcop.seed = 7;
+  run.wcop.threads = 1;
+  run.wcop.telemetry = &telemetry;
+  run.partition.target_shard_size = 256;
+  run.partition.max_shard_size = 512;
+  run.stream_output_store = out_store_path;
+  Stopwatch shard_watch;
+  Result<store::ShardedRunResult> sharded = RunShardedWcopCt(*reader, run);
+  const double sharded_seconds = shard_watch.ElapsedSeconds();
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "sharded run failed: %s\n",
+                 sharded.status().ToString().c_str());
+    return 1;
+  }
+  const double peak_rss_mb = PeakRssMb();
+  std::printf("sharded: %zu shards, %.1fs, verified %s, peak RSS %.0f MiB "
+              "(budget %.0f)\n",
+              sharded->partition.shards.size(), sharded_seconds,
+              sharded->all_verified ? "clean" : "FAILED", peak_rss_mb,
+              rss_budget_mb);
+  if (!sharded->all_verified) {
+    std::fprintf(stderr, "FAIL: a shard failed its anonymity audit\n");
+    return 1;
+  }
+
+  // ---- Monolithic prefixes: time t(n), fit t = c * n^2, extrapolate. ---
+  double fit_c = 0.0;
+  size_t fit_samples = 0;
+  std::vector<std::pair<size_t, double>> prefix_times;
+  for (const size_t prefix : {size_t{2000}, size_t{4000}, size_t{8000}}) {
+    if (prefix > reader->size()) {
+      break;
+    }
+    Dataset subset;
+    for (size_t i = 0; i < prefix; ++i) {
+      Result<Trajectory> t = reader->Read(i);
+      if (!t.ok()) {
+        std::fprintf(stderr, "read failed: %s\n",
+                     t.status().ToString().c_str());
+        return 1;
+      }
+      subset.Add(std::move(*t));
+    }
+    WcopOptions mono;
+    mono.seed = 7;
+    mono.threads = 1;
+    Stopwatch watch;
+    Result<AnonymizationResult> r = RunWcopCt(subset, mono);
+    const double seconds = watch.ElapsedSeconds();
+    if (!r.ok()) {
+      std::fprintf(stderr, "monolithic %zu failed: %s\n", prefix,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("monolithic prefix %zu: %.2fs\n", prefix, seconds);
+    prefix_times.emplace_back(prefix, seconds);
+    fit_c += seconds / (static_cast<double>(prefix) *
+                        static_cast<double>(prefix));
+    ++fit_samples;
+  }
+  if (fit_samples == 0) {
+    std::fprintf(stderr, "corpus too small for the monolithic fit\n");
+    return 1;
+  }
+  fit_c /= static_cast<double>(fit_samples);
+  const double n = static_cast<double>(reader->size());
+  const double mono_extrapolated = fit_c * n * n;
+  const double speedup = mono_extrapolated / sharded_seconds;
+  std::printf("monolithic extrapolation (t = c*n^2): %.0fs at n=%zu — "
+              "%.0fx the sharded wall time\n",
+              mono_extrapolated, reader->size(), speedup);
+
+  for (const auto& [prefix, seconds] : prefix_times) {
+    json_out.Add("shard_scaling/monolithic_prefix",
+                 {{"trajectories", static_cast<double>(prefix)},
+                  {"points", static_cast<double>(kPointsPerTraj)}},
+                 seconds, {});
+  }
+  json_out.Add(
+      "shard_scaling/sharded",
+      {{"trajectories", n},
+       {"points", static_cast<double>(kPointsPerTraj)},
+       {"shards", static_cast<double>(sharded->partition.shards.size())},
+       {"published",
+        static_cast<double>(sharded->merged.report.input_trajectories -
+                            sharded->merged.report.trashed_trajectories)},
+       {"clusters", static_cast<double>(sharded->merged.report.num_clusters)},
+       {"all_verified", sharded->all_verified ? 1.0 : 0.0},
+       {"generate_seconds", gen_seconds},
+       {"peak_rss_mb", peak_rss_mb},
+       {"rss_budget_mb", rss_budget_mb},
+       {"monolithic_extrapolated_seconds", mono_extrapolated},
+       {"speedup_vs_monolithic", speedup}},
+      sharded_seconds, sharded->merged.report.metrics);
+  if (!json_out.Flush()) {
+    return 1;
+  }
+
+  if (!args.GetBool("keep-store", false)) {
+    std::filesystem::remove(store_path);
+    std::filesystem::remove(out_store_path);
+  }
+  if (peak_rss_mb > rss_budget_mb) {
+    std::fprintf(stderr, "FAIL: peak RSS %.0f MiB exceeds budget %.0f MiB\n",
+                 peak_rss_mb, rss_budget_mb);
+    return 1;
+  }
+  if (speedup < 4.0) {
+    std::fprintf(stderr, "FAIL: sharded speedup %.1fx below 4x\n", speedup);
+    return 1;
+  }
+  std::printf("PASS: %zu trajectories sharded within %.0f MiB; monolithic "
+              "infeasible at this scale (extrapolated %.0fx slower)\n",
+              reader->size(), rss_budget_mb, speedup);
+  return 0;
+}

@@ -3,11 +3,13 @@
 // generation is cheap; only the anonymization benches downsample.
 //
 // Run:  ./table2_dataset_stats [--trajectories=238] [--points=1442]
+//                              [--json-out=FILE]
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench_util.h"
+#include "common/stopwatch.h"
 #include "common/table_printer.h"
 
 using namespace wcop;
@@ -19,8 +21,11 @@ int main(int argc, char** argv) {
   if (!args.Has("points")) {
     scale.points = 1442;  // Table 2 is about the full dataset
   }
+  JsonOut json_out(args);
+  Stopwatch watch;
   const Dataset dataset = MakeBenchDataset(scale);
   const DatasetStats stats = dataset.ComputeStats();
+  const double seconds = watch.ElapsedSeconds();
 
   PrintHeader("Table 2: dataset statistics (paper GeoLife sample vs this "
               "synthetic stand-in)");
@@ -43,5 +48,19 @@ int main(int argc, char** argv) {
   std::printf("  trash_max = 10%% of |D| = %zu trajectories\n",
               stats.num_trajectories / 10);
   std::printf("  radius_max = radius(D) = %.0f m\n", stats.radius);
+
+  json_out.Add("table2/dataset_stats",
+               {{"trajectories", static_cast<double>(scale.trajectories)},
+                {"points_per_trajectory",
+                 static_cast<double>(scale.points)},
+                {"objects", static_cast<double>(stats.num_objects)},
+                {"total_points", static_cast<double>(stats.num_points)},
+                {"avg_speed", stats.avg_speed},
+                {"radius", stats.radius},
+                {"duration_days", stats.duration_days}},
+               seconds, {});
+  if (!json_out.Flush()) {
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,23 @@
+#include "anon/store_driver.h"
+
+#include <utility>
+
+#include "anon/wcop.h"
+
+namespace wcop {
+
+Result<AnonymizationResult> RunWcopNvOnStore(
+    const store::TrajectoryStoreReader& reader, const WcopOptions& options) {
+  WCOP_ASSIGN_OR_RETURN(Dataset dataset,
+                        reader.ReadAll(options.run_context));
+  return RunWcopNv(dataset, options);
+}
+
+Result<AnonymizationResult> RunWcopCtOnStore(
+    const store::TrajectoryStoreReader& reader, const WcopOptions& options) {
+  WCOP_ASSIGN_OR_RETURN(Dataset dataset,
+                        reader.ReadAll(options.run_context));
+  return RunWcopCt(dataset, options);
+}
+
+}  // namespace wcop

@@ -1,0 +1,30 @@
+#ifndef WCOP_ANON_STORE_DRIVER_H_
+#define WCOP_ANON_STORE_DRIVER_H_
+
+/// Driver entry points over the out-of-core trajectory store: run the
+/// monolithic WCOP drivers directly from a `TrajectoryStoreReader` without
+/// the caller materializing the dataset first.
+///
+/// These are the small-dataset convenience path; at scale, use the sharded
+/// pipeline (store/shard_runner.h), which keeps memory bounded by the
+/// largest shard instead of the whole store.
+
+#include "anon/types.h"
+#include "common/result.h"
+#include "store/store_file.h"
+
+namespace wcop {
+
+/// WCOP-NV (universal requirements) over every trajectory in the store.
+Result<AnonymizationResult> RunWcopNvOnStore(
+    const store::TrajectoryStoreReader& reader,
+    const WcopOptions& options = {});
+
+/// WCOP-CT (personalized requirements) over every trajectory in the store.
+Result<AnonymizationResult> RunWcopCtOnStore(
+    const store::TrajectoryStoreReader& reader,
+    const WcopOptions& options = {});
+
+}  // namespace wcop
+
+#endif  // WCOP_ANON_STORE_DRIVER_H_

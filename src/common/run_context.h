@@ -74,6 +74,10 @@ class RunContext {
   void clear_deadline() { deadline_.reset(); }
   bool has_deadline() const { return deadline_.has_value(); }
 
+  /// The absolute deadline, if any — lets a coordinator derive per-shard
+  /// child contexts that share the parent's wall-clock bound.
+  std::optional<Clock::time_point> deadline() const { return deadline_; }
+
   bool deadline_exceeded() const {
     return deadline_.has_value() && Clock::now() >= *deadline_;
   }
@@ -86,6 +90,12 @@ class RunContext {
 
   bool cancelled() const {
     return token_.has_value() && token_->cancellation_requested();
+  }
+
+  /// The attached token, if any (a copy shares the underlying flag) — lets
+  /// a coordinator propagate one cancellation signal to child contexts.
+  const std::optional<CancellationToken>& cancellation_token() const {
+    return token_;
   }
 
   void set_budget(ResourceBudget budget) { budget_ = budget; }

@@ -288,6 +288,46 @@ Result<Dataset> GenerateSyntheticGeoLife(const SyntheticOptions& options) {
   return dataset;
 }
 
+Result<Dataset> GenerateTiledSyntheticGeoLife(const SyntheticOptions& options,
+                                              size_t tiles,
+                                              double tile_spacing) {
+  if (tiles == 0) {
+    return Status::InvalidArgument("need at least one tile");
+  }
+  if (tile_spacing <= 0.0) {
+    return Status::InvalidArgument("tile_spacing must be positive");
+  }
+  const size_t grid = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(tiles))));
+  Dataset dataset;
+  dataset.mutable_trajectories().reserve(tiles *
+                                         options.num_trajectories);
+  int64_t next_id = 0;
+  int64_t object_base = 0;
+  for (size_t tile = 0; tile < tiles; ++tile) {
+    SyntheticOptions tile_options = options;
+    tile_options.seed = options.seed + 0x9e3779b97f4a7c15ull * (tile + 1);
+    WCOP_ASSIGN_OR_RETURN(Dataset city,
+                          GenerateSyntheticGeoLife(tile_options));
+    const double dx =
+        static_cast<double>(tile % grid) * tile_spacing;
+    const double dy =
+        static_cast<double>(tile / grid) * tile_spacing;
+    for (Trajectory& t : city.mutable_trajectories()) {
+      for (Point& p : t.mutable_points()) {
+        p.x += dx;
+        p.y += dy;
+      }
+      t.set_id(next_id++);
+      t.set_object_id(object_base + t.object_id());
+      dataset.Add(std::move(t));
+    }
+    object_base += static_cast<int64_t>(options.num_users);
+  }
+  WCOP_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
 void AssignUniformRequirements(Dataset* dataset, int k_min, int k_max,
                                double delta_min, double delta_max, Rng* rng) {
   for (Trajectory& t : dataset->mutable_trajectories()) {

@@ -62,6 +62,18 @@ struct SyntheticOptions {
 /// trajectories, non-positive interval, fewer than two hubs, ...).
 Result<Dataset> GenerateSyntheticGeoLife(const SyntheticOptions& options);
 
+/// Generates `tiles` independent synthetic cities laid out on a square
+/// grid with `tile_spacing` metres between tile origins, each a
+/// GenerateSyntheticGeoLife run with its own derived seed and
+/// `options.num_trajectories` trajectories (ids and object ids are
+/// renumbered globally). With a spacing comfortably above the anonymizers'
+/// distance tolerances the tiles are genuinely independent — the shape of
+/// real multi-region corpora, and the input that makes the sharded
+/// pipeline (store/shard_runner.h) partition into more than one shard.
+Result<Dataset> GenerateTiledSyntheticGeoLife(const SyntheticOptions& options,
+                                              size_t tiles,
+                                              double tile_spacing);
+
 /// Assigns each trajectory an independent uniform requirement
 /// k ~ U{k_min..k_max}, delta ~ U[delta_min, delta_max] — the distribution
 /// of the paper's experiments (Section 6.2: k in [2,100], delta in

@@ -1,0 +1,360 @@
+#include "store/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <map>
+#include <utility>
+
+namespace wcop {
+namespace store {
+
+namespace {
+
+struct Cell {
+  // Geometric cell box (split domain) — distinct from `occupied`, the
+  // union of member MBRs, which is what the margin tests use: a member's
+  // MBR routinely extends far beyond the cell its centroid hashed into.
+  double box_min_x = 0.0, box_min_y = 0.0, box_max_x = 0.0, box_max_y = 0.0;
+  std::vector<size_t> members;  // ascending source positions
+  int depth = 0;
+};
+
+struct Component {
+  std::vector<size_t> members;  // ascending source positions
+  BoundingBox occupied;
+  int max_k = 0;
+  double max_delta = 0.0;
+  uint64_t total_points = 0;
+};
+
+BoundingBox EntryBox(const StoreEntry& e) {
+  return BoundingBox(e.min_x, e.min_y, e.max_x, e.max_y);
+}
+
+void AbsorbEntry(Component* c, const StoreEntry& e) {
+  c->occupied.Extend(EntryBox(e));
+  c->max_k = std::max(c->max_k, static_cast<int>(e.k));
+  c->max_delta = std::max(c->max_delta, e.delta);
+  c->total_points += e.num_points;
+}
+
+// Merges two ascending position lists into one ascending list.
+std::vector<size_t> MergeSorted(const std::vector<size_t>& a,
+                                const std::vector<size_t>& b) {
+  std::vector<size_t> out;
+  out.reserve(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(),
+             std::back_inserter(out));
+  return out;
+}
+
+size_t Find(std::vector<size_t>* parent, size_t i) {
+  while ((*parent)[i] != i) {
+    (*parent)[i] = (*parent)[(*parent)[i]];
+    i = (*parent)[i];
+  }
+  return i;
+}
+
+}  // namespace
+
+double BoxGap(const BoundingBox& a, const BoundingBox& b) {
+  const double dx =
+      std::max({0.0, a.min_x() - b.max_x(), b.min_x() - a.max_x()});
+  const double dy =
+      std::max({0.0, a.min_y() - b.max_y(), b.min_y() - a.max_y()});
+  return std::hypot(dx, dy);
+}
+
+Result<Partition> PartitionStoreIndex(const std::vector<StoreEntry>& index,
+                                      const PartitionOptions& options) {
+  if (index.empty()) {
+    return Status::InvalidArgument("cannot partition an empty store");
+  }
+  if (options.overlap_margin < 0.0 ||
+      !std::isfinite(options.overlap_margin)) {
+    return Status::InvalidArgument("overlap margin must be finite and >= 0");
+  }
+  const size_t n = index.size();
+
+  Partition partition;
+  double max_delta = 0.0;
+  for (const StoreEntry& e : index) {
+    max_delta = std::max(max_delta, e.delta);
+  }
+  partition.margin = std::max(options.overlap_margin, max_delta);
+  const double margin = partition.margin;
+
+  size_t target = options.target_shard_size;
+  if (options.num_shards > 0) {
+    target = (n + options.num_shards - 1) / options.num_shards;
+  }
+
+  auto single_shard = [&]() {
+    ShardSpec shard;
+    shard.shard_index = 0;
+    shard.members.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      shard.members[i] = i;
+      shard.bounds.Extend(EntryBox(index[i]));
+      shard.max_k = std::max(shard.max_k, static_cast<int>(index[i].k));
+      shard.max_delta = std::max(shard.max_delta, index[i].delta);
+      shard.total_points += index[i].num_points;
+    }
+    partition.shards.push_back(std::move(shard));
+    partition.grid_cells = 1;
+    return partition;
+  };
+  if (target == 0 || target >= n || options.num_shards == 1) {
+    return single_shard();
+  }
+
+  const size_t max_size =
+      options.max_shard_size > 0 ? options.max_shard_size : 2 * target;
+  const size_t min_size = options.min_shard_size > 0
+                              ? options.min_shard_size
+                              : std::max<size_t>(2, target / 8);
+
+  // --- Initial uniform grid over MBR centroids -------------------------
+  BoundingBox region;
+  std::vector<Point> centroids(n);
+  for (size_t i = 0; i < n; ++i) {
+    centroids[i] = Point{(index[i].min_x + index[i].max_x) / 2.0,
+                         (index[i].min_y + index[i].max_y) / 2.0, 0.0};
+    region.Extend(centroids[i]);
+  }
+  const double span_x = region.max_x() - region.min_x();
+  const double span_y = region.max_y() - region.min_y();
+  const size_t cells_wanted = (n + target - 1) / target;
+  const double grid_dim =
+      std::ceil(std::sqrt(static_cast<double>(cells_wanted)));
+  double edge = std::max(span_x, span_y) / std::max(1.0, grid_dim);
+  edge = std::max({edge, 2.0 * margin, 1e-9});
+  const size_t cols =
+      static_cast<size_t>(std::floor(span_x / edge)) + 1;
+  const size_t rows =
+      static_cast<size_t>(std::floor(span_y / edge)) + 1;
+
+  std::map<std::pair<size_t, size_t>, Cell> grid;
+  for (size_t i = 0; i < n; ++i) {
+    size_t cx = static_cast<size_t>(
+        std::floor((centroids[i].x - region.min_x()) / edge));
+    size_t cy = static_cast<size_t>(
+        std::floor((centroids[i].y - region.min_y()) / edge));
+    cx = std::min(cx, cols - 1);
+    cy = std::min(cy, rows - 1);
+    Cell& cell = grid[{cx, cy}];
+    if (cell.members.empty()) {
+      cell.box_min_x = region.min_x() + static_cast<double>(cx) * edge;
+      cell.box_min_y = region.min_y() + static_cast<double>(cy) * edge;
+      cell.box_max_x = cell.box_min_x + edge;
+      cell.box_max_y = cell.box_min_y + edge;
+    }
+    cell.members.push_back(i);  // ascending because i is
+  }
+
+  // --- Recursive split of oversized cells ------------------------------
+  // A cell splits while it is oversized and at least one axis is still
+  // wider than 2*margin (below that, children could separate pairs the
+  // margin invariant must keep together). Depth-capped as a backstop for
+  // pathological coincident centroids with margin ~ 0.
+  constexpr int kMaxSplitDepth = 48;
+  std::vector<Cell> work;
+  work.reserve(grid.size());
+  for (auto& [key, cell] : grid) {
+    (void)key;
+    work.push_back(std::move(cell));
+  }
+  std::vector<Cell> leaves;
+  while (!work.empty()) {
+    Cell cell = std::move(work.back());
+    work.pop_back();
+    const double w = cell.box_max_x - cell.box_min_x;
+    const double h = cell.box_max_y - cell.box_min_y;
+    const bool split_x = w > 2.0 * margin && w > 1e-9;
+    const bool split_y = h > 2.0 * margin && h > 1e-9;
+    if (cell.members.size() <= max_size || (!split_x && !split_y) ||
+        cell.depth >= kMaxSplitDepth) {
+      leaves.push_back(std::move(cell));
+      continue;
+    }
+    ++partition.cells_split;
+    const double mid_x = (cell.box_min_x + cell.box_max_x) / 2.0;
+    const double mid_y = (cell.box_min_y + cell.box_max_y) / 2.0;
+    Cell children[4];
+    for (int c = 0; c < 4; ++c) {
+      const bool hi_x = (c & 1) != 0;
+      const bool hi_y = (c & 2) != 0;
+      children[c].box_min_x =
+          split_x && hi_x ? mid_x : cell.box_min_x;
+      children[c].box_max_x =
+          split_x && !hi_x ? mid_x : cell.box_max_x;
+      children[c].box_min_y =
+          split_y && hi_y ? mid_y : cell.box_min_y;
+      children[c].box_max_y =
+          split_y && !hi_y ? mid_y : cell.box_max_y;
+      children[c].depth = cell.depth + 1;
+    }
+    for (size_t pos : cell.members) {
+      const int cx = split_x && centroids[pos].x >= mid_x ? 1 : 0;
+      const int cy = split_y && centroids[pos].y >= mid_y ? 2 : 0;
+      children[cx + cy].members.push_back(pos);
+    }
+    // Even a child that inherited every member goes back on the work list:
+    // its box halved, so the recursion still terminates (depth cap aside).
+    for (int c = 0; c < 4; ++c) {
+      if (!children[c].members.empty()) {
+        work.push_back(std::move(children[c]));
+      }
+    }
+  }
+  // Deterministic leaf order regardless of split scheduling.
+  std::sort(leaves.begin(), leaves.end(), [](const Cell& a, const Cell& b) {
+    return a.members.front() < b.members.front();
+  });
+  partition.grid_cells = leaves.size();
+
+  // --- Margin-connected union of cells ---------------------------------
+  const size_t num_cells = leaves.size();
+  std::vector<BoundingBox> occupied(num_cells);
+  for (size_t c = 0; c < num_cells; ++c) {
+    for (size_t pos : leaves[c].members) {
+      occupied[c].Extend(EntryBox(index[pos]));
+    }
+  }
+  std::vector<size_t> parent(num_cells);
+  for (size_t c = 0; c < num_cells; ++c) {
+    parent[c] = c;
+  }
+  for (size_t a = 0; a < num_cells; ++a) {
+    for (size_t b = a + 1; b < num_cells; ++b) {
+      if (Find(&parent, a) == Find(&parent, b)) {
+        continue;
+      }
+      // Union-of-MBRs gap is a lower bound on every member-pair gap, so a
+      // far pair of cells needs no exact tests.
+      if (BoxGap(occupied[a], occupied[b]) > margin) {
+        continue;
+      }
+      bool connected = false;
+      for (size_t pa : leaves[a].members) {
+        const BoundingBox box_a = EntryBox(index[pa]);
+        for (size_t pb : leaves[b].members) {
+          if (BoxGap(box_a, EntryBox(index[pb])) <= margin) {
+            connected = true;
+            break;
+          }
+        }
+        if (connected) {
+          break;
+        }
+      }
+      if (connected) {
+        // Root toward the smaller first-member cell for determinism.
+        const size_t ra = Find(&parent, a);
+        const size_t rb = Find(&parent, b);
+        parent[std::max(ra, rb)] = std::min(ra, rb);
+      }
+    }
+  }
+
+  std::map<size_t, Component> by_root;
+  for (size_t c = 0; c < num_cells; ++c) {
+    Component& comp = by_root[Find(&parent, c)];
+    comp.members = MergeSorted(comp.members, leaves[c].members);
+    for (size_t pos : leaves[c].members) {
+      AbsorbEntry(&comp, index[pos]);
+    }
+  }
+  std::vector<Component> components;
+  components.reserve(by_root.size());
+  for (auto& [root, comp] : by_root) {
+    (void)root;
+    components.push_back(std::move(comp));
+  }
+  std::sort(components.begin(), components.end(),
+            [](const Component& a, const Component& b) {
+              return a.members.front() < b.members.front();
+            });
+
+  // --- Merge undersized components -------------------------------------
+  // A shard must be able to satisfy its own members' strictest k (a k=5
+  // trajectory alone in a 3-member shard is unsatisfiable by construction),
+  // so any component below max(min_size, its max k) folds into the nearest
+  // surviving component, smallest first.
+  auto required_min = [&](const Component& c) {
+    return std::max<size_t>(min_size, static_cast<size_t>(c.max_k));
+  };
+  while (components.size() > 1) {
+    size_t victim = components.size();
+    for (size_t i = 0; i < components.size(); ++i) {
+      if (components[i].members.size() >= required_min(components[i])) {
+        continue;
+      }
+      if (victim == components.size() ||
+          components[i].members.size() <
+              components[victim].members.size() ||
+          (components[i].members.size() ==
+               components[victim].members.size() &&
+           components[i].members.front() <
+               components[victim].members.front())) {
+        victim = i;
+      }
+    }
+    if (victim == components.size()) {
+      break;
+    }
+    size_t nearest = components.size();
+    double best_gap = 0.0;
+    for (size_t i = 0; i < components.size(); ++i) {
+      if (i == victim) {
+        continue;
+      }
+      const double gap =
+          BoxGap(components[victim].occupied, components[i].occupied);
+      if (nearest == components.size() || gap < best_gap ||
+          (gap == best_gap && components[i].members.front() <
+                                  components[nearest].members.front())) {
+        nearest = i;
+        best_gap = gap;
+      }
+    }
+    Component merged;
+    merged.members = MergeSorted(components[victim].members,
+                                 components[nearest].members);
+    merged.occupied = components[victim].occupied;
+    merged.occupied.Extend(components[nearest].occupied);
+    merged.max_k =
+        std::max(components[victim].max_k, components[nearest].max_k);
+    merged.max_delta =
+        std::max(components[victim].max_delta, components[nearest].max_delta);
+    merged.total_points = components[victim].total_points +
+                          components[nearest].total_points;
+    const size_t lo = std::min(victim, nearest);
+    const size_t hi = std::max(victim, nearest);
+    components.erase(components.begin() + hi);
+    components[lo] = std::move(merged);
+    std::sort(components.begin(), components.end(),
+              [](const Component& a, const Component& b) {
+                return a.members.front() < b.members.front();
+              });
+    ++partition.components_merged;
+  }
+
+  partition.shards.reserve(components.size());
+  for (size_t i = 0; i < components.size(); ++i) {
+    ShardSpec shard;
+    shard.shard_index = i;
+    shard.members = std::move(components[i].members);
+    shard.bounds = components[i].occupied;
+    shard.max_k = components[i].max_k;
+    shard.max_delta = components[i].max_delta;
+    shard.total_points = components[i].total_points;
+    partition.shards.push_back(std::move(shard));
+  }
+  return partition;
+}
+
+}  // namespace store
+}  // namespace wcop

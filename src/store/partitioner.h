@@ -1,0 +1,96 @@
+#ifndef WCOP_STORE_PARTITIONER_H_
+#define WCOP_STORE_PARTITIONER_H_
+
+/// Spatio-temporal partitioner over a store index: groups trajectories into
+/// shards that can be anonymized independently (DESIGN.md "Dataset store &
+/// sharding").
+///
+/// The partitioner works on `StoreEntry` metadata only (MBR, lifetime,
+/// (k, delta)) — never on the trajectories themselves — so partitioning a
+/// multi-gigabyte store costs memory proportional to the index.
+///
+/// Safety invariant: with margin m = max(options.overlap_margin, max delta_i
+/// in the index), any two trajectories whose MBR gap is <= m end up in the
+/// SAME shard. Every trajectory distance used by the pipeline (EDR with
+/// per-point matching tolerance <= delta) is bounded below by the MBR gap,
+/// so co-localization candidate pairs are never split across shards and a
+/// per-shard run publishes exactly what a monolithic run over that shard
+/// would. The price is honesty about dense data: one connected blob of
+/// trajectories within the margin is one shard, however large — out-of-core
+/// scaling comes from datasets whose regions (cities, districts, days) are
+/// separated by more than the margin, which is how large corpora are
+/// published (see Gramaglia et al.; Yu et al. in PAPERS.md).
+///
+/// Mechanics: centroids are hashed onto a uniform grid (cell edge >= 2m);
+/// oversized cells split recursively (quadtree) while they stay splittable;
+/// margin-connected cells are unioned (union-find over occupied boxes, then
+/// exact member-pair gap tests); components too small to satisfy their own
+/// members' max k merge into their nearest neighbour. Everything is
+/// deterministic: stable orderings, no RNG, no time.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "geo/bounding_box.h"
+#include "store/store_file.h"
+
+namespace wcop {
+namespace store {
+
+struct PartitionOptions {
+  /// Overlap margin in metres; raised to the index's max delta_i when
+  /// smaller (0 = auto). See the safety invariant above.
+  double overlap_margin = 0.0;
+
+  /// Aimed-for trajectories per shard. 0 = everything in one shard.
+  size_t target_shard_size = 4096;
+
+  /// Hard split threshold; cells above it split recursively while their
+  /// edge stays above 2*margin. 0 = 2 * target_shard_size.
+  size_t max_shard_size = 0;
+
+  /// Components below max(min_shard_size, own max k) merge into their
+  /// nearest neighbour. 0 = max(2, target_shard_size / 8).
+  size_t min_shard_size = 0;
+
+  /// Convenience: when > 0, overrides target_shard_size with
+  /// ceil(n / num_shards). num_shards == 1 is the degenerate single-shard
+  /// partition whose pipeline output is byte-identical to the monolithic
+  /// path.
+  size_t num_shards = 0;
+};
+
+/// One shard: positions into the source store index, in source order (the
+/// pipeline depends on that order for cross-thread determinism and for the
+/// single-shard byte-identity guarantee).
+struct ShardSpec {
+  size_t shard_index = 0;
+  std::vector<size_t> members;  ///< positions in the source index, ascending
+  BoundingBox bounds;           ///< union of member MBRs
+  int max_k = 0;
+  double max_delta = 0.0;
+  uint64_t total_points = 0;
+};
+
+struct Partition {
+  std::vector<ShardSpec> shards;
+  double margin = 0.0;          ///< resolved overlap margin (metres)
+  size_t grid_cells = 0;        ///< leaf cells after splitting
+  size_t cells_split = 0;       ///< recursive splits performed
+  size_t components_merged = 0; ///< undersized-component merges
+};
+
+/// Euclidean gap between two axis-aligned boxes (0 when they intersect).
+/// The lower bound that backs the partitioner's safety invariant.
+double BoxGap(const BoundingBox& a, const BoundingBox& b);
+
+/// Partitions `index` (the reader's index() vector). kInvalidArgument on an
+/// empty index or a negative margin.
+Result<Partition> PartitionStoreIndex(const std::vector<StoreEntry>& index,
+                                      const PartitionOptions& options);
+
+}  // namespace store
+}  // namespace wcop
+
+#endif  // WCOP_STORE_PARTITIONER_H_

@@ -1,0 +1,101 @@
+#ifndef WCOP_STORE_SHARD_RUNNER_H_
+#define WCOP_STORE_SHARD_RUNNER_H_
+
+/// Sharded anonymization pipeline: partition a trajectory store, anonymize
+/// every shard independently with WCOP-CT, audit each shard with the
+/// verifier, and merge the published outputs and reports (DESIGN.md
+/// "Dataset store & sharding").
+///
+/// Memory stays bounded by the largest shard plus the merged output; with
+/// `stream_output_store` set, the merged output streams to disk too and
+/// peak memory is just the largest shard — the out-of-core path the
+/// shard_scaling bench exercises at 500k+ trajectories.
+///
+/// Determinism: shards are derived from the store index deterministically
+/// (see partitioner.h), each shard preserves source order, per-shard runs
+/// are deterministic in `wcop.threads` (PR 4's guarantee), and the merge
+/// concatenates in shard order — so the published bytes and the merged
+/// report (minus timings) are identical across thread counts, and a
+/// single-shard run is byte-identical to the monolithic driver.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "anon/types.h"
+#include "anon/verifier.h"
+#include "common/result.h"
+#include "store/partitioner.h"
+#include "store/store_file.h"
+
+namespace wcop {
+namespace store {
+
+struct ShardRunOptions {
+  /// Base driver options. Per-shard copies get their own RunContext slice
+  /// (parent deadline + cancellation token shared, resource budget divided
+  /// evenly) and their own telemetry sink when `wcop.telemetry` is set.
+  WcopOptions wcop;
+
+  PartitionOptions partition;
+
+  /// Directory for the per-shard store files (created if missing).
+  /// Empty = derive `<source>.shards/` next to the source store.
+  std::string shard_dir;
+
+  /// Audit every shard's output against its input (VerifyAnonymity).
+  bool verify_shards = true;
+
+  /// Keep the per-shard store files after the run (default: removed).
+  bool keep_shard_stores = false;
+
+  /// When non-empty, each completed shard persists a checkpoint
+  /// (`shard_NNNN.ckpt`, snapshot envelope) and a re-run with the same
+  /// inputs and options resumes past it instead of re-anonymizing.
+  std::string checkpoint_dir;
+
+  /// Concurrent shards (scheduled over wcop::parallel). Values > 1 force
+  /// the per-shard `wcop.threads` to 1 so the two parallelism layers do
+  /// not oversubscribe. Output is identical for every value.
+  int shard_parallelism = 1;
+
+  /// When non-empty, published trajectories stream to this store file in
+  /// shard order instead of accumulating in `merged.sanitized` (which then
+  /// stays empty). Requires shard_parallelism == 1.
+  std::string stream_output_store;
+};
+
+/// Per-shard outcome retained by the merge.
+struct ShardOutcome {
+  size_t shard_index = 0;
+  size_t input_trajectories = 0;
+  AnonymizationReport report;
+  VerificationReport verification;
+  bool from_checkpoint = false;  ///< restored, not recomputed
+};
+
+struct ShardedRunResult {
+  /// Concatenated published outputs + summed report. Cluster member
+  /// indices are remapped to positions in the concatenated input order of
+  /// all shards. `sanitized` is empty when `stream_output_store` is set.
+  AnonymizationResult merged;
+  Partition partition;
+  std::vector<ShardOutcome> shards;
+  bool all_verified = true;   ///< every shard audit passed (or audits off)
+  size_t resumed_shards = 0;  ///< restored from checkpoints
+};
+
+/// Runs the full pipeline over `source`. The source store must validate
+/// (Open() succeeded); shard stores are written under `shard_dir`.
+Result<ShardedRunResult> RunShardedWcopCt(const TrajectoryStoreReader& source,
+                                          const ShardRunOptions& options);
+
+/// Merges `b` into `a` the way the shard merger does: totals summed,
+/// averages recomputed from the summed totals, omega / rounds / radius
+/// maxed, degraded flags OR-ed, metrics counters summed. Exposed for tests.
+void MergeReportInto(AnonymizationReport* a, const AnonymizationReport& b);
+
+}  // namespace store
+}  // namespace wcop
+
+#endif  // WCOP_STORE_SHARD_RUNNER_H_

@@ -1,0 +1,259 @@
+#include "store/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/bounding_box.h"
+#include "geo/point.h"
+
+namespace wcop {
+namespace store {
+namespace {
+
+// Index-only tests: the partitioner never touches trajectory blocks, so the
+// fixtures are hand-built StoreEntry vectors.
+StoreEntry Entry(int64_t id, double x, double y, double half = 50.0,
+                 int k = 2, double delta = 100.0) {
+  StoreEntry e;
+  e.id = id;
+  e.num_points = 10;
+  e.k = k;
+  e.delta = delta;
+  e.min_x = x - half;
+  e.max_x = x + half;
+  e.min_y = y - half;
+  e.max_y = y + half;
+  e.t_min = 0.0;
+  e.t_max = 100.0;
+  return e;
+}
+
+BoundingBox EntryBox(const StoreEntry& e) {
+  BoundingBox box;
+  box.Extend(Point(e.min_x, e.min_y, e.t_min));
+  box.Extend(Point(e.max_x, e.max_y, e.t_max));
+  return box;
+}
+
+// Maps every source position to the shard that owns it; fails the test on
+// dropped or duplicated members.
+std::vector<size_t> OwnerOf(const Partition& partition, size_t n) {
+  std::vector<size_t> owner(n, static_cast<size_t>(-1));
+  for (const ShardSpec& shard : partition.shards) {
+    for (size_t member : shard.members) {
+      EXPECT_LT(member, n);
+      EXPECT_EQ(owner[member], static_cast<size_t>(-1))
+          << "member " << member << " assigned twice";
+      owner[member] = shard.shard_index;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_NE(owner[i], static_cast<size_t>(-1)) << "member " << i
+                                                 << " dropped";
+  }
+  return owner;
+}
+
+TEST(PartitionerTest, EmptyIndexIsInvalid) {
+  EXPECT_EQ(PartitionStoreIndex({}, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  PartitionOptions negative;
+  negative.overlap_margin = -1.0;
+  EXPECT_EQ(PartitionStoreIndex({Entry(0, 0, 0)}, negative).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PartitionerTest, SingleShardIsSourceOrder) {
+  std::vector<StoreEntry> index;
+  for (int i = 0; i < 20; ++i) {
+    index.push_back(Entry(i, 100000.0 * i, 0.0));
+  }
+  PartitionOptions options;
+  options.num_shards = 1;
+  Result<Partition> p = PartitionStoreIndex(index, options);
+  ASSERT_TRUE(p.ok()) << p.status();
+  ASSERT_EQ(p->shards.size(), 1u);
+  const ShardSpec& shard = p->shards[0];
+  ASSERT_EQ(shard.members.size(), index.size());
+  for (size_t i = 0; i < index.size(); ++i) {
+    // Exactly 0..n-1 in order — the byte-identity guarantee rides on this.
+    EXPECT_EQ(shard.members[i], i);
+  }
+}
+
+// The safety invariant: any pair within the margin shares a shard. Scatter
+// clusters of near-identical trajectories across a wide area with a small
+// target shard size, then check every close pair.
+TEST(PartitionerTest, PairsWithinMarginShareAShard) {
+  std::vector<StoreEntry> index;
+  Rng rng(13);
+  int64_t id = 0;
+  for (int cluster = 0; cluster < 12; ++cluster) {
+    const double cx = rng.UniformReal(0.0, 500000.0);
+    const double cy = rng.UniformReal(0.0, 500000.0);
+    const int size = 2 + static_cast<int>(rng.UniformInt(0, 5));
+    for (int i = 0; i < size; ++i) {
+      // Members sit within ~150 m of the cluster centre; delta is 200, so
+      // their pairwise MBR gaps are far below the resolved margin.
+      index.push_back(Entry(id++, cx + rng.UniformReal(-150.0, 150.0),
+                            cy + rng.UniformReal(-150.0, 150.0),
+                            /*half=*/40.0, /*k=*/2, /*delta=*/200.0));
+    }
+  }
+  PartitionOptions options;
+  options.target_shard_size = 4;  // pressure toward many shards
+  options.min_shard_size = 2;
+  Result<Partition> p = PartitionStoreIndex(index, options);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_GT(p->shards.size(), 1u);
+  EXPECT_GE(p->margin, 200.0);
+
+  const std::vector<size_t> owner = OwnerOf(*p, index.size());
+  for (size_t a = 0; a < index.size(); ++a) {
+    for (size_t b = a + 1; b < index.size(); ++b) {
+      const double gap = BoxGap(EntryBox(index[a]), EntryBox(index[b]));
+      if (gap <= p->margin) {
+        EXPECT_EQ(owner[a], owner[b])
+            << "pair (" << a << ", " << b << ") with gap " << gap
+            << " <= margin " << p->margin << " split across shards";
+      }
+    }
+  }
+}
+
+TEST(PartitionerTest, OversizedCellSplitsRecursively) {
+  // 256 well-separated trajectories with a coarse initial grid (large
+  // target, small max): whole grid cells land far over max_shard_size and
+  // the quadtree split must break them up (10 km spacing >> 2 * margin).
+  std::vector<StoreEntry> index;
+  int64_t id = 0;
+  for (int gx = 0; gx < 16; ++gx) {
+    for (int gy = 0; gy < 16; ++gy) {
+      index.push_back(Entry(id++, 10000.0 * gx, 10000.0 * gy, /*half=*/20.0,
+                            /*k=*/2, /*delta=*/50.0));
+    }
+  }
+  PartitionOptions options;
+  options.target_shard_size = 64;  // grid_dim 2: cells start with ~64 each
+  options.max_shard_size = 16;
+  options.min_shard_size = 2;
+  Result<Partition> p = PartitionStoreIndex(index, options);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_GT(p->cells_split, 0u);
+  EXPECT_GT(p->shards.size(), 4u);
+  OwnerOf(*p, index.size());
+  // No shard should remain wildly oversized: splitting is possible down to
+  // single cells here, so the max-size bound holds up to margin-merging.
+  for (const ShardSpec& shard : p->shards) {
+    EXPECT_LE(shard.members.size(), 16u * 4u) << shard.shard_index;
+  }
+}
+
+TEST(PartitionerTest, UndersizedComponentMergesIntoNearest) {
+  // Three clumps: a big one at x=0, a tiny one (2 members, k=5) at x=200km
+  // (its own grid cell), and a big one at x=500km. The tiny clump cannot
+  // satisfy k=5 alone and must merge into the *nearest* neighbour (x=0).
+  std::vector<StoreEntry> index;
+  int64_t id = 0;
+  for (int i = 0; i < 40; ++i) {
+    index.push_back(Entry(id++, 0.0 + 30.0 * i, 0.0, /*half=*/20.0,
+                          /*k=*/2, /*delta=*/100.0));
+  }
+  const size_t tiny_first = index.size();
+  index.push_back(Entry(id++, 200000.0, 0.0, 20.0, /*k=*/5, 100.0));
+  index.push_back(Entry(id++, 200050.0, 0.0, 20.0, /*k=*/5, 100.0));
+  const size_t far_first = index.size();
+  for (int i = 0; i < 40; ++i) {
+    index.push_back(Entry(id++, 500000.0 + 30.0 * i, 0.0, /*half=*/20.0,
+                          /*k=*/2, /*delta=*/100.0));
+  }
+  PartitionOptions options;
+  options.target_shard_size = 20;  // grid_dim 3: the tiny clump is alone
+  options.max_shard_size = 64;     // but the big clumps must not split
+  options.min_shard_size = 2;      // k=5 still forces the merge
+  Result<Partition> p = PartitionStoreIndex(index, options);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_GT(p->components_merged, 0u);
+  const std::vector<size_t> owner = OwnerOf(*p, index.size());
+  EXPECT_EQ(owner[tiny_first], owner[tiny_first + 1]);
+  EXPECT_EQ(owner[tiny_first], owner[0]) << "merged away from nearest";
+  EXPECT_NE(owner[tiny_first], owner[far_first]);
+  // Every shard can satisfy its own members' max k.
+  for (const ShardSpec& shard : p->shards) {
+    EXPECT_GE(shard.members.size(),
+              static_cast<size_t>(shard.max_k)) << shard.shard_index;
+  }
+}
+
+TEST(PartitionerTest, MembersStayInSourceOrderAndMetadataIsExact) {
+  std::vector<StoreEntry> index;
+  for (int i = 0; i < 30; ++i) {
+    index.push_back(Entry(i, 200000.0 * (i % 3), 0.0, 50.0, 2 + (i % 3),
+                          50.0 + i));
+  }
+  PartitionOptions options;
+  options.target_shard_size = 10;
+  options.min_shard_size = 2;
+  Result<Partition> p = PartitionStoreIndex(index, options);
+  ASSERT_TRUE(p.ok()) << p.status();
+  OwnerOf(*p, index.size());
+  for (const ShardSpec& shard : p->shards) {
+    EXPECT_TRUE(std::is_sorted(shard.members.begin(), shard.members.end()));
+    int max_k = 0;
+    double max_delta = 0.0;
+    uint64_t points = 0;
+    for (size_t m : shard.members) {
+      max_k = std::max(max_k, static_cast<int>(index[m].k));
+      max_delta = std::max(max_delta, index[m].delta);
+      points += index[m].num_points;
+    }
+    EXPECT_EQ(shard.max_k, max_k);
+    EXPECT_EQ(shard.max_delta, max_delta);
+    EXPECT_EQ(shard.total_points, points);
+  }
+}
+
+TEST(PartitionerTest, DeterministicAcrossCalls) {
+  std::vector<StoreEntry> index;
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    index.push_back(Entry(i, rng.UniformReal(0.0, 300000.0),
+                          rng.UniformReal(0.0, 300000.0), 40.0,
+                          2 + static_cast<int>(rng.UniformInt(0, 4)),
+                          rng.UniformReal(20.0, 300.0)));
+  }
+  PartitionOptions options;
+  options.target_shard_size = 16;
+  Result<Partition> a = PartitionStoreIndex(index, options);
+  Result<Partition> b = PartitionStoreIndex(index, options);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->shards.size(), b->shards.size());
+  for (size_t i = 0; i < a->shards.size(); ++i) {
+    EXPECT_EQ(a->shards[i].members, b->shards[i].members);
+  }
+  EXPECT_EQ(a->margin, b->margin);
+  EXPECT_EQ(a->grid_cells, b->grid_cells);
+}
+
+TEST(PartitionerTest, BoxGapBasics) {
+  BoundingBox a;
+  a.Extend(Point(0.0, 0.0, 0.0));
+  a.Extend(Point(10.0, 10.0, 0.0));
+  BoundingBox b;
+  b.Extend(Point(5.0, 5.0, 0.0));
+  b.Extend(Point(20.0, 20.0, 0.0));
+  EXPECT_EQ(BoxGap(a, b), 0.0);  // overlapping
+  BoundingBox c;
+  c.Extend(Point(13.0, 14.0, 0.0));
+  c.Extend(Point(30.0, 30.0, 0.0));
+  EXPECT_DOUBLE_EQ(BoxGap(a, c), 5.0);  // 3-4-5 corner gap
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace wcop

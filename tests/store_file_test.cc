@@ -1,0 +1,278 @@
+#include "store/store_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "data/store_convert.h"
+#include "test_util.h"
+#include "traj/io.h"
+
+namespace wcop {
+namespace store {
+namespace {
+
+using testing_util::MakeLineWithReq;
+using testing_util::SmallSynthetic;
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << bytes;
+  ASSERT_TRUE(out.good());
+}
+
+void ExpectBitExact(const Trajectory& a, const Trajectory& b) {
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a.object_id(), b.object_id());
+  EXPECT_EQ(a.parent_id(), b.parent_id());
+  EXPECT_EQ(a.requirement().k, b.requirement().k);
+  // Bitwise equality throughout: the %.17g text round-trip must be lossless.
+  EXPECT_EQ(a.requirement().delta, b.requirement().delta);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.points()[i].x, b.points()[i].x) << "point " << i;
+    EXPECT_EQ(a.points()[i].y, b.points()[i].y) << "point " << i;
+    EXPECT_EQ(a.points()[i].t, b.points()[i].t) << "point " << i;
+  }
+}
+
+TEST(StoreFileTest, RoundTripIsBitExact) {
+  const Dataset dataset = SmallSynthetic(24, 40);
+  const std::string path = TempPath("store_roundtrip.wst");
+  ASSERT_TRUE(WriteDatasetStore(dataset, path).ok());
+
+  Result<TrajectoryStoreReader> reader = TrajectoryStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_EQ(reader->size(), dataset.size());
+  EXPECT_EQ(reader->total_points(), dataset.TotalPoints());
+
+  Result<Dataset> back = reader->ReadAll();
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), dataset.size());
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    ExpectBitExact(dataset[i], (*back)[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(StoreFileTest, IndexCarriesPartitionerMetadata) {
+  Dataset dataset;
+  dataset.Add(MakeLineWithReq(7, 100.0, 200.0, 5.0, -3.0, /*n=*/20,
+                              /*k=*/4, /*delta=*/123.5, /*dt=*/2.0,
+                              /*t0=*/50.0));
+  const std::string path = TempPath("store_meta.wst");
+  ASSERT_TRUE(WriteDatasetStore(dataset, path).ok());
+
+  Result<TrajectoryStoreReader> reader = TrajectoryStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_EQ(reader->index().size(), 1u);
+  const StoreEntry& e = reader->index()[0];
+  const BoundingBox bounds = dataset[0].Bounds();
+  EXPECT_EQ(e.id, 7);
+  EXPECT_EQ(e.num_points, 20u);
+  EXPECT_EQ(e.k, 4);
+  EXPECT_EQ(e.delta, 123.5);
+  EXPECT_EQ(e.min_x, bounds.min_x());
+  EXPECT_EQ(e.min_y, bounds.min_y());
+  EXPECT_EQ(e.max_x, bounds.max_x());
+  EXPECT_EQ(e.max_y, bounds.max_y());
+  EXPECT_EQ(e.t_min, dataset[0].StartTime());
+  EXPECT_EQ(e.t_max, dataset[0].EndTime());
+  std::filesystem::remove(path);
+}
+
+TEST(StoreFileTest, ReadByIdAndNotFound) {
+  const Dataset dataset = SmallSynthetic(10, 12);
+  const std::string path = TempPath("store_by_id.wst");
+  ASSERT_TRUE(WriteDatasetStore(dataset, path).ok());
+
+  Result<TrajectoryStoreReader> reader = TrajectoryStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  const int64_t want = dataset[3].id();
+  Result<Trajectory> t = reader->ReadById(want);
+  ASSERT_TRUE(t.ok()) << t.status();
+  ExpectBitExact(dataset[3], *t);
+
+  Result<Trajectory> missing = reader->ReadById(-12345);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  std::filesystem::remove(path);
+}
+
+// CSV -> store -> CSV must reproduce the CSV byte-for-byte: the parsed
+// doubles are stored losslessly, so re-printing them %.6f gives back the
+// exact original text (coordinates, timestamps, and (k, delta) included).
+TEST(StoreFileTest, CsvStoreCsvRoundTripIsByteIdentical) {
+  const Dataset dataset = SmallSynthetic(16, 30);
+  const std::string csv_in = TempPath("store_rt_in.csv");
+  const std::string store_path = TempPath("store_rt.wst");
+  const std::string csv_out = TempPath("store_rt_out.csv");
+  ASSERT_TRUE(WriteDatasetCsv(dataset, csv_in).ok());
+
+  Result<StoreConvertStats> to_store = ConvertCsvToStore(csv_in, store_path);
+  ASSERT_TRUE(to_store.ok()) << to_store.status();
+  EXPECT_EQ(to_store->trajectories, dataset.size());
+  EXPECT_EQ(to_store->points, dataset.TotalPoints());
+
+  Result<StoreConvertStats> to_csv = ConvertStoreToCsv(store_path, csv_out);
+  ASSERT_TRUE(to_csv.ok()) << to_csv.status();
+  EXPECT_EQ(ReadFileBytes(csv_in), ReadFileBytes(csv_out));
+
+  std::filesystem::remove(csv_in);
+  std::filesystem::remove(store_path);
+  std::filesystem::remove(csv_out);
+}
+
+TEST(StoreFileTest, TruncationSurfacesDataLossNeverATornRead) {
+  const Dataset dataset = SmallSynthetic(8, 16);
+  const std::string path = TempPath("store_trunc.wst");
+  ASSERT_TRUE(WriteDatasetStore(dataset, path).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Cut the file at a spread of lengths: every truncation must be rejected
+  // at Open() (the index or footer is damaged) — never a partial dataset.
+  for (const double frac : {0.1, 0.5, 0.9, 0.99}) {
+    const size_t cut = static_cast<size_t>(bytes.size() * frac);
+    WriteFileBytes(path, bytes.substr(0, cut));
+    Result<TrajectoryStoreReader> reader = TrajectoryStoreReader::Open(path);
+    ASSERT_FALSE(reader.ok()) << "cut at " << cut;
+    EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss)
+        << reader.status();
+  }
+  // Dropping only the final footer byte must fail too.
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 1));
+  EXPECT_EQ(TrajectoryStoreReader::Open(path).status().code(),
+            StatusCode::kDataLoss);
+  std::filesystem::remove(path);
+}
+
+TEST(StoreFileTest, BitFlipInBlockIsIsolatedDataLoss) {
+  const Dataset dataset = SmallSynthetic(6, 16);
+  const std::string path = TempPath("store_flip.wst");
+  ASSERT_TRUE(WriteDatasetStore(dataset, path).ok());
+
+  Result<TrajectoryStoreReader> clean = TrajectoryStoreReader::Open(path);
+  ASSERT_TRUE(clean.ok()) << clean.status();
+  // Flip one bit in the middle of trajectory 2's payload.
+  const StoreEntry victim = clean->index()[2];
+  std::string bytes = ReadFileBytes(path);
+  bytes[victim.offset + victim.block_size / 2] ^= 0x10;
+  WriteFileBytes(path, bytes);
+
+  Result<TrajectoryStoreReader> reader = TrajectoryStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();  // index is intact
+  Result<Trajectory> damaged = reader->Read(2);
+  ASSERT_FALSE(damaged.ok());
+  EXPECT_EQ(damaged.status().code(), StatusCode::kDataLoss);
+  // Undamaged blocks stay readable and exact.
+  for (const size_t i : {size_t{0}, size_t{1}, size_t{3}, size_t{5}}) {
+    Result<Trajectory> t = reader->Read(i);
+    ASSERT_TRUE(t.ok()) << t.status();
+    ExpectBitExact(dataset[i], *t);
+  }
+  // ReadAll must refuse the damaged store rather than return a torn subset.
+  EXPECT_EQ(reader->ReadAll().status().code(), StatusCode::kDataLoss);
+  std::filesystem::remove(path);
+}
+
+TEST(StoreFileTest, BitFlipInIndexRejectsAtOpen) {
+  const Dataset dataset = SmallSynthetic(6, 16);
+  const std::string path = TempPath("store_flip_idx.wst");
+  ASSERT_TRUE(WriteDatasetStore(dataset, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // The index sits between the last block and the 16-byte footer; flip a
+  // byte 40 bytes before the footer (inside some index entry).
+  bytes[bytes.size() - 16 - 40] ^= 0x04;
+  WriteFileBytes(path, bytes);
+  Result<TrajectoryStoreReader> reader = TrajectoryStoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kDataLoss) << reader.status();
+  std::filesystem::remove(path);
+}
+
+TEST(StoreFileTest, UnsupportedVersionIsRejected) {
+  const Dataset dataset = SmallSynthetic(4, 10);
+  const std::string path = TempPath("store_version.wst");
+  ASSERT_TRUE(WriteDatasetStore(dataset, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[8] = 99;  // format version lives at [8..12), little-endian
+  WriteFileBytes(path, bytes);
+  Result<TrajectoryStoreReader> reader = TrajectoryStoreReader::Open(path);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
+  std::filesystem::remove(path);
+}
+
+TEST(StoreFileTest, WriterFailpointsPropagateAndLeaveNoStore) {
+  const Dataset dataset = SmallSynthetic(4, 10);
+  const std::string path = TempPath("store_failpoint.wst");
+  for (const char* site : {"store.create", "store.write_block",
+                           "store.write_index", "store.fsync",
+                           "store.rename"}) {
+    ScopedFailpoint fp(site, Status::IoError("injected"));
+    Status s = WriteDatasetStore(dataset, path);
+    ASSERT_FALSE(s.ok()) << site;
+    EXPECT_EQ(s.code(), StatusCode::kIoError) << site;
+    // A failed write never leaves a (partial) store at the target path.
+    EXPECT_FALSE(std::filesystem::exists(path)) << site;
+    EXPECT_FALSE(std::filesystem::exists(path + ".tmp")) << site;
+  }
+  // Disarmed, the same write succeeds.
+  ASSERT_TRUE(WriteDatasetStore(dataset, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(StoreFileTest, ReaderFailpointsPropagate) {
+  const Dataset dataset = SmallSynthetic(4, 10);
+  const std::string path = TempPath("store_failpoint_rd.wst");
+  ASSERT_TRUE(WriteDatasetStore(dataset, path).ok());
+  {
+    ScopedFailpoint fp("store.open", Status::IoError("injected"));
+    EXPECT_EQ(TrajectoryStoreReader::Open(path).status().code(),
+              StatusCode::kIoError);
+  }
+  {
+    ScopedFailpoint fp("store.read_index", Status::DataLoss("injected"));
+    EXPECT_EQ(TrajectoryStoreReader::Open(path).status().code(),
+              StatusCode::kDataLoss);
+  }
+  Result<TrajectoryStoreReader> reader = TrajectoryStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  {
+    ScopedFailpoint fp("store.read_block", Status::DataLoss("injected"));
+    EXPECT_EQ(reader->Read(0).status().code(), StatusCode::kDataLoss);
+  }
+  EXPECT_TRUE(reader->Read(0).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(StoreFileTest, EmptyAndMissingFiles) {
+  const std::string path = TempPath("store_empty.wst");
+  WriteFileBytes(path, "");
+  EXPECT_EQ(TrajectoryStoreReader::Open(path).status().code(),
+            StatusCode::kDataLoss);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(TrajectoryStoreReader::Open(path).ok());
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace wcop
