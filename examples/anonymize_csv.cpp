@@ -19,6 +19,8 @@
 #include "anon/report_json.h"
 #include "anon/wcop.h"
 #include "common/arg_parser.h"
+#include "common/run_context.h"
+#include "common/signals.h"
 #include "common/telemetry.h"
 #include "data/geolife_parser.h"
 #include "data/store_convert.h"
@@ -101,6 +103,12 @@ int main(int argc, char** argv) {
         "              [--shard-dir=DIR] [--margin=M] "
         "[--shard-checkpoints=DIR]\n"
         "              [--shard-parallelism=P]\n"
+        "              [--deadline-ms=N] [--allow-partial]  (graceful "
+        "degradation:\n"
+        "                stop at the deadline and publish the verified "
+        "part)\n"
+        "                SIGINT/SIGTERM also stop cooperatively: the final\n"
+        "                checkpoint is flushed so re-running resumes\n"
         "              [--synthetic-tiles=T --tile-spacing=200000]  "
         "(synthetic input\n"
         "                as T independent far-apart cities)");
@@ -175,6 +183,19 @@ int main(int argc, char** argv) {
   // summary even when no --trace-out / --metrics-out export is requested.
   options.telemetry = &telemetry;
 
+  // Cooperative shutdown: SIGINT/SIGTERM flip the cancellation token, the
+  // pipeline trips at its next yield point, flushes its final checkpoint
+  // (algo=b rounds / per-shard progress), and exits cleanly — a second
+  // signal force-kills. --deadline-ms bounds the run the same way.
+  RunContext run_context;
+  run_context.set_cancellation_token(InstallShutdownSignalHandlers());
+  const int64_t deadline_ms = args.GetInt("deadline-ms", 0);
+  if (deadline_ms > 0) {
+    run_context.set_deadline_after(std::chrono::milliseconds(deadline_ms));
+  }
+  options.run_context = &run_context;
+  options.allow_partial_results = args.GetBool("allow-partial", false);
+
   const int shards = static_cast<int>(args.GetInt("shards", 0));
   bool per_shard_audit = false;
   Dataset audited_input = dataset;
@@ -211,6 +232,11 @@ int main(int argc, char** argv) {
     Result<store::ShardedRunResult> r = RunShardedWcopCt(*reader, run);
     if (!r.ok()) {
       std::cerr << r.status() << "\n";
+      if (ShutdownSignalReceived()) {
+        std::cerr << "interrupted by signal " << LastShutdownSignal()
+                  << "; completed shards are checkpointed — re-run the "
+                     "same command to resume\n";
+      }
       return 1;
     }
     std::printf("sharded run: %zu shards (grid %zu cells, %zu split, %zu "
@@ -279,6 +305,11 @@ int main(int argc, char** argv) {
     Result<WcopBResult> r = RunWcopB(dataset, options, b_options);
     if (!r.ok()) {
       std::cerr << r.status() << "\n";
+      if (ShutdownSignalReceived() && !b_options.checkpoint_path.empty()) {
+        std::cerr << "interrupted by signal " << LastShutdownSignal()
+                  << "; completed rounds are checkpointed — re-run the "
+                     "same command to resume\n";
+      }
       return 1;
     }
     if (r->resumed) {

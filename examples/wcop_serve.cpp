@@ -1,0 +1,161 @@
+// Long-running anonymization daemon — the fault-tolerant service front of
+// the WCOP pipeline (DESIGN.md "Service operation & fault tolerance").
+//
+// Accepts trajectory-batch anonymization jobs over a unix-domain socket,
+// executes them through the sharded store pipeline under per-job deadlines
+// and budgets, and records every accepted job in a durable ledger: kill -9
+// the daemon at any instant, restart it, and every in-flight job resumes
+// (via its shard checkpoints) to byte-identical output.
+//
+// Usage:
+//   ./wcop_serve --job-dir=/var/wcop/jobs [--socket=/var/wcop/wcop.sock]
+//                [--queue-capacity=8] [--workers=1] [--job-threads=1]
+//                [--default-deadline-ms=0] [--default-budget=0]
+//                [--default-k=0 --default-delta=0] [--allow-partial-default]
+//                [--no-verify]
+//                [--tenants="alice:8:250:60000:1;bob:4:100:0:0"]
+//                  (name:k:delta:deadline_ms:allow_partial per entry)
+//
+// SIGINT/SIGTERM shut down gracefully: running jobs are cancelled at their
+// next yield point (their checkpoints flushed), requeued in the ledger,
+// and resumed on the next start. A client POST /shutdown with "mode drain"
+// finishes the queue first instead.
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "common/arg_parser.h"
+#include "common/signals.h"
+#include "server/endpoint.h"
+#include "server/service.h"
+
+using namespace wcop;
+using namespace wcop::server;
+
+namespace {
+
+// "alice:8:250:60000:1;bob:4:100:0:0" -> per-tenant policies.
+bool ParseTenantPolicies(const std::string& spec,
+                         std::map<std::string, TenantPolicy>* out) {
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(';', pos);
+    if (end == std::string::npos) {
+      end = spec.size();
+    }
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) {
+      continue;
+    }
+    std::vector<std::string> fields;
+    size_t fpos = 0;
+    while (fpos <= entry.size()) {
+      size_t fend = entry.find(':', fpos);
+      if (fend == std::string::npos) {
+        fend = entry.size();
+      }
+      fields.push_back(entry.substr(fpos, fend - fpos));
+      fpos = fend + 1;
+    }
+    if (fields.size() != 5 || fields[0].empty()) {
+      return false;
+    }
+    TenantPolicy policy;
+    policy.default_k = std::atoi(fields[1].c_str());
+    policy.default_delta = std::atof(fields[2].c_str());
+    policy.default_deadline_ms = std::atoll(fields[3].c_str());
+    policy.allow_partial_default = fields[4] == "1";
+    (*out)[fields[0]] = policy;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (args.Has("help") || !args.Has("job-dir")) {
+    std::puts(
+        "wcop_serve --job-dir=DIR [--socket=PATH] [--queue-capacity=8]\n"
+        "           [--workers=1] [--job-threads=1] [--no-verify]\n"
+        "           [--default-k=0 --default-delta=0]\n"
+        "           [--default-deadline-ms=0] [--default-budget=0]\n"
+        "           [--allow-partial-default]\n"
+        "           [--tenants=\"name:k:delta:deadline_ms:allow_partial;"
+        "...\"]");
+    return args.Has("help") ? 0 : 1;
+  }
+
+  ServiceOptions options;
+  options.job_dir = args.GetString("job-dir", "");
+  options.queue_capacity =
+      static_cast<size_t>(args.GetInt("queue-capacity", 8));
+  options.workers = static_cast<int>(args.GetInt("workers", 1));
+  options.job_threads = static_cast<int>(args.GetInt("job-threads", 1));
+  options.verify_jobs = !args.GetBool("no-verify", false);
+  options.default_policy.default_k =
+      static_cast<int>(args.GetInt("default-k", 0));
+  options.default_policy.default_delta = args.GetDouble("default-delta", 0.0);
+  options.default_policy.default_deadline_ms =
+      args.GetInt("default-deadline-ms", 0);
+  options.default_policy.default_max_distance_computations =
+      static_cast<uint64_t>(args.GetInt("default-budget", 0));
+  options.default_policy.allow_partial_default =
+      args.GetBool("allow-partial-default", false);
+  if (args.Has("tenants") &&
+      !ParseTenantPolicies(args.GetString("tenants", ""), &options.tenants)) {
+    std::cerr << "bad --tenants spec (want "
+                 "name:k:delta:deadline_ms:allow_partial;...)\n";
+    return 1;
+  }
+
+  // Graceful shutdown: first SIGINT/SIGTERM cancels running jobs
+  // cooperatively (checkpoints flushed, jobs requeued); a second one
+  // force-kills via the default disposition.
+  const CancellationToken shutdown = InstallShutdownSignalHandlers();
+
+  Result<std::unique_ptr<AnonymizationService>> service =
+      AnonymizationService::Start(options);
+  if (!service.ok()) {
+    std::cerr << "service start failed: " << service.status() << "\n";
+    return 1;
+  }
+  if ((*service)->recovered_jobs() > 0) {
+    std::printf("recovered %zu unfinished job(s) from the ledger\n",
+                (*service)->recovered_jobs());
+  }
+
+  HttpServer::Options http;
+  http.socket_path =
+      args.GetString("socket", options.job_dir + "/wcop.sock");
+  Result<std::unique_ptr<ServiceEndpoint>> endpoint =
+      ServiceEndpoint::Attach(service->get(), http);
+  if (!endpoint.ok()) {
+    std::cerr << "endpoint start failed: " << endpoint.status() << "\n";
+    return 1;
+  }
+  std::printf("wcop_serve listening on %s (queue capacity %zu, %d "
+              "worker(s))\n",
+              http.socket_path.c_str(), options.queue_capacity,
+              options.workers);
+  std::fflush(stdout);
+
+  while (!shutdown.cancellation_requested() &&
+         !(*endpoint)->shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const bool drain =
+      (*endpoint)->drain_requested() && !shutdown.cancellation_requested();
+  std::printf("shutting down (%s)...\n", drain ? "drain" : "immediate");
+  std::fflush(stdout);
+
+  (*endpoint)->Stop();  // stop intake before tearing the service down
+  (*service)->BeginShutdown(drain);
+  (*service)->AwaitTermination();
+  std::puts("bye");
+  return 0;
+}

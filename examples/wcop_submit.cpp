@@ -1,0 +1,155 @@
+// Client CLI for the wcop_serve daemon: submit anonymization jobs, poll
+// their state, read health/metrics, and trigger shutdown — all over the
+// daemon's unix socket.
+//
+// Usage:
+//   ./wcop_submit --socket=PATH --name=run1 --input=data.wst [--output=o.csv]
+//                 [--tenant=alice] [--k=5 --delta=250] [--shards=4]
+//                 [--deadline-ms=60000] [--budget=N] [--allow-partial]
+//                 [--seed=7] [--wait --wait-ms=600000]
+//   ./wcop_submit --socket=PATH --job=ID [--wait]
+//   ./wcop_submit --socket=PATH --health | --metrics
+//   ./wcop_submit --socket=PATH --shutdown=drain|now
+//
+// Exit code: 0 on success (job done), 2 on backpressure (retry later),
+// 3 on a failed/deadline-exceeded job, 1 on any other error.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/arg_parser.h"
+#include "server/client.h"
+
+using namespace wcop;
+using namespace wcop::server;
+
+namespace {
+
+void PrintRecord(const JobRecord& record) {
+  std::printf("job %lld '%s': %s (attempts %llu)\n",
+              static_cast<long long>(record.id), record.spec.name.c_str(),
+              std::string(JobStateName(record.state)).c_str(),
+              static_cast<unsigned long long>(record.attempts));
+  if (record.state == JobState::kDone) {
+    std::printf(
+        "  published %llu, suppressed %llu, clusters %llu, distortion "
+        "%.4g%s\n",
+        static_cast<unsigned long long>(record.outcome.published),
+        static_cast<unsigned long long>(record.outcome.suppressed),
+        static_cast<unsigned long long>(record.outcome.clusters),
+        record.outcome.total_distortion,
+        record.outcome.degraded ? " [degraded]" : "");
+    std::printf("  output: %s\n", record.spec.output_csv.c_str());
+    if (record.outcome.degraded) {
+      std::printf("  degraded: %s\n",
+                  record.outcome.degraded_reason.c_str());
+    }
+  } else if (record.state == JobState::kFailed) {
+    std::printf("  error: %s\n", record.outcome.error.c_str());
+  }
+}
+
+int TerminalExitCode(const JobRecord& record) {
+  return record.state == JobState::kDone ? 0 : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (args.Has("help") || !args.Has("socket")) {
+    std::puts(
+        "wcop_submit --socket=PATH\n"
+        "  --name=N --input=FILE.wst [--output=FILE.csv] [--tenant=T]\n"
+        "    [--k=K --delta=D] [--shards=S] [--deadline-ms=MS] "
+        "[--budget=B]\n"
+        "    [--allow-partial] [--seed=7] [--wait] [--wait-ms=600000]\n"
+        "  --job=ID [--wait]  |  --health  |  --metrics  |  "
+        "--shutdown=drain|now");
+    return args.Has("help") ? 0 : 1;
+  }
+  const ServiceClient client(args.GetString("socket", ""));
+  const bool wait = args.GetBool("wait", false);
+  const auto wait_ms =
+      std::chrono::milliseconds(args.GetInt("wait-ms", 600000));
+
+  if (args.Has("health")) {
+    Result<std::string> health = client.Health();
+    if (!health.ok()) {
+      std::cerr << health.status() << "\n";
+      return 1;
+    }
+    std::fputs(health->c_str(), stdout);
+    return 0;
+  }
+  if (args.Has("metrics")) {
+    Result<std::string> metrics = client.Metrics();
+    if (!metrics.ok()) {
+      std::cerr << metrics.status() << "\n";
+      return 1;
+    }
+    std::fputs(metrics->c_str(), stdout);
+    return 0;
+  }
+  if (args.Has("shutdown")) {
+    const Status s =
+        client.Shutdown(args.GetString("shutdown", "drain") == "drain");
+    if (!s.ok()) {
+      std::cerr << s << "\n";
+      return 1;
+    }
+    std::puts("shutdown requested");
+    return 0;
+  }
+  if (args.Has("job")) {
+    const int64_t id = args.GetInt("job", 0);
+    Result<JobRecord> record =
+        wait ? client.WaitForJob(id, wait_ms) : client.GetJob(id);
+    if (!record.ok()) {
+      std::cerr << record.status() << "\n";
+      return 1;
+    }
+    PrintRecord(*record);
+    return TerminalExitCode(*record);
+  }
+
+  if (!args.Has("name") || !args.Has("input")) {
+    std::cerr << "submit needs --name and --input (see --help)\n";
+    return 1;
+  }
+  JobSpec spec;
+  spec.name = args.GetString("name", "");
+  spec.tenant = args.GetString("tenant", "");
+  spec.input_store = args.GetString("input", "");
+  spec.output_csv = args.GetString("output", "");
+  spec.assign_k = static_cast<int>(args.GetInt("k", 0));
+  spec.assign_delta = args.GetDouble("delta", 0.0);
+  spec.shards = static_cast<size_t>(args.GetInt("shards", 1));
+  spec.overlap_margin = args.GetDouble("margin", 0.0);
+  spec.deadline_ms = args.GetInt("deadline-ms", 0);
+  spec.max_distance_computations =
+      static_cast<uint64_t>(args.GetInt("budget", 0));
+  spec.allow_partial = args.GetBool("allow-partial", false);
+  spec.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+
+  Result<JobRecord> submitted = client.Submit(spec);
+  if (!submitted.ok()) {
+    std::cerr << submitted.status() << "\n";
+    // Backpressure is an expected, retryable outcome — give scripts a
+    // distinct exit code.
+    return submitted.status().code() == StatusCode::kResourceExhausted ? 2
+                                                                       : 1;
+  }
+  PrintRecord(*submitted);
+  if (!wait) {
+    return 0;
+  }
+  Result<JobRecord> finished = client.WaitForJob(submitted->id, wait_ms);
+  if (!finished.ok()) {
+    std::cerr << finished.status() << "\n";
+    return 1;
+  }
+  PrintRecord(*finished);
+  return TerminalExitCode(*finished);
+}

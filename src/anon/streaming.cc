@@ -166,16 +166,24 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
     // partial results allowed, a trip stops the stream — the windows
     // published so far each carry the full per-window guarantee.
     if (Status s = CheckRunContext(options.wcop.run_context); !s.ok()) {
-      if (!options.wcop.allow_partial_results) {
-        return s;
-      }
       if (checkpointing) {
-        // Persist the completed windows before declaring degradation: a
-        // restart with a fresh context resumes them at full quality.
-        WCOP_RETURN_IF_ERROR(SaveStreamingCheckpoint(
+        // Persist the completed windows before surfacing the trip — whether
+        // or not partial results are allowed. A signal-driven shutdown
+        // (SIGINT/SIGTERM via the cancellation token) flushes this final
+        // checkpoint so a restart resumes the finished windows at full
+        // quality even when the cadence had not come around yet.
+        Status flush = SaveStreamingCheckpoint(
             options, BuildCheckpoint(fingerprint, wi, next_id, result,
                                      published, durable_degraded,
-                                     durable_reason, tel)));
+                                     durable_reason, tel));
+        if (!flush.ok() && options.wcop.allow_partial_results) {
+          return flush;
+        }
+        // With partial results disallowed the trip status wins; the flush
+        // was best-effort durability on the way out.
+      }
+      if (!options.wcop.allow_partial_results) {
+        return s;
       }
       result.degraded = true;
       result.degraded_reason = s.ToString();

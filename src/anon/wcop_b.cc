@@ -127,6 +127,26 @@ Result<WcopBResult> RunWcopB(const Dataset& dataset,
     // trip after at least one completed round keeps that round's output
     // (flagged degraded) when partial results are allowed.
     if (Status s = CheckRunContext(resolved.run_context); !s.ok()) {
+      if (checkpointing && have_round) {
+        // Final flush: persist every completed round before surfacing the
+        // trip, regardless of the checkpoint cadence and of whether partial
+        // results are allowed. A signal-driven shutdown (SIGINT/SIGTERM via
+        // the cancellation token) must never discard finished rounds; the
+        // flush is best-effort — the trip status, not a flush I/O error, is
+        // what the caller needs to see.
+        WcopBCheckpoint checkpoint;
+        checkpoint.fingerprint = fingerprint;
+        checkpoint.next_edit_size = edit_size;
+        checkpoint.terminal = false;
+        checkpoint.bound_satisfied = result.bound_satisfied;
+        checkpoint.final_edit_size = result.final_edit_size;
+        checkpoint.rounds = result.rounds;
+        checkpoint.anonymization = result.anonymization;
+        if (tel != nullptr) {
+          checkpoint.counters = tel->metrics().Snapshot().counters;
+        }
+        (void)SaveWcopBCheckpoint(b_options, checkpoint);
+      }
       if (!resolved.allow_partial_results || !have_round) {
         return s;
       }

@@ -1,5 +1,7 @@
 #include "common/failpoint.h"
 
+#include <signal.h>
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -74,13 +76,18 @@ Status FailpointRegistry::ArmFromSpec(std::string_view spec) {
       }
       on_hit = static_cast<int>(parsed);
     }
-    if (mode != "abort") {
+    if (mode == "abort") {
+      ArmAbort(site, on_hit);
+    } else if (mode == "sigint") {
+      ArmSignal(site, SIGINT, on_hit);
+    } else if (mode == "sigterm") {
+      ArmSignal(site, SIGTERM, on_hit);
+    } else {
       return Status::InvalidArgument("failpoint segment '" +
                                      std::string(segment) +
                                      "' has unknown mode '" +
                                      std::string(mode) + "'");
     }
-    ArmAbort(site, on_hit);
   }
   return Status::OK();
 }
@@ -113,6 +120,22 @@ void FailpointRegistry::ArmAbort(std::string_view site, int on_hit) {
   }
 }
 
+void FailpointRegistry::ArmSignal(std::string_view site, int signo,
+                                  int on_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.status = Status::OK();
+  entry.abort_mode = true;  // reuse the countdown plumbing
+  entry.abort_countdown = on_hit < 1 ? 1 : on_hit;
+  entry.signal_number = signo;
+  auto [it, inserted] =
+      sites_.insert_or_assign(std::string(site), std::move(entry));
+  (void)it;
+  if (inserted) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 void FailpointRegistry::Disarm(std::string_view site) {
   std::lock_guard<std::mutex> lock(mu_);
   if (sites_.erase(std::string(site)) > 0) {
@@ -137,6 +160,19 @@ Status FailpointRegistry::Fire(std::string_view site) {
   }
   if (it->second.abort_mode) {
     if (--it->second.abort_countdown <= 0) {
+      if (it->second.signal_number != 0) {
+        // Signal mode: deliver the shutdown signal at exactly this boundary
+        // and keep going — the cooperative cancellation machinery, not the
+        // failpoint, decides what happens next. One-shot: a disarm here
+        // keeps a re-entrant handler or retry loop from re-raising.
+        const int signo = it->second.signal_number;
+        std::fprintf(stderr, "failpoint signal %d at '%.*s'\n", signo,
+                     static_cast<int>(site.size()), site.data());
+        sites_.erase(it);
+        armed_count_.fetch_sub(1, std::memory_order_relaxed);
+        ::raise(signo);
+        return Status::OK();
+      }
       // The whole point: die exactly here, the way a power cut or OOM kill
       // would, so the crash-recovery harness can assert that a restart
       // resumes cleanly from the last checkpoint.

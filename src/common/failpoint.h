@@ -34,6 +34,14 @@ namespace wcop {
 ///   site            arm `site` to inject Status::Internal on every hit
 ///   site:abort      arm `site` to std::abort() on its first hit
 ///   site:abort@N    arm `site` to std::abort() on its N-th hit (N >= 1)
+///   site:sigint@N   arm `site` to raise(SIGINT) on its N-th hit
+///   site:sigterm@N  arm `site` to raise(SIGTERM) on its N-th hit
+///
+/// Signal mode delivers the signal synchronously at an exact pipeline
+/// boundary and then lets execution continue — precisely how an operator's
+/// Ctrl-C or a systemd SIGTERM lands mid-run — so the signal-shutdown tests
+/// can assert the cooperative cancellation + final-checkpoint-flush path
+/// deterministically.
 ///
 /// All operations are thread-safe.
 class FailpointRegistry {
@@ -50,6 +58,11 @@ class FailpointRegistry {
   /// one). The crash-recovery harness uses this to kill a child process at
   /// an exact pipeline boundary.
   void ArmAbort(std::string_view site, int on_hit = 1);
+
+  /// Arms `site` to raise(`signo`) on its `on_hit`-th hit and then continue
+  /// normally. The signal-shutdown tests use this to deliver SIGINT/SIGTERM
+  /// at an exact pipeline boundary.
+  void ArmSignal(std::string_view site, int signo, int on_hit = 1);
 
   /// Parses a WCOP_FAILPOINTS-style spec (see class comment) and arms every
   /// listed site. Returns InvalidArgument naming the first malformed
@@ -110,6 +123,7 @@ class FailpointRegistry {
     int remaining = -1;  ///< fires left; -1 = unlimited
     bool abort_mode = false;
     int abort_countdown = 0;  ///< abort when a hit decrements this to 0
+    int signal_number = 0;    ///< raise this instead of aborting (signal mode)
   };
 
   mutable std::mutex mu_;

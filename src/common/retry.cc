@@ -66,6 +66,15 @@ Status RetryCall(const RetryPolicy& policy,
   if (attempts_out != nullptr) {
     *attempts_out = attempts;
   }
+  if (policy.metrics != nullptr) {
+    policy.metrics->GetCounter("retry.attempts")
+        ->Add(static_cast<uint64_t>(attempts));
+    if (!last.ok() && IsRetryable(last)) {
+      // Every attempt failed retryably: the backoff schedule is exhausted
+      // and the caller sees the last transient error as permanent.
+      policy.metrics->GetCounter("retry.exhausted")->Add();
+    }
+  }
   return last;
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 
 namespace wcop {
 
@@ -39,6 +40,14 @@ struct RetryPolicy {
 
   /// Tests set this to false to assert the schedule without sleeping.
   bool sleep_between_attempts = true;
+
+  /// Optional observability sink (non-owning; null disables). Every
+  /// RetryCall records `retry.attempts` (attempts made, including the
+  /// first) and, when a retryable failure survives all max_attempts tries,
+  /// `retry.exhausted` — the signal that a backend is down rather than
+  /// blinking. The anonymization service publishes these through its
+  /// /metrics endpoint.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// True for status codes a retry can plausibly fix (transient I/O).

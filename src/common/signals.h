@@ -1,0 +1,40 @@
+#ifndef WCOP_COMMON_SIGNALS_H_
+#define WCOP_COMMON_SIGNALS_H_
+
+#include "common/run_context.h"
+
+namespace wcop {
+
+/// Signal-aware cooperative shutdown (DESIGN.md "Service operation").
+///
+/// InstallShutdownSignalHandlers() registers SIGINT/SIGTERM handlers that do
+/// nothing but flip the process-wide cancellation flag — the only
+/// async-signal-safe thing worth doing. Long-running work threads the
+/// returned CancellationToken through a RunContext; the next cooperative
+/// Check() trips with kCancelled, the drivers flush their final checkpoint,
+/// and the process exits cleanly instead of losing in-flight progress (the
+/// behaviour `kill -9` tests separately through the crash-recovery path).
+///
+/// The handlers are installed once per process; repeated calls return a
+/// token sharing the same flag. A second signal while shutdown is already
+/// requested restores the default disposition and re-raises, so a wedged
+/// process can still be killed with a double Ctrl-C.
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent) and returns a token
+/// that trips when either signal arrives.
+CancellationToken InstallShutdownSignalHandlers();
+
+/// True once a shutdown signal has been observed.
+bool ShutdownSignalReceived();
+
+/// The last shutdown signal observed (SIGINT/SIGTERM), 0 when none.
+int LastShutdownSignal();
+
+/// Testing hook: forgets the observed signal and binds future
+/// InstallShutdownSignalHandlers() calls to a fresh flag. Tokens handed out
+/// before the reset keep their (possibly tripped) state.
+void ResetShutdownSignalStateForTesting();
+
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_SIGNALS_H_

@@ -1,0 +1,71 @@
+#include "server/client.h"
+
+#include <thread>
+
+#include "server/endpoint.h"
+
+namespace wcop {
+namespace server {
+
+Result<HttpResponse> ServiceClient::Call(const std::string& method,
+                                         const std::string& path,
+                                         const std::string& body) const {
+  WCOP_ASSIGN_OR_RETURN(
+      HttpResponse response,
+      UnixHttpCall(socket_path_, method, path, body, timeout_ms_));
+  WCOP_RETURN_IF_ERROR(StatusForHttpResponse(response));
+  return response;
+}
+
+Result<JobRecord> ServiceClient::Submit(const JobSpec& spec) const {
+  WCOP_ASSIGN_OR_RETURN(HttpResponse response,
+                        Call("POST", "/jobs", EncodeJobSpec(spec)));
+  return DecodeJobRecord(response.body);
+}
+
+Result<JobRecord> ServiceClient::GetJob(int64_t id) const {
+  WCOP_ASSIGN_OR_RETURN(
+      HttpResponse response,
+      Call("GET", "/jobs/" + std::to_string(id), std::string()));
+  return DecodeJobRecord(response.body);
+}
+
+Result<JobRecord> ServiceClient::WaitForJob(
+    int64_t id, std::chrono::milliseconds timeout) const {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (true) {
+    WCOP_ASSIGN_OR_RETURN(JobRecord record, GetJob(id));
+    if (record.state == JobState::kDone ||
+        record.state == JobState::kFailed) {
+      return record;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded("job " + std::to_string(id) +
+                                      " still " +
+                                      std::string(JobStateName(record.state)) +
+                                      " after wait timeout");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+Result<std::string> ServiceClient::Health() const {
+  WCOP_ASSIGN_OR_RETURN(HttpResponse response,
+                        Call("GET", "/healthz", std::string()));
+  return response.body;
+}
+
+Result<std::string> ServiceClient::Metrics() const {
+  WCOP_ASSIGN_OR_RETURN(HttpResponse response,
+                        Call("GET", "/metrics", std::string()));
+  return response.body;
+}
+
+Status ServiceClient::Shutdown(bool drain) const {
+  return Call("POST", "/shutdown",
+              drain ? std::string("mode drain\n") : std::string("mode now\n"))
+      .status();
+}
+
+}  // namespace server
+}  // namespace wcop

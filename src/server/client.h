@@ -1,0 +1,59 @@
+#ifndef WCOP_SERVER_CLIENT_H_
+#define WCOP_SERVER_CLIENT_H_
+
+/// Client for the anonymization service's unix-socket endpoint: encodes
+/// JobSpecs onto POST /jobs, decodes JobRecords back, and converts the
+/// transport's HTTP codes to the Status codes the rest of the codebase
+/// speaks (429 -> kResourceExhausted, 503 -> kFailedPrecondition, ...) so
+/// callers handle backpressure exactly like any other wcop API.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "server/http.h"
+#include "server/job.h"
+
+namespace wcop {
+namespace server {
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(std::string socket_path, int timeout_ms = 10000)
+      : socket_path_(std::move(socket_path)), timeout_ms_(timeout_ms) {}
+
+  /// Submits a job; returns the accepted (or deduped) record.
+  /// kResourceExhausted = backpressure, retry later.
+  Result<JobRecord> Submit(const JobSpec& spec) const;
+
+  Result<JobRecord> GetJob(int64_t id) const;
+
+  /// Polls GetJob until the job reaches a terminal state or `timeout`
+  /// elapses (kDeadlineExceeded).
+  Result<JobRecord> WaitForJob(int64_t id,
+                               std::chrono::milliseconds timeout) const;
+
+  Result<std::string> Health() const;
+  Result<std::string> Metrics() const;
+
+  /// Asks the daemon to exit. drain=true finishes queued jobs first.
+  Status Shutdown(bool drain) const;
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  Result<HttpResponse> Call(const std::string& method,
+                            const std::string& path,
+                            const std::string& body) const;
+
+  std::string socket_path_;
+  int timeout_ms_;
+};
+
+}  // namespace server
+}  // namespace wcop
+
+#endif  // WCOP_SERVER_CLIENT_H_

@@ -1,0 +1,173 @@
+#include "server/endpoint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace wcop {
+namespace server {
+
+namespace {
+
+HttpResponse ErrorResponse(const Status& status) {
+  HttpResponse response;
+  response.status = HttpStatusForStatus(status);
+  response.body = status.ToString() + "\n";
+  return response;
+}
+
+HttpResponse TextResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+int HttpStatusForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+      return 429;
+    case StatusCode::kFailedPrecondition:
+      return 503;
+    default:
+      return 500;
+  }
+}
+
+Status StatusForHttpResponse(const HttpResponse& response) {
+  if (response.status >= 200 && response.status < 300) {
+    return Status::OK();
+  }
+  std::string body = response.body;
+  while (!body.empty() && (body.back() == '\n' || body.back() == '\r')) {
+    body.pop_back();
+  }
+  switch (response.status) {
+    case 400:
+      return Status::InvalidArgument(body);
+    case 404:
+      return Status::NotFound(body);
+    case 429:
+      return Status::ResourceExhausted(body);
+    case 503:
+      return Status::FailedPrecondition(body);
+    default:
+      return Status::Internal("HTTP " + std::to_string(response.status) +
+                              ": " + body);
+  }
+}
+
+std::string FormatMetrics(const telemetry::MetricsSnapshot& snapshot) {
+  std::string out;
+  char buf[256];
+  for (const auto& [name, value] : snapshot.counters) {
+    std::snprintf(buf, sizeof(buf), "counter %s %" PRIu64 "\n", name.c_str(),
+                  value);
+    out += buf;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::snprintf(buf, sizeof(buf), "gauge %s %.17g\n", name.c_str(), value);
+    out += buf;
+  }
+  for (const telemetry::HistogramSummary& h : snapshot.histograms) {
+    std::snprintf(buf, sizeof(buf),
+                  "histogram %s count=%" PRIu64 " sum=%" PRIu64
+                  " mean=%.3f p50=%.1f p90=%.1f p99=%.1f\n",
+                  h.name.c_str(), h.count, h.sum, h.mean, h.p50, h.p90,
+                  h.p99);
+    out += buf;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<ServiceEndpoint>> ServiceEndpoint::Attach(
+    AnonymizationService* service, const HttpServer::Options& options) {
+  if (service == nullptr) {
+    return Status::InvalidArgument("service is required");
+  }
+  auto endpoint = std::unique_ptr<ServiceEndpoint>(new ServiceEndpoint());
+  endpoint->service_ = service;
+  ServiceEndpoint* raw = endpoint.get();
+  WCOP_ASSIGN_OR_RETURN(
+      endpoint->http_,
+      HttpServer::Listen(options, [raw](const HttpRequest& request) {
+        return raw->Route(request);
+      }));
+  return endpoint;
+}
+
+void ServiceEndpoint::Stop() {
+  if (http_ != nullptr) {
+    http_->Stop();
+  }
+}
+
+HttpResponse ServiceEndpoint::Route(const HttpRequest& request) {
+  if (request.method == "GET" && request.path == "/healthz") {
+    const AnonymizationService::Health health = service_->GetHealth();
+    std::string body = health.accepting ? "ok\n" : "draining\n";
+    body += "accepting " + std::to_string(health.accepting ? 1 : 0) + "\n";
+    body += "queued " + std::to_string(health.queued) + "\n";
+    body += "running " + std::to_string(health.running) + "\n";
+    body += "done " + std::to_string(health.done) + "\n";
+    body += "failed " + std::to_string(health.failed) + "\n";
+    body += "queue_capacity " + std::to_string(health.queue_capacity) + "\n";
+    body += "recovered " + std::to_string(health.recovered) + "\n";
+    return TextResponse(200, std::move(body));
+  }
+  if (request.method == "GET" && request.path == "/metrics") {
+    return TextResponse(
+        200, FormatMetrics(service_->telemetry().metrics().Snapshot()));
+  }
+  if (request.method == "POST" && request.path == "/jobs") {
+    Result<JobSpec> spec = DecodeJobSpec(request.body);
+    if (!spec.ok()) {
+      return ErrorResponse(spec.status());
+    }
+    Result<int64_t> id = service_->Submit(*spec);
+    if (!id.ok()) {
+      return ErrorResponse(id.status());
+    }
+    Result<JobRecord> record = service_->GetJob(*id);
+    if (!record.ok()) {
+      return ErrorResponse(record.status());
+    }
+    return TextResponse(202, EncodeJobRecord(*record));
+  }
+  if (request.method == "GET" && request.path.rfind("/jobs/", 0) == 0) {
+    const std::string id_text = request.path.substr(6);
+    char* end = nullptr;
+    const long long id = std::strtoll(id_text.c_str(), &end, 10);
+    if (end == id_text.c_str() || *end != '\0') {
+      return ErrorResponse(
+          Status::InvalidArgument("bad job id '" + id_text + "'"));
+    }
+    Result<JobRecord> record = service_->GetJob(id);
+    if (!record.ok()) {
+      return ErrorResponse(record.status());
+    }
+    return TextResponse(200, EncodeJobRecord(*record));
+  }
+  if (request.method == "POST" && request.path == "/shutdown") {
+    const bool drain = request.body.find("mode drain") != std::string::npos;
+    drain_.store(drain, std::memory_order_relaxed);
+    shutdown_requested_.store(true, std::memory_order_relaxed);
+    return TextResponse(200,
+                        drain ? "draining\n" : "shutting down now\n");
+  }
+  return ErrorResponse(Status::NotFound("no route for " + request.method +
+                                        " " + request.path));
+}
+
+}  // namespace server
+}  // namespace wcop

@@ -1,0 +1,71 @@
+#ifndef WCOP_SERVER_ENDPOINT_H_
+#define WCOP_SERVER_ENDPOINT_H_
+
+/// Route layer binding an HttpServer to an AnonymizationService:
+///
+///   GET  /healthz     liveness + admission state + queue occupancy
+///   GET  /metrics     text dump of the telemetry registry (§ DESIGN.md
+///                     "Observability"): counters, gauges, histograms
+///   POST /jobs        JobSpec (key/value lines) -> 202 + JobRecord,
+///                     429 on backpressure, 400 on validation failure,
+///                     503 while shutting down
+///   GET  /jobs/<id>   JobRecord, 404 when unknown
+///   POST /shutdown    body "mode drain" or "mode now"; flips the flags
+///                     the daemon's main loop polls
+///
+/// Status-to-HTTP mapping lives here (and its inverse in the client), so
+/// the service itself never sees transport codes.
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "server/http.h"
+#include "server/service.h"
+
+namespace wcop {
+namespace server {
+
+class ServiceEndpoint {
+ public:
+  static Result<std::unique_ptr<ServiceEndpoint>> Attach(
+      AnonymizationService* service, const HttpServer::Options& options);
+
+  void Stop();
+
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_relaxed);
+  }
+  bool drain_requested() const {
+    return drain_.load(std::memory_order_relaxed);
+  }
+  const std::string& socket_path() const { return http_->socket_path(); }
+
+ private:
+  ServiceEndpoint() = default;
+
+  HttpResponse Route(const HttpRequest& request);
+
+  AnonymizationService* service_ = nullptr;  // non-owning
+  std::unique_ptr<HttpServer> http_;
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> drain_{false};
+};
+
+/// HTTP status for a non-OK service Status (the admission contract's
+/// visible half: kResourceExhausted -> 429, kInvalidArgument -> 400, ...).
+int HttpStatusForStatus(const Status& status);
+
+/// Inverse mapping used by the client: rebuilds a Status from a non-2xx
+/// response (the body carries the server-side Status string).
+Status StatusForHttpResponse(const HttpResponse& response);
+
+/// The /metrics text format: one "counter|gauge|histogram name ..." line
+/// per metric. Exposed for tests.
+std::string FormatMetrics(const telemetry::MetricsSnapshot& snapshot);
+
+}  // namespace server
+}  // namespace wcop
+
+#endif  // WCOP_SERVER_ENDPOINT_H_

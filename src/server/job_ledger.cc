@@ -1,0 +1,180 @@
+#include "server/job_ledger.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/snapshot.h"
+#include "store/store_file.h"
+
+namespace wcop {
+namespace server {
+
+namespace {
+
+Status MakeDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir '" + path +
+                           "': " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// `job_00000042.jrec` -> 42; nullopt for anything else (including the
+/// `.prev` rotation siblings and stray files).
+bool ParseRecordName(const std::string& name, int64_t* id) {
+  static constexpr char kPrefix[] = "job_";
+  static constexpr char kSuffix[] = ".jrec";
+  if (name.size() <= std::strlen(kPrefix) + std::strlen(kSuffix)) {
+    return false;
+  }
+  if (name.compare(0, std::strlen(kPrefix), kPrefix) != 0) {
+    return false;
+  }
+  if (name.compare(name.size() - std::strlen(kSuffix), std::strlen(kSuffix),
+                   kSuffix) != 0) {
+    return false;
+  }
+  const std::string digits = name.substr(
+      std::strlen(kPrefix),
+      name.size() - std::strlen(kPrefix) - std::strlen(kSuffix));
+  if (digits.empty()) {
+    return false;
+  }
+  int64_t parsed = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    parsed = parsed * 10 + (c - '0');
+  }
+  *id = parsed;
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<JobLedger>> JobLedger::Open(
+    const std::string& dir, telemetry::Telemetry* telemetry,
+    const RetryPolicy* retry) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("job ledger directory is required");
+  }
+  WCOP_RETURN_IF_ERROR(MakeDir(dir));
+  // Janitor first: a crash between a record's write-tmp and its rename
+  // leaves `*.tmp` orphans that must never shadow future writes.
+  WCOP_RETURN_IF_ERROR(store::SweepStaleArtifacts(dir, telemetry).status());
+
+  auto ledger = std::unique_ptr<JobLedger>(new JobLedger());
+  ledger->dir_ = dir;
+  ledger->telemetry_ = telemetry;
+  ledger->retry_ = retry;
+
+  // Enumerate record files, then load each through the snapshot envelope
+  // (with .prev fallback). Corrupt records are skipped, not trusted.
+  std::vector<int64_t> ids;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::IoError("opendir '" + dir +
+                           "': " + std::string(std::strerror(errno)));
+  }
+  for (struct dirent* entry = ::readdir(d); entry != nullptr;
+       entry = ::readdir(d)) {
+    int64_t id = 0;
+    if (ParseRecordName(entry->d_name, &id)) {
+      ids.push_back(id);
+      // Ids advance past every record *file*, decodable or not: a corrupt
+      // record must keep its id reserved so a fresh append can never
+      // overwrite the evidence (or impersonate the lost job).
+      if (id + 1 > ledger->next_id_) {
+        ledger->next_id_ = id + 1;
+      }
+    }
+  }
+  ::closedir(d);
+
+  for (const int64_t id : ids) {
+    const std::string path = ledger->RecordPath(id);
+    Result<Snapshot> snapshot = ReadSnapshotWithFallback(path, retry);
+    Result<JobRecord> record =
+        snapshot.ok() ? DecodeJobRecord(snapshot->payload)
+                      : Result<JobRecord>(snapshot.status());
+    if (!record.ok()) {
+      if (record.status().code() == StatusCode::kDataLoss ||
+          record.status().code() == StatusCode::kNotFound) {
+        std::fprintf(stderr, "ledger: skipping corrupt record %s (%s)\n",
+                     path.c_str(), record.status().ToString().c_str());
+        ++ledger->corrupt_records_;
+        if (telemetry != nullptr) {
+          telemetry->metrics().GetCounter("server.ledger.corrupt")->Add();
+        }
+        continue;
+      }
+      return record.status();
+    }
+    ledger->records_[record->id] = std::move(*record);
+  }
+  return ledger;
+}
+
+std::string JobLedger::RecordPath(int64_t id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "job_%08" PRId64 ".jrec", id);
+  return dir_ + "/" + name;
+}
+
+Status JobLedger::WriteRecord(const JobRecord& record) {
+  return WriteSnapshotRotating(RecordPath(record.id),
+                               EncodeJobRecord(record), kJobRecordVersion,
+                               retry_);
+}
+
+Status JobLedger::Append(JobRecord* record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Crash window under test: a kill here loses the job *before* the client
+  // heard an id, which is the contract — accepted means durable.
+  WCOP_FAILPOINT("server.ledger_append");
+  record->id = next_id_;
+  WCOP_RETURN_IF_ERROR(WriteRecord(*record));
+  next_id_ += 1;
+  records_[record->id] = *record;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().GetCounter("server.ledger.appends")->Add();
+  }
+  return Status::OK();
+}
+
+Status JobLedger::Update(const JobRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WCOP_FAILPOINT("server.ledger_update");
+  auto it = records_.find(record.id);
+  if (it == records_.end()) {
+    return Status::NotFound("job ledger has no record with id " +
+                            std::to_string(record.id));
+  }
+  WCOP_RETURN_IF_ERROR(WriteRecord(record));
+  it->second = record;
+  if (telemetry_ != nullptr) {
+    telemetry_->metrics().GetCounter("server.ledger.updates")->Add();
+  }
+  return Status::OK();
+}
+
+std::vector<JobRecord> JobLedger::Records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobRecord> out;
+  out.reserve(records_.size());
+  for (const auto& [id, record] : records_) {
+    out.push_back(record);
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace wcop

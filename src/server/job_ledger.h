@@ -1,0 +1,83 @@
+#ifndef WCOP_SERVER_JOB_LEDGER_H_
+#define WCOP_SERVER_JOB_LEDGER_H_
+
+/// Durable job ledger: one snapshot-envelope file per job
+/// (`job_<id>.jrec`, rotating two-deep like every checkpoint in the
+/// codebase) under the service's job directory. The service writes a job's
+/// record *before* acting on the corresponding transition — append before
+/// enqueue, running before execute, done after the output rename — so the
+/// set of on-disk records is always a superset of the work the service has
+/// promised, and a kill -9 at any instant leaves every accepted job either
+/// completed or recoverable.
+///
+/// Crash anatomy of one update: WriteSnapshotRotating keeps the previous
+/// good record as `.prev` until the new one has landed, so a torn write
+/// regresses the job to its previous state — strictly more conservative
+/// (the job re-runs; execution is deterministic and publication atomic, so
+/// re-running is safe). Records that fail CRC on both current and prev are
+/// counted (`server.ledger.corrupt`) and skipped, never trusted.
+///
+/// Thread safety: all methods lock an internal mutex; the service calls
+/// Append from the admission path and Update from workers concurrently.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "common/telemetry.h"
+#include "server/job.h"
+
+namespace wcop {
+namespace server {
+
+class JobLedger {
+ public:
+  /// Opens (creating `dir` if needed) and loads every readable record.
+  /// Runs the stale-artifact janitor over `dir` first — orphaned `*.tmp`
+  /// from a crashed snapshot write must go before new writers start.
+  static Result<std::unique_ptr<JobLedger>> Open(
+      const std::string& dir, telemetry::Telemetry* telemetry = nullptr,
+      const RetryPolicy* retry = nullptr);
+
+  /// Persists a new record, assigning `record->id` (successor of the
+  /// largest id ever loaded or appended). The record is durable when this
+  /// returns OK.
+  Status Append(JobRecord* record);
+
+  /// Persists the new state of an existing record.
+  Status Update(const JobRecord& record);
+
+  /// All records, ordered by id (the admission order).
+  std::vector<JobRecord> Records() const;
+
+  /// Number of records whose snapshot failed validation at Open.
+  size_t corrupt_records() const { return corrupt_records_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  JobLedger() = default;
+
+  std::string RecordPath(int64_t id) const;
+  Status WriteRecord(const JobRecord& record);
+
+  std::string dir_;
+  telemetry::Telemetry* telemetry_ = nullptr;
+  const RetryPolicy* retry_ = nullptr;
+  size_t corrupt_records_ = 0;
+
+  mutable std::mutex mu_;
+  std::map<int64_t, JobRecord> records_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace server
+}  // namespace wcop
+
+#endif  // WCOP_SERVER_JOB_LEDGER_H_

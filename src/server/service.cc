@@ -1,0 +1,514 @@
+#include "server/service.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/stopwatch.h"
+#include "store/shard_runner.h"
+#include "store/store_file.h"
+#include "traj/io.h"
+
+namespace wcop {
+namespace server {
+
+namespace {
+
+Status MakeDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IoError("mkdir '" + path +
+                           "': " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AnonymizationService>> AnonymizationService::Start(
+    const ServiceOptions& options) {
+  if (options.job_dir.empty()) {
+    return Status::InvalidArgument("ServiceOptions.job_dir is required");
+  }
+  auto service =
+      std::unique_ptr<AnonymizationService>(new AnonymizationService());
+  service->options_ = options;
+  service->options_.queue_capacity =
+      std::max<size_t>(options.queue_capacity, 1);
+  service->options_.workers = std::max(options.workers, 1);
+  service->options_.job_threads = std::max(options.job_threads, 1);
+  service->retry_ = options.store_retry;
+  service->retry_.metrics = &service->telemetry_.metrics();
+
+  WCOP_RETURN_IF_ERROR(MakeDir(options.job_dir));
+  WCOP_RETURN_IF_ERROR(MakeDir(options.job_dir + "/out"));
+  // Janitor pass over the default output directory: a kill between a
+  // published CSV's write-tmp and its rename leaves an orphan that must
+  // not be mistaken for output.
+  WCOP_RETURN_IF_ERROR(
+      store::SweepStaleArtifacts(options.job_dir + "/out",
+                                 &service->telemetry_)
+          .status());
+  WCOP_ASSIGN_OR_RETURN(
+      service->ledger_,
+      JobLedger::Open(options.job_dir + "/ledger", &service->telemetry_,
+                      &service->retry_));
+  service->queue_ = std::make_unique<BoundedQueue<int64_t>>(
+      service->options_.queue_capacity);
+
+  // Recovery: every job the previous life accepted but did not finish is
+  // re-enqueued in admission (id) order, past the live capacity check —
+  // recovered jobs were admitted once already.
+  telemetry::Counter* recovered_counter =
+      service->telemetry_.metrics().GetCounter("server.jobs.recovered");
+  for (JobRecord& record : service->ledger_->Records()) {
+    service->by_name_[record.spec.name] = record.id;
+    if (record.state == JobState::kQueued ||
+        record.state == JobState::kRunning) {
+      record.state = JobState::kQueued;  // a mid-crash "running" job is
+                                         // just queued work again
+      service->admitted_at_[record.id] =
+          std::chrono::steady_clock::now();
+      WCOP_RETURN_IF_ERROR(service->queue_->ForcePush(record.id));
+      service->recovered_jobs_ += 1;
+      recovered_counter->Add();
+      std::fprintf(stderr, "server: recovered job %lld '%s'\n",
+                   static_cast<long long>(record.id),
+                   record.spec.name.c_str());
+    }
+    service->jobs_[record.id] = std::move(record);
+  }
+  service->telemetry_.metrics()
+      .GetGauge("server.queue.capacity")
+      ->Set(static_cast<double>(service->options_.queue_capacity));
+  service->telemetry_.metrics()
+      .GetGauge("server.queue.depth")
+      ->Set(static_cast<double>(service->queue_->size()));
+
+  for (int i = 0; i < service->options_.workers; ++i) {
+    service->workers_.emplace_back(&AnonymizationService::WorkerLoop,
+                                   service.get());
+  }
+  return service;
+}
+
+AnonymizationService::~AnonymizationService() {
+  BeginShutdown(/*drain=*/false);
+  AwaitTermination();
+}
+
+void AnonymizationService::ApplyTenantPolicy(JobSpec* spec) const {
+  const TenantPolicy* policy = &options_.default_policy;
+  auto it = options_.tenants.find(spec->tenant);
+  if (it != options_.tenants.end()) {
+    policy = &it->second;
+  }
+  if (spec->assign_k == 0 && policy->default_k > 0) {
+    spec->assign_k = policy->default_k;
+  }
+  if (spec->assign_delta <= 0.0 && policy->default_delta > 0.0) {
+    spec->assign_delta = policy->default_delta;
+  }
+  if (spec->deadline_ms == 0) {
+    spec->deadline_ms = policy->default_deadline_ms;
+  }
+  if (spec->max_distance_computations == 0) {
+    spec->max_distance_computations =
+        policy->default_max_distance_computations;
+  }
+  spec->allow_partial = spec->allow_partial || policy->allow_partial_default;
+}
+
+Result<int64_t> AnonymizationService::Submit(JobSpec spec) {
+  telemetry::MetricsRegistry& metrics = telemetry_.metrics();
+  // Status-injection window for admission-path fault tests.
+  WCOP_FAILPOINT("server.admit");
+  if (!accepting_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("service is shutting down");
+  }
+  if (Status s = ValidateJobSpec(spec); !s.ok()) {
+    metrics.GetCounter("server.jobs.invalid")->Add();
+    return s;
+  }
+  ApplyTenantPolicy(&spec);
+  if (Status s = ValidateJobSpec(spec); !s.ok()) {
+    // Tenant defaults are configuration, but they still pass the same
+    // gate: a bad policy must not smuggle a bad job in.
+    metrics.GetCounter("server.jobs.invalid")->Add();
+    return s;
+  }
+  if (spec.output_csv.empty()) {
+    spec.output_csv = DefaultOutputPath(spec.name);
+  }
+
+  // Request validation touches the input store once: it must open (valid
+  // header + index) and be non-empty before we promise anything.
+  Result<store::TrajectoryStoreReader> probe =
+      RetryResultCall<store::TrajectoryStoreReader>(retry_, [&] {
+        return store::TrajectoryStoreReader::Open(spec.input_store);
+      });
+  if (!probe.ok()) {
+    metrics.GetCounter("server.jobs.invalid")->Add();
+    return Status::InvalidArgument("input store rejected: " +
+                                   probe.status().ToString());
+  }
+  if (probe->size() == 0) {
+    metrics.GetCounter("server.jobs.invalid")->Add();
+    return Status::InvalidArgument("input store is empty");
+  }
+
+  std::lock_guard<std::mutex> admit_lock(admit_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto existing = by_name_.find(spec.name);
+    if (existing != by_name_.end()) {
+      // Idempotent resubmit: the name is the dedup key, so a client that
+      // crashed between submit and response can retry safely.
+      metrics.GetCounter("server.jobs.deduped")->Add();
+      return existing->second;
+    }
+  }
+  if (queue_->size() >= queue_->capacity()) {
+    // Explicit backpressure: reject now, loudly, rather than queueing
+    // unboundedly or blocking the client.
+    metrics.GetCounter("server.jobs.rejected")->Add();
+    return Status::ResourceExhausted(
+        "submission queue is at capacity (" +
+        std::to_string(queue_->capacity()) + " jobs); retry later");
+  }
+
+  JobRecord record;
+  record.state = JobState::kQueued;
+  record.spec = std::move(spec);
+  // Durable-before-visible: the ledger append is the acceptance point.
+  // A crash after it re-enqueues the job on restart; a crash before it
+  // means the client never got an id.
+  WCOP_RETURN_IF_ERROR(ledger_->Append(&record));
+  const int64_t id = record.id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    by_name_[record.spec.name] = id;
+    admitted_at_[id] = std::chrono::steady_clock::now();
+    jobs_[id] = std::move(record);
+  }
+  metrics.GetCounter("server.jobs.accepted")->Add();
+  if (Status push = queue_->TryPush(id); !push.ok()) {
+    // Shutdown raced the admission: the job is durable and will run on
+    // the next start, which is exactly what "accepted" promises.
+    std::fprintf(stderr,
+                 "server: job %lld accepted but not scheduled (%s); it "
+                 "will run on restart\n",
+                 static_cast<long long>(id), push.ToString().c_str());
+  }
+  metrics.GetGauge("server.queue.depth")
+      ->Set(static_cast<double>(queue_->size()));
+  return id;
+}
+
+Result<JobRecord> AnonymizationService::GetJob(int64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job with id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::vector<JobRecord> AnonymizationService::Jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobRecord> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, record] : jobs_) {
+    out.push_back(record);
+  }
+  return out;
+}
+
+AnonymizationService::Health AnonymizationService::GetHealth() const {
+  Health health;
+  health.accepting = accepting_.load(std::memory_order_relaxed);
+  health.queued = queue_->size();
+  health.running = running_.load(std::memory_order_relaxed);
+  health.queue_capacity = queue_->capacity();
+  health.recovered = recovered_jobs_;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, record] : jobs_) {
+    if (record.state == JobState::kDone) {
+      ++health.done;
+    } else if (record.state == JobState::kFailed) {
+      ++health.failed;
+    }
+  }
+  return health;
+}
+
+void AnonymizationService::BeginShutdown(bool drain) {
+  accepting_.store(false, std::memory_order_relaxed);
+  if (!drain) {
+    // Cooperative cancellation: running jobs trip at their next yield
+    // point, flush their checkpoints, and are requeued unpublished.
+    shutdown_token_.RequestCancellation();
+  }
+  queue_->Close(drain);
+}
+
+void AnonymizationService::AwaitTermination() {
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+void AnonymizationService::AwaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [&] {
+    if (queue_->size() != 0 ||
+        running_.load(std::memory_order_relaxed) != 0) {
+      return false;
+    }
+    for (const auto& [id, record] : jobs_) {
+      if (record.state == JobState::kRunning) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+void AnonymizationService::StoreRecord(const JobRecord& record) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_[record.id] = record;
+  }
+  idle_.notify_all();
+}
+
+std::string AnonymizationService::WorkDir(int64_t id) const {
+  return options_.job_dir + "/work_" + std::to_string(id);
+}
+
+std::string AnonymizationService::DefaultOutputPath(
+    const std::string& name) const {
+  return options_.job_dir + "/out/" + name + ".csv";
+}
+
+Status AnonymizationService::PersistTransition(const JobRecord& record,
+                                               const char* site) {
+  WCOP_FAILPOINT(site);
+  return ledger_->Update(record);
+}
+
+void AnonymizationService::WorkerLoop() {
+  telemetry::MetricsRegistry& metrics = telemetry_.metrics();
+  telemetry::Gauge* depth = metrics.GetGauge("server.queue.depth");
+  while (std::optional<int64_t> id = queue_->Pop()) {
+    depth->Set(static_cast<double>(queue_->size()));
+    JobRecord record;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = jobs_.find(*id);
+      if (it == jobs_.end()) {
+        continue;
+      }
+      record = it->second;
+    }
+    if (record.state == JobState::kDone ||
+        record.state == JobState::kFailed) {
+      continue;  // stale queue entry (deduped resubmit of a finished job)
+    }
+    if (shutdown_token_.cancellation_requested()) {
+      // Immediate shutdown won the race to this job: leave it queued in
+      // the ledger for the next start.
+      continue;
+    }
+    running_.fetch_add(1, std::memory_order_relaxed);
+
+    record.state = JobState::kRunning;
+    record.attempts += 1;
+    Status run = PersistTransition(record, "server.job_claim");
+    if (run.ok()) {
+      StoreRecord(record);
+      Stopwatch timer;
+      run = ExecuteJob(&record);
+      metrics.GetHistogram("server.job.exec_ns")
+          ->Record(static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9));
+    }
+
+    if (run.ok()) {
+      record.state = JobState::kDone;
+      metrics.GetCounter("server.jobs.completed")->Add();
+      if (record.outcome.degraded) {
+        metrics.GetCounter("server.jobs.degraded")->Add();
+      }
+    } else if (run.code() == StatusCode::kCancelled &&
+               shutdown_token_.cancellation_requested()) {
+      // Service teardown, not a job failure: requeue for the next life.
+      record.state = JobState::kQueued;
+      record.outcome = JobOutcome{};
+      metrics.GetCounter("server.jobs.requeued")->Add();
+      if (Status s = ledger_->Update(record); !s.ok()) {
+        // Best-effort: a still-"running" ledger record recovers the same
+        // way a requeued one does.
+        std::fprintf(stderr, "server: requeue of job %lld not recorded: %s\n",
+                     static_cast<long long>(record.id),
+                     s.ToString().c_str());
+      }
+      StoreRecord(record);
+      running_.fetch_sub(1, std::memory_order_relaxed);
+      idle_.notify_all();
+      continue;
+    } else {
+      record.state = JobState::kFailed;
+      record.outcome.error = run.ToString();
+      metrics.GetCounter("server.jobs.failed")->Add();
+      if (run.code() == StatusCode::kDeadlineExceeded) {
+        metrics.GetCounter("server.jobs.deadline_exceeded")->Add();
+      }
+    }
+    if (Status fin = PersistTransition(record, "server.job_done");
+        !fin.ok()) {
+      // The terminal state is in memory but not durable; a restart re-runs
+      // the job, which is idempotent (deterministic output, atomic
+      // publish).
+      std::fprintf(stderr, "server: final ledger write for job %lld: %s\n",
+                   static_cast<long long>(record.id), fin.ToString().c_str());
+    }
+    StoreRecord(record);
+    running_.fetch_sub(1, std::memory_order_relaxed);
+    idle_.notify_all();
+  }
+}
+
+Status AnonymizationService::MaterializeWithRequirements(
+    const JobSpec& spec, const std::string& path) const {
+  WCOP_ASSIGN_OR_RETURN(
+      store::TrajectoryStoreReader reader,
+      RetryResultCall<store::TrajectoryStoreReader>(retry_, [&] {
+        return store::TrajectoryStoreReader::Open(spec.input_store);
+      }));
+  WCOP_ASSIGN_OR_RETURN(store::TrajectoryStoreWriter writer,
+                        store::TrajectoryStoreWriter::Create(path));
+  for (size_t i = 0; i < reader.size(); ++i) {
+    WCOP_ASSIGN_OR_RETURN(Trajectory t, reader.Read(i));
+    Requirement req;
+    req.k = spec.assign_k;
+    req.delta =
+        spec.assign_delta > 0.0 ? spec.assign_delta : t.requirement().delta;
+    t.set_requirement(req);
+    WCOP_RETURN_IF_ERROR(writer.Append(t));
+  }
+  return writer.Finish();
+}
+
+Status AnonymizationService::ExecuteJob(JobRecord* record) {
+  const JobSpec& spec = record->spec;
+  WCOP_TRACE_SPAN(&telemetry_, "server/job");
+
+  RunContext ctx;
+  ctx.set_cancellation_token(shutdown_token_);
+  if (spec.deadline_ms > 0) {
+    // The deadline clock started at admission: time spent waiting in the
+    // queue counts, so an overloaded service fails deadlined jobs fast
+    // instead of running them pointlessly late.
+    std::chrono::steady_clock::time_point admitted;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = admitted_at_.find(record->id);
+      admitted = it != admitted_at_.end()
+                     ? it->second
+                     : std::chrono::steady_clock::now();
+    }
+    const auto total = std::chrono::milliseconds(spec.deadline_ms);
+    const auto elapsed = std::chrono::steady_clock::now() - admitted;
+    if (elapsed >= total) {
+      return Status::DeadlineExceeded("job deadline (" +
+                                      std::to_string(spec.deadline_ms) +
+                                      " ms) expired while queued");
+    }
+    ctx.set_deadline_after(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(total -
+                                                             elapsed));
+  }
+  if (spec.max_distance_computations > 0) {
+    ResourceBudget budget;
+    budget.max_distance_computations = spec.max_distance_computations;
+    ctx.set_budget(budget);
+  }
+
+  const std::string work_dir = WorkDir(record->id);
+  WCOP_RETURN_IF_ERROR(MakeDir(work_dir));
+  WCOP_FAILPOINT("server.job_prepare");
+
+  std::string input_path = spec.input_store;
+  if (spec.assign_k > 0) {
+    input_path = work_dir + "/input.wst";
+    WCOP_RETURN_IF_ERROR(MaterializeWithRequirements(spec, input_path));
+  }
+  WCOP_ASSIGN_OR_RETURN(
+      store::TrajectoryStoreReader reader,
+      RetryResultCall<store::TrajectoryStoreReader>(retry_, [&] {
+        return store::TrajectoryStoreReader::Open(input_path);
+      }));
+
+  store::ShardRunOptions run;
+  run.wcop.seed = spec.seed;
+  run.wcop.threads = options_.job_threads;
+  run.wcop.run_context = &ctx;
+  run.wcop.telemetry = &telemetry_;
+  run.wcop.allow_partial_results = spec.allow_partial;
+  run.partition.num_shards = spec.shards;
+  run.partition.overlap_margin = spec.overlap_margin;
+  run.shard_dir = work_dir + "/shards";
+  // Per-job checkpoints are what make kill -9 cheap: a restarted job
+  // resumes past every shard that already finished.
+  run.checkpoint_dir = work_dir + "/ckpt";
+  run.verify_shards = options_.verify_jobs;
+
+  Result<store::ShardedRunResult> result =
+      store::RunShardedWcopCt(reader, run);
+  WCOP_RETURN_IF_ERROR(result.status());
+  if (shutdown_token_.cancellation_requested()) {
+    // The run finished (possibly degraded) under the shutdown token, but
+    // teardown must never publish: the job requeues and republishes
+    // deterministically on the next start.
+    return Status::Cancelled("service shutting down before publication");
+  }
+  if (!result->all_verified) {
+    return Status::Internal(
+        "anonymity audit rejected the output; nothing published");
+  }
+
+  JobOutcome* out = &record->outcome;
+  const AnonymizationReport& report = result->merged.report;
+  out->degraded = report.degraded;
+  out->degraded_reason = report.degraded_reason;
+  out->verified = options_.verify_jobs;
+  out->published = result->merged.sanitized.size();
+  out->suppressed = report.trashed_trajectories;
+  out->clusters = report.num_clusters;
+  out->total_distortion = report.total_distortion;
+  out->resumed_shards = result->resumed_shards;
+
+  // Atomic publication: the output path never holds partial bytes, and a
+  // kill between the tmp write and the rename leaves an orphan the
+  // startup janitor sweeps.
+  const std::string tmp = spec.output_csv + ".tmp";
+  WCOP_RETURN_IF_ERROR(RetryCall(retry_, [&] {
+    return WriteDatasetCsv(result->merged.sanitized, tmp);
+  }));
+  WCOP_FAILPOINT("server.job_output");
+  if (std::rename(tmp.c_str(), spec.output_csv.c_str()) != 0) {
+    return Status::IoError("rename '" + tmp + "' -> '" + spec.output_csv +
+                           "': " + std::string(std::strerror(errno)));
+  }
+  WCOP_FAILPOINT("server.job_commit");
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace wcop

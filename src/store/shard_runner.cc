@@ -502,6 +502,15 @@ Result<ShardedRunResult> RunShardedWcopCt(const TrajectoryStoreReader& source,
   if (!options.checkpoint_dir.empty()) {
     WCOP_RETURN_IF_ERROR(MakeDir(options.checkpoint_dir));
   }
+  // Janitor pass: a kill between write-tmp and rename (store writer or
+  // checkpoint snapshot) leaves `*.tmp` orphans behind; sweep them now,
+  // before any writer is live, so crashed runs converge instead of
+  // accumulating garbage.
+  WCOP_RETURN_IF_ERROR(SweepStaleArtifacts(shard_dir, parent_tel).status());
+  if (!options.checkpoint_dir.empty()) {
+    WCOP_RETURN_IF_ERROR(
+        SweepStaleArtifacts(options.checkpoint_dir, parent_tel).status());
+  }
 
   // Phase 1: materialize one store file per shard. Sequential by design —
   // reads walk the source forward per shard (members are sorted) and the

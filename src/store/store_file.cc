@@ -1,5 +1,6 @@
 #include "store/store_file.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -537,6 +538,49 @@ Status WriteDatasetStore(const Dataset& dataset, const std::string& path) {
     WCOP_RETURN_IF_ERROR(writer.Append(t));
   }
   return writer.Finish();
+}
+
+Result<size_t> SweepStaleArtifacts(const std::string& dir,
+                                   telemetry::Telemetry* telemetry) {
+  WCOP_FAILPOINT("janitor.sweep");
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    if (errno == ENOENT) {
+      return size_t{0};  // nothing there yet, nothing to sweep
+    }
+    return Status::IoError("janitor: cannot open directory " + dir + ": " +
+                           std::strerror(errno));
+  }
+  size_t removed = 0;
+  Status first_error;
+  for (struct dirent* entry = ::readdir(handle); entry != nullptr;
+       entry = ::readdir(handle)) {
+    const std::string_view name(entry->d_name);
+    constexpr std::string_view kSuffix = ".tmp";
+    if (name.size() <= kSuffix.size() ||
+        name.substr(name.size() - kSuffix.size()) != kSuffix) {
+      continue;
+    }
+    const std::string path = dir + "/" + std::string(name);
+    if (std::remove(path.c_str()) != 0) {
+      if (first_error.ok()) {
+        first_error = Status::IoError("janitor: cannot remove " + path +
+                                      ": " + std::strerror(errno));
+      }
+      continue;
+    }
+    ++removed;
+    std::fprintf(stderr, "janitor: removed stale artifact %s\n",
+                 path.c_str());
+  }
+  ::closedir(handle);
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  if (telemetry != nullptr && removed > 0) {
+    telemetry->metrics().GetCounter("janitor.stale_removed")->Add(removed);
+  }
+  return removed;
 }
 
 }  // namespace store

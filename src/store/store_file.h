@@ -43,6 +43,7 @@
 #include "common/result.h"
 #include "common/run_context.h"
 #include "common/status.h"
+#include "common/telemetry.h"
 #include "traj/dataset.h"
 #include "traj/trajectory.h"
 
@@ -163,6 +164,18 @@ class TrajectoryStoreReader {
 /// Writes every trajectory of `dataset` to a store file at `path`
 /// (Create + Append* + Finish).
 Status WriteDatasetStore(const Dataset& dataset, const std::string& path);
+
+/// Stale-artifact janitor: removes every `*.tmp` entry in `dir` and returns
+/// how many were swept. Every durable writer in the codebase (snapshot
+/// envelope, store writer, the service's atomic output publish) follows the
+/// write-`<path>.tmp` → fsync → rename protocol, so after a crash anything
+/// still named `*.tmp` is by construction an orphan of an interrupted
+/// write — never a complete artifact. Call it only at startup / directory
+/// open, before any writer is live in the directory. A missing `dir` is not
+/// an error (nothing to sweep). Each removal is logged to stderr and
+/// counted on the `janitor.stale_removed` telemetry counter.
+Result<size_t> SweepStaleArtifacts(const std::string& dir,
+                                   telemetry::Telemetry* telemetry = nullptr);
 
 }  // namespace store
 }  // namespace wcop

@@ -179,6 +179,71 @@ TEST(RetryTest, ResultFlavourPropagatesNonRetryable) {
   EXPECT_EQ(r.status().code(), StatusCode::kParseError);
 }
 
+// ---------------------------------------------------------------------------
+// Observability: retry.attempts / retry.exhausted counters.
+// ---------------------------------------------------------------------------
+
+TEST(RetryTest, RecordsAttemptsOnSuccess) {
+  telemetry::MetricsRegistry metrics;
+  RetryPolicy policy = NoJitterPolicy();
+  policy.metrics = &metrics;
+  int calls = 0;
+  Status s = RetryCall(policy, [&]() {
+    return ++calls < 3 ? Status::IoError("transient") : Status::OK();
+  });
+  ASSERT_TRUE(s.ok()) << s;
+  const telemetry::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("retry.attempts"), 3u);
+  // A recovered blip is not exhaustion.
+  EXPECT_EQ(snapshot.CounterValue("retry.exhausted"), 0u);
+}
+
+TEST(RetryTest, RecordsExhaustionWhenEveryAttemptFailsRetryably) {
+  telemetry::MetricsRegistry metrics;
+  RetryPolicy policy = NoJitterPolicy();  // max_attempts = 4
+  policy.metrics = &metrics;
+  Status s = RetryCall(policy, [&]() { return Status::IoError("down"); });
+  ASSERT_FALSE(s.ok());
+  const telemetry::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("retry.attempts"), 4u);
+  EXPECT_EQ(snapshot.CounterValue("retry.exhausted"), 1u);
+}
+
+TEST(RetryTest, NonRetryableFailureIsNotExhaustion) {
+  // kDataLoss short-circuits on the first attempt: one attempt recorded,
+  // no exhaustion — the backend is not "down", the data is bad.
+  telemetry::MetricsRegistry metrics;
+  RetryPolicy policy = NoJitterPolicy();
+  policy.metrics = &metrics;
+  Status s = RetryCall(policy, [&]() { return Status::DataLoss("corrupt"); });
+  ASSERT_FALSE(s.ok());
+  const telemetry::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("retry.attempts"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("retry.exhausted"), 0u);
+}
+
+TEST(RetryTest, CountersAccumulateAcrossCalls) {
+  telemetry::MetricsRegistry metrics;
+  RetryPolicy policy = NoJitterPolicy();
+  policy.metrics = &metrics;
+  EXPECT_TRUE(RetryCall(policy, [] { return Status::OK(); }).ok());
+  EXPECT_FALSE(RetryCall(policy, [] { return Status::IoError("x"); }).ok());
+  const telemetry::MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("retry.attempts"), 1u + 4u);
+  EXPECT_EQ(snapshot.CounterValue("retry.exhausted"), 1u);
+}
+
+TEST(RetryTest, ResultFlavourSharesTheSameCounters) {
+  telemetry::MetricsRegistry metrics;
+  RetryPolicy policy = NoJitterPolicy();
+  policy.metrics = &metrics;
+  Result<int> r = RetryResultCall<int>(policy, [&]() -> Result<int> {
+    return Status::IoError("down");
+  });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(metrics.Snapshot().CounterValue("retry.exhausted"), 1u);
+}
+
 // With sleeping enabled the wall-clock pause matches the schedule at least
 // approximately (lower bound only; CI machines can oversleep freely).
 TEST(RetryTest, SleepsAtLeastTheScheduledBackoff) {

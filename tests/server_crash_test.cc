@@ -1,0 +1,312 @@
+// Crash-recovery harness for the anonymization service: kill -9 (well,
+// SIGABRT via failpoint) at every job-lifecycle transition, restart on the
+// same job directory, and require that every accepted job still completes
+// with byte-identical published output.
+//
+// The binary doubles as its own crash victim. Invoked as
+//
+//   server_crash_test --child=serve <job_dir> <dump_path>
+//
+// it starts an in-process AnonymizationService rooted at <job_dir>, submits
+// two deterministic jobs by fixed names (the name is the idempotency key,
+// so the restarted child's resubmission dedupes against ledger-recovered
+// jobs instead of duplicating them), waits for completion, and dumps the
+// published CSV bytes plus the stable outcome fields to <dump_path>.
+// `attempts` and `resumed_shards` are deliberately excluded: they encode
+// how often the job crashed, not what it produced.
+//
+// The gtest side fork/execs that child three ways per armed site:
+//   1. baseline: fresh job_dir, no failpoints -> reference dump;
+//   2. crash: WCOP_FAILPOINTS=<site>:abort@N -> expect death by SIGABRT
+//      mid-lifecycle, dump never written;
+//   3. restart: same job_dir, no failpoints -> must exit cleanly with a
+//      dump byte-identical to the baseline.
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/service.h"
+#include "store/store_file.h"
+#include "test_util.h"
+
+namespace wcop {
+namespace {
+
+using testing_util::SmallSynthetic;
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+// ---------------------------------------------------------------------------
+// Child: one service life on <job_dir>.
+// ---------------------------------------------------------------------------
+
+int RunServeChild(const std::string& job_dir, const std::string& out_path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(job_dir, ec);
+
+  // The input store is created once, before the service starts: on restart
+  // the recovered jobs begin executing immediately and must find it.
+  const std::string store_path = job_dir + "/input.wst";
+  if (!fs::exists(store_path)) {
+    if (Status s = store::WriteDatasetStore(SmallSynthetic(24, 24),
+                                            store_path);
+        !s.ok()) {
+      std::fprintf(stderr, "child: store write failed: %s\n",
+                   s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  server::ServiceOptions options;
+  options.job_dir = job_dir + "/service";
+  options.queue_capacity = 8;
+  options.workers = 1;
+  Result<std::unique_ptr<server::AnonymizationService>> service =
+      server::AnonymizationService::Start(options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "child: start failed: %s\n",
+                 service.status().ToString().c_str());
+    return 2;
+  }
+
+  // Two jobs exercising distinct execution paths: a sharded run and a
+  // requirement-override (materialized input) run. Fixed names: a restarted
+  // child resubmits the same names and dedup makes that a no-op for any
+  // job the ledger already knows.
+  server::JobSpec alpha;
+  alpha.name = "alpha";
+  alpha.input_store = store_path;
+  alpha.shards = 2;
+  server::JobSpec beta;
+  beta.name = "beta";
+  beta.input_store = store_path;
+  beta.assign_k = 3;
+  beta.assign_delta = 400.0;
+  for (const server::JobSpec& spec : {alpha, beta}) {
+    Result<int64_t> id = (*service)->Submit(spec);
+    if (!id.ok()) {
+      std::fprintf(stderr, "child: submit '%s' failed: %s\n",
+                   spec.name.c_str(), id.status().ToString().c_str());
+      return 2;
+    }
+  }
+
+  (*service)->AwaitIdle();
+  std::vector<server::JobRecord> jobs = (*service)->Jobs();
+  (*service)->BeginShutdown(/*drain=*/true);
+  (*service)->AwaitTermination();
+
+  if (jobs.size() != 2) {
+    std::fprintf(stderr, "child: expected 2 jobs, have %zu\n", jobs.size());
+    return 3;
+  }
+  std::sort(jobs.begin(), jobs.end(),
+            [](const server::JobRecord& a, const server::JobRecord& b) {
+              return a.spec.name < b.spec.name;
+            });
+
+  std::string dump;
+  char buf[256];
+  for (const server::JobRecord& job : jobs) {
+    if (job.state != server::JobState::kDone) {
+      std::fprintf(stderr, "child: job '%s' ended %s: %s\n",
+                   job.spec.name.c_str(),
+                   std::string(server::JobStateName(job.state)).c_str(),
+                   job.outcome.error.c_str());
+      return 3;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "job %s degraded %d verified %d published %" PRIu64
+                  " suppressed %" PRIu64 " clusters %" PRIu64
+                  " distortion %.17g\n",
+                  job.spec.name.c_str(), job.outcome.degraded ? 1 : 0,
+                  job.outcome.verified ? 1 : 0, job.outcome.published,
+                  job.outcome.suppressed, job.outcome.clusters,
+                  job.outcome.total_distortion);
+    dump.append(buf);
+    const std::string csv = ReadFileBytes(job.spec.output_csv);
+    if (csv.empty()) {
+      std::fprintf(stderr, "child: job '%s' published no output at %s\n",
+                   job.spec.name.c_str(), job.spec.output_csv.c_str());
+      return 3;
+    }
+    std::snprintf(buf, sizeof(buf), "csv %s %zu\n", job.spec.name.c_str(),
+                  csv.size());
+    dump.append(buf);
+    dump.append(csv);
+  }
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out.write(dump.data(), static_cast<std::streamsize>(dump.size()));
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "child: cannot write %s\n", out_path.c_str());
+    return 4;
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side process harness.
+// ---------------------------------------------------------------------------
+
+struct ChildOutcome {
+  bool signalled = false;
+  int signal = 0;
+  int exit_code = -1;
+};
+
+ChildOutcome SpawnChild(const std::string& job_dir,
+                        const std::string& out_path,
+                        const std::string& failpoints) {
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    if (failpoints.empty()) {
+      ::unsetenv("WCOP_FAILPOINTS");
+    } else {
+      ::setenv("WCOP_FAILPOINTS", failpoints.c_str(), 1);
+    }
+    ::execl("/proc/self/exe", "server_crash_test", "--child=serve",
+            job_dir.c_str(), out_path.c_str(), static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  ChildOutcome outcome;
+  if (pid < 0) {
+    return outcome;  // fork failed -> exit_code stays -1
+  }
+  int status = 0;
+  if (::waitpid(pid, &status, 0) != pid) {
+    return outcome;
+  }
+  if (WIFSIGNALED(status)) {
+    outcome.signalled = true;
+    outcome.signal = WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    outcome.exit_code = WEXITSTATUS(status);
+  }
+  return outcome;
+}
+
+class ServerCrashTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(::testing::TempDir()) /
+           ("server_crash_" + std::string(::testing::UnitTest::GetInstance()
+                                              ->current_test_info()
+                                              ->name()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::string Baseline() {
+    const std::string baseline_out = Path("baseline.dump");
+    const ChildOutcome baseline =
+        SpawnChild(Path("jobs_baseline"), baseline_out, "");
+    EXPECT_FALSE(baseline.signalled) << "baseline died: " << baseline.signal;
+    EXPECT_EQ(baseline.exit_code, 0);
+    const std::string expected = ReadFileBytes(baseline_out);
+    EXPECT_FALSE(expected.empty());
+    return expected;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// The kill matrix: every transition of the job lifecycle state machine
+// (DESIGN.md "Service operation & fault tolerance"), plus the snapshot
+// envelope under the ledger and the shard checkpoints under execution.
+TEST_F(ServerCrashTest, EveryLifecycleTransitionSurvivesKillAndRestart) {
+  const std::string expected = Baseline();
+  ASSERT_FALSE(expected.empty());
+
+  const std::vector<std::string> kill_specs = {
+      "server.admit:abort@2",          // mid-admission of the second job
+      "server.ledger_append:abort@1",  // first durable append
+      "snapshot.rename:abort@1",       // inside the ledger's atomic write
+      "server.job_claim:abort@1",      // queued -> running transition
+      "server.ledger_update:abort@1",  // the ledger half of the claim
+      "server.job_prepare:abort@1",    // work dir staged, nothing run
+      "shard.checkpoint_saved:abort@1",  // mid-execution checkpoint
+      "server.job_output:abort@1",     // output staged as .tmp, not renamed
+      "server.job_commit:abort@1",     // output renamed, state not yet done
+      "server.job_done:abort@1",       // running -> done transition, job 1
+      "server.job_done:abort@2",       // running -> done transition, job 2
+  };
+  for (size_t i = 0; i < kill_specs.size(); ++i) {
+    const std::string& spec = kill_specs[i];
+    SCOPED_TRACE("killed at " + spec);
+    const std::string job_dir = Path("jobs_" + std::to_string(i));
+    const std::string out = Path("out_" + std::to_string(i));
+
+    const ChildOutcome crash = SpawnChild(job_dir, out, spec);
+    ASSERT_TRUE(crash.signalled)
+        << "expected SIGABRT, child exited with " << crash.exit_code;
+    EXPECT_EQ(crash.signal, SIGABRT);
+    EXPECT_TRUE(ReadFileBytes(out).empty())
+        << "crashed child must not have published a dump";
+
+    const ChildOutcome restart = SpawnChild(job_dir, out, "");
+    ASSERT_FALSE(restart.signalled)
+        << "restart died with signal " << restart.signal;
+    ASSERT_EQ(restart.exit_code, 0);
+    EXPECT_EQ(ReadFileBytes(out), expected)
+        << "recovered service output differs from the uninterrupted run";
+  }
+}
+
+// Crashing twice — once with the output staged, once with it committed but
+// the ledger still saying "running" — must still converge.
+TEST_F(ServerCrashTest, RepeatedCrashesStillConverge) {
+  const std::string expected = Baseline();
+  ASSERT_FALSE(expected.empty());
+
+  const std::string job_dir = Path("jobs");
+  const std::string out = Path("out");
+  const ChildOutcome first =
+      SpawnChild(job_dir, out, "server.job_output:abort@1");
+  ASSERT_TRUE(first.signalled);
+  EXPECT_EQ(first.signal, SIGABRT);
+  const ChildOutcome second =
+      SpawnChild(job_dir, out, "server.job_commit:abort@1");
+  ASSERT_TRUE(second.signalled);
+  EXPECT_EQ(second.signal, SIGABRT);
+
+  const ChildOutcome restart = SpawnChild(job_dir, out, "");
+  ASSERT_FALSE(restart.signalled)
+      << "restart died with signal " << restart.signal;
+  ASSERT_EQ(restart.exit_code, 0);
+  EXPECT_EQ(ReadFileBytes(out), expected);
+}
+
+}  // namespace
+}  // namespace wcop
+
+// Custom main: child mode must not run the test suite.
+int main(int argc, char** argv) {
+  if (argc == 4 && std::string(argv[1]) == "--child=serve") {
+    return wcop::RunServeChild(argv[2], argv[3]);
+  }
+  ::testing::InitGoogleTest(&argc, argv);
+  return RUN_ALL_TESTS();
+}
