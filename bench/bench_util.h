@@ -3,6 +3,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -106,9 +107,15 @@ inline void PrintHeader(const std::string& title) {
 /// each benchmark configuration appends one record
 ///
 ///   {"bench":"table3","config":{"points":120,...},"seconds":1.23,
-///    "metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+///    "metrics":{"counters":{...},"gauges":{...},"histograms":{...}},
+///    "delta":{"counters":{...}}}
 ///
-/// and Flush() writes the array. A missing flag turns everything into a
+/// `delta.counters` is this phase's counter increase over the previous
+/// Add() — benches typically share one registry across configurations, so
+/// the cumulative `metrics.counters` conflates phases while the delta
+/// isolates each one (e.g. distance calls attributable to *this* config).
+///
+/// Flush() writes the array. A missing flag turns everything into a
 /// no-op so benches can call Add/Flush unconditionally.
 class JsonOut {
  public:
@@ -136,7 +143,28 @@ class JsonOut {
     char seconds_buf[64];
     std::snprintf(seconds_buf, sizeof(seconds_buf), "%.10g", seconds);
     os << "},\"seconds\":" << seconds_buf
-       << ",\"metrics\":" << MetricsToJson(metrics) << "}";
+       << ",\"metrics\":" << MetricsToJson(metrics);
+    os << ",\"delta\":{\"counters\":{";
+    bool first = true;
+    for (const auto& [name, value] : metrics.counters) {
+      const auto it = last_counters_.find(name);
+      // A phase that runs on a fresh registry restarts from zero; treat a
+      // shrinking counter as a restart and report the absolute value.
+      const uint64_t delta =
+          (it != last_counters_.end() && value >= it->second)
+              ? value - it->second
+              : value;
+      if (delta == 0) {
+        continue;
+      }
+      os << (first ? "" : ",") << "\"" << name << "\":" << delta;
+      first = false;
+    }
+    os << "}}}";
+    last_counters_.clear();
+    for (const auto& [name, value] : metrics.counters) {
+      last_counters_[name] = value;
+    }
     records_.push_back(os.str());
   }
 
@@ -168,6 +196,8 @@ class JsonOut {
  private:
   std::string path_;
   std::vector<std::string> records_;
+  /// Counter values at the previous Add(), for per-phase deltas.
+  std::map<std::string, uint64_t> last_counters_;
 };
 
 }  // namespace bench

@@ -19,6 +19,7 @@
 #include "anon/report_json.h"
 #include "anon/wcop.h"
 #include "common/arg_parser.h"
+#include "common/log.h"
 #include "common/run_context.h"
 #include "common/signals.h"
 #include "common/telemetry.h"
@@ -114,18 +115,21 @@ int main(int argc, char** argv) {
         "                as T independent far-apart cities)");
     return 0;
   }
+  if (!log::ConfigureFromArgs(args, "anonymize_csv")) {
+    return 1;
+  }
 
   // Streaming CSV -> store conversion: holds one trajectory in memory.
   if (args.Has("csv2store")) {
     if (!args.Has("in")) {
-      std::cerr << "--csv2store requires --in=FILE.csv\n";
+      log::Error("--csv2store requires --in=FILE.csv");
       return 1;
     }
     const std::string store_path = args.GetString("csv2store", "dataset.wst");
     Result<StoreConvertStats> stats =
         ConvertCsvToStore(args.GetString("in", ""), store_path);
     if (!stats.ok()) {
-      std::cerr << "csv2store failed: " << stats.status() << "\n";
+      log::Error("csv2store failed", {{"status", stats.status().ToString()}});
       return 1;
     }
     std::printf("wrote %s: %zu trajectories, %llu points\n",
@@ -136,7 +140,7 @@ int main(int argc, char** argv) {
 
   Result<Dataset> maybe_dataset = LoadInput(args);
   if (!maybe_dataset.ok()) {
-    std::cerr << "load failed: " << maybe_dataset.status() << "\n";
+    log::Error("load failed", {{"status", maybe_dataset.status().ToString()}});
     return 1;
   }
   Dataset dataset = std::move(maybe_dataset).value();
@@ -201,7 +205,7 @@ int main(int argc, char** argv) {
   Dataset audited_input = dataset;
   AnonymizationResult result;
   if (shards > 0 && algo != "ct") {
-    std::cerr << "--shards is only supported with --algo=ct\n";
+    log::Error("--shards is only supported with --algo=ct");
     return 1;
   }
   if (algo == "ct" && shards > 0) {
@@ -212,13 +216,13 @@ int main(int argc, char** argv) {
                        args.GetString("out", "anonymized.csv") + ".input.wst");
     Status write_store = store::WriteDatasetStore(dataset, store_path);
     if (!write_store.ok()) {
-      std::cerr << "store write failed: " << write_store << "\n";
+      log::Error("store write failed", {{"status", write_store.ToString()}});
       return 1;
     }
     Result<store::TrajectoryStoreReader> reader =
         store::TrajectoryStoreReader::Open(store_path);
     if (!reader.ok()) {
-      std::cerr << "store open failed: " << reader.status() << "\n";
+      log::Error("store open failed", {{"status", reader.status().ToString()}});
       return 1;
     }
     store::ShardRunOptions run;
@@ -320,7 +324,7 @@ int main(int argc, char** argv) {
                 r->bound_satisfied ? "satisfied" : "NOT reachable");
     result = std::move(r->anonymization);
   } else {
-    std::cerr << "unknown --algo=" << algo << "\n";
+    log::Error("unknown --algo", {{"algo", algo}});
     return 1;
   }
 
@@ -335,7 +339,7 @@ int main(int argc, char** argv) {
   if (!trace_out.empty()) {
     Status s = telemetry.WriteChromeTrace(trace_out);
     if (!s.ok()) {
-      std::cerr << "trace export failed: " << s << "\n";
+      log::Error("trace export failed", {{"status", s.ToString()}});
       return 1;
     }
     std::printf("wrote %s (open in chrome://tracing)\n", trace_out.c_str());
@@ -343,7 +347,7 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     Status s = WriteJsonFile(MetricsToJson(rep.metrics), metrics_out);
     if (!s.ok()) {
-      std::cerr << "metrics export failed: " << s << "\n";
+      log::Error("metrics export failed", {{"status", s.ToString()}});
       return 1;
     }
     std::printf("wrote %s\n", metrics_out.c_str());

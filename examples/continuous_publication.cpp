@@ -18,6 +18,7 @@
 #include "anon/report_json.h"
 #include "anon/wcop.h"
 #include "common/arg_parser.h"
+#include "common/log.h"
 #include "common/table_printer.h"
 #include "data/synthetic.h"
 
@@ -25,6 +26,9 @@ using namespace wcop;
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
+  if (!log::ConfigureFromArgs(args, "continuous_publication")) {
+    return 1;
+  }
 
   SyntheticOptions gen;
   gen.seed = 23;
@@ -36,7 +40,8 @@ int main(int argc, char** argv) {
   gen.dataset_duration_days = 0.5;  // a busy half-day of traffic
   Result<Dataset> maybe_dataset = GenerateSyntheticGeoLife(gen);
   if (!maybe_dataset.ok()) {
-    std::cerr << maybe_dataset.status() << "\n";
+    log::Error("synthetic generation failed",
+               {{"status", maybe_dataset.status().ToString()}});
     return 1;
   }
   Dataset dataset = std::move(maybe_dataset).value();
@@ -48,7 +53,8 @@ int main(int argc, char** argv) {
   wcop.seed = 31;
   Result<AnonymizationResult> offline = RunWcopCt(dataset, wcop);
   if (!offline.ok()) {
-    std::cerr << offline.status() << "\n";
+    log::Error("offline reference run failed",
+               {{"status", offline.status().ToString()}});
     return 1;
   }
 
@@ -61,7 +67,7 @@ int main(int argc, char** argv) {
       static_cast<size_t>(args.GetInt("checkpoint-every", 1));
   Result<StreamingResult> live = RunStreamingWcop(dataset, streaming);
   if (!live.ok()) {
-    std::cerr << live.status() << "\n";
+    log::Error("streaming run failed", {{"status", live.status().ToString()}});
     return 1;
   }
   if (live->resumed) {

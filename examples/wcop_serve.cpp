@@ -28,6 +28,7 @@
 #include <thread>
 
 #include "common/arg_parser.h"
+#include "common/log.h"
 #include "common/signals.h"
 #include "server/endpoint.h"
 #include "server/service.h"
@@ -86,8 +87,13 @@ int main(int argc, char** argv) {
         "           [--default-deadline-ms=0] [--default-budget=0]\n"
         "           [--allow-partial-default]\n"
         "           [--tenants=\"name:k:delta:deadline_ms:allow_partial;"
-        "...\"]");
+        "...\"]\n"
+        "           [--log-level=info] [--log-format=text|json] "
+        "[--log-out=PATH]");
     return args.Has("help") ? 0 : 1;
+  }
+  if (!log::ConfigureFromArgs(args, "wcop_serve")) {
+    return 1;
   }
 
   ServiceOptions options;
@@ -108,8 +114,9 @@ int main(int argc, char** argv) {
       args.GetBool("allow-partial-default", false);
   if (args.Has("tenants") &&
       !ParseTenantPolicies(args.GetString("tenants", ""), &options.tenants)) {
-    std::cerr << "bad --tenants spec (want "
-                 "name:k:delta:deadline_ms:allow_partial;...)\n";
+    log::Error(
+        "bad --tenants spec (want name:k:delta:deadline_ms:allow_partial;"
+        "...)");
     return 1;
   }
 
@@ -121,12 +128,16 @@ int main(int argc, char** argv) {
   Result<std::unique_ptr<AnonymizationService>> service =
       AnonymizationService::Start(options);
   if (!service.ok()) {
-    std::cerr << "service start failed: " << service.status() << "\n";
+    log::Error("service start failed",
+               {{"status", service.status().ToString()}});
     return 1;
   }
   if ((*service)->recovered_jobs() > 0) {
-    std::printf("recovered %zu unfinished job(s) from the ledger\n",
-                (*service)->recovered_jobs());
+    // "recovered" stays in the message verbatim: CI greps daemon logs
+    // for it after a kill -9 / restart cycle.
+    log::Info("recovered unfinished job(s) from the ledger",
+              {{"count", static_cast<unsigned long long>(
+                             (*service)->recovered_jobs())}});
   }
 
   HttpServer::Options http;
@@ -135,14 +146,16 @@ int main(int argc, char** argv) {
   Result<std::unique_ptr<ServiceEndpoint>> endpoint =
       ServiceEndpoint::Attach(service->get(), http);
   if (!endpoint.ok()) {
-    std::cerr << "endpoint start failed: " << endpoint.status() << "\n";
+    log::Error("endpoint start failed",
+               {{"status", endpoint.status().ToString()}});
     return 1;
   }
-  std::printf("wcop_serve listening on %s (queue capacity %zu, %d "
-              "worker(s))\n",
-              http.socket_path.c_str(), options.queue_capacity,
-              options.workers);
-  std::fflush(stdout);
+  log::Info("listening",
+            {{"socket", http.socket_path},
+             {"queue_capacity",
+              static_cast<unsigned long long>(options.queue_capacity)},
+             {"workers", options.workers},
+             {"job_dir", options.job_dir}});
 
   while (!shutdown.cancellation_requested() &&
          !(*endpoint)->shutdown_requested()) {
@@ -150,12 +163,11 @@ int main(int argc, char** argv) {
   }
   const bool drain =
       (*endpoint)->drain_requested() && !shutdown.cancellation_requested();
-  std::printf("shutting down (%s)...\n", drain ? "drain" : "immediate");
-  std::fflush(stdout);
+  log::Info("shutting down", {{"mode", drain ? "drain" : "immediate"}});
 
   (*endpoint)->Stop();  // stop intake before tearing the service down
   (*service)->BeginShutdown(drain);
   (*service)->AwaitTermination();
-  std::puts("bye");
+  log::Info("bye");  // CI greps daemon logs for "bye" after a drain
   return 0;
 }

@@ -6,19 +6,28 @@
 //   ./wcop_submit --socket=PATH --name=run1 --input=data.wst [--output=o.csv]
 //                 [--tenant=alice] [--k=5 --delta=250] [--shards=4]
 //                 [--deadline-ms=60000] [--budget=N] [--allow-partial]
-//                 [--seed=7] [--wait --wait-ms=600000]
-//   ./wcop_submit --socket=PATH --job=ID [--wait]
-//   ./wcop_submit --socket=PATH --health | --metrics
+//                 [--seed=7] [--wait --wait-ms=600000] [--follow]
+//   ./wcop_submit --socket=PATH --job=ID [--wait | --follow]
+//   ./wcop_submit --socket=PATH --jobs
+//   ./wcop_submit --socket=PATH --trace=ID
+//   ./wcop_submit --socket=PATH --health | --metrics [--metrics-format=text]
 //   ./wcop_submit --socket=PATH --shutdown=drain|now
+//
+// --follow polls the job and prints each state transition (queued ->
+// running -> done/failed) with elapsed time and live shard progress.
+// --trace prints the job's Chrome trace JSON (load it in a trace viewer).
 //
 // Exit code: 0 on success (job done), 2 on backpressure (retry later),
 // 3 on a failed/deadline-exceeded job, 1 on any other error.
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include "common/arg_parser.h"
+#include "common/log.h"
 #include "server/client.h"
 
 using namespace wcop;
@@ -31,6 +40,9 @@ void PrintRecord(const JobRecord& record) {
               static_cast<long long>(record.id), record.spec.name.c_str(),
               std::string(JobStateName(record.state)).c_str(),
               static_cast<unsigned long long>(record.attempts));
+  if (!record.trace_id.empty()) {
+    std::printf("  trace: %s\n", record.trace_id.c_str());
+  }
   if (record.state == JobState::kDone) {
     std::printf(
         "  published %llu, suppressed %llu, clusters %llu, distortion "
@@ -54,6 +66,65 @@ int TerminalExitCode(const JobRecord& record) {
   return record.state == JobState::kDone ? 0 : 3;
 }
 
+/// --follow: poll the job, printing one line per state transition
+/// (queued -> running -> done) and per shard-progress advance, each
+/// stamped with elapsed time since the follow began.
+Result<JobRecord> FollowJob(const ServiceClient& client, int64_t id,
+                            std::chrono::milliseconds timeout) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + timeout;
+  JobState last_state = JobState::kQueued;
+  bool printed_any = false;
+  uint64_t last_done = 0;
+  while (true) {
+    Result<JobRecord> record = client.GetJob(id);
+    if (!record.ok()) {
+      return record.status();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const bool transition = !printed_any || record->state != last_state;
+    const bool progressed = record->state == JobState::kRunning &&
+                            record->progress.shards_done != last_done;
+    if (transition || progressed) {
+      std::printf("[%7.2fs] job %lld %s", elapsed,
+                  static_cast<long long>(id),
+                  std::string(JobStateName(record->state)).c_str());
+      if (record->progress.shards_total > 0 &&
+          record->state != JobState::kQueued) {
+        std::printf("  shards %llu/%llu  distance_calls %llu",
+                    static_cast<unsigned long long>(
+                        record->progress.shards_done),
+                    static_cast<unsigned long long>(
+                        record->progress.shards_total),
+                    static_cast<unsigned long long>(
+                        record->progress.distance_calls));
+        if (record->state == JobState::kRunning &&
+            record->progress.eta_seconds > 0) {
+          std::printf("  eta %.1fs", record->progress.eta_seconds);
+        }
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+      printed_any = true;
+      last_state = record->state;
+      last_done = record->progress.shards_done;
+    }
+    if (record->state == JobState::kDone ||
+        record->state == JobState::kFailed) {
+      return record;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::DeadlineExceeded(
+          "job " + std::to_string(id) + " still " +
+          std::string(JobStateName(record->state)) + " after follow timeout");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,12 +136,18 @@ int main(int argc, char** argv) {
         "    [--k=K --delta=D] [--shards=S] [--deadline-ms=MS] "
         "[--budget=B]\n"
         "    [--allow-partial] [--seed=7] [--wait] [--wait-ms=600000]\n"
-        "  --job=ID [--wait]  |  --health  |  --metrics  |  "
-        "--shutdown=drain|now");
+        "  --job=ID [--wait | --follow]  |  --jobs  |  --trace=ID\n"
+        "  --health  |  --metrics [--metrics-format=text]  |  "
+        "--shutdown=drain|now\n"
+        "  [--log-level=info] [--log-format=text|json] [--log-out=PATH]");
     return args.Has("help") ? 0 : 1;
+  }
+  if (!log::ConfigureFromArgs(args, "wcop_submit")) {
+    return 1;
   }
   const ServiceClient client(args.GetString("socket", ""));
   const bool wait = args.GetBool("wait", false);
+  const bool follow = args.GetBool("follow", false);
   const auto wait_ms =
       std::chrono::milliseconds(args.GetInt("wait-ms", 600000));
 
@@ -84,12 +161,33 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (args.Has("metrics")) {
-    Result<std::string> metrics = client.Metrics();
+    Result<std::string> metrics =
+        client.Metrics(args.GetString("metrics-format", "") == "text");
     if (!metrics.ok()) {
       std::cerr << metrics.status() << "\n";
       return 1;
     }
     std::fputs(metrics->c_str(), stdout);
+    return 0;
+  }
+  if (args.Has("jobs")) {
+    Result<std::vector<JobRecord>> jobs = client.ListJobs();
+    if (!jobs.ok()) {
+      std::cerr << jobs.status() << "\n";
+      return 1;
+    }
+    for (const JobRecord& record : *jobs) {
+      PrintRecord(record);
+    }
+    return 0;
+  }
+  if (args.Has("trace")) {
+    Result<std::string> trace = client.Trace(args.GetInt("trace", 0));
+    if (!trace.ok()) {
+      std::cerr << trace.status() << "\n";
+      return 1;
+    }
+    std::fputs(trace->c_str(), stdout);
     return 0;
   }
   if (args.Has("shutdown")) {
@@ -105,7 +203,8 @@ int main(int argc, char** argv) {
   if (args.Has("job")) {
     const int64_t id = args.GetInt("job", 0);
     Result<JobRecord> record =
-        wait ? client.WaitForJob(id, wait_ms) : client.GetJob(id);
+        follow ? FollowJob(client, id, wait_ms)
+               : (wait ? client.WaitForJob(id, wait_ms) : client.GetJob(id));
     if (!record.ok()) {
       std::cerr << record.status() << "\n";
       return 1;
@@ -142,10 +241,12 @@ int main(int argc, char** argv) {
                                                                        : 1;
   }
   PrintRecord(*submitted);
-  if (!wait) {
+  if (!wait && !follow) {
     return 0;
   }
-  Result<JobRecord> finished = client.WaitForJob(submitted->id, wait_ms);
+  Result<JobRecord> finished =
+      follow ? FollowJob(client, submitted->id, wait_ms)
+             : client.WaitForJob(submitted->id, wait_ms);
   if (!finished.ok()) {
     std::cerr << finished.status() << "\n";
     return 1;

@@ -1,0 +1,200 @@
+// Live terminal ops dashboard for a running wcop_serve daemon — `top` for
+// the anonymization service. Polls the daemon's unix-socket endpoint
+// (GET /healthz, GET /metrics, GET /jobs) every interval and renders:
+//
+//   * service health: accepting/draining, queue depth vs capacity, worker
+//     occupancy, jobs done/failed, jobs recovered from the ledger;
+//   * process vitals from the Prometheus exposition (RSS, CPU seconds,
+//     open fds, uptime);
+//   * one row per job with a progress bar driven by the live
+//     shards_done/shards_total gauge the shard runner publishes;
+//   * rolling throughput: distance calls/s and jobs completed/s computed
+//     from deltas between consecutive scrapes.
+//
+// Usage:
+//   ./wcop_top --socket=PATH [--interval-ms=1000] [--iterations=0]
+//              [--no-clear]
+//
+// --iterations=N renders N frames then exits (0 = run until ^C) — handy
+// for CI smoke tests and for capturing a single frame. --no-clear appends
+// frames instead of redrawing in place.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/arg_parser.h"
+#include "server/client.h"
+
+using namespace wcop;
+using namespace wcop::server;
+
+namespace {
+
+/// "queued 3" lines of GET /healthz -> value of `key`, 0 when absent.
+long HealthValue(const std::string& health, const std::string& key) {
+  size_t pos = 0;
+  while (pos < health.size()) {
+    size_t eol = health.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = health.size();
+    }
+    const std::string line = health.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(key + " ", 0) == 0) {
+      return std::atol(line.c_str() + key.size() + 1);
+    }
+  }
+  return 0;
+}
+
+/// Value of an exact sample name in the Prometheus exposition ("name value"
+/// lines, comments skipped); 0.0 when absent.
+double MetricValue(const std::string& exposition, const std::string& name) {
+  size_t pos = 0;
+  while (pos < exposition.size()) {
+    size_t eol = exposition.find('\n', pos);
+    if (eol == std::string::npos) {
+      eol = exposition.size();
+    }
+    const std::string line = exposition.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind(name + " ", 0) == 0) {
+      return std::atof(line.c_str() + name.size() + 1);
+    }
+  }
+  return 0.0;
+}
+
+std::string ProgressBar(uint64_t done, uint64_t total, int width) {
+  std::string bar;
+  const int filled =
+      total == 0 ? 0
+                 : static_cast<int>(static_cast<double>(done) * width / total);
+  for (int i = 0; i < width; ++i) {
+    bar += i < filled ? '#' : '.';
+  }
+  return bar;
+}
+
+std::string HumanBytes(double bytes) {
+  char buf[32];
+  if (bytes >= 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fG", bytes / (1024.0 * 1024.0 * 1024.0));
+  } else if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fM", bytes / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fK", bytes / 1024.0);
+  }
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (args.Has("help") || !args.Has("socket")) {
+    std::puts(
+        "wcop_top --socket=PATH [--interval-ms=1000] [--iterations=0]\n"
+        "         [--no-clear]\n"
+        "Live dashboard over a running wcop_serve daemon (0 iterations =\n"
+        "until interrupted).");
+    return args.Has("help") ? 0 : 1;
+  }
+  const ServiceClient client(args.GetString("socket", ""));
+  const auto interval =
+      std::chrono::milliseconds(args.GetInt("interval-ms", 1000));
+  const long iterations = args.GetInt("iterations", 0);
+  const bool clear = !args.GetBool("no-clear", false);
+
+  // Previous scrape, for rolling rates.
+  double last_distance = 0.0;
+  double last_completed = 0.0;
+  bool have_last = false;
+  auto last_at = std::chrono::steady_clock::now();
+
+  for (long frame = 0; iterations == 0 || frame < iterations; ++frame) {
+    Result<std::string> health = client.Health();
+    Result<std::string> metrics = client.Metrics();
+    Result<std::vector<JobRecord>> jobs = client.ListJobs();
+    if (!health.ok() || !metrics.ok() || !jobs.ok()) {
+      const Status& bad = !health.ok()
+                              ? health.status()
+                              : (!metrics.ok() ? metrics.status()
+                                               : jobs.status());
+      std::cerr << "wcop_top: daemon unreachable: " << bad << "\n";
+      return 1;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now - last_at).count();
+    const double distance =
+        MetricValue(*metrics, "wcop_distance_calls_edr_total");
+    const double completed =
+        MetricValue(*metrics, "wcop_server_jobs_completed_total");
+    const double distance_rate =
+        have_last && dt > 0 ? (distance - last_distance) / dt : 0.0;
+    const double job_rate =
+        have_last && dt > 0 ? (completed - last_completed) / dt : 0.0;
+    last_distance = distance;
+    last_completed = completed;
+    last_at = now;
+    have_last = true;
+
+    if (clear) {
+      std::fputs("\x1b[2J\x1b[H", stdout);  // clear + home
+    }
+    const long queued = HealthValue(*health, "queued");
+    const long capacity = HealthValue(*health, "queue_capacity");
+    const long running = HealthValue(*health, "running");
+    std::printf("wcop_top — %s\n",
+                HealthValue(*health, "accepting") != 0 ? "accepting"
+                                                       : "draining");
+    std::printf(
+        "queue %ld/%ld  running %ld  done %ld  failed %ld  recovered %ld\n",
+        queued, capacity, running, HealthValue(*health, "done"),
+        HealthValue(*health, "failed"), HealthValue(*health, "recovered"));
+    std::printf(
+        "proc  rss %s  cpu %.1fs  fds %.0f  up %.0fs\n",
+        HumanBytes(MetricValue(*metrics, "process_resident_memory_bytes"))
+            .c_str(),
+        MetricValue(*metrics, "process_cpu_seconds_total"),
+        MetricValue(*metrics, "process_open_fds"),
+        MetricValue(*metrics, "process_uptime_seconds"));
+    std::printf("rate  %.0f distance calls/s  %.2f jobs/s\n\n", distance_rate,
+                job_rate);
+
+    std::printf("%5s %-20s %-8s %-26s %s\n", "ID", "NAME", "STATE",
+                "PROGRESS", "DISTANCE");
+    for (const JobRecord& record : *jobs) {
+      std::string progress = "";
+      if (record.progress.shards_total > 0) {
+        char cell[64];
+        std::snprintf(cell, sizeof(cell), "[%s] %llu/%llu",
+                      ProgressBar(record.progress.shards_done,
+                                  record.progress.shards_total, 12)
+                          .c_str(),
+                      static_cast<unsigned long long>(
+                          record.progress.shards_done),
+                      static_cast<unsigned long long>(
+                          record.progress.shards_total));
+        progress = cell;
+      }
+      std::printf("%5lld %-20.20s %-8s %-26s %llu\n",
+                  static_cast<long long>(record.id),
+                  record.spec.name.c_str(),
+                  std::string(JobStateName(record.state)).c_str(),
+                  progress.c_str(),
+                  static_cast<unsigned long long>(
+                      record.progress.distance_calls));
+    }
+    std::fflush(stdout);
+    if (iterations == 0 || frame + 1 < iterations) {
+      std::this_thread::sleep_for(interval);
+    }
+  }
+  return 0;
+}

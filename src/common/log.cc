@@ -1,0 +1,323 @@
+#include "common/log.h"
+
+#include <sys/time.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "common/arg_parser.h"
+
+namespace wcop {
+namespace log {
+namespace {
+
+// JSON string escaper (same rules as telemetry.cc's trace serializer):
+// quotes, backslash, control characters.
+void AppendJsonEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+// Wall-clock seconds with microsecond resolution, for the "ts" field.
+double NowWallSeconds() {
+  struct timeval tv;
+  if (gettimeofday(&tv, nullptr) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(tv.tv_sec) +
+         static_cast<double>(tv.tv_usec) / 1e6;
+}
+
+template <typename T>
+std::string FormatInt(T v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+template <typename T>
+std::string FormatUint(T v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+Field::Field(std::string_view k, int v)
+    : key(k), value(FormatInt(v)), quoted(false) {}
+Field::Field(std::string_view k, long v)
+    : key(k), value(FormatInt(v)), quoted(false) {}
+Field::Field(std::string_view k, long long v)
+    : key(k), value(FormatInt(v)), quoted(false) {}
+Field::Field(std::string_view k, unsigned v)
+    : key(k), value(FormatUint(v)), quoted(false) {}
+Field::Field(std::string_view k, unsigned long v)
+    : key(k), value(FormatUint(v)), quoted(false) {}
+Field::Field(std::string_view k, unsigned long long v)
+    : key(k), value(FormatUint(v)), quoted(false) {}
+Field::Field(std::string_view k, double v) : key(k), quoted(false) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  value = buf;
+}
+
+bool ParseLevel(std::string_view text, Level* out) {
+  if (text == "debug") {
+    *out = Level::kDebug;
+  } else if (text == "info") {
+    *out = Level::kInfo;
+  } else if (text == "warn" || text == "warning") {
+    *out = Level::kWarn;
+  } else if (text == "error") {
+    *out = Level::kError;
+  } else if (text == "off" || text == "none") {
+    *out = Level::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseFormat(std::string_view text, Format* out) {
+  if (text == "text") {
+    *out = Format::kText;
+  } else if (text == "json") {
+    *out = Format::kJson;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info";
+    case Level::kWarn:
+      return "warn";
+    case Level::kError:
+      return "error";
+    case Level::kOff:
+      return "off";
+  }
+  return "info";
+}
+
+Logger::~Logger() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (owns_out_ && out_ != nullptr) {
+    std::fclose(out_);
+  }
+}
+
+bool Logger::SetOut(const std::string& path) {
+  if (path.empty() || path == "-") {
+    SetStream(nullptr);
+    return true;
+  }
+  FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (owns_out_ && out_ != nullptr) {
+    std::fclose(out_);
+  }
+  out_ = f;
+  owns_out_ = true;
+  return true;
+}
+
+void Logger::SetStream(FILE* stream) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (owns_out_ && out_ != nullptr) {
+    std::fclose(out_);
+  }
+  out_ = stream;
+  owns_out_ = false;
+}
+
+uint64_t Logger::suppressed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_total_ + window_suppressed_;
+}
+
+void Logger::Log(Level level, std::string_view msg,
+                 const std::vector<Field>& fields) {
+  if (!Enabled(level)) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Token-bucket over 1-second wall-clock windows. A new window first
+  // flushes the previous window's suppression count into the next record.
+  uint64_t suppressed_note = 0;
+  if (max_per_second_ > 0) {
+    const int64_t now_s = static_cast<int64_t>(NowWallSeconds());
+    if (now_s != window_start_s_) {
+      suppressed_note = window_suppressed_;
+      suppressed_total_ += window_suppressed_;
+      window_start_s_ = now_s;
+      window_count_ = 0;
+      window_suppressed_ = 0;
+    }
+    if (window_count_ >= max_per_second_) {
+      ++window_suppressed_;
+      return;
+    }
+    ++window_count_;
+  }
+  WriteLine(level, msg, fields, suppressed_note);
+}
+
+void Logger::WriteLine(Level level, std::string_view msg,
+                       const std::vector<Field>& fields,
+                       uint64_t suppressed_note) {
+  std::string line;
+  line.reserve(96 + msg.size());
+  if (format_ == Format::kJson) {
+    char ts[48];
+    std::snprintf(ts, sizeof(ts), "%.6f", NowWallSeconds());
+    line += "{\"ts\":";
+    line += ts;
+    line += ",\"level\":\"";
+    line += LevelName(level);
+    line += "\",\"logger\":\"";
+    AppendJsonEscaped(&line, name_);
+    line += "\",\"msg\":\"";
+    AppendJsonEscaped(&line, msg);
+    line += "\"";
+    for (const Field& f : fields) {
+      line += ",\"";
+      AppendJsonEscaped(&line, f.key);
+      line += "\":";
+      if (f.quoted) {
+        line += "\"";
+        AppendJsonEscaped(&line, f.value);
+        line += "\"";
+      } else {
+        line += f.value.empty() ? "0" : f.value;
+      }
+    }
+    if (suppressed_note > 0) {
+      line += ",\"suppressed\":";
+      line += FormatUint(suppressed_note);
+    }
+    line += "}\n";
+  } else {
+    line += name_;
+    line += ": ";
+    if (level == Level::kWarn) {
+      line += "warning: ";
+    } else if (level == Level::kError) {
+      line += "error: ";
+    }
+    line.append(msg.data(), msg.size());
+    for (const Field& f : fields) {
+      line += " ";
+      line += f.key;
+      line += "=";
+      line += f.value;
+    }
+    if (suppressed_note > 0) {
+      line += " suppressed=";
+      line += FormatUint(suppressed_note);
+    }
+    line += "\n";
+  }
+  FILE* out = out_ != nullptr ? out_ : stderr;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
+Logger& Logger::Default() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+void ContextLogger::Log(Level level, std::string_view msg,
+                        const std::vector<Field>& fields) const {
+  if (logger_ == nullptr || !logger_->Enabled(level)) {
+    return;
+  }
+  if (context_.empty()) {
+    logger_->Log(level, msg, fields);
+    return;
+  }
+  std::vector<Field> merged;
+  merged.reserve(context_.size() + fields.size());
+  merged.insert(merged.end(), context_.begin(), context_.end());
+  merged.insert(merged.end(), fields.begin(), fields.end());
+  logger_->Log(level, msg, merged);
+}
+
+bool ConfigureFromArgs(const ArgParser& args, const std::string& binary_name) {
+  Logger& logger = Logger::Default();
+  logger.set_name(binary_name);
+  const std::string level_text = args.GetString("log-level", "info");
+  Level level = Level::kInfo;
+  if (!ParseLevel(level_text, &level)) {
+    logger.Log(Level::kError, "unknown --log-level value",
+               {{"value", level_text}});
+    return false;
+  }
+  logger.set_level(level);
+  const std::string format_text = args.GetString("log-format", "text");
+  Format format = Format::kText;
+  if (!ParseFormat(format_text, &format)) {
+    logger.Log(Level::kError, "unknown --log-format value",
+               {{"value", format_text}});
+    return false;
+  }
+  logger.set_format(format);
+  const std::string out = args.GetString("log-out", "");
+  if (!out.empty() && !logger.SetOut(out)) {
+    logger.Log(Level::kError, "cannot open --log-out file", {{"path", out}});
+    return false;
+  }
+  return true;
+}
+
+void Debug(std::string_view msg, const std::vector<Field>& fields) {
+  Logger::Default().Log(Level::kDebug, msg, fields);
+}
+void Info(std::string_view msg, const std::vector<Field>& fields) {
+  Logger::Default().Log(Level::kInfo, msg, fields);
+}
+void Warn(std::string_view msg, const std::vector<Field>& fields) {
+  Logger::Default().Log(Level::kWarn, msg, fields);
+}
+void Error(std::string_view msg, const std::vector<Field>& fields) {
+  Logger::Default().Log(Level::kError, msg, fields);
+}
+
+}  // namespace log
+}  // namespace wcop

@@ -1,0 +1,190 @@
+#ifndef WCOP_COMMON_LOG_H_
+#define WCOP_COMMON_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wcop {
+
+class ArgParser;
+
+namespace log {
+
+/// Structured logging subsystem (DESIGN.md "Observability").
+///
+/// One process-wide `Logger` (see `Default()`), configured once at startup
+/// from the shared CLI flags (`--log-level=`, `--log-format=text|json`,
+/// `--log-out=`). Every record is a single line:
+///
+///   text:  `wcop_serve: listening on /tmp/wcop.sock job_dir=/tmp/jobs`
+///   json:  `{"ts":1754550000.123,"level":"info","logger":"wcop_serve",
+///           "msg":"listening on /tmp/wcop.sock","job_dir":"/tmp/jobs"}`
+///
+/// The text form keeps `prefix: message` first so existing log greps (CI
+/// watches for "recovered" and "bye" in daemon output) keep working, with
+/// structured fields appended as `key=value` pairs. The JSON form is one
+/// JSON object per line, parseable with `python3 -m json.tool`.
+///
+/// Emission is thread-safe (one mutex around the formatted write) and
+/// rate-limited per logger: at most `max_per_second` records per 1-second
+/// window; excess records are dropped and accounted, and the next emitted
+/// record notes how many were suppressed. Rate limiting protects the hot
+/// path (per-shard workers logging in a tight retry loop) from unbounded
+/// I/O, mirroring how the telemetry registry bounds hot-path cost.
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+enum class Format : int {
+  kText = 0,
+  kJson = 1,
+};
+
+/// "debug"/"info"/"warn"/"error"/"off" -> Level. Unknown strings return
+/// false and leave `out` untouched.
+bool ParseLevel(std::string_view text, Level* out);
+/// "text"/"json" -> Format.
+bool ParseFormat(std::string_view text, Format* out);
+const char* LevelName(Level level);
+
+/// One structured key/value attachment. Values are pre-rendered to text;
+/// `quoted` records whether the JSON form needs string quoting (numbers and
+/// booleans pass through bare).
+struct Field {
+  Field(std::string_view k, std::string_view v)
+      : key(k), value(v), quoted(true) {}
+  Field(std::string_view k, const char* v)
+      : key(k), value(v != nullptr ? v : ""), quoted(true) {}
+  Field(std::string_view k, const std::string& v)
+      : key(k), value(v), quoted(true) {}
+  Field(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false"), quoted(false) {}
+  Field(std::string_view k, int v);
+  Field(std::string_view k, long v);
+  Field(std::string_view k, long long v);
+  Field(std::string_view k, unsigned v);
+  Field(std::string_view k, unsigned long v);
+  Field(std::string_view k, unsigned long long v);
+  Field(std::string_view k, double v);
+
+  std::string key;
+  std::string value;
+  bool quoted = true;
+};
+
+/// Thread-safe leveled line logger. Writes to stderr by default; `SetOut`
+/// redirects to a file (append mode). All configuration is expected at
+/// startup, before concurrent use, except Log itself which is always safe.
+class Logger {
+ public:
+  Logger() = default;
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  void set_level(Level level) { level_ = level; }
+  Level level() const { return level_; }
+  void set_format(Format format) { format_ = format; }
+  Format format() const { return format_; }
+  /// Short component name prepended to text records and emitted as the
+  /// "logger" JSON field ("wcop_serve", "anonymize_csv", ...).
+  void set_name(std::string name) { name_ = std::move(name); }
+  /// Records allowed per 1-second window before suppression; 0 disables
+  /// rate limiting. Default 200.
+  void set_max_per_second(uint64_t n) { max_per_second_ = n; }
+
+  /// Redirects output to `path` (append). Returns false (and keeps the
+  /// current sink) if the file cannot be opened. "-" means stderr.
+  bool SetOut(const std::string& path);
+  /// Redirects output to an already-open stream the caller owns.
+  void SetStream(FILE* stream);
+
+  bool Enabled(Level level) const { return level >= level_ && level_ != Level::kOff; }
+
+  void Log(Level level, std::string_view msg,
+           const std::vector<Field>& fields = {});
+
+  /// Total records dropped by the rate limiter since construction.
+  uint64_t suppressed_total() const;
+
+  /// The process-wide logger used by `WCOP_LOG`. Never null.
+  static Logger& Default();
+
+ private:
+  void WriteLine(Level level, std::string_view msg,
+                 const std::vector<Field>& fields, uint64_t suppressed_note);
+
+  Level level_ = Level::kInfo;
+  Format format_ = Format::kText;
+  std::string name_ = "wcop";
+  uint64_t max_per_second_ = 200;
+
+  mutable std::mutex mu_;
+  FILE* out_ = nullptr;       ///< null = stderr
+  bool owns_out_ = false;
+  int64_t window_start_s_ = -1;
+  uint64_t window_count_ = 0;
+  uint64_t window_suppressed_ = 0;
+  uint64_t suppressed_total_ = 0;
+};
+
+/// A logger view carrying fixed context fields (job id, tenant, shard
+/// index, ...) merged before per-call fields into every record. Cheap to
+/// copy; borrows the underlying Logger.
+class ContextLogger {
+ public:
+  explicit ContextLogger(Logger* logger = &Logger::Default())
+      : logger_(logger) {}
+
+  ContextLogger With(Field field) const {
+    ContextLogger child = *this;
+    child.context_.push_back(std::move(field));
+    return child;
+  }
+
+  void Log(Level level, std::string_view msg,
+           const std::vector<Field>& fields = {}) const;
+
+  void Debug(std::string_view msg, const std::vector<Field>& fields = {}) const {
+    Log(Level::kDebug, msg, fields);
+  }
+  void Info(std::string_view msg, const std::vector<Field>& fields = {}) const {
+    Log(Level::kInfo, msg, fields);
+  }
+  void Warn(std::string_view msg, const std::vector<Field>& fields = {}) const {
+    Log(Level::kWarn, msg, fields);
+  }
+  void Error(std::string_view msg, const std::vector<Field>& fields = {}) const {
+    Log(Level::kError, msg, fields);
+  }
+
+ private:
+  Logger* logger_;
+  std::vector<Field> context_;
+};
+
+/// Applies the shared CLI logging flags (`--log-level=`, `--log-format=`,
+/// `--log-out=`) to `Default()` and names it after the binary. Returns
+/// false (after logging the problem) on an unknown level/format value or an
+/// unopenable --log-out path.
+bool ConfigureFromArgs(const ArgParser& args, const std::string& binary_name);
+
+/// Convenience wrappers over Default().
+void Debug(std::string_view msg, const std::vector<Field>& fields = {});
+void Info(std::string_view msg, const std::vector<Field>& fields = {});
+void Warn(std::string_view msg, const std::vector<Field>& fields = {});
+void Error(std::string_view msg, const std::vector<Field>& fields = {});
+
+}  // namespace log
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_LOG_H_

@@ -1,0 +1,147 @@
+#include "common/process_stats.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#ifdef __linux__
+#include <dirent.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+namespace wcop {
+namespace telemetry {
+
+#ifdef __linux__
+namespace {
+
+// Boot time (Unix epoch seconds) from /proc/stat's btime line; 0 on
+// failure. Needed to turn /proc/self/stat's starttime (clock ticks since
+// boot) into an epoch timestamp.
+long ReadBootTimeSeconds() {
+  FILE* f = std::fopen("/proc/stat", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  long btime = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "btime %ld", &btime) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return btime;
+}
+
+int CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) {
+    return -1;
+  }
+  int count = 0;
+  while (readdir(dir) != nullptr) {
+    ++count;
+  }
+  closedir(dir);
+  // Subtract ".", ".." and the fd opendir itself holds.
+  return count >= 3 ? count - 3 : 0;
+}
+
+}  // namespace
+
+bool ReadProcessStats(ProcessStats* out) {
+  *out = ProcessStats{};
+  FILE* f = std::fopen("/proc/self/stat", "r");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[1024];
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) {
+    return false;
+  }
+  buf[n] = '\0';
+  // Field 2 (comm) may contain spaces; parse from after the closing ')'.
+  const char* after = std::strrchr(buf, ')');
+  if (after == nullptr) {
+    return false;
+  }
+  ++after;
+  // Fields after comm, 1-indexed from field 3 (state). We need:
+  // utime=14, stime=15, num_threads=20, starttime=22, vsize=23, rss=24.
+  unsigned long long utime = 0, stime = 0, starttime = 0, vsize = 0;
+  long long num_threads = 0, rss_pages = 0;
+  char state = '\0';
+  const int matched = std::sscanf(
+      after,
+      " %c %*d %*d %*d %*d %*d %*u %*u %*u %*u %*u %llu %llu %*d %*d %*d "
+      "%*d %lld %*d %llu %llu %lld",
+      &state, &utime, &stime, &num_threads, &starttime, &vsize, &rss_pages);
+  if (matched != 7) {
+    return false;
+  }
+  const double ticks_per_s =
+      static_cast<double>(sysconf(_SC_CLK_TCK) > 0 ? sysconf(_SC_CLK_TCK)
+                                                   : 100);
+  const double page_bytes =
+      static_cast<double>(sysconf(_SC_PAGESIZE) > 0 ? sysconf(_SC_PAGESIZE)
+                                                    : 4096);
+  out->cpu_seconds_total =
+      (static_cast<double>(utime) + static_cast<double>(stime)) / ticks_per_s;
+  out->threads = static_cast<double>(num_threads);
+  out->virtual_memory_bytes = static_cast<double>(vsize);
+  out->resident_memory_bytes = static_cast<double>(rss_pages) * page_bytes;
+  const long btime = ReadBootTimeSeconds();
+  if (btime > 0) {
+    out->start_time_seconds =
+        static_cast<double>(btime) + static_cast<double>(starttime) / ticks_per_s;
+    struct timeval tv;
+    if (gettimeofday(&tv, nullptr) == 0) {
+      const double now = static_cast<double>(tv.tv_sec) +
+                         static_cast<double>(tv.tv_usec) / 1e6;
+      out->uptime_seconds =
+          now > out->start_time_seconds ? now - out->start_time_seconds : 0.0;
+    }
+  }
+  const int fds = CountOpenFds();
+  if (fds >= 0) {
+    out->open_fds = static_cast<double>(fds);
+  }
+  return true;
+}
+
+#else  // !__linux__
+
+bool ReadProcessStats(ProcessStats* out) {
+  *out = ProcessStats{};
+  return false;
+}
+
+#endif  // __linux__
+
+bool PublishProcessMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return false;
+  }
+  ProcessStats stats;
+  if (!ReadProcessStats(&stats)) {
+    return false;
+  }
+  registry->GetGauge("process.resident_memory_bytes")
+      ->Set(stats.resident_memory_bytes);
+  registry->GetGauge("process.virtual_memory_bytes")
+      ->Set(stats.virtual_memory_bytes);
+  registry->GetGauge("process.cpu_seconds_total")->Set(stats.cpu_seconds_total);
+  registry->GetGauge("process.open_fds")->Set(stats.open_fds);
+  registry->GetGauge("process.threads")->Set(stats.threads);
+  registry->GetGauge("process.start_time_seconds")
+      ->Set(stats.start_time_seconds);
+  registry->GetGauge("process.uptime_seconds")->Set(stats.uptime_seconds);
+  return true;
+}
+
+}  // namespace telemetry
+}  // namespace wcop

@@ -1,0 +1,39 @@
+#ifndef WCOP_COMMON_PROCESS_STATS_H_
+#define WCOP_COMMON_PROCESS_STATS_H_
+
+#include <cstdint>
+
+#include "common/telemetry.h"
+
+namespace wcop {
+namespace telemetry {
+
+/// Point-in-time view of the calling process, read from /proc (Linux).
+/// On platforms without /proc the read fails and the metrics are simply
+/// not published — consumers must treat every field as best-effort.
+struct ProcessStats {
+  double resident_memory_bytes = 0.0;
+  double virtual_memory_bytes = 0.0;
+  double cpu_seconds_total = 0.0;    ///< user + system
+  double open_fds = 0.0;
+  double threads = 0.0;
+  double start_time_seconds = 0.0;   ///< Unix epoch seconds
+  double uptime_seconds = 0.0;       ///< now - start_time_seconds
+};
+
+/// Fills `out` from /proc/self/stat, /proc/stat (btime) and /proc/self/fd.
+/// Returns false (leaving `out` partially filled with zeros) when /proc is
+/// unavailable or unparsable.
+bool ReadProcessStats(ProcessStats* out);
+
+/// Reads the current process stats and publishes them as gauges on
+/// `registry` under the conventional Prometheus process_* names
+/// (process.resident_memory_bytes, process.cpu_seconds_total, ...).
+/// Call on each /metrics scrape so the exposed values are fresh.
+/// No-op (returns false) when /proc is unavailable.
+bool PublishProcessMetrics(MetricsRegistry* registry);
+
+}  // namespace telemetry
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_PROCESS_STATS_H_

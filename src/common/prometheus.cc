@@ -1,0 +1,185 @@
+#include "common/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace wcop {
+namespace telemetry {
+namespace {
+
+bool IsLegalFirst(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool IsLegal(char c) {
+  return IsLegalFirst(c) || (c >= '0' && c <= '9');
+}
+
+// Exposition sample value: integers print exactly, non-finite values use
+// the format's literal tokens.
+std::string FormatValue(double v) {
+  if (std::isnan(v)) {
+    return "NaN";
+  }
+  if (std::isinf(v)) {
+    return v > 0 ? "+Inf" : "-Inf";
+  }
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.0e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string FormatUint(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Maps an internal catalog name to its exposition family name: process.*
+// metrics keep the conventional unprefixed process_* spelling, everything
+// else gains the wcop_ prefix.
+std::string FamilyName(std::string_view internal_name) {
+  std::string sanitized = SanitizeMetricName(internal_name);
+  if (sanitized.rfind("process_", 0) == 0) {
+    return sanitized;
+  }
+  return "wcop_" + sanitized;
+}
+
+void AppendHeader(std::string* out, const std::string& family,
+                  const char* type, std::string_view internal_name) {
+  *out += "# HELP ";
+  *out += family;
+  *out += " WCOP metric ";
+  // The HELP line carries the internal catalog name; escape per format
+  // rules (backslash and newline).
+  for (char c : internal_name) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      *out += c;
+    }
+  }
+  *out += " (see DESIGN.md section 7)\n";
+  *out += "# TYPE ";
+  *out += family;
+  *out += " ";
+  *out += type;
+  *out += "\n";
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    out += IsLegal(c) ? c : '_';
+  }
+  if (out.empty()) {
+    out.push_back('_');
+  } else if (!IsLegalFirst(out[0])) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string family = FamilyName(name);
+    // Counters carry the _total suffix; don't double it for catalog names
+    // that already end in "total".
+    if (family.size() < 6 ||
+        family.compare(family.size() - 6, 6, "_total") != 0) {
+      family += "_total";
+    }
+    AppendHeader(&out, family, "counter", name);
+    out += family;
+    out += " ";
+    out += FormatUint(value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string family = FamilyName(name);
+    // A gauge that is semantically cumulative (the /proc collector's
+    // process_cpu_seconds_total) keeps its conventional counter type.
+    const bool cumulative =
+        family.size() >= 6 &&
+        family.compare(family.size() - 6, 6, "_total") == 0;
+    AppendHeader(&out, family, cumulative ? "counter" : "gauge", name);
+    out += family;
+    out += " ";
+    out += FormatValue(value);
+    out += "\n";
+  }
+  for (const HistogramSummary& h : snapshot.histograms) {
+    const std::string family = FamilyName(h.name);
+    AppendHeader(&out, family, "histogram", h.name);
+    // Cumulative buckets. Recorded values are non-negative integers and
+    // internal bucket b covers [2^(b-1), 2^b) (bucket 0 = {0}), so the
+    // inclusive upper bound of bucket b is 2^b - 1 — emitting `le` at
+    // those bounds keeps the cumulative counts exact, not approximated.
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (h.buckets[b] == 0) {
+        continue;  // keep the exposition compact: only non-empty buckets
+      }
+      cumulative += h.buckets[b];
+      const uint64_t upper = b == 0 ? 0 : ((uint64_t{1} << b) - 1);
+      out += family;
+      out += "_bucket{le=\"";
+      out += FormatUint(upper);
+      out += "\"} ";
+      out += FormatUint(cumulative);
+      out += "\n";
+    }
+    // Under concurrent recording a bucket increment can land before the
+    // count increment is visible, so pin +Inf (and _count, which must
+    // equal it) to at least the cumulative bucket total to keep the
+    // series monotone.
+    const uint64_t total = cumulative > h.count ? cumulative : h.count;
+    out += family;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += FormatUint(total);
+    out += "\n";
+    out += family;
+    out += "_sum ";
+    out += FormatUint(h.sum);
+    out += "\n";
+    out += family;
+    out += "_count ";
+    out += FormatUint(total);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace wcop

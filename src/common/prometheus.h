@@ -1,0 +1,46 @@
+#ifndef WCOP_COMMON_PROMETHEUS_H_
+#define WCOP_COMMON_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/telemetry.h"
+
+namespace wcop {
+namespace telemetry {
+
+/// Prometheus text exposition (format version 0.0.4) of a MetricsSnapshot.
+///
+/// Mapping from the internal dot-separated catalog (DESIGN.md §7) to the
+/// Prometheus data model:
+///  * names are sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` (dots and other
+///    illegal characters become `_`, a leading digit gains a `_` prefix)
+///    and prefixed `wcop_` — except `process.*` metrics which map to the
+///    conventional unprefixed `process_*` family;
+///  * counters gain the `_total` suffix (not doubled if already present);
+///  * histograms emit cumulative `_bucket{le="..."}` series derived from
+///    the power-of-two buckets (exact upper bounds, since recorded values
+///    are integers), then `_sum` and `_count`;
+///  * NaN / +Inf / -Inf gauge values are emitted as the literal tokens
+///    `NaN` / `+Inf` / `-Inf` the format defines.
+///
+/// Serve with `Content-Type: text/plain; version=0.0.4`.
+
+/// Sanitizes one metric name (without prefix policy): every character
+/// outside [a-zA-Z0-9_:] becomes '_', and a leading digit gains a '_'
+/// prefix. An empty input yields "_".
+std::string SanitizeMetricName(std::string_view name);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote and newline are escaped.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Renders `snapshot` in the exposition format. Deterministic: series
+/// appear in snapshot order (the registry snapshots in name order). An
+/// empty snapshot produces an empty string, which is a valid exposition.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace telemetry
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_PROMETHEUS_H_

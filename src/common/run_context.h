@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "common/status.h"
 
@@ -125,12 +126,21 @@ class RunContext {
             candidate_pairs() > budget_.max_candidate_pairs);
   }
 
+  /// Trace identity (DESIGN.md §7): minted once at job admission and
+  /// propagated — through child contexts derived by the shard runner —
+  /// so every span buffer produced under this context can be correlated
+  /// into one timeline. Empty = no trace. Set before the run starts;
+  /// read-only (and therefore safe) once worker threads share the context.
+  void set_trace_id(std::string id) { trace_id_ = std::move(id); }
+  const std::string& trace_id() const { return trace_id_; }
+
   /// The cooperative yield point: OK while the run may continue, otherwise
   /// the most urgent trip reason — kCancelled before kDeadlineExceeded
   /// before kResourceExhausted.
   Status Check() const;
 
  private:
+  std::string trace_id_;
   std::optional<Clock::time_point> deadline_;
   std::optional<CancellationToken> token_;
   ResourceBudget budget_;

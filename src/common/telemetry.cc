@@ -70,6 +70,31 @@ uint64_t Histogram::min() const {
   return m == UINT64_MAX ? 0 : m;
 }
 
+void Histogram::MergeCounts(const uint64_t* bucket_counts,
+                            size_t num_buckets, uint64_t count, uint64_t sum,
+                            uint64_t min_v, uint64_t max_v) {
+  const size_t n = num_buckets < kBuckets ? num_buckets : kBuckets;
+  for (size_t b = 0; b < n; ++b) {
+    if (bucket_counts[b] != 0) {
+      buckets_[b].fetch_add(bucket_counts[b], std::memory_order_relaxed);
+    }
+  }
+  count_.fetch_add(count, std::memory_order_relaxed);
+  sum_.fetch_add(sum, std::memory_order_relaxed);
+  if (count > 0) {
+    uint64_t seen_min = min_.load(std::memory_order_relaxed);
+    while (min_v < seen_min &&
+           !min_.compare_exchange_weak(seen_min, min_v,
+                                       std::memory_order_relaxed)) {
+    }
+    uint64_t seen_max = max_.load(std::memory_order_relaxed);
+    while (max_v > seen_max &&
+           !max_.compare_exchange_weak(seen_max, max_v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+}
+
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counters_.find(name);
@@ -159,8 +184,10 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
                        : static_cast<double>(summary.sum) /
                              static_cast<double>(summary.count);
     std::array<uint64_t, Histogram::kBuckets> buckets;
+    summary.buckets.resize(Histogram::kBuckets);
     for (size_t b = 0; b < Histogram::kBuckets; ++b) {
       buckets[b] = histogram->bucket_count(b);
+      summary.buckets[b] = buckets[b];
     }
     summary.p50 = Percentile(buckets, summary.count, summary.min, summary.max,
                              0.50);
@@ -201,6 +228,28 @@ const HistogramSummary* MetricsSnapshot::FindHistogram(
   return nullptr;
 }
 
+void AccumulateSnapshot(MetricsRegistry* registry,
+                        const MetricsSnapshot& snapshot) {
+  if (registry == nullptr) {
+    return;
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    if (value != 0) {
+      registry->GetCounter(name)->Add(value);
+    }
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    registry->GetGauge(name)->Set(value);
+  }
+  for (const HistogramSummary& h : snapshot.histograms) {
+    if (h.count == 0) {
+      continue;
+    }
+    registry->GetHistogram(h.name)->MergeCounts(
+        h.buckets.data(), h.buckets.size(), h.count, h.sum, h.min, h.max);
+  }
+}
+
 uint32_t TraceRecorder::TidForCurrentThread() {
   const std::thread::id id = std::this_thread::get_id();
   auto it = thread_numbers_.find(id);
@@ -234,6 +283,36 @@ size_t TraceRecorder::event_count() const {
   return events_.size();
 }
 
+void TraceRecorder::set_trace_id(std::string id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_id_ = std::move(id);
+}
+
+std::string TraceRecorder::trace_id() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return trace_id_;
+}
+
+void TraceRecorder::MergeFrom(const TraceRecorder& other, uint32_t pid) {
+  // `other`'s timestamps are relative to its own origin; re-base them onto
+  // this recorder's origin so both timelines share one clock. Both origins
+  // come from the same steady clock, so the offset is exact.
+  const int64_t offset_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(other.origin_ -
+                                                           origin_)
+          .count();
+  std::vector<TraceEvent> merged = other.Events();
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.reserve(events_.size() + merged.size());
+  for (TraceEvent event : merged) {
+    const int64_t start =
+        static_cast<int64_t>(event.start_ns) + offset_ns;
+    event.start_ns = start > 0 ? static_cast<uint64_t>(start) : 0;
+    event.pid = pid;
+    events_.push_back(event);
+  }
+}
+
 std::string TraceRecorder::ToChromeTraceJson() const {
   std::vector<TraceEvent> events = Events();
   // Spans are recorded at close time, so siblings arrive child-before-
@@ -256,13 +335,20 @@ std::string TraceRecorder::ToChromeTraceJson() const {
     // trace_event format requires.
     std::snprintf(buf, sizeof(buf),
                   "\",\"cat\":\"wcop\",\"ph\":\"X\",\"ts\":%.3f,"
-                  "\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+                  "\"dur\":%.3f,\"pid\":%u,\"tid\":%u,"
                   "\"args\":{\"depth\":%u}}",
                   static_cast<double>(e.start_ns) / 1e3,
-                  static_cast<double>(e.dur_ns) / 1e3, e.tid, e.depth);
+                  static_cast<double>(e.dur_ns) / 1e3, e.pid, e.tid, e.depth);
     out += buf;
   }
-  out += "],\"displayTimeUnit\":\"ms\"}";
+  out += "],\"displayTimeUnit\":\"ms\"";
+  const std::string id = trace_id();
+  if (!id.empty()) {
+    out += ",\"traceId\":\"";
+    AppendEscaped(&out, id);
+    out += "\"";
+  }
+  out += "}";
   return out;
 }
 

@@ -79,6 +79,13 @@ class Histogram {
   uint64_t min() const;
   uint64_t max() const { return max_.load(std::memory_order_relaxed); }
 
+  /// Folds previously-snapshotted histogram contents in exactly (bucket
+  /// counts, count, sum, min/max). Lets a service-wide registry accumulate
+  /// per-job registries without losing bucket resolution.
+  void MergeCounts(const uint64_t* bucket_counts, size_t num_buckets,
+                   uint64_t count, uint64_t sum, uint64_t min_v,
+                   uint64_t max_v);
+
  private:
   std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
   std::atomic<uint64_t> count_{0};
@@ -99,6 +106,10 @@ struct HistogramSummary {
   double p50 = 0.0;
   double p90 = 0.0;
   double p99 = 0.0;
+  /// Per-bucket counts (Histogram::kBuckets entries, same indexing as
+  /// Histogram::BucketFor). Consumed by the Prometheus exposition; empty
+  /// in summaries reconstructed from serialized checkpoints.
+  std::vector<uint64_t> buckets;
 };
 
 /// Point-in-time copy of a whole registry, safe to serialize or ship across
@@ -154,6 +165,8 @@ struct TraceEvent {
   uint64_t dur_ns = 0;
   uint32_t tid = 0;    ///< small per-recorder thread number (0, 1, ...)
   uint32_t depth = 0;  ///< nesting depth at span open (0 = top level)
+  uint32_t pid = 1;    ///< trace process lane; shard recorders merge in
+                       ///< under pid 2 + shard_index (see MergeFrom)
 };
 
 /// Collects completed spans from any number of threads. Span open/close
@@ -179,6 +192,18 @@ class TraceRecorder {
   std::vector<TraceEvent> Events() const;
   size_t event_count() const;
 
+  /// Trace identity for cross-process correlation: minted at job admission
+  /// and stamped on the exported JSON ("traceId"). Empty = unset.
+  void set_trace_id(std::string id);
+  std::string trace_id() const;
+
+  /// Folds all of `other`'s events into this recorder under trace-process
+  /// lane `pid`, re-basing timestamps from `other`'s clock origin onto this
+  /// recorder's so the merged file is one coherent timeline (events that
+  /// started before this recorder existed clamp to 0). Used by the shard
+  /// runner to merge per-shard span buffers into the job's recorder.
+  void MergeFrom(const TraceRecorder& other, uint32_t pid);
+
   /// Chrome trace_event JSON ("X" complete events, microsecond timestamps):
   /// load the file in chrome://tracing or https://ui.perfetto.dev.
   std::string ToChromeTraceJson() const;
@@ -191,6 +216,7 @@ class TraceRecorder {
 
   std::chrono::steady_clock::time_point origin_;
   mutable std::mutex mu_;
+  std::string trace_id_;
   std::vector<TraceEvent> events_;
   std::unordered_map<std::thread::id, uint32_t> thread_numbers_;
 };
@@ -216,6 +242,13 @@ class Telemetry {
   MetricsRegistry metrics_;
   TraceRecorder trace_;
 };
+
+/// Folds `snapshot` into `registry`: counter values add, gauge values
+/// overwrite, histogram bucket counts / count / sum / min / max merge
+/// exactly (via Histogram::MergeCounts). The service uses this to roll
+/// per-job registries up into the process-wide /metrics registry.
+void AccumulateSnapshot(MetricsRegistry* registry,
+                        const MetricsSnapshot& snapshot);
 
 /// Null-safe counter add: the disabled-telemetry path is one branch.
 inline void CounterAdd(Counter* counter, uint64_t n = 1) {

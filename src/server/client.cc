@@ -30,6 +30,37 @@ Result<JobRecord> ServiceClient::GetJob(int64_t id) const {
   return DecodeJobRecord(response.body);
 }
 
+Result<std::vector<JobRecord>> ServiceClient::ListJobs() const {
+  WCOP_ASSIGN_OR_RETURN(HttpResponse response,
+                        Call("GET", "/jobs", std::string()));
+  std::vector<JobRecord> jobs;
+  // Records are separated by one blank line; each record is a block of
+  // "key value" lines in the EncodeJobRecord wire form.
+  size_t pos = 0;
+  const std::string& body = response.body;
+  while (pos < body.size()) {
+    size_t end = body.find("\n\n", pos);
+    if (end == std::string::npos) {
+      end = body.size();
+    }
+    const std::string block = body.substr(pos, end - pos);
+    pos = end + 2;
+    if (block.find_first_not_of(" \t\r\n") == std::string::npos) {
+      continue;
+    }
+    WCOP_ASSIGN_OR_RETURN(JobRecord record, DecodeJobRecord(block));
+    jobs.push_back(std::move(record));
+  }
+  return jobs;
+}
+
+Result<std::string> ServiceClient::Trace(int64_t id) const {
+  WCOP_ASSIGN_OR_RETURN(
+      HttpResponse response,
+      Call("GET", "/jobs/" + std::to_string(id) + "/trace", std::string()));
+  return response.body;
+}
+
 Result<JobRecord> ServiceClient::WaitForJob(
     int64_t id, std::chrono::milliseconds timeout) const {
   const auto deadline = std::chrono::steady_clock::now() + timeout;
@@ -55,9 +86,11 @@ Result<std::string> ServiceClient::Health() const {
   return response.body;
 }
 
-Result<std::string> ServiceClient::Metrics() const {
-  WCOP_ASSIGN_OR_RETURN(HttpResponse response,
-                        Call("GET", "/metrics", std::string()));
+Result<std::string> ServiceClient::Metrics(bool legacy_format) const {
+  WCOP_ASSIGN_OR_RETURN(
+      HttpResponse response,
+      Call("GET", legacy_format ? "/metrics?format=text" : "/metrics",
+           std::string()));
   return response.body;
 }
 

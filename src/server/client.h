@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -31,13 +32,23 @@ class ServiceClient {
 
   Result<JobRecord> GetJob(int64_t id) const;
 
+  /// All jobs the service knows about (GET /jobs), in id order.
+  Result<std::vector<JobRecord>> ListJobs() const;
+
+  /// The job's persisted Chrome trace JSON (GET /jobs/<id>/trace).
+  /// kNotFound until the job has executed at least once.
+  Result<std::string> Trace(int64_t id) const;
+
   /// Polls GetJob until the job reaches a terminal state or `timeout`
   /// elapses (kDeadlineExceeded).
   Result<JobRecord> WaitForJob(int64_t id,
                                std::chrono::milliseconds timeout) const;
 
   Result<std::string> Health() const;
-  Result<std::string> Metrics() const;
+
+  /// Prometheus text exposition by default; `legacy_format=true` fetches
+  /// the old human-readable dump (GET /metrics?format=text).
+  Result<std::string> Metrics(bool legacy_format = false) const;
 
   /// Asks the daemon to exit. drain=true finishes queued jobs first.
   Status Shutdown(bool drain) const;

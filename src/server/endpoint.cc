@@ -3,6 +3,11 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/process_stats.h"
+#include "common/prometheus.h"
 
 namespace wcop {
 namespace server {
@@ -21,6 +26,38 @@ HttpResponse TextResponse(int status, std::string body) {
   response.status = status;
   response.body = std::move(body);
   return response;
+}
+
+/// Splits "/metrics?format=text" into path and query ("" when absent).
+void SplitQuery(const std::string& raw, std::string* path,
+                std::string* query) {
+  const size_t q = raw.find('?');
+  if (q == std::string::npos) {
+    *path = raw;
+    query->clear();
+  } else {
+    *path = raw.substr(0, q);
+    *query = raw.substr(q + 1);
+  }
+}
+
+/// True when the query string contains `key=value` as one `&`-separated
+/// component. No percent-decoding — the endpoint's queries are ASCII.
+bool QueryHas(const std::string& query, const std::string& key,
+              const std::string& value) {
+  const std::string want = key + "=" + value;
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) {
+      amp = query.size();
+    }
+    if (query.compare(pos, amp - pos, want) == 0) {
+      return true;
+    }
+    pos = amp + 1;
+  }
+  return false;
 }
 
 }  // namespace
@@ -113,7 +150,10 @@ void ServiceEndpoint::Stop() {
 }
 
 HttpResponse ServiceEndpoint::Route(const HttpRequest& request) {
-  if (request.method == "GET" && request.path == "/healthz") {
+  std::string path;
+  std::string query;
+  SplitQuery(request.path, &path, &query);
+  if (request.method == "GET" && path == "/healthz") {
     const AnonymizationService::Health health = service_->GetHealth();
     std::string body = health.accepting ? "ok\n" : "draining\n";
     body += "accepting " + std::to_string(health.accepting ? 1 : 0) + "\n";
@@ -125,11 +165,33 @@ HttpResponse ServiceEndpoint::Route(const HttpRequest& request) {
     body += "recovered " + std::to_string(health.recovered) + "\n";
     return TextResponse(200, std::move(body));
   }
-  if (request.method == "GET" && request.path == "/metrics") {
-    return TextResponse(
-        200, FormatMetrics(service_->telemetry().metrics().Snapshot()));
+  if (request.method == "GET" && path == "/metrics") {
+    // Refresh process gauges (RSS, CPU, fds, uptime) on every scrape so
+    // the exposition reflects the moment of collection, Prometheus-style.
+    telemetry::PublishProcessMetrics(&service_->telemetry().metrics());
+    const telemetry::MetricsSnapshot snapshot =
+        service_->telemetry().metrics().Snapshot();
+    if (QueryHas(query, "format", "text")) {
+      // Legacy human-readable dump, pre-Prometheus.
+      return TextResponse(200, FormatMetrics(snapshot));
+    }
+    HttpResponse response;
+    response.status = 200;
+    response.content_type = "text/plain; version=0.0.4";
+    response.body = telemetry::ToPrometheusText(snapshot);
+    return response;
   }
-  if (request.method == "POST" && request.path == "/jobs") {
+  if (request.method == "GET" && path == "/jobs") {
+    std::string body;
+    for (const JobRecord& record : service_->Jobs()) {
+      if (!body.empty()) {
+        body += "\n";  // blank line between records
+      }
+      body += EncodeJobRecord(record);
+    }
+    return TextResponse(200, std::move(body));
+  }
+  if (request.method == "POST" && path == "/jobs") {
     Result<JobSpec> spec = DecodeJobSpec(request.body);
     if (!spec.ok()) {
       return ErrorResponse(spec.status());
@@ -144,8 +206,18 @@ HttpResponse ServiceEndpoint::Route(const HttpRequest& request) {
     }
     return TextResponse(202, EncodeJobRecord(*record));
   }
-  if (request.method == "GET" && request.path.rfind("/jobs/", 0) == 0) {
-    const std::string id_text = request.path.substr(6);
+  if (request.method == "GET" && path.rfind("/jobs/", 0) == 0) {
+    std::string id_text = path.substr(6);
+    bool want_trace = false;
+    const size_t slash = id_text.find('/');
+    if (slash != std::string::npos) {
+      if (id_text.substr(slash) != "/trace") {
+        return ErrorResponse(Status::NotFound("no route for " +
+                                              request.method + " " + path));
+      }
+      want_trace = true;
+      id_text.resize(slash);
+    }
     char* end = nullptr;
     const long long id = std::strtoll(id_text.c_str(), &end, 10);
     if (end == id_text.c_str() || *end != '\0') {
@@ -156,9 +228,24 @@ HttpResponse ServiceEndpoint::Route(const HttpRequest& request) {
     if (!record.ok()) {
       return ErrorResponse(record.status());
     }
+    if (want_trace) {
+      std::ifstream in(service_->TracePath(id), std::ios::binary);
+      if (!in.is_open()) {
+        return ErrorResponse(Status::NotFound(
+            "no trace for job " + std::to_string(id) +
+            " (the job has not executed yet)"));
+      }
+      std::ostringstream trace;
+      trace << in.rdbuf();
+      HttpResponse response;
+      response.status = 200;
+      response.content_type = "application/json";
+      response.body = trace.str();
+      return response;
+    }
     return TextResponse(200, EncodeJobRecord(*record));
   }
-  if (request.method == "POST" && request.path == "/shutdown") {
+  if (request.method == "POST" && path == "/shutdown") {
     const bool drain = request.body.find("mode drain") != std::string::npos;
     drain_.store(drain, std::memory_order_relaxed);
     shutdown_requested_.store(true, std::memory_order_relaxed);

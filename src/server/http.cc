@@ -118,7 +118,10 @@ size_t ParseContentLength(std::string_view headers) {
 std::string SerializeResponse(const HttpResponse& response) {
   std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
                     HttpReasonPhrase(response.status) + "\r\n";
-  out += "Content-Type: text/plain\r\n";
+  out += "Content-Type: " +
+         (response.content_type.empty() ? std::string("text/plain")
+                                        : response.content_type) +
+         "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += response.body;
@@ -353,6 +356,32 @@ Result<HttpResponse> UnixHttpCall(const std::string& socket_path,
   response.status = std::atoi(raw.c_str() + sp + 1);
   if (response.status < 100 || response.status > 599) {
     return Status::ParseError("malformed HTTP status code");
+  }
+  // Surface the Content-Type header so clients (and tests) can check
+  // e.g. the Prometheus exposition version without re-parsing raw bytes.
+  {
+    const std::string_view headers =
+        std::string_view(raw).substr(0, header_end);
+    size_t pos = headers.find("\r\n");
+    while (pos != std::string_view::npos && pos + 2 < headers.size()) {
+      pos += 2;
+      size_t eol = headers.find("\r\n", pos);
+      if (eol == std::string_view::npos) {
+        eol = headers.size();
+      }
+      const std::string_view line = headers.substr(pos, eol - pos);
+      const size_t colon = line.find(':');
+      if (colon != std::string_view::npos &&
+          EqualsIgnoreCase(line.substr(0, colon), "content-type")) {
+        size_t v = colon + 1;
+        while (v < line.size() && line[v] == ' ') {
+          ++v;
+        }
+        response.content_type = std::string(line.substr(v));
+        break;
+      }
+      pos = eol;
+    }
   }
   response.body = raw.substr(header_end + 4);
   return response;

@@ -34,6 +34,9 @@ struct HttpRequest {
 struct HttpResponse {
   int status = 200;
   std::string body;
+  /// Serialized as the Content-Type header; the Prometheus endpoint sets
+  /// "text/plain; version=0.0.4", traces set "application/json".
+  std::string content_type = "text/plain";
 };
 
 /// Standard reason phrase for the handful of codes the service uses.

@@ -274,6 +274,12 @@ std::string EncodeJobRecord(const JobRecord& record) {
   AppendDouble(&out, "total_distortion", record.outcome.total_distortion);
   AppendUint(&out, "resumed_shards", record.outcome.resumed_shards);
   AppendString(&out, "error", record.outcome.error);
+  AppendString(&out, "trace_id", record.trace_id);
+  AppendUint(&out, "progress_shards_done", record.progress.shards_done);
+  AppendUint(&out, "progress_shards_total", record.progress.shards_total);
+  AppendUint(&out, "progress_distance_calls",
+             record.progress.distance_calls);
+  AppendDouble(&out, "progress_eta_seconds", record.progress.eta_seconds);
   return out;
 }
 
@@ -317,6 +323,20 @@ Result<JobRecord> DecodeJobRecord(std::string_view payload) {
                                 ParseUint(value));
         } else if (key == "error") {
           WCOP_ASSIGN_OR_RETURN(record.outcome.error, UnescapeToken(value));
+        } else if (key == "trace_id") {
+          WCOP_ASSIGN_OR_RETURN(record.trace_id, UnescapeToken(value));
+        } else if (key == "progress_shards_done") {
+          WCOP_ASSIGN_OR_RETURN(record.progress.shards_done,
+                                ParseUint(value));
+        } else if (key == "progress_shards_total") {
+          WCOP_ASSIGN_OR_RETURN(record.progress.shards_total,
+                                ParseUint(value));
+        } else if (key == "progress_distance_calls") {
+          WCOP_ASSIGN_OR_RETURN(record.progress.distance_calls,
+                                ParseUint(value));
+        } else if (key == "progress_eta_seconds") {
+          WCOP_ASSIGN_OR_RETURN(record.progress.eta_seconds,
+                                ParseDouble(value));
         }
         // Unknown keys: skip (forward compatibility).
         return Status::OK();

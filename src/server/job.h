@@ -82,13 +82,30 @@ struct JobOutcome {
   std::string error;            ///< final Status string when state=failed
 };
 
+/// Live execution progress, updated in place by the running worker (from
+/// the shard runner's progress callbacks) and surfaced by GET /jobs/<id>.
+/// Persisted with the record at lifecycle transitions; between transitions
+/// it is only as fresh as the in-memory record — after a crash-recovery
+/// the progress of a requeued job legitimately resets to zero.
+struct JobProgress {
+  uint64_t shards_done = 0;
+  uint64_t shards_total = 0;
+  uint64_t distance_calls = 0;
+  double eta_seconds = 0.0;  ///< elapsed/done * remaining; 0 until known
+};
+
 struct JobRecord {
   int64_t id = 0;
   JobState state = JobState::kQueued;
   /// Times execution was claimed (1 = clean run; > 1 = crash-resumed).
   uint64_t attempts = 0;
+  /// Trace identity minted at admission (DESIGN.md §7); correlates the
+  /// record, the persisted span buffer (GET /jobs/<id>/trace) and every
+  /// log line the job produced.
+  std::string trace_id;
   JobSpec spec;
   JobOutcome outcome;
+  JobProgress progress;
 };
 
 /// Percent-escapes whitespace, '%', and non-printable bytes so any string

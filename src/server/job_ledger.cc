@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/log.h"
 #include "common/snapshot.h"
 #include "store/store_file.h"
 
@@ -108,8 +109,8 @@ Result<std::unique_ptr<JobLedger>> JobLedger::Open(
     if (!record.ok()) {
       if (record.status().code() == StatusCode::kDataLoss ||
           record.status().code() == StatusCode::kNotFound) {
-        std::fprintf(stderr, "ledger: skipping corrupt record %s (%s)\n",
-                     path.c_str(), record.status().ToString().c_str());
+        log::Warn("ledger: skipping corrupt record",
+                  {{"path", path}, {"status", record.status().ToString()}});
         ++ledger->corrupt_records_;
         if (telemetry != nullptr) {
           telemetry->metrics().GetCounter("server.ledger.corrupt")->Add();

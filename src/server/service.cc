@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/log.h"
 #include "common/stopwatch.h"
 #include "store/shard_runner.h"
 #include "store/store_file.h"
@@ -25,6 +26,29 @@ Status MakeDir(const std::string& path) {
                            "': " + std::string(std::strerror(errno)));
   }
   return Status::OK();
+}
+
+/// Trace ids are minted from the job name (the idempotency key, unique per
+/// job) so a crash-recovered job keeps the identity its first admission
+/// minted, and every retry of the same job lands in the same trace.
+std::string MintTraceId(std::string_view job_name) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (const char c : job_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return "wcop-job-" + std::string(buf);
+}
+
+/// Context fields every log line about a job carries.
+log::ContextLogger JobLogger(const JobRecord& record) {
+  return log::ContextLogger()
+      .With({"job", record.id})
+      .With({"name", record.spec.name})
+      .With({"trace_id", record.trace_id});
 }
 
 }  // namespace
@@ -46,6 +70,12 @@ Result<std::unique_ptr<AnonymizationService>> AnonymizationService::Start(
 
   WCOP_RETURN_IF_ERROR(MakeDir(options.job_dir));
   WCOP_RETURN_IF_ERROR(MakeDir(options.job_dir + "/out"));
+  WCOP_RETURN_IF_ERROR(MakeDir(options.job_dir + "/traces"));
+  // Trace files publish by write-tmp -> rename too; sweep their orphans.
+  WCOP_RETURN_IF_ERROR(
+      store::SweepStaleArtifacts(options.job_dir + "/traces",
+                                 &service->telemetry_)
+          .status());
   // Janitor pass over the default output directory: a kill between a
   // published CSV's write-tmp and its rename leaves an orphan that must
   // not be mistaken for output.
@@ -76,9 +106,12 @@ Result<std::unique_ptr<AnonymizationService>> AnonymizationService::Start(
       WCOP_RETURN_IF_ERROR(service->queue_->ForcePush(record.id));
       service->recovered_jobs_ += 1;
       recovered_counter->Add();
-      std::fprintf(stderr, "server: recovered job %lld '%s'\n",
-                   static_cast<long long>(record.id),
-                   record.spec.name.c_str());
+      if (record.trace_id.empty()) {
+        // Record written before trace ids existed: mint now, same id every
+        // recovery (derived from the name).
+        record.trace_id = MintTraceId(record.spec.name);
+      }
+      JobLogger(record).Info("recovered unfinished job, re-enqueued");
     }
     service->jobs_[record.id] = std::move(record);
   }
@@ -184,11 +217,20 @@ Result<int64_t> AnonymizationService::Submit(JobSpec spec) {
   JobRecord record;
   record.state = JobState::kQueued;
   record.spec = std::move(spec);
+  // Trace identity is part of admission: it is durable with the record,
+  // so the job's whole life — including crash-recovered retries — shares
+  // one trace id.
+  record.trace_id = MintTraceId(record.spec.name);
   // Durable-before-visible: the ledger append is the acceptance point.
   // A crash after it re-enqueues the job on restart; a crash before it
   // means the client never got an id.
   WCOP_RETURN_IF_ERROR(ledger_->Append(&record));
   const int64_t id = record.id;
+  log::Info("job accepted", {{"job", id},
+                             {"name", record.spec.name},
+                             {"tenant", record.spec.tenant},
+                             {"trace_id", record.trace_id},
+                             {"shards", record.spec.shards}});
   {
     std::lock_guard<std::mutex> lock(mu_);
     by_name_[record.spec.name] = id;
@@ -199,10 +241,8 @@ Result<int64_t> AnonymizationService::Submit(JobSpec spec) {
   if (Status push = queue_->TryPush(id); !push.ok()) {
     // Shutdown raced the admission: the job is durable and will run on
     // the next start, which is exactly what "accepted" promises.
-    std::fprintf(stderr,
-                 "server: job %lld accepted but not scheduled (%s); it "
-                 "will run on restart\n",
-                 static_cast<long long>(id), push.ToString().c_str());
+    log::Warn("job accepted but not scheduled; it will run on restart",
+              {{"job", id}, {"status", push.ToString()}});
   }
   metrics.GetGauge("server.queue.depth")
       ->Set(static_cast<double>(queue_->size()));
@@ -330,13 +370,26 @@ void AnonymizationService::WorkerLoop() {
 
     record.state = JobState::kRunning;
     record.attempts += 1;
+    if (record.trace_id.empty()) {
+      record.trace_id = MintTraceId(record.spec.name);
+    }
+    const log::ContextLogger jlog = JobLogger(record);
+    // The job's own telemetry bundle: its span buffer becomes the
+    // persisted trace, its metrics roll up into the service registry once
+    // the job finishes (either way).
+    telemetry::Telemetry job_tel;
+    job_tel.trace().set_trace_id(record.trace_id);
     Status run = PersistTransition(record, "server.job_claim");
     if (run.ok()) {
       StoreRecord(record);
+      jlog.Info("job running", {{"attempt", record.attempts},
+                                {"shards", record.spec.shards}});
       Stopwatch timer;
-      run = ExecuteJob(&record);
+      run = ExecuteJob(&record, &job_tel);
       metrics.GetHistogram("server.job.exec_ns")
           ->Record(static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9));
+      telemetry::AccumulateSnapshot(&metrics, job_tel.metrics().Snapshot());
+      PersistJobTrace(record.id, job_tel);
     }
 
     if (run.ok()) {
@@ -345,18 +398,24 @@ void AnonymizationService::WorkerLoop() {
       if (record.outcome.degraded) {
         metrics.GetCounter("server.jobs.degraded")->Add();
       }
+      jlog.Info("job done",
+                {{"published", record.outcome.published},
+                 {"clusters", record.outcome.clusters},
+                 {"degraded", record.outcome.degraded},
+                 {"resumed_shards", record.outcome.resumed_shards}});
     } else if (run.code() == StatusCode::kCancelled &&
                shutdown_token_.cancellation_requested()) {
       // Service teardown, not a job failure: requeue for the next life.
       record.state = JobState::kQueued;
       record.outcome = JobOutcome{};
+      record.progress = JobProgress{};
       metrics.GetCounter("server.jobs.requeued")->Add();
+      jlog.Info("job requeued by shutdown");
       if (Status s = ledger_->Update(record); !s.ok()) {
         // Best-effort: a still-"running" ledger record recovers the same
         // way a requeued one does.
-        std::fprintf(stderr, "server: requeue of job %lld not recorded: %s\n",
-                     static_cast<long long>(record.id),
-                     s.ToString().c_str());
+        jlog.Warn("requeue not recorded in ledger",
+                  {{"status", s.ToString()}});
       }
       StoreRecord(record);
       running_.fetch_sub(1, std::memory_order_relaxed);
@@ -369,18 +428,42 @@ void AnonymizationService::WorkerLoop() {
       if (run.code() == StatusCode::kDeadlineExceeded) {
         metrics.GetCounter("server.jobs.deadline_exceeded")->Add();
       }
+      jlog.Error("job failed", {{"status", run.ToString()},
+                                {"attempt", record.attempts}});
     }
     if (Status fin = PersistTransition(record, "server.job_done");
         !fin.ok()) {
       // The terminal state is in memory but not durable; a restart re-runs
       // the job, which is idempotent (deterministic output, atomic
       // publish).
-      std::fprintf(stderr, "server: final ledger write for job %lld: %s\n",
-                   static_cast<long long>(record.id), fin.ToString().c_str());
+      jlog.Warn("final ledger write failed; job will re-run on restart",
+                {{"status", fin.ToString()}});
     }
     StoreRecord(record);
     running_.fetch_sub(1, std::memory_order_relaxed);
     idle_.notify_all();
+  }
+}
+
+std::string AnonymizationService::TracePath(int64_t id) const {
+  return options_.job_dir + "/traces/job_" + std::to_string(id) + ".json";
+}
+
+void AnonymizationService::PersistJobTrace(
+    int64_t id, const telemetry::Telemetry& job_tel) {
+  // Same atomic-publish discipline as every other artifact: the served
+  // path either holds a complete JSON document or nothing.
+  const std::string path = TracePath(id);
+  const std::string tmp = path + ".tmp";
+  if (Status s = job_tel.WriteChromeTrace(tmp); !s.ok()) {
+    log::Warn("job trace not persisted",
+              {{"job", id}, {"status", s.ToString()}});
+    return;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    log::Warn("job trace rename failed",
+              {{"job", id}, {"error", std::strerror(errno)}});
+    std::remove(tmp.c_str());
   }
 }
 
@@ -405,11 +488,13 @@ Status AnonymizationService::MaterializeWithRequirements(
   return writer.Finish();
 }
 
-Status AnonymizationService::ExecuteJob(JobRecord* record) {
+Status AnonymizationService::ExecuteJob(JobRecord* record,
+                                        telemetry::Telemetry* job_tel) {
   const JobSpec& spec = record->spec;
-  WCOP_TRACE_SPAN(&telemetry_, "server/job");
+  WCOP_TRACE_SPAN(job_tel, "server/job");
 
   RunContext ctx;
+  ctx.set_trace_id(record->trace_id);
   ctx.set_cancellation_token(shutdown_token_);
   if (spec.deadline_ms > 0) {
     // The deadline clock started at admission: time spent waiting in the
@@ -459,7 +544,7 @@ Status AnonymizationService::ExecuteJob(JobRecord* record) {
   run.wcop.seed = spec.seed;
   run.wcop.threads = options_.job_threads;
   run.wcop.run_context = &ctx;
-  run.wcop.telemetry = &telemetry_;
+  run.wcop.telemetry = job_tel;
   run.wcop.allow_partial_results = spec.allow_partial;
   run.partition.num_shards = spec.shards;
   run.partition.overlap_margin = spec.overlap_margin;
@@ -468,6 +553,41 @@ Status AnonymizationService::ExecuteJob(JobRecord* record) {
   // resumes past every shard that already finished.
   run.checkpoint_dir = work_dir + "/ckpt";
   run.verify_shards = options_.verify_jobs;
+
+  // Live progress: every completed shard updates the in-memory record
+  // (what GET /jobs/<id> serves) and the service progress gauges. The
+  // shard runner serializes callbacks, so shards_done is monotone.
+  telemetry::MetricsRegistry& metrics = telemetry_.metrics();
+  telemetry::Gauge* g_done = metrics.GetGauge("server.progress.shards_done");
+  telemetry::Gauge* g_total =
+      metrics.GetGauge("server.progress.shards_total");
+  telemetry::Gauge* g_distance =
+      metrics.GetGauge("server.progress.distance_calls");
+  telemetry::Gauge* g_eta = metrics.GetGauge("server.progress.eta_seconds");
+  Stopwatch progress_timer;
+  run.progress = [&](const store::ShardProgress& p) {
+    JobProgress jp;
+    jp.shards_done = p.shards_done;
+    jp.shards_total = p.shards_total;
+    jp.distance_calls = p.distance_calls;
+    if (p.shards_done > 0 && p.shards_done < p.shards_total) {
+      const double elapsed = progress_timer.ElapsedSeconds();
+      jp.eta_seconds = elapsed / static_cast<double>(p.shards_done) *
+                       static_cast<double>(p.shards_total - p.shards_done);
+    }
+    record->progress = jp;  // worker-local copy; safe, callbacks serialized
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = jobs_.find(record->id);
+      if (it != jobs_.end()) {
+        it->second.progress = jp;
+      }
+    }
+    g_done->Set(static_cast<double>(jp.shards_done));
+    g_total->Set(static_cast<double>(jp.shards_total));
+    g_distance->Set(static_cast<double>(jp.distance_calls));
+    g_eta->Set(jp.eta_seconds);
+  };
 
   Result<store::ShardedRunResult> result =
       store::RunShardedWcopCt(reader, run);

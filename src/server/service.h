@@ -129,6 +129,11 @@ class AnonymizationService {
   size_t recovered_jobs() const { return recovered_jobs_; }
   const std::string& job_dir() const { return options_.job_dir; }
 
+  /// Where the job's persisted Chrome trace JSON lives
+  /// (<job_dir>/traces/job_<id>.json); the file exists once the job has
+  /// executed at least once. Served by GET /jobs/<id>/trace.
+  std::string TracePath(int64_t id) const;
+
   /// Stops intake. drain=true finishes every queued job first;
   /// drain=false cancels running jobs (requeued, nothing published) and
   /// abandons the queue (ledger re-enqueues those jobs on next Start).
@@ -150,8 +155,14 @@ class AnonymizationService {
   /// WCOP_FAILPOINT can inject errors.
   Status PersistTransition(const JobRecord& record, const char* site);
   /// Runs one claimed job end to end: context, input prep, sharded run,
-  /// audit gate, atomic publish. Fills record->outcome.
-  Status ExecuteJob(JobRecord* record);
+  /// audit gate, atomic publish. Fills record->outcome and updates the
+  /// in-memory record's progress live from the shard runner. `job_tel` is
+  /// the job's own telemetry bundle: its spans become the persisted trace,
+  /// its metrics roll up into the service registry afterwards.
+  Status ExecuteJob(JobRecord* record, telemetry::Telemetry* job_tel);
+  /// Atomically writes the job's Chrome trace JSON beside the ledger
+  /// (<job_dir>/traces/job_<id>.json); best-effort, logs on failure.
+  void PersistJobTrace(int64_t id, const telemetry::Telemetry& job_tel);
   /// Rewrites the input store with every requirement replaced by the
   /// spec's (assign_k, assign_delta) — the materialization of a tenant /
   /// request (k, delta) override. Deterministic, so a crashed job re-runs

@@ -547,6 +547,7 @@ Result<ShardedRunResult> RunShardedWcopCt(const TrajectoryStoreReader& source,
       if (parent->cancellation_token().has_value()) {
         contexts[s]->set_cancellation_token(*parent->cancellation_token());
       }
+      contexts[s]->set_trace_id(parent->trace_id());
       ResourceBudget slice = parent->budget();
       if (slice.max_distance_computations > 0) {
         slice.max_distance_computations = std::max<uint64_t>(
@@ -569,6 +570,25 @@ Result<ShardedRunResult> RunShardedWcopCt(const TrajectoryStoreReader& source,
   // Phase 2: anonymize every shard independently over wcop::parallel.
   std::vector<ShardState> states(num_shards);
   std::vector<ShardOutcome> outcomes(num_shards);
+  // Live progress: callbacks are serialized under their own mutex so the
+  // sink sees strictly monotonic shards_done even with parallel shards.
+  std::mutex progress_mu;
+  size_t shards_done = 0;
+  uint64_t progress_distance_calls = 0;
+  auto report_progress = [&](size_t s_done_delta, uint64_t distance_delta) {
+    if (!options.progress) {
+      return;
+    }
+    ShardProgress p;
+    std::lock_guard<std::mutex> lock(progress_mu);
+    shards_done += s_done_delta;
+    progress_distance_calls += distance_delta;
+    p.shards_done = shards_done;
+    p.shards_total = num_shards;
+    p.distance_calls = progress_distance_calls;
+    options.progress(p);
+  };
+  report_progress(0, 0);
   const int shard_parallelism = std::max(1, options.shard_parallelism);
   parallel::ParallelOptions pool;
   pool.threads = shard_parallelism;
@@ -602,6 +622,16 @@ Result<ShardedRunResult> RunShardedWcopCt(const TrajectoryStoreReader& source,
                                 shard.shard_index, ".ckpt");
         outcomes[s].shard_index = shard.shard_index;
         outcomes[s].input_trajectories = shard_dataset.size();
+        // Exact distance work this shard performed: the RunContext charge
+        // counter when a context is attached, else the report's counter
+        // (checkpoint-restored shards only have the latter).
+        auto shard_distance = [&]() -> uint64_t {
+          if (contexts[s] != nullptr &&
+              contexts[s]->distance_computations() > 0) {
+            return contexts[s]->distance_computations();
+          }
+          return outcomes[s].report.metrics.CounterValue("distance.calls.edr");
+        };
 
         if (!ckpt_path.empty()) {
           Result<Snapshot> snapshot = ReadSnapshotFile(ckpt_path);
@@ -614,6 +644,7 @@ Result<ShardedRunResult> RunShardedWcopCt(const TrajectoryStoreReader& source,
               outcomes[s].report = states[s].result.report;
               outcomes[s].verification = states[s].verification;
               outcomes[s].from_checkpoint = true;
+              report_progress(1, shard_distance());
               return Status::OK();
             }
           }
@@ -638,6 +669,7 @@ Result<ShardedRunResult> RunShardedWcopCt(const TrajectoryStoreReader& source,
               kShardCheckpointVersion));
           WCOP_FAILPOINT("shard.checkpoint_saved");
         }
+        report_progress(1, shard_distance());
         return Status::OK();
   };
   Status run_status = parallel::ParallelFor(
@@ -731,6 +763,12 @@ Result<ShardedRunResult> RunShardedWcopCt(const TrajectoryStoreReader& source,
     for (size_t s = 0; s < num_shards; ++s) {
       MergeSnapshotInto(&out.merged.report.metrics,
                         shard_tels[s]->metrics().Snapshot());
+      // Fold each shard's span buffer into the parent recorder as its own
+      // trace-process lane (pid 2 + shard index; the coordinator is pid 1)
+      // so the exported JSON is one coherent per-job timeline.
+      parent_tel->trace().MergeFrom(
+          shard_tels[s]->trace(),
+          static_cast<uint32_t>(2 + out.partition.shards[s].shard_index));
     }
   }
   return out;

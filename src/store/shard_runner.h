@@ -19,6 +19,8 @@
 /// single-shard run is byte-identical to the monolithic driver.
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,17 @@
 
 namespace wcop {
 namespace store {
+
+/// Point-in-time progress of a sharded run, published through
+/// ShardRunOptions::progress. `shards_done` counts completed shards
+/// (checkpoint-restored ones included) and is monotonically increasing
+/// across callbacks; `distance_calls` is the cumulative exact-distance
+/// count of the completed shards.
+struct ShardProgress {
+  size_t shards_done = 0;
+  size_t shards_total = 0;
+  uint64_t distance_calls = 0;
+};
 
 struct ShardRunOptions {
   /// Base driver options. Per-shard copies get their own RunContext slice
@@ -63,6 +76,12 @@ struct ShardRunOptions {
   /// shard order instead of accumulating in `merged.sanitized` (which then
   /// stays empty). Requires shard_parallelism == 1.
   std::string stream_output_store;
+
+  /// Live progress sink, invoked once with (0, total, 0) before the shard
+  /// phase starts and once after each shard completes. Callbacks are
+  /// serialized (never concurrent) but may arrive from worker threads;
+  /// keep the callback cheap and do not call back into the runner.
+  std::function<void(const ShardProgress&)> progress;
 };
 
 /// Per-shard outcome retained by the merge.

@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "common/failpoint.h"
+#include "common/log.h"
 #include "common/snapshot.h"
 #include "geo/bounding_box.h"
 
@@ -570,8 +571,7 @@ Result<size_t> SweepStaleArtifacts(const std::string& dir,
       continue;
     }
     ++removed;
-    std::fprintf(stderr, "janitor: removed stale artifact %s\n",
-                 path.c_str());
+    log::Info("janitor: removed stale artifact", {{"path", path}});
   }
   ::closedir(handle);
   if (!first_error.ok()) {

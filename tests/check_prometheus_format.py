@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition format 0.0.4 read from stdin.
+
+Used by the CI observability job to gate the daemon's /metrics output:
+
+    curl --unix-socket wcop.sock http://d/metrics | \
+        python3 tests/check_prometheus_format.py
+
+Checks (stdlib only, no prometheus_client dependency):
+  * line grammar: comments are `# HELP <name> <docstring>` or
+    `# TYPE <name> <counter|gauge|histogram|summary|untyped>`; samples are
+    `name{labels} value [timestamp]`
+  * metric and label names match the legal charsets
+    ([a-zA-Z_:][a-zA-Z0-9_:]* and [a-zA-Z_][a-zA-Z0-9_]*)
+  * label values use only the \\\\, \\", \\n escapes
+  * values parse as Go-style floats (incl. NaN, +Inf, -Inf)
+  * at most one HELP and one TYPE per family, both before its samples,
+    and samples of one family are contiguous
+  * counters end in _total (process_* families are exempt per convention)
+  * histograms: bucket counts are cumulative/monotone in le order, the
+    +Inf bucket exists and equals _count, and _sum/_count are present
+
+Exit code 0 on success; 1 with a line-numbered diagnosis on failure.
+"""
+
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name, optional {labels}, value, optional timestamp
+SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r" (NaN|[+-]?Inf|[+-]?[0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)"
+    r"(?: (-?[0-9]+))?$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+VALID_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def base_family(sample_name):
+    """Family a sample belongs to (strips histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def le_key(value):
+    return float("inf") if value == "+Inf" else float(value)
+
+
+def fail(line_no, line, why):
+    sys.stderr.write(
+        "check_prometheus_format: line %d: %s\n  %s\n" % (line_no, why, line)
+    )
+    sys.exit(1)
+
+
+def main():
+    text = sys.stdin.read()
+    helps = {}
+    types = {}
+    # family -> list of (line_no, name, labels dict, float value)
+    samples = {}
+    family_order = []  # first-seen order, to check contiguity
+    last_family = None
+
+    for line_no, line in enumerate(text.split("\n"), start=1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#":
+                fail(line_no, line, "malformed comment line")
+            keyword, name = parts[1], parts[2]
+            if keyword == "HELP":
+                if name in helps:
+                    fail(line_no, line, "second HELP for family %r" % name)
+                if samples.get(name):
+                    fail(line_no, line, "HELP after samples of %r" % name)
+                helps[name] = parts[3] if len(parts) > 3 else ""
+            elif keyword == "TYPE":
+                if name in types:
+                    fail(line_no, line, "second TYPE for family %r" % name)
+                if samples.get(name):
+                    fail(line_no, line, "TYPE after samples of %r" % name)
+                if len(parts) != 4 or parts[3] not in VALID_TYPES:
+                    fail(line_no, line, "bad metric type")
+                types[name] = parts[3]
+            else:
+                # Free-form comments are legal; ignore.
+                pass
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            fail(line_no, line, "unparsable sample line")
+        name, labels_raw, value = m.group(1), m.group(2), m.group(3)
+        if not METRIC_NAME.match(name):
+            fail(line_no, line, "illegal metric name %r" % name)
+
+        labels = {}
+        if labels_raw is not None:
+            consumed = 0
+            for pair in LABEL_PAIR.finditer(labels_raw):
+                if pair.start() != consumed:
+                    fail(line_no, line, "garbage between label pairs")
+                if not LABEL_NAME.match(pair.group(1)):
+                    fail(line_no, line, "illegal label name %r" % pair.group(1))
+                raw = pair.group(2)
+                if re.search(r'\\[^\\n"]', raw):
+                    fail(line_no, line, "illegal escape in label value")
+                labels[pair.group(1)] = raw
+                consumed = pair.end()
+                if consumed < len(labels_raw):
+                    if labels_raw[consumed] != ",":
+                        fail(line_no, line, "malformed label separator")
+                    consumed += 1
+            if consumed < len(labels_raw):
+                fail(line_no, line, "trailing garbage in label block")
+
+        family = base_family(name)
+        # A family's type decides whether the suffix-stripped name applies:
+        # only histograms/summaries own _bucket/_sum/_count children.
+        if family != name and types.get(family) not in ("histogram", "summary"):
+            family = name
+        if family not in samples:
+            samples[family] = []
+            family_order.append(family)
+        elif last_family != family:
+            fail(line_no, line, "samples of family %r are not contiguous" % family)
+        last_family = family
+        samples[family].append((line_no, name, labels, le_key(value)))
+
+    for family in family_order:
+        ftype = types.get(family)
+        if ftype == "counter":
+            if not family.endswith("_total") and not family.startswith("process_"):
+                fail(
+                    samples[family][0][0],
+                    family,
+                    "counter family does not end in _total",
+                )
+        if ftype == "histogram":
+            buckets = []
+            count = None
+            has_sum = False
+            for line_no, name, labels, value in samples[family]:
+                if name.endswith("_bucket"):
+                    if "le" not in labels:
+                        fail(line_no, name, "histogram bucket without le label")
+                    buckets.append((line_no, le_key(labels["le"]), value))
+                elif name.endswith("_count"):
+                    count = value
+                elif name.endswith("_sum"):
+                    has_sum = True
+            if not buckets or buckets[-1][1] != float("inf"):
+                fail(
+                    samples[family][0][0],
+                    family,
+                    "histogram has no +Inf bucket (or it is not last)",
+                )
+            for (_, lo_le, lo_v), (line_no, hi_le, hi_v) in zip(
+                buckets, buckets[1:]
+            ):
+                if hi_le <= lo_le:
+                    fail(line_no, family, "bucket le bounds not increasing")
+                if hi_v < lo_v:
+                    fail(line_no, family, "bucket counts not cumulative")
+            if count is None or not has_sum:
+                fail(samples[family][0][0], family, "histogram missing _sum/_count")
+            if buckets[-1][2] != count:
+                fail(
+                    samples[family][0][0],
+                    family,
+                    "+Inf bucket (%g) != _count (%g)" % (buckets[-1][2], count),
+                )
+
+    n_samples = sum(len(v) for v in samples.values())
+    if n_samples == 0:
+        sys.stderr.write("check_prometheus_format: no samples in input\n")
+        sys.exit(1)
+    print(
+        "check_prometheus_format: OK (%d families, %d samples)"
+        % (len(family_order), n_samples)
+    )
+
+
+if __name__ == "__main__":
+    main()

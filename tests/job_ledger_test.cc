@@ -87,6 +87,11 @@ JobRecord FullRecord() {
   record.outcome.total_distortion = 12345.6789;
   record.outcome.resumed_shards = 1;
   record.outcome.error = "Internal: something with\nnewlines % and spaces";
+  record.trace_id = "wcop-job-00c0ffee00c0ffee";
+  record.progress.shards_done = 3;
+  record.progress.shards_total = 4;
+  record.progress.distance_calls = 987654321;
+  record.progress.eta_seconds = 1.5;
   return record;
 }
 
@@ -119,6 +124,11 @@ TEST(JobCodecTest, RecordRoundTripsAllFields) {
   EXPECT_EQ(back->outcome.total_distortion, record.outcome.total_distortion);
   EXPECT_EQ(back->outcome.resumed_shards, record.outcome.resumed_shards);
   EXPECT_EQ(back->outcome.error, record.outcome.error);
+  EXPECT_EQ(back->trace_id, record.trace_id);
+  EXPECT_EQ(back->progress.shards_done, record.progress.shards_done);
+  EXPECT_EQ(back->progress.shards_total, record.progress.shards_total);
+  EXPECT_EQ(back->progress.distance_calls, record.progress.distance_calls);
+  EXPECT_EQ(back->progress.eta_seconds, record.progress.eta_seconds);
   // The codec is deterministic: encode(decode(encode(r))) == encode(r).
   EXPECT_EQ(EncodeJobRecord(*back), EncodeJobRecord(record));
 }

@@ -1,0 +1,226 @@
+// Prometheus text exposition: name/label sanitization, family mapping
+// (wcop_ prefix, _total counters, process_* passthrough), cumulative
+// histogram series with exact power-of-two bounds, NaN/Inf literals, the
+// empty-registry edge case, and scrape-while-recording thread safety
+// (meaningful under TSan).
+
+#include "common/prometheus.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/process_stats.h"
+#include "common/telemetry.h"
+#include "gtest/gtest.h"
+
+namespace wcop {
+namespace telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sanitization
+// ---------------------------------------------------------------------------
+
+TEST(SanitizeMetricName, LegalNamesPassThrough) {
+  EXPECT_EQ(SanitizeMetricName("server_jobs_accepted"),
+            "server_jobs_accepted");
+  EXPECT_EQ(SanitizeMetricName("a:b_c9"), "a:b_c9");
+}
+
+TEST(SanitizeMetricName, IllegalCharactersBecomeUnderscores) {
+  EXPECT_EQ(SanitizeMetricName("server.jobs.accepted"),
+            "server_jobs_accepted");
+  EXPECT_EQ(SanitizeMetricName("weird-name with spaces/and#stuff"),
+            "weird_name_with_spaces_and_stuff");
+}
+
+TEST(SanitizeMetricName, LeadingDigitGainsUnderscore) {
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName("0"), "_0");
+}
+
+TEST(SanitizeMetricName, EmptyBecomesUnderscore) {
+  EXPECT_EQ(SanitizeMetricName(""), "_");
+}
+
+TEST(EscapeLabelValue, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("two\nlines"), "two\\nlines");
+}
+
+// ---------------------------------------------------------------------------
+// Family mapping
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusText, EmptySnapshotIsEmptyExposition) {
+  MetricsRegistry registry;
+  EXPECT_EQ(ToPrometheusText(registry.Snapshot()), "");
+}
+
+TEST(PrometheusText, CountersGainPrefixAndTotalSuffix) {
+  MetricsRegistry registry;
+  registry.GetCounter("server.jobs.accepted")->Add(3);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# HELP wcop_server_jobs_accepted_total "),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE wcop_server_jobs_accepted_total counter"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\nwcop_server_jobs_accepted_total 3\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusText, TotalSuffixIsNotDoubled) {
+  MetricsRegistry registry;
+  registry.GetCounter("distance.calls.total")->Add(1);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("wcop_distance_calls_total 1"), std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("_total_total"), std::string::npos) << text;
+}
+
+TEST(PrometheusText, ProcessMetricsKeepConventionalNames) {
+  MetricsRegistry registry;
+  registry.GetGauge("process.open_fds")->Set(12);
+  registry.GetGauge("process.cpu_seconds_total")->Set(1.5);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("\nprocess_open_fds 12\n"), std::string::npos) << text;
+  EXPECT_EQ(text.find("wcop_process"), std::string::npos) << text;
+  // The conventional process_cpu_seconds_total is a counter despite being
+  // published through a gauge handle.
+  EXPECT_NE(text.find("# TYPE process_cpu_seconds_total counter"),
+            std::string::npos)
+      << text;
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusText, GaugeSpecialValuesUseFormatLiterals) {
+  MetricsRegistry registry;
+  registry.GetGauge("g.nan")->Set(std::nan(""));
+  registry.GetGauge("g.pinf")->Set(std::numeric_limits<double>::infinity());
+  registry.GetGauge("g.ninf")->Set(-std::numeric_limits<double>::infinity());
+  registry.GetGauge("g.int")->Set(42.0);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("wcop_g_nan NaN"), std::string::npos) << text;
+  EXPECT_NE(text.find("wcop_g_pinf +Inf"), std::string::npos) << text;
+  EXPECT_NE(text.find("wcop_g_ninf -Inf"), std::string::npos) << text;
+  EXPECT_NE(text.find("wcop_g_int 42\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusText, HistogramEmitsCumulativeBucketsSumCount) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("op.ns");
+  h->Record(0);  // bucket 0: le="0"
+  h->Record(1);  // bucket 1: [1, 2) -> le="1"
+  h->Record(5);  // bucket 3: [4, 8) -> le="7"
+  h->Record(5);
+  const std::string text = ToPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE wcop_op_ns histogram"), std::string::npos)
+      << text;
+  // Cumulative: le="0" -> 1, le="1" -> 2, le="7" -> 4, +Inf -> 4.
+  EXPECT_NE(text.find("wcop_op_ns_bucket{le=\"0\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wcop_op_ns_bucket{le=\"1\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wcop_op_ns_bucket{le=\"7\"} 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wcop_op_ns_bucket{le=\"+Inf\"} 4"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wcop_op_ns_sum 11"), std::string::npos) << text;
+  EXPECT_NE(text.find("wcop_op_ns_count 4"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Scrape while recording (the interesting assertions run under TSan)
+// ---------------------------------------------------------------------------
+
+TEST(PrometheusText, ConcurrentScrapeWhileRecordingStaysWellFormed) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("hot.counter");
+  Histogram* histogram = registry.GetHistogram("hot.ns");
+  Gauge* gauge = registry.GetGauge("hot.gauge");
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&, t] {
+      uint64_t v = static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter->Add(1);
+        histogram->Record(v++ % 1024);
+        gauge->Set(static_cast<double>(v));
+      }
+    });
+  }
+
+  for (int scrape = 0; scrape < 200; ++scrape) {
+    const std::string text = ToPrometheusText(registry.Snapshot());
+    // Exposition stays parseable mid-flight: the cumulative +Inf bucket
+    // equals _count (monotonicity is pinned even though bucket and count
+    // increments are separate atomics).
+    const size_t inf = text.find("wcop_hot_ns_bucket{le=\"+Inf\"} ");
+    const size_t count = text.find("wcop_hot_ns_count ");
+    ASSERT_NE(inf, std::string::npos) << text;
+    ASSERT_NE(count, std::string::npos) << text;
+    const uint64_t inf_value = std::strtoull(
+        text.c_str() + inf + sizeof("wcop_hot_ns_bucket{le=\"+Inf\"} ") - 1,
+        nullptr, 10);
+    const uint64_t count_value = std::strtoull(
+        text.c_str() + count + sizeof("wcop_hot_ns_count ") - 1, nullptr,
+        10);
+    EXPECT_EQ(inf_value, count_value) << text;
+  }
+  stop.store(true);
+  for (std::thread& w : writers) {
+    w.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// /proc collector
+// ---------------------------------------------------------------------------
+
+TEST(ProcessStats, PublishesProcessGauges) {
+  MetricsRegistry registry;
+  PublishProcessMetrics(&registry);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+#ifdef __linux__
+  EXPECT_GT(snapshot.GaugeValue("process.resident_memory_bytes"), 0.0);
+  EXPECT_GE(snapshot.GaugeValue("process.threads"), 1.0);
+  EXPECT_GT(snapshot.GaugeValue("process.start_time_seconds"), 0.0);
+  EXPECT_GE(snapshot.GaugeValue("process.open_fds"), 0.0);
+  EXPECT_GE(snapshot.GaugeValue("process.uptime_seconds"), 0.0);
+#else
+  // Non-Linux: the collector is a stub and publishes nothing.
+  EXPECT_EQ(snapshot.GaugeValue("process.resident_memory_bytes"), 0.0);
+#endif
+}
+
+#ifdef __linux__
+TEST(ProcessStats, ReadReportsLiveProcess) {
+  ProcessStats stats;
+  ASSERT_TRUE(ReadProcessStats(&stats));
+  EXPECT_GT(stats.resident_memory_bytes, 0u);
+  EXPECT_GT(stats.virtual_memory_bytes, stats.resident_memory_bytes / 8);
+  EXPECT_GE(stats.threads, 1);
+  EXPECT_GT(stats.start_time_seconds, 0.0);
+  EXPECT_GE(stats.uptime_seconds, 0.0);
+  EXPECT_GE(stats.cpu_seconds_total, 0.0);
+}
+#endif
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace wcop

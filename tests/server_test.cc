@@ -11,11 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "common/rng.h"
 #include "common/telemetry.h"
+#include "data/synthetic.h"
 #include "server/client.h"
 #include "server/endpoint.h"
 #include "server/service.h"
@@ -61,6 +66,31 @@ class ServerTest : public ::testing::Test {
     if (!std::filesystem::exists(path)) {
       EXPECT_TRUE(
           store::WriteDatasetStore(SmallSynthetic(120, 80), path).ok());
+    }
+    return path;
+  }
+
+  // Four far-apart synthetic cities: the input shape the partitioner can
+  // split into multiple shards (one dense city collapses to one shard by
+  // design). Needed by the live-progress and trace tests.
+  std::string TiledStore() {
+    const std::string path = Path("tiled.wst");
+    if (!std::filesystem::exists(path)) {
+      SyntheticOptions options;
+      options.seed = 21;
+      options.num_users = 8;
+      options.num_trajectories = 20;
+      options.points_per_trajectory = 24;
+      options.sampling_interval = 10.0;
+      options.region_half_diagonal = 6000.0;
+      options.num_hubs = 5;
+      options.num_routes = 4;
+      options.dataset_duration_days = 10.0;
+      Dataset dataset =
+          GenerateTiledSyntheticGeoLife(options, 4, 200000.0).value();
+      Rng rng(22);
+      AssignUniformRequirements(&dataset, 2, 4, 10.0, 200.0, &rng);
+      EXPECT_TRUE(store::WriteDatasetStore(dataset, path).ok());
     }
     return path;
   }
@@ -448,19 +478,128 @@ TEST_F(ServerTest, EndpointServesJobsHealthAndMetrics) {
   EXPECT_EQ(client.Submit(Spec("bad name", SmallStore())).status().code(),
             StatusCode::kInvalidArgument);
 
+  // Default /metrics speaks Prometheus text exposition 0.0.4: typed
+  // families, _total counters, cumulative histogram series, and the
+  // process collector's gauges.
   Result<std::string> metrics = client.Metrics();
   ASSERT_TRUE(metrics.ok()) << metrics.status();
-  EXPECT_NE(metrics->find("counter server.jobs.accepted 1"),
+  EXPECT_NE(metrics->find("# TYPE wcop_server_jobs_accepted_total counter"),
             std::string::npos)
       << *metrics;
-  EXPECT_NE(metrics->find("histogram server.job.exec_ns"), std::string::npos)
+  EXPECT_NE(metrics->find("wcop_server_jobs_accepted_total 1"),
+            std::string::npos)
       << *metrics;
+  EXPECT_NE(metrics->find("wcop_server_job_exec_ns_bucket{le=\"+Inf\"}"),
+            std::string::npos)
+      << *metrics;
+  EXPECT_NE(metrics->find("wcop_server_job_exec_ns_count"),
+            std::string::npos)
+      << *metrics;
+#ifdef __linux__
+  EXPECT_NE(metrics->find("process_resident_memory_bytes"),
+            std::string::npos)
+      << *metrics;
+#endif
+
+  // The pre-Prometheus human-readable dump survives under ?format=text.
+  Result<std::string> legacy = client.Metrics(/*legacy_format=*/true);
+  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  EXPECT_NE(legacy->find("counter server.jobs.accepted 1"),
+            std::string::npos)
+      << *legacy;
+  EXPECT_NE(legacy->find("histogram server.job.exec_ns"), std::string::npos)
+      << *legacy;
+
+  // GET /jobs lists every record the service knows about.
+  Result<std::vector<JobRecord>> listed = client.ListJobs();
+  ASSERT_TRUE(listed.ok()) << listed.status();
+  ASSERT_EQ(listed->size(), 1u);
+  EXPECT_EQ((*listed)[0].spec.name, "via-http");
+  EXPECT_EQ((*listed)[0].state, JobState::kDone);
 
   // POST /shutdown flips the flags the daemon's main loop polls.
   EXPECT_FALSE((*endpoint)->shutdown_requested());
   ASSERT_TRUE(client.Shutdown(/*drain=*/true).ok());
   EXPECT_TRUE((*endpoint)->shutdown_requested());
   EXPECT_TRUE((*endpoint)->drain_requested());
+
+  (*endpoint)->Stop();
+  (*service)->BeginShutdown(/*drain=*/true);
+  (*service)->AwaitTermination();
+}
+
+// The PR-7 acceptance path: a 4-shard job submitted over HTTP exposes a
+// monotone live progress sequence while running, and once done serves a
+// Chrome trace JSON whose spans carry the job's trace id and come from at
+// least two distinct shard lanes (pid = 2 + shard_index; coordinator = 1).
+TEST_F(ServerTest, EndpointServesLiveProgressAndTrace) {
+  Result<std::unique_ptr<AnonymizationService>> service =
+      AnonymizationService::Start(BaseOptions());
+  ASSERT_TRUE(service.ok()) << service.status();
+  HttpServer::Options http;
+  http.socket_path = Path("wcop.sock");
+  Result<std::unique_ptr<ServiceEndpoint>> endpoint =
+      ServiceEndpoint::Attach(service->get(), http);
+  ASSERT_TRUE(endpoint.ok()) << endpoint.status();
+  const ServiceClient client(http.socket_path);
+
+  JobSpec spec = Spec("tiled", TiledStore());
+  spec.shards = 4;
+  Result<JobRecord> submitted = client.Submit(spec);
+  ASSERT_TRUE(submitted.ok()) << submitted.status();
+  // The trace identity exists from admission...
+  EXPECT_EQ(submitted->trace_id.rfind("wcop-job-", 0), 0u)
+      << submitted->trace_id;
+  // ...but the span buffer does not: 404 until the job has executed, and
+  // for jobs that never existed.
+  EXPECT_EQ(client.Trace(submitted->id).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(client.Trace(424242).status().code(), StatusCode::kNotFound);
+
+  // Poll the live record to completion, collecting the progress sequence.
+  std::vector<uint64_t> done_seq;
+  JobRecord final_record;
+  for (int i = 0; i < 60000; ++i) {
+    Result<JobRecord> record = client.GetJob(submitted->id);
+    ASSERT_TRUE(record.ok()) << record.status();
+    done_seq.push_back(record->progress.shards_done);
+    if (record->state == JobState::kDone ||
+        record->state == JobState::kFailed) {
+      final_record = *record;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(final_record.state, JobState::kDone)
+      << final_record.outcome.error;
+  for (size_t i = 1; i < done_seq.size(); ++i) {
+    EXPECT_GE(done_seq[i], done_seq[i - 1]) << "progress went backwards";
+  }
+  EXPECT_EQ(final_record.progress.shards_total, 4u);
+  EXPECT_EQ(final_record.progress.shards_done, 4u);
+  EXPECT_GT(final_record.progress.distance_calls, 0u);
+
+  // The persisted trace is one merged timeline under the job's trace id.
+  Result<std::string> trace = client.Trace(submitted->id);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  ASSERT_FALSE(trace->empty());
+  EXPECT_EQ(trace->front(), '{') << *trace;
+  EXPECT_NE(trace->find("\"traceEvents\":["), std::string::npos) << *trace;
+  EXPECT_NE(
+      trace->find("\"traceId\":\"" + final_record.trace_id + "\""),
+      std::string::npos)
+      << *trace;
+  std::set<int> shard_pids;
+  for (size_t pos = trace->find("\"pid\":"); pos != std::string::npos;
+       pos = trace->find("\"pid\":", pos + 1)) {
+    const int pid =
+        std::atoi(trace->c_str() + pos + sizeof("\"pid\":") - 1);
+    if (pid >= 2) {
+      shard_pids.insert(pid);
+    }
+  }
+  EXPECT_GE(shard_pids.size(), 2u)
+      << "expected spans from >= 2 shard lanes: " << *trace;
 
   (*endpoint)->Stop();
   (*service)->BeginShutdown(/*drain=*/true);

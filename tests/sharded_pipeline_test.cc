@@ -4,11 +4,14 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "anon/wcop.h"
 #include "common/rng.h"
+#include "common/run_context.h"
+#include "common/telemetry.h"
 #include "data/synthetic.h"
 #include "store/store_file.h"
 #include "test_util.h"
@@ -169,6 +172,86 @@ TEST(ShardedPipelineTest, MultiShardRunsVerifierCleanAndComplete) {
       used[m] = true;
     }
   }
+  std::filesystem::remove(store_path);
+}
+
+TEST(ShardedPipelineTest, ProgressCallbackIsMonotoneAndComplete) {
+  const Dataset dataset = TiledDataset();
+  const std::string store_path = TempPath("shard_progress.wst");
+  ASSERT_TRUE(WriteDatasetStore(dataset, store_path).ok());
+  Result<TrajectoryStoreReader> reader =
+      TrajectoryStoreReader::Open(store_path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  // Distance accounting flows into ShardProgress via the per-shard
+  // RunContext children, so attach a context like the service does.
+  RunContext ctx;
+  ShardRunOptions run;
+  run.wcop.seed = 9;
+  run.wcop.run_context = &ctx;
+  run.partition.num_shards = 4;
+  run.shard_dir = TempDirFor("shard_progress.shards");
+  std::vector<ShardProgress> updates;
+  run.progress = [&updates](const ShardProgress& p) {
+    updates.push_back(p);
+  };
+  Result<ShardedRunResult> r = RunShardedWcopCt(*reader, run);
+  ASSERT_TRUE(r.ok()) << r.status();
+
+  // One up-front (0, total, 0) report plus one per shard, all monotone.
+  const size_t shards = r->partition.shards.size();
+  ASSERT_EQ(updates.size(), shards + 1);
+  EXPECT_EQ(updates.front().shards_done, 0u);
+  EXPECT_EQ(updates.front().distance_calls, 0u);
+  for (size_t i = 0; i < updates.size(); ++i) {
+    EXPECT_EQ(updates[i].shards_total, shards);
+    EXPECT_EQ(updates[i].shards_done, i);
+    if (i > 0) {
+      EXPECT_GE(updates[i].distance_calls, updates[i - 1].distance_calls);
+    }
+  }
+  EXPECT_EQ(updates.back().shards_done, shards);
+  EXPECT_GT(updates.back().distance_calls, 0u);
+  std::filesystem::remove(store_path);
+}
+
+TEST(ShardedPipelineTest, ShardSpansMergeIntoParentTelemetry) {
+  const Dataset dataset = TiledDataset();
+  const std::string store_path = TempPath("shard_spans.wst");
+  ASSERT_TRUE(WriteDatasetStore(dataset, store_path).ok());
+  Result<TrajectoryStoreReader> reader =
+      TrajectoryStoreReader::Open(store_path);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  telemetry::Telemetry tel;
+  tel.trace().set_trace_id("wcop-job-feedfacefeedface");
+  RunContext ctx;
+  ctx.set_trace_id("wcop-job-feedfacefeedface");
+
+  ShardRunOptions run;
+  run.wcop.seed = 9;
+  run.wcop.run_context = &ctx;
+  run.wcop.telemetry = &tel;
+  run.partition.num_shards = 4;
+  run.shard_dir = TempDirFor("shard_spans.shards");
+  Result<ShardedRunResult> r = RunShardedWcopCt(*reader, run);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_GT(r->partition.shards.size(), 1u);
+
+  // The parent recorder holds span lanes from at least two distinct shards
+  // (pid = 2 + shard_index; the coordinator records under pid 1).
+  std::set<uint32_t> pids;
+  for (const telemetry::TraceEvent& event : tel.trace().Events()) {
+    pids.insert(event.pid);
+  }
+  size_t shard_lanes = 0;
+  for (uint32_t pid : pids) {
+    shard_lanes += pid >= 2;
+  }
+  EXPECT_GE(shard_lanes, 2u) << "expected spans from >= 2 shards";
+  EXPECT_NE(tel.trace().ToChromeTraceJson().find(
+                "\"traceId\":\"wcop-job-feedfacefeedface\""),
+            std::string::npos);
   std::filesystem::remove(store_path);
 }
 

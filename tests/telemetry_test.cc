@@ -415,6 +415,86 @@ TEST(TraceTest, ChromeTraceJsonIsWellFormed) {
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
 }
 
+TEST(TraceTest, TraceIdAppearsInChromeJson) {
+  Telemetry telemetry;
+  telemetry.trace().set_trace_id("wcop-job-00c0ffee00c0ffee");
+  {
+    WCOP_TRACE_SPAN(&telemetry, "server/job");
+  }
+  EXPECT_EQ(telemetry.trace().trace_id(), "wcop-job-00c0ffee00c0ffee");
+  const std::string json = telemetry.trace().ToChromeTraceJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceId\":\"wcop-job-00c0ffee00c0ffee\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(TraceTest, MergeFromFoldsShardLanesIntoOneTimeline) {
+  TraceRecorder parent;
+  TraceRecorder shard0;
+  TraceRecorder shard1;
+  shard0.Record("shard/anonymize", 100, 200, 0);
+  shard1.Record("shard/anonymize", 50, 150, 0);
+  parent.Record("server/job", 0, 300, 0);
+  parent.MergeFrom(shard0, /*pid=*/2);
+  parent.MergeFrom(shard1, /*pid=*/3);
+
+  const std::vector<TraceEvent> events = parent.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].pid, 1u);  // coordinator lane
+  EXPECT_EQ(events[1].pid, 2u);
+  EXPECT_EQ(events[2].pid, 3u);
+  // Durations survive the clock re-basing exactly.
+  EXPECT_EQ(events[1].dur_ns, 100u);
+  EXPECT_EQ(events[2].dur_ns, 100u);
+
+  const std::string json = parent.ToChromeTraceJson();
+  EXPECT_TRUE(JsonScanner(json).Valid()) << json;
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, SnapshotCarriesExactBucketCounts) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("h");
+  h->Record(0);
+  h->Record(3);
+  h->Record(3);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSummary* summary = snapshot.FindHistogram("h");
+  ASSERT_NE(summary, nullptr);
+  ASSERT_EQ(summary->buckets.size(), Histogram::kBuckets);
+  EXPECT_EQ(summary->buckets[0], 1u);                      // the zero
+  EXPECT_EQ(summary->buckets[Histogram::BucketFor(3)], 2u);
+}
+
+TEST(MetricsTest, AccumulateSnapshotRollsUpExactly) {
+  // Per-job registry -> snapshot -> service registry, twice, as the
+  // service worker does after each job.
+  MetricsRegistry service;
+  for (int job = 0; job < 2; ++job) {
+    MetricsRegistry per_job;
+    per_job.GetCounter("jobs.work")->Add(5);
+    per_job.GetGauge("jobs.last_size")->Set(10.0 + job);
+    Histogram* h = per_job.GetHistogram("jobs.ns");
+    h->Record(7);
+    h->Record(90);
+    AccumulateSnapshot(&service, per_job.Snapshot());
+  }
+  const MetricsSnapshot rolled = service.Snapshot();
+  EXPECT_EQ(rolled.CounterValue("jobs.work"), 10u);
+  EXPECT_EQ(rolled.GaugeValue("jobs.last_size"), 11.0);  // last write wins
+  const HistogramSummary* h = rolled.FindHistogram("jobs.ns");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_EQ(h->sum, 2u * (7 + 90));
+  EXPECT_EQ(h->min, 7u);
+  EXPECT_EQ(h->max, 90u);
+  // Bucket resolution is preserved, not flattened into count/sum.
+  EXPECT_EQ(h->buckets[Histogram::BucketFor(7)], 2u);
+  EXPECT_EQ(h->buckets[Histogram::BucketFor(90)], 2u);
+}
+
 TEST(TraceTest, SummaryListsTopSpans) {
   Telemetry telemetry;
   for (int i = 0; i < 3; ++i) {
