@@ -1,0 +1,259 @@
+// Sustained continuous-publication bench: drive the out-of-core pipeline
+// (pipeline/continuous.h) over a corpus spanning many windows at a fixed
+// publication cadence and prove it keeps up — every window's wall time
+// under the cadence budget — with bounded memory.
+//
+// The corpus is generated window tile by window tile (co-travelling groups
+// inside each window plus boundary crossers that exercise the carry-over
+// chain) and streamed straight into a trajectory store; neither the corpus
+// nor any window is ever whole in memory. The bench then runs the pipeline
+// end to end, records per-window latency through the progress sink, and
+// fails (non-zero exit) if
+//   - fewer than --min-windows windows were published,
+//   - the p99 window latency exceeds --cadence-seconds (the pipeline would
+//     fall behind a real-time feed publishing one window per cadence), or
+//   - peak RSS exceeds --rss-budget-mb.
+//
+// Usage:
+//   ./pipeline_sustain [--windows=24] [--groups-per-window=6]
+//                      [--window=600] [--cadence-seconds=30]
+//                      [--rss-budget-mb=512] [--dir=pipeline_sustain.tmp]
+//                      [--keep-store] [--json-out=FILE]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/arg_parser.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/telemetry.h"
+#include "pipeline/continuous.h"
+#include "store/store_file.h"
+
+using namespace wcop;
+using bench::JsonOut;
+
+namespace {
+
+// Peak resident set (VmHWM) in MiB from /proc/self/status; 0 off Linux.
+double PeakRssMb() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::strtod(line.c_str() + 6, nullptr) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+/// One window's tile: `groups` clusters of three co-travelling lines that
+/// live inside window `w`, plus one crosser per group that starts late
+/// enough to spill a short fragment into window w+1 — so every boundary
+/// carries state. Fragment ids are globally unique by construction.
+Status AppendWindowTile(store::TrajectoryStoreWriter* writer, size_t w,
+                        size_t groups, double window_seconds, Rng* rng) {
+  const double t0 = static_cast<double>(w) * window_seconds;
+  const double dt = 10.0;
+  const size_t in_window_points =
+      std::max<size_t>(4, static_cast<size_t>(window_seconds / dt) - 2);
+  int64_t id = static_cast<int64_t>(w * groups * 4);
+  for (size_t g = 0; g < groups; ++g) {
+    const double gx = 4000.0 * static_cast<double>(g);
+    const double gy = 50000.0 * static_cast<double>(w % 7);
+    const int k = static_cast<int>(rng->UniformInt(2, 4));
+    const double delta = rng->UniformReal(100.0, 300.0);
+    for (int i = 0; i < 3; ++i) {
+      std::vector<Point> pts;
+      pts.reserve(in_window_points);
+      for (size_t p = 0; p < in_window_points; ++p) {
+        pts.emplace_back(gx + 5.0 * static_cast<double>(p),
+                         gy + 30.0 * i, t0 + dt * static_cast<double>(p));
+      }
+      Trajectory t(id, std::move(pts), Requirement{k, delta});
+      t.set_object_id(id);
+      WCOP_RETURN_IF_ERROR(writer->Append(t));
+      ++id;
+    }
+    // The crosser: starts one sample before the boundary, so window w
+    // spills a single-point carry record that window w+1 must merge.
+    std::vector<Point> cross;
+    const double cross_t0 = t0 + window_seconds - dt;
+    for (size_t p = 0; p < 6; ++p) {
+      cross.emplace_back(gx + 5.0 * static_cast<double>(p), gy + 120.0,
+                         cross_t0 + dt * static_cast<double>(p));
+    }
+    Trajectory t(id, std::move(cross), Requirement{2, 300.0});
+    t.set_object_id(id);
+    WCOP_RETURN_IF_ERROR(writer->Append(t));
+    ++id;
+  }
+  return Status::OK();
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t i = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const size_t windows = static_cast<size_t>(args.GetInt("windows", 24));
+  const size_t groups =
+      static_cast<size_t>(args.GetInt("groups-per-window", 6));
+  const double window_seconds = args.GetDouble("window", 600.0);
+  const double cadence_seconds = args.GetDouble("cadence-seconds", 30.0);
+  const double rss_budget_mb = args.GetDouble("rss-budget-mb", 512.0);
+  const size_t min_windows = static_cast<size_t>(args.GetInt(
+      "min-windows", static_cast<int64_t>(windows)));
+  const std::string dir = args.GetString("dir", "pipeline_sustain.tmp");
+  JsonOut json_out(args);
+
+  bench::PrintHeader("Sustained continuous publication (out-of-core)");
+  std::printf("corpus: %zu windows x %zu groups (window %.0f s), cadence "
+              "budget %.1f s/window, RSS budget %.0f MiB\n",
+              windows, groups, window_seconds, cadence_seconds,
+              rss_budget_mb);
+
+  std::filesystem::create_directories(dir);
+  const std::string store_path = dir + "/source.wst";
+
+  // ---- Stream-generate the corpus: one window tile in memory at a time.
+  Stopwatch gen_watch;
+  {
+    Result<store::TrajectoryStoreWriter> writer =
+        store::TrajectoryStoreWriter::Create(store_path);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "store create failed: %s\n",
+                   writer.status().ToString().c_str());
+      return 1;
+    }
+    Rng rng(7);
+    for (size_t w = 0; w < windows; ++w) {
+      if (Status s = AppendWindowTile(&*writer, w, groups, window_seconds,
+                                      &rng);
+          !s.ok()) {
+        std::fprintf(stderr, "tile %zu failed: %s\n", w,
+                     s.ToString().c_str());
+        return 1;
+      }
+    }
+    if (Status s = writer->Finish(); !s.ok()) {
+      std::fprintf(stderr, "store finish failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  const double gen_seconds = gen_watch.ElapsedSeconds();
+  std::printf("generated + stored in %.2fs (%ju bytes)\n", gen_seconds,
+              static_cast<uintmax_t>(
+                  std::filesystem::file_size(store_path)));
+
+  // ---- The sustained run: per-window latency through the progress sink.
+  telemetry::Telemetry telemetry;
+  pipeline::ContinuousPipelineOptions options;
+  options.source_store = store_path;
+  options.output_dir = dir + "/published";
+  options.window_seconds = window_seconds;
+  options.wcop.seed = 7;
+  options.wcop.threads = 1;
+  options.wcop.telemetry = &telemetry;
+  RetryPolicy publish_retry;
+  options.publish_retry = &publish_retry;
+  std::vector<double> latencies;
+  options.progress = [&latencies](const pipeline::PipelineProgress& p) {
+    latencies.push_back(p.last_window_seconds);
+    if (p.windows_done % 5 == 0 || p.windows_done == p.windows_total) {
+      std::printf("  window %zu/%zu: %.2fs (published %llu, RSS %.0f MiB)\n",
+                  p.windows_done, p.windows_total, p.last_window_seconds,
+                  static_cast<unsigned long long>(p.published_fragments),
+                  PeakRssMb());
+      std::fflush(stdout);
+    }
+  };
+
+  Stopwatch run_watch;
+  Result<pipeline::ContinuousPipelineResult> result =
+      pipeline::RunContinuousPipeline(options);
+  const double run_seconds = run_watch.ElapsedSeconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  const double peak_rss_mb = PeakRssMb();
+  const double p50 = Percentile(latencies, 0.50);
+  const double p99 = Percentile(latencies, 0.99);
+  const double worst =
+      latencies.empty()
+          ? 0.0
+          : *std::max_element(latencies.begin(), latencies.end());
+  std::printf("published %llu fragments over %zu windows in %.1fs "
+              "(%.2f windows/s)\n",
+              static_cast<unsigned long long>(result->published_fragments),
+              result->windows.size(), run_seconds,
+              static_cast<double>(result->windows.size()) / run_seconds);
+  std::printf("window latency: p50 %.2fs, p99 %.2fs, worst %.2fs "
+              "(cadence budget %.1fs); peak RSS %.0f MiB (budget %.0f)\n",
+              p50, p99, worst, cadence_seconds, peak_rss_mb, rss_budget_mb);
+
+  json_out.Add(
+      "pipeline_sustain",
+      {{"windows", static_cast<double>(result->windows.size())},
+       {"groups_per_window", static_cast<double>(groups)},
+       {"window_seconds", window_seconds},
+       {"published", static_cast<double>(result->published_fragments)},
+       {"suppressed", static_cast<double>(result->suppressed_fragments)},
+       {"clusters", static_cast<double>(result->total_clusters)},
+       {"generate_seconds", gen_seconds},
+       {"window_latency_p50_seconds", p50},
+       {"window_latency_p99_seconds", p99},
+       {"window_latency_worst_seconds", worst},
+       {"cadence_budget_seconds", cadence_seconds},
+       {"windows_per_second",
+        static_cast<double>(result->windows.size()) / run_seconds},
+       {"peak_rss_mb", peak_rss_mb},
+       {"rss_budget_mb", rss_budget_mb}},
+      run_seconds, telemetry.metrics().Snapshot());
+  if (!json_out.Flush()) {
+    return 1;
+  }
+
+  if (!args.GetBool("keep-store", false)) {
+    std::filesystem::remove_all(dir);
+  }
+  if (result->windows.size() < min_windows) {
+    std::fprintf(stderr, "FAIL: only %zu windows published (need %zu)\n",
+                 result->windows.size(), min_windows);
+    return 1;
+  }
+  if (p99 > cadence_seconds) {
+    std::fprintf(stderr,
+                 "FAIL: p99 window latency %.2fs exceeds the %.1fs cadence "
+                 "budget — the publisher would fall behind\n",
+                 p99, cadence_seconds);
+    return 1;
+  }
+  if (peak_rss_mb > rss_budget_mb) {
+    std::fprintf(stderr, "FAIL: peak RSS %.0f MiB exceeds budget %.0f MiB\n",
+                 peak_rss_mb, rss_budget_mb);
+    return 1;
+  }
+  std::printf("PASS: %zu windows sustained at <= %.1fs each within "
+              "%.0f MiB\n",
+              result->windows.size(), cadence_seconds, rss_budget_mb);
+  return 0;
+}

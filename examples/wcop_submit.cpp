@@ -28,6 +28,7 @@
 
 #include "common/arg_parser.h"
 #include "common/log.h"
+#include "common/retry.h"
 #include "server/client.h"
 
 using namespace wcop;
@@ -52,7 +53,9 @@ void PrintRecord(const JobRecord& record) {
         static_cast<unsigned long long>(record.outcome.clusters),
         record.outcome.total_distortion,
         record.outcome.degraded ? " [degraded]" : "");
-    std::printf("  output: %s\n", record.spec.output_csv.c_str());
+    std::printf("  output: %s\n", record.spec.kind == "continuous"
+                                      ? record.spec.output_dir.c_str()
+                                      : record.spec.output_csv.c_str());
     if (record.outcome.degraded) {
       std::printf("  degraded: %s\n",
                   record.outcome.degraded_reason.c_str());
@@ -69,18 +72,45 @@ int TerminalExitCode(const JobRecord& record) {
 /// --follow: poll the job, printing one line per state transition
 /// (queued -> running -> done) and per shard-progress advance, each
 /// stamped with elapsed time since the follow began.
+///
+/// A follow outlives daemon restarts: transport failures (connection
+/// refused / reset while the daemon is down — surfaced as kIoError) are
+/// retried with bounded exponential backoff instead of aborting, because
+/// the job itself survives the restart through the ledger. Only after
+/// `reconnect.max_attempts` consecutive failures does the follow give up —
+/// the signal that the daemon is gone rather than restarting.
 Result<JobRecord> FollowJob(const ServiceClient& client, int64_t id,
                             std::chrono::milliseconds timeout) {
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + timeout;
+  RetryPolicy reconnect;
+  reconnect.max_attempts = 8;
+  reconnect.initial_backoff = std::chrono::milliseconds(100);
+  reconnect.max_backoff = std::chrono::seconds(5);
   JobState last_state = JobState::kQueued;
   bool printed_any = false;
   uint64_t last_done = 0;
+  int down_attempts = 0;
   while (true) {
     Result<JobRecord> record = client.GetJob(id);
     if (!record.ok()) {
-      return record.status();
+      if (record.status().code() != StatusCode::kIoError ||
+          down_attempts >= reconnect.max_attempts ||
+          std::chrono::steady_clock::now() >= deadline) {
+        return record.status();
+      }
+      const auto pause = BackoffForAttempt(reconnect, down_attempts);
+      std::printf("[reconnect] daemon unreachable (%s); retry %d/%d in "
+                  "%.1fs\n",
+                  record.status().ToString().c_str(), down_attempts + 1,
+                  reconnect.max_attempts,
+                  std::chrono::duration<double>(pause).count());
+      std::fflush(stdout);
+      std::this_thread::sleep_for(pause);
+      ++down_attempts;
+      continue;
     }
+    down_attempts = 0;  // the daemon answered; the budget resets
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -136,6 +166,7 @@ int main(int argc, char** argv) {
         "    [--k=K --delta=D] [--shards=S] [--deadline-ms=MS] "
         "[--budget=B]\n"
         "    [--allow-partial] [--seed=7] [--wait] [--wait-ms=600000]\n"
+        "    [--kind=continuous --window-seconds=W --output-dir=DIR]\n"
         "  --job=ID [--wait | --follow]  |  --jobs  |  --trace=ID\n"
         "  --health  |  --metrics [--metrics-format=text]  |  "
         "--shutdown=drain|now\n"
@@ -231,6 +262,9 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(args.GetInt("budget", 0));
   spec.allow_partial = args.GetBool("allow-partial", false);
   spec.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  spec.kind = args.GetString("kind", "");
+  spec.window_seconds = args.GetDouble("window-seconds", 3600.0);
+  spec.output_dir = args.GetString("output-dir", "");
 
   Result<JobRecord> submitted = client.Submit(spec);
   if (!submitted.ok()) {

@@ -437,6 +437,12 @@ uint64_t DatasetFingerprint(const Dataset& dataset) {
   return h;
 }
 
+uint64_t WcopOptionsFingerprint(const WcopOptions& options) {
+  uint64_t h = kFnvOffset;
+  HashWcopOptions(&h, options);
+  return h;
+}
+
 uint64_t StreamingConfigFingerprint(const Dataset& dataset,
                                     const StreamingOptions& options) {
   uint64_t h = DatasetFingerprint(dataset);

@@ -89,6 +89,12 @@ uint64_t WcopBConfigFingerprint(const Dataset& dataset,
                                 const WcopOptions& options,
                                 const WcopBOptions& b_options);
 
+/// Fingerprint of the determinism-relevant WcopOptions fields alone
+/// (threads and observability sinks excluded — they never change published
+/// bytes). Building block for config fingerprints that hash their dataset
+/// some other way, e.g. the continuous pipeline's store-index fingerprint.
+uint64_t WcopOptionsFingerprint(const WcopOptions& options);
+
 }  // namespace wcop
 
 #endif  // WCOP_ANON_CHECKPOINT_H_

@@ -55,14 +55,57 @@ Status SaveStreamingCheckpoint(const StreamingOptions& options,
 
 }  // namespace
 
+Result<WindowPlan> PlanWindows(double t_min, double t_max,
+                               double window_seconds) {
+  if (!(window_seconds > 0.0) || !std::isfinite(window_seconds)) {
+    return Status::InvalidArgument("window_seconds must be positive");
+  }
+  if (!std::isfinite(t_min) || !std::isfinite(t_max) || t_min > t_max) {
+    return Status::InvalidArgument("window plan over an empty time range");
+  }
+  WindowPlan plan;
+  plan.t_min = t_min;
+  plan.window_seconds = window_seconds;
+  // Count windows with the same arithmetic the iteration uses so the grid
+  // is bit-identical to the historical `t_min + i*W <= t_max` loop.
+  size_t n = 0;
+  while (plan.WindowStart(n) <= t_max) {
+    if (plan.WindowStart(n + 1) <= plan.WindowStart(n)) {
+      return Status::InvalidArgument(
+          "window_seconds too small for the stream's time magnitude "
+          "(the window grid cannot advance in double precision)");
+    }
+    ++n;
+  }
+  plan.num_windows = n;
+  return plan;
+}
+
+std::vector<Point> SlicePointsInWindow(const Trajectory& t,
+                                       double window_start,
+                                       double window_end) {
+  std::vector<Point> points;
+  for (const Point& p : t.points()) {
+    if (p.t >= window_start && p.t < window_end) {
+      points.push_back(p);
+    }
+  }
+  return points;
+}
+
+Trajectory MakeWindowFragment(int64_t fragment_id, const Trajectory& parent,
+                              std::vector<Point> points) {
+  Trajectory fragment(fragment_id, std::move(points), parent.requirement());
+  fragment.set_object_id(parent.object_id());
+  fragment.set_parent_id(parent.id());
+  return fragment;
+}
+
 Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
                                          const StreamingOptions& options) {
   WCOP_RETURN_IF_ERROR(dataset.Validate());
   if (dataset.empty()) {
     return Status::InvalidArgument("cannot anonymize an empty dataset");
-  }
-  if (options.window_seconds <= 0.0) {
-    return Status::InvalidArgument("window_seconds must be positive");
   }
 
   double t_min = std::numeric_limits<double>::infinity();
@@ -71,6 +114,8 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
     t_min = std::min(t_min, t.StartTime());
     t_max = std::max(t_max, t.EndTime());
   }
+  WCOP_ASSIGN_OR_RETURN(const WindowPlan plan,
+                        PlanWindows(t_min, t_max, options.window_seconds));
 
   telemetry::Telemetry* tel = options.wcop.telemetry;
   WCOP_TRACE_SPAN(tel, "streaming/run");
@@ -155,13 +200,10 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
 
   const size_t min_fragment_points =
       std::max<size_t>(options.min_fragment_points, 1);
-  for (size_t wi = first_window;
-       t_min + static_cast<double>(wi) * options.window_seconds <= t_max;
-       ++wi) {
+  for (size_t wi = first_window; wi < plan.num_windows; ++wi) {
     WCOP_FAILPOINT("streaming.window");
     WCOP_TRACE_SPAN(tel, "streaming/window");
-    const double window_start =
-        t_min + static_cast<double>(wi) * options.window_seconds;
+    const double window_start = plan.WindowStart(wi);
     // Cooperative yield point: one check per publication window. With
     // partial results allowed, a trip stops the stream — the windows
     // published so far each carry the full per-window guarantee.
@@ -189,27 +231,20 @@ Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
       result.degraded_reason = s.ToString();
       break;
     }
-    const double window_end = window_start + options.window_seconds;
+    const double window_end = plan.WindowEnd(wi);
     // Collect each trajectory's fragment inside [window_start, window_end).
     std::vector<Trajectory> fragments;
     for (const Trajectory& t : dataset.trajectories()) {
       if (t.EndTime() < window_start || t.StartTime() >= window_end) {
         continue;
       }
-      std::vector<Point> points;
-      for (const Point& p : t.points()) {
-        if (p.t >= window_start && p.t < window_end) {
-          points.push_back(p);
-        }
-      }
+      std::vector<Point> points =
+          SlicePointsInWindow(t, window_start, window_end);
       if (points.size() < min_fragment_points) {
         result.suppressed_fragments += points.empty() ? 0 : 1;
         continue;
       }
-      Trajectory fragment(next_id++, std::move(points), t.requirement());
-      fragment.set_object_id(t.object_id());
-      fragment.set_parent_id(t.id());
-      fragments.push_back(std::move(fragment));
+      fragments.push_back(MakeWindowFragment(next_id++, t, std::move(points)));
     }
 
     StreamingWindowSummary summary;

@@ -86,6 +86,44 @@ struct StreamingResult {
 Result<StreamingResult> RunStreamingWcop(const Dataset& dataset,
                                          const StreamingOptions& options = {});
 
+// ---------------------------------------------------------------------------
+// Window-iterator core — shared by this in-memory driver and the
+// out-of-core continuous-publication pipeline (src/pipeline/), so both
+// slice the stream into byte-identical windows.
+// ---------------------------------------------------------------------------
+
+/// The deterministic window grid over a time range: window `i` spans
+/// [t_min + i*window_seconds, t_min + (i+1)*window_seconds), and a window
+/// exists for every i with WindowStart(i) <= t_max.
+struct WindowPlan {
+  double t_min = 0.0;
+  double window_seconds = 0.0;
+  size_t num_windows = 0;
+
+  double WindowStart(size_t i) const {
+    return t_min + static_cast<double>(i) * window_seconds;
+  }
+  double WindowEnd(size_t i) const { return WindowStart(i) + window_seconds; }
+};
+
+/// Computes the window grid covering [t_min, t_max]. kInvalidArgument when
+/// window_seconds is not positive, the range is inverted/non-finite, or
+/// window_seconds is so small relative to the time magnitude that the grid
+/// cannot advance (t + window_seconds == t in double arithmetic).
+Result<WindowPlan> PlanWindows(double t_min, double t_max,
+                               double window_seconds);
+
+/// Copies the points of `t` with window_start <= p.t < window_end, in order.
+std::vector<Point> SlicePointsInWindow(const Trajectory& t,
+                                       double window_start, double window_end);
+
+/// Builds a publishable window fragment: fresh id `fragment_id`, the
+/// parent's object id, the parent's requirement (each user's (k_i, δ_i)
+/// rides with every fragment), and parent_id = parent.id() linking back to
+/// the source trajectory.
+Trajectory MakeWindowFragment(int64_t fragment_id, const Trajectory& parent,
+                              std::vector<Point> points);
+
 }  // namespace wcop
 
 #endif  // WCOP_ANON_STREAMING_H_

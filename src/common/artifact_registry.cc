@@ -1,0 +1,72 @@
+#include "common/artifact_registry.h"
+
+#include <filesystem>
+#include <mutex>
+#include <system_error>
+#include <unordered_map>
+
+namespace wcop {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // path -> registration count (a path registered twice stays live until
+  // both registrations are released).
+  std::unordered_map<std::string, size_t> live;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Normalizes `path` so relative and absolute spellings of the same file
+/// compare equal. Falls back to the raw string when the filesystem refuses
+/// (e.g. current directory unlinked) — a miss then degrades to the old
+/// behavior, never to a crash.
+std::string NormalizePath(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::path absolute = std::filesystem::absolute(path, ec);
+  if (ec) {
+    return path;
+  }
+  return absolute.lexically_normal().string();
+}
+
+}  // namespace
+
+void RegisterLiveArtifact(const std::string& path) {
+  Registry& registry = GetRegistry();
+  const std::string key = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(registry.mu);
+  ++registry.live[key];
+}
+
+void UnregisterLiveArtifact(const std::string& path) {
+  Registry& registry = GetRegistry();
+  const std::string key = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.live.find(key);
+  if (it == registry.live.end()) {
+    return;
+  }
+  if (--it->second == 0) {
+    registry.live.erase(it);
+  }
+}
+
+bool IsLiveArtifact(const std::string& path) {
+  Registry& registry = GetRegistry();
+  const std::string key = NormalizePath(path);
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.live.find(key) != registry.live.end();
+}
+
+size_t LiveArtifactCount() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return registry.live.size();
+}
+
+}  // namespace wcop

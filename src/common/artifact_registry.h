@@ -1,0 +1,81 @@
+#ifndef WCOP_COMMON_ARTIFACT_REGISTRY_H_
+#define WCOP_COMMON_ARTIFACT_REGISTRY_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace wcop {
+
+/// Process-wide registry of in-flight temp files.
+///
+/// Every durable writer follows write-`<path>.tmp` → fsync → rename, and the
+/// stale-artifact janitor (store::SweepStaleArtifacts) reclaims orphaned
+/// `*.tmp` files after a crash. Those two conventions collide when a sweep
+/// runs in a directory where a writer is currently mid-flight — e.g. a
+/// restarted service sweeping the shared output directory while an older
+/// sibling process, or a concurrently admitted job, is still publishing.
+/// Writers therefore register their temp path for the duration of the write;
+/// the janitor skips registered paths, so it can only ever reclaim files no
+/// live writer owns.
+///
+/// Paths are normalized (absolute, lexically normal) before comparison, so a
+/// writer registering a relative path and a janitor sweeping the absolute
+/// directory agree. All operations are thread-safe.
+void RegisterLiveArtifact(const std::string& path);
+
+/// Removes `path` from the registry; no-op when absent. A path registered
+/// N times stays live until unregistered N times (two writers racing on the
+/// same target keep it protected until both finish).
+void UnregisterLiveArtifact(const std::string& path);
+
+/// True when `path` is currently registered by some writer.
+bool IsLiveArtifact(const std::string& path);
+
+/// Number of distinct live artifact paths (diagnostics / tests).
+size_t LiveArtifactCount();
+
+/// RAII registration: registers in the constructor, unregisters in the
+/// destructor. Movable so writer classes holding one stay movable.
+class ScopedLiveArtifact {
+ public:
+  ScopedLiveArtifact() = default;
+  explicit ScopedLiveArtifact(std::string path) : path_(std::move(path)) {
+    if (!path_.empty()) {
+      RegisterLiveArtifact(path_);
+    }
+  }
+  ~ScopedLiveArtifact() { Release(); }
+
+  ScopedLiveArtifact(ScopedLiveArtifact&& other) noexcept
+      : path_(std::move(other.path_)) {
+    other.path_.clear();
+  }
+  ScopedLiveArtifact& operator=(ScopedLiveArtifact&& other) noexcept {
+    if (this != &other) {
+      Release();
+      path_ = std::move(other.path_);
+      other.path_.clear();
+    }
+    return *this;
+  }
+
+  ScopedLiveArtifact(const ScopedLiveArtifact&) = delete;
+  ScopedLiveArtifact& operator=(const ScopedLiveArtifact&) = delete;
+
+  /// Unregisters now (idempotent); used when the write completes before the
+  /// holder goes out of scope.
+  void Release() {
+    if (!path_.empty()) {
+      UnregisterLiveArtifact(path_);
+      path_.clear();
+    }
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace wcop
+
+#endif  // WCOP_COMMON_ARTIFACT_REGISTRY_H_

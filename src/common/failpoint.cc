@@ -2,8 +2,10 @@
 
 #include <signal.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace wcop {
 
@@ -17,6 +19,29 @@ std::string_view Trim(std::string_view s) {
   while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
   while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
   return s;
+}
+
+/// The errno names injectable from a WCOP_FAILPOINTS spec. Covers the
+/// failures a publish sequence realistically meets: full disk, device
+/// error, quota, permissions, fd exhaustion. Returns 0 for unknown names.
+int ErrnoFromName(std::string_view name) {
+  if (name == "ENOSPC") return ENOSPC;
+  if (name == "EIO") return EIO;
+  if (name == "EDQUOT") return EDQUOT;
+  if (name == "EACCES") return EACCES;
+  if (name == "EMFILE") return EMFILE;
+  return 0;
+}
+
+const char* ErrnoName(int errno_value) {
+  switch (errno_value) {
+    case ENOSPC: return "ENOSPC";
+    case EIO: return "EIO";
+    case EDQUOT: return "EDQUOT";
+    case EACCES: return "EACCES";
+    case EMFILE: return "EMFILE";
+    default: return "errno";
+  }
 }
 
 }  // namespace
@@ -37,7 +62,11 @@ FailpointRegistry::FailpointRegistry() {
   }
   Status status = ArmFromSpec(env);
   if (!status.ok()) {
+    // Fault injection is only ever requested explicitly. Running on despite
+    // a typo would execute a chaos test with no faults armed — a silent
+    // false-green — so a malformed spec is fatal, not a warning.
     std::fprintf(stderr, "WCOP_FAILPOINTS: %s\n", status.ToString().c_str());
+    std::_Exit(2);
   }
 }
 
@@ -82,6 +111,16 @@ Status FailpointRegistry::ArmFromSpec(std::string_view spec) {
       ArmSignal(site, SIGINT, on_hit);
     } else if (mode == "sigterm") {
       ArmSignal(site, SIGTERM, on_hit);
+    } else if (mode.rfind("errno=", 0) == 0) {
+      const std::string_view name = Trim(mode.substr(6));
+      const int errno_value = ErrnoFromName(name);
+      if (errno_value == 0) {
+        return Status::InvalidArgument(
+            "failpoint segment '" + std::string(segment) +
+            "' has unknown errno name '" + std::string(name) +
+            "' (supported: ENOSPC, EIO, EDQUOT, EACCES, EMFILE)");
+      }
+      ArmErrno(site, errno_value, on_hit);
     } else {
       return Status::InvalidArgument("failpoint segment '" +
                                      std::string(segment) +
@@ -95,11 +134,28 @@ Status FailpointRegistry::ArmFromSpec(std::string_view spec) {
 void FailpointRegistry::Arm(std::string_view site, Status status,
                             int max_fires) {
   std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.status = std::move(status);
+  entry.remaining = max_fires;
   auto [it, inserted] =
-      sites_.insert_or_assign(std::string(site), Entry{std::move(status),
-                                                       max_fires,
-                                                       /*abort_mode=*/false,
-                                                       /*abort_countdown=*/0});
+      sites_.insert_or_assign(std::string(site), std::move(entry));
+  (void)it;
+  if (inserted) {
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void FailpointRegistry::ArmErrno(std::string_view site, int errno_value,
+                                 int on_hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry entry;
+  entry.status = Status::IoError(
+      std::string("injected ") + ErrnoName(errno_value) + " (" +
+      std::strerror(errno_value) + ") at " + std::string(site));
+  entry.remaining = 1;  // one-shot: the disk "recovers" after this write
+  entry.skip_hits = on_hit < 1 ? 0 : on_hit - 1;
+  auto [it, inserted] =
+      sites_.insert_or_assign(std::string(site), std::move(entry));
   (void)it;
   if (inserted) {
     armed_count_.fetch_add(1, std::memory_order_relaxed);
@@ -180,6 +236,10 @@ Status FailpointRegistry::Fire(std::string_view site) {
                    static_cast<int>(site.size()), site.data());
       std::abort();
     }
+    return Status::OK();
+  }
+  if (it->second.skip_hits > 0) {
+    --it->second.skip_hits;
     return Status::OK();
   }
   Status injected = it->second.status;

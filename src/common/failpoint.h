@@ -36,6 +36,20 @@ namespace wcop {
 ///   site:abort@N    arm `site` to std::abort() on its N-th hit (N >= 1)
 ///   site:sigint@N   arm `site` to raise(SIGINT) on its N-th hit
 ///   site:sigterm@N  arm `site` to raise(SIGTERM) on its N-th hit
+///   site:errno=E    arm `site` to inject an IoError carrying errno `E`
+///                   (ENOSPC, EIO, EDQUOT, EACCES, EMFILE) on its first hit
+///   site:errno=E@N  same, on its N-th hit
+///
+/// errno mode is one-shot: it lets the N-1 preceding hits through, injects
+/// `Status::IoError("... <E> (<strerror>) ...")` exactly once — the way a
+/// full disk fails one write and then "recovers" after the retry backoff or
+/// an operator frees space — and disarms itself. Persistent device failure
+/// is modelled programmatically via Arm() with max_fires = -1.
+///
+/// A malformed WCOP_FAILPOINTS value terminates the process with exit code
+/// 2 and a clear diagnostic. Fault injection is only ever requested
+/// explicitly; running without the requested faults would turn a chaos test
+/// into a silent false-green, so misconfiguration is fatal, not a warning.
 ///
 /// Signal mode delivers the signal synchronously at an exact pipeline
 /// boundary and then lets execution continue — precisely how an operator's
@@ -63,6 +77,13 @@ class FailpointRegistry {
   /// normally. The signal-shutdown tests use this to deliver SIGINT/SIGTERM
   /// at an exact pipeline boundary.
   void ArmSignal(std::string_view site, int signo, int on_hit = 1);
+
+  /// Arms `site` to inject Status::IoError carrying `errno_value` (message
+  /// includes the errno name and strerror text) on its `on_hit`-th hit,
+  /// letting earlier hits through, then disarms itself. This is how the
+  /// chaos harness models ENOSPC/EIO striking one specific write in a
+  /// multi-write publish sequence.
+  void ArmErrno(std::string_view site, int errno_value, int on_hit = 1);
 
   /// Parses a WCOP_FAILPOINTS-style spec (see class comment) and arms every
   /// listed site. Returns InvalidArgument naming the first malformed
@@ -121,6 +142,7 @@ class FailpointRegistry {
   struct Entry {
     Status status;
     int remaining = -1;  ///< fires left; -1 = unlimited
+    int skip_hits = 0;   ///< status-mode hits to let through before firing
     bool abort_mode = false;
     int abort_countdown = 0;  ///< abort when a hit decrements this to 0
     int signal_number = 0;    ///< raise this instead of aborting (signal mode)

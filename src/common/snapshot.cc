@@ -9,6 +9,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/artifact_registry.h"
 #include "common/failpoint.h"
 
 namespace wcop {
@@ -49,6 +50,9 @@ uint64_t GetU64(const char* in) {
 Status WriteSnapshotOnce(const std::string& path, std::string_view payload,
                          uint32_t format_version) {
   const std::string tmp = path + ".tmp";
+  // Registered for the duration of the write so a concurrent stale-artifact
+  // sweep of this directory never reclaims the file mid-flight.
+  const ScopedLiveArtifact live(tmp);
   WCOP_FAILPOINT("snapshot.open_temp");
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {

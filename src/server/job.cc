@@ -142,6 +142,12 @@ Status DecodeSpecField(std::string_view key, std::string_view value,
     WCOP_ASSIGN_OR_RETURN(spec->input_store, UnescapeToken(value));
   } else if (key == "output_csv") {
     WCOP_ASSIGN_OR_RETURN(spec->output_csv, UnescapeToken(value));
+  } else if (key == "kind") {
+    WCOP_ASSIGN_OR_RETURN(spec->kind, UnescapeToken(value));
+  } else if (key == "window_seconds") {
+    WCOP_ASSIGN_OR_RETURN(spec->window_seconds, ParseDouble(value));
+  } else if (key == "output_dir") {
+    WCOP_ASSIGN_OR_RETURN(spec->output_dir, UnescapeToken(value));
   } else if (key == "assign_k") {
     WCOP_ASSIGN_OR_RETURN(int64_t v, ParseInt(value));
     spec->assign_k = static_cast<int>(v);
@@ -171,6 +177,9 @@ void EncodeSpecFields(std::string* out, const JobSpec& spec) {
   AppendString(out, "tenant", spec.tenant);
   AppendString(out, "input_store", spec.input_store);
   AppendString(out, "output_csv", spec.output_csv);
+  AppendString(out, "kind", spec.kind);
+  AppendDouble(out, "window_seconds", spec.window_seconds);
+  AppendString(out, "output_dir", spec.output_dir);
   AppendInt(out, "assign_k", spec.assign_k);
   AppendDouble(out, "assign_delta", spec.assign_delta);
   AppendUint(out, "shards", spec.shards);
@@ -384,6 +393,15 @@ Status ValidateJobSpec(const JobSpec& spec) {
   }
   if (spec.input_store.empty()) {
     return Status::InvalidArgument("input_store is required");
+  }
+  if (!spec.kind.empty() && spec.kind != "batch" && spec.kind != "continuous") {
+    return Status::InvalidArgument("kind must be 'batch' or 'continuous': '" +
+                                   spec.kind + "'");
+  }
+  if (spec.kind == "continuous" &&
+      !(spec.window_seconds > 0.0)) {  // also rejects NaN
+    return Status::InvalidArgument(
+        "window_seconds must be > 0 for continuous jobs");
   }
   if (spec.assign_k < 0 || spec.assign_k == 1) {
     return Status::InvalidArgument("assign_k must be 0 (keep) or >= 2");

@@ -53,7 +53,16 @@ struct JobSpec {
   std::string name;         ///< required; [A-Za-z0-9._-], idempotency key
   std::string tenant;       ///< selects the per-tenant policy defaults
   std::string input_store;  ///< required; path to a .wst trajectory store
-  std::string output_csv;   ///< empty = `<job_dir>/out/<name>.csv`
+  std::string output_csv;   ///< batch: empty = `<job_dir>/out/<name>.csv`
+
+  /// Job kind: "" or "batch" = one-shot batch anonymization publishing a
+  /// CSV; "continuous" = the windowed continuous-publication pipeline
+  /// (pipeline/continuous.h), publishing per-window stores + manifests
+  /// under `output_dir`. A crash-recovered continuous job resumes into its
+  /// own published windows instead of recomputing them.
+  std::string kind;
+  double window_seconds = 3600.0;  ///< continuous only: window width
+  std::string output_dir;  ///< continuous: empty = `<job_dir>/out/<name>.windows`
 
   /// Requirement override: > 0 replaces every trajectory's (k, delta) with
   /// this pair before anonymization (materialized as a derived job store).
@@ -70,6 +79,9 @@ struct JobSpec {
 };
 
 /// What execution produced. Populated for done jobs; `error` for failed.
+/// Continuous jobs reuse the same fields window-wise: `published` /
+/// `suppressed` / `clusters` total over all windows, and `resumed_shards`
+/// counts verified-and-adopted windows.
 struct JobOutcome {
   bool degraded = false;
   std::string degraded_reason;

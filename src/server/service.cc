@@ -8,9 +8,11 @@
 #include <cstring>
 #include <utility>
 
+#include "common/artifact_registry.h"
 #include "common/failpoint.h"
 #include "common/log.h"
 #include "common/stopwatch.h"
+#include "pipeline/continuous.h"
 #include "store/shard_runner.h"
 #include "store/store_file.h"
 #include "traj/io.h"
@@ -72,21 +74,29 @@ Result<std::unique_ptr<AnonymizationService>> AnonymizationService::Start(
   WCOP_RETURN_IF_ERROR(MakeDir(options.job_dir + "/out"));
   WCOP_RETURN_IF_ERROR(MakeDir(options.job_dir + "/traces"));
   // Trace files publish by write-tmp -> rename too; sweep their orphans.
-  WCOP_RETURN_IF_ERROR(
+  WCOP_ASSIGN_OR_RETURN(
+      size_t traces_swept,
       store::SweepStaleArtifacts(options.job_dir + "/traces",
-                                 &service->telemetry_)
-          .status());
+                                 &service->telemetry_));
   // Janitor pass over the default output directory: a kill between a
   // published CSV's write-tmp and its rename leaves an orphan that must
   // not be mistaken for output.
-  WCOP_RETURN_IF_ERROR(
+  WCOP_ASSIGN_OR_RETURN(
+      size_t out_swept,
       store::SweepStaleArtifacts(options.job_dir + "/out",
-                                 &service->telemetry_)
-          .status());
+                                 &service->telemetry_));
+  service->telemetry_.metrics()
+      .GetGauge("server.janitor.swept")
+      ->Set(static_cast<double>(traces_swept + out_swept));
   WCOP_ASSIGN_OR_RETURN(
       service->ledger_,
       JobLedger::Open(options.job_dir + "/ledger", &service->telemetry_,
                       &service->retry_));
+  // Durable-state health on /metrics: records the startup scan could not
+  // trust (skipped, never silently re-run) and the artifacts it swept.
+  service->telemetry_.metrics()
+      .GetGauge("server.ledger.corrupt_records")
+      ->Set(static_cast<double>(service->ledger_->corrupt_records()));
   service->queue_ = std::make_unique<BoundedQueue<int64_t>>(
       service->options_.queue_capacity);
 
@@ -176,6 +186,9 @@ Result<int64_t> AnonymizationService::Submit(JobSpec spec) {
   }
   if (spec.output_csv.empty()) {
     spec.output_csv = DefaultOutputPath(spec.name);
+  }
+  if (spec.kind == "continuous" && spec.output_dir.empty()) {
+    spec.output_dir = options_.job_dir + "/out/" + spec.name + ".windows";
   }
 
   // Request validation touches the input store once: it must open (valid
@@ -534,6 +547,10 @@ Status AnonymizationService::ExecuteJob(JobRecord* record,
     input_path = work_dir + "/input.wst";
     WCOP_RETURN_IF_ERROR(MaterializeWithRequirements(spec, input_path));
   }
+  if (spec.kind == "continuous") {
+    return ExecuteContinuousJob(record, job_tel, &ctx, input_path);
+  }
+
   WCOP_ASSIGN_OR_RETURN(
       store::TrajectoryStoreReader reader,
       RetryResultCall<store::TrajectoryStoreReader>(retry_, [&] {
@@ -618,6 +635,9 @@ Status AnonymizationService::ExecuteJob(JobRecord* record,
   // kill between the tmp write and the rename leaves an orphan the
   // startup janitor sweeps.
   const std::string tmp = spec.output_csv + ".tmp";
+  // Visible to the in-process janitor as live for the duration of the
+  // publish, so no sweep can tear it out from under the rename.
+  const ScopedLiveArtifact live_tmp(tmp);
   WCOP_RETURN_IF_ERROR(RetryCall(retry_, [&] {
     return WriteDatasetCsv(result->merged.sanitized, tmp);
   }));
@@ -626,6 +646,80 @@ Status AnonymizationService::ExecuteJob(JobRecord* record,
     return Status::IoError("rename '" + tmp + "' -> '" + spec.output_csv +
                            "': " + std::string(std::strerror(errno)));
   }
+  WCOP_FAILPOINT("server.job_commit");
+  return Status::OK();
+}
+
+Status AnonymizationService::ExecuteContinuousJob(
+    JobRecord* record, telemetry::Telemetry* job_tel, RunContext* ctx,
+    const std::string& input_path) {
+  const JobSpec& spec = record->spec;
+  WCOP_TRACE_SPAN(job_tel, "server/continuous_job");
+
+  pipeline::ContinuousPipelineOptions popts;
+  popts.source_store = input_path;
+  popts.output_dir = spec.output_dir;
+  popts.work_dir = WorkDir(record->id) + "/pipeline";
+  popts.window_seconds = spec.window_seconds;
+  // Always resume: the output dir is job-private and windows are
+  // deterministic, so a crash-recovered attempt adopts every window the
+  // previous life committed instead of recomputing it.
+  popts.resume = true;
+  popts.wcop.seed = spec.seed;
+  popts.wcop.threads = options_.job_threads;
+  popts.wcop.run_context = ctx;
+  popts.wcop.telemetry = job_tel;
+  popts.wcop.allow_partial_results = spec.allow_partial;
+  popts.partition.num_shards = spec.shards;
+  popts.partition.overlap_margin = spec.overlap_margin;
+  popts.verify_shards = options_.verify_jobs;
+  popts.publish_retry = &retry_;
+
+  // Live window progress: the record reuses its shard fields window-wise
+  // (what GET /jobs/<id> serves) and the service registry carries the
+  // pipeline.* gauges for /metrics.
+  telemetry::MetricsRegistry& metrics = telemetry_.metrics();
+  telemetry::Gauge* g_done = metrics.GetGauge("pipeline.windows_done");
+  telemetry::Gauge* g_total = metrics.GetGauge("pipeline.windows_total");
+  telemetry::Gauge* g_published =
+      metrics.GetGauge("pipeline.published_fragments");
+  telemetry::Gauge* g_carry = metrics.GetGauge("pipeline.carry_records");
+  Stopwatch progress_timer;
+  popts.progress = [&](const pipeline::PipelineProgress& p) {
+    JobProgress jp;
+    jp.shards_done = p.windows_done;
+    jp.shards_total = p.windows_total;
+    if (p.windows_done > 0 && p.windows_done < p.windows_total) {
+      const double elapsed = progress_timer.ElapsedSeconds();
+      jp.eta_seconds =
+          elapsed / static_cast<double>(p.windows_done) *
+          static_cast<double>(p.windows_total - p.windows_done);
+    }
+    record->progress = jp;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = jobs_.find(record->id);
+      if (it != jobs_.end()) {
+        it->second.progress = jp;
+      }
+    }
+    g_done->Set(static_cast<double>(p.windows_done));
+    g_total->Set(static_cast<double>(p.windows_total));
+    g_published->Set(static_cast<double>(p.published_fragments));
+    g_carry->Set(static_cast<double>(p.carried));
+  };
+
+  WCOP_ASSIGN_OR_RETURN(pipeline::ContinuousPipelineResult result,
+                        pipeline::RunContinuousPipeline(popts));
+
+  JobOutcome* out = &record->outcome;
+  out->degraded = result.degraded;
+  out->verified = options_.verify_jobs;
+  out->published = result.published_fragments;
+  out->suppressed = result.suppressed_fragments;
+  out->clusters = result.total_clusters;
+  out->total_distortion = result.total_ttd;
+  out->resumed_shards = result.resumed_windows;
   WCOP_FAILPOINT("server.job_commit");
   return Status::OK();
 }

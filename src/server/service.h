@@ -160,6 +160,14 @@ class AnonymizationService {
   /// the job's own telemetry bundle: its spans become the persisted trace,
   /// its metrics roll up into the service registry afterwards.
   Status ExecuteJob(JobRecord* record, telemetry::Telemetry* job_tel);
+  /// Continuous-kind execution: runs the windowed publication pipeline
+  /// (pipeline/continuous.h) over the prepared input store with
+  /// resume = true, so a crash-recovered job adopts its already-published
+  /// windows. Publishes pipeline.* progress gauges on the service registry.
+  Status ExecuteContinuousJob(JobRecord* record,
+                              telemetry::Telemetry* job_tel,
+                              RunContext* ctx,
+                              const std::string& input_path);
   /// Atomically writes the job's Chrome trace JSON beside the ledger
   /// (<job_dir>/traces/job_<id>.json); best-effort, logs on failure.
   void PersistJobTrace(int64_t id, const telemetry::Telemetry& job_tel);

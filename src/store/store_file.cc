@@ -278,6 +278,7 @@ Result<TrajectoryStoreWriter> TrajectoryStoreWriter::Create(
   TrajectoryStoreWriter w;
   w.path_ = path;
   w.tmp_path_ = path + ".tmp";
+  w.live_tmp_ = ScopedLiveArtifact(w.tmp_path_);
   w.file_.reset(std::fopen(w.tmp_path_.c_str(), "wb"));
   if (w.file_ == nullptr) {
     return Status::IoError("cannot open " + w.tmp_path_ + ": " +
@@ -379,6 +380,7 @@ Status TrajectoryStoreWriter::Finish() {
   if (!status.ok()) {
     std::remove(tmp_path_.c_str());
   }
+  live_tmp_.Release();
   finished_ = true;
   return status;
 }
@@ -553,6 +555,7 @@ Result<size_t> SweepStaleArtifacts(const std::string& dir,
                            std::strerror(errno));
   }
   size_t removed = 0;
+  size_t live_skipped = 0;
   Status first_error;
   for (struct dirent* entry = ::readdir(handle); entry != nullptr;
        entry = ::readdir(handle)) {
@@ -563,7 +566,21 @@ Result<size_t> SweepStaleArtifacts(const std::string& dir,
       continue;
     }
     const std::string path = dir + "/" + std::string(name);
+    if (IsLiveArtifact(path)) {
+      // An in-flight writer in this process owns the file; it is not an
+      // orphan, and deleting it would tear a live publish.
+      ++live_skipped;
+      log::Debug("janitor: skipped live artifact", {{"path", path}});
+      continue;
+    }
     if (std::remove(path.c_str()) != 0) {
+      if (errno == ENOENT) {
+        // Lost the race with a concurrent atomic publish: the temp was
+        // renamed (or cleaned by its owner) between readdir and here.
+        // The file became someone's committed output — not an orphan,
+        // not an error.
+        continue;
+      }
       if (first_error.ok()) {
         first_error = Status::IoError("janitor: cannot remove " + path +
                                       ": " + std::strerror(errno));
@@ -579,6 +596,9 @@ Result<size_t> SweepStaleArtifacts(const std::string& dir,
   }
   if (telemetry != nullptr && removed > 0) {
     telemetry->metrics().GetCounter("janitor.stale_removed")->Add(removed);
+  }
+  if (telemetry != nullptr && live_skipped > 0) {
+    telemetry->metrics().GetCounter("janitor.live_skipped")->Add(live_skipped);
   }
   return removed;
 }

@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/artifact_registry.h"
 #include "common/result.h"
 #include "common/run_context.h"
 #include "common/status.h"
@@ -111,6 +112,9 @@ class TrajectoryStoreWriter {
 
   std::string path_;
   std::string tmp_path_;
+  // Marks the temp file live for the duration of the write so a concurrent
+  // stale-artifact sweep never reclaims it from under the writer.
+  ScopedLiveArtifact live_tmp_;
   std::unique_ptr<std::FILE, FileCloser> file_;
   std::vector<StoreEntry> index_;
   uint64_t offset_ = 0;
@@ -165,15 +169,18 @@ class TrajectoryStoreReader {
 /// (Create + Append* + Finish).
 Status WriteDatasetStore(const Dataset& dataset, const std::string& path);
 
-/// Stale-artifact janitor: removes every `*.tmp` entry in `dir` and returns
-/// how many were swept. Every durable writer in the codebase (snapshot
-/// envelope, store writer, the service's atomic output publish) follows the
-/// write-`<path>.tmp` → fsync → rename protocol, so after a crash anything
-/// still named `*.tmp` is by construction an orphan of an interrupted
-/// write — never a complete artifact. Call it only at startup / directory
-/// open, before any writer is live in the directory. A missing `dir` is not
-/// an error (nothing to sweep). Each removal is logged to stderr and
-/// counted on the `janitor.stale_removed` telemetry counter.
+/// Stale-artifact janitor: removes every orphaned `*.tmp` entry in `dir`
+/// and returns how many were swept. Every durable writer in the codebase
+/// (snapshot envelope, store writer, the service's atomic output publish)
+/// follows the write-`<path>.tmp` → fsync → rename protocol, so after a
+/// crash anything still named `*.tmp` is an orphan of an interrupted
+/// write — never a complete artifact. Temp files registered in the
+/// process-wide live-artifact registry (common/artifact_registry.h) belong
+/// to an in-flight writer and are skipped, so sweeping a directory a live
+/// job is publishing into is safe: only true orphans are reclaimed. A
+/// missing `dir` is not an error (nothing to sweep). Each removal is logged
+/// and counted on the `janitor.stale_removed` telemetry counter; skipped
+/// live files are counted on `janitor.live_skipped`.
 Result<size_t> SweepStaleArtifacts(const std::string& dir,
                                    telemetry::Telemetry* telemetry = nullptr);
 

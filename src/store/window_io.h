@@ -1,0 +1,77 @@
+#ifndef WCOP_STORE_WINDOW_IO_H_
+#define WCOP_STORE_WINDOW_IO_H_
+
+/// Streamed per-window extraction over a trajectory store — the out-of-core
+/// half of the continuous-publication pipeline (DESIGN.md "Continuous
+/// publication pipeline").
+///
+/// ExtractWindow() walks the source store's index, reads only the blocks
+/// whose lifetime overlaps the window (one trajectory in memory at a time),
+/// slices each into the window's sub-trajectory with the shared
+/// window-iterator core (anon/streaming.h), and writes the resulting
+/// fragments to a window input store. Fragments too short to publish are
+/// not silently dropped at window boundaries the way the in-memory
+/// streaming driver drops them: when the source trajectory continues past
+/// the window, the short fragment is spilled to a carry-over store and
+/// merged (prepended) into the same user's fragment in the next window,
+/// still carrying that user's (k_i, δ_i). Only a short fragment with no
+/// continuation is suppressed for good.
+///
+/// Carry-over records are tiny by construction — a record is spilled only
+/// while its accumulated points stay below `min_fragment_points` — so the
+/// carry store (and the in-memory map the next window loads it into) is
+/// bounded by the number of trajectories alive at the window boundary,
+/// never by stream length. Both output stores are finished atomically
+/// (write-tmp → fsync → rename), and the whole extraction is deterministic:
+/// fragments are emitted in source index order with sequentially assigned
+/// ids, so re-running a window after a crash reproduces byte-identical
+/// stores.
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "store/store_file.h"
+
+namespace wcop {
+namespace store {
+
+struct WindowExtractOptions {
+  double window_start = 0.0;
+  double window_end = 0.0;
+  /// Fragments with fewer points than this are carried over (when the
+  /// trajectory continues) or suppressed (when it does not). Values below 1
+  /// are treated as 1.
+  size_t min_fragment_points = 2;
+  /// First fragment id to assign; ids increase sequentially in emission
+  /// order. The pipeline threads this through windows so ids are unique
+  /// across the whole stream.
+  int64_t next_fragment_id = 0;
+  /// Path of the carry-over store written by the previous window; empty or
+  /// missing means no carry-in (the first window).
+  std::string carry_in_path;
+  /// Output: the window's input store (fragments to anonymize).
+  std::string window_out_path;
+  /// Output: the carry-over store for the next window. Always written
+  /// (possibly empty) so the window's durable state is self-describing.
+  std::string carry_out_path;
+};
+
+struct WindowExtraction {
+  size_t fragments = 0;      ///< fragments written to the window store
+  size_t carried_in = 0;     ///< carry-over records merged from the previous window
+  size_t carried_out = 0;    ///< short fragments spilled to the next window
+  size_t suppressed = 0;     ///< short fragments with no continuation (dropped)
+  int64_t next_fragment_id = 0;  ///< first id unused after this window
+};
+
+/// Extracts one window from `source` per the options above. The window and
+/// carry stores are atomically finished before returning; on any error
+/// neither output path is created or replaced.
+Result<WindowExtraction> ExtractWindow(const TrajectoryStoreReader& source,
+                                       const WindowExtractOptions& options);
+
+}  // namespace store
+}  // namespace wcop
+
+#endif  // WCOP_STORE_WINDOW_IO_H_

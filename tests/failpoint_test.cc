@@ -6,6 +6,7 @@
 #include <string>
 
 #include "anon/streaming.h"
+#include "common/snapshot.h"
 #include "anon/wcop_b.h"
 #include "anon/wcop_ct.h"
 #include "anon/wcop_sa.h"
@@ -169,6 +170,59 @@ TEST_F(FailpointTest, AbortModeCountsDownWithoutInjectingStatus) {
   EXPECT_TRUE(registry.Fire("test.boom").ok());  // hit 2 of 3
   registry.Disarm("test.boom");                  // defuse before hit 3
   EXPECT_TRUE(registry.Fire("test.boom").ok());
+}
+
+// ---------------------------------------------------------------------------
+// errno-injection mode: site:errno=ENOSPC[@N] lets the first N-1 hits
+// through, injects exactly one IoError naming the errno, then disarms —
+// modelling a full disk striking one specific write in a publish sequence.
+// ---------------------------------------------------------------------------
+
+TEST_F(FailpointTest, ErrnoModeInjectsIoErrorOnce) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromSpec("test.publish:errno=ENOSPC").ok());
+  Status s = registry.Fire("test.publish");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("ENOSPC"), std::string::npos) << s;
+  // One-shot: the "disk" has space again, and the site is disarmed.
+  EXPECT_TRUE(registry.Fire("test.publish").ok());
+  EXPECT_FALSE(registry.any_armed());
+}
+
+TEST_F(FailpointTest, ErrnoModeAtNSkipsEarlierHits) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromSpec("test.write:errno=EIO@3").ok());
+  EXPECT_TRUE(registry.Fire("test.write").ok());  // hit 1
+  EXPECT_TRUE(registry.Fire("test.write").ok());  // hit 2
+  Status s = registry.Fire("test.write");         // hit 3: injected
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("EIO"), std::string::npos) << s;
+  EXPECT_TRUE(registry.Fire("test.write").ok());
+  EXPECT_FALSE(registry.any_armed());
+}
+
+TEST_F(FailpointTest, ErrnoModeRejectsUnknownErrnoName) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  Status s = registry.ArmFromSpec("test.write:errno=EWHATEVER");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("EWHATEVER"), std::string::npos) << s;
+  EXPECT_FALSE(registry.any_armed());
+}
+
+// The errno mode composes with the existing write-site instrumentation: an
+// injected ENOSPC on snapshot.write surfaces as the snapshot writer's
+// IoError, exactly like a real short write.
+TEST_F(FailpointTest, ErrnoModeFiresThroughSnapshotWriteSite) {
+  FailpointRegistry& registry = FailpointRegistry::Instance();
+  ASSERT_TRUE(registry.ArmFromSpec("snapshot.write:errno=ENOSPC").ok());
+  const std::string path = TempPath("failpoint_errno_snapshot.snap");
+  Status s = WriteSnapshotFile(path, "payload bytes", /*format_version=*/1);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("ENOSPC"), std::string::npos) << s;
+  // The failed publish leaves no committed artifact behind.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  std::filesystem::remove(path + ".tmp");
 }
 
 // ---------------------------------------------------------------------------

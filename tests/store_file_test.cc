@@ -2,11 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/failpoint.h"
@@ -271,6 +273,98 @@ TEST(StoreFileTest, EmptyAndMissingFiles) {
             StatusCode::kDataLoss);
   std::filesystem::remove(path);
   EXPECT_FALSE(TrajectoryStoreReader::Open(path).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Janitor vs live writers: SweepStaleArtifacts must reclaim only true
+// orphans. A temp file owned by an in-flight writer (registered in the
+// live-artifact registry) survives every sweep, even when the sweep runs in
+// the same directory at the same time.
+// ---------------------------------------------------------------------------
+
+TEST(StoreFileTest, SweepSkipsLiveWriterTempFile) {
+  const std::string dir = TempPath("janitor_live_dir");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+
+  // A true orphan from a "crashed" writer and a live writer's temp file.
+  WriteFileBytes(dir + "/orphan.wst.tmp", "torn bytes");
+  Result<TrajectoryStoreWriter> writer =
+      TrajectoryStoreWriter::Create(dir + "/live.wst");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  const Dataset dataset = SmallSynthetic(3, 10);
+  ASSERT_TRUE(writer->Append(dataset.trajectories().front()).ok());
+
+  Result<size_t> swept = SweepStaleArtifacts(dir);
+  ASSERT_TRUE(swept.ok()) << swept.status();
+  EXPECT_EQ(*swept, 1u);  // the orphan, nothing else
+  EXPECT_FALSE(std::filesystem::exists(dir + "/orphan.wst.tmp"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/live.wst.tmp"));
+
+  // The surviving writer publishes normally...
+  ASSERT_TRUE(writer->Finish().ok());
+  EXPECT_TRUE(TrajectoryStoreReader::Open(dir + "/live.wst").ok());
+
+  // ...and once finished, its name is no longer protected: a later orphan
+  // under the same name is ordinary garbage again.
+  WriteFileBytes(dir + "/live.wst.tmp", "leftover");
+  swept = SweepStaleArtifacts(dir);
+  ASSERT_TRUE(swept.ok()) << swept.status();
+  EXPECT_EQ(*swept, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StoreFileTest, SweepRacingActiveWriterNeverTearsThePublish) {
+  const std::string dir = TempPath("janitor_race_dir");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(std::filesystem::create_directories(dir));
+
+  const Dataset dataset = SmallSynthetic(32, 20);
+  std::atomic<bool> done{false};
+  std::thread sweeper([&]() {
+    // Hammer the janitor for the whole life of the writer. Every sweep must
+    // see the registered temp file and leave it alone.
+    while (!done.load(std::memory_order_relaxed)) {
+      Result<size_t> swept = SweepStaleArtifacts(dir);
+      EXPECT_TRUE(swept.ok()) << swept.status();
+    }
+  });
+
+  Result<TrajectoryStoreWriter> writer =
+      TrajectoryStoreWriter::Create(dir + "/race.wst");
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  for (const Trajectory& t : dataset.trajectories()) {
+    ASSERT_TRUE(writer->Append(t).ok());
+  }
+  Status finish = writer->Finish();
+  done.store(true, std::memory_order_relaxed);
+  sweeper.join();
+  ASSERT_TRUE(finish.ok()) << finish;
+
+  // The publish survived the sweeps intact and round-trips bit-exactly.
+  Result<TrajectoryStoreReader> reader =
+      TrajectoryStoreReader::Open(dir + "/race.wst");
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  ASSERT_EQ(reader->size(), dataset.size());
+  Result<Trajectory> first = reader->Read(0);
+  ASSERT_TRUE(first.ok()) << first.status();
+  ExpectBitExact(*first, dataset.trajectories().front());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(StoreFileTest, LiveArtifactRegistryRefCounts) {
+  const std::string path = TempPath("refcounted.tmp");
+  RegisterLiveArtifact(path);
+  RegisterLiveArtifact(path);
+  EXPECT_TRUE(IsLiveArtifact(path));
+  UnregisterLiveArtifact(path);
+  EXPECT_TRUE(IsLiveArtifact(path));  // one registration still live
+  UnregisterLiveArtifact(path);
+  EXPECT_FALSE(IsLiveArtifact(path));
+  // Relative and absolute spellings of the same file agree.
+  ScopedLiveArtifact scoped("relative_name.tmp");
+  EXPECT_TRUE(IsLiveArtifact(
+      (std::filesystem::current_path() / "relative_name.tmp").string()));
 }
 
 }  // namespace
