@@ -19,6 +19,8 @@
 #include "bench_util.h"
 #include "cluster/dbscan.h"
 #include "distance/edr.h"
+#include "distance/edr_bounds.h"
+#include "distance/edr_kernel.h"
 #include "distance/euclidean.h"
 #include "index/grid_index.h"
 #include "mod/trajectory_store.h"
@@ -58,6 +60,89 @@ void BM_EdrOpSequence(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EdrOpSequence)->Range(32, 256);
+
+// The three EDR kernels head-to-head on the same pair: classic two-row
+// scalar DP, the Hyyrö bit-parallel formulation, and the Ukkonen band (full
+// width, so all three produce the exact distance). Divergence between the
+// per-iteration times here is what the dispatch heuristic in EdrOps trades
+// on.
+void BM_EdrScalarKernel(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(2, points);
+  const EdrTolerance tol = EdrTolerance::FromDeltaMax(250.0, 6.36);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdrOpsScalar(d[0], d[1], tol));
+  }
+  state.SetComplexityN(static_cast<int64_t>(points));
+}
+BENCHMARK(BM_EdrScalarKernel)->Range(32, 512)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_EdrBitParallelKernel(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(2, points);
+  const EdrTolerance tol = EdrTolerance::FromDeltaMax(250.0, 6.36);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdrOpsBitParallel(d[0], d[1], tol));
+  }
+  state.SetComplexityN(static_cast<int64_t>(points));
+}
+BENCHMARK(BM_EdrBitParallelKernel)->Range(32, 512)
+    ->Complexity(benchmark::oNSquared);
+
+// Banded kernel at a fixed narrow band (16): the shape the refine stage
+// sees once the top-k threshold has tightened the cutoff. Cost is
+// O(n * band) instead of O(n * m), and the kernel may abandon with a
+// certified bound — both outcomes are representative.
+void BM_EdrBandedKernel(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(2, points);
+  const EdrTolerance tol = EdrTolerance::FromDeltaMax(250.0, 6.36);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdrOpsBanded(d[0], d[1], tol, 16));
+  }
+  state.SetComplexityN(static_cast<int64_t>(points));
+}
+BENCHMARK(BM_EdrBandedKernel)->Range(32, 512)->Complexity(benchmark::oN);
+
+// Per-pair cost of each cascade rung, for comparison against the kernels
+// they shortcut. Profiles are built once (the cache amortizes them the
+// same way), so these measure the incremental bound evaluation.
+void BM_EdrSeparationCheck(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(2, points);
+  const EdrTolerance tol = EdrTolerance::FromDeltaMax(250.0, 6.36);
+  const EdrBoundsProfile pa = EdrBoundsProfile::Of(d[0]);
+  const EdrBoundsProfile pb = EdrBoundsProfile::Of(d[1]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdrSeparated(pa, pb, tol));
+    benchmark::DoNotOptimize(EdrLengthLowerBound(pa, pb));
+  }
+}
+BENCHMARK(BM_EdrSeparationCheck)->Range(32, 512);
+
+void BM_EdrEnvelopeBound(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(2, points);
+  const EdrTolerance tol = EdrTolerance::FromDeltaMax(250.0, 6.36);
+  const EdrBoundsProfile pa = EdrBoundsProfile::Of(d[0]);
+  const EdrBoundsProfile pb = EdrBoundsProfile::Of(d[1]);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EdrEnvelopeLowerBound(d[0], pa, d[1], pb, tol));
+  }
+  state.SetComplexityN(static_cast<int64_t>(points));
+}
+BENCHMARK(BM_EdrEnvelopeBound)->Range(32, 512)->Complexity(benchmark::oN);
+
+void BM_EdrProfileBuild(benchmark::State& state) {
+  const size_t points = static_cast<size_t>(state.range(0));
+  const Dataset d = SmallDataset(2, points);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EdrBoundsProfile::Of(d[0]));
+  }
+}
+BENCHMARK(BM_EdrProfileBuild)->Range(32, 512);
 
 void BM_SynchronizedEuclidean(benchmark::State& state) {
   const size_t points = static_cast<size_t>(state.range(0));

@@ -16,6 +16,12 @@
 // Run:  ./parallel_scaling [--trajectories=238] [--points=120]
 //                          [--kmax=5] [--dmax=250]
 //                          [--repeats=1] [--json-out=FILE]
+//                          [--max-edr-calls=N]
+//
+// `--max-edr-calls=N` (0 = off) turns the bench into a regression gate on
+// the lower-bound cascade: the run fails if the reference (serial) run
+// computes more than N exact EDR distances. CI pins N to a checked-in
+// ceiling so a change that silently erodes the pruning shows up red.
 
 #include <cstdio>
 #include <cstring>
@@ -68,6 +74,8 @@ int main(int argc, char** argv) {
   const int k_max = static_cast<int>(args.GetInt("kmax", 5));
   const double delta_max = args.GetDouble("dmax", 250.0);
   const int repeats = static_cast<int>(args.GetInt("repeats", 1));
+  const uint64_t max_edr_calls =
+      static_cast<uint64_t>(args.GetInt("max-edr-calls", 0));
   JsonOut json_out(args);
 
   Dataset dataset = MakeBenchDataset(scale);
@@ -154,6 +162,14 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
   if (!json_out.Flush()) {
+    return 1;
+  }
+  if (max_edr_calls > 0 && reference_calls > max_edr_calls) {
+    std::fprintf(stderr,
+                 "EDR CALL CEILING EXCEEDED: %llu exact distance "
+                 "computations > --max-edr-calls=%llu (cascade regression)\n",
+                 static_cast<unsigned long long>(reference_calls),
+                 static_cast<unsigned long long>(max_edr_calls));
     return 1;
   }
   if (!ok) {

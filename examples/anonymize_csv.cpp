@@ -112,7 +112,13 @@ int main(int argc, char** argv) {
         "                checkpoint is flushed so re-running resumes\n"
         "              [--synthetic-tiles=T --tile-spacing=200000]  "
         "(synthetic input\n"
-        "                as T independent far-apart cities)");
+        "                as T independent far-apart cities)\n"
+        "              [--distance-cascade=true|false]  (filter-and-refine "
+        "EDR\n"
+        "                lower-bound cascade; false = legacy exhaustive "
+        "scan,\n"
+        "                byte-identical output; WCOP_DISTANCE_CASCADE env "
+        "too)");
     return 0;
   }
   if (!log::ConfigureFromArgs(args, "anonymize_csv")) {
@@ -199,6 +205,7 @@ int main(int argc, char** argv) {
   }
   options.run_context = &run_context;
   options.allow_partial_results = args.GetBool("allow-partial", false);
+  options.distance.cascade = args.GetBool("distance-cascade", true);
 
   const int shards = static_cast<int>(args.GetInt("shards", 0));
   bool per_shard_audit = false;

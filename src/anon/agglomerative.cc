@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
 
+#include "anon/distance_cache.h"
 #include "common/failpoint.h"
 
 namespace wcop {
@@ -25,53 +25,8 @@ struct WorkingCluster {
   }
 };
 
-class PairCache {
- public:
-  PairCache(const Dataset& dataset, const DistanceConfig& config,
-            const RunContext* context, telemetry::Telemetry* telemetry)
-      : dataset_(dataset), config_(config), context_(context),
-        n_(dataset.size()) {
-    if (telemetry != nullptr) {
-      distance_calls_ =
-          telemetry->metrics().GetCounter(DistanceCallCounterName(config));
-      cache_hits_ = telemetry->metrics().GetCounter("distance.cache_hits");
-    }
-    // Agglomerative merging eventually touches most pairs; reserving the
-    // full triangle up front keeps the hot loop free of rehashes.
-    cache_.reserve(n_ * (n_ - 1) / 2);
-  }
-
-  double Get(size_t i, size_t j) {
-    if (i == j) {
-      return 0.0;
-    }
-    const uint64_t key = i < j ? static_cast<uint64_t>(i) * n_ + j
-                               : static_cast<uint64_t>(j) * n_ + i;
-    auto it = cache_.find(key);
-    if (it != cache_.end()) {
-      telemetry::CounterAdd(cache_hits_);
-      return it->second;
-    }
-    const double d = ClusterDistance(dataset_[i], dataset_[j], config_);
-    if (context_ != nullptr) {
-      context_->ChargeDistance();
-    }
-    telemetry::CounterAdd(distance_calls_);
-    cache_.emplace(key, d);
-    return d;
-  }
-
- private:
-  const Dataset& dataset_;
-  const DistanceConfig& config_;
-  const RunContext* context_;
-  telemetry::Counter* distance_calls_ = nullptr;
-  telemetry::Counter* cache_hits_ = nullptr;
-  uint64_t n_;
-  std::unordered_map<uint64_t, double> cache_;
-};
-
-size_t ElectMedoid(const std::vector<size_t>& members, PairCache* distances) {
+size_t ElectMedoid(const std::vector<size_t>& members,
+                   ShardedPairDistanceCache* distances) {
   if (members.size() <= 2) {
     return members.front();
   }
@@ -119,7 +74,14 @@ Result<ClusteringOutcome> AgglomerativeClustering(const Dataset& dataset,
     rounds_counter = tel->metrics().GetCounter("cluster.rounds");
     cluster_size = tel->metrics().GetHistogram("cluster.size");
   }
-  PairCache distances(dataset, options.distance, context, tel);
+  // Agglomerative merging eventually touches most pairs; reserving the
+  // full triangle up front keeps the hot loop free of rehashes. The sharded
+  // cache replaces the old private memo, bringing the same lower-bound
+  // cascade (analytic separation/envelope exacts, cutoff-certified bounds)
+  // to the medoid partner search.
+  ShardedPairDistanceCache distances(dataset, options.distance, context, tel,
+                                     n * (n - 1) / 2);
+  const bool cascade = distances.cascade_active();
   double radius_max = options.radius_max;
 
   for (size_t round = 0; round < options.max_clustering_rounds; ++round) {
@@ -167,15 +129,33 @@ Result<ClusteringOutcome> AgglomerativeClustering(const Dataset& dataset,
       if (worst == n) {
         break;  // all requirements met
       }
-      // Nearest live partner within radius_max (medoid distance).
+      // Nearest live partner within radius_max (medoid distance). Under
+      // the cascade the running best tightens a cutoff: a certified bound
+      // above it proves the cluster cannot win (selection takes strictly
+      // smaller distances, so ties keep the first cluster either way).
       size_t partner = n;
       double partner_dist = std::numeric_limits<double>::infinity();
       for (size_t c = 0; c < clusters.size(); ++c) {
         if (c == worst || !clusters[c].alive) {
           continue;
         }
-        const double d =
-            distances.Get(clusters[worst].medoid, clusters[c].medoid);
+        double d;
+        if (cascade) {
+          const double cutoff = std::min(radius_max, partner_dist);
+          const auto probe =
+              distances.CheapProbe(clusters[worst].medoid, clusters[c].medoid);
+          if (probe.exact) {
+            d = probe.value;
+          } else if (probe.value > cutoff) {
+            distances.CountBoundPrune(probe.rung);
+            continue;
+          } else {
+            d = distances.GetWithCutoff(clusters[worst].medoid,
+                                        clusters[c].medoid, cutoff);
+          }
+        } else {
+          d = distances.Get(clusters[worst].medoid, clusters[c].medoid);
+        }
         if (d <= radius_max && d < partner_dist) {
           partner_dist = d;
           partner = c;

@@ -1,6 +1,18 @@
 #include "anon/distance_cache.h"
 
+#include <algorithm>
+
+#include "distance/edr_kernel.h"
+
 namespace wcop {
+
+namespace {
+
+/// Below this length the envelope sweep costs about as much as the DP it
+/// tries to avoid; shorter pairs go straight to the kernel.
+constexpr uint32_t kEnvelopeMinLen = 4;
+
+}  // namespace
 
 ShardedPairDistanceCache::ShardedPairDistanceCache(
     const Dataset& dataset, const DistanceConfig& config,
@@ -17,11 +29,47 @@ ShardedPairDistanceCache::ShardedPairDistanceCache(
     cache_hits_ = telemetry->metrics().GetCounter("distance.cache_hits");
     early_abandoned_ =
         telemetry->metrics().GetCounter("distance.early_abandoned");
+    lb_length_ = telemetry->metrics().GetCounter("distance.lb.length_pruned");
+    lb_separation_ =
+        telemetry->metrics().GetCounter("distance.lb.separation_pruned");
+    lb_envelope_ =
+        telemetry->metrics().GetCounter("distance.lb.envelope_pruned");
+    lb_band_ = telemetry->metrics().GetCounter("distance.lb.band_pruned");
+  }
+  cascade_ = config.cascade && config.kind == DistanceConfig::Kind::kEdr &&
+             config.edr_scale > 0.0;
+  if (cascade_) {
+    profiles_.reserve(n_);
+    for (const Trajectory& t : dataset.trajectories()) {
+      profiles_.push_back(EdrBoundsProfile::Of(t));
+    }
   }
   const size_t per_shard = expected_pairs / kShards + 1;
   for (Shard& shard : shards_) {
     shard.map.reserve(per_shard);
   }
+}
+
+uint32_t ShardedPairDistanceCache::BandFor(double cutoff,
+                                           uint32_t maxlen) const {
+  if (!(cutoff < config_.edr_scale)) {
+    return maxlen;  // the cutoff admits any distance: full-width evaluation
+  }
+  // Floor estimate, then fix up with the exact ToScaled comparisons the
+  // verdicts use so float rounding can never under-size the band.
+  const double estimate =
+      cutoff * static_cast<double>(maxlen) / config_.edr_scale;
+  uint32_t band = estimate > 0.0
+                      ? static_cast<uint32_t>(std::min(
+                            estimate, static_cast<double>(maxlen)))
+                      : 0u;
+  while (band > 0 && ToScaled(band, maxlen) > cutoff) {
+    --band;
+  }
+  while (band < maxlen && ToScaled(band + 1, maxlen) <= cutoff) {
+    ++band;
+  }
+  return band;
 }
 
 double ShardedPairDistanceCache::StoreExact(Shard& shard, uint64_t key,
@@ -52,6 +100,80 @@ double ShardedPairDistanceCache::StoreExact(Shard& shard, uint64_t key,
   return value;
 }
 
+double ShardedPairDistanceCache::StoreAnalyticExact(
+    Shard& shard, uint64_t key, double value,
+    telemetry::Counter* rung_counter) {
+  bool winner = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.map.try_emplace(key, Entry{value, false});
+    if (inserted) {
+      winner = true;
+    } else if (it->second.is_bound) {
+      it->second = Entry{value, false};
+      winner = true;
+    } else {
+      value = it->second.value;
+    }
+  }
+  if (winner) {
+    // The certificate *is* the distance; no DP ran, so neither the budget
+    // nor distance.calls.* moves. The lookup still counts as an early
+    // abandon of the exact DP — distance.early_abandoned totals every
+    // cascade resolution, with distance.lb.* as the per-rung breakdown.
+    telemetry::CounterAdd(early_abandoned_);
+    telemetry::CounterAdd(rung_counter);
+    abandoned_.fetch_add(1, std::memory_order_relaxed);
+    analytic_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    telemetry::CounterAdd(cache_hits_);
+  }
+  return value;
+}
+
+double ShardedPairDistanceCache::StoreBound(Shard& shard, uint64_t key,
+                                            double value,
+                                            telemetry::Counter* rung_counter) {
+  telemetry::CounterAdd(early_abandoned_);
+  telemetry::CounterAdd(rung_counter);
+  abandoned_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(key, Entry{value, true});
+  if (!inserted) {
+    if (!it->second.is_bound) {
+      return it->second.value;  // a racing exact insert wins over our bound
+    }
+    // Keep the tighter of two certified bounds (within one scan all racers
+    // share a cutoff, so the stored value stays schedule-independent).
+    it->second.value = std::max(it->second.value, value);
+  }
+  return value;
+}
+
+void ShardedPairDistanceCache::CountBoundPrune(BoundRung rung) {
+  if (rung == BoundRung::kCached) {
+    // The decision was made by a previously stored (and already counted)
+    // bound — the same event a cutoff lookup served from the cache counts.
+    telemetry::CounterAdd(cache_hits_);
+    return;
+  }
+  telemetry::CounterAdd(early_abandoned_);
+  abandoned_.fetch_add(1, std::memory_order_relaxed);
+  switch (rung) {
+    case BoundRung::kLength:
+      telemetry::CounterAdd(lb_length_);
+      break;
+    case BoundRung::kSeparation:
+      telemetry::CounterAdd(lb_separation_);
+      break;
+    case BoundRung::kEnvelope:
+      telemetry::CounterAdd(lb_envelope_);
+      break;
+    case BoundRung::kCached:
+      break;
+  }
+}
+
 double ShardedPairDistanceCache::Get(size_t i, size_t j) {
   if (i == j) {
     return 0.0;
@@ -64,6 +186,28 @@ double ShardedPairDistanceCache::Get(size_t i, size_t j) {
     if (it != shard.map.end() && !it->second.is_bound) {
       telemetry::CounterAdd(cache_hits_);
       return it->second.value;
+    }
+  }
+  if (cascade_) {
+    const EdrBoundsProfile& pa = profiles_[i];
+    const EdrBoundsProfile& pb = profiles_[j];
+    const uint32_t maxlen = std::max(pa.length, pb.length);
+    if (maxlen > 0) {
+      // Analytic certificates short-circuit even an exact request: when no
+      // point pair can match, the distance is max length — exactly what
+      // the DP would return.
+      if (EdrSeparated(pa, pb, config_.tolerance)) {
+        return StoreAnalyticExact(shard, key, ToScaled(maxlen, maxlen),
+                                  lb_separation_);
+      }
+      if (maxlen >= kEnvelopeMinLen) {
+        const EdrEnvelopeBound env = EdrEnvelopeLowerBound(
+            dataset_[i], pa, dataset_[j], pb, config_.tolerance);
+        if (env.exact) {
+          return StoreAnalyticExact(shard, key, ToScaled(env.bound, maxlen),
+                                    lb_envelope_);
+        }
+      }
     }
   }
   const double d = ClusterDistance(dataset_[i], dataset_[j], config_);
@@ -86,19 +230,123 @@ double ShardedPairDistanceCache::GetWithCutoff(size_t i, size_t j,
       return it->second.value;
     }
   }
-  bool was_abandoned = false;
-  const double d = ClusterDistanceWithCutoff(dataset_[i], dataset_[j],
-                                             config_, cutoff, &was_abandoned);
-  if (!was_abandoned) {
-    return StoreExact(shard, key, d);
+  if (!cascade_) {
+    // Legacy path (also kSynchronizedEuclidean): length bound only.
+    bool was_abandoned = false;
+    const double d = ClusterDistanceWithCutoff(
+        dataset_[i], dataset_[j], config_, cutoff, &was_abandoned);
+    if (!was_abandoned) {
+      return StoreExact(shard, key, d);
+    }
+    return StoreBound(shard, key, d, lb_length_);
   }
-  telemetry::CounterAdd(early_abandoned_);
-  abandoned_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(shard.mu);
-  // A racing exact insert wins over our bound; racing bounds are equal (the
-  // bound depends only on the two lengths), so either store is fine.
-  auto it = shard.map.try_emplace(key, Entry{d, true}).first;
-  return it->second.is_bound ? d : it->second.value;
+  const EdrBoundsProfile& pa = profiles_[i];
+  const EdrBoundsProfile& pb = profiles_[j];
+  const uint32_t maxlen = std::max(pa.length, pb.length);
+  if (maxlen == 0) {
+    return StoreExact(shard, key, 0.0);  // two empty trajectories
+  }
+  // Rung 1: length bound, O(1).
+  const double length_bound = ToScaled(EdrLengthLowerBound(pa, pb), maxlen);
+  if (length_bound > cutoff) {
+    return StoreBound(shard, key, length_bound, lb_length_);
+  }
+  // Rung 2: separation certificate, O(1) — an analytic *exact*.
+  if (EdrSeparated(pa, pb, config_.tolerance)) {
+    return StoreAnalyticExact(shard, key, ToScaled(maxlen, maxlen),
+                              lb_separation_);
+  }
+  // Rung 3: envelope bound, O(n+m).
+  if (maxlen >= kEnvelopeMinLen) {
+    const EdrEnvelopeBound env = EdrEnvelopeLowerBound(
+        dataset_[i], pa, dataset_[j], pb, config_.tolerance);
+    if (env.exact) {
+      return StoreAnalyticExact(shard, key, ToScaled(env.bound, maxlen),
+                                lb_envelope_);
+    }
+    const double envelope_bound = ToScaled(env.bound, maxlen);
+    if (envelope_bound > cutoff) {
+      return StoreBound(shard, key, envelope_bound, lb_envelope_);
+    }
+  }
+  // Refine: DP kernel, banded to the width the cutoff still permits.
+  const uint32_t band = BandFor(cutoff, maxlen);
+  const EdrKernelResult r =
+      EdrOps(dataset_[i], dataset_[j], config_.tolerance, band);
+  if (r.exact) {
+    return StoreExact(shard, key, ToScaled(r.ops, maxlen));
+  }
+  return StoreBound(shard, key, ToScaled(r.ops, maxlen), lb_band_);
+}
+
+ShardedPairDistanceCache::ProbeResult ShardedPairDistanceCache::CheapProbe(
+    size_t i, size_t j) {
+  ProbeResult result;
+  if (i == j) {
+    result.value = 0.0;
+    result.exact = true;
+    result.rung = BoundRung::kCached;
+    return result;
+  }
+  const uint64_t key = KeyOf(i, j);
+  Shard& shard = ShardOf(key);
+  double floor = 0.0;
+  bool have_cached_bound = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      if (!it->second.is_bound) {
+        telemetry::CounterAdd(cache_hits_);
+        result.value = it->second.value;
+        result.exact = true;
+        result.rung = BoundRung::kCached;
+        return result;
+      }
+      floor = it->second.value;
+      have_cached_bound = true;
+    }
+  }
+  const EdrBoundsProfile& pa = profiles_[i];
+  const EdrBoundsProfile& pb = profiles_[j];
+  const uint32_t maxlen = std::max(pa.length, pb.length);
+  if (maxlen == 0) {
+    result.value = 0.0;
+    result.exact = true;
+    result.rung = BoundRung::kCached;
+    return result;
+  }
+  result.rung = have_cached_bound ? BoundRung::kCached : BoundRung::kLength;
+  result.value = floor;
+  const double length_bound = ToScaled(EdrLengthLowerBound(pa, pb), maxlen);
+  if (length_bound > result.value) {
+    result.value = length_bound;
+    result.rung = BoundRung::kLength;
+  }
+  if (EdrSeparated(pa, pb, config_.tolerance)) {
+    result.value = StoreAnalyticExact(shard, key, ToScaled(maxlen, maxlen),
+                                      lb_separation_);
+    result.exact = true;
+    result.rung = BoundRung::kSeparation;
+    return result;
+  }
+  if (maxlen >= kEnvelopeMinLen) {
+    const EdrEnvelopeBound env = EdrEnvelopeLowerBound(
+        dataset_[i], pa, dataset_[j], pb, config_.tolerance);
+    if (env.exact) {
+      result.value = StoreAnalyticExact(shard, key, ToScaled(env.bound, maxlen),
+                                        lb_envelope_);
+      result.exact = true;
+      result.rung = BoundRung::kEnvelope;
+      return result;
+    }
+    const double envelope_bound = ToScaled(env.bound, maxlen);
+    if (envelope_bound > result.value) {
+      result.value = envelope_bound;
+      result.rung = BoundRung::kEnvelope;
+    }
+  }
+  return result;
 }
 
 }  // namespace wcop

@@ -3,12 +3,52 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "anon/distance_cache.h"
 #include "common/failpoint.h"
 #include "common/parallel.h"
+#include "index/grid_index.h"
 
 namespace wcop {
+
+namespace {
+
+/// Bounded max-heap of the smallest `capacity` exact distances seen during
+/// one pivot scan. Once full, Top() is a schedule-independent best-so-far
+/// threshold: any candidate whose lower bound exceeds it already has
+/// `capacity` exactly-known candidates ranked strictly ahead of it, so it
+/// can never be among the taken nearest neighbours.
+class TopKThreshold {
+ public:
+  void Reset(size_t capacity) {
+    capacity_ = capacity;
+    heap_.clear();
+  }
+
+  void Push(double value) {
+    if (capacity_ == 0) {
+      return;
+    }
+    if (heap_.size() < capacity_) {
+      heap_.push_back(value);
+      std::push_heap(heap_.begin(), heap_.end());
+    } else if (value < heap_.front()) {
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.back() = value;
+      std::push_heap(heap_.begin(), heap_.end());
+    }
+  }
+
+  bool Full() const { return capacity_ > 0 && heap_.size() == capacity_; }
+  double Top() const { return heap_.front(); }
+
+ private:
+  size_t capacity_ = 0;
+  std::vector<double> heap_;
+};
+
+}  // namespace
 
 Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
                                            size_t trash_max,
@@ -55,6 +95,67 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
       std::min(n * (n - 1) / 2, n * size_t{64});
   ShardedPairDistanceCache distances(dataset, options.distance, context, tel,
                                      expected_pairs);
+  // Filter-and-refine scaffolding (EDR cascade only — see DESIGN.md
+  // "Distance engine: filter-and-refine"). MBR centers go into a uniform
+  // grid sized to the maximum matching reach: two trajectories whose
+  // centers are farther apart than the sum of their MBR half-diagonals
+  // plus hypot(dx, dy) cannot contain a matching point pair, so their
+  // normalized EDR is exactly 1.0 — assigned without any per-pair work.
+  // K_global caps how many nearest neighbours any cluster can ever take
+  // (cluster.k is the max member k), so the (K_global - 1) smallest exact
+  // distances of a scan bound everything a pivot can still accept.
+  const bool cascade = distances.cascade_active();
+  telemetry::Counter* prefiltered_counter =
+      tel != nullptr
+          ? tel->metrics().GetCounter("distance.candidates.prefiltered")
+          : nullptr;
+  size_t top_needed = 0;
+  double reach_pad = 0.0;
+  double max_half_diag = 0.0;
+  std::vector<double> center_x;
+  std::vector<double> center_y;
+  std::vector<double> half_diag;
+  std::optional<GridIndex> grid;
+  if (cascade) {
+    int k_global = 2;
+    for (const Trajectory& t : dataset.trajectories()) {
+      k_global = std::max(k_global, t.requirement().k);
+    }
+    top_needed = static_cast<size_t>(k_global - 1);
+    reach_pad = std::hypot(options.distance.tolerance.dx,
+                           options.distance.tolerance.dy);
+    center_x.resize(n);
+    center_y.resize(n);
+    half_diag.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const BoundingBox bounds = dataset[i].Bounds();
+      if (bounds.empty()) {
+        center_x[i] = center_y[i] = half_diag[i] = 0.0;
+      } else {
+        center_x[i] = 0.5 * (bounds.min_x() + bounds.max_x());
+        center_y[i] = 0.5 * (bounds.min_y() + bounds.max_y());
+        half_diag[i] = bounds.HalfDiagonal();
+      }
+      max_half_diag = std::max(max_half_diag, half_diag[i]);
+    }
+    grid.emplace(std::max(max_half_diag + reach_pad, 1.0));
+    grid->AttachTelemetry(tel);
+    for (size_t i = 0; i < n; ++i) {
+      grid->Insert(i, center_x[i], center_y[i]);
+    }
+  }
+  // Scratch reused across pivot scans (cascade path).
+  std::vector<size_t> reach;
+  std::vector<char> in_reach;
+  std::vector<size_t> near_candidates;
+  std::vector<ShardedPairDistanceCache::ProbeResult> probe_results;
+  struct RefineEntry {
+    double bound;
+    size_t index;
+    ShardedPairDistanceCache::BoundRung rung;
+  };
+  std::vector<RefineEntry> refine;
+  TopKThreshold threshold;
   // Pure distance evaluations fan out over the pool; every ordering and
   // tie-breaking decision below stays on this thread, so the outcome is
   // identical for any thread count (see DESIGN.md "Parallel execution").
@@ -160,8 +261,10 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
         }
         candidates.push_back(cand);
       }
-      scratch_values.assign(candidates.size(), 0.0);
-      {
+      std::vector<std::pair<double, size_t>> pool;
+      pool.reserve(candidates.size());
+      if (!cascade) {
+        scratch_values.assign(candidates.size(), 0.0);
         WCOP_TRACE_SPAN(tel, "cluster/pivot_scan");
         Status batch = parallel::ParallelFor(
             candidates.size(),
@@ -173,11 +276,115 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
         if (!batch.ok()) {
           return batch;
         }
-      }
-      std::vector<std::pair<double, size_t>> pool;
-      pool.reserve(candidates.size());
-      for (size_t t = 0; t < candidates.size(); ++t) {
-        pool.emplace_back(scratch_values[t], candidates[t]);
+        for (size_t t = 0; t < candidates.size(); ++t) {
+          pool.emplace_back(scratch_values[t], candidates[t]);
+        }
+      } else {
+        WCOP_TRACE_SPAN(tel, "cluster/pivot_scan");
+        threshold.Reset(top_needed);
+        // Grid pre-filter: every candidate the reach query cannot return
+        // is certified unmatchable with the pivot — its normalized EDR is
+        // exactly 1.0 (all-substitution alignment), entered into the pool
+        // as that exact distance with zero per-pair work.
+        reach.clear();
+        grid->CandidateQuery(center_x[pivot], center_y[pivot],
+                             half_diag[pivot] + max_half_diag + reach_pad,
+                             &reach);
+        in_reach.assign(n, 0);
+        for (size_t c : reach) {
+          in_reach[c] = 1;
+        }
+        near_candidates.clear();
+        uint64_t prefiltered = 0;
+        for (size_t cand : candidates) {
+          if (in_reach[cand]) {
+            near_candidates.push_back(cand);
+            continue;
+          }
+          pool.emplace_back(options.distance.edr_scale, cand);
+          threshold.Push(options.distance.edr_scale);
+          ++prefiltered;
+        }
+        if (prefiltered > 0) {
+          telemetry::CounterAdd(prefiltered_counter, prefiltered);
+        }
+        // Cheap bound probes (cache / length / separation / envelope) fan
+        // out in parallel; classification and every ordering decision stay
+        // on this thread.
+        probe_results.assign(near_candidates.size(),
+                             ShardedPairDistanceCache::ProbeResult{});
+        Status batch = parallel::ParallelFor(
+            near_candidates.size(),
+            [&](size_t t) {
+              probe_results[t] = distances.CheapProbe(pivot,
+                                                      near_candidates[t]);
+            },
+            par);
+        if (!batch.ok()) {
+          return batch;
+        }
+        refine.clear();
+        for (size_t t = 0; t < near_candidates.size(); ++t) {
+          const auto& probe = probe_results[t];
+          if (probe.exact) {
+            pool.emplace_back(probe.value, near_candidates[t]);
+            threshold.Push(probe.value);
+          } else {
+            refine.push_back(
+                RefineEntry{probe.value, near_candidates[t], probe.rung});
+          }
+        }
+        std::sort(refine.begin(), refine.end(),
+                  [](const RefineEntry& a, const RefineEntry& b) {
+                    return a.bound != b.bound ? a.bound < b.bound
+                                              : a.index < b.index;
+                  });
+        // Cheapest-first refinement in growing block-synchronous batches:
+        // the cutoff (best-so-far top-K threshold, capped by radius_max) is
+        // frozen per block and tightened only between blocks, so the set of
+        // pairs that reach the DP — and every counter event — is identical
+        // for every thread count. A candidate pruned here has top_needed
+        // exactly-known candidates strictly ahead of it (or is outside the
+        // acceptance radius), so the exact distance could not have changed
+        // any decision; its certified bound enters the pool instead.
+        size_t pos = 0;
+        size_t block = 32;
+        while (pos < refine.size()) {
+          const double cutoff =
+              threshold.Full() ? std::min(radius_max, threshold.Top())
+                               : radius_max;
+          if (refine[pos].bound > cutoff) {
+            for (size_t t = pos; t < refine.size(); ++t) {
+              pool.emplace_back(refine[t].bound, refine[t].index);
+              distances.CountBoundPrune(refine[t].rung);
+            }
+            break;
+          }
+          const size_t end = std::min(pos + block, refine.size());
+          size_t split = end;
+          while (split > pos && refine[split - 1].bound > cutoff) {
+            --split;
+          }
+          scratch_values.assign(split - pos, 0.0);
+          batch = parallel::ParallelFor(
+              split - pos,
+              [&](size_t t) {
+                scratch_values[t] = distances.GetWithCutoff(
+                    pivot, refine[pos + t].index, cutoff);
+              },
+              par);
+          if (!batch.ok()) {
+            return batch;
+          }
+          for (size_t t = 0; t < split - pos; ++t) {
+            pool.emplace_back(scratch_values[t], refine[pos + t].index);
+            if (scratch_values[t] <= cutoff) {
+              threshold.Push(scratch_values[t]);
+            }
+          }
+          pos = split;
+          block = std::min(block * 2, size_t{1024});
+        }
       }
       std::sort(pool.begin(), pool.end());
       if (context != nullptr) {
@@ -271,24 +478,49 @@ Result<ClusteringOutcome> GreedyClustering(const Dataset& dataset,
         }
         eligible.push_back(c);
       }
-      scratch_values.assign(eligible.size(), 0.0);
-      Status batch = parallel::ParallelFor(
-          eligible.size(),
-          [&](size_t t) {
-            scratch_values[t] = distances.GetWithCutoff(
-                clusters[eligible[t]].pivot, idx, radius_max);
-          },
-          par);
-      if (!batch.ok()) {
-        return batch;
-      }
       double best_dist = std::numeric_limits<double>::infinity();
       AnonymityCluster* best_cluster = nullptr;
-      for (size_t t = 0; t < eligible.size(); ++t) {
-        const double d = scratch_values[t];
-        if (d <= radius_max && d < best_dist) {
-          best_dist = d;
-          best_cluster = &clusters[eligible[t]];
+      if (!cascade) {
+        scratch_values.assign(eligible.size(), 0.0);
+        Status batch = parallel::ParallelFor(
+            eligible.size(),
+            [&](size_t t) {
+              scratch_values[t] = distances.GetWithCutoff(
+                  clusters[eligible[t]].pivot, idx, radius_max);
+            },
+            par);
+        if (!batch.ok()) {
+          return batch;
+        }
+        for (size_t t = 0; t < eligible.size(); ++t) {
+          const double d = scratch_values[t];
+          if (d <= radius_max && d < best_dist) {
+            best_dist = d;
+            best_cluster = &clusters[eligible[t]];
+          }
+        }
+      } else {
+        // Serial best-so-far scan in cluster order: the running best
+        // tightens the cutoff, and a probe bound above it certifies the
+        // cluster cannot win (the selection takes strictly smaller
+        // distances, so ties keep the first cluster exactly as the
+        // exhaustive scan does).
+        for (size_t c : eligible) {
+          const double cutoff = std::min(radius_max, best_dist);
+          const auto probe = distances.CheapProbe(clusters[c].pivot, idx);
+          double d;
+          if (probe.exact) {
+            d = probe.value;
+          } else if (probe.value > cutoff) {
+            distances.CountBoundPrune(probe.rung);
+            continue;
+          } else {
+            d = distances.GetWithCutoff(clusters[c].pivot, idx, cutoff);
+          }
+          if (d <= radius_max && d < best_dist) {
+            best_dist = d;
+            best_cluster = &clusters[c];
+          }
         }
       }
       if (best_cluster != nullptr) {

@@ -29,6 +29,17 @@ struct DistanceConfig {
   EdrTolerance tolerance;   ///< EDR matching tolerance (kEdr only)
   double edr_scale = 0.0;   ///< multiplies normalized EDR (kEdr only);
                             ///< <= 0 means "auto": drivers use radius(D)
+
+  /// Filter-and-refine kill-switch (kEdr only). When true (the default)
+  /// the clustering hot path runs the lower-bound cascade (length,
+  /// MBR/tolerance separation, envelope), grid pre-filtering, and banded
+  /// DP evaluation under best-so-far cutoffs. Published output is
+  /// byte-identical either way — a bound only ever skips a pair whose
+  /// exact distance could not have changed any decision (see DESIGN.md
+  /// "Distance engine: filter-and-refine"); `false` forces the legacy
+  /// exhaustive scan. Drivers also honour the WCOP_DISTANCE_CASCADE
+  /// environment variable (0/off/false disables).
+  bool cascade = true;
 };
 
 /// Distance between two trajectories under `config` (see DistanceConfig).

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdint>
 
+#include "distance/edr_kernel.h"
+
 namespace wcop {
 
 EdrTolerance EdrTolerance::FromDeltaMax(double delta_max, double avg_speed) {
@@ -22,29 +24,12 @@ bool EdrTolerance::Matches(const Point& a, const Point& b) const {
 
 double EdrDistance(const Trajectory& a, const Trajectory& b,
                    const EdrTolerance& tolerance) {
-  const size_t n = a.size();
-  const size_t m = b.size();
-  if (n == 0) {
-    return static_cast<double>(m);
-  }
-  if (m == 0) {
-    return static_cast<double>(n);
-  }
-  // Two-row dynamic program; rows indexed by positions in `a`.
-  std::vector<uint32_t> prev(m + 1), curr(m + 1);
-  for (size_t j = 0; j <= m; ++j) {
-    prev[j] = static_cast<uint32_t>(j);
-  }
-  for (size_t i = 1; i <= n; ++i) {
-    curr[0] = static_cast<uint32_t>(i);
-    const Point& pa = a[i - 1];
-    for (size_t j = 1; j <= m; ++j) {
-      const uint32_t subcost = tolerance.Matches(pa, b[j - 1]) ? 0u : 1u;
-      curr[j] = std::min({prev[j - 1] + subcost, prev[j] + 1u, curr[j - 1] + 1u});
-    }
-    std::swap(prev, curr);
-  }
-  return static_cast<double>(prev[m]);
+  // Full-width evaluation through the kernel dispatch (scalar DP for small
+  // shapes, bit-parallel for long ones); every kernel is bit-identical to
+  // the classic two-row DP.
+  const uint32_t full =
+      static_cast<uint32_t>(std::max(a.size(), b.size()));
+  return static_cast<double>(EdrOps(a, b, tolerance, full).ops);
 }
 
 double EdrDistance(const Trajectory& a, const Trajectory& b,

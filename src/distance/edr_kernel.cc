@@ -1,0 +1,222 @@
+#include "distance/edr_kernel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace wcop {
+
+namespace {
+
+bool SortedByTime(const Trajectory& t) {
+  for (size_t i = 1; i < t.size(); ++i) {
+    if (t[i].t < t[i - 1].t) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+uint32_t EdrOpsScalar(const Trajectory& a, const Trajectory& b,
+                      const EdrTolerance& tolerance) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) {
+    return static_cast<uint32_t>(std::max(n, m));
+  }
+  // Two-row dynamic program; rows indexed by positions in `a`. The scratch
+  // rows are thread-local so the clustering hot path never reallocates.
+  thread_local std::vector<uint32_t> prev_s;
+  thread_local std::vector<uint32_t> curr_s;
+  prev_s.resize(m + 1);
+  curr_s.resize(m + 1);
+  uint32_t* prev = prev_s.data();
+  uint32_t* curr = curr_s.data();
+  for (size_t j = 0; j <= m; ++j) {
+    prev[j] = static_cast<uint32_t>(j);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<uint32_t>(i);
+    const Point& pa = a[i - 1];
+    for (size_t j = 1; j <= m; ++j) {
+      const uint32_t subcost = tolerance.Matches(pa, b[j - 1]) ? 0u : 1u;
+      curr[j] =
+          std::min({prev[j - 1] + subcost, prev[j] + 1u, curr[j - 1] + 1u});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+uint32_t EdrOpsBitParallel(const Trajectory& a, const Trajectory& b,
+                           const EdrTolerance& tolerance) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0 || m == 0) {
+    return static_cast<uint32_t>(std::max(n, m));
+  }
+  // Myers/Hyyrö bit-parallel unit-cost edit distance over the tolerance
+  // match predicate. Columns (positions of `b`) live 64 per word; PV/MV
+  // hold the vertical deltas of the current row, the score is tracked at
+  // column m via the horizontal deltas of the last block. Bits of the last
+  // block above column m are virtual never-matching columns; carries only
+  // propagate upward within a word, so they never influence real columns.
+  const size_t words = (m + 63) / 64;
+  thread_local std::vector<uint64_t> pv_s;
+  thread_local std::vector<uint64_t> mv_s;
+  thread_local std::vector<uint64_t> eq_s;
+  pv_s.assign(words, ~0ull);
+  mv_s.assign(words, 0ull);
+  eq_s.assign(words, 0ull);
+  uint64_t* pv_v = pv_s.data();
+  uint64_t* mv_v = mv_s.data();
+  uint64_t* eq_v = eq_s.data();
+
+  int64_t score = static_cast<int64_t>(m);
+  const unsigned last_pos = static_cast<unsigned>((m - 1) & 63);
+  // Match masks are rebuilt per row; when both sequences are sorted by time
+  // and dt is finite, only the row point's time window over `b` is scanned
+  // (two-pointer sweep), otherwise every column is tested.
+  const bool windowed =
+      std::isfinite(tolerance.dt) && SortedByTime(a) && SortedByTime(b);
+  size_t lo = 0;
+  size_t hi = 0;
+
+  for (size_t i = 1; i <= n; ++i) {
+    const Point& pa = a[i - 1];
+    std::fill(eq_v, eq_v + words, 0ull);
+    if (windowed) {
+      while (hi < m && b[hi].t <= pa.t + tolerance.dt) {
+        ++hi;
+      }
+      while (lo < hi && b[lo].t < pa.t - tolerance.dt) {
+        ++lo;
+      }
+      for (size_t j = lo; j < hi; ++j) {
+        const Point& pb = b[j];
+        if (std::abs(pa.x - pb.x) <= tolerance.dx &&
+            std::abs(pa.y - pb.y) <= tolerance.dy) {
+          eq_v[j >> 6] |= 1ull << (j & 63);
+        }
+      }
+    } else {
+      for (size_t j = 0; j < m; ++j) {
+        if (tolerance.Matches(pa, b[j])) {
+          eq_v[j >> 6] |= 1ull << (j & 63);
+        }
+      }
+    }
+
+    int hin = 1;
+    for (size_t k = 0; k < words; ++k) {
+      const uint64_t pv = pv_v[k];
+      const uint64_t mv = mv_v[k];
+      const uint64_t pm = eq_v[k] | (hin < 0 ? 1ull : 0ull);
+      const uint64_t d0 = (((pm & pv) + pv) ^ pv) | pm | mv;
+      const uint64_t hp = mv | ~(d0 | pv);
+      const uint64_t hn = pv & d0;
+      if (k == words - 1) {
+        score += static_cast<int64_t>((hp >> last_pos) & 1ull);
+        score -= static_cast<int64_t>((hn >> last_pos) & 1ull);
+      }
+      const int hout =
+          ((hp >> 63) & 1ull) ? 1 : (((hn >> 63) & 1ull) ? -1 : 0);
+      const uint64_t hp_s = (hp << 1) | (hin > 0 ? 1ull : 0ull);
+      const uint64_t hn_s = (hn << 1) | (hin < 0 ? 1ull : 0ull);
+      pv_v[k] = hn_s | ~(d0 | hp_s);
+      mv_v[k] = d0 & hp_s;
+      hin = hout;
+    }
+  }
+  return static_cast<uint32_t>(score);
+}
+
+EdrKernelResult EdrOpsBanded(const Trajectory& a, const Trajectory& b,
+                             const EdrTolerance& tolerance, uint32_t band) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const uint32_t maxlen = static_cast<uint32_t>(std::max(n, m));
+  if (n == 0 || m == 0) {
+    return EdrKernelResult{maxlen, true};
+  }
+  const size_t diff = n > m ? n - m : m - n;
+  if (diff > band) {
+    // Outside the band before we start: the length bound is the certificate.
+    return EdrKernelResult{band + 1, false};
+  }
+  if (band > maxlen) {
+    band = maxlen;
+  }
+  // Ukkonen band: only cells with |i - j| <= band are evaluated; values are
+  // clamped at band + 1 (any cell outside the band is >= |i - j| > band, so
+  // the clamp never distorts a value that could end <= band).
+  const uint32_t inf = band + 1;
+  thread_local std::vector<uint32_t> prev_s;
+  thread_local std::vector<uint32_t> curr_s;
+  prev_s.assign(m + 2, inf);
+  curr_s.assign(m + 2, inf);
+  uint32_t* prev = prev_s.data();
+  uint32_t* curr = curr_s.data();
+  const size_t row0_hi = std::min(m, static_cast<size_t>(band));
+  for (size_t j = 0; j <= row0_hi; ++j) {
+    prev[j] = static_cast<uint32_t>(j);
+  }
+  for (size_t i = 1; i <= n; ++i) {
+    const size_t lo = i > band ? i - band : 0;
+    const size_t hi = std::min(m, i + band);
+    const Point& pa = a[i - 1];
+    if (lo == 0) {
+      curr[0] = std::min(static_cast<uint32_t>(i), inf);
+    } else {
+      curr[lo - 1] = inf;  // left neighbour of the first in-band cell
+    }
+    for (size_t j = std::max<size_t>(lo, 1); j <= hi; ++j) {
+      const uint32_t subcost = tolerance.Matches(pa, b[j - 1]) ? 0u : 1u;
+      const uint32_t v =
+          std::min({prev[j - 1] + subcost, prev[j] + 1u, curr[j - 1] + 1u});
+      curr[j] = std::min(v, inf);
+    }
+    curr[hi + 1] = inf;  // up neighbour of next row's last in-band cell
+    std::swap(prev, curr);
+  }
+  const uint32_t result = prev[m];
+  if (result >= inf) {
+    return EdrKernelResult{inf, false};  // certified: true distance > band
+  }
+  return EdrKernelResult{result, true};
+}
+
+EdrKernelResult EdrOps(const Trajectory& a, const Trajectory& b,
+                       const EdrTolerance& tolerance, uint32_t band) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const uint32_t maxlen = static_cast<uint32_t>(std::max(n, m));
+  if (n == 0 || m == 0) {
+    return EdrKernelResult{maxlen, true};
+  }
+  const size_t diff = n > m ? n - m : m - n;
+  if (diff > band) {
+    return EdrKernelResult{band + 1, false};
+  }
+  if (band > maxlen) {
+    band = maxlen;
+  }
+  // Rough per-row costs: banded touches min(2*band+1, m) cells, the
+  // bit-parallel kernel ~8 word ops per 64 columns, the scalar DP m cells.
+  // The banded kernel additionally certifies abandons, so prefer it
+  // whenever it is the cheapest full evaluation.
+  const uint64_t banded_cost = 2ull * band + 1ull;
+  const uint64_t bitparallel_cost = 8ull * ((m + 63) / 64);
+  if (band < maxlen && banded_cost < bitparallel_cost &&
+      banded_cost < static_cast<uint64_t>(m)) {
+    return EdrOpsBanded(a, b, tolerance, band);
+  }
+  if (m < 32 || static_cast<uint64_t>(n) * m < 2048) {
+    return EdrKernelResult{EdrOpsScalar(a, b, tolerance), true};
+  }
+  return EdrKernelResult{EdrOpsBitParallel(a, b, tolerance), true};
+}
+
+}  // namespace wcop

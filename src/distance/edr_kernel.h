@@ -1,0 +1,52 @@
+#ifndef WCOP_DISTANCE_EDR_KERNEL_H_
+#define WCOP_DISTANCE_EDR_KERNEL_H_
+
+#include <cstdint>
+
+#include "distance/edr.h"
+#include "traj/trajectory.h"
+
+namespace wcop {
+
+/// Outcome of one EDR kernel evaluation. When `exact` is true, `ops` is the
+/// EDR op count; otherwise `ops` is a certified lower bound on it (the
+/// banded kernel proved the distance exceeds its band).
+struct EdrKernelResult {
+  uint32_t ops = 0;
+  bool exact = true;
+};
+
+/// Reference kernel: the classic two-row scalar DP. O(n*m) time, O(m)
+/// scratch (thread-local, reused across calls). Always exact.
+uint32_t EdrOpsScalar(const Trajectory& a, const Trajectory& b,
+                      const EdrTolerance& tolerance);
+
+/// Bit-parallel kernel (Myers 1999 / Hyyrö 2003): EDR is unit-cost edit
+/// distance under the tolerance match predicate, so each DP row collapses
+/// to O(ceil(m/64)) word operations on vertical-delta bit vectors. Match
+/// masks are rebuilt per row from the row point's time window over `b`
+/// (two-pointer sweep; sorted timestamps) — or over all of `b` when a
+/// sequence is unsorted or dt covers everything. Always exact and
+/// bit-identical to the scalar DP.
+uint32_t EdrOpsBitParallel(const Trajectory& a, const Trajectory& b,
+                           const EdrTolerance& tolerance);
+
+/// Banded (Ukkonen) kernel: evaluates only cells with |i - j| <= band,
+/// clamping values above band + 1. If the true distance is <= band the
+/// optimal path never leaves the band and the result is exact; otherwise
+/// the clamp certifies EDR >= band + 1 and {band + 1, false} is returned.
+/// O(n * min(2*band + 1, m)) time.
+EdrKernelResult EdrOpsBanded(const Trajectory& a, const Trajectory& b,
+                             const EdrTolerance& tolerance, uint32_t band);
+
+/// Dispatch: picks the cheapest kernel for the shapes involved. `band`
+/// caps the useful distance — pass max(|a|,|b|) (or anything >= it) for an
+/// unconditionally exact answer; a smaller band permits the banded kernel
+/// to abandon with a certified lower bound when the distance exceeds it.
+/// All kernels agree bit-for-bit on exact results.
+EdrKernelResult EdrOps(const Trajectory& a, const Trajectory& b,
+                       const EdrTolerance& tolerance, uint32_t band);
+
+}  // namespace wcop
+
+#endif  // WCOP_DISTANCE_EDR_KERNEL_H_

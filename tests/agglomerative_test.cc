@@ -97,6 +97,27 @@ TEST(AgglomerativeTest, SingletonsSurviveWhenAlreadySatisfied) {
   EXPECT_TRUE(out->trash.empty());
 }
 
+TEST(AgglomerativeTest, CascadeMatchesExhaustiveBaseline) {
+  // The medoid partner search now runs through the sharded cache's
+  // lower-bound cascade; with the kill-switch off it must reproduce the
+  // exhaustive merge sequence exactly.
+  const Dataset d = SmallSynthetic(40, 45, /*k_max=*/5);
+  WcopOptions on = ResolveOptions(d, WcopOptions{});
+  WcopOptions off = on;
+  off.distance.cascade = false;
+  const auto ra = AgglomerativeClustering(d, 4, on);
+  const auto rb = AgglomerativeClustering(d, 4, off);
+  ASSERT_TRUE(ra.ok()) << ra.status();
+  ASSERT_TRUE(rb.ok()) << rb.status();
+  ASSERT_EQ(ra->clusters.size(), rb->clusters.size());
+  for (size_t i = 0; i < ra->clusters.size(); ++i) {
+    EXPECT_EQ(ra->clusters[i].pivot, rb->clusters[i].pivot) << i;
+    EXPECT_EQ(ra->clusters[i].members, rb->clusters[i].members) << i;
+  }
+  EXPECT_EQ(ra->trash, rb->trash);
+  EXPECT_EQ(ra->rounds, rb->rounds);
+}
+
 TEST(AgglomerativeTest, RejectsBadArguments) {
   const Dataset d = SmallSynthetic(10, 30);
   WcopOptions options = ResolveOptions(d, WcopOptions{});

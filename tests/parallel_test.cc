@@ -301,22 +301,27 @@ TEST(ShardedCacheTest, ConcurrentStressKeepsExactAccounting) {
     ASSERT_DOUBLE_EQ(got[t], expected) << "lookup " << t;
   }
 
-  // Accounting: each distinct pair charged exactly once, every other lookup
-  // a cache hit, and the RunContext budget saw the same count.
+  // Accounting: each distinct pair resolved exactly once — by the DP
+  // (charged to distance.calls.edr and the RunContext budget) or by an
+  // analytic cascade certificate (free) — and every other lookup is a
+  // cache hit.
   const size_t distinct_pairs = n * (n - 1) / 2;
   const telemetry::MetricsSnapshot snap = tel.metrics().Snapshot();
-  EXPECT_EQ(snap.CounterValue("distance.calls.edr"), distinct_pairs);
-  EXPECT_EQ(cache.computed(), distinct_pairs);
-  EXPECT_EQ(cache.abandoned(), 0u);
+  EXPECT_EQ(cache.computed() + cache.analytic(), distinct_pairs);
+  EXPECT_EQ(snap.CounterValue("distance.calls.edr"), cache.computed());
+  // No cutoff ever certified a bound (1e18 never abandons): the abandon
+  // tally is exactly the analytic resolutions.
+  EXPECT_EQ(cache.abandoned(), cache.analytic());
   const size_t diagonal_lookups = lookups / n;  // i == j short-circuits
   EXPECT_EQ(snap.CounterValue("distance.cache_hits"),
             lookups - diagonal_lookups - distinct_pairs);
-  EXPECT_EQ(context.distance_computations(), distinct_pairs);
+  EXPECT_EQ(context.distance_computations(), cache.computed());
 }
 
 TEST(ShardedCacheTest, BoundEntriesUpgradeToExact) {
-  // Two trajectories of very different lengths: the length lower bound
-  // exceeds a small cutoff, so the first lookup abandons; a later lookup
+  // Legacy (cascade-off) semantics, kept alive by the kill-switch: two
+  // trajectories of very different lengths make the length lower bound
+  // exceed a small cutoff, so the first lookup abandons; a later lookup
   // with a generous cutoff must upgrade to the exact distance and charge
   // exactly once.
   Dataset d(std::vector<Trajectory>{
@@ -326,8 +331,10 @@ TEST(ShardedCacheTest, BoundEntriesUpgradeToExact) {
   DistanceConfig config;
   config.edr_scale = 1000.0;
   config.tolerance = EdrTolerance{100.0, 100.0, 600.0};
+  config.cascade = false;
   telemetry::Telemetry tel;
   ShardedPairDistanceCache cache(d, config, nullptr, &tel, 4);
+  ASSERT_FALSE(cache.cascade_active());
 
   const double bound = cache.GetWithCutoff(0, 1, 1e-6);
   EXPECT_GT(bound, 1e-6);  // served the (abandoning) lower bound
@@ -347,6 +354,48 @@ TEST(ShardedCacheTest, BoundEntriesUpgradeToExact) {
   const telemetry::MetricsSnapshot snap = tel.metrics().Snapshot();
   EXPECT_EQ(snap.CounterValue("distance.calls.edr"), 1u);
   EXPECT_EQ(snap.CounterValue("distance.early_abandoned"), 1u);
+}
+
+TEST(ShardedCacheTest, CascadeServesAnalyticExactsWithoutCharging) {
+  // Same pair with the cascade on. The y-gap (500 > dy + dy-extent) makes
+  // the dilated MBRs disjoint, so the separation rung *knows* the distance
+  // is edr_scale without running the DP: a cutoff lookup first abandons on
+  // the O(1) length bound, and the later unbounded lookup resolves
+  // analytically — distance.calls.edr stays zero.
+  Dataset d(std::vector<Trajectory>{
+      testing_util::MakeLine(1, 0.0, 0.0, 10.0, 0.0, 4),
+      testing_util::MakeLine(2, 0.0, 500.0, 10.0, 0.0, 40),
+  });
+  DistanceConfig config;
+  config.edr_scale = 1000.0;
+  config.tolerance = EdrTolerance{100.0, 100.0, 600.0};
+  telemetry::Telemetry tel;
+  ShardedPairDistanceCache cache(d, config, nullptr, &tel, 4);
+  ASSERT_TRUE(cache.cascade_active());
+
+  const double bound = cache.GetWithCutoff(0, 1, 1e-6);
+  EXPECT_GT(bound, 1e-6);
+  EXPECT_EQ(cache.abandoned(), 1u);
+  EXPECT_EQ(cache.computed(), 0u);
+
+  const double exact = cache.Get(0, 1);
+  EXPECT_DOUBLE_EQ(exact, ClusterDistance(d[0], d[1], config));
+  EXPECT_DOUBLE_EQ(exact, config.edr_scale);  // separation: max-length cost
+  EXPECT_GE(exact, bound);
+  EXPECT_EQ(cache.computed(), 0u);
+  EXPECT_EQ(cache.analytic(), 1u);
+  const telemetry::MetricsSnapshot snap = tel.metrics().Snapshot();
+  EXPECT_EQ(snap.CounterValue("distance.calls.edr"), 0u);
+  // Two DP-free resolutions: the length-bound serve, then the analytic
+  // separation exact; lb.* records the rung of each.
+  EXPECT_EQ(snap.CounterValue("distance.early_abandoned"), 2u);
+  EXPECT_EQ(snap.CounterValue("distance.lb.length_pruned"), 1u);
+  EXPECT_EQ(snap.CounterValue("distance.lb.separation_pruned"), 1u);
+
+  // CheapProbe on a resolved pair serves the cached exact as a hit.
+  const auto probe = cache.CheapProbe(0, 1);
+  EXPECT_TRUE(probe.exact);
+  EXPECT_DOUBLE_EQ(probe.value, exact);
 }
 
 }  // namespace

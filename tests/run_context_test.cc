@@ -155,6 +155,9 @@ TEST(RunContextTest, WcopCtDistanceBudgetDegradesDeterministically) {
   budget.max_distance_computations = 200;
   context.set_budget(budget);
   WcopOptions options;
+  // The exhaustive (cascade-off) path: this test is about budget-trip
+  // determinism and needs every pair to actually run the DP.
+  options.distance.cascade = false;
   options.run_context = &context;
   options.allow_partial_results = true;
   Result<AnonymizationResult> result = RunWcopCt(d, options);
@@ -179,6 +182,7 @@ TEST(RunContextTest, WcopCtBudgetWithoutPartialResultsFails) {
   budget.max_distance_computations = 200;
   context.set_budget(budget);
   WcopOptions options;
+  options.distance.cascade = false;  // see budget test above
   options.run_context = &context;
   Result<AnonymizationResult> result = RunWcopCt(d, options);
   ASSERT_FALSE(result.ok());
@@ -204,6 +208,9 @@ TEST(RunContextTest, AgglomerativeDeadlineDegrades) {
   RunContext context;
   context.set_deadline_after(std::chrono::milliseconds(1));
   WcopOptions options;
+  // Cascade off: with the lower-bound cascade the whole run can finish
+  // inside the 1 ms deadline, leaving nothing to degrade.
+  options.distance.cascade = false;
   options.clustering_algo = WcopOptions::ClusteringAlgo::kAgglomerative;
   options.run_context = &context;
   options.allow_partial_results = true;
