@@ -71,7 +71,12 @@ int main(int argc, char** argv) {
       range.y_hi = c.y + 800;
       range.t_lo = c.t - 600;
       range.t_hi = c.t + 600;
-      table.AddRow({"#" + std::to_string(q + 1) + " (800m x 20min)",
+      // Named temporary sidesteps a GCC 12 -Wrestrict false positive
+      // (PR 105329) on `const char* + std::string&&`.
+      std::string label = "#";
+      label += std::to_string(q + 1);
+      label += " (800m x 20min)";
+      table.AddRow({label,
                     std::to_string(raw_store->RangeQuery(range).size()),
                     std::to_string(anon_store->RangeQuery(range).size())});
     }

@@ -167,6 +167,8 @@ int main(int argc, char** argv) {
         "[--budget=B]\n"
         "    [--allow-partial] [--seed=7] [--wait] [--wait-ms=600000]\n"
         "    [--kind=continuous --window-seconds=W --output-dir=DIR]\n"
+        "    [--kind=audit [--original=FILE.wst | --windows-dir=DIR]\n"
+        "      [--adversary=weak|moderate|strong] [--victims=N]]\n"
         "  --job=ID [--wait | --follow]  |  --jobs  |  --trace=ID\n"
         "  --health  |  --metrics [--metrics-format=text]  |  "
         "--shutdown=drain|now\n"
@@ -265,6 +267,10 @@ int main(int argc, char** argv) {
   spec.kind = args.GetString("kind", "");
   spec.window_seconds = args.GetDouble("window-seconds", 3600.0);
   spec.output_dir = args.GetString("output-dir", "");
+  spec.audit_windows_dir = args.GetString("windows-dir", "");
+  spec.audit_original_store = args.GetString("original", "");
+  spec.audit_adversary = args.GetString("adversary", "");
+  spec.audit_victims = static_cast<uint64_t>(args.GetInt("victims", 0));
 
   Result<JobRecord> submitted = client.Submit(spec);
   if (!submitted.ok()) {

@@ -167,8 +167,8 @@ int main(int argc, char** argv) {
     std::printf("rate  %.0f distance calls/s  %.2f jobs/s\n\n", distance_rate,
                 job_rate);
 
-    std::printf("%5s %-20s %-8s %-26s %s\n", "ID", "NAME", "STATE",
-                "PROGRESS", "DISTANCE");
+    std::printf("%5s %-16s %-10s %-8s %-26s %s\n", "ID", "NAME", "KIND",
+                "STATE", "PROGRESS", "DISTANCE");
     for (const JobRecord& record : *jobs) {
       std::string progress = "";
       if (record.progress.shards_total > 0) {
@@ -183,9 +183,13 @@ int main(int argc, char** argv) {
                           record.progress.shards_total));
         progress = cell;
       }
-      std::printf("%5lld %-20.20s %-8s %-26s %llu\n",
+      // Audit jobs track attacked victims rather than shards/windows; the
+      // KIND column tells the operator which unit the bar counts.
+      const char* kind =
+          record.spec.kind.empty() ? "batch" : record.spec.kind.c_str();
+      std::printf("%5lld %-16.16s %-10.10s %-8s %-26s %llu\n",
                   static_cast<long long>(record.id),
-                  record.spec.name.c_str(),
+                  record.spec.name.c_str(), kind,
                   std::string(JobStateName(record.state)).c_str(),
                   progress.c_str(),
                   static_cast<unsigned long long>(

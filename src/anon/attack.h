@@ -5,6 +5,8 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "common/run_context.h"
+#include "common/telemetry.h"
 #include "traj/dataset.h"
 
 namespace wcop {
@@ -38,6 +40,21 @@ struct AttackOptions {
   double pmc_delta = 0.0;
 
   uint64_t seed = 99;
+
+  /// Thread count for the candidate scan (wcop::parallel resolution
+  /// rules; 1 = exact serial path). The result is identical across thread
+  /// counts: this entry point routes through wcop::attack's deterministic
+  /// re-identification engine (see src/attack/reident.h).
+  int threads = 1;
+
+  /// Optional deadline / cancellation / budget, honored at per-victim
+  /// granularity; candidate scans charge candidate pairs and exact
+  /// scorings charge distance computations. Null = unbounded.
+  const RunContext* run_context = nullptr;
+
+  /// Optional metric sink (`attack.victims`, `attack.candidates`,
+  /// `attack.candidates.pruned`, `attack.matches.top1`, `attack.rank`).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct AttackResult {
@@ -74,6 +91,14 @@ struct TrackingAttackOptions {
   double step_seconds = 60.0;  ///< tracker update cadence
   size_t num_victims = 0;      ///< 0 = every original trajectory
   uint64_t seed = 99;
+
+  /// Optional deadline / cancellation / budget, honored per victim; each
+  /// tracking step charges the candidate scan as candidate pairs.
+  const RunContext* run_context = nullptr;
+
+  /// Optional metric sink (`attack.tracking.victims`,
+  /// `attack.tracking.steps`, `attack.tracking.switches`).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 struct TrackingAttackResult {

@@ -1,0 +1,247 @@
+#include "attack/effective_k.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "geo/point.h"
+
+namespace wcop {
+namespace attack {
+
+namespace {
+
+struct UserOutcome {
+  Status status;
+  bool skipped = false;  ///< degenerate lifetime, nothing to measure
+  EffectiveKSamples::Sample sample;
+};
+
+UserOutcome MeasureUser(const CandidateSource& published, size_t user,
+                        const EffectiveKOptions& options) {
+  UserOutcome out;
+  const store::StoreEntry& self = published.entry(user);
+  Result<Trajectory> traj = published.Read(user);
+  if (!traj.ok()) {
+    out.status = traj.status();
+    return out;
+  }
+  if (traj->empty()) {
+    out.skipped = true;
+    return out;
+  }
+  const double duration = traj->Duration();
+  const double tau = std::min(options.adversary.tau_seconds, duration);
+
+  // Deterministic choice of *which* τ-interval the adversary knows: a
+  // per-user stream draws the interval start, so the measurement depends
+  // only on (seed, user key), never on scheduling.
+  Rng rng(MixSeed(options.adversary.seed, static_cast<uint64_t>(
+                                              published.KeyOf(user))));
+  const double slack = duration - tau;
+  const double start =
+      traj->StartTime() + (slack > 0.0 ? rng.UniformReal(0.0, slack) : 0.0);
+  const double end = start + tau;
+
+  const size_t samples = std::max<size_t>(options.samples, 1);
+  std::vector<Point> known;
+  known.reserve(samples);
+  for (size_t s = 0; s < samples; ++s) {
+    const double frac =
+        samples == 1 ? 0.0
+                     : static_cast<double>(s) /
+                           static_cast<double>(samples - 1);
+    const double t = start + frac * (end - start);
+    known.push_back(traj->PositionAt(t));
+  }
+
+  const double epsilon = options.adversary.epsilon;
+  uint64_t effective = 0;
+  for (size_t j = 0; j < published.size(); ++j) {
+    const store::StoreEntry& e = published.entry(j);
+    // A record that does not overlap the known interval in time is
+    // distinguishable from the victim outright.
+    if (e.t_max < start || e.t_min > end) {
+      continue;
+    }
+    // Certified prefilter: PositionAt never leaves the spatial MBR, so a
+    // candidate whose ε-dilated MBR excludes any known position cannot be
+    // within ε of it — skip without reading the block.
+    bool possible = true;
+    for (const Point& p : known) {
+      if (PointToEntryDistance(e, p) > epsilon) {
+        possible = false;
+        break;
+      }
+    }
+    if (!possible) {
+      continue;
+    }
+    if (j == user) {
+      ++effective;
+      continue;
+    }
+    Result<Trajectory> candidate = published.Read(j);
+    if (!candidate.ok()) {
+      out.status = candidate.status();
+      return out;
+    }
+    if (options.run_context != nullptr) {
+      options.run_context->ChargeDistance();
+    }
+    bool consistent = true;
+    for (const Point& p : known) {
+      if (SpatialDistance(candidate->PositionAt(p.t), p) > epsilon) {
+        consistent = false;
+        break;
+      }
+    }
+    if (consistent) {
+      ++effective;
+    }
+  }
+  out.sample.k = static_cast<int>(self.k);
+  out.sample.delta = self.delta;
+  out.sample.effective_k = effective;
+  return out;
+}
+
+double NearestRankPercentile(const std::vector<uint64_t>& sorted, double p) {
+  if (sorted.empty()) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(sorted.size());
+  size_t rank = static_cast<size_t>(std::ceil(p * n));
+  rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+  return static_cast<double>(sorted[rank - 1]);
+}
+
+}  // namespace
+
+Result<EffectiveKSamples> MeasureEffectiveKSamples(
+    const CandidateSource& published, const EffectiveKOptions& options) {
+  if (published.size() == 0) {
+    return Status::InvalidArgument("effective-k needs a non-empty source");
+  }
+  WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
+  WCOP_TRACE_SPAN(options.telemetry, "attack/effective_k");
+
+  std::vector<size_t> users(published.size());
+  std::iota(users.begin(), users.end(), 0);
+  if (options.num_users > 0 && options.num_users < users.size()) {
+    Rng rng(options.adversary.seed);
+    std::shuffle(users.begin(), users.end(), rng.engine());
+    users.resize(options.num_users);
+    std::sort(users.begin(), users.end());
+  }
+
+  EffectiveKSamples result;
+  result.samples.reserve(users.size());
+  constexpr size_t kBlock = 256;
+  parallel::ParallelOptions popts;
+  popts.threads = options.threads;
+  popts.grain = 1;
+  popts.context = options.run_context;
+  popts.telemetry = options.telemetry;
+  for (size_t begin = 0; begin < users.size(); begin += kBlock) {
+    const size_t count = std::min(kBlock, users.size() - begin);
+    if (options.run_context != nullptr) {
+      options.run_context->ChargeCandidatePairs(count * published.size());
+    }
+    Result<std::vector<UserOutcome>> outcomes =
+        parallel::ParallelMap<UserOutcome>(
+            count,
+            [&](size_t i) {
+              return MeasureUser(published, users[begin + i], options);
+            },
+            popts);
+    if (!outcomes.ok()) {
+      return outcomes.status();
+    }
+    for (UserOutcome& out : *outcomes) {
+      if (!out.status.ok()) {
+        return out.status;
+      }
+      if (!out.skipped) {
+        result.samples.push_back(out.sample);
+      }
+    }
+    if (options.progress) {
+      options.progress(std::min(begin + count, users.size()), users.size());
+    }
+    WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
+  }
+  return result;
+}
+
+EffectiveKResult SummarizeEffectiveK(const EffectiveKSamples& samples,
+                                     telemetry::Telemetry* telemetry) {
+  telemetry::Histogram* histogram = nullptr;
+  telemetry::Counter* violations_counter = nullptr;
+  if (telemetry != nullptr) {
+    histogram = telemetry->metrics().GetHistogram("attack.effective_k");
+    violations_counter =
+        telemetry->metrics().GetCounter("attack.effective_k.violations");
+  }
+
+  EffectiveKResult result;
+  // Group by the exact requested (k, δ) pair; the map keeps policies in
+  // deterministic (k, δ) order for the report.
+  std::map<std::pair<int, double>, std::vector<uint64_t>> by_policy;
+  double total = 0.0;
+  size_t violations = 0;
+  for (const EffectiveKSamples::Sample& s : samples.samples) {
+    by_policy[{s.k, s.delta}].push_back(s.effective_k);
+    total += static_cast<double>(s.effective_k);
+    if (s.effective_k < static_cast<uint64_t>(std::max(s.k, 0))) {
+      ++violations;
+    }
+    if (histogram != nullptr) {
+      histogram->Record(s.effective_k);
+    }
+  }
+  result.users_measured = samples.samples.size();
+  if (result.users_measured > 0) {
+    result.mean_effective_k = total / static_cast<double>(
+                                          result.users_measured);
+    result.violation_fraction =
+        static_cast<double>(violations) /
+        static_cast<double>(result.users_measured);
+  }
+  telemetry::CounterAdd(violations_counter, violations);
+  for (auto& [policy, values] : by_policy) {
+    std::sort(values.begin(), values.end());
+    PolicyEffectiveK row;
+    row.k = policy.first;
+    row.delta = policy.second;
+    row.users = values.size();
+    row.mean = static_cast<double>(
+                   std::accumulate(values.begin(), values.end(),
+                                   static_cast<uint64_t>(0))) /
+               static_cast<double>(values.size());
+    row.p5 = NearestRankPercentile(values, 0.05);
+    row.p25 = NearestRankPercentile(values, 0.25);
+    row.p50 = NearestRankPercentile(values, 0.50);
+    for (uint64_t v : values) {
+      if (v < static_cast<uint64_t>(std::max(row.k, 0))) {
+        ++row.violations;
+      }
+    }
+    result.policies.push_back(row);
+  }
+  return result;
+}
+
+Result<EffectiveKResult> MeasureEffectiveK(const CandidateSource& published,
+                                           const EffectiveKOptions& options) {
+  WCOP_ASSIGN_OR_RETURN(EffectiveKSamples samples,
+                        MeasureEffectiveKSamples(published, options));
+  return SummarizeEffectiveK(samples, options.telemetry);
+}
+
+}  // namespace attack
+}  // namespace wcop

@@ -1,11 +1,22 @@
+/// Implementation of the legacy anon/attack.h entry points, routed through
+/// the wcop::attack subsystem so the repo carries exactly one attack
+/// engine: SimulateLinkageAttack is the in-memory face of the
+/// re-identification audit (src/attack/reident.h), now honoring
+/// RunContext deadlines/budgets and counting candidate evaluations on the
+/// shared `attack.*` telemetry names; the tracking adversary stays a
+/// dataset-level simulation but gains the same RunContext/Telemetry
+/// wiring.
+
 #include "anon/attack.h"
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <vector>
 
-#include "anon/uncertainty.h"
+#include "attack/candidate_source.h"
+#include "attack/reident.h"
 #include "common/rng.h"
 
 namespace wcop {
@@ -16,97 +27,30 @@ Result<AttackResult> SimulateLinkageAttack(const Dataset& original,
   if (original.empty() || published.empty()) {
     return Status::InvalidArgument("attack needs non-empty datasets");
   }
-  if (options.observations_per_victim == 0) {
-    return Status::InvalidArgument("need at least one observation");
-  }
-  Rng rng(options.seed);
+  attack::DatasetCandidateSource original_source(original);
+  attack::DatasetCandidateSource published_source(published);
 
-  // Choose victims: all original trajectories, or a random subset.
-  std::vector<size_t> victims(original.size());
-  std::iota(victims.begin(), victims.end(), 0);
-  if (options.num_victims > 0 && options.num_victims < victims.size()) {
-    std::shuffle(victims.begin(), victims.end(), rng.engine());
-    victims.resize(options.num_victims);
-  }
+  attack::ReidentOptions reident;
+  reident.adversary.observations = options.observations_per_victim;
+  reident.adversary.noise = options.observation_noise;
+  reident.adversary.pmc_delta = options.pmc_delta;
+  reident.adversary.seed = options.seed;
+  reident.num_victims = options.num_victims;
+  reident.threads = options.threads;
+  reident.run_context = options.run_context;
+  reident.telemetry = options.telemetry;
+
+  WCOP_ASSIGN_OR_RETURN(
+      attack::ReidentResult r,
+      attack::RunReidentAttack(original_source, published_source, reident));
 
   AttackResult result;
-  double rank_sum = 0.0;
-  double expected_hits = 0.0;
-  double reciprocal_sum = 0.0;
-  for (size_t victim : victims) {
-    const Trajectory& truth = original[victim];
-    if (published.FindById(truth.id()) == nullptr) {
-      continue;  // suppressed: nothing to link
-    }
-    // Observation source: the exact recorded fixes, or — for the
-    // uncertainty-aware adversary — a possible motion curve of the victim.
-    Trajectory source = truth;
-    if (options.pmc_delta > 0.0) {
-      source = SamplePossibleMotionCurve(truth, options.pmc_delta, &rng);
-    }
-    std::vector<Point> observations;
-    observations.reserve(options.observations_per_victim);
-    for (size_t o = 0; o < options.observations_per_victim; ++o) {
-      Point p = source[rng.UniformIndex(source.size())];
-      if (options.observation_noise > 0.0) {
-        p.x += rng.Gaussian(0.0, options.observation_noise);
-        p.y += rng.Gaussian(0.0, options.observation_noise);
-      }
-      observations.push_back(p);
-    }
-
-    // Score every published trajectory: mean spatial distance to the
-    // observations at the observed times.
-    std::vector<std::pair<double, int64_t>> scores;
-    scores.reserve(published.size());
-    for (const Trajectory& candidate : published.trajectories()) {
-      double total = 0.0;
-      for (const Point& obs : observations) {
-        total += SpatialDistance(candidate.PositionAt(obs.t), obs);
-      }
-      scores.emplace_back(total, candidate.id());
-    }
-    std::sort(scores.begin(), scores.end());
-
-    // Rank of the true id under uniform tie-breaking: within a block of
-    // equally-scored candidates the adversary guesses uniformly, so the
-    // expected rank is the block's midpoint and the top-1 success
-    // probability is 1/block_size when the block starts at the top
-    // (exactly-collapsed anonymity sets thus score 1/k, as they should).
-    double rank = static_cast<double>(scores.size());
-    double top1_probability = 0.0;
-    for (size_t i = 0; i < scores.size(); ++i) {
-      if (scores[i].second != truth.id()) {
-        continue;
-      }
-      size_t first_tied = i;
-      while (first_tied > 0 &&
-             scores[first_tied - 1].first == scores[i].first) {
-        --first_tied;
-      }
-      size_t last_tied = i;
-      while (last_tied + 1 < scores.size() &&
-             scores[last_tied + 1].first == scores[i].first) {
-        ++last_tied;
-      }
-      const double block = static_cast<double>(last_tied - first_tied + 1);
-      rank = static_cast<double>(first_tied) + (block + 1.0) / 2.0;
-      top1_probability = first_tied == 0 ? 1.0 / block : 0.0;
-      break;
-    }
-    ++result.victims_attacked;
-    expected_hits += top1_probability;
-    rank_sum += rank;
-    reciprocal_sum += 1.0 / rank;
-  }
-
-  if (result.victims_attacked > 0) {
-    const double n = static_cast<double>(result.victims_attacked);
-    result.top1_hits = static_cast<size_t>(std::llround(expected_hits));
-    result.top1_success_rate = expected_hits / n;
-    result.mean_true_rank = rank_sum / n;
-    result.mean_reciprocal_rank = reciprocal_sum / n;
-  }
+  result.victims_attacked = r.victims_attacked;
+  result.top1_hits = static_cast<size_t>(std::llround(
+      r.top1_success * static_cast<double>(r.victims_attacked)));
+  result.top1_success_rate = r.top1_success;
+  result.mean_true_rank = r.mean_true_rank;
+  result.mean_reciprocal_rank = r.mean_reciprocal_rank;
   return result;
 }
 
@@ -118,6 +62,17 @@ Result<TrackingAttackResult> SimulateTrackingAttack(
   }
   if (options.step_seconds <= 0.0) {
     return Status::InvalidArgument("step_seconds must be positive");
+  }
+  WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
+  WCOP_TRACE_SPAN(options.telemetry, "attack/tracking");
+  telemetry::Counter* victims_counter = nullptr;
+  telemetry::Counter* steps_counter = nullptr;
+  telemetry::Counter* switches_counter = nullptr;
+  if (options.telemetry != nullptr) {
+    auto& metrics = options.telemetry->metrics();
+    victims_counter = metrics.GetCounter("attack.tracking.victims");
+    steps_counter = metrics.GetCounter("attack.tracking.steps");
+    switches_counter = metrics.GetCounter("attack.tracking.switches");
   }
   Rng rng(options.seed);
 
@@ -132,6 +87,7 @@ Result<TrackingAttackResult> SimulateTrackingAttack(
   double switch_sum = 0.0;
   double on_target_sum = 0.0;
   for (size_t victim : victims) {
+    WCOP_RETURN_IF_ERROR(CheckRunContext(options.run_context));
     const Trajectory& truth = original[victim];
     if (published.FindById(truth.id()) == nullptr) {
       continue;
@@ -150,6 +106,9 @@ Result<TrackingAttackResult> SimulateTrackingAttack(
     bool first_acquisition = true;
     for (double t = truth.StartTime(); t <= truth.EndTime();
          t += options.step_seconds) {
+      if (options.run_context != nullptr) {
+        options.run_context->ChargeCandidatePairs(published.size());
+      }
       const double predicted_x =
           tracked.x + vel_x * options.step_seconds;
       const double predicted_y =
@@ -192,6 +151,8 @@ Result<TrackingAttackResult> SimulateTrackingAttack(
       }
     }
     ++result.victims_tracked;
+    telemetry::CounterAdd(steps_counter, steps);
+    telemetry::CounterAdd(switches_counter, switches);
     if (current_id == truth.id()) {
       ++result.end_on_victim;
     }
@@ -207,6 +168,7 @@ Result<TrackingAttackResult> SimulateTrackingAttack(
     result.mean_path_switches = switch_sum / n;
     result.mean_time_on_target = on_target_sum / n;
   }
+  telemetry::CounterAdd(victims_counter, result.victims_tracked);
   return result;
 }
 

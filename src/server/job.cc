@@ -148,6 +148,14 @@ Status DecodeSpecField(std::string_view key, std::string_view value,
     WCOP_ASSIGN_OR_RETURN(spec->window_seconds, ParseDouble(value));
   } else if (key == "output_dir") {
     WCOP_ASSIGN_OR_RETURN(spec->output_dir, UnescapeToken(value));
+  } else if (key == "audit_windows_dir") {
+    WCOP_ASSIGN_OR_RETURN(spec->audit_windows_dir, UnescapeToken(value));
+  } else if (key == "audit_original_store") {
+    WCOP_ASSIGN_OR_RETURN(spec->audit_original_store, UnescapeToken(value));
+  } else if (key == "audit_adversary") {
+    WCOP_ASSIGN_OR_RETURN(spec->audit_adversary, UnescapeToken(value));
+  } else if (key == "audit_victims") {
+    WCOP_ASSIGN_OR_RETURN(spec->audit_victims, ParseUint(value));
   } else if (key == "assign_k") {
     WCOP_ASSIGN_OR_RETURN(int64_t v, ParseInt(value));
     spec->assign_k = static_cast<int>(v);
@@ -180,6 +188,10 @@ void EncodeSpecFields(std::string* out, const JobSpec& spec) {
   AppendString(out, "kind", spec.kind);
   AppendDouble(out, "window_seconds", spec.window_seconds);
   AppendString(out, "output_dir", spec.output_dir);
+  AppendString(out, "audit_windows_dir", spec.audit_windows_dir);
+  AppendString(out, "audit_original_store", spec.audit_original_store);
+  AppendString(out, "audit_adversary", spec.audit_adversary);
+  AppendUint(out, "audit_victims", spec.audit_victims);
   AppendInt(out, "assign_k", spec.assign_k);
   AppendDouble(out, "assign_delta", spec.assign_delta);
   AppendUint(out, "shards", spec.shards);
@@ -394,14 +406,29 @@ Status ValidateJobSpec(const JobSpec& spec) {
   if (spec.input_store.empty()) {
     return Status::InvalidArgument("input_store is required");
   }
-  if (!spec.kind.empty() && spec.kind != "batch" && spec.kind != "continuous") {
-    return Status::InvalidArgument("kind must be 'batch' or 'continuous': '" +
-                                   spec.kind + "'");
+  if (!spec.kind.empty() && spec.kind != "batch" &&
+      spec.kind != "continuous" && spec.kind != "audit") {
+    return Status::InvalidArgument(
+        "kind must be 'batch', 'continuous' or 'audit': '" + spec.kind +
+        "'");
   }
   if (spec.kind == "continuous" &&
       !(spec.window_seconds > 0.0)) {  // also rejects NaN
     return Status::InvalidArgument(
         "window_seconds must be > 0 for continuous jobs");
+  }
+  if (spec.kind == "audit") {
+    if (!spec.audit_adversary.empty() && spec.audit_adversary != "weak" &&
+        spec.audit_adversary != "moderate" &&
+        spec.audit_adversary != "strong") {
+      return Status::InvalidArgument(
+          "audit_adversary must be 'weak', 'moderate' or 'strong': '" +
+          spec.audit_adversary + "'");
+    }
+  } else if (!spec.audit_windows_dir.empty() ||
+             !spec.audit_original_store.empty()) {
+    return Status::InvalidArgument(
+        "audit_windows_dir/audit_original_store require kind=audit");
   }
   if (spec.assign_k < 0 || spec.assign_k == 1) {
     return Status::InvalidArgument("assign_k must be 0 (keep) or >= 2");

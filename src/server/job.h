@@ -58,11 +58,23 @@ struct JobSpec {
   /// Job kind: "" or "batch" = one-shot batch anonymization publishing a
   /// CSV; "continuous" = the windowed continuous-publication pipeline
   /// (pipeline/continuous.h), publishing per-window stores + manifests
-  /// under `output_dir`. A crash-recovered continuous job resumes into its
-  /// own published windows instead of recomputing them.
+  /// under `output_dir`; "audit" = the privacy red team (attack/audit.h),
+  /// publishing an AuditReport JSON. A crash-recovered continuous job
+  /// resumes into its own published windows instead of recomputing them.
   std::string kind;
   double window_seconds = 3600.0;  ///< continuous only: window width
   std::string output_dir;  ///< continuous: empty = `<job_dir>/out/<name>.windows`
+
+  /// Audit jobs. Single-release mode: `input_store` is the *published*
+  /// store under audit and `audit_original_store` optionally names the
+  /// pre-publication source (enables the re-identification attack).
+  /// Continuous mode: `audit_windows_dir` names a continuous-publication
+  /// output directory (window_NNNNN.wst) and `input_store` is the source
+  /// store the windows were published from.
+  std::string audit_windows_dir;
+  std::string audit_original_store;
+  std::string audit_adversary;   ///< "", "weak", "moderate", "strong"
+  uint64_t audit_victims = 0;    ///< victim / user cap (0 = everyone)
 
   /// Requirement override: > 0 replaces every trajectory's (k, delta) with
   /// this pair before anonymization (materialized as a derived job store).

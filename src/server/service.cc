@@ -8,6 +8,8 @@
 #include <cstring>
 #include <utility>
 
+#include "anon/report_json.h"
+#include "attack/audit.h"
 #include "common/artifact_registry.h"
 #include "common/failpoint.h"
 #include "common/log.h"
@@ -185,7 +187,10 @@ Result<int64_t> AnonymizationService::Submit(JobSpec spec) {
     return s;
   }
   if (spec.output_csv.empty()) {
-    spec.output_csv = DefaultOutputPath(spec.name);
+    spec.output_csv = spec.kind == "audit"
+                          ? options_.job_dir + "/out/" + spec.name +
+                                ".audit.json"
+                          : DefaultOutputPath(spec.name);
   }
   if (spec.kind == "continuous" && spec.output_dir.empty()) {
     spec.output_dir = options_.job_dir + "/out/" + spec.name + ".windows";
@@ -543,12 +548,17 @@ Status AnonymizationService::ExecuteJob(JobRecord* record,
   WCOP_FAILPOINT("server.job_prepare");
 
   std::string input_path = spec.input_store;
-  if (spec.assign_k > 0) {
+  // Audit jobs measure the publication as-is: a requirement override (or
+  // a tenant default_k) must not rewrite what the red team sees.
+  if (spec.assign_k > 0 && spec.kind != "audit") {
     input_path = work_dir + "/input.wst";
     WCOP_RETURN_IF_ERROR(MaterializeWithRequirements(spec, input_path));
   }
   if (spec.kind == "continuous") {
     return ExecuteContinuousJob(record, job_tel, &ctx, input_path);
+  }
+  if (spec.kind == "audit") {
+    return ExecuteAuditJob(record, job_tel, &ctx, input_path);
   }
 
   WCOP_ASSIGN_OR_RETURN(
@@ -720,6 +730,95 @@ Status AnonymizationService::ExecuteContinuousJob(
   out->clusters = result.total_clusters;
   out->total_distortion = result.total_ttd;
   out->resumed_shards = result.resumed_windows;
+  WCOP_FAILPOINT("server.job_commit");
+  return Status::OK();
+}
+
+Status AnonymizationService::ExecuteAuditJob(JobRecord* record,
+                                             telemetry::Telemetry* job_tel,
+                                             RunContext* ctx,
+                                             const std::string& input_path) {
+  const JobSpec& spec = record->spec;
+  WCOP_TRACE_SPAN(job_tel, "server/audit_job");
+
+  attack::AuditOptions aopts;
+  WCOP_ASSIGN_OR_RETURN(aopts.adversary,
+                        attack::AdversaryPreset(spec.audit_adversary));
+  aopts.adversary.seed = spec.seed;
+  if (spec.audit_windows_dir.empty()) {
+    // Single release: the job's input store is the publication under
+    // audit; the optional original enables re-identification.
+    aopts.published_store = input_path;
+    aopts.original_store = spec.audit_original_store;
+  } else {
+    // Continuous: audit the window directory against the source store the
+    // windows were published from.
+    aopts.windows_dir = spec.audit_windows_dir;
+    aopts.original_store = input_path;
+  }
+  aopts.victims = static_cast<size_t>(spec.audit_victims);
+  aopts.threads = options_.job_threads;
+  aopts.run_context = ctx;
+  aopts.telemetry = job_tel;
+
+  // Live progress: attacked units update the record (GET /jobs/<id>, the
+  // wcop_top AUDIT column) and the service attack.progress.* gauges.
+  telemetry::MetricsRegistry& metrics = telemetry_.metrics();
+  telemetry::Gauge* g_done = metrics.GetGauge("attack.progress.done");
+  telemetry::Gauge* g_total = metrics.GetGauge("attack.progress.total");
+  Stopwatch progress_timer;
+  aopts.progress = [&](const char* phase, size_t done, size_t total) {
+    (void)phase;
+    JobProgress jp;
+    jp.shards_done = done;
+    jp.shards_total = total;
+    if (done > 0 && done < total) {
+      const double elapsed = progress_timer.ElapsedSeconds();
+      jp.eta_seconds = elapsed / static_cast<double>(done) *
+                       static_cast<double>(total - done);
+    }
+    record->progress = jp;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = jobs_.find(record->id);
+      if (it != jobs_.end()) {
+        it->second.progress = jp;
+      }
+    }
+    g_done->Set(static_cast<double>(done));
+    g_total->Set(static_cast<double>(total));
+  };
+
+  WCOP_ASSIGN_OR_RETURN(attack::AuditReport report, attack::RunAudit(aopts));
+  if (shutdown_token_.cancellation_requested()) {
+    return Status::Cancelled("service shutting down before publication");
+  }
+
+  // Outcome mapping: `published` counts audited users, `verified` means
+  // the publication delivered every requested k (no effective-k
+  // violations and nothing re-identified above the 1/k floor is not
+  // checkable here, so violations are the gate).
+  JobOutcome* out = &record->outcome;
+  out->published = report.has_effective_k
+                       ? report.effective_k.users_measured
+                       : report.reident.victims_attacked;
+  out->suppressed = report.has_reident ? report.reident.victims_suppressed : 0;
+  out->verified = report.has_effective_k &&
+                  report.effective_k.violation_fraction == 0.0;
+  out->total_distortion = report.has_distortion ? report.distortion.ttd : 0.0;
+
+  // Atomic publication of the report JSON (same tmp + rename + janitor
+  // protocol as batch CSV output).
+  const std::string tmp = spec.output_csv + ".tmp";
+  const ScopedLiveArtifact live_tmp(tmp);
+  WCOP_RETURN_IF_ERROR(RetryCall(retry_, [&] {
+    return WriteJsonFile(attack::AuditReportToJson(report), tmp);
+  }));
+  WCOP_FAILPOINT("server.job_output");
+  if (std::rename(tmp.c_str(), spec.output_csv.c_str()) != 0) {
+    return Status::IoError("rename '" + tmp + "' -> '" + spec.output_csv +
+                           "': " + std::string(std::strerror(errno)));
+  }
   WCOP_FAILPOINT("server.job_commit");
   return Status::OK();
 }

@@ -168,6 +168,13 @@ class AnonymizationService {
                               telemetry::Telemetry* job_tel,
                               RunContext* ctx,
                               const std::string& input_path);
+  /// Audit-kind execution: runs the privacy red team (attack/audit.h)
+  /// against the published store / window directory named by the spec and
+  /// atomically publishes the AuditReport JSON to output_csv. The job's
+  /// attack.* metrics roll up into the service registry and are served by
+  /// GET /metrics like every other job's.
+  Status ExecuteAuditJob(JobRecord* record, telemetry::Telemetry* job_tel,
+                         RunContext* ctx, const std::string& input_path);
   /// Atomically writes the job's Chrome trace JSON beside the ledger
   /// (<job_dir>/traces/job_<id>.json); best-effort, logs on failure.
   void PersistJobTrace(int64_t id, const telemetry::Telemetry& job_tel);

@@ -56,9 +56,16 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(50.0, 250.0, 1000.0),
                        ::testing::Values(3u, 17u)),
     [](const auto& info) {
-      return "k" + std::to_string(std::get<0>(info.param)) + "_d" +
-             std::to_string(static_cast<int>(std::get<1>(info.param))) +
-             "_s" + std::to_string(std::get<2>(info.param));
+      // Built by appending into a named string: the one-expression
+      // operator+ chain trips GCC 12's -Wrestrict false positive
+      // (PR 105329) depending on inlining.
+      std::string name = "k";
+      name += std::to_string(std::get<0>(info.param));
+      name += "_d";
+      name += std::to_string(static_cast<int>(std::get<1>(info.param)));
+      name += "_s";
+      name += std::to_string(std::get<2>(info.param));
+      return name;
     });
 
 // ---------------------------------------------------------------------------
